@@ -1,0 +1,1 @@
+bench/figures.ml: Apps Array Bytes Format Fun Hostos Libos List Mem Netstack Option Printf Rakis Result Rings Sgx Sim Sys

@@ -1,0 +1,1 @@
+bench/main.ml: Array Figures Format Micro Sys

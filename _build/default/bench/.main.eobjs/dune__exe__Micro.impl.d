@@ -1,0 +1,1 @@
+bench/micro.ml: Abi Analyze Bechamel Benchmark Bytes Format Hashtbl Instance List Measure Mem Packet Rakis Rings Staged Test Time Toolkit

@@ -1,0 +1,48 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation.  With no argument it runs them all plus the claims check;
+   individual targets: fig2 table1 table2 fig4a fig4b fig4c fig5a fig5b
+   fig5c claims micro. *)
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [fig2|table1|table2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|claims|ablation|sensitivity|micro|all]";
+  exit 2
+
+let run_all () =
+  ignore (Figures.fig2 ());
+  Figures.table1 ();
+  Figures.table2 ();
+  let f4a = Figures.fig4a () in
+  let f4b = Figures.fig4b () in
+  let f4c = Figures.fig4c () in
+  let f5a = Figures.fig5a () in
+  let f5b = Figures.fig5b () in
+  let f5c = Figures.fig5c () in
+  let ok =
+    Figures.claims ~fig4a:f4a ~fig4b:f4b ~fig4c:f4c ~fig5a:f5a ~fig5b:f5b
+      ~fig5c:f5c ()
+  in
+  Figures.ablation ();
+  Figures.sensitivity ();
+  Micro.run ();
+  Format.printf "@.Overall claims verdict: %s@."
+    (if ok then "ALL PASS" else "SOME FAILED");
+  if not ok then exit 1
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] | [ _; "all" ] -> run_all ()
+  | [ _; "fig2" ] -> ignore (Figures.fig2 ())
+  | [ _; "table1" ] -> Figures.table1 ()
+  | [ _; "table2" ] -> Figures.table2 ()
+  | [ _; "fig4a" ] -> ignore (Figures.fig4a ())
+  | [ _; "fig4b" ] -> ignore (Figures.fig4b ())
+  | [ _; "fig4c" ] -> ignore (Figures.fig4c ())
+  | [ _; "fig5a" ] -> ignore (Figures.fig5a ())
+  | [ _; "fig5b" ] -> ignore (Figures.fig5b ())
+  | [ _; "fig5c" ] -> ignore (Figures.fig5c ())
+  | [ _; "ablation" ] -> Figures.ablation ()
+  | [ _; "sensitivity" ] -> Figures.sensitivity ()
+  | [ _; "claims" ] -> if not (Figures.claims ()) then exit 1
+  | [ _; "micro" ] -> Micro.run ()
+  | _ -> usage ()

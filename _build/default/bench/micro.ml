@@ -1,0 +1,142 @@
+(* Bechamel micro-benchmarks of the hot primitives: certified vs naive
+   ring accessors (the cost of RAKIS's Table 2 checks), packet codecs,
+   checksums and the UMem allocator.  Wall-clock, not simulated time:
+   these measure the reproduction's own code. *)
+
+open Bechamel
+open Toolkit
+
+let make_ring size =
+  let region =
+    Mem.Region.create ~kind:Untrusted ~name:"bench"
+      ~size:(Rings.Layout.footprint ~entry_size:8 ~size + 16)
+  in
+  let alloc = Mem.Alloc.create region () in
+  Rings.Layout.alloc alloc ~entry_size:8 ~size
+
+let certified_roundtrip =
+  Test.make ~name:"ring: certified produce+consume"
+    (Staged.stage (fun () ->
+         let l = make_ring 8 in
+         let prod = Rings.Certified.create l ~role:Rings.Certified.Producer () in
+         for _ = 1 to 64 do
+           (match
+              Rings.Certified.produce prod ~write:(fun ~slot_off ->
+                  Mem.Region.set_u64 l.Rings.Layout.region slot_off 42L)
+            with
+           | Ok () -> Rings.Certified.publish prod
+           | Error `Ring_full -> ());
+           ignore
+             (Rings.Raw.consume l ~read:(fun ~slot_off ->
+                  Mem.Region.get_u64 l.Rings.Layout.region slot_off))
+         done))
+
+let raw_roundtrip =
+  Test.make ~name:"ring: raw produce+consume (no checks)"
+    (Staged.stage (fun () ->
+         let l = make_ring 8 in
+         for _ = 1 to 64 do
+           ignore
+             (Rings.Raw.produce l ~write:(fun ~slot_off ->
+                  Mem.Region.set_u64 l.Rings.Layout.region slot_off 42L));
+           ignore
+             (Rings.Raw.consume l ~read:(fun ~slot_off ->
+                  Mem.Region.get_u64 l.Rings.Layout.region slot_off))
+         done))
+
+let sample_frame =
+  Packet.Frame.build_udp
+    {
+      Packet.Frame.src_mac = Packet.Addr.Mac.of_repr "02:00:00:00:00:02";
+      dst_mac = Packet.Addr.Mac.of_repr "02:00:00:00:00:01";
+      src_ip = Packet.Addr.Ip.of_repr "10.0.0.2";
+      dst_ip = Packet.Addr.Ip.of_repr "10.0.0.1";
+      src_port = 40000;
+      dst_port = 5201;
+    }
+    (Bytes.make 1400 'x')
+
+let frame_build =
+  Test.make ~name:"packet: build 1400B UDP frame"
+    (Staged.stage (fun () ->
+         ignore
+           (Packet.Frame.build_udp
+              {
+                Packet.Frame.src_mac = Packet.Addr.Mac.of_repr "02:00:00:00:00:02";
+                dst_mac = Packet.Addr.Mac.of_repr "02:00:00:00:00:01";
+                src_ip = Packet.Addr.Ip.of_repr "10.0.0.2";
+                dst_ip = Packet.Addr.Ip.of_repr "10.0.0.1";
+                src_port = 40000;
+                dst_port = 5201;
+              }
+              (Bytes.make 1400 'x'))))
+
+let frame_dissect =
+  Test.make ~name:"packet: dissect 1400B UDP frame (all validations)"
+    (Staged.stage (fun () -> ignore (Packet.Frame.dissect_udp sample_frame)))
+
+let checksum =
+  Test.make ~name:"checksum: 1460 bytes"
+    (let b = Bytes.make 1460 '\x5a' in
+     Staged.stage (fun () -> ignore (Packet.Checksum.compute b 0 1460)))
+
+let umem_cycle =
+  Test.make ~name:"umem: alloc+commit+reclaim"
+    (let u = Rakis.Umem.create ~size:(64 * 2048) ~frame_size:2048 in
+     Staged.stage (fun () ->
+         match Rakis.Umem.alloc u with
+         | Some off ->
+             Rakis.Umem.commit u off Rakis.Umem.Rx;
+             ignore (Rakis.Umem.reclaim u Rakis.Umem.Rx ~offset:off ())
+         | None -> ()))
+
+let sqe_codec =
+  Test.make ~name:"uring abi: sqe write+read"
+    (let region = Mem.Region.create ~kind:Untrusted ~name:"b" ~size:64 in
+     let sqe =
+       {
+         Abi.Uring_abi.opcode = Abi.Uring_abi.Write;
+         fd = 3;
+         file_off = 0L;
+         addr = 0x1000;
+         len = 4096;
+         poll_events = 0;
+         user_data = 1L;
+       }
+     in
+     Staged.stage (fun () ->
+         Abi.Uring_abi.write_sqe region 0 sqe;
+         ignore (Abi.Uring_abi.read_sqe region 0)))
+
+let run () =
+  Format.printf "@.=== Micro-benchmarks (Bechamel; wall-clock of the \
+                 reproduction's own primitives) ===@.";
+  let tests =
+    [
+      certified_roundtrip;
+      raw_roundtrip;
+      frame_build;
+      frame_dissect;
+      checksum;
+      umem_cycle;
+      sqe_codec;
+    ]
+  in
+  let benchmark test =
+    let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+    Benchmark.all cfg Instance.[ monotonic_clock ] test
+  in
+  let analyze results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Format.printf "%-55s %12.1f ns/run@." name est
+          | _ -> Format.printf "%-55s %12s@." name "n/a")
+        results)
+    tests

@@ -1,0 +1,205 @@
+(* rakis_run: run any of the paper's workloads under any of the five
+   test environments.
+
+     dune exec bin/rakis_run.exe -- iperf --env rakis-sgx --packets 20000
+     dune exec bin/rakis_run.exe -- redis --env gramine-sgx --command get
+     dune exec bin/rakis_run.exe -- verify       # Testing Module: model check
+     dune exec bin/rakis_run.exe -- fuzz -n 100000 *)
+
+open Cmdliner
+
+let env_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun k -> Libos.Env.kind_name k = String.lowercase_ascii s)
+        Libos.Env.all
+    with
+    | Some k -> Ok k
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown environment %S (expected: %s)" s
+                (String.concat ", " (List.map Libos.Env.kind_name Libos.Env.all))))
+  in
+  Arg.conv (parse, fun ppf k -> Format.pp_print_string ppf (Libos.Env.kind_name k))
+
+let env_arg =
+  Arg.(
+    value
+    & opt env_conv Libos.Env.Rakis_sgx
+    & info [ "env" ] ~docv:"ENV"
+        ~doc:
+          "Test environment: native, gramine-direct, gramine-sgx, \
+           rakis-direct or rakis-sgx.")
+
+let harness ?rakis_config ?nic_queues kind =
+  match Apps.Harness.make kind ?rakis_config ?nic_queues () with
+  | Ok h -> h
+  | Error e ->
+      Format.eprintf "boot failed: %s@." e;
+      exit 1
+
+let report h =
+  Format.printf "enclave exits: %d@." (Libos.Env.exits h.Apps.Harness.env);
+  match Libos.Env.runtime h.Apps.Harness.env with
+  | None -> ()
+  | Some rt ->
+      Format.printf
+        "rakis: ring-check failures %d, descriptor/CQE rejects %d, invariants %s@."
+        (Rakis.Runtime.total_ring_check_failures rt)
+        (Rakis.Runtime.total_desc_rejects rt)
+        (if Rakis.Runtime.invariant_holds rt then "held" else "BROKEN")
+
+let hello_cmd =
+  let run env =
+    let h = harness env in
+    Format.printf "%a@." Apps.Helloworld.pp_result (Apps.Helloworld.run h)
+  in
+  Cmd.v (Cmd.info "hello" ~doc:"HelloWorld baseline (Figure 2 floor)")
+    Term.(const run $ env_arg)
+
+let iperf_cmd =
+  let packets =
+    Arg.(value & opt int 12000 & info [ "packets" ] ~doc:"Datagrams to offer.")
+  in
+  let size =
+    Arg.(value & opt int 1460 & info [ "size" ] ~doc:"UDP payload bytes.")
+  in
+  let streams =
+    Arg.(value & opt int 4 & info [ "streams" ] ~doc:"Parallel client streams.")
+  in
+  let run env packets size streams =
+    let h = harness env in
+    let r = Apps.Iperf.run ~streams h ~packet_size:size ~packets in
+    Format.printf "%a@." Apps.Iperf.pp_result r;
+    report h
+  in
+  Cmd.v (Cmd.info "iperf" ~doc:"iperf3-style UDP throughput (Figure 4a)")
+    Term.(const run $ env_arg $ packets $ size $ streams)
+
+let memcached_cmd =
+  let threads =
+    Arg.(value & opt int 4 & info [ "threads" ] ~doc:"Server threads.")
+  in
+  let ops = Arg.(value & opt int 10000 & info [ "ops" ] ~doc:"Operations.") in
+  let run env threads ops =
+    let h =
+      harness
+        ~rakis_config:{ Rakis.Config.default with num_xsks = threads }
+        ~nic_queues:4 env
+    in
+    let r = Apps.Memcached.run h ~server_threads:threads ~ops in
+    Format.printf "%a@." Apps.Memcached.pp_result r;
+    report h
+  in
+  Cmd.v (Cmd.info "memcached" ~doc:"memcached over UDP (Figure 4c)")
+    Term.(const run $ env_arg $ threads $ ops)
+
+let curl_cmd =
+  let size =
+    Arg.(value & opt int 16 & info [ "size-mb" ] ~doc:"File size in MiB.")
+  in
+  let run env size =
+    let h = harness env in
+    let r = Apps.Curl.run h ~file_size:(size * 1024 * 1024) in
+    Format.printf "%a@." Apps.Curl.pp_result r;
+    report h
+  in
+  Cmd.v (Cmd.info "curl" ~doc:"curl QUIC-style download (Figure 4b)")
+    Term.(const run $ env_arg $ size)
+
+let redis_cmd =
+  let command_conv =
+    Arg.enum
+      [ ("ping", Apps.Redis.Ping); ("set", Apps.Redis.Set); ("get", Apps.Redis.Get) ]
+  in
+  let command =
+    Arg.(
+      value & opt command_conv Apps.Redis.Get & info [ "command" ] ~doc:"Command.")
+  in
+  let ops = Arg.(value & opt int 8000 & info [ "ops" ] ~doc:"Operations.") in
+  let conns =
+    Arg.(value & opt int 50 & info [ "connections" ] ~doc:"Client connections.")
+  in
+  let run env command ops conns =
+    let h = harness env in
+    let r = Apps.Redis.run ~connections:conns h ~command ~ops in
+    Format.printf "%a@." Apps.Redis.pp_result r;
+    report h
+  in
+  Cmd.v (Cmd.info "redis" ~doc:"redis over TCP via io_uring (Figure 5b)")
+    Term.(const run $ env_arg $ command $ ops $ conns)
+
+let fstime_cmd =
+  let block =
+    Arg.(value & opt int 4096 & info [ "block" ] ~doc:"Write block size.")
+  in
+  let blocks = Arg.(value & opt int 3000 & info [ "blocks" ] ~doc:"Blocks.") in
+  let read_mode = Arg.(value & flag & info [ "read" ] ~doc:"Read test.") in
+  let run env block blocks read_mode =
+    let h = harness env in
+    let mode = if read_mode then Apps.Fstime.Read else Apps.Fstime.Write in
+    let r = Apps.Fstime.run ~mode h ~block_size:block ~blocks in
+    Format.printf "%a@." Apps.Fstime.pp_result r;
+    report h
+  in
+  Cmd.v (Cmd.info "fstime" ~doc:"UnixBench fstime (Figure 5a)")
+    Term.(const run $ env_arg $ block $ blocks $ read_mode)
+
+let mcrypt_cmd =
+  let size =
+    Arg.(value & opt int 32 & info [ "size-mb" ] ~doc:"File size in MiB.")
+  in
+  let block =
+    Arg.(value & opt int 65536 & info [ "block" ] ~doc:"Read block size.")
+  in
+  let run env size block =
+    let h = harness env in
+    let r = Apps.Mcrypt.run h ~file_size:(size * 1024 * 1024) ~block_size:block in
+    Format.printf "%a@." Apps.Mcrypt.pp_result r;
+    report h
+  in
+  Cmd.v (Cmd.info "mcrypt" ~doc:"mcrypt file encryption (Figure 5c)")
+    Term.(const run $ env_arg $ size $ block)
+
+let verify_cmd =
+  let depth = Arg.(value & opt int 3 & info [ "depth" ] ~doc:"Schedule depth.") in
+  let run depth =
+    let r = Tm.Model_check.verify ~depth () in
+    Format.printf "%a@." Tm.Model_check.pp_report r;
+    if not (Tm.Model_check.passed r) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Testing Module: model-check the FastPath Module")
+    Term.(const run $ depth)
+
+let fuzz_cmd =
+  let n = Arg.(value & opt int 200000 & info [ "n" ] ~doc:"Executions.") in
+  let run n =
+    let r = Tm.Fuzz.run ~executions:n () in
+    Format.printf "%a@." Tm.Fuzz.pp_report r;
+    if not (Tm.Fuzz.passed r) then exit 1
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc:"Testing Module: fuzz the UDP/IP stack")
+    Term.(const run $ n)
+
+let () =
+  let info =
+    Cmd.info "rakis_run" ~version:"1.0"
+      ~doc:"Run the RAKIS reproduction's workloads and testing tools"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            hello_cmd;
+            iperf_cmd;
+            memcached_cmd;
+            curl_cmd;
+            redis_cmd;
+            fstime_cmd;
+            mcrypt_cmd;
+            verify_cmd;
+            fuzz_cmd;
+          ]))

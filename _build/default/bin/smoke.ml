@@ -1,0 +1,41 @@
+(* Quick end-to-end smoke run during development: every workload across
+   all five environments, at reduced scale. *)
+
+let each f =
+  List.iter
+    (fun kind ->
+      match Apps.Harness.make kind () with
+      | Error e ->
+          Format.printf "%s: boot error: %s@." (Libos.Env.kind_name kind) e
+      | Ok h -> f h)
+    Libos.Env.all
+
+let () =
+  let section name = Format.printf "@.== %s ==@." name in
+  section "helloworld";
+  each (fun h -> Format.printf "%a@." Apps.Helloworld.pp_result (Apps.Helloworld.run h));
+  section "iperf";
+  each (fun h ->
+      let r = Apps.Iperf.run h ~packet_size:1460 ~packets:5000 in
+      Format.printf "%a (exits=%d)@." Apps.Iperf.pp_result r
+        (Libos.Env.exits h.env));
+  section "memcached";
+  each (fun h ->
+      let r = Apps.Memcached.run h ~server_threads:2 ~ops:2000 in
+      Format.printf "%a@." Apps.Memcached.pp_result r);
+  section "curl";
+  each (fun h ->
+      let r = Apps.Curl.run h ~file_size:(4 * 1024 * 1024) in
+      Format.printf "%a@." Apps.Curl.pp_result r);
+  section "redis";
+  each (fun h ->
+      let r = Apps.Redis.run h ~command:Apps.Redis.Get ~ops:2000 in
+      Format.printf "%a@." Apps.Redis.pp_result r);
+  section "fstime";
+  each (fun h ->
+      let r = Apps.Fstime.run h ~block_size:4096 ~blocks:2000 in
+      Format.printf "%a@." Apps.Fstime.pp_result r);
+  section "mcrypt";
+  each (fun h ->
+      let r = Apps.Mcrypt.run h ~file_size:(8 * 1024 * 1024) ~block_size:65536 in
+      Format.printf "%a@." Apps.Mcrypt.pp_result r)

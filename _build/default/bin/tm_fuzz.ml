@@ -1,0 +1,21 @@
+(* Testing Module: fuzzing harness binary (paper §5.2's AFL++ harness,
+   with a built-in mutational fuzzer). *)
+
+let () =
+  let executions = ref 200_000 and seed = ref 0xF00D in
+  let spec =
+    [
+      ("-n", Arg.Set_int executions, "executions (default 200000)");
+      ("-seed", Arg.Set_int seed, "rng seed");
+    ]
+  in
+  Arg.parse spec (fun _ -> ()) "tm_fuzz [-n N] [-seed S]";
+  Format.printf "RAKIS Testing Module: UDP/IP stack fuzzing@.@.";
+  let report =
+    Tm.Fuzz.run ~seed:(Int64.of_int !seed) ~executions:!executions ()
+  in
+  Format.printf "%a@." Tm.Fuzz.pp_report report;
+  List.iter
+    (fun s -> Format.printf "crash input: %s@." s)
+    report.Tm.Fuzz.crash_samples;
+  if not (Tm.Fuzz.passed report) then exit 1

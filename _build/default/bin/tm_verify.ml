@@ -1,0 +1,17 @@
+(* Testing Module: model-checking binary (paper §5.1's verification
+   binary, with bounded-exhaustive search in place of KLEE). *)
+
+let () =
+  let depth = ref 3 and ring_size = ref 4 in
+  let spec =
+    [
+      ("-depth", Arg.Set_int depth, "schedule depth (default 3)");
+      ("-ring-size", Arg.Set_int ring_size, "ring slots (default 4)");
+    ]
+  in
+  Arg.parse spec (fun _ -> ()) "tm_verify [-depth N] [-ring-size N]";
+  Format.printf "RAKIS Testing Module: FM model check@.";
+  Format.printf "ring_size=%d depth=%d@.@." !ring_size !depth;
+  let report = Tm.Model_check.verify ~ring_size:!ring_size ~depth:!depth () in
+  Format.printf "%a@." Tm.Model_check.pp_report report;
+  if not (Tm.Model_check.passed report) then exit 1

@@ -1,0 +1,1 @@
+examples/file_pipeline.ml: Bytes Char Format Hostos Int64 Libos Result Sim

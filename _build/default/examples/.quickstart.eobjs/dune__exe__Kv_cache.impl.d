@@ -1,0 +1,1 @@
+examples/kv_cache.ml: Array Bytes Format Hashtbl Hostos Int64 Libos Packet Printf Result Sim String Sys

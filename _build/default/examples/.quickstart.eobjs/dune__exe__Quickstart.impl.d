@@ -1,0 +1,1 @@
+examples/quickstart.ml: Abi Bytes Format Hostos Libos Rakis Result Sgx Sim

@@ -1,0 +1,1 @@
+examples/udp_echo.ml: Array Bytes Format Hostos Int64 Libos Rakis Result Sgx Sim

@@ -1,0 +1,1 @@
+lib/abi/errno.ml: Format

@@ -1,0 +1,1 @@
+lib/abi/uring_abi.ml: Errno Format Int64 Mem Printf

@@ -1,0 +1,1 @@
+lib/abi/uring_abi.mli: Errno Format Mem

@@ -1,0 +1,1 @@
+lib/abi/xsk_desc.ml: Int64

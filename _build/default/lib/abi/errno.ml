@@ -1,0 +1,62 @@
+type t =
+  | EPERM
+  | ENOENT
+  | EBADF
+  | EAGAIN
+  | EINVAL
+  | ENOBUFS
+  | ENOTCONN
+  | ECONNREFUSED
+  | ECONNRESET
+  | EADDRINUSE
+  | EMSGSIZE
+  | ENOSYS
+  | EFAULT
+
+let to_int = function
+  | EPERM -> 1
+  | ENOENT -> 2
+  | EBADF -> 9
+  | EAGAIN -> 11
+  | EINVAL -> 22
+  | ENOBUFS -> 105
+  | ENOTCONN -> 107
+  | ECONNREFUSED -> 111
+  | ECONNRESET -> 104
+  | EADDRINUSE -> 98
+  | EMSGSIZE -> 90
+  | ENOSYS -> 38
+  | EFAULT -> 14
+
+let of_int = function
+  | 1 -> Some EPERM
+  | 2 -> Some ENOENT
+  | 9 -> Some EBADF
+  | 11 -> Some EAGAIN
+  | 22 -> Some EINVAL
+  | 105 -> Some ENOBUFS
+  | 107 -> Some ENOTCONN
+  | 111 -> Some ECONNREFUSED
+  | 104 -> Some ECONNRESET
+  | 98 -> Some EADDRINUSE
+  | 90 -> Some EMSGSIZE
+  | 38 -> Some ENOSYS
+  | 14 -> Some EFAULT
+  | _ -> None
+
+let to_string = function
+  | EPERM -> "EPERM"
+  | ENOENT -> "ENOENT"
+  | EBADF -> "EBADF"
+  | EAGAIN -> "EAGAIN"
+  | EINVAL -> "EINVAL"
+  | ENOBUFS -> "ENOBUFS"
+  | ENOTCONN -> "ENOTCONN"
+  | ECONNREFUSED -> "ECONNREFUSED"
+  | ECONNRESET -> "ECONNRESET"
+  | EADDRINUSE -> "EADDRINUSE"
+  | EMSGSIZE -> "EMSGSIZE"
+  | ENOSYS -> "ENOSYS"
+  | EFAULT -> "EFAULT"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,28 @@
+(** POSIX error codes used across the syscall surface.
+
+    CQE result fields carry [-errno] like the real io_uring ABI, so the
+    integer encoding matters. *)
+
+type t =
+  | EPERM
+  | ENOENT
+  | EBADF
+  | EAGAIN
+  | EINVAL
+  | ENOBUFS
+  | ENOTCONN
+  | ECONNREFUSED
+  | ECONNRESET
+  | EADDRINUSE
+  | EMSGSIZE
+  | ENOSYS
+  | EFAULT
+
+val to_int : t -> int
+(** The positive errno value (EPERM = 1, ...). *)
+
+val of_int : int -> t option
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

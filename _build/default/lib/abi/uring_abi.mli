@@ -1,0 +1,53 @@
+(** io_uring wire ABI: submission and completion queue entries.
+
+    The layout is a faithful subset of the Linux ABI: 64-byte SQEs and
+    16-byte CQEs living in shared (untrusted) memory, manipulated through
+    {!Mem.Region} accessors at ring-slot offsets.  RAKIS uses io_uring
+    for five syscalls (paper §4.2) — send/recv on TCP sockets, read,
+    write and poll; [Nop] exists for testing. *)
+
+type opcode = Nop | Read | Write | Send | Recv | Poll_add
+
+type sqe = {
+  opcode : opcode;
+  fd : int;
+  file_off : int64;  (** file offset for read/write; ignored otherwise *)
+  addr : int;  (** byte offset of the IO buffer in the shared region *)
+  len : int;
+  poll_events : int;  (** POLLIN/POLLOUT mask for [Poll_add] *)
+  user_data : int64;
+}
+
+type cqe = { user_data : int64; res : int }
+(** [res] is the syscall-style result: >= 0 on success, [-errno] on
+    failure. *)
+
+val sqe_size : int
+(** 64. *)
+
+val cqe_size : int
+(** 16. *)
+
+val pollin : int
+
+val pollout : int
+
+val opcode_to_int : opcode -> int
+
+val opcode_of_int : int -> opcode option
+
+val write_sqe : Mem.Region.t -> int -> sqe -> unit
+(** Serialize at a slot offset. *)
+
+val read_sqe : Mem.Region.t -> int -> (sqe, string) result
+(** Total over arbitrary bytes: an unknown opcode is an [Error], not an
+    exception — the kernel (and the FM) must survive garbage. *)
+
+val write_cqe : Mem.Region.t -> int -> cqe -> unit
+
+val read_cqe : Mem.Region.t -> int -> cqe
+
+val res_of_errno : Errno.t -> int
+(** [-errno]. *)
+
+val pp_opcode : Format.formatter -> opcode -> unit

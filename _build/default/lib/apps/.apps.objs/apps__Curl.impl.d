@@ -1,0 +1,1 @@
+lib/apps/curl.ml: Abi Bytes Format Harness Int64 Libos Packet Printf Sim String

@@ -1,0 +1,1 @@
+lib/apps/curl.mli: Format Harness Sim

@@ -1,0 +1,1 @@
+lib/apps/fstime.mli: Format Harness Sim

@@ -1,0 +1,1 @@
+lib/apps/harness.mli: Hostos Libos Rakis Sim

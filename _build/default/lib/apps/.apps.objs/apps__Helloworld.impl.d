@@ -1,0 +1,1 @@
+lib/apps/helloworld.ml: Abi Bytes Format Harness Libos Sim

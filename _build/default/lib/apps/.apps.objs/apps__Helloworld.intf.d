@@ -1,0 +1,1 @@
+lib/apps/helloworld.mli: Format Harness

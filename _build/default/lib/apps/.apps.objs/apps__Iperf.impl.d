@@ -1,0 +1,1 @@
+lib/apps/iperf.ml: Abi Bytes Format Harness Int64 Libos Packet Printf Sgx Sim

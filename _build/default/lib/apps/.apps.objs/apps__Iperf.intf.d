@@ -1,0 +1,1 @@
+lib/apps/iperf.mli: Format Harness Sim

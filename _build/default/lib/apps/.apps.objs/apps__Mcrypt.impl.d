@@ -1,0 +1,1 @@
+lib/apps/mcrypt.ml: Abi Bytes Format Harness Int64 Libos Option Sim

@@ -1,0 +1,1 @@
+lib/apps/mcrypt.mli: Bytes Format Harness Sim

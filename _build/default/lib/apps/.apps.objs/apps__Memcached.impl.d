@@ -1,0 +1,1 @@
+lib/apps/memcached.ml: Abi Array Bytes Format Harness Hashtbl Int64 Libos Packet Printf Sim String

@@ -1,0 +1,1 @@
+lib/apps/redis.ml: Abi Buffer Bytes Format Harness Hashtbl Int64 Libos List Packet Printf Sim String

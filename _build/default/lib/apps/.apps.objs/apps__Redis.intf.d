@@ -1,0 +1,1 @@
+lib/apps/redis.mli: Format Harness Sim

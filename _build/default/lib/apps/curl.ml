@@ -1,0 +1,167 @@
+type result = {
+  env : string;
+  file_size : int;
+  received_bytes : int;
+  duration : Sim.Engine.time;
+  seconds : float;
+  retransmits : int;
+}
+
+let port = 4433
+
+let chunk_payload = 1400
+
+let window = 64 (* datagrams in flight before requiring an ACK advance *)
+
+let ack_every = 16
+
+(* Wire format (all integers decimal ASCII, space separated):
+   client -> server:  "REQ <size>"        request a transfer
+                      "ACK <next_seq>"    cumulative acknowledgement
+   server -> client:  "DAT <seq> <payload...>" data datagram
+                      "END <count>"        transfer complete marker *)
+
+let header_of payload =
+  let s = Bytes.to_string payload in
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+(* The native file server: stream [n_chunks] datagrams with a go-back-N
+   window, retransmitting from the last cumulative ACK on timeout. *)
+let server api ~retransmits () =
+  let fd = api.Libos.Api.udp_socket () in
+  (match api.Libos.Api.bind fd (Packet.Addr.Ip.of_repr "10.0.0.2", port) with
+  | Ok () -> ()
+  | Error e -> failwith (Format.asprintf "curl server bind: %a" Abi.Errno.pp e));
+  let data_chunk seq =
+    let header = Printf.sprintf "DAT %d " seq in
+    let b = Bytes.make (String.length header + chunk_payload) 'x' in
+    Bytes.blit_string header 0 b 0 (String.length header);
+    b
+  in
+  let rec serve () =
+    match api.Libos.Api.recvfrom fd 65536 with
+    | Error _ -> ()
+    | Ok (payload, src) -> (
+        match header_of payload with
+        | "REQ", size_str ->
+            let size = int_of_string (String.trim size_str) in
+            let n_chunks = (size + chunk_payload - 1) / chunk_payload in
+            transfer src n_chunks;
+            serve ()
+        | _ -> serve ())
+  and transfer src n_chunks =
+    let acked = ref 0 in
+    let next = ref 0 in
+    let timeout = Sim.Cycles.of_us 500. in
+    let rec pump () =
+      if !acked >= n_chunks then begin
+        for _ = 1 to 4 do
+          ignore
+            (api.Libos.Api.sendto fd
+               (Bytes.of_string (Printf.sprintf "END %d" n_chunks))
+               src)
+        done
+      end
+      else if !next < n_chunks && !next - !acked < window then begin
+        ignore (api.Libos.Api.sendto fd (data_chunk !next) src);
+        incr next;
+        pump ()
+      end
+      else begin
+        (* Window full (or all sent): wait for an ACK to advance. *)
+        match api.Libos.Api.poll [ (fd, [ `In ]) ] ~timeout:(Some timeout) with
+        | Ok (_ :: _) -> (
+            match api.Libos.Api.recvfrom fd 64 with
+            | Ok (payload, _) -> (
+                match header_of payload with
+                | "ACK", n ->
+                    acked := max !acked (int_of_string (String.trim n));
+                    pump ()
+                | _ -> pump ())
+            | Error _ -> ())
+        | Ok [] ->
+            (* ACK timeout: go back to the last acknowledged chunk. *)
+            incr retransmits;
+            next := !acked;
+            pump ()
+        | Error _ -> ()
+      end
+    in
+    pump ()
+  in
+  serve ()
+
+let client api ~file_size ~received ~finish () =
+  let fd = api.Libos.Api.udp_socket () in
+  let dst = (Packet.Addr.Ip.of_repr "10.0.0.2", port) in
+  ignore
+    (api.Libos.Api.sendto fd
+       (Bytes.of_string (Printf.sprintf "REQ %d" file_size))
+       dst);
+  let next_expected = ref 0 in
+  let send_ack () =
+    ignore
+      (api.Libos.Api.sendto fd
+         (Bytes.of_string (Printf.sprintf "ACK %d" !next_expected))
+         dst)
+  in
+  let rec loop () =
+    match api.Libos.Api.recvfrom fd 65536 with
+    | Error _ -> ()
+    | Ok (payload, _) -> (
+        match header_of payload with
+        | "DAT", rest ->
+            let seq_end = String.index rest ' ' in
+            let seq = int_of_string (String.sub rest 0 seq_end) in
+            if seq = !next_expected then begin
+              incr next_expected;
+              received := !received + Bytes.length payload;
+              if !next_expected mod ack_every = 0 then send_ack ()
+            end
+            else
+              (* Out of order (gap) or duplicate (go-back-N resend of an
+                 already-delivered tail): re-ACK so the server's window
+                 advances instead of timing out forever. *)
+              send_ack ();
+            loop ()
+        | "END", _ ->
+            send_ack ();
+            finish ()
+        | _ -> loop ())
+  in
+  loop ()
+
+let run (h : Harness.t) ~file_size =
+  let received = ref 0 and retransmits = ref 0 in
+  let start = ref 0L and finish_time = ref 0L in
+  Sim.Engine.spawn h.engine ~name:"curl-server"
+    (server h.peer ~retransmits);
+  Sim.Engine.spawn h.engine ~name:"curl-client" (fun () ->
+      Sim.Engine.delay (Sim.Cycles.of_us 20.);
+      start := Sim.Engine.now h.engine;
+      client (Harness.api h) ~file_size ~received
+        ~finish:(fun () ->
+          finish_time := Sim.Engine.now h.engine;
+          Harness.stop h)
+        ());
+  Harness.run h ~until:(Sim.Cycles.of_sec 60.);
+  let duration =
+    if Int64.compare !finish_time !start > 0 then Int64.sub !finish_time !start
+    else 0L
+  in
+  {
+    env = (Harness.api h).Libos.Api.name;
+    file_size;
+    received_bytes = !received;
+    duration;
+    seconds = Sim.Cycles.to_sec duration;
+    retransmits = !retransmits;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf "%-14s size=%dMB time=%.3f s retx=%d" r.env
+    (r.file_size / (1024 * 1024))
+    r.seconds r.retransmits

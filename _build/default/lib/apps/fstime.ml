@@ -1,0 +1,82 @@
+type mode = Write | Read | Copy
+
+type result = {
+  env : string;
+  mode : mode;
+  block_size : int;
+  bytes : int;
+  duration : Sim.Engine.time;
+  mb_per_sec : float;
+}
+
+let bench api ~mode ~block_size ~blocks ~out () =
+  let path = "/tmp/fstime.dat" in
+  let block = Bytes.make block_size 'f' in
+  let open_file ?(p = path) ?(trunc = false) () =
+    match api.Libos.Api.openf ~create:true ~trunc p with
+    | Ok fd -> fd
+    | Error e -> failwith (Format.asprintf "fstime open: %a" Abi.Errno.pp e)
+  in
+  (* The read and copy tests need content to read back. *)
+  (if mode <> Write then begin
+     let fd = open_file ~trunc:true () in
+     for _ = 1 to blocks do
+       ignore (api.Libos.Api.write fd block 0 block_size)
+     done;
+     ignore (api.Libos.Api.close fd)
+   end);
+  let fd = open_file ~trunc:(mode = Write) () in
+  let start = Libos.Api.now api in
+  let total = ref 0 in
+  (match mode with
+  | Write ->
+      for _ = 1 to blocks do
+        match api.Libos.Api.write fd block 0 block_size with
+        | Ok n -> total := !total + n
+        | Error e -> failwith (Format.asprintf "fstime write: %a" Abi.Errno.pp e)
+      done
+  | Read ->
+      for _ = 1 to blocks do
+        match api.Libos.Api.read fd block 0 block_size with
+        | Ok n -> total := !total + n
+        | Error e -> failwith (Format.asprintf "fstime read: %a" Abi.Errno.pp e)
+      done
+  | Copy ->
+      let dst = open_file ~p:"/tmp/fstime.copy" ~trunc:true () in
+      for _ = 1 to blocks do
+        (match api.Libos.Api.read fd block 0 block_size with
+        | Ok n when n > 0 -> (
+            match api.Libos.Api.write dst block 0 n with
+            | Ok m -> total := !total + m
+            | Error e ->
+                failwith (Format.asprintf "fstime copy write: %a" Abi.Errno.pp e))
+        | Ok _ -> ()
+        | Error e -> failwith (Format.asprintf "fstime copy read: %a" Abi.Errno.pp e))
+      done;
+      ignore (api.Libos.Api.close dst));
+  ignore (api.Libos.Api.close fd);
+  out := Some (!total, Int64.sub (Libos.Api.now api) start)
+
+let run ?(mode = Write) (h : Harness.t) ~block_size ~blocks =
+  let out = ref None in
+  Sim.Engine.spawn h.engine ~name:"fstime" (fun () ->
+      bench (Harness.api h) ~mode ~block_size ~blocks ~out ();
+      Harness.stop h);
+  Harness.run h ~until:(Sim.Cycles.of_sec 60.);
+  let bytes, duration = Option.value !out ~default:(0, 0L) in
+  {
+    env = (Harness.api h).Libos.Api.name;
+    mode;
+    block_size;
+    bytes;
+    duration;
+    mb_per_sec =
+      (if Int64.compare duration 0L <= 0 then 0.
+       else
+         float_of_int bytes /. (1024. *. 1024.) /. Sim.Cycles.to_sec duration);
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf "%-14s %s block=%6dB throughput=%.1f MB/s" r.env
+    (match r.mode with Write -> "write" | Read -> "read " | Copy -> "copy ")
+    r.block_size r.mb_per_sec

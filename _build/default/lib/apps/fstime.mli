@@ -1,0 +1,20 @@
+(** fstime file-write benchmark (UnixBench; paper §6.2, Figure 5(a)).
+
+    Repeated sequential [write]s of a given block size into one file,
+    reporting throughput.  The [Read] and [Copy] (read one file, write
+    another) modes complete UnixBench's fstime triple. *)
+
+type mode = Write | Read | Copy
+
+type result = {
+  env : string;
+  mode : mode;
+  block_size : int;
+  bytes : int;
+  duration : Sim.Engine.time;
+  mb_per_sec : float;
+}
+
+val run : ?mode:mode -> Harness.t -> block_size:int -> blocks:int -> result
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,30 @@
+type result = { env : string; exits : int; output : string }
+
+let run (h : Harness.t) =
+  let output = ref "" in
+  Sim.Engine.spawn h.engine ~name:"helloworld" (fun () ->
+      let api = Harness.api h in
+      (match api.Libos.Api.openf ~create:true ~trunc:true "/tmp/hello.txt" with
+      | Error e -> failwith (Format.asprintf "hello open: %a" Abi.Errno.pp e)
+      | Ok fd ->
+          let msg = Bytes.of_string "Hello, world!\n" in
+          ignore (api.Libos.Api.write fd msg 0 (Bytes.length msg));
+          ignore (api.Libos.Api.close fd));
+      (match api.Libos.Api.openf ~create:false ~trunc:false "/tmp/hello.txt" with
+      | Error e -> failwith (Format.asprintf "hello reopen: %a" Abi.Errno.pp e)
+      | Ok fd ->
+          let buf = Bytes.create 64 in
+          (match api.Libos.Api.read fd buf 0 64 with
+          | Ok n -> output := Bytes.sub_string buf 0 n
+          | Error _ -> ());
+          ignore (api.Libos.Api.close fd));
+      Harness.stop h);
+  Harness.run h ~until:(Sim.Cycles.of_sec 1.);
+  {
+    env = (Harness.api h).Libos.Api.name;
+    exits = Libos.Env.exits h.env;
+    output = !output;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf "%-14s exits=%d output=%S" r.env r.exits r.output

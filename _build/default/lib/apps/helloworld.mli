@@ -1,0 +1,9 @@
+(** The HelloWorld baseline of Figure 2: the minimal enclave program
+    the paper uses to show the floor of enclave-exit counts.  It writes
+    a greeting to a file and reads it back — a handful of syscalls. *)
+
+type result = { env : string; exits : int; output : string }
+
+val run : Harness.t -> result
+
+val pp_result : Format.formatter -> result -> unit

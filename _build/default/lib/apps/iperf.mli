@@ -1,0 +1,26 @@
+(** iperf3-style UDP throughput benchmark (paper §6.1, Figure 4(a)).
+
+    The server runs in the environment under test; the client runs
+    natively (its own network namespace in the paper) and offers load at
+    up to the link rate.  Both use only the portable {!Libos.Api}
+    surface — the same code under all five environments. *)
+
+type result = {
+  env : string;
+  packet_size : int;
+  sent_packets : int;
+  received_packets : int;
+  received_bytes : int;
+  duration : Sim.Engine.time;  (** first-to-last datagram at the server *)
+  goodput_gbps : float;
+  loss : float;  (** fraction of offered datagrams not delivered *)
+}
+
+val port : int
+
+val run : ?streams:int -> Harness.t -> packet_size:int -> packets:int -> result
+(** Runs the full simulation; returns the server-side measurement.
+    [streams] parallel senders (default 4) model the paper's 25 Gbps
+    offered load, split evenly over [packets]. *)
+
+val pp_result : Format.formatter -> result -> unit

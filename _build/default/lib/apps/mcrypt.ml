@@ -1,0 +1,108 @@
+type result = {
+  env : string;
+  file_size : int;
+  block_size : int;
+  duration : Sim.Engine.time;
+  seconds : float;
+  checksum : int;
+}
+
+(* Rijndael in early-2000s mcrypt builds runs at roughly this rate. *)
+let cipher_cycles_per_byte = 16.
+
+(* A keystream XOR built from SplitMix64 — an involution given the same
+   key and block offsets, which the tests exploit. *)
+let encrypt_block ~key block =
+  let rng = Sim.Rng.create ~seed:key in
+  let len = Bytes.length block in
+  let i = ref 0 in
+  while !i + 8 <= len do
+    Bytes.set_int64_le block !i
+      (Int64.logxor (Bytes.get_int64_le block !i) (Sim.Rng.next_int64 rng));
+    i := !i + 8
+  done;
+  while !i < len do
+    Bytes.set_uint8 block !i
+      (Bytes.get_uint8 block !i lxor (Int64.to_int (Sim.Rng.next_int64 rng) land 0xff));
+    incr i
+  done
+
+let checksum_add acc block n =
+  let sum = ref acc in
+  for i = 0 to n - 1 do
+    sum := (!sum * 131) + Bytes.get_uint8 block i land 0x3FFFFFFF
+  done;
+  !sum
+
+let bench api ~file_size ~block_size ~out () =
+  let src = "/tmp/plain.dat" and dst = "/tmp/cipher.dat" in
+  (* Materialize the plaintext (not part of the measured window). *)
+  (match api.Libos.Api.openf ~create:true ~trunc:true src with
+  | Error e -> failwith (Format.asprintf "mcrypt create: %a" Abi.Errno.pp e)
+  | Ok fd ->
+      let block = Bytes.make (1 lsl 20) 'p' in
+      let rec fill remaining =
+        if remaining > 0 then begin
+          let n = min remaining (Bytes.length block) in
+          ignore (api.Libos.Api.write fd block 0 n);
+          fill (remaining - n)
+        end
+      in
+      fill file_size;
+      ignore (api.Libos.Api.close fd));
+  let in_fd =
+    match api.Libos.Api.openf ~create:false ~trunc:false src with
+    | Ok fd -> fd
+    | Error e -> failwith (Format.asprintf "mcrypt open: %a" Abi.Errno.pp e)
+  in
+  let out_fd =
+    match api.Libos.Api.openf ~create:true ~trunc:true dst with
+    | Ok fd -> fd
+    | Error e -> failwith (Format.asprintf "mcrypt open out: %a" Abi.Errno.pp e)
+  in
+  let start = Libos.Api.now api in
+  let block = Bytes.create block_size in
+  let checksum = ref 0 in
+  let key = ref 0x6b65795fL in
+  let rec pump () =
+    match api.Libos.Api.read in_fd block 0 block_size with
+    | Ok 0 -> ()
+    | Error e -> failwith (Format.asprintf "mcrypt read: %a" Abi.Errno.pp e)
+    | Ok n ->
+        (* The cipher cost is the dominant term (compute-bound run). *)
+        Libos.Api.delay api
+          (Int64.of_float (float_of_int n *. cipher_cycles_per_byte));
+        let chunk = if n = block_size then block else Bytes.sub block 0 n in
+        encrypt_block ~key:!key chunk;
+        key := Int64.add !key 1L;
+        checksum := checksum_add !checksum chunk n;
+        (match api.Libos.Api.write out_fd chunk 0 n with
+        | Ok _ -> ()
+        | Error e -> failwith (Format.asprintf "mcrypt write: %a" Abi.Errno.pp e));
+        if n = block_size then pump ()
+  in
+  pump ();
+  ignore (api.Libos.Api.close in_fd);
+  ignore (api.Libos.Api.close out_fd);
+  out := Some (Int64.sub (Libos.Api.now api) start, !checksum)
+
+let run (h : Harness.t) ~file_size ~block_size =
+  let out = ref None in
+  Sim.Engine.spawn h.engine ~name:"mcrypt" (fun () ->
+      bench (Harness.api h) ~file_size ~block_size ~out ();
+      Harness.stop h);
+  Harness.run h ~until:(Sim.Cycles.of_sec 120.);
+  let duration, checksum = Option.value !out ~default:(0L, 0) in
+  {
+    env = (Harness.api h).Libos.Api.name;
+    file_size;
+    block_size;
+    duration;
+    seconds = Sim.Cycles.to_sec duration;
+    checksum;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf "%-14s size=%dMB block=%6dB time=%.3f s" r.env
+    (r.file_size / (1024 * 1024))
+    r.block_size r.seconds

@@ -1,0 +1,32 @@
+(** Memcached-over-UDP benchmark (paper §6.1, Figure 4(c)).
+
+    A multi-threaded key-value cache server speaking a compact
+    memcached-like request/reply protocol over UDP, driven by a
+    memaslap-style closed-loop load generator: [client_threads] native
+    threads with [connections] total concurrent connections, a 9:1
+    GET/SET mix and 100-byte values (memaslap defaults).  The paper
+    varies the server thread count; RAKIS gives each XSK its own FM
+    thread, so the harness should be created with [num_xsks] matching
+    the server threads (the paper used four XSKs). *)
+
+type result = {
+  env : string;
+  server_threads : int;
+  completed_ops : int;
+  duration : Sim.Engine.time;
+  kops_per_sec : float;
+  timeouts : int;  (** client-side request retries *)
+}
+
+val port : int
+
+val run :
+  ?client_threads:int ->
+  ?connections:int ->
+  ?value_size:int ->
+  Harness.t ->
+  server_threads:int ->
+  ops:int ->
+  result
+
+val pp_result : Format.formatter -> result -> unit

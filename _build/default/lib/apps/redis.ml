@@ -1,0 +1,165 @@
+type command = Ping | Set | Get
+
+type result = {
+  env : string;
+  command : command;
+  completed_ops : int;
+  duration : Sim.Engine.time;
+  kops_per_sec : float;
+}
+
+let port = 6379
+
+let command_name = function Ping -> "PING" | Set -> "SET" | Get -> "GET"
+
+(* Per-command userspace work (dispatch, dict ops, object churn). *)
+let command_work_cycles = 2_000L
+
+(* Line protocol: requests "PING\n" | "SET key value\n" | "GET key\n";
+   replies "+PONG\n" | "+OK\n" | "$value\n" | "$-1\n". *)
+
+type conn_state = { fd : int; buf : Buffer.t }
+
+let process_line store line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "PING" ] -> "+PONG\n"
+  | [ "SET"; key; value ] ->
+      Hashtbl.replace store key value;
+      "+OK\n"
+  | [ "GET"; key ] -> (
+      match Hashtbl.find_opt store key with
+      | Some v -> "$" ^ v ^ "\n"
+      | None -> "$-1\n")
+  | _ -> "-ERR\n"
+
+let server api () =
+  let store = Hashtbl.create 1024 in
+  let listener = api.Libos.Api.tcp_socket () in
+  (match api.Libos.Api.bind listener (Packet.Addr.Ip.of_repr "10.0.0.1", port)
+   with
+  | Ok () -> ()
+  | Error e -> failwith (Format.asprintf "redis bind: %a" Abi.Errno.pp e));
+  (match api.Libos.Api.listen listener with
+  | Ok () -> ()
+  | Error e -> failwith (Format.asprintf "redis listen: %a" Abi.Errno.pp e));
+  let conns : (int, conn_state) Hashtbl.t = Hashtbl.create 64 in
+  let recv_buf = Bytes.create 4096 in
+  let handle_readable st =
+    match api.Libos.Api.recv st.fd recv_buf 0 (Bytes.length recv_buf) with
+    | Error _ | Ok 0 ->
+        ignore (api.Libos.Api.close st.fd);
+        Hashtbl.remove conns st.fd
+    | Ok n ->
+        Buffer.add_subbytes st.buf recv_buf 0 n;
+        let data = Buffer.contents st.buf in
+        Buffer.clear st.buf;
+        let parts = String.split_on_char '\n' data in
+        let rec consume = function
+          | [] -> ()
+          | [ leftover ] -> Buffer.add_string st.buf leftover
+          | line :: rest ->
+              Libos.Api.delay api command_work_cycles;
+              let reply = process_line store line in
+              ignore
+                (api.Libos.Api.send st.fd (Bytes.of_string reply) 0
+                   (String.length reply));
+              consume rest
+        in
+        consume parts
+  in
+  let rec event_loop () =
+    let specs =
+      (listener, [ `In ])
+      :: Hashtbl.fold (fun fd _ acc -> (fd, [ `In ]) :: acc) conns []
+    in
+    match api.Libos.Api.poll specs ~timeout:None with
+    | Error _ -> ()
+    | Ok ready ->
+        List.iter
+          (fun (fd, _) ->
+            if fd = listener then begin
+              match api.Libos.Api.accept listener with
+              | Ok cfd -> Hashtbl.replace conns cfd { fd = cfd; buf = Buffer.create 64 }
+              | Error _ -> ()
+            end
+            else
+              match Hashtbl.find_opt conns fd with
+              | Some st -> handle_readable st
+              | None -> ())
+          ready;
+        event_loop ()
+  in
+  event_loop ()
+
+(* One redis-benchmark connection: closed loop, no pipelining. *)
+let connection api ~command ~rng ~completed ~ops ~on_done () =
+  let fd = api.Libos.Api.tcp_socket () in
+  (match api.Libos.Api.connect fd (Packet.Addr.Ip.of_repr "10.0.0.1", port) with
+  | Ok () -> ()
+  | Error e -> failwith (Format.asprintf "redis connect: %a" Abi.Errno.pp e));
+  let buf = Bytes.create 4096 in
+  let request () =
+    match command with
+    | Ping -> "PING\n"
+    | Set -> Printf.sprintf "SET key-%04d %s\n" (Sim.Rng.int rng 1000) "valuevalue"
+    | Get -> Printf.sprintf "GET key-%04d\n" (Sim.Rng.int rng 1000)
+  in
+  (* Wait until a full reply line arrives. *)
+  let rec read_reply () =
+    match api.Libos.Api.recv fd buf 0 (Bytes.length buf) with
+    | Error _ | Ok 0 -> false
+    | Ok n -> if Bytes.index_opt (Bytes.sub buf 0 n) '\n' <> None then true else read_reply ()
+  in
+  let rec loop () =
+    if !completed < ops then begin
+      let req = request () in
+      match api.Libos.Api.send fd (Bytes.of_string req) 0 (String.length req) with
+      | Error _ -> on_done ()
+      | Ok _ ->
+          if read_reply () then begin
+            incr completed;
+            loop ()
+          end
+          else on_done ()
+    end
+    else on_done ()
+  in
+  loop ()
+
+let run ?(connections = 50) (h : Harness.t) ~command ~ops =
+  let completed = ref 0 in
+  let start = ref 0L in
+  let stopped = ref false in
+  let on_done () =
+    if (not !stopped) && !completed >= ops then begin
+      stopped := true;
+      Harness.stop h
+    end
+  in
+  Sim.Engine.spawn h.engine ~name:"redis-server" (server (Harness.api h));
+  Sim.Engine.spawn h.engine ~name:"redis-benchmark" (fun () ->
+      Sim.Engine.delay (Sim.Cycles.of_us 50.);
+      start := Sim.Engine.now h.engine;
+      for c = 1 to connections - 1 do
+        let rng = Sim.Rng.create ~seed:(Int64.of_int (0xbeef + c)) in
+        h.peer.Libos.Api.spawn
+          ~name:(Printf.sprintf "redis-conn%d" c)
+          (fun api -> connection api ~command ~rng ~completed ~ops ~on_done ())
+      done;
+      let rng = Sim.Rng.create ~seed:0xbeefL in
+      connection h.peer ~command ~rng ~completed ~ops ~on_done ());
+  Harness.run h ~until:(Sim.Cycles.of_sec 60.);
+  let duration = Int64.sub (Sim.Engine.now h.engine) !start in
+  {
+    env = (Harness.api h).Libos.Api.name;
+    command;
+    completed_ops = !completed;
+    duration;
+    kops_per_sec =
+      (if Int64.compare duration 0L <= 0 then 0.
+       else float_of_int !completed /. Sim.Cycles.to_sec duration /. 1e3);
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf "%-14s cmd=%-4s ops=%d throughput=%.1f kops/s" r.env
+    (command_name r.command) r.completed_ops r.kops_per_sec

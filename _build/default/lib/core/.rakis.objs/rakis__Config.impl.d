@@ -1,0 +1,1 @@
+lib/core/config.ml: Netstack Packet Sgx

@@ -1,0 +1,1 @@
+lib/core/iouring_fm.ml: Abi Config Format Hashtbl Hostos Int64 List Mem Result Rings Sgx Sim

@@ -1,0 +1,1 @@
+lib/core/iouring_fm.mli: Abi Bytes Config Format Hostos Mem Rings Sgx Sim

@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Hostos List Rings Sim

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Abi Array Config Format Hashtbl Hostos Iouring_fm List Mem Monitor Netstack Option Packet Rings Sgx Syncproxy Xsk_fm

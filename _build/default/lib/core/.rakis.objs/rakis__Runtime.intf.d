@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Abi Bytes Config Hostos Monitor Netstack Packet Sgx Sim Syncproxy Xsk_fm

@@ -1,0 +1,1 @@
+lib/core/syncproxy.ml: Iouring_fm

@@ -1,0 +1,1 @@
+lib/core/syncproxy.mli: Abi Bytes Iouring_fm Sim

@@ -1,0 +1,1 @@
+lib/core/tunnel.ml: Bytes Format Int64 Sim

@@ -1,0 +1,1 @@
+lib/core/umem.ml: Array Format Printf Queue

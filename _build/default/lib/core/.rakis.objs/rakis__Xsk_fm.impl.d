@@ -1,0 +1,1 @@
+lib/core/xsk_fm.ml: Abi Bytes Config Format Hostos List Mem Netstack Result Rings Sgx Sim String Umem

@@ -1,0 +1,1 @@
+lib/core/xsk_fm.mli: Bytes Config Format Hostos Netstack Rings Sgx Umem

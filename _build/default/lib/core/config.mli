@@ -1,0 +1,32 @@
+(** RAKIS runtime configuration.
+
+    The paper's deployment story (§7): the user supplies only essential
+    networking parameters — MAC address, IP address and NIC queue ids
+    for the XSKs — plus memory sizing.  Values here are copied into
+    trusted memory at startup and treated as the ground truth against
+    which all host-provided values are checked (e.g. ring masks are
+    derived from [ring_size], never read from the host). *)
+
+type t = {
+  ip : Packet.Addr.Ip.t;  (** the enclave's IP (defaults to iface 0's) *)
+  mac : Packet.Addr.Mac.t;  (** the enclave's MAC *)
+  num_xsks : int;  (** one FM thread per XSK (paper §4.1 QoS) *)
+  ring_size : int;  (** entries per XSK ring (power of two) *)
+  umem_size : int;  (** bytes of UMem per XSK *)
+  frame_size : int;  (** bytes per UMem frame *)
+  uring_entries : int;  (** iSub entries per per-thread io_uring *)
+  max_io_size : int;  (** bounce-buffer bytes per io_uring FM *)
+  locking : Netstack.Stack.locking;  (** UDP/IP stack lock discipline *)
+  use_sqpoll : bool;
+      (** [IORING_SETUP_SQPOLL] (paper §4.3): a kernel thread polls iSub
+          itself, so submissions need no [io_uring_enter] from the MM at
+          all — trading a busy kernel thread for the last wakeup
+          syscalls.  Default false (the paper's MM-driven design). *)
+}
+
+val default : t
+(** The paper's evaluation setup: 1 XSK, 2 K rings, 16 MiB UMem, 2 KiB
+    frames, fine-grained stack locking. *)
+
+val validate : t -> (unit, string) result
+(** Sanity rules: power-of-two rings, frame divides UMem, etc. *)

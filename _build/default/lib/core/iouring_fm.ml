@@ -1,0 +1,348 @@
+type init_error =
+  | Bad_fd of int
+  | Pointer_in_trusted of string
+  | Overlapping of string
+  | Bad_layout of string
+
+(* An operation in flight: CQEs are validated against this record
+   (Table 2: "return code is expected for the requested operation"). *)
+type pending = {
+  user_data : int64;
+  expected_max : int;
+  mutable outcome : (int, Abi.Errno.t) result option;
+}
+
+type t = {
+  enclave : Sgx.Enclave.t;
+  sq : Rings.Certified.t;
+  cq : Rings.Certified.t;
+  bounce : Mem.Ptr.t;
+  bounce_size : int;
+  cq_notify : Sim.Condition.t;
+  mutable kick : unit -> unit;
+  mutable next_user_data : int64;
+  pending : (int64, pending) Hashtbl.t;
+  probes : (int, pending) Hashtbl.t; (* outstanding Poll_add per fd *)
+  mutable cqe_rejects : int;
+}
+
+let pp_init_error ppf = function
+  | Bad_fd fd -> Format.fprintf ppf "negative io_uring fd %d" fd
+  | Pointer_in_trusted what ->
+      Format.fprintf ppf "%s points into trusted memory" what
+  | Overlapping what -> Format.fprintf ppf "overlapping objects: %s" what
+  | Bad_layout what -> Format.fprintf ppf "invalid layout: %s" what
+
+let certify_layout name ~entry_size ~size (host : Rings.Layout.t) =
+  if Mem.Region.is_trusted host.region then Error (Pointer_in_trusted name)
+  else
+    match
+      Rings.Layout.make host.region ~prod_off:host.prod_off
+        ~cons_off:host.cons_off ~desc_off:host.desc_off ~entry_size ~size
+    with
+    | layout -> Ok layout
+    | exception Invalid_argument msg -> Error (Bad_layout (name ^ ": " ^ msg))
+
+let layout_objects name (l : Rings.Layout.t) =
+  [
+    (Mem.Ptr.v l.region l.prod_off, 4);
+    (Mem.Ptr.v l.region l.cons_off, 4);
+    (Mem.Ptr.v l.region l.desc_off, l.entry_size * l.size);
+  ]
+  |> List.map (fun (p, len) -> (name, p, len))
+
+let ( let* ) = Result.bind
+
+let create ~enclave ~config ~fd ~uring ~bounce =
+  if fd < 0 then Error (Bad_fd fd)
+  else
+    let entries = config.Config.uring_entries in
+    let* sq =
+      certify_layout "iSub" ~entry_size:Abi.Uring_abi.sqe_size ~size:entries
+        (Hostos.Io_uring.sq_layout uring)
+    in
+    let* cq =
+      certify_layout "iCompl" ~entry_size:Abi.Uring_abi.cqe_size
+        ~size:(2 * entries)
+        (Hostos.Io_uring.cq_layout uring)
+    in
+    let* () =
+      if not (Mem.Ptr.is_untrusted bounce) then
+        Error (Pointer_in_trusted "bounce buffer")
+      else if not (Mem.Ptr.valid bounce ~len:config.Config.max_io_size) then
+        Error (Bad_layout "bounce buffer does not fit its region")
+      else Ok ()
+    in
+    let objects =
+      (("bounce", bounce, config.Config.max_io_size) :: layout_objects "iSub" sq)
+      @ layout_objects "iCompl" cq
+    in
+    let* () =
+      if Mem.Ptr.all_disjoint (List.map (fun (_, p, l) -> (p, l)) objects) then
+        Ok ()
+      else Error (Overlapping "iSub, iCompl, bounce")
+    in
+    Ok
+      {
+        enclave;
+        sq = Rings.Certified.create sq ~role:Rings.Certified.Producer ();
+        cq = Rings.Certified.create cq ~role:Rings.Certified.Consumer ();
+        bounce;
+        bounce_size = config.Config.max_io_size;
+        cq_notify = Hostos.Io_uring.cq_notify uring;
+        kick = (fun () -> ());
+        next_user_data = 1L;
+        pending = Hashtbl.create 8;
+        probes = Hashtbl.create 8;
+        cqe_rejects = 0;
+      }
+
+let set_kick t f = t.kick <- f
+
+let sq_ring t = t.sq
+
+let cq_ring t = t.cq
+
+let cqe_rejects t = t.cqe_rejects
+
+let ring_check_failures t =
+  Rings.Certified.failures t.sq + Rings.Certified.failures t.cq
+
+let invariant_holds t =
+  Rings.Certified.invariant_holds t.sq && Rings.Certified.invariant_holds t.cq
+
+(* Validate one CQE against its pending record. *)
+let settle t (p : pending) (cqe : Abi.Uring_abi.cqe) =
+  let outcome =
+    if cqe.res > p.expected_max then begin
+      t.cqe_rejects <- t.cqe_rejects + 1;
+      Error Abi.Errno.EPERM
+    end
+    else if cqe.res < 0 then
+      match Abi.Errno.of_int (-cqe.res) with
+      | Some e -> Error e
+      | None ->
+          t.cqe_rejects <- t.cqe_rejects + 1;
+          Error Abi.Errno.EPERM
+    else Ok cqe.res
+  in
+  p.outcome <- Some outcome
+
+type reap = Reaped | Stray | Empty
+
+(* Drain one CQE if available. *)
+let reap_once t =
+  match
+    Rings.Certified.consume t.cq ~read:(fun ~slot_off ->
+        Abi.Uring_abi.read_cqe (Rings.Certified.region t.cq) slot_off)
+  with
+  | Error `Ring_empty -> Empty
+  | Ok cqe -> (
+      match Hashtbl.find_opt t.pending cqe.user_data with
+      | Some p ->
+          Hashtbl.remove t.pending cqe.user_data;
+          settle t p cqe;
+          Reaped
+      | None ->
+          (* No such request: a forged or replayed completion. *)
+          t.cqe_rejects <- t.cqe_rejects + 1;
+          Stray)
+
+let submit t (sqe : Abi.Uring_abi.sqe) ~expected_max =
+  let user_data = t.next_user_data in
+  t.next_user_data <- Int64.add t.next_user_data 1L;
+  let sqe = { sqe with user_data } in
+  match
+    Rings.Certified.produce t.sq ~write:(fun ~slot_off ->
+        Abi.Uring_abi.write_sqe (Rings.Certified.region t.sq) slot_off sqe)
+  with
+  | Error `Ring_full ->
+      (* Plausible only when the host freezes/corrupts the consumer
+         index: the per-thread FM never has this many ops in flight. *)
+      Error Abi.Errno.EAGAIN
+  | Ok () ->
+      let p = { user_data; expected_max; outcome = None } in
+      Hashtbl.add t.pending user_data p;
+      Rings.Certified.publish t.sq;
+      t.kick ();
+      Ok p
+
+let rec await t (p : pending) =
+  match p.outcome with
+  | Some r -> r
+  | None -> (
+      match reap_once t with
+      | Reaped -> await t p
+      | Stray ->
+          (* The completion slot for this synchronous request carried a
+             forged identity: fail the request with EPERM (Table 2) and
+             forget it — a late genuine CQE will be counted as stray. *)
+          Hashtbl.remove t.pending p.user_data;
+          Error Abi.Errno.EPERM
+      | Empty ->
+          Sim.Condition.wait t.cq_notify;
+          await t p)
+
+let submit_wait t sqe ~expected_max =
+  match submit t sqe ~expected_max with
+  | Error e -> Error e
+  | Ok p ->
+      (* The synchronous caller hands off to the kernel worker and pays
+         the handoff latency (paper §6.2). *)
+      Sgx.Enclave.charge t.enclave Sgx.Params.iouring_sync_wait_cycles;
+      await t p
+
+let base_sqe opcode ~fd =
+  {
+    Abi.Uring_abi.opcode;
+    fd;
+    file_off = 0L;
+    addr = 0;
+    len = 0;
+    poll_events = 0;
+    user_data = 0L;
+  }
+
+(* Chunked data transfer through the bounce buffer. *)
+let chunked t ~make_sqe ~stage ~unstage ~pos ~len =
+  let rec go done_ =
+    if done_ >= len then Ok done_
+    else begin
+      let chunk = min t.bounce_size (len - done_) in
+      stage ~pos:(pos + done_) ~chunk;
+      match submit_wait t (make_sqe ~done_ ~chunk) ~expected_max:chunk with
+      | Error e -> if done_ > 0 then Ok done_ else Error e
+      | Ok n ->
+          unstage ~pos:(pos + done_) ~n;
+          if n < chunk then Ok (done_ + n) else go (done_ + n)
+    end
+  in
+  go 0
+
+let stage_out t buf ~pos ~chunk =
+  Sgx.Enclave.charge_copy t.enclave ~crossing:true chunk;
+  Mem.Region.blit_from_bytes buf pos t.bounce.Mem.Ptr.region
+    t.bounce.Mem.Ptr.off chunk
+
+let unstage_in t buf ~pos ~n =
+  if n > 0 then begin
+    Sgx.Enclave.charge_copy t.enclave ~crossing:true n;
+    Mem.Region.blit_to_bytes t.bounce.Mem.Ptr.region t.bounce.Mem.Ptr.off buf
+      pos n
+  end
+
+let no_stage ~pos:_ ~chunk:_ = ()
+
+let no_unstage ~pos:_ ~n:_ = ()
+
+let read t ~fd ~off ~buf ~pos ~len =
+  chunked t
+    ~make_sqe:(fun ~done_ ~chunk ->
+      {
+        (base_sqe Abi.Uring_abi.Read ~fd) with
+        file_off = Int64.of_int (off + done_);
+        addr = t.bounce.Mem.Ptr.off;
+        len = chunk;
+      })
+    ~stage:no_stage
+    ~unstage:(unstage_in t buf)
+    ~pos ~len
+
+let write t ~fd ~off ~buf ~pos ~len =
+  chunked t
+    ~make_sqe:(fun ~done_ ~chunk ->
+      {
+        (base_sqe Abi.Uring_abi.Write ~fd) with
+        file_off = Int64.of_int (off + done_);
+        addr = t.bounce.Mem.Ptr.off;
+        len = chunk;
+      })
+    ~stage:(stage_out t buf) ~unstage:no_unstage ~pos ~len
+
+let send t ~fd ~buf ~pos ~len =
+  chunked t
+    ~make_sqe:(fun ~done_:_ ~chunk ->
+      {
+        (base_sqe Abi.Uring_abi.Send ~fd) with
+        addr = t.bounce.Mem.Ptr.off;
+        len = chunk;
+      })
+    ~stage:(stage_out t buf) ~unstage:no_unstage ~pos ~len
+
+let recv t ~fd ~buf ~pos ~len =
+  (* A recv returns as soon as any bytes are available: do not chunk. *)
+  let chunk = min len t.bounce_size in
+  match
+    submit_wait t
+      {
+        (base_sqe Abi.Uring_abi.Recv ~fd) with
+        addr = t.bounce.Mem.Ptr.off;
+        len = chunk;
+      }
+      ~expected_max:chunk
+  with
+  | Error e -> Error e
+  | Ok n ->
+      unstage_in t buf ~pos ~n;
+      Ok n
+
+let poll t ~fd ~events =
+  submit_wait t
+    { (base_sqe Abi.Uring_abi.Poll_add ~fd) with poll_events = events }
+    ~expected_max:(Abi.Uring_abi.pollin lor Abi.Uring_abi.pollout)
+
+let nop t = submit_wait t (base_sqe Abi.Uring_abi.Nop ~fd:(-1)) ~expected_max:0
+
+(* Multi-fd poll (the API submodule's io_uring side, paper §4.2): keep
+   one outstanding Poll_add per fd, reusing probes across calls, and
+   return the first fd whose probe completed. *)
+let poll_multi t specs ~timeout =
+  List.iter
+    (fun (fd, events) ->
+      if not (Hashtbl.mem t.probes fd) then
+        match
+          submit t
+            { (base_sqe Abi.Uring_abi.Poll_add ~fd) with poll_events = events }
+            ~expected_max:(Abi.Uring_abi.pollin lor Abi.Uring_abi.pollout)
+        with
+        | Ok p -> Hashtbl.add t.probes fd p
+        | Error _ -> ())
+    specs;
+  let timer_fired = ref false in
+  (match timeout with
+  | None -> ()
+  | Some d ->
+      let engine = Sgx.Enclave.engine t.enclave in
+      Sim.Engine.at engine
+        (Int64.add (Sim.Engine.now engine) d)
+        (fun () ->
+          timer_fired := true;
+          Sim.Condition.broadcast t.cq_notify));
+  let completed () =
+    List.find_map
+      (fun (fd, _) ->
+        match Hashtbl.find_opt t.probes fd with
+        | Some p -> (
+            match p.outcome with
+            | Some outcome -> Some (fd, outcome)
+            | None -> None)
+        | None -> None)
+      specs
+  in
+  let rec wait () =
+    match completed () with
+    | Some (fd, outcome) -> (
+        Hashtbl.remove t.probes fd;
+        match outcome with
+        | Ok mask -> Ok (Some (fd, mask))
+        | Error e -> Error e)
+    | None -> (
+        if !timer_fired then Ok None
+        else
+          match reap_once t with
+          | Reaped | Stray -> wait ()
+          | Empty ->
+              Sim.Condition.wait t.cq_notify;
+              wait ())
+  in
+  wait ()

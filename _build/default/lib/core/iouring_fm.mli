@@ -1,0 +1,80 @@
+(** io_uring FastPath Module (paper §4.1).
+
+    One FM per user thread (the paper runs the io_uring FM in the same
+    thread as the IO requester, avoiding contention).  It owns a
+    certified iSub producer and iCompl consumer plus a bounce buffer in
+    untrusted memory: user data is staged through the bounce buffer so
+    the kernel never sees (or names) enclave addresses — closing the
+    liburing-style exfiltration channel of Appendix A.
+
+    Completion validation (Table 2): a CQE whose [user_data] does not
+    match the single in-flight request, or whose result is outside the
+    expected range for the operation (e.g. more bytes than requested),
+    is refused and surfaces to the caller as [EPERM]. *)
+
+type init_error =
+  | Bad_fd of int
+  | Pointer_in_trusted of string
+  | Overlapping of string
+  | Bad_layout of string
+
+type t
+
+val create :
+  enclave:Sgx.Enclave.t ->
+  config:Config.t ->
+  fd:int ->
+  uring:Hostos.Io_uring.t ->
+  bounce:Mem.Ptr.t ->
+  (t, init_error) result
+(** [bounce] is the FM's staging buffer of [config.max_io_size] bytes in
+    untrusted memory (allocated by the runtime, validated here). *)
+
+val set_kick : t -> (unit -> unit) -> unit
+
+val read :
+  t -> fd:int -> off:int -> buf:Bytes.t -> pos:int -> len:int ->
+  (int, Abi.Errno.t) result
+(** File read at absolute offset [off] into trusted [buf]; chunked
+    through the bounce buffer when larger than it. *)
+
+val write :
+  t -> fd:int -> off:int -> buf:Bytes.t -> pos:int -> len:int ->
+  (int, Abi.Errno.t) result
+
+val send :
+  t -> fd:int -> buf:Bytes.t -> pos:int -> len:int -> (int, Abi.Errno.t) result
+
+val recv :
+  t -> fd:int -> buf:Bytes.t -> pos:int -> len:int -> (int, Abi.Errno.t) result
+
+val poll : t -> fd:int -> events:int -> (int, Abi.Errno.t) result
+(** Returns the ready-events mask. *)
+
+val nop : t -> (int, Abi.Errno.t) result
+
+(** {1 Introspection} *)
+
+val sq_ring : t -> Rings.Certified.t
+
+val cq_ring : t -> Rings.Certified.t
+
+val ring_check_failures : t -> int
+
+val cqe_rejects : t -> int
+(** CQEs refused for wrong user_data or out-of-range result. *)
+
+val invariant_holds : t -> bool
+
+val pp_init_error : Format.formatter -> init_error -> unit
+
+val poll_multi :
+  t ->
+  (int * int) list ->
+  timeout:Sim.Engine.time option ->
+  ((int * int) option, Abi.Errno.t) result
+(** [poll_multi t [(fd, events); ...] ~timeout] maintains one
+    outstanding [Poll_add] per fd (reused across calls, like a
+    level-triggered readiness cache) and blocks until one completes or
+    the timeout passes.  Returns [Some (fd, revents)] or [None] on
+    timeout. *)

@@ -1,0 +1,100 @@
+type watched =
+  | Xsk of {
+      xsk : Hostos.Xdp.xsk;
+      fill : Rings.Layout.t;
+      tx : Rings.Layout.t;
+      mutable fill_seen : int;
+      mutable tx_seen : int;
+    }
+  | Uring of {
+      uring : Hostos.Io_uring.t;
+      sq : Rings.Layout.t;
+      mutable sq_seen : int;
+    }
+
+type t = {
+  engine : Sim.Engine.t;
+  kernel : Hostos.Kernel.t;
+  work : Sim.Condition.t;
+  mutable watched : watched list;
+  mutable pending : bool;
+  mutable wakeups : int;
+}
+
+let create engine ~kernel =
+  {
+    engine;
+    kernel;
+    work = Sim.Condition.create ();
+    watched = [];
+    pending = false;
+    wakeups = 0;
+  }
+
+let watch_xsk t xsk =
+  t.watched <-
+    Xsk
+      {
+        xsk;
+        fill = Hostos.Xdp.fill_layout xsk;
+        tx = Hostos.Xdp.tx_layout xsk;
+        fill_seen = 0;
+        tx_seen = 0;
+      }
+    :: t.watched
+
+let watch_uring t uring =
+  t.watched <-
+    Uring { uring; sq = Hostos.Io_uring.sq_layout uring; sq_seen = 0 }
+    :: t.watched
+
+(* [pending] survives kicks that arrive while the MM is mid-scan (the
+   condition would otherwise drop them). *)
+let kick t =
+  t.pending <- true;
+  Sim.Condition.signal t.work
+
+let wakeup_syscalls t = t.wakeups
+
+let advanced ~seen ~now = Rings.U32.distance ~ahead:now ~behind:seen > 0
+
+let scan t =
+  List.iter
+    (fun w ->
+      match w with
+      | Xsk r ->
+          let fill_now = Rings.Layout.read_prod r.fill in
+          if advanced ~seen:r.fill_seen ~now:fill_now then begin
+            r.fill_seen <- fill_now;
+            t.wakeups <- t.wakeups + 1;
+            Hostos.Kernel.xsk_rx_wakeup t.kernel r.xsk
+          end;
+          let tx_now = Rings.Layout.read_prod r.tx in
+          if advanced ~seen:r.tx_seen ~now:tx_now then begin
+            r.tx_seen <- tx_now;
+            t.wakeups <- t.wakeups + 1;
+            Hostos.Kernel.xsk_tx_wakeup t.kernel r.xsk
+          end
+      | Uring r ->
+          let sq_now = Rings.Layout.read_prod r.sq in
+          if advanced ~seen:r.sq_seen ~now:sq_now then begin
+            r.sq_seen <- sq_now;
+            t.wakeups <- t.wakeups + 1;
+            Hostos.Kernel.uring_enter t.kernel r.uring
+          end)
+    t.watched
+
+let start t =
+  Sim.Engine.spawn t.engine ~name:"rakis-mm" (fun () ->
+      let rec loop () =
+        if t.pending then begin
+          t.pending <- false;
+          scan t;
+          loop ()
+        end
+        else begin
+          Sim.Condition.wait t.work;
+          loop ()
+        end
+      in
+      loop ())

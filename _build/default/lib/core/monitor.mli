@@ -1,0 +1,35 @@
+(** Monitor Module (paper §4.3).
+
+    One dedicated thread running entirely {e outside} the enclave.  It
+    observes the shared producer indices of every ring where RAKIS is
+    the producer — xFill and xTX of each XSK, iSub of each io_uring —
+    and, when one advances, issues the matching non-blocking wakeup
+    syscall ([recvfrom], [sendto], [io_uring_enter]) on the enclave's
+    behalf.  Because the MM is outside the enclave, its syscalls cost
+    only {!Sgx.Params.syscall_cycles}; no enclave exits are incurred.
+
+    The MM is untrusted: it reads only untrusted memory and can affect
+    availability but never integrity (paper §5 excludes it from the
+    security analysis on those grounds).
+
+    FMs call {!kick} after publishing; this stands in for the MM's
+    busy-poll noticing the change within one {!Sgx.Params.mm_poll_period}
+    (simulating every poll iteration individually would swamp the event
+    queue without changing any figure). *)
+
+type t
+
+val create : Sim.Engine.t -> kernel:Hostos.Kernel.t -> t
+
+val watch_xsk : t -> Hostos.Xdp.xsk -> unit
+
+val watch_uring : t -> Hostos.Io_uring.t -> unit
+
+val kick : t -> unit
+(** Signal the MM that some watched producer index may have advanced. *)
+
+val start : t -> unit
+(** Spawn the MM thread. *)
+
+val wakeup_syscalls : t -> int
+(** Wakeup syscalls issued so far (all kinds). *)

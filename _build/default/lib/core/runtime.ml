@@ -1,0 +1,252 @@
+type t = {
+  enclave : Sgx.Enclave.t;
+  kernel : Hostos.Kernel.t;
+  config : Config.t;
+  stack : Netstack.Stack.t;
+  monitor : Monitor.t;
+  xsk_fms : Xsk_fm.t array;
+  shared_alloc : Mem.Alloc.t;
+  owned_ports : (int, unit) Hashtbl.t;
+  mutable threads : thread list;
+  mutable tx_counter : int;
+}
+
+and udp_sock = { mutable bound : Netstack.Udp_socket.t option }
+
+and thread = { runtime : t; proxy : Syncproxy.t }
+
+let enclave t = t.enclave
+
+let kernel t = t.kernel
+
+let stack t = t.stack
+
+let monitor t = t.monitor
+
+let config t = t.config
+
+let xsk_fms t = t.xsk_fms
+
+let owns_port t port = Hashtbl.mem t.owned_ports port
+
+let tx_round_robin t = t.tx_counter
+
+(* The XDP program loaded on the enclave's NIC queues: redirect UDP for
+   enclave-owned ports and ARP aimed at the enclave IP; everything else
+   falls through to the host stack. *)
+let xdp_program t frame =
+  match Packet.Frame.peek_udp_ports frame with
+  | Some (_, dst_port) when Hashtbl.mem t.owned_ports dst_port ->
+      Hostos.Xdp.Redirect
+  | Some _ -> Hostos.Xdp.Pass
+  | None -> (
+      match Packet.Eth.parse frame with
+      | Ok { ethertype = Arp; payload; _ } -> (
+          match Packet.Arp.parse payload with
+          | Ok arp when Packet.Addr.Ip.equal arp.target_ip t.config.Config.ip
+            ->
+              Hostos.Xdp.Redirect
+          | Ok _ | Error _ -> Hostos.Xdp.Pass)
+      | Ok _ | Error _ -> Hostos.Xdp.Pass)
+
+(* Transmit hook installed into the UDP/IP stack: spread frames over the
+   XSK FMs round-robin. *)
+let stack_transmit t frame =
+  let n = Array.length t.xsk_fms in
+  let start = t.tx_counter in
+  t.tx_counter <- t.tx_counter + 1;
+  let rec try_fm i =
+    if i >= n then ()
+    else if Xsk_fm.transmit t.xsk_fms.((start + i) mod n) frame then ()
+    else try_fm (i + 1)
+  in
+  try_fm 0
+
+let shared_arena_size config =
+  let ring_foot =
+    Rings.Layout.footprint ~entry_size:Abi.Xsk_desc.entry_size
+      ~size:config.Config.ring_size
+  in
+  let per_xsk =
+    config.Config.umem_size + (4 * ring_foot) + (2 * config.Config.frame_size)
+  in
+  (config.Config.num_xsks * per_xsk) + (32 * 1024 * 1024)
+
+let boot kernel ~sgx ?(config = Config.default) () =
+  match Config.validate config with
+  | Error e -> Error ("rakis config: " ^ e)
+  | Ok () ->
+      let engine = Hostos.Kernel.engine kernel in
+      let enclave = Sgx.Enclave.create engine ~sgx ~name:"rakis" in
+      let shared =
+        Sgx.Enclave.untrusted_region enclave ~size:(shared_arena_size config)
+          ~name:"shared"
+      in
+      let shared_alloc = Mem.Alloc.create shared () in
+      let stack =
+        Netstack.Stack.create engine ~mac:config.mac ~ip:config.ip
+          ~locking:config.locking ()
+      in
+      let monitor = Monitor.create engine ~kernel in
+      let rec make_fms i acc =
+        if i = config.num_xsks then Ok (List.rev acc)
+        else begin
+          (* XSK initialization runs outside the enclave (paper §4.1):
+             one OCALL covers the setup syscall batch. *)
+          Sgx.Enclave.ocall enclave;
+          let fd, xsk =
+            Hostos.Kernel.xsk_create kernel ~alloc:shared_alloc
+              ~umem_size:config.umem_size ~frame_size:config.frame_size
+              ~ring_size:config.ring_size
+          in
+          match Xsk_fm.create ~enclave ~config ~stack ~fd ~xsk with
+          | Error e -> Error (Format.asprintf "xsk fm: %a" Xsk_fm.pp_init_error e)
+          | Ok fm -> make_fms (i + 1) ((fm, xsk) :: acc)
+        end
+      in
+      (match make_fms 0 [] with
+      | Error e -> Error e
+      | Ok fms ->
+          let t =
+            {
+              enclave;
+              kernel;
+              config;
+              stack;
+              monitor;
+              xsk_fms = Array.of_list (List.map fst fms);
+              shared_alloc;
+              owned_ports = Hashtbl.create 16;
+              threads = [];
+              tx_counter = 0;
+            }
+          in
+          Netstack.Stack.set_transmit stack (stack_transmit t);
+          let num_xsks = Array.length t.xsk_fms in
+          let xsks = Array.of_list (List.map snd fms) in
+          let nic = Hostos.Kernel.nic kernel 0 in
+          for q = 0 to Hostos.Nic.queue_count nic - 1 do
+            Sgx.Enclave.ocall enclave;
+            Hostos.Kernel.xsk_attach kernel ~xsk:xsks.(q mod num_xsks)
+              ~nic_id:0 ~queue:q ~prog:(xdp_program t)
+          done;
+          Array.iteri
+            (fun i fm ->
+              Xsk_fm.set_kick fm (fun () -> Monitor.kick monitor);
+              Monitor.watch_xsk monitor xsks.(i);
+              Xsk_fm.start fm)
+            t.xsk_fms;
+          Monitor.start monitor;
+          Ok t)
+
+(* {1 UDP} *)
+
+let udp_socket _t = { bound = None }
+
+let udp_bind t sock port =
+  match Netstack.Stack.bind t.stack ~port with
+  | Error `Port_in_use -> Error Abi.Errno.EADDRINUSE
+  | Ok s ->
+      sock.bound <- Some s;
+      Hashtbl.replace t.owned_ports (Netstack.Udp_socket.port s) ();
+      Ok ()
+
+let ensure_bound t sock =
+  match sock.bound with
+  | Some s -> Ok s
+  | None -> (
+      match udp_bind t sock 0 with
+      | Ok () -> (
+          match sock.bound with
+          | Some s -> Ok s
+          | None -> Error Abi.Errno.EINVAL)
+      | Error e -> Error e)
+
+let udp_sendto t sock payload ~dst =
+  match ensure_bound t sock with
+  | Error e -> Error e
+  | Ok s -> (
+      match
+        Netstack.Stack.sendto t.stack
+          ~src_port:(Netstack.Udp_socket.port s)
+          ~dst payload
+      with
+      | Ok n -> Ok n
+      | Error Netstack.Stack.Payload_too_big -> Error Abi.Errno.EMSGSIZE
+      | Error Netstack.Stack.Unresolvable -> Error Abi.Errno.ENOTCONN
+      | Error Netstack.Stack.No_transmit -> Error Abi.Errno.ENOTCONN)
+
+let udp_recvfrom _t sock ~max =
+  match sock.bound with
+  | None -> Error Abi.Errno.EINVAL
+  | Some s -> Ok (Netstack.Udp_socket.recvfrom s ~max)
+
+let udp_readable _t sock =
+  match sock.bound with
+  | None -> false
+  | Some s -> Netstack.Udp_socket.readable s
+
+let udp_close t sock =
+  match sock.bound with
+  | None -> ()
+  | Some s ->
+      Hashtbl.remove t.owned_ports (Netstack.Udp_socket.port s);
+      Netstack.Stack.unbind t.stack s;
+      sock.bound <- None
+
+(* {1 Threads} *)
+
+let new_thread t =
+  (* io_uring setup runs outside the enclave, like XSK setup. *)
+  Sgx.Enclave.ocall t.enclave;
+  let fd, uring =
+    Hostos.Kernel.uring_create t.kernel ~alloc:t.shared_alloc
+      ~entries:t.config.Config.uring_entries
+  in
+  let bounce =
+    Mem.Alloc.alloc_ptr t.shared_alloc ~align:8 t.config.Config.max_io_size
+  in
+  match Iouring_fm.create ~enclave:t.enclave ~config:t.config ~fd ~uring ~bounce
+  with
+  | Error e -> Error (Format.asprintf "io_uring fm: %a" Iouring_fm.pp_init_error e)
+  | Ok fm ->
+      (if t.config.Config.use_sqpoll then
+         (* SQPOLL: the kernel's own poller notices new SQEs within its
+            poll period — no MM syscall involved.  Signalling the worker
+            directly stands in for that busy-poll, as with the other
+            shared-memory polling in this simulation. *)
+         Iouring_fm.set_kick fm (fun () -> Hostos.Io_uring.enter uring)
+       else begin
+         Iouring_fm.set_kick fm (fun () -> Monitor.kick t.monitor);
+         Monitor.watch_uring t.monitor uring
+       end);
+      let thread = { runtime = t; proxy = Syncproxy.create fm } in
+      t.threads <- thread :: t.threads;
+      Ok thread
+
+let syncproxy thread = thread.proxy
+
+let thread_runtime thread = thread.runtime
+
+(* {1 Introspection} *)
+
+let total_ring_check_failures t =
+  Array.fold_left (fun acc fm -> acc + Xsk_fm.ring_check_failures fm) 0 t.xsk_fms
+  + List.fold_left
+      (fun acc th -> acc + Iouring_fm.ring_check_failures (Syncproxy.fm th.proxy))
+      0 t.threads
+
+let total_desc_rejects t =
+  Array.fold_left (fun acc fm -> acc + Xsk_fm.desc_rejects fm) 0 t.xsk_fms
+  + List.fold_left
+      (fun acc th -> acc + Iouring_fm.cqe_rejects (Syncproxy.fm th.proxy))
+      0 t.threads
+
+let invariant_holds t =
+  Array.for_all Xsk_fm.invariant_holds t.xsk_fms
+  && List.for_all
+       (fun th -> Iouring_fm.invariant_holds (Syncproxy.fm th.proxy))
+       t.threads
+
+let udp_activity _t sock =
+  Option.map Netstack.Udp_socket.activity sock.bound

@@ -1,0 +1,89 @@
+(** The RAKIS runtime: boots the whole system and exposes the syscall
+    surface the LibOS reroutes to it (paper §3 architecture, §4.2 API).
+
+    Boot sequence (mirroring the paper):
+    + validate the user configuration (trusted ground truth);
+    + allocate the shared untrusted memory arena;
+    + run the XSK initialization syscalls outside the enclave (one
+      OCALL covering them) and let each {!Xsk_fm} validate the returned
+      pointers;
+    + attach the XDP program — redirect UDP destined to enclave-owned
+      ports, and ARP aimed at the enclave IP, to the queue's XSK; PASS
+      everything else to the host stack;
+    + start the per-XSK FM threads, the UDP/IP stack, and the Monitor
+      Module thread outside the enclave.
+
+    Per-thread io_uring FMs are created on demand via {!new_thread},
+    matching the paper's one-FM-per-user-thread design. *)
+
+type t
+
+type udp_sock
+
+type thread
+
+val boot :
+  Hostos.Kernel.t -> sgx:bool -> ?config:Config.t -> unit -> (t, string) result
+
+val enclave : t -> Sgx.Enclave.t
+
+val kernel : t -> Hostos.Kernel.t
+
+val stack : t -> Netstack.Stack.t
+
+val monitor : t -> Monitor.t
+
+val config : t -> Config.t
+
+val xsk_fms : t -> Xsk_fm.t array
+
+val owns_port : t -> int -> bool
+(** Is this UDP port currently served by RAKIS (bound in the enclave)? *)
+
+(** {1 UDP syscalls (XDP fast path — no enclave exits)} *)
+
+val udp_socket : t -> udp_sock
+
+val udp_bind : t -> udp_sock -> int -> (unit, Abi.Errno.t) result
+
+val udp_sendto :
+  t ->
+  udp_sock ->
+  Bytes.t ->
+  dst:Packet.Addr.Ip.t * int ->
+  (int, Abi.Errno.t) result
+
+val udp_recvfrom :
+  t ->
+  udp_sock ->
+  max:int ->
+  (Bytes.t * (Packet.Addr.Ip.t * int), Abi.Errno.t) result
+
+val udp_readable : t -> udp_sock -> bool
+
+val udp_close : t -> udp_sock -> unit
+
+(** {1 Per-thread io_uring contexts} *)
+
+val new_thread : t -> (thread, string) result
+(** Create the calling user thread's io_uring FM + SyncProxy (the
+    io_uring setup syscalls run via one OCALL). *)
+
+val syncproxy : thread -> Syncproxy.t
+
+val thread_runtime : thread -> t
+
+(** {1 Introspection} *)
+
+val total_ring_check_failures : t -> int
+
+val total_desc_rejects : t -> int
+
+val invariant_holds : t -> bool
+
+val tx_round_robin : t -> int
+(** Frames transmitted through the stack's transmit hook. *)
+
+val udp_activity : t -> udp_sock -> Sim.Condition.t option
+(** Activity condition of a bound socket (poll support); [None] when
+    unbound. *)

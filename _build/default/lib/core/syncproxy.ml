@@ -1,0 +1,17 @@
+type t = { fm : Iouring_fm.t }
+
+let create fm = { fm }
+
+let fm t = t.fm
+
+let read t = Iouring_fm.read t.fm
+
+let write t = Iouring_fm.write t.fm
+
+let send t = Iouring_fm.send t.fm
+
+let recv t = Iouring_fm.recv t.fm
+
+let poll t = Iouring_fm.poll t.fm
+
+let poll_multi t = Iouring_fm.poll_multi t.fm

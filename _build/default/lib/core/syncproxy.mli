@@ -1,0 +1,33 @@
+(** SyncProxy (paper §4.2): a per-thread passthrough stub that serves
+    synchronous IO syscalls by forwarding them to the thread's io_uring
+    FM and blocking until completion.  RAKIS uses it for exactly five
+    syscalls: TCP [send]/[recv], [read], [write] and [poll]. *)
+
+type t
+
+val create : Iouring_fm.t -> t
+
+val fm : t -> Iouring_fm.t
+
+val read :
+  t -> fd:int -> off:int -> buf:Bytes.t -> pos:int -> len:int ->
+  (int, Abi.Errno.t) result
+
+val write :
+  t -> fd:int -> off:int -> buf:Bytes.t -> pos:int -> len:int ->
+  (int, Abi.Errno.t) result
+
+val send :
+  t -> fd:int -> buf:Bytes.t -> pos:int -> len:int -> (int, Abi.Errno.t) result
+
+val recv :
+  t -> fd:int -> buf:Bytes.t -> pos:int -> len:int -> (int, Abi.Errno.t) result
+
+val poll : t -> fd:int -> events:int -> (int, Abi.Errno.t) result
+
+val poll_multi :
+  t ->
+  (int * int) list ->
+  timeout:Sim.Engine.time option ->
+  ((int * int) option, Abi.Errno.t) result
+(** See {!Iouring_fm.poll_multi}. *)

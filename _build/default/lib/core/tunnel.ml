@@ -1,0 +1,116 @@
+type t = {
+  key : int64;
+  mutable tx_counter : int64;
+  (* Receive window: highest authenticated counter + bitmap of the
+     [replay_window] counters below it (bit i = max - i seen). *)
+  mutable rx_max : int64;
+  mutable rx_bitmap : int64;
+  mutable rejected : int;
+}
+
+type error = Too_short | Bad_tag | Replayed
+
+let overhead = 16
+
+let replay_window = 64
+
+let create ~key =
+  { key; tx_counter = 0L; rx_max = -1L; rx_bitmap = 0L; rejected = 0 }
+
+let sent t = t.tx_counter
+
+let rejected t = t.rejected
+
+(* SplitMix64's finalizer as a mixing function. *)
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let xor_keystream ~key ~counter buf off len =
+  let rng = Sim.Rng.create ~seed:(Int64.logxor key (mix counter)) in
+  let i = ref 0 in
+  while !i + 8 <= len do
+    Bytes.set_int64_le buf (off + !i)
+      (Int64.logxor (Bytes.get_int64_le buf (off + !i)) (Sim.Rng.next_int64 rng));
+    i := !i + 8
+  done;
+  while !i < len do
+    Bytes.set_uint8 buf (off + !i)
+      (Bytes.get_uint8 buf (off + !i)
+      lxor (Int64.to_int (Sim.Rng.next_int64 rng) land 0xff));
+    incr i
+  done
+
+(* Keyed polynomial tag over the counter and the ciphertext. *)
+let tag_of ~key ~counter buf off len =
+  let m = mix (Int64.logxor key 0x7461675F6B657921L) in
+  let acc = ref (mix (Int64.logxor counter key)) in
+  for i = off to off + len - 1 do
+    acc :=
+      Int64.add
+        (Int64.mul !acc m)
+        (Int64.of_int (Bytes.get_uint8 buf i + 251))
+  done;
+  mix !acc
+
+let seal t plaintext =
+  let counter = t.tx_counter in
+  t.tx_counter <- Int64.add t.tx_counter 1L;
+  let len = Bytes.length plaintext in
+  let out = Bytes.create (len + overhead) in
+  Bytes.set_int64_le out 0 counter;
+  Bytes.blit plaintext 0 out 8 len;
+  xor_keystream ~key:t.key ~counter out 8 len;
+  Bytes.set_int64_le out (8 + len) (tag_of ~key:t.key ~counter out 8 len);
+  out
+
+(* WireGuard-style window update: returns false when [counter] was
+   already seen or fell off the back of the window. *)
+let window_check_and_update t counter =
+  let open Int64 in
+  if compare counter t.rx_max > 0 then begin
+    let shift = sub counter t.rx_max in
+    t.rx_bitmap <-
+      (if compare shift (of_int 63) >= 0 then 1L
+       else logor (shift_left t.rx_bitmap (to_int shift)) 1L);
+    t.rx_max <- counter;
+    true
+  end
+  else
+    let behind = sub t.rx_max counter in
+    if compare behind (of_int replay_window) >= 0 then false
+    else
+      let bit = shift_left 1L (to_int behind) in
+      if logand t.rx_bitmap bit <> 0L then false
+      else begin
+        t.rx_bitmap <- logor t.rx_bitmap bit;
+        true
+      end
+
+let reject t e =
+  t.rejected <- t.rejected + 1;
+  Error e
+
+let unseal t packet =
+  let total = Bytes.length packet in
+  if total < overhead then reject t Too_short
+  else begin
+    let counter = Bytes.get_int64_le packet 0 in
+    let len = total - overhead in
+    let expected = tag_of ~key:t.key ~counter packet 8 len in
+    let found = Bytes.get_int64_le packet (8 + len) in
+    if not (Int64.equal expected found) then reject t Bad_tag
+    else if not (window_check_and_update t counter) then reject t Replayed
+    else begin
+      let plain = Bytes.sub packet 8 len in
+      xor_keystream ~key:t.key ~counter plain 0 len;
+      Ok plain
+    end
+  end
+
+let pp_error ppf = function
+  | Too_short -> Format.pp_print_string ppf "datagram too short"
+  | Bad_tag -> Format.pp_print_string ppf "authentication failed"
+  | Replayed -> Format.pp_print_string ppf "replayed or expired counter"

@@ -1,0 +1,49 @@
+(** Secure datagram tunnel — the paper's §7 sketch, implemented.
+
+    The discussion section notes that because RAKIS brings a full UDP/IP
+    stack inside the enclave, layer-3 tunnels "like Wireguard" can run
+    entirely within it, protecting traffic without trusting the host.
+    This module is that layer: an authenticated, replay-protected
+    datagram channel to be run over a RAKIS UDP socket (Table 2
+    deliberately leaves user data unchecked, "left for application-level
+    protocols i.e. TLS" — this is such a protocol).
+
+    Wire format: [counter (8B, LE)] ‖ [ciphertext] ‖ [tag (8B, LE)].
+    The cipher is the reproduction's simulation-grade ARX keystream
+    (SplitMix64 keyed by [key ⊕ mix(counter)]) with a keyed polynomial
+    tag over the counter and ciphertext; structure — nonce discipline,
+    tag-then-decrypt, a WireGuard-style sliding replay window — is
+    faithful even though the primitives are toys.  Do not reuse a key
+    across two senders. *)
+
+type t
+
+type error =
+  | Too_short  (** shorter than header + tag *)
+  | Bad_tag  (** authentication failure (corruption or forgery) *)
+  | Replayed  (** counter already seen, or older than the window *)
+
+val overhead : int
+(** Bytes added to each datagram: 16. *)
+
+val replay_window : int
+(** Out-of-order tolerance: 64 datagrams, like WireGuard. *)
+
+val create : key:int64 -> t
+(** One endpoint's state (send counter + receive window).  Both ends of
+    a tunnel are created with the same key; each endpoint must be the
+    only sealer under its key direction. *)
+
+val seal : t -> Bytes.t -> Bytes.t
+(** Encrypt-and-authenticate one datagram; bumps the send counter. *)
+
+val unseal : t -> Bytes.t -> (Bytes.t, error) result
+(** Verify, check the replay window, decrypt.  The window only advances
+    on authentic datagrams. *)
+
+val sent : t -> int64
+
+val rejected : t -> int
+(** Datagrams refused (any error) so far. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,98 @@
+type routine = Rx | Tx
+
+type reject =
+  | Out_of_range of int
+  | Misaligned of int
+  | Wrong_owner of { offset : int; expected : routine }
+  | Oversize of { offset : int; len : int }
+
+type state = Owned | Allocated | With_kernel of routine
+
+type t = {
+  size : int;
+  frame_size : int;
+  nframes : int;
+  state : state array;
+  free : int Queue.t; (* frame indices *)
+  mutable rejects : int;
+}
+
+let create ~size ~frame_size =
+  if frame_size <= 0 || size <= 0 || size mod frame_size <> 0 then
+    invalid_arg "Umem.create: size must be a positive multiple of frame_size";
+  let nframes = size / frame_size in
+  let free = Queue.create () in
+  for i = 0 to nframes - 1 do
+    Queue.add i free
+  done;
+  { size; frame_size; nframes; state = Array.make nframes Owned; free; rejects = 0 }
+
+let frame_size t = t.frame_size
+
+let frame_count t = t.nframes
+
+let free_frames t = Queue.length t.free
+
+let outstanding t routine =
+  Array.fold_left
+    (fun acc s -> if s = With_kernel routine then acc + 1 else acc)
+    0 t.state
+
+let alloc t =
+  match Queue.take_opt t.free with
+  | None -> None
+  | Some idx ->
+      t.state.(idx) <- Allocated;
+      Some (idx * t.frame_size)
+
+let frame_of_exn t offset op =
+  if offset < 0 || offset >= t.size then
+    invalid_arg (Printf.sprintf "Umem.%s: offset %d out of range" op offset);
+  if offset mod t.frame_size <> 0 then
+    invalid_arg (Printf.sprintf "Umem.%s: offset %d misaligned" op offset);
+  offset / t.frame_size
+
+let commit t offset routine =
+  let idx = frame_of_exn t offset "commit" in
+  match t.state.(idx) with
+  | Allocated -> t.state.(idx) <- With_kernel routine
+  | Owned | With_kernel _ ->
+      invalid_arg "Umem.commit: frame was not allocated"
+
+let cancel t offset =
+  let idx = frame_of_exn t offset "cancel" in
+  match t.state.(idx) with
+  | Allocated ->
+      t.state.(idx) <- Owned;
+      Queue.add idx t.free
+  | Owned | With_kernel _ -> invalid_arg "Umem.cancel: frame was not allocated"
+
+let reject t r =
+  t.rejects <- t.rejects + 1;
+  Error r
+
+let reclaim t routine ~offset ?(len = 0) () =
+  if offset < 0 || offset + max len 1 > t.size then reject t (Out_of_range offset)
+  else if offset mod t.frame_size <> 0 then reject t (Misaligned offset)
+  else if len > t.frame_size then reject t (Oversize { offset; len })
+  else begin
+    let idx = offset / t.frame_size in
+    match t.state.(idx) with
+    | With_kernel r when r = routine ->
+        t.state.(idx) <- Owned;
+        Queue.add idx t.free;
+        Ok ()
+    | Owned | Allocated | With_kernel _ ->
+        reject t (Wrong_owner { offset; expected = routine })
+  end
+
+let rejects t = t.rejects
+
+let pp_reject ppf = function
+  | Out_of_range off -> Format.fprintf ppf "offset %d out of UMem range" off
+  | Misaligned off -> Format.fprintf ppf "offset %d not frame-aligned" off
+  | Wrong_owner { offset; expected } ->
+      Format.fprintf ppf "frame %d not owned by %s routine" offset
+        (match expected with Rx -> "receive" | Tx -> "send")
+  | Oversize { offset; len } ->
+      Format.fprintf ppf "descriptor (%d, +%d) exceeds frame" offset len

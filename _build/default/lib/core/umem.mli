@@ -1,0 +1,57 @@
+(** UMem frame allocator with ownership tracking (paper §4.1).
+
+    All frames start owned by the FM.  Producing a frame into xFill or
+    xTX transfers it (logically) to the kernel for the receive or send
+    routine; the FM must only accept back, from xRX or xCompl, frames it
+    previously handed to {e that same} routine.  The trusted ownership
+    map enforced here is what prevents a hostile kernel from making the
+    FM pool up invalid, overlapping or double-owned frames — the exact
+    attack the paper's "UMem frames allocator" paragraph describes.
+
+    All offsets are UMem-relative bytes. *)
+
+type routine = Rx | Tx
+
+type reject =
+  | Out_of_range of int  (** offset not within UMem *)
+  | Misaligned of int  (** offset not frame-aligned *)
+  | Wrong_owner of { offset : int; expected : routine }
+      (** the frame is not currently out on that routine *)
+  | Oversize of { offset : int; len : int }
+      (** descriptor length exceeds the frame *)
+
+type t
+
+val create : size:int -> frame_size:int -> t
+(** [size] must be a positive multiple of [frame_size]. *)
+
+val frame_size : t -> int
+
+val frame_count : t -> int
+
+val free_frames : t -> int
+(** Frames currently owned by the FM. *)
+
+val outstanding : t -> routine -> int
+
+val alloc : t -> int option
+(** Take a free frame for handing to the kernel; returns its offset. *)
+
+val commit : t -> int -> routine -> unit
+(** Record that the frame at [offset] (from {!alloc}) has been produced
+    into the given routine's ring.  Raises [Invalid_argument] on a
+    protocol violation by the caller (FM bugs, not host attacks). *)
+
+val cancel : t -> int -> unit
+(** Return an allocated-but-never-produced frame to the pool. *)
+
+val reclaim : t -> routine -> offset:int -> ?len:int -> unit -> (unit, reject) result
+(** Validate a descriptor consumed from xRX ([Rx], with [len]) or
+    xCompl ([Tx]): in range, frame-aligned, length within the frame, and
+    owned by that routine.  On success the frame returns to the FM
+    pool; on failure nothing changes and the caller must refuse the
+    descriptor and advance the ring consumer (Table 2 fail action). *)
+
+val rejects : t -> int
+
+val pp_reject : Format.formatter -> reject -> unit

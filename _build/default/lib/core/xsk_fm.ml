@@ -1,0 +1,262 @@
+type init_error =
+  | Bad_fd of int
+  | Pointer_in_trusted of string
+  | Overlapping of string
+  | Bad_layout of string
+
+type t = {
+  enclave : Sgx.Enclave.t;
+  config : Config.t;
+  stack : Netstack.Stack.t;
+  fill : Rings.Certified.t;
+  rx : Rings.Certified.t;
+  tx : Rings.Certified.t;
+  compl_ : Rings.Certified.t;
+  umem : Umem.t;
+  umem_ptr : Mem.Ptr.t;
+  rx_notify : Sim.Condition.t;
+  mutable kick : unit -> unit;
+  mutable rx_packets : int;
+  mutable tx_packets : int;
+  mutable tx_frame_drops : int;
+}
+
+let pp_init_error ppf = function
+  | Bad_fd fd -> Format.fprintf ppf "negative xsk fd %d" fd
+  | Pointer_in_trusted what ->
+      Format.fprintf ppf "%s points into trusted memory" what
+  | Overlapping what -> Format.fprintf ppf "overlapping objects: %s" what
+  | Bad_layout what -> Format.fprintf ppf "invalid layout: %s" what
+
+(* Rebuild a ring layout from host-provided pointers but with geometry
+   taken from the trusted config: the host's idea of size/mask is never
+   used (paper: "RAKIS calculates it based on the user-provided ring
+   size"). *)
+let certify_layout config name (host : Rings.Layout.t) =
+  if Mem.Region.is_trusted host.region then Error (Pointer_in_trusted name)
+  else
+    match
+      Rings.Layout.make host.region ~prod_off:host.prod_off
+        ~cons_off:host.cons_off ~desc_off:host.desc_off
+        ~entry_size:Abi.Xsk_desc.entry_size ~size:config.Config.ring_size
+    with
+    | layout -> Ok layout
+    | exception Invalid_argument msg -> Error (Bad_layout (name ^ ": " ^ msg))
+
+let layout_objects name (l : Rings.Layout.t) =
+  [
+    (name ^ ".prod", Mem.Ptr.v l.region l.prod_off, 4);
+    (name ^ ".cons", Mem.Ptr.v l.region l.cons_off, 4);
+    (name ^ ".desc", Mem.Ptr.v l.region l.desc_off, l.entry_size * l.size);
+  ]
+
+let ( let* ) = Result.bind
+
+let create ~enclave ~config ~stack ~fd ~xsk =
+  if fd < 0 then Error (Bad_fd fd)
+  else
+    let* fill = certify_layout config "xFill" (Hostos.Xdp.fill_layout xsk) in
+    let* rx = certify_layout config "xRX" (Hostos.Xdp.rx_layout xsk) in
+    let* tx = certify_layout config "xTX" (Hostos.Xdp.tx_layout xsk) in
+    let* compl_ = certify_layout config "xCompl" (Hostos.Xdp.compl_layout xsk) in
+    let umem_ptr = Hostos.Xdp.umem_ptr xsk in
+    let* () =
+      if not (Mem.Ptr.is_untrusted umem_ptr) then
+        Error (Pointer_in_trusted "UMem")
+      else if not (Mem.Ptr.valid umem_ptr ~len:config.Config.umem_size) then
+        Error (Bad_layout "UMem does not fit its region")
+      else Ok ()
+    in
+    let objects =
+      ("UMem", umem_ptr, config.Config.umem_size)
+      :: List.concat_map
+           (fun (name, l) -> layout_objects name l)
+           [ ("xFill", fill); ("xRX", rx); ("xTX", tx); ("xCompl", compl_) ]
+    in
+    let* () =
+      if Mem.Ptr.all_disjoint (List.map (fun (_, p, len) -> (p, len)) objects)
+      then Ok ()
+      else
+        Error
+          (Overlapping
+             (String.concat ", " (List.map (fun (n, _, _) -> n) objects)))
+    in
+    let ring role layout = Rings.Certified.create layout ~role () in
+    Ok
+      {
+        enclave;
+        config;
+        stack;
+        fill = ring Rings.Certified.Producer fill;
+        rx = ring Rings.Certified.Consumer rx;
+        tx = ring Rings.Certified.Producer tx;
+        compl_ = ring Rings.Certified.Consumer compl_;
+        umem =
+          Umem.create ~size:config.Config.umem_size
+            ~frame_size:config.Config.frame_size;
+        umem_ptr;
+        rx_notify = Hostos.Xdp.rx_notify xsk;
+        kick = (fun () -> ());
+        rx_packets = 0;
+        tx_packets = 0;
+        tx_frame_drops = 0;
+      }
+
+let set_kick t f = t.kick <- f
+
+let fill_ring t = t.fill
+
+let rx_ring t = t.rx
+
+let tx_ring t = t.tx
+
+let compl_ring t = t.compl_
+
+let umem t = t.umem
+
+let rx_packets t = t.rx_packets
+
+let tx_packets t = t.tx_packets
+
+let tx_frame_drops t = t.tx_frame_drops
+
+let ring_check_failures t =
+  Rings.Certified.failures t.fill
+  + Rings.Certified.failures t.rx
+  + Rings.Certified.failures t.tx
+  + Rings.Certified.failures t.compl_
+
+let desc_rejects t = Umem.rejects t.umem
+
+let invariant_holds t =
+  Rings.Certified.invariant_holds t.fill
+  && Rings.Certified.invariant_holds t.rx
+  && Rings.Certified.invariant_holds t.tx
+  && Rings.Certified.invariant_holds t.compl_
+
+(* Keep xFill stocked with frames for incoming packets. *)
+let refill t =
+  let produced = ref 0 in
+  let rec loop () =
+    if Rings.Certified.free_slots t.fill > 0 then
+      match Umem.alloc t.umem with
+      | None -> ()
+      | Some offset -> (
+          match
+            Rings.Certified.produce t.fill ~write:(fun ~slot_off ->
+                Mem.Region.set_u64 (Rings.Certified.region t.fill) slot_off
+                  (Abi.Xsk_desc.encode_offset offset))
+          with
+          | Ok () ->
+              Umem.commit t.umem offset Umem.Rx;
+              incr produced;
+              loop ()
+          | Error `Ring_full -> Umem.cancel t.umem offset)
+  in
+  loop ();
+  if !produced > 0 then begin
+    Rings.Certified.publish t.fill;
+    t.kick ()
+  end
+
+(* Reclaim completed transmissions so their frames can be reused. *)
+let reap_completions t =
+  let rec loop () =
+    match
+      Rings.Certified.consume t.compl_ ~read:(fun ~slot_off ->
+          Abi.Xsk_desc.decode_offset
+            (Mem.Region.get_u64 (Rings.Certified.region t.compl_) slot_off))
+    with
+    | Error `Ring_empty -> ()
+    | Ok offset ->
+        (* Rejects are already counted by the UMem tracker; the ring
+           consumer was advanced by [consume] — exactly the "refuse and
+           advance consumer" fail action. *)
+        ignore (Umem.reclaim t.umem Umem.Tx ~offset ());
+        loop ()
+  in
+  loop ()
+
+(* Move one received descriptor into the enclave and hand it to the
+   UDP/IP stack.  Returns false when xRX was empty. *)
+let rx_once t =
+  match
+    Rings.Certified.consume t.rx ~read:(fun ~slot_off ->
+        Abi.Xsk_desc.decode
+          (Mem.Region.get_u64 (Rings.Certified.region t.rx) slot_off))
+  with
+  | Error `Ring_empty -> false
+  | Ok (offset, len) -> (
+      match Umem.reclaim t.umem Umem.Rx ~offset ~len () with
+      | Error _ -> true (* refused; consumer already advanced *)
+      | Ok () ->
+          let frame = Bytes.create len in
+          Sgx.Enclave.charge_copy t.enclave ~crossing:true len;
+          Mem.Region.blit_to_bytes t.umem_ptr.Mem.Ptr.region
+            (t.umem_ptr.Mem.Ptr.off + offset)
+            frame 0 len;
+          t.rx_packets <- t.rx_packets + 1;
+          Netstack.Stack.input t.stack frame;
+          true)
+
+let rx_loop t () =
+  refill t;
+  let rec loop () =
+    if rx_once t then begin
+      refill t;
+      loop ()
+    end
+    else begin
+      refill t;
+      Sim.Condition.wait t.rx_notify;
+      loop ()
+    end
+  in
+  loop ()
+
+let start t =
+  Sim.Engine.spawn (Sgx.Enclave.engine t.enclave) ~name:"xsk-fm-rx" (rx_loop t)
+
+let transmit t frame =
+  let len = Bytes.length frame in
+  if len > t.config.Config.frame_size then begin
+    t.tx_frame_drops <- t.tx_frame_drops + 1;
+    false
+  end
+  else begin
+    reap_completions t;
+    let rec acquire tries =
+      match Umem.alloc t.umem with
+      | Some offset -> Some offset
+      | None when tries = 0 -> None
+      | None ->
+          (* Transient exhaustion: wait for in-flight sends to complete. *)
+          Sim.Engine.delay 1000L;
+          reap_completions t;
+          acquire (tries - 1)
+    in
+    match acquire 16 with
+    | None ->
+        t.tx_frame_drops <- t.tx_frame_drops + 1;
+        false
+    | Some offset -> (
+        Sgx.Enclave.charge_copy t.enclave ~crossing:true len;
+        Mem.Region.blit_from_bytes frame 0 t.umem_ptr.Mem.Ptr.region
+          (t.umem_ptr.Mem.Ptr.off + offset)
+          len;
+        match
+          Rings.Certified.produce t.tx ~write:(fun ~slot_off ->
+              Mem.Region.set_u64 (Rings.Certified.region t.tx) slot_off
+                (Abi.Xsk_desc.encode ~offset ~len))
+        with
+        | Ok () ->
+            Umem.commit t.umem offset Umem.Tx;
+            Rings.Certified.publish t.tx;
+            t.tx_packets <- t.tx_packets + 1;
+            t.kick ();
+            true
+        | Error `Ring_full ->
+            Umem.cancel t.umem offset;
+            t.tx_frame_drops <- t.tx_frame_drops + 1;
+            false)
+  end

@@ -1,0 +1,75 @@
+(** XSK FastPath Module (paper §4.1).
+
+    One FM per XSK, driving the four certified rings and the UMem
+    ownership allocator from inside the enclave.  The FM is the only
+    RAKIS component that touches untrusted memory; everything it hands
+    to the Service Module is a trusted copy.
+
+    At creation it performs the paper's initialization checks (Table 2,
+    top rows) on the values the host returned from XSK setup: the file
+    descriptor, the four ring pointers and the UMem pointer must be
+    non-negative / exclusively in untrusted memory / non-overlapping,
+    and ring geometry is taken from the trusted {!Config.t}, never from
+    the host. *)
+
+type init_error =
+  | Bad_fd of int
+  | Pointer_in_trusted of string  (** which object *)
+  | Overlapping of string
+  | Bad_layout of string
+
+type t
+
+val create :
+  enclave:Sgx.Enclave.t ->
+  config:Config.t ->
+  stack:Netstack.Stack.t ->
+  fd:int ->
+  xsk:Hostos.Xdp.xsk ->
+  (t, init_error) result
+(** [xsk] carries the host-returned pointers being validated; the FM
+    never trusts any other part of it. *)
+
+val set_kick : t -> (unit -> unit) -> unit
+(** Install the Monitor Module kick called after publishing work. *)
+
+val start : t -> unit
+(** Spawn the FM's dedicated receive thread (paper §4.1, QoS): it moves
+    packets from UMem into trusted memory, feeds them to the UDP/IP
+    stack, and keeps xFill replenished. *)
+
+val transmit : t -> Bytes.t -> bool
+(** Send one layer-2 frame: allocate a UMem frame, copy the payload
+    across the boundary, produce on xTX and kick the MM.  [false] when
+    no frame could be obtained (transient exhaustion: caller drops, as
+    UDP permits). *)
+
+(** {1 Introspection} *)
+
+val fill_ring : t -> Rings.Certified.t
+
+val rx_ring : t -> Rings.Certified.t
+
+val tx_ring : t -> Rings.Certified.t
+
+val compl_ring : t -> Rings.Certified.t
+
+val umem : t -> Umem.t
+
+val ring_check_failures : t -> int
+(** Rejected untrusted ring-index reads across all four rings. *)
+
+val desc_rejects : t -> int
+(** Rejected UMem descriptors (bad offset/owner/length). *)
+
+val rx_packets : t -> int
+(** Frames successfully moved into the enclave. *)
+
+val tx_packets : t -> int
+
+val tx_frame_drops : t -> int
+
+val invariant_holds : t -> bool
+(** Paper eq. 1 on all four rings — the Testing Module's property. *)
+
+val pp_init_error : Format.formatter -> init_error -> unit

@@ -1,0 +1,1 @@
+lib/hostos/fbuf.ml: Bytes

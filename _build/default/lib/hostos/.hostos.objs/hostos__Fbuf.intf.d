@@ -1,0 +1,1 @@
+lib/hostos/fbuf.mli: Bytes

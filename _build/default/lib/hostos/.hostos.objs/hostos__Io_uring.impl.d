@@ -1,0 +1,1 @@
+lib/hostos/io_uring.ml: Abi Int64 Malice Printf Rings Sgx Sim

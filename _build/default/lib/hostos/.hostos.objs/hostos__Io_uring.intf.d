@@ -1,0 +1,1 @@
+lib/hostos/io_uring.mli: Abi Malice Mem Rings Sim

@@ -1,0 +1,1 @@
+lib/hostos/kernel.ml: Abi Array Bytes Hashtbl Int64 Io_uring List Malice Mem Nic Option Packet Sgx Sim Tcp_core Udp_core Vfs Xdp

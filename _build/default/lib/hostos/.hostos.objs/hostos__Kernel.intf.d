@@ -1,0 +1,1 @@
+lib/hostos/kernel.mli: Abi Bytes Io_uring Malice Mem Nic Packet Sim Vfs Xdp

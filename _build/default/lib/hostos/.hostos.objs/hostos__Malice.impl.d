@@ -1,0 +1,1 @@
+lib/hostos/malice.ml: Format Hashtbl Rings Sim

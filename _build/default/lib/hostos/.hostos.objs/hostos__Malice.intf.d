@@ -1,0 +1,1 @@
+lib/hostos/malice.mli: Format Rings Sim

@@ -1,0 +1,1 @@
+lib/hostos/nic.ml: Array Bytes Int64 Packet Printf Sgx Sim

@@ -1,0 +1,1 @@
+lib/hostos/nic.mli: Bytes Packet Sim

@@ -1,0 +1,1 @@
+lib/hostos/tcp_core.ml: Abi Bytes Hashtbl Int64 Packet Sgx Sim

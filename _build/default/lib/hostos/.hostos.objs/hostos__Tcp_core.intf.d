@@ -1,0 +1,1 @@
+lib/hostos/tcp_core.mli: Abi Bytes Packet Sim

@@ -1,0 +1,1 @@
+lib/hostos/udp_core.ml: Abi Bytes Hashtbl Int64 Nic Option Packet Sgx Sim

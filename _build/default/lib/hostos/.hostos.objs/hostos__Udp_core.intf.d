@@ -1,0 +1,1 @@
+lib/hostos/udp_core.mli: Abi Bytes Nic Packet Sim

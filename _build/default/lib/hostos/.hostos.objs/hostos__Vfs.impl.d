@@ -1,0 +1,1 @@
+lib/hostos/vfs.ml: Abi Fbuf Hashtbl Int64 Sgx Sim

@@ -1,0 +1,1 @@
+lib/hostos/vfs.mli: Abi Bytes Sim

@@ -1,0 +1,1 @@
+lib/hostos/xdp.ml: Abi Bytes Int64 Malice Mem Nic Printf Rings Sgx Sim

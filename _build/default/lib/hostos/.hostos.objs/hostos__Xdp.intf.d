@@ -1,0 +1,1 @@
+lib/hostos/xdp.mli: Bytes Malice Mem Nic Rings Sim

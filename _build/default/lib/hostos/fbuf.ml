@@ -1,0 +1,42 @@
+type t = { mutable data : Bytes.t; mutable len : int }
+
+let create () = { data = Bytes.create 0; len = 0 }
+
+let length t = t.len
+
+let ensure t cap =
+  if Bytes.length t.data < cap then begin
+    let ncap = max cap (max 64 (2 * Bytes.length t.data)) in
+    let ndata = Bytes.make ncap '\000' in
+    Bytes.blit t.data 0 ndata 0 t.len;
+    t.data <- ndata
+  end
+
+let read t ~off dst doff len =
+  if off >= t.len || len <= 0 then 0
+  else begin
+    let n = min len (t.len - off) in
+    Bytes.blit t.data off dst doff n;
+    n
+  end
+
+let write t ~off src soff len =
+  if len < 0 || off < 0 then invalid_arg "Fbuf.write";
+  ensure t (off + len);
+  (* A write past EOF leaves a zero-filled hole, like a sparse file. *)
+  Bytes.blit src soff t.data off len;
+  if off + len > t.len then t.len <- off + len;
+  len
+
+let truncate t n =
+  if n < 0 then invalid_arg "Fbuf.truncate";
+  if n < t.len then begin
+    Bytes.fill t.data n (t.len - n) '\000';
+    t.len <- n
+  end
+  else begin
+    ensure t n;
+    t.len <- n
+  end
+
+let to_string t = Bytes.sub_string t.data 0 t.len

@@ -1,0 +1,19 @@
+(** Growable byte buffer backing VFS file contents. *)
+
+type t
+
+val create : unit -> t
+
+val length : t -> int
+
+val read : t -> off:int -> Bytes.t -> int -> int -> int
+(** [read t ~off dst doff len] copies up to [len] bytes from file offset
+    [off]; returns bytes copied (0 at or past EOF). *)
+
+val write : t -> off:int -> Bytes.t -> int -> int -> int
+(** Writes [len] bytes at file offset [off], growing (zero-filling any
+    gap) as needed; returns [len]. *)
+
+val truncate : t -> int -> unit
+
+val to_string : t -> string

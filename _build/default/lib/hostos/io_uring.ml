@@ -1,0 +1,138 @@
+type exec_result = Done of int | Blocking of (unit -> int)
+
+type t = {
+  id : int;
+  engine : Sim.Engine.t;
+  sq : Rings.Layout.t;
+  cq : Rings.Layout.t;
+  exec : Abi.Uring_abi.sqe -> exec_result;
+  malice : Malice.t option ref;
+  wake : Sim.Condition.t;
+  cq_notify : Sim.Condition.t;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable dropped : int;
+}
+
+let next_id = ref 0
+
+let uring_id t = t.id
+
+let sq_layout t = t.sq
+
+let cq_layout t = t.cq
+
+let submitted t = t.submitted
+
+let completed t = t.completed
+
+let dropped t = t.dropped
+
+let tamper_cqe t (cqe : Abi.Uring_abi.cqe) =
+  match !(t.malice) with
+  | None -> cqe
+  | Some m ->
+      if Malice.roll !(t.malice) Cqe_wrong_user_data then begin
+        Malice.record m Cqe_wrong_user_data;
+        { cqe with user_data = Int64.add cqe.user_data 0xDEADL }
+      end
+      else if Malice.roll !(t.malice) Cqe_bogus_res then begin
+        Malice.record m Cqe_bogus_res;
+        (* A wildly out-of-range "bytes transferred" count. *)
+        { cqe with res = 0x7FFFFFF0 }
+      end
+      else cqe
+
+let tamper_cq_prod t =
+  match !(t.malice) with
+  | None -> ()
+  | Some m ->
+      if Malice.roll !(t.malice) Prod_overshoot then begin
+        Malice.record m Prod_overshoot;
+        Malice.smash_prod t.cq
+          (Rings.U32.add (Rings.Layout.read_prod t.cq) (t.cq.Rings.Layout.size + 9))
+      end
+
+let post_cqe t cqe =
+  let cqe = tamper_cqe t cqe in
+  let ok =
+    Rings.Raw.produce t.cq ~write:(fun ~slot_off ->
+        Abi.Uring_abi.write_cqe t.cq.Rings.Layout.region slot_off cqe)
+  in
+  if ok then t.completed <- t.completed + 1 else t.dropped <- t.dropped + 1;
+  tamper_cq_prod t;
+  Sim.Condition.broadcast t.cq_notify
+
+let worker t () =
+  let rec drain () =
+    let sqe =
+      Rings.Raw.consume t.sq ~read:(fun ~slot_off ->
+          Abi.Uring_abi.read_sqe t.sq.Rings.Layout.region slot_off)
+    in
+    match sqe with
+    | None -> ()
+    | Some (Error _) ->
+        (* Unparseable SQE: the real kernel posts -EINVAL with whatever
+           user_data it could read; we read none, so 0. *)
+        t.submitted <- t.submitted + 1;
+        Sim.Engine.delay Sgx.Params.iouring_kernel_per_op;
+        post_cqe t
+          {
+            Abi.Uring_abi.user_data = 0L;
+            res = Abi.Uring_abi.res_of_errno Abi.Errno.EINVAL;
+          };
+        drain ()
+    | Some (Ok sqe) ->
+        t.submitted <- t.submitted + 1;
+        Sim.Engine.delay Sgx.Params.iouring_kernel_per_op;
+        (match t.exec sqe with
+        | Done res ->
+            post_cqe t { Abi.Uring_abi.user_data = sqe.user_data; res }
+        | Blocking f ->
+            (* Ops that may wait (recv, poll) run in their own kernel
+               context so the ring worker keeps draining — matching
+               io_uring's async poll/recv machinery. *)
+            Sim.Engine.spawn t.engine
+              ~name:(Printf.sprintf "uring%d-op" t.id)
+              (fun () ->
+                let res = f () in
+                post_cqe t { Abi.Uring_abi.user_data = sqe.user_data; res }));
+        drain ()
+  in
+  let rec loop () =
+    Sim.Condition.wait t.wake;
+    drain ();
+    loop ()
+  in
+  loop ()
+
+let create engine ~alloc ~entries ~exec ~malice =
+  incr next_id;
+  let sq =
+    Rings.Layout.alloc alloc ~entry_size:Abi.Uring_abi.sqe_size ~size:entries
+  in
+  let cq =
+    Rings.Layout.alloc alloc ~entry_size:Abi.Uring_abi.cqe_size
+      ~size:(2 * entries)
+  in
+  let t =
+    {
+      id = !next_id;
+      engine;
+      sq;
+      cq;
+      exec;
+      malice;
+      wake = Sim.Condition.create ();
+      cq_notify = Sim.Condition.create ();
+      submitted = 0;
+      completed = 0;
+      dropped = 0;
+    }
+  in
+  Sim.Engine.spawn engine ~name:(Printf.sprintf "uring%d-worker" t.id) (worker t);
+  t
+
+let enter t = Sim.Condition.signal t.wake
+
+let cq_notify t = t.cq_notify

@@ -1,0 +1,49 @@
+(** Kernel-side io_uring implementation.
+
+    One submission ring (iSub) and one completion ring (iCompl) in
+    shared untrusted memory (paper §2.4), drained by a dedicated kernel
+    worker process — the analogue of the io_uring kernel routine
+    scheduled by [io_uring_enter] (paper §4.3 notes the syscall is
+    non-blocking and the work happens in kernel context).
+
+    Opcode semantics are delegated to an [exec] closure supplied by
+    {!Kernel}, which owns the fd table; this module owns the ring
+    protocol, the per-op cost and the malice hooks on CQEs. *)
+
+type exec_result =
+  | Done of int  (** completed inline by the worker *)
+  | Blocking of (unit -> int)
+      (** may wait: run in a dedicated kernel context so the ring worker
+          keeps draining (io_uring's async poll/recv machinery) *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  alloc:Mem.Alloc.t ->
+  entries:int ->
+  exec:(Abi.Uring_abi.sqe -> exec_result) ->
+  malice:Malice.t option ref ->
+  t
+(** Allocates iSub ([entries] SQE slots) and iCompl ([2*entries] CQE
+    slots, like the real default) from the shared allocator. *)
+
+val uring_id : t -> int
+
+val sq_layout : t -> Rings.Layout.t
+
+val cq_layout : t -> Rings.Layout.t
+
+val enter : t -> unit
+(** The [io_uring_enter] wakeup: non-blocking nudge of the worker. *)
+
+val submitted : t -> int
+
+val completed : t -> int
+
+val dropped : t -> int
+(** Completions lost to a full iCompl. *)
+
+val cq_notify : t -> Sim.Condition.t
+(** Broadcast on every CQE post; simulation stand-in for the SyncProxy's
+    shared-memory completion polling (see {!Xdp.rx_notify}). *)

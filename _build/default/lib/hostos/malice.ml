@@ -1,0 +1,74 @@
+type attack =
+  | Prod_overshoot
+  | Prod_regress
+  | Cons_overshoot
+  | Cons_regress
+  | Bad_umem_offset
+  | Misaligned_offset
+  | Foreign_frame
+  | Oversize_len
+  | Cqe_wrong_user_data
+  | Cqe_bogus_res
+  | Corrupt_packet
+
+type t = {
+  rng : Sim.Rng.t;
+  armed : (attack, float) Hashtbl.t;
+  mutable fired : int;
+}
+
+let create ~seed = { rng = Sim.Rng.create ~seed; armed = Hashtbl.create 8; fired = 0 }
+
+let arm t ?(probability = 1.0) attack = Hashtbl.replace t.armed attack probability
+
+let disarm t attack = Hashtbl.remove t.armed attack
+
+let armed t attack = Hashtbl.mem t.armed attack
+
+let roll t attack =
+  match t with
+  | None -> false
+  | Some t -> (
+      match Hashtbl.find_opt t.armed attack with
+      | None -> false
+      | Some p -> p >= 1.0 || Sim.Rng.float t.rng 1.0 < p)
+
+let rng t = t.rng
+
+let fired t = t.fired
+
+let record t _attack = t.fired <- t.fired + 1
+
+let smash_prod layout v = Rings.Layout.write_prod layout v
+
+let smash_cons layout v = Rings.Layout.write_cons layout v
+
+let all_attacks =
+  [
+    Prod_overshoot;
+    Prod_regress;
+    Cons_overshoot;
+    Cons_regress;
+    Bad_umem_offset;
+    Misaligned_offset;
+    Foreign_frame;
+    Oversize_len;
+    Cqe_wrong_user_data;
+    Cqe_bogus_res;
+    Corrupt_packet;
+  ]
+
+let pp_attack ppf a =
+  Format.pp_print_string ppf
+    (match a with
+    | Prod_overshoot -> "prod-overshoot"
+    | Prod_regress -> "prod-regress"
+    | Cons_overshoot -> "cons-overshoot"
+    | Cons_regress -> "cons-regress"
+    | Bad_umem_offset -> "bad-umem-offset"
+    | Misaligned_offset -> "misaligned-offset"
+    | Foreign_frame -> "foreign-frame"
+    | Oversize_len -> "oversize-len"
+    | Cqe_wrong_user_data -> "cqe-wrong-user-data"
+    | Cqe_bogus_res -> "cqe-bogus-res"
+    | Corrupt_packet -> "corrupt-packet")

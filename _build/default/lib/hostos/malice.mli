@@ -1,0 +1,70 @@
+(** The adversarial host kernel (threat-model driver).
+
+    RAKIS's threat model (paper §3) trusts nothing outside enclave
+    memory, including every FIOKP control value.  This module is how the
+    reproduction exercises that model: a [Malice.t] armed with a set of
+    attacks makes the simulated kernel's XDP and io_uring paths tamper
+    with exactly the untrusted data items of Table 2, and provides
+    standalone smash helpers for direct use by tests and the Testing
+    Module.
+
+    Each attack corresponds to a Table 2 check (and a §5 case study):
+
+    - ring-index attacks ([Prod_overshoot], [Prod_regress],
+      [Cons_overshoot], [Cons_regress]) violate
+      [0 <= P - C <= size] from either side;
+    - UMem descriptor attacks ([Bad_umem_offset], [Misaligned_offset],
+      [Foreign_frame], [Oversize_len]) violate the "offset & size fully
+      points within UMem / owned by routine" checks;
+    - CQE attacks ([Cqe_wrong_user_data], [Cqe_bogus_res]) violate the
+      "return code is expected for the requested operation" check;
+    - [Corrupt_packet] mangles user data values, which Table 2
+      deliberately does {e not} check (left to TLS) — RAKIS must stay
+      robust (not crash) but need not detect it. *)
+
+type attack =
+  | Prod_overshoot
+  | Prod_regress
+  | Cons_overshoot
+  | Cons_regress
+  | Bad_umem_offset
+  | Misaligned_offset
+  | Foreign_frame
+  | Oversize_len
+  | Cqe_wrong_user_data
+  | Cqe_bogus_res
+  | Corrupt_packet
+
+type t
+
+val create : seed:int64 -> t
+
+val arm : t -> ?probability:float -> attack -> unit
+(** Make [attack] fire with the given probability (default 1.0) at each
+    opportunity. *)
+
+val disarm : t -> attack -> unit
+
+val armed : t -> attack -> bool
+
+val roll : t option -> attack -> bool
+(** Should the attack fire now?  [None] (no adversary) is never. *)
+
+val rng : t -> Sim.Rng.t
+
+val fired : t -> int
+(** Total number of tamperings performed (incremented by {!record}). *)
+
+val record : t -> attack -> unit
+(** Called by kernel paths when they actually apply an attack. *)
+
+(** {1 Standalone ring smashing (tests / model checker)} *)
+
+val smash_prod : Rings.Layout.t -> int -> unit
+(** Overwrite the shared producer index. *)
+
+val smash_cons : Rings.Layout.t -> int -> unit
+
+val all_attacks : attack list
+
+val pp_attack : Format.formatter -> attack -> unit

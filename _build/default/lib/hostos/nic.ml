@@ -1,0 +1,102 @@
+type t = {
+  engine : Sim.Engine.t;
+  id : int;
+  mac : Packet.Addr.Mac.t;
+  ip : Packet.Addr.Ip.t;
+  tx_queue : Bytes.t Sim.Mailbox.t;
+  rx_queues : Bytes.t Sim.Mailbox.t array;
+  mutable handlers : (Bytes.t -> unit) array;
+  mutable peer : t option;
+  key : string; (* stats key prefix *)
+}
+
+let stats t = Sim.Engine.stats t.engine
+
+let id t = t.id
+
+let mac t = t.mac
+
+let ip t = t.ip
+
+let queue_count t = Array.length t.rx_queues
+
+let rx_packets t = Sim.Stats.get (stats t) (t.key ^ ".rx")
+
+let tx_packets t = Sim.Stats.get (stats t) (t.key ^ ".tx")
+
+let drops t = Sim.Stats.get (stats t) (t.key ^ ".drops")
+
+let steer t frame =
+  match Packet.Frame.peek_udp_ports frame with
+  | Some (src_port, _) -> src_port mod Array.length t.rx_queues
+  | None -> 0
+
+let deliver t frame =
+  let q = steer t frame in
+  if Sim.Mailbox.try_put t.rx_queues.(q) frame then
+    Sim.Stats.incr (stats t) (t.key ^ ".rx")
+  else Sim.Stats.incr (stats t) (t.key ^ ".drops")
+
+(* The transmit process: serialize frames at the link rate and deliver
+   them to the wired peer. *)
+let tx_process t () =
+  let rec loop () =
+    let frame = Sim.Mailbox.get t.tx_queue in
+    let wire_cycles =
+      Int64.of_float
+        (float_of_int (Bytes.length frame) *. Sgx.Params.wire_cycles_per_byte)
+    in
+    Sim.Engine.delay wire_cycles;
+    Sim.Stats.incr (stats t) (t.key ^ ".tx");
+    (match t.peer with Some peer -> deliver peer frame | None -> ());
+    loop ()
+  in
+  loop ()
+
+(* One process per receive queue, standing in for the softirq that
+   drains a NIC queue. *)
+let rx_process t q () =
+  let rec loop () =
+    let frame = Sim.Mailbox.get t.rx_queues.(q) in
+    t.handlers.(q) frame;
+    loop ()
+  in
+  loop ()
+
+let create engine ~id ~mac ~ip ~queues =
+  if queues <= 0 then invalid_arg "Nic.create: need at least one queue";
+  let t =
+    {
+      engine;
+      id;
+      mac;
+      ip;
+      tx_queue = Sim.Mailbox.create ~capacity:Sgx.Params.nic_queue_len ();
+      rx_queues =
+        Array.init queues (fun _ ->
+            Sim.Mailbox.create ~capacity:Sgx.Params.nic_queue_len ());
+      handlers = Array.make queues (fun _ -> ());
+      peer = None;
+      key = Printf.sprintf "nic.%d" id;
+    }
+  in
+  Sim.Engine.spawn engine ~name:(Printf.sprintf "nic%d-tx" id) (tx_process t);
+  for q = 0 to queues - 1 do
+    Sim.Engine.spawn engine
+      ~name:(Printf.sprintf "nic%d-rxq%d" id q)
+      (rx_process t q)
+  done;
+  t
+
+let wire a b =
+  a.peer <- Some b;
+  b.peer <- Some a
+
+let set_rx_handler t ~queue f =
+  if queue < 0 || queue >= Array.length t.handlers then
+    invalid_arg "Nic.set_rx_handler: bad queue";
+  t.handlers.(queue) <- f
+
+let transmit t frame =
+  if not (Sim.Mailbox.try_put t.tx_queue frame) then
+    Sim.Stats.incr (stats t) (t.key ^ ".drops")

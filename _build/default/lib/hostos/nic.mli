@@ -1,0 +1,53 @@
+(** Simulated network interface.
+
+    Two interfaces are wired back-to-back ("loopback configuration" in
+    the paper's testbed).  Transmission is paced at the link rate
+    ({!Sgx.Params.nic_link_gbps}); each interface has a configurable
+    number of receive queues of bounded depth, with RSS-style steering
+    by UDP source port.  A queue whose mailbox is full drops the frame
+    (counted under ["nic.<id>.drops"]) — the memory-pressure drop
+    behaviour the paper's QoS discussion (§4.1) is about.
+
+    Each receive queue runs its own handler process ("softirq"): the
+    handler installed by the kernel may block and charge cycles without
+    stalling the wire. *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  id:int ->
+  mac:Packet.Addr.Mac.t ->
+  ip:Packet.Addr.Ip.t ->
+  queues:int ->
+  t
+
+val id : t -> int
+
+val mac : t -> Packet.Addr.Mac.t
+
+val ip : t -> Packet.Addr.Ip.t
+
+val queue_count : t -> int
+
+val wire : t -> t -> unit
+(** Connect two interfaces; must be called once per pair. *)
+
+val set_rx_handler : t -> queue:int -> (Bytes.t -> unit) -> unit
+(** Install the consumer for one receive queue.  The handler runs in a
+    dedicated queue process and may suspend. *)
+
+val transmit : t -> Bytes.t -> unit
+(** Hand a frame to the interface for transmission.  Returns
+    immediately; serialization delay is paid by the NIC's own process.
+    Frames are dropped when the transmit queue overflows. *)
+
+val steer : t -> Bytes.t -> int
+(** The receive queue a frame lands on: hash of the UDP source port for
+    UDP frames (RSS), queue 0 otherwise. *)
+
+val rx_packets : t -> int
+
+val tx_packets : t -> int
+
+val drops : t -> int

@@ -1,0 +1,151 @@
+type endpoint = {
+  rx : Bytes.t Sim.Mailbox.t;
+  mutable rx_partial : (Bytes.t * int) option; (* leftover chunk, offset *)
+  mutable peer : endpoint option;
+  mutable closed : bool; (* this side closed *)
+  mutable peer_closed : bool;
+  activity : Sim.Condition.t; (* broadcast on data/FIN arrival (pollers) *)
+}
+
+type listener = {
+  l_port : int;
+  l_ip : Packet.Addr.Ip.t;
+  backlog : endpoint Sim.Mailbox.t;
+  mutable l_closed : bool;
+  l_activity : Sim.Condition.t;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  listeners : (int, listener) Hashtbl.t;
+}
+
+(* Socket-buffer depth in chunks; with memcached/redis-sized messages
+   this approximates a 256 KiB window. *)
+let window_chunks = 256
+
+let create engine = { engine; listeners = Hashtbl.create 8 }
+
+let make_endpoint () =
+  {
+    rx = Sim.Mailbox.create ~capacity:window_chunks ();
+    rx_partial = None;
+    peer = None;
+    closed = false;
+    peer_closed = false;
+    activity = Sim.Condition.create ();
+  }
+
+let listen t ~ip ~port =
+  if Hashtbl.mem t.listeners port then Error Abi.Errno.EADDRINUSE
+  else begin
+    let l =
+      {
+        l_port = port;
+        l_ip = ip;
+        backlog = Sim.Mailbox.create ~capacity:1024 ();
+        l_closed = false;
+        l_activity = Sim.Condition.create ();
+      }
+    in
+    Hashtbl.add t.listeners port l;
+    Ok l
+  end
+
+let accept _t l =
+  if l.l_closed then Error Abi.Errno.EBADF
+  else begin
+    Sim.Engine.delay Sgx.Params.kernel_tcp_per_op;
+    Ok (Sim.Mailbox.get l.backlog)
+  end
+
+let wire_delay len =
+  Sim.Engine.delay
+    (Int64.of_float (float_of_int len *. Sgx.Params.wire_cycles_per_byte))
+
+let connect t ~ip ~port =
+  match Hashtbl.find_opt t.listeners port with
+  | None -> Error Abi.Errno.ECONNREFUSED
+  | Some l when l.l_closed || not (Packet.Addr.Ip.equal l.l_ip ip) ->
+      Error Abi.Errno.ECONNREFUSED
+  | Some l ->
+      let a = make_endpoint () and b = make_endpoint () in
+      a.peer <- Some b;
+      b.peer <- Some a;
+      (* One round trip of handshake across the loopback wire. *)
+      Sim.Engine.delay Sgx.Params.kernel_tcp_per_op;
+      wire_delay (2 * 64);
+      Sim.Mailbox.put l.backlog b;
+      Sim.Condition.broadcast l.l_activity;
+      Ok a
+
+let send _t ep buf off len =
+  if ep.closed then Error Abi.Errno.EBADF
+  else
+    match ep.peer with
+    | None -> Error Abi.Errno.ENOTCONN
+    | Some peer ->
+        if peer.closed then Error Abi.Errno.ECONNRESET
+        else if len = 0 then Ok 0
+        else begin
+          Sim.Engine.delay Sgx.Params.kernel_tcp_per_op;
+          wire_delay len;
+          Sim.Mailbox.put peer.rx (Bytes.sub buf off len);
+          Sim.Condition.broadcast peer.activity;
+          Ok len
+        end
+
+let rec recv t ep buf off len =
+  if ep.closed then Error Abi.Errno.EBADF
+  else
+    match ep.rx_partial with
+    | Some (chunk, coff) ->
+        Sim.Engine.delay Sgx.Params.kernel_tcp_per_op;
+        let n = min len (Bytes.length chunk - coff) in
+        Bytes.blit chunk coff buf off n;
+        ep.rx_partial <-
+          (if coff + n < Bytes.length chunk then Some (chunk, coff + n)
+           else None);
+        Ok n
+    | None ->
+        if ep.peer_closed && Sim.Mailbox.is_empty ep.rx then Ok 0
+        else begin
+          (* Block until data or EOF; EOF (FIN) is a zero-length chunk. *)
+          let chunk = Sim.Mailbox.get ep.rx in
+          if Bytes.length chunk = 0 then ep.peer_closed <- true
+          else ep.rx_partial <- Some (chunk, 0);
+          recv t ep buf off len
+        end
+
+let readable ep =
+  ep.rx_partial <> None || not (Sim.Mailbox.is_empty ep.rx) || ep.peer_closed
+
+let writable ep =
+  (not ep.closed)
+  &&
+  match ep.peer with
+  | None -> false
+  | Some peer -> Sim.Mailbox.length peer.rx < Sim.Mailbox.capacity peer.rx
+
+let close t ep =
+  if not ep.closed then begin
+    ep.closed <- true;
+    match ep.peer with
+    | None -> ()
+    | Some peer ->
+        (* Zero-length chunk = FIN; delivered from a helper process so it
+           cannot be lost when the peer's window is momentarily full. *)
+        Sim.Engine.spawn t.engine ~name:"tcp-fin" (fun () ->
+            Sim.Mailbox.put peer.rx Bytes.empty;
+            Sim.Condition.broadcast peer.activity)
+  end
+
+let listener_readable l = not (Sim.Mailbox.is_empty l.backlog)
+
+let close_listener t l =
+  l.l_closed <- true;
+  Hashtbl.remove t.listeners l.l_port
+
+let activity ep = ep.activity
+
+let listener_activity l = l.l_activity

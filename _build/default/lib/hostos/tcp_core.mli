@@ -1,0 +1,54 @@
+(** Kernel TCP transport.
+
+    A deliberately simplified model: connections are reliable,
+    flow-controlled byte pipes between two endpoints on the simulated
+    machine, charged at {!Sgx.Params.kernel_tcp_per_op} per send/recv
+    plus the loopback wire time per byte.  Segmentation, retransmission
+    and congestion control are not modelled — the paper's Redis workload
+    runs over a lossless 25 Gbps loopback where none of those engage;
+    what matters for the figures is the per-call kernel cost and the
+    byte-rate limit, both of which are preserved.  (See DESIGN.md,
+    substitution table.) *)
+
+type t
+
+type listener
+
+type endpoint
+
+val create : Sim.Engine.t -> t
+
+val listen : t -> ip:Packet.Addr.Ip.t -> port:int -> (listener, Abi.Errno.t) result
+
+val accept : t -> listener -> (endpoint, Abi.Errno.t) result
+(** Blocks until a connection arrives. *)
+
+val connect : t -> ip:Packet.Addr.Ip.t -> port:int -> (endpoint, Abi.Errno.t) result
+(** Finds the listener bound to (ip, port) on this machine and completes
+    a handshake (one RTT of wire time). *)
+
+val send : t -> endpoint -> Bytes.t -> int -> int -> (int, Abi.Errno.t) result
+(** [send t ep buf off len] queues bytes to the peer; blocks while the
+    peer's receive window (socket buffer) is full.  Returns bytes
+    accepted. *)
+
+val recv : t -> endpoint -> Bytes.t -> int -> int -> (int, Abi.Errno.t) result
+(** Blocks until at least one byte is available; returns up to [len]
+    bytes.  0 means the peer closed. *)
+
+val readable : endpoint -> bool
+(** Data buffered (or EOF pending): a recv would not block. *)
+
+val writable : endpoint -> bool
+
+val close : t -> endpoint -> unit
+
+val listener_readable : listener -> bool
+(** A pending connection: accept would not block. *)
+
+val close_listener : t -> listener -> unit
+
+val activity : endpoint -> Sim.Condition.t
+(** Broadcast whenever data or FIN arrives; pollers wait on it. *)
+
+val listener_activity : listener -> Sim.Condition.t

@@ -1,0 +1,211 @@
+type sock = {
+  id : int;
+  mutable bound : (Packet.Addr.Ip.t * int) option;
+  rxq : (Bytes.t * (Packet.Addr.Ip.t * int)) Sim.Mailbox.t;
+  mutable closed : bool;
+  activity : Sim.Condition.t; (* broadcast on datagram arrival (pollers) *)
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  route : Packet.Addr.Ip.t -> Nic.t option;
+  by_port : (int, sock) Hashtbl.t;
+  arp : (int, Packet.Addr.Mac.t) Hashtbl.t; (* keyed by Ip as int *)
+  arp_resolved : Sim.Condition.t;
+  mutable next_id : int;
+  mutable next_ephemeral : int;
+}
+
+let rx_capacity = Sgx.Params.udp_socket_buffer / Sgx.Params.umem_frame_size
+
+let create engine ~route =
+  {
+    engine;
+    route;
+    by_port = Hashtbl.create 16;
+    arp = Hashtbl.create 8;
+    arp_resolved = Sim.Condition.create ();
+    next_id = 0;
+    next_ephemeral = 40000;
+  }
+
+let socket t =
+  t.next_id <- t.next_id + 1;
+  {
+    id = t.next_id;
+    bound = None;
+    rxq = Sim.Mailbox.create ~capacity:rx_capacity ();
+    closed = false;
+    activity = Sim.Condition.create ();
+  }
+
+let bind t sock ip port =
+  let port =
+    if port = 0 then begin
+      while Hashtbl.mem t.by_port t.next_ephemeral do
+        t.next_ephemeral <- t.next_ephemeral + 1
+      done;
+      t.next_ephemeral
+    end
+    else port
+  in
+  if Hashtbl.mem t.by_port port then Error Abi.Errno.EADDRINUSE
+  else begin
+    sock.bound <- Some (ip, port);
+    Hashtbl.add t.by_port port sock;
+    Ok ()
+  end
+
+let bound_port sock = Option.map snd sock.bound
+
+let charge_softirq () = Sim.Engine.delay Sgx.Params.kernel_udp_softirq_per_packet
+
+let charge_copy len =
+  Sim.Engine.delay
+    (Int64.of_float (float_of_int len *. Sgx.Params.memcpy_cycles_per_byte))
+
+let arp_resolve t ip = Hashtbl.find_opt t.arp (Packet.Addr.Ip.to_int ip)
+
+let add_arp t ip mac = Hashtbl.replace t.arp (Packet.Addr.Ip.to_int ip) mac
+
+let send_arp_request nic target_ip =
+  let arp =
+    {
+      Packet.Arp.op = Request;
+      sender_mac = Nic.mac nic;
+      sender_ip = Nic.ip nic;
+      target_mac = Packet.Addr.Mac.zero;
+      target_ip;
+    }
+  in
+  Nic.transmit nic
+    (Packet.Frame.build_arp ~src_mac:(Nic.mac nic)
+       ~dst_mac:Packet.Addr.Mac.broadcast arp)
+
+(* Resolve [ip] to a MAC, emitting ARP requests and blocking until the
+   reply is learned.  Gives up after a few retries. *)
+let resolve_blocking t nic ip =
+  let rec attempt tries =
+    match arp_resolve t ip with
+    | Some mac -> Some mac
+    | None when tries = 0 -> None
+    | None ->
+        send_arp_request nic ip;
+        (* Wait for any ARP learning event, or a retransmit timeout. *)
+        let timer_fired = ref false in
+        Sim.Engine.at t.engine
+          (Int64.add (Sim.Engine.now t.engine) (Sim.Cycles.of_us 100.))
+          (fun () ->
+            if not !timer_fired then begin
+              timer_fired := true;
+              Sim.Condition.broadcast t.arp_resolved
+            end);
+        Sim.Condition.wait t.arp_resolved;
+        attempt (tries - 1)
+  in
+  attempt 5
+
+let sendto t sock payload ~dst:(dst_ip, dst_port) =
+  match t.route dst_ip with
+  | None -> Error Abi.Errno.ENOTCONN
+  | Some nic -> (
+      (if sock.bound = None then
+         match bind t sock (Nic.ip nic) 0 with
+         | Ok () -> ()
+         | Error _ -> ());
+      match sock.bound with
+      | None -> Error Abi.Errno.EINVAL
+      | Some (_, src_port) -> (
+          if Bytes.length payload > Packet.Udp.max_payload then
+            Error Abi.Errno.EMSGSIZE
+          else
+            match resolve_blocking t nic dst_ip with
+            | None -> Error Abi.Errno.ENOTCONN
+            | Some dst_mac ->
+                Sim.Engine.delay Sgx.Params.kernel_udp_tx_syscall_cycles;
+                charge_copy (Bytes.length payload);
+                let info =
+                  {
+                    Packet.Frame.src_mac = Nic.mac nic;
+                    dst_mac;
+                    src_ip = Nic.ip nic;
+                    dst_ip;
+                    src_port;
+                    dst_port;
+                  }
+                in
+                Nic.transmit nic (Packet.Frame.build_udp info payload);
+                Ok (Bytes.length payload)))
+
+let recvfrom _t sock ~max =
+  if sock.closed then Error Abi.Errno.EBADF
+  else begin
+    let payload, src = Sim.Mailbox.get sock.rxq in
+    Sim.Engine.delay Sgx.Params.kernel_udp_rx_syscall_cycles;
+    charge_copy (min max (Bytes.length payload));
+    let payload =
+      if Bytes.length payload > max then Bytes.sub payload 0 max else payload
+    in
+    Ok (payload, src)
+  end
+
+let readable sock = not (Sim.Mailbox.is_empty sock.rxq)
+
+let pending sock = Sim.Mailbox.length sock.rxq
+
+let close t sock =
+  sock.closed <- true;
+  match sock.bound with
+  | Some (_, port) -> Hashtbl.remove t.by_port port
+  | None -> ()
+
+let handle_arp t nic arp =
+  let open Packet.Arp in
+  (* Learn the sender mapping either way. *)
+  add_arp t arp.sender_ip arp.sender_mac;
+  Sim.Condition.broadcast t.arp_resolved;
+  match arp.op with
+  | Request when Packet.Addr.Ip.equal arp.target_ip (Nic.ip nic) ->
+      let reply =
+        {
+          op = Reply;
+          sender_mac = Nic.mac nic;
+          sender_ip = Nic.ip nic;
+          target_mac = arp.sender_mac;
+          target_ip = arp.sender_ip;
+        }
+      in
+      Nic.transmit nic
+        (Packet.Frame.build_arp ~src_mac:(Nic.mac nic) ~dst_mac:arp.sender_mac
+           reply)
+  | Request | Reply -> ()
+
+let stack_input t nic frame =
+  charge_softirq ();
+  match Packet.Eth.parse frame with
+  | Error _ -> ()
+  | Ok eth -> (
+      match eth.ethertype with
+      | Arp -> (
+          match Packet.Arp.parse eth.payload with
+          | Ok arp -> handle_arp t nic arp
+          | Error _ -> ())
+      | Unknown _ -> ()
+      | Ipv4 -> (
+          match Packet.Frame.dissect_udp frame with
+          | Error _ -> ()
+          | Ok (info, payload) -> (
+              match Hashtbl.find_opt t.by_port info.dst_port with
+              | None ->
+                  Sim.Stats.incr (Sim.Engine.stats t.engine)
+                    "udp.no_socket_drops"
+              | Some sock ->
+                  if
+                    Sim.Mailbox.try_put sock.rxq
+                      (payload, (info.src_ip, info.src_port))
+                  then Sim.Condition.broadcast sock.activity
+                  else
+                    Sim.Stats.incr (Sim.Engine.stats t.engine)
+                      "udp.buffer_drops")))
+
+let activity sock = sock.activity

@@ -1,0 +1,57 @@
+(** Kernel UDP sockets (the regular, non-XDP path).
+
+    This is the path Native and Gramine environments use: every packet
+    traverses the simulated kernel stack at
+    {!Sgx.Params.kernel_udp_per_packet} and lands in a bounded
+    per-socket receive buffer ({!Sgx.Params.udp_socket_buffer}).
+
+    Address resolution is on-demand ARP: a send to an unresolved IP
+    emits an ARP request on the route's interface and blocks the caller
+    until the reply arrives (or retries time out). *)
+
+type t
+
+type sock
+
+val create : Sim.Engine.t -> route:(Packet.Addr.Ip.t -> Nic.t option) -> t
+
+val socket : t -> sock
+
+val bind : t -> sock -> Packet.Addr.Ip.t -> int -> (unit, Abi.Errno.t) result
+(** Port 0 picks an ephemeral port.  [EADDRINUSE] when taken. *)
+
+val bound_port : sock -> int option
+
+val sendto :
+  t ->
+  sock ->
+  Bytes.t ->
+  dst:Packet.Addr.Ip.t * int ->
+  (int, Abi.Errno.t) result
+(** Charges the kernel stack cost and hands a full frame to the route's
+    interface.  Binds the socket ephemerally if needed. *)
+
+val recvfrom :
+  t -> sock -> max:int -> (Bytes.t * (Packet.Addr.Ip.t * int), Abi.Errno.t) result
+(** Blocks until a datagram arrives; truncates to [max] like POSIX. *)
+
+val readable : sock -> bool
+
+val pending : sock -> int
+
+val close : t -> sock -> unit
+
+val stack_input : t -> Nic.t -> Bytes.t -> unit
+(** Kernel network-stack entry point, called from a NIC receive-queue
+    process for frames not claimed by XDP.  Handles ARP (request reply +
+    table learning) and UDP delivery; everything else is dropped.
+    Charges stack traversal cost. *)
+
+val arp_resolve : t -> Packet.Addr.Ip.t -> Packet.Addr.Mac.t option
+(** Current ARP table entry, if any (diagnostic / tests). *)
+
+val add_arp : t -> Packet.Addr.Ip.t -> Packet.Addr.Mac.t -> unit
+(** Seed a static ARP entry (tests). *)
+
+val activity : sock -> Sim.Condition.t
+(** Broadcast whenever a datagram lands in the socket buffer. *)

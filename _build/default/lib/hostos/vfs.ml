@@ -1,0 +1,52 @@
+type inode = { path : string; buf : Fbuf.t }
+
+type t = { engine : Sim.Engine.t; files : (string, inode) Hashtbl.t }
+
+let create engine = { engine; files = Hashtbl.create 16 }
+
+let lookup t path = Hashtbl.find_opt t.files path
+
+let open_file t ?(create = false) ?(trunc = false) path =
+  match Hashtbl.find_opt t.files path with
+  | Some inode ->
+      if trunc then Fbuf.truncate inode.buf 0;
+      Ok inode
+  | None ->
+      if not create then Error Abi.Errno.ENOENT
+      else begin
+        let inode = { path; buf = Fbuf.create () } in
+        Hashtbl.add t.files path inode;
+        Ok inode
+      end
+
+let size inode = Fbuf.length inode.buf
+
+let charge_io _t nbytes =
+  let cycles =
+    Int64.add Sgx.Params.vfs_per_op
+      (Int64.of_float (float_of_int nbytes *. Sgx.Params.storage_cycles_per_byte))
+  in
+  Sim.Engine.delay cycles
+
+let read t inode ~off dst doff len =
+  let n = Fbuf.read inode.buf ~off dst doff len in
+  charge_io t n;
+  n
+
+let write t inode ~off src soff len =
+  let n = Fbuf.write inode.buf ~off src soff len in
+  charge_io t n;
+  n
+
+let unlink t path =
+  if Hashtbl.mem t.files path then begin
+    Hashtbl.remove t.files path;
+    Ok ()
+  end
+  else Error Abi.Errno.ENOENT
+
+let contents inode = Fbuf.to_string inode.buf
+
+let file_count t = Hashtbl.length t.files
+
+let path inode = inode.path

@@ -1,0 +1,248 @@
+type action = Pass | Drop | Redirect
+
+type prog = Bytes.t -> action
+
+type xsk = {
+  id : int;
+  engine : Sim.Engine.t;
+  fill : Rings.Layout.t;
+  rx : Rings.Layout.t;
+  tx : Rings.Layout.t;
+  compl_ : Rings.Layout.t;
+  umem : Mem.Ptr.t;
+  umem_size : int;
+  frame_size : int;
+  tx_wake : Sim.Condition.t;
+  rx_notify : Sim.Condition.t;
+  compl_notify : Sim.Condition.t;
+  mutable transmit : Bytes.t -> unit;
+  mutable rx_delivered : int;
+  mutable rx_dropped : int;
+  mutable tx_sent : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  malice : Malice.t option ref;
+  mutable next_id : int;
+}
+
+let create engine ~malice = { engine; malice; next_id = 0 }
+
+let create_xsk t ~alloc ~umem_size ~frame_size ~ring_size =
+  t.next_id <- t.next_id + 1;
+  let ring () = Rings.Layout.alloc alloc ~entry_size:Abi.Xsk_desc.entry_size ~size:ring_size in
+  let fill = ring () and rx = ring () and tx = ring () and compl_ = ring () in
+  let umem = Mem.Alloc.alloc_ptr alloc ~align:frame_size umem_size in
+  {
+    id = t.next_id;
+    engine = t.engine;
+    fill;
+    rx;
+    tx;
+    compl_;
+    umem;
+    umem_size;
+    frame_size;
+    tx_wake = Sim.Condition.create ();
+    rx_notify = Sim.Condition.create ();
+    compl_notify = Sim.Condition.create ();
+    transmit = (fun _ -> ());
+    rx_delivered = 0;
+    rx_dropped = 0;
+    tx_sent = 0;
+  }
+
+let xsk_id x = x.id
+
+let fill_layout x = x.fill
+
+let rx_layout x = x.rx
+
+let tx_layout x = x.tx
+
+let compl_layout x = x.compl_
+
+let umem_ptr x = x.umem
+
+let umem_size x = x.umem_size
+
+let frame_size x = x.frame_size
+
+let rx_delivered x = x.rx_delivered
+
+let rx_dropped x = x.rx_dropped
+
+let tx_sent x = x.tx_sent
+
+let charge_per_packet () = Sim.Engine.delay Sgx.Params.xdp_redirect_per_packet
+
+let charge_copy len =
+  Sim.Engine.delay
+    (Int64.of_float (float_of_int len *. Sgx.Params.memcpy_cycles_per_byte))
+
+(* The kernel's own validation of a user-supplied UMem offset: in range
+   and frame-aligned (AF_XDP aligned mode). *)
+let umem_offset_ok x off =
+  off >= 0 && off + x.frame_size <= x.umem_size && off mod x.frame_size = 0
+
+let tamper_after_rx t x =
+  match !(t.malice) with
+  | None -> ()
+  | Some m ->
+      if Malice.roll !(t.malice) Prod_overshoot then begin
+        Malice.record m Prod_overshoot;
+        Malice.smash_prod x.rx
+          (Rings.U32.add (Rings.Layout.read_prod x.rx) (x.rx.Rings.Layout.size + 7))
+      end;
+      if Malice.roll !(t.malice) Prod_regress then begin
+        Malice.record m Prod_regress;
+        Malice.smash_prod x.rx (Rings.U32.sub (Rings.Layout.read_prod x.rx) 2)
+      end;
+      if Malice.roll !(t.malice) Cons_overshoot then begin
+        Malice.record m Cons_overshoot;
+        Malice.smash_cons x.fill
+          (Rings.U32.add (Rings.Layout.read_prod x.fill) (x.fill.Rings.Layout.size + 5))
+      end;
+      if Malice.roll !(t.malice) Cons_regress then begin
+        Malice.record m Cons_regress;
+        Malice.smash_cons x.fill (Rings.U32.sub (Rings.Layout.read_cons x.fill) 3)
+      end
+
+(* Choose the descriptor the kernel announces on xRX, possibly forged. *)
+let rx_descriptor t x ~offset ~len =
+  match !(t.malice) with
+  | None -> Abi.Xsk_desc.encode ~offset ~len
+  | Some m ->
+      if Malice.roll !(t.malice) Bad_umem_offset then begin
+        Malice.record m Bad_umem_offset;
+        Abi.Xsk_desc.encode ~offset:(x.umem_size + (4 * x.frame_size)) ~len
+      end
+      else if Malice.roll !(t.malice) Misaligned_offset then begin
+        Malice.record m Misaligned_offset;
+        Abi.Xsk_desc.encode ~offset:(offset + 3) ~len
+      end
+      else if Malice.roll !(t.malice) Foreign_frame then begin
+        Malice.record m Foreign_frame;
+        (* A perfectly in-bounds, aligned frame — just not one the FM
+           handed to this routine. *)
+        Abi.Xsk_desc.encode ~offset:(x.umem_size - x.frame_size) ~len
+      end
+      else if Malice.roll !(t.malice) Oversize_len then begin
+        Malice.record m Oversize_len;
+        Abi.Xsk_desc.encode ~offset ~len:(2 * x.frame_size)
+      end
+      else Abi.Xsk_desc.encode ~offset ~len
+
+let maybe_corrupt t frame =
+  match !(t.malice) with
+  | Some m when Malice.roll !(t.malice) Corrupt_packet ->
+      Malice.record m Corrupt_packet;
+      let frame = Bytes.copy frame in
+      let n = 1 + Sim.Rng.int (Malice.rng m) 4 in
+      for _ = 1 to n do
+        let i = Sim.Rng.int (Malice.rng m) (Bytes.length frame) in
+        Bytes.set frame i (Sim.Rng.byte (Malice.rng m))
+      done;
+      frame
+  | _ -> frame
+
+(* Deliver one redirected frame into the XSK: consume a fill entry,
+   write the packet into UMem, announce it on xRX. *)
+let rx_deliver t x frame =
+  charge_per_packet ();
+  let frame = maybe_corrupt t frame in
+  let len = Bytes.length frame in
+  if len > x.frame_size then x.rx_dropped <- x.rx_dropped + 1
+  else if Rings.Raw.free x.rx <= 0 then x.rx_dropped <- x.rx_dropped + 1
+  else begin
+    let offset =
+      Rings.Raw.consume x.fill ~read:(fun ~slot_off ->
+          Abi.Xsk_desc.decode_offset
+            (Mem.Region.get_u64 x.fill.Rings.Layout.region slot_off))
+    in
+    match offset with
+    | None -> x.rx_dropped <- x.rx_dropped + 1
+    | Some offset when not (umem_offset_ok x offset) ->
+        (* Kernel refuses garbage fill entries. *)
+        x.rx_dropped <- x.rx_dropped + 1
+    | Some offset ->
+        charge_copy len;
+        Mem.Region.blit_from_bytes frame 0 x.umem.Mem.Ptr.region
+          (x.umem.Mem.Ptr.off + offset) len;
+        let desc = rx_descriptor t x ~offset ~len in
+        let ok =
+          Rings.Raw.produce x.rx ~write:(fun ~slot_off ->
+              Mem.Region.set_u64 x.rx.Rings.Layout.region slot_off desc)
+        in
+        if ok then x.rx_delivered <- x.rx_delivered + 1
+        else x.rx_dropped <- x.rx_dropped + 1;
+        tamper_after_rx t x;
+        Sim.Condition.broadcast x.rx_notify
+  end
+
+(* Drain the xTX ring: validate each descriptor, put the frame on the
+   wire and recycle the UMem offset through xCompl. *)
+let tx_drain t x =
+  let rec loop () =
+    let desc =
+      Rings.Raw.consume x.tx ~read:(fun ~slot_off ->
+          Abi.Xsk_desc.decode (Mem.Region.get_u64 x.tx.Rings.Layout.region slot_off))
+    in
+    match desc with
+    | None -> ()
+    | Some (offset, len) ->
+        if umem_offset_ok x offset && len > 0 && len <= x.frame_size then begin
+          charge_per_packet ();
+          charge_copy len;
+          let frame = Bytes.create len in
+          Mem.Region.blit_to_bytes x.umem.Mem.Ptr.region
+            (x.umem.Mem.Ptr.off + offset) frame 0 len;
+          x.transmit frame;
+          x.tx_sent <- x.tx_sent + 1
+        end;
+        let compl_off =
+          match !(t.malice) with
+          | Some m when Malice.roll !(t.malice) Foreign_frame ->
+              Malice.record m Foreign_frame;
+              0 (* recycle a frame the FM did not send *)
+          | Some m when Malice.roll !(t.malice) Bad_umem_offset ->
+              Malice.record m Bad_umem_offset;
+              x.umem_size + x.frame_size
+          | _ -> offset
+        in
+        ignore
+          (Rings.Raw.produce x.compl_ ~write:(fun ~slot_off ->
+               Mem.Region.set_u64 x.compl_.Rings.Layout.region slot_off
+                 (Abi.Xsk_desc.encode_offset compl_off)));
+        Sim.Condition.broadcast x.compl_notify;
+        loop ()
+  in
+  loop ()
+
+let tx_worker t x () =
+  let rec loop () =
+    Sim.Condition.wait x.tx_wake;
+    tx_drain t x;
+    loop ()
+  in
+  loop ()
+
+let attach t ~nic ~queue ~prog ~xsk ~stack_fallback =
+  xsk.transmit <- (fun frame -> Nic.transmit nic frame);
+  Sim.Engine.spawn t.engine
+    ~name:(Printf.sprintf "xsk%d-tx-worker" xsk.id)
+    (tx_worker t xsk);
+  Nic.set_rx_handler nic ~queue (fun frame ->
+      match prog frame with
+      | Pass -> stack_fallback frame
+      | Drop -> ()
+      | Redirect -> rx_deliver t xsk frame)
+
+let tx_wakeup _t x = Sim.Condition.signal x.tx_wake
+
+let rx_wakeup _t _x = ()
+
+let rx_notify x = x.rx_notify
+
+let compl_notify x = x.compl_notify

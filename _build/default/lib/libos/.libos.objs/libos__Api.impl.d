@@ -1,0 +1,1 @@
+lib/libos/api.ml: Abi Bytes Packet Sim

@@ -1,0 +1,1 @@
+lib/libos/api.mli: Abi Bytes Packet Sim

@@ -1,0 +1,1 @@
+lib/libos/env.ml: Api Hostapi Rakis Rakis_env Sgx

@@ -1,0 +1,1 @@
+lib/libos/env.mli: Api Hostos Rakis Sgx

@@ -1,0 +1,1 @@
+lib/libos/hostapi.ml: Api Bytes Hostos List Sgx Sim

@@ -1,0 +1,1 @@
+lib/libos/hostapi.mli: Api Hostos Sgx

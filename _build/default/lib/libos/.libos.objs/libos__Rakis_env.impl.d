@@ -1,0 +1,1 @@
+lib/libos/rakis_env.ml: Abi Api Hashtbl Hostos Int64 List Option Rakis Sgx Sim

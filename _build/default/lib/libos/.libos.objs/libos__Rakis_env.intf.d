@@ -1,0 +1,1 @@
+lib/libos/rakis_env.mli: Api Hostos Rakis

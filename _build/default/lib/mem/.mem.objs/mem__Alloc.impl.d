@@ -1,0 +1,1 @@
+lib/mem/alloc.ml: Printf Ptr Region

@@ -1,0 +1,1 @@
+lib/mem/region.ml: Bytes Char Format Int32 Printf String

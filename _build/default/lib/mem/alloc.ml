@@ -1,0 +1,37 @@
+type t = {
+  region : Region.t;
+  base : int;
+  limit : int;
+  mutable next : int;
+}
+
+exception Out_of_memory of string
+
+let create region ?(base = 0) ?limit () =
+  let limit = match limit with None -> Region.size region | Some l -> l in
+  if base < 0 || limit > Region.size region || base > limit then
+    invalid_arg "Alloc.create: bad slice";
+  { region; base; limit; next = base }
+
+let align_up v align = (v + align - 1) land lnot (align - 1)
+
+let alloc t ?(align = 8) size =
+  if align <= 0 || align land (align - 1) <> 0 then
+    invalid_arg "Alloc.alloc: align must be a power of two";
+  if size < 0 then invalid_arg "Alloc.alloc: negative size";
+  let off = align_up t.next align in
+  if off + size > t.limit then
+    raise
+      (Out_of_memory
+         (Printf.sprintf "%s: need %d bytes, %d left" (Region.name t.region)
+            size (t.limit - off)));
+  t.next <- off + size;
+  off
+
+let alloc_ptr t ?align size = Ptr.v t.region (alloc t ?align size)
+
+let used t = t.next - t.base
+
+let remaining t = t.limit - t.next
+
+let region t = t.region

@@ -1,0 +1,26 @@
+(** Bump allocator over a slice of a region.
+
+    The host side of the simulation carves ring structures, UMem areas and
+    io_uring queues out of one shared untrusted region; this allocator
+    hands out aligned, non-overlapping offsets the way mmap would. *)
+
+type t
+
+exception Out_of_memory of string
+
+val create : Region.t -> ?base:int -> ?limit:int -> unit -> t
+(** Allocate from [\[base, limit)] of the region (defaults: whole
+    region). *)
+
+val alloc : t -> ?align:int -> int -> int
+(** [alloc t ~align size] returns the offset of a fresh [size]-byte range
+    aligned to [align] (default 8; must be a power of two).  Raises
+    {!Out_of_memory} when the slice is exhausted. *)
+
+val alloc_ptr : t -> ?align:int -> int -> Ptr.t
+
+val used : t -> int
+
+val remaining : t -> int
+
+val region : t -> Region.t

@@ -1,0 +1,1 @@
+lib/netstack/arp_cache.ml: Hashtbl Int64 Packet Sim

@@ -1,0 +1,1 @@
+lib/netstack/arp_cache.mli: Packet Sim

@@ -1,0 +1,1 @@
+lib/netstack/stack.ml: Arp_cache Bytes Hashtbl List Packet Sgx Sim String Udp_socket

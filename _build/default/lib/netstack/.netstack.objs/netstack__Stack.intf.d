@@ -1,0 +1,1 @@
+lib/netstack/stack.mli: Arp_cache Bytes Packet Sim Udp_socket

@@ -1,0 +1,1 @@
+lib/netstack/udp_socket.mli: Bytes Packet Sim

@@ -1,0 +1,41 @@
+type t = {
+  engine : Sim.Engine.t;
+  table : (int, Packet.Addr.Mac.t) Hashtbl.t;
+  updated : Sim.Condition.t;
+}
+
+let create engine () =
+  { engine; table = Hashtbl.create 8; updated = Sim.Condition.create () }
+
+let lookup t ip = Hashtbl.find_opt t.table (Packet.Addr.Ip.to_int ip)
+
+let learn t ip mac =
+  Hashtbl.replace t.table (Packet.Addr.Ip.to_int ip) mac;
+  Sim.Condition.broadcast t.updated
+
+let resolve t ip ~request =
+  let rec attempt tries =
+    match lookup t ip with
+    | Some mac -> Some mac
+    | None when tries = 0 -> None
+    | None when not (Sim.Engine.in_process ()) ->
+        (* Static harnesses (the fuzzer) run outside the engine: emit
+           the request and re-check once, without suspending. *)
+        request ();
+        lookup t ip
+    | None ->
+        request ();
+        let fired = ref false in
+        Sim.Engine.at t.engine
+          (Int64.add (Sim.Engine.now t.engine) (Sim.Cycles.of_us 100.))
+          (fun () ->
+            if not !fired then begin
+              fired := true;
+              Sim.Condition.broadcast t.updated
+            end);
+        Sim.Condition.wait t.updated;
+        attempt (tries - 1)
+  in
+  attempt 5
+
+let entries t = Hashtbl.length t.table

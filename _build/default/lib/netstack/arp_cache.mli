@@ -1,0 +1,25 @@
+(** ARP resolution cache of the in-enclave stack.
+
+    Entries are learned from ARP replies and from gratuitous sender
+    information in requests; resolution waiters are simulated processes
+    blocked on a condition. *)
+
+type t
+
+val create : Sim.Engine.t -> unit -> t
+
+val lookup : t -> Packet.Addr.Ip.t -> Packet.Addr.Mac.t option
+
+val learn : t -> Packet.Addr.Ip.t -> Packet.Addr.Mac.t -> unit
+(** Insert/refresh an entry and wake resolution waiters. *)
+
+val resolve :
+  t ->
+  Packet.Addr.Ip.t ->
+  request:(unit -> unit) ->
+  Packet.Addr.Mac.t option
+(** Blocking resolve: returns immediately on a cache hit; otherwise
+    calls [request] (which should emit an ARP request frame) and waits,
+    retrying a few times before giving up with [None]. *)
+
+val entries : t -> int

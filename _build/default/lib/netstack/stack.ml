@@ -1,0 +1,203 @@
+type locking = [ `Global | `Fine ]
+
+type send_error = Unresolvable | Payload_too_big | No_transmit
+
+type t = {
+  engine : Sim.Engine.t;
+  mac : Packet.Addr.Mac.t;
+  ip : Packet.Addr.Ip.t;
+  locking : locking;
+  global_lock : Sim.Lock.t;
+  table_lock : Sim.Lock.t;
+  sockets : (int, Udp_socket.t) Hashtbl.t;
+  arp : Arp_cache.t;
+  mutable transmit : (Bytes.t -> unit) option;
+  mutable rx_delivered : int;
+  drops : (string, int ref) Hashtbl.t;
+  mutable next_ephemeral : int;
+}
+
+let create engine ~mac ~ip ?(locking = `Fine) () =
+  {
+    engine;
+    mac;
+    ip;
+    locking;
+    global_lock = Sim.Lock.create ();
+    table_lock = Sim.Lock.create ();
+    sockets = Hashtbl.create 16;
+    arp = Arp_cache.create engine ();
+    transmit = None;
+    rx_delivered = 0;
+    drops = Hashtbl.create 8;
+    next_ephemeral = 50000;
+  }
+
+let mac t = t.mac
+
+let ip t = t.ip
+
+let arp t = t.arp
+
+let set_transmit t f = t.transmit <- Some f
+
+let drop t reason =
+  match Hashtbl.find_opt t.drops reason with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.drops reason (ref 1)
+
+let rx_delivered t = t.rx_delivered
+
+let rx_dropped t = Hashtbl.fold (fun _ r acc -> acc + !r) t.drops 0
+
+let drop_reasons t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.drops []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let socket_count t = Hashtbl.length t.sockets
+
+let lock_contention t =
+  Sim.Lock.contended t.global_lock + Sim.Lock.contended t.table_lock
+
+(* In [`Global] mode all packet processing serializes behind one lock —
+   the original LWIP discipline; in [`Fine] mode only the socket table
+   is protected and the (charged) per-packet work runs concurrently. *)
+let with_processing t f =
+  match t.locking with
+  | `Global -> Sim.Lock.with_lock t.global_lock f
+  | `Fine -> f ()
+
+let with_table t f =
+  match t.locking with
+  | `Global -> f () (* already inside the global lock *)
+  | `Fine -> Sim.Lock.with_lock t.table_lock f
+
+let charge_packet () = Sim.Engine.delay !Sgx.Params.enclave_udp_stack_per_packet
+
+let bind t ~port =
+  with_table t (fun () ->
+      let port =
+        if port = 0 then begin
+          while Hashtbl.mem t.sockets t.next_ephemeral do
+            t.next_ephemeral <- t.next_ephemeral + 1
+          done;
+          t.next_ephemeral
+        end
+        else port
+      in
+      if Hashtbl.mem t.sockets port then Error `Port_in_use
+      else begin
+        let sock = Udp_socket.create ~port () in
+        Hashtbl.add t.sockets port sock;
+        Ok sock
+      end)
+
+let unbind t sock =
+  with_table t (fun () -> Hashtbl.remove t.sockets (Udp_socket.port sock))
+
+let send_arp_request t target_ip =
+  match t.transmit with
+  | None -> ()
+  | Some transmit ->
+      let arp =
+        {
+          Packet.Arp.op = Request;
+          sender_mac = t.mac;
+          sender_ip = t.ip;
+          target_mac = Packet.Addr.Mac.zero;
+          target_ip;
+        }
+      in
+      transmit
+        (Packet.Frame.build_arp ~src_mac:t.mac
+           ~dst_mac:Packet.Addr.Mac.broadcast arp)
+
+let sendto t ~src_port ~dst:(dst_ip, dst_port) payload =
+  match t.transmit with
+  | None -> Error No_transmit
+  | Some transmit ->
+      if Bytes.length payload > Packet.Udp.max_payload then
+        Error Payload_too_big
+      else begin
+        match
+          Arp_cache.resolve t.arp dst_ip ~request:(fun () ->
+              send_arp_request t dst_ip)
+        with
+        | None -> Error Unresolvable
+        | Some dst_mac ->
+            with_processing t (fun () ->
+                charge_packet ();
+                let info =
+                  {
+                    Packet.Frame.src_mac = t.mac;
+                    dst_mac;
+                    src_ip = t.ip;
+                    dst_ip;
+                    src_port;
+                    dst_port;
+                  }
+                in
+                transmit (Packet.Frame.build_udp info payload);
+                Ok (Bytes.length payload))
+      end
+
+let handle_arp t arp =
+  let open Packet.Arp in
+  Arp_cache.learn t.arp arp.sender_ip arp.sender_mac;
+  match (arp.op, t.transmit) with
+  | Request, Some transmit when Packet.Addr.Ip.equal arp.target_ip t.ip ->
+      let reply =
+        {
+          op = Reply;
+          sender_mac = t.mac;
+          sender_ip = t.ip;
+          target_mac = arp.sender_mac;
+          target_ip = arp.sender_ip;
+        }
+      in
+      transmit
+        (Packet.Frame.build_arp ~src_mac:t.mac ~dst_mac:arp.sender_mac reply)
+  | (Request | Reply), _ -> ()
+
+let handle_udp t (ip_pkt : Packet.Ipv4.t) =
+  match Packet.Udp.parse ~src:ip_pkt.src ~dst:ip_pkt.dst ip_pkt.payload with
+  | Error _ -> drop t "bad-udp"
+  | Ok udp -> (
+      let sock = with_table t (fun () -> Hashtbl.find_opt t.sockets udp.dst_port) in
+      match sock with
+      | None -> drop t "no-socket"
+      | Some sock ->
+          if
+            Udp_socket.enqueue sock udp.payload
+              ~src:(ip_pkt.src, udp.src_port)
+          then t.rx_delivered <- t.rx_delivered + 1
+          else drop t "queue-full")
+
+let input t frame =
+  with_processing t (fun () ->
+      charge_packet ();
+      match Packet.Eth.parse frame with
+      | Error _ -> drop t "bad-eth"
+      | Ok eth -> (
+          let for_us =
+            Packet.Addr.Mac.equal eth.dst t.mac
+            || Packet.Addr.Mac.is_broadcast eth.dst
+          in
+          if not for_us then drop t "not-ours"
+          else
+            match eth.ethertype with
+            | Unknown _ -> drop t "bad-eth"
+            | Arp -> (
+                match Packet.Arp.parse eth.payload with
+                | Error _ -> drop t "bad-arp"
+                | Ok arp -> handle_arp t arp)
+            | Ipv4 -> (
+                match Packet.Ipv4.parse eth.payload with
+                | Error _ -> drop t "bad-ip"
+                | Ok ip_pkt ->
+                    if not (Packet.Addr.Ip.equal ip_pkt.dst t.ip) then
+                      drop t "not-ours"
+                    else
+                      (match ip_pkt.proto with
+                      | Udp -> handle_udp t ip_pkt
+                      | Tcp | Icmp | Other _ -> drop t "not-udp"))))

@@ -1,0 +1,77 @@
+(** The in-enclave UDP/IP stack (RAKIS's Service Module core, §4.2).
+
+    Functional equivalent of the LWIP trimmed to <5 kLoC that the paper
+    embeds: Ethernet/ARP/IPv4/UDP only, every layer validated, packets
+    delivered to per-socket queues.  It runs entirely on trusted memory:
+    the XSK FastPath Module hands it frames already copied inside the
+    enclave ({!input}), and it hands frames to the FM for transmission
+    (the [transmit] hook).
+
+    Two locking disciplines are provided, reproducing the paper's
+    implementation note that LWIP's single global lock caused contention
+    and was replaced by finer read/write locks: [`Global] wraps all
+    packet processing in one lock; [`Fine] (the RAKIS design) locks only
+    the socket-table updates, letting per-socket work proceed in
+    parallel.  The ablation benchmark compares the two. *)
+
+type locking = [ `Global | `Fine ]
+
+type t
+
+type send_error = Unresolvable | Payload_too_big | No_transmit
+
+val create :
+  Sim.Engine.t ->
+  mac:Packet.Addr.Mac.t ->
+  ip:Packet.Addr.Ip.t ->
+  ?locking:locking ->
+  unit ->
+  t
+
+val mac : t -> Packet.Addr.Mac.t
+
+val ip : t -> Packet.Addr.Ip.t
+
+val set_transmit : t -> (Bytes.t -> unit) -> unit
+(** Install the FM's frame-transmit hook. *)
+
+(** {1 User-thread side} *)
+
+val bind : t -> port:int -> (Udp_socket.t, [ `Port_in_use ]) result
+(** [port] 0 picks an ephemeral port. *)
+
+val unbind : t -> Udp_socket.t -> unit
+
+val sendto :
+  t ->
+  src_port:int ->
+  dst:Packet.Addr.Ip.t * int ->
+  Bytes.t ->
+  (int, send_error) result
+(** Encapsulate and transmit one datagram; blocks during ARP
+    resolution of a previously unseen destination. *)
+
+(** {1 FM-thread side} *)
+
+val input : t -> Bytes.t -> unit
+(** Process one layer-2 frame (trusted copy).  Invalid frames at any
+    layer are counted and dropped; ARP is answered; UDP lands in the
+    matching socket queue. *)
+
+(** {1 Introspection} *)
+
+val socket_count : t -> int
+
+val rx_delivered : t -> int
+
+val rx_dropped : t -> int
+(** Total dropped, all causes. *)
+
+val drop_reasons : t -> (string * int) list
+(** Per-cause drop counters (bad-eth, bad-ip, bad-udp, not-ours,
+    no-socket, queue-full). *)
+
+val arp : t -> Arp_cache.t
+
+val lock_contention : t -> int
+(** Contended acquisitions of the stack's lock(s). *)

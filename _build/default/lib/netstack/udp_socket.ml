@@ -1,0 +1,43 @@
+type t = {
+  port : int;
+  queue : (Bytes.t * (Packet.Addr.Ip.t * int)) Sim.Mailbox.t;
+  activity : Sim.Condition.t;
+  mutable drops : int;
+}
+
+let default_capacity = 4096
+
+let create ?(queue_capacity = default_capacity) ~port () =
+  {
+    port;
+    queue = Sim.Mailbox.create ~capacity:queue_capacity ();
+    activity = Sim.Condition.create ();
+    drops = 0;
+  }
+
+let port t = t.port
+
+let enqueue t payload ~src =
+  if Sim.Mailbox.try_put t.queue (payload, src) then begin
+    Sim.Condition.broadcast t.activity;
+    true
+  end
+  else begin
+    t.drops <- t.drops + 1;
+    false
+  end
+
+let recvfrom t ~max =
+  let payload, src = Sim.Mailbox.get t.queue in
+  let payload =
+    if Bytes.length payload > max then Bytes.sub payload 0 max else payload
+  in
+  (payload, src)
+
+let readable t = not (Sim.Mailbox.is_empty t.queue)
+
+let pending t = Sim.Mailbox.length t.queue
+
+let drops t = t.drops
+
+let activity t = t.activity

@@ -1,0 +1,25 @@
+(** In-enclave UDP socket: a bounded datagram queue filled by the stack
+    input path (XSK FM thread) and drained by user threads. *)
+
+type t
+
+val create : ?queue_capacity:int -> port:int -> unit -> t
+
+val port : t -> int
+
+val enqueue : t -> Bytes.t -> src:Packet.Addr.Ip.t * int -> bool
+(** Stack side: [false] when the socket queue is full (datagram is
+    dropped, as UDP allows). *)
+
+val recvfrom : t -> max:int -> Bytes.t * (Packet.Addr.Ip.t * int)
+(** User side: blocks until a datagram arrives; truncates to [max]. *)
+
+val readable : t -> bool
+
+val pending : t -> int
+
+val drops : t -> int
+
+val activity : t -> Sim.Condition.t
+(** Broadcast on every enqueued datagram; the API submodule's poll waits
+    on it. *)

@@ -1,0 +1,1 @@
+lib/packet/addr.ml: Bytes Char Format Int List Printf String

@@ -1,0 +1,1 @@
+lib/packet/frame.ml: Addr Arp Bytes Eth Format Ipv4 Udp

@@ -1,0 +1,1 @@
+lib/packet/frame.mli: Addr Arp Bytes Eth Format Ipv4 Udp

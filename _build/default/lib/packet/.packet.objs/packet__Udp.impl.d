@@ -1,0 +1,1 @@
+lib/packet/udp.ml: Addr Bytes Checksum Format Ipv4

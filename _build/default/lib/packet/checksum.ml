@@ -1,0 +1,27 @@
+let fold_carry sum =
+  let rec go s = if s > 0xffff then go ((s land 0xffff) + (s lsr 16)) else s in
+  go sum
+
+let ones_sum ?(init = 0) b off len =
+  let sum = ref init in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    sum := !sum + Bytes.get_uint16_be b !i;
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (Bytes.get_uint8 b !i lsl 8);
+  fold_carry !sum
+
+let finish sum = lnot (fold_carry sum) land 0xffff
+
+let compute b off len = finish (ones_sum b off len)
+
+let valid b off len = fold_carry (ones_sum b off len) = 0xffff
+
+let pseudo_header_sum ~src ~dst ~proto ~len =
+  fold_carry
+    ((src lsr 16) + (src land 0xffff)
+    + (dst lsr 16)
+    + (dst land 0xffff)
+    + proto + len)

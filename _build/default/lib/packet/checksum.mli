@@ -1,0 +1,19 @@
+(** RFC 1071 Internet checksum. *)
+
+val ones_sum : ?init:int -> Bytes.t -> int -> int -> int
+(** [ones_sum ~init b off len] folds the 16-bit one's-complement sum of
+    [len] bytes starting at [off] into [init] (an odd trailing byte is
+    padded with zero, as the RFC specifies). *)
+
+val finish : int -> int
+(** One's-complement of a folded sum, as the 16-bit checksum field
+    value. *)
+
+val compute : Bytes.t -> int -> int -> int
+(** [compute b off len] is [finish (ones_sum b off len)]. *)
+
+val valid : Bytes.t -> int -> int -> bool
+(** A region that embeds its own checksum field sums to 0xffff. *)
+
+val pseudo_header_sum : src:int -> dst:int -> proto:int -> len:int -> int
+(** One's-complement sum of the IPv4 pseudo-header used by UDP/TCP. *)

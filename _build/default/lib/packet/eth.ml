@@ -1,0 +1,46 @@
+type ethertype = Ipv4 | Arp | Unknown of int
+
+type t = {
+  dst : Addr.Mac.t;
+  src : Addr.Mac.t;
+  ethertype : ethertype;
+  payload : Bytes.t;
+}
+
+type error = Truncated of int
+
+let header_size = 14
+
+let ethertype_to_int = function
+  | Ipv4 -> 0x0800
+  | Arp -> 0x0806
+  | Unknown v -> v land 0xffff
+
+let ethertype_of_int = function
+  | 0x0800 -> Ipv4
+  | 0x0806 -> Arp
+  | v -> Unknown v
+
+let build t =
+  let len = header_size + Bytes.length t.payload in
+  let b = Bytes.create len in
+  Bytes.blit_string (Addr.Mac.to_string t.dst) 0 b 0 6;
+  Bytes.blit_string (Addr.Mac.to_string t.src) 0 b 6 6;
+  Bytes.set_uint16_be b 12 (ethertype_to_int t.ethertype);
+  Bytes.blit t.payload 0 b header_size (Bytes.length t.payload);
+  b
+
+let parse b =
+  let len = Bytes.length b in
+  if len < header_size then Error (Truncated len)
+  else
+    Ok
+      {
+        dst = Addr.Mac.of_string (Bytes.sub_string b 0 6);
+        src = Addr.Mac.of_string (Bytes.sub_string b 6 6);
+        ethertype = ethertype_of_int (Bytes.get_uint16_be b 12);
+        payload = Bytes.sub b header_size (len - header_size);
+      }
+
+let pp_error ppf (Truncated n) =
+  Format.fprintf ppf "truncated ethernet frame (%d bytes)" n

@@ -1,0 +1,27 @@
+(** Ethernet II framing. *)
+
+type ethertype = Ipv4 | Arp | Unknown of int
+
+type t = {
+  dst : Addr.Mac.t;
+  src : Addr.Mac.t;
+  ethertype : ethertype;
+  payload : Bytes.t;
+}
+
+type error = Truncated of int  (** actual length; a frame needs >= 14 B *)
+
+val header_size : int
+(** 14. *)
+
+val ethertype_to_int : ethertype -> int
+
+val ethertype_of_int : int -> ethertype
+
+val build : t -> Bytes.t
+(** Serialize header + payload into a fresh buffer. *)
+
+val parse : Bytes.t -> (t, error) result
+(** The payload is a copy: callers may mutate it freely. *)
+
+val pp_error : Format.formatter -> error -> unit

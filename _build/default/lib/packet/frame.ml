@@ -1,0 +1,95 @@
+type udp_info = {
+  src_mac : Addr.Mac.t;
+  dst_mac : Addr.Mac.t;
+  src_ip : Addr.Ip.t;
+  dst_ip : Addr.Ip.t;
+  src_port : int;
+  dst_port : int;
+}
+
+type dissect_error =
+  | Eth of Eth.error
+  | Not_ipv4
+  | Ip of Ipv4.error
+  | Not_udp
+  | Udp_err of Udp.error
+
+let frame_overhead = Eth.header_size + Ipv4.header_size + Udp.header_size
+
+let ident_counter = ref 0
+
+let build_udp info payload =
+  let udp =
+    Udp.build ~src:info.src_ip ~dst:info.dst_ip
+      { Udp.src_port = info.src_port; dst_port = info.dst_port; payload }
+  in
+  incr ident_counter;
+  let ip =
+    Ipv4.build
+      {
+        Ipv4.src = info.src_ip;
+        dst = info.dst_ip;
+        proto = Ipv4.Udp;
+        ttl = 64;
+        ident = !ident_counter;
+        payload = udp;
+      }
+  in
+  Eth.build
+    { Eth.dst = info.dst_mac; src = info.src_mac; ethertype = Ipv4; payload = ip }
+
+let dissect_udp frame =
+  match Eth.parse frame with
+  | Error e -> Error (Eth e)
+  | Ok eth -> (
+      match eth.ethertype with
+      | Arp | Unknown _ -> Error Not_ipv4
+      | Ipv4 -> (
+          match Ipv4.parse eth.payload with
+          | Error e -> Error (Ip e)
+          | Ok ip -> (
+              match ip.proto with
+              | Tcp | Icmp | Other _ -> Error Not_udp
+              | Udp -> (
+                  match Udp.parse ~src:ip.src ~dst:ip.dst ip.payload with
+                  | Error e -> Error (Udp_err e)
+                  | Ok udp ->
+                      Ok
+                        ( {
+                            src_mac = eth.src;
+                            dst_mac = eth.dst;
+                            src_ip = ip.src;
+                            dst_ip = ip.dst;
+                            src_port = udp.src_port;
+                            dst_port = udp.dst_port;
+                          },
+                          udp.payload )))))
+
+let build_arp ~src_mac ~dst_mac arp =
+  Eth.build
+    {
+      Eth.dst = dst_mac;
+      src = src_mac;
+      ethertype = Arp;
+      payload = Arp.build arp;
+    }
+
+let pp_dissect_error ppf = function
+  | Eth e -> Eth.pp_error ppf e
+  | Not_ipv4 -> Format.fprintf ppf "not an ipv4 frame"
+  | Ip e -> Ipv4.pp_error ppf e
+  | Not_udp -> Format.fprintf ppf "not a udp packet"
+  | Udp_err e -> Udp.pp_error ppf e
+
+let peek_udp_ports frame =
+  (* Cheap un-validated extraction used for NIC queue steering; full
+     validation happens later in whichever stack consumes the frame. *)
+  if Bytes.length frame < frame_overhead then None
+  else if Bytes.get_uint16_be frame 12 <> 0x0800 then None
+  else if Bytes.get_uint8 frame 23 <> 17 then None
+  else
+    let ihl = (Bytes.get_uint8 frame 14 land 0xf) * 4 in
+    let udp_off = Eth.header_size + ihl in
+    if Bytes.length frame < udp_off + 4 then None
+    else
+      Some (Bytes.get_uint16_be frame udp_off, Bytes.get_uint16_be frame (udp_off + 2))

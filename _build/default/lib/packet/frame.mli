@@ -1,0 +1,36 @@
+(** Whole-frame helpers: build and dissect a complete Ethernet/IPv4/UDP
+    frame in one call.  Both the kernel network path and the in-enclave
+    stack use these, so wire formats cannot drift apart. *)
+
+type udp_info = {
+  src_mac : Addr.Mac.t;
+  dst_mac : Addr.Mac.t;
+  src_ip : Addr.Ip.t;
+  dst_ip : Addr.Ip.t;
+  src_port : int;
+  dst_port : int;
+}
+
+val build_udp : udp_info -> Bytes.t -> Bytes.t
+(** [build_udp info payload] is a full layer-2 frame. *)
+
+type dissect_error =
+  | Eth of Eth.error
+  | Not_ipv4
+  | Ip of Ipv4.error
+  | Not_udp
+  | Udp_err of Udp.error
+
+val dissect_udp : Bytes.t -> (udp_info * Bytes.t, dissect_error) result
+(** Parse a full frame down to the UDP payload, validating every layer. *)
+
+val build_arp : src_mac:Addr.Mac.t -> dst_mac:Addr.Mac.t -> Arp.t -> Bytes.t
+
+val frame_overhead : int
+(** Bytes of Ethernet+IPv4+UDP headers per datagram (42). *)
+
+val pp_dissect_error : Format.formatter -> dissect_error -> unit
+
+val peek_udp_ports : Bytes.t -> (int * int) option
+(** [(src_port, dst_port)] of a UDP frame, without any validation — used
+    only for NIC receive-queue steering, mirroring hardware RSS. *)

@@ -1,0 +1,103 @@
+type proto = Udp | Tcp | Icmp | Other of int
+
+type t = {
+  src : Addr.Ip.t;
+  dst : Addr.Ip.t;
+  proto : proto;
+  ttl : int;
+  ident : int;
+  payload : Bytes.t;
+}
+
+type error =
+  | Truncated of int
+  | Bad_version of int
+  | Bad_ihl of int
+  | Bad_total_length of int * int
+  | Bad_checksum of int * int
+  | Fragmented
+  | Ttl_expired
+
+let header_size = 20
+
+let proto_to_int = function
+  | Icmp -> 1
+  | Tcp -> 6
+  | Udp -> 17
+  | Other v -> v land 0xff
+
+let proto_of_int = function
+  | 1 -> Icmp
+  | 6 -> Tcp
+  | 17 -> Udp
+  | v -> Other v
+
+let set_ip b off ip =
+  Bytes.set_int32_be b off (Int32.of_int (Addr.Ip.to_int ip))
+
+let get_ip b off =
+  Addr.Ip.of_int (Int32.to_int (Bytes.get_int32_be b off) land 0xFFFFFFFF)
+
+let build t =
+  let total = header_size + Bytes.length t.payload in
+  let b = Bytes.create total in
+  Bytes.set_uint8 b 0 0x45 (* version 4, ihl 5 *);
+  Bytes.set_uint8 b 1 0 (* dscp/ecn *);
+  Bytes.set_uint16_be b 2 total;
+  Bytes.set_uint16_be b 4 (t.ident land 0xffff);
+  Bytes.set_uint16_be b 6 0 (* flags/frag: DF not set, offset 0 *);
+  Bytes.set_uint8 b 8 (t.ttl land 0xff);
+  Bytes.set_uint8 b 9 (proto_to_int t.proto);
+  Bytes.set_uint16_be b 10 0 (* checksum placeholder *);
+  set_ip b 12 t.src;
+  set_ip b 16 t.dst;
+  Bytes.set_uint16_be b 10 (Checksum.compute b 0 header_size);
+  Bytes.blit t.payload 0 b header_size (Bytes.length t.payload);
+  b
+
+let parse b =
+  let len = Bytes.length b in
+  if len < header_size then Error (Truncated len)
+  else
+    let vihl = Bytes.get_uint8 b 0 in
+    let version = vihl lsr 4 and ihl = vihl land 0xf in
+    if version <> 4 then Error (Bad_version version)
+    else if ihl <> 5 then Error (Bad_ihl ihl)
+    else
+      let total = Bytes.get_uint16_be b 2 in
+      if total < header_size || total > len then
+        Error (Bad_total_length (total, len))
+      else
+        let flags_frag = Bytes.get_uint16_be b 6 in
+        let more_fragments = flags_frag land 0x2000 <> 0 in
+        let frag_offset = flags_frag land 0x1fff in
+        let stored = Bytes.get_uint16_be b 10 in
+        if not (Checksum.valid b 0 header_size) then
+          let b' = Bytes.sub b 0 header_size in
+          Bytes.set_uint16_be b' 10 0;
+          Error (Bad_checksum (Checksum.compute b' 0 header_size, stored))
+        else if more_fragments || frag_offset <> 0 then Error Fragmented
+        else
+          let ttl = Bytes.get_uint8 b 8 in
+          if ttl = 0 then Error Ttl_expired
+          else
+            Ok
+              {
+                src = get_ip b 12;
+                dst = get_ip b 16;
+                proto = proto_of_int (Bytes.get_uint8 b 9);
+                ttl;
+                ident = Bytes.get_uint16_be b 4;
+                payload = Bytes.sub b header_size (total - header_size);
+              }
+
+let pp_error ppf = function
+  | Truncated n -> Format.fprintf ppf "truncated ipv4 packet (%d bytes)" n
+  | Bad_version v -> Format.fprintf ppf "bad ip version %d" v
+  | Bad_ihl v -> Format.fprintf ppf "unsupported ihl %d" v
+  | Bad_total_length (t, l) ->
+      Format.fprintf ppf "bad total length %d (buffer %d)" t l
+  | Bad_checksum (e, f) ->
+      Format.fprintf ppf "bad ip checksum: expected %#x, found %#x" e f
+  | Fragmented -> Format.fprintf ppf "fragmented packet (unsupported)"
+  | Ttl_expired -> Format.fprintf ppf "ttl expired"

@@ -1,0 +1,40 @@
+(** IPv4 headers (RFC 791), without options or fragmentation support —
+    matching the slimmed LWIP the paper retains for RAKIS's UDP path
+    (fragmented packets are dropped, as is usual for XDP fast paths). *)
+
+type proto = Udp | Tcp | Icmp | Other of int
+
+type t = {
+  src : Addr.Ip.t;
+  dst : Addr.Ip.t;
+  proto : proto;
+  ttl : int;
+  ident : int;
+  payload : Bytes.t;
+}
+
+type error =
+  | Truncated of int
+  | Bad_version of int
+  | Bad_ihl of int
+  | Bad_total_length of int * int  (** header claims, buffer has *)
+  | Bad_checksum of int * int  (** expected, found *)
+  | Fragmented
+  | Ttl_expired
+
+val header_size : int
+(** 20 (no options). *)
+
+val proto_to_int : proto -> int
+
+val proto_of_int : int -> proto
+
+val build : t -> Bytes.t
+(** Serializes with a correct header checksum. *)
+
+val parse : Bytes.t -> (t, error) result
+(** Validates version, IHL, total length, checksum, fragmentation and
+    TTL > 0; the returned payload is trimmed to the header's total
+    length. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,72 @@
+type t = { src_port : int; dst_port : int; payload : Bytes.t }
+
+type error =
+  | Truncated of int
+  | Bad_length of int * int
+  | Bad_checksum of int * int
+  | Bad_port
+
+let header_size = 8
+
+let max_payload = 1500 - Ipv4.header_size - header_size
+
+let checksum_of ~src ~dst b len =
+  let pseudo =
+    Checksum.pseudo_header_sum ~src:(Addr.Ip.to_int src)
+      ~dst:(Addr.Ip.to_int dst) ~proto:17 ~len
+  in
+  let c = Checksum.finish (Checksum.ones_sum ~init:pseudo b 0 len) in
+  (* An all-zero computed checksum is transmitted as 0xffff (RFC 768). *)
+  if c = 0 then 0xffff else c
+
+let build ~src ~dst t =
+  let len = header_size + Bytes.length t.payload in
+  let b = Bytes.create len in
+  Bytes.set_uint16_be b 0 (t.src_port land 0xffff);
+  Bytes.set_uint16_be b 2 (t.dst_port land 0xffff);
+  Bytes.set_uint16_be b 4 len;
+  Bytes.set_uint16_be b 6 0;
+  Bytes.blit t.payload 0 b header_size (Bytes.length t.payload);
+  Bytes.set_uint16_be b 6 (checksum_of ~src ~dst b len);
+  b
+
+let parse ~src ~dst b =
+  let blen = Bytes.length b in
+  if blen < header_size then Error (Truncated blen)
+  else
+    let len = Bytes.get_uint16_be b 4 in
+    if len < header_size || len > blen then Error (Bad_length (len, blen))
+    else
+      let src_port = Bytes.get_uint16_be b 0 in
+      let dst_port = Bytes.get_uint16_be b 2 in
+      if src_port = 0 || dst_port = 0 then Error Bad_port
+      else
+        let stored = Bytes.get_uint16_be b 6 in
+        if stored <> 0 then begin
+          let b' = Bytes.sub b 0 len in
+          Bytes.set_uint16_be b' 6 0;
+          let expected = checksum_of ~src ~dst b' len in
+          if expected <> stored then Error (Bad_checksum (expected, stored))
+          else
+            Ok
+              {
+                src_port;
+                dst_port;
+                payload = Bytes.sub b header_size (len - header_size);
+              }
+        end
+        else
+          Ok
+            {
+              src_port;
+              dst_port;
+              payload = Bytes.sub b header_size (len - header_size);
+            }
+
+let pp_error ppf = function
+  | Truncated n -> Format.fprintf ppf "truncated udp datagram (%d bytes)" n
+  | Bad_length (c, h) ->
+      Format.fprintf ppf "bad udp length %d (buffer %d)" c h
+  | Bad_checksum (e, f) ->
+      Format.fprintf ppf "bad udp checksum: expected %#x, found %#x" e f
+  | Bad_port -> Format.fprintf ppf "udp port 0 rejected"

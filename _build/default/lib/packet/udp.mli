@@ -1,0 +1,24 @@
+(** UDP (RFC 768). *)
+
+type t = { src_port : int; dst_port : int; payload : Bytes.t }
+
+type error =
+  | Truncated of int
+  | Bad_length of int * int  (** header claims, buffer has *)
+  | Bad_checksum of int * int  (** expected, found *)
+  | Bad_port  (** source or destination port 0 is rejected *)
+
+val header_size : int
+(** 8. *)
+
+val max_payload : int
+(** Largest UDP payload in a standard 1500-byte MTU frame: 1472. *)
+
+val build : src:Addr.Ip.t -> dst:Addr.Ip.t -> t -> Bytes.t
+(** Serializes with the pseudo-header checksum filled in. *)
+
+val parse : src:Addr.Ip.t -> dst:Addr.Ip.t -> Bytes.t -> (t, error) result
+(** Validates length, ports and (when non-zero) the checksum against the
+    pseudo-header for [src]/[dst]. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,1 @@
+lib/rings/certified.ml: Format Layout Printf U32

@@ -1,0 +1,1 @@
+lib/rings/certified.mli: Format Layout Mem

@@ -1,0 +1,1 @@
+lib/rings/layout.ml: Mem Printf

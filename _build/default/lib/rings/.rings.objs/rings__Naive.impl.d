@@ -1,0 +1,1 @@
+lib/rings/naive.ml: Layout U32

@@ -1,0 +1,1 @@
+lib/rings/naive.mli: Layout

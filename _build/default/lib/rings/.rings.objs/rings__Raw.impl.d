@@ -1,0 +1,1 @@
+lib/rings/raw.ml: Layout U32

@@ -1,0 +1,1 @@
+lib/rings/u32.ml:

@@ -1,0 +1,128 @@
+type role = Producer | Consumer
+
+type failure =
+  | Out_of_window of { observed : int; trusted_prod : int; trusted_cons : int }
+  | Regressed of { observed : int; previous : int }
+
+type t = {
+  layout : Layout.t;
+  role : role;
+  size : int; (* trusted copy, fixed at creation *)
+  mutable tprod : int; (* trusted producer *)
+  mutable tcons : int; (* trusted consumer *)
+  mutable failures : int;
+  on_failure : failure -> unit;
+}
+
+let create layout ~role ?(on_failure = fun _ -> ()) () =
+  {
+    layout;
+    role;
+    size = layout.Layout.size;
+    tprod = 0;
+    tcons = 0;
+    failures = 0;
+    on_failure;
+  }
+
+let role t = t.role
+
+let size t = t.size
+
+let reject t failure =
+  t.failures <- t.failures + 1;
+  t.on_failure failure
+
+(* Enclave is producer: refresh the trusted consumer from the untrusted
+   consumer index.  Accept Cu iff 0 <= Pt - Cu <= St and the consumed
+   count does not regress. *)
+let refresh_cons t =
+  let observed = U32.of_int (Layout.read_cons t.layout) in
+  let in_flight = U32.distance ~ahead:t.tprod ~behind:observed in
+  if in_flight > t.size then
+    reject t
+      (Out_of_window { observed; trusted_prod = t.tprod; trusted_cons = t.tcons })
+  else if
+    U32.distance ~ahead:observed ~behind:t.tcons
+    > U32.distance ~ahead:t.tprod ~behind:t.tcons
+  then reject t (Regressed { observed; previous = t.tcons })
+  else t.tcons <- observed
+
+(* Enclave is consumer: refresh the trusted producer from the untrusted
+   producer index.  Accept Pu iff 0 <= Pu - Ct <= St and the produced
+   count does not regress. *)
+let refresh_prod t =
+  let observed = U32.of_int (Layout.read_prod t.layout) in
+  let filled = U32.distance ~ahead:observed ~behind:t.tcons in
+  if filled > t.size then
+    reject t
+      (Out_of_window { observed; trusted_prod = t.tprod; trusted_cons = t.tcons })
+  else if filled < U32.distance ~ahead:t.tprod ~behind:t.tcons then
+    reject t (Regressed { observed; previous = t.tprod })
+  else t.tprod <- observed
+
+let require r t op =
+  if t.role <> r then
+    invalid_arg
+      (Printf.sprintf "Certified.%s: ring role does not permit this" op)
+
+let free_slots t =
+  require Producer t "free_slots";
+  refresh_cons t;
+  t.size - U32.distance ~ahead:t.tprod ~behind:t.tcons
+
+let produce t ~write =
+  require Producer t "produce";
+  if free_slots t <= 0 then Error `Ring_full
+  else begin
+    write ~slot_off:(Layout.slot_off t.layout t.tprod);
+    t.tprod <- U32.succ t.tprod;
+    Ok ()
+  end
+
+let publish t =
+  require Producer t "publish";
+  Layout.write_prod t.layout t.tprod
+
+let available t =
+  require Consumer t "available";
+  refresh_prod t;
+  U32.distance ~ahead:t.tprod ~behind:t.tcons
+
+let release t =
+  t.tcons <- U32.succ t.tcons;
+  Layout.write_cons t.layout t.tcons
+
+let consume t ~read =
+  require Consumer t "consume";
+  if available t <= 0 then Error `Ring_empty
+  else begin
+    let v = read ~slot_off:(Layout.slot_off t.layout t.tcons) in
+    release t;
+    Ok v
+  end
+
+let skip t =
+  require Consumer t "skip";
+  if available t > 0 then release t
+
+let trusted_prod t = t.tprod
+
+let trusted_cons t = t.tcons
+
+let failures t = t.failures
+
+let invariant_holds t =
+  let d = U32.distance ~ahead:t.tprod ~behind:t.tcons in
+  d >= 0 && d <= t.size
+
+let pp_failure ppf = function
+  | Out_of_window { observed; trusted_prod; trusted_cons } ->
+      Format.fprintf ppf
+        "peer index %#x outside window (trusted prod=%#x cons=%#x)" observed
+        trusted_prod trusted_cons
+  | Regressed { observed; previous } ->
+      Format.fprintf ppf "peer index %#x regressed (previously %#x)" observed
+        previous
+
+let region t = t.layout.Layout.region

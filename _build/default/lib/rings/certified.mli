@@ -1,0 +1,88 @@
+(** RAKIS-certified ring accessors (paper §4.1 and Table 2).
+
+    The enclave's role in a given ring is fixed at setup: it is the
+    {e producer} of xFill, xTX and iSub, and the {e consumer} of xRX,
+    xCompl and iCompl.  For each ring the enclave keeps {e trusted}
+    copies of the ring size and of both indices in enclave memory.  The
+    index the enclave owns is write-only in shared memory; the index the
+    peer owns is read from shared memory and must pass a window check
+    before the trusted copy is updated:
+
+    - enclave is consumer: accept untrusted producer [Pu] iff
+      [0 <= Pu - Ct <= St] (Table 2, row "Producer value ...");
+    - enclave is producer: accept untrusted consumer [Cu] iff
+      [0 <= Pt - Cu <= St] (Table 2, row "Consumer value ...").
+
+    On failure the trusted copy is left unchanged (the Table 2 fail
+    action) and the failure is reported via [on_failure].  All index
+    arithmetic is modulo 2{^32} ({!U32}), which subsumes the paper's
+    supplementary wrap-around checks.  Additionally the trusted copy
+    never regresses: an accepted peer index that would shrink the
+    already-validated window is rejected too (a monotonicity check the
+    RAKIS implementation enforces via its trusted versions).
+
+    The invariant verified by the Testing Module (paper eq. 1):
+    [0 <= Pt - Ct <= St] after every operation. *)
+
+type role = Producer | Consumer
+
+type failure =
+  | Out_of_window of { observed : int; trusted_prod : int; trusted_cons : int }
+      (** The peer index fails the Table 2 window check. *)
+  | Regressed of { observed : int; previous : int }
+      (** The peer index passed the window check but moved backwards
+          relative to the validated trusted copy. *)
+
+type t
+
+val create : Layout.t -> role:role -> ?on_failure:(failure -> unit) -> unit -> t
+(** The ring size is copied to trusted memory here and never re-read. *)
+
+val role : t -> role
+
+val size : t -> int
+
+(** {1 Producer-role operations} *)
+
+val free_slots : t -> int
+(** Refresh the trusted consumer copy (with checks) and return the number
+    of slots that can be produced.  Always in [\[0, size\]]. *)
+
+val produce : t -> write:(slot_off:int -> unit) -> (unit, [ `Ring_full ]) result
+(** Write one descriptor at the trusted producer slot and advance the
+    trusted producer.  Not visible to the peer until {!publish}. *)
+
+val publish : t -> unit
+(** Store the trusted producer index to shared memory (release). *)
+
+(** {1 Consumer-role operations} *)
+
+val available : t -> int
+(** Refresh the trusted producer copy (with checks) and return the number
+    of entries ready to consume.  Always in [\[0, size\]]. *)
+
+val consume : t -> read:(slot_off:int -> 'a) -> ('a, [ `Ring_empty ]) result
+(** Read the descriptor at the trusted consumer slot, advance the trusted
+    consumer and release it to shared memory. *)
+
+val skip : t -> unit
+(** Advance the trusted consumer without processing the entry — the
+    Table 2 fail action "Refuse and advance consumer" for bad UMem
+    offsets.  No-op when nothing is available. *)
+
+(** {1 Introspection (tests and the Testing Module)} *)
+
+val trusted_prod : t -> int
+
+val trusted_cons : t -> int
+
+val failures : t -> int
+(** Count of rejected peer-index reads. *)
+
+val invariant_holds : t -> bool
+(** [0 <= Pt - Ct <= St] (paper eq. 1). *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val region : t -> Mem.Region.t
+(** The shared region holding this ring (where slot offsets resolve). *)

@@ -1,0 +1,40 @@
+type t = {
+  region : Mem.Region.t;
+  prod_off : int;
+  cons_off : int;
+  desc_off : int;
+  entry_size : int;
+  size : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let make region ~prod_off ~cons_off ~desc_off ~entry_size ~size =
+  if not (is_pow2 size) then invalid_arg "Layout.make: size not a power of 2";
+  if entry_size <= 0 then invalid_arg "Layout.make: entry_size <= 0";
+  let check name off len =
+    if not (Mem.Region.in_bounds region ~off ~len) then
+      invalid_arg (Printf.sprintf "Layout.make: %s out of bounds" name)
+  in
+  check "producer index" prod_off 4;
+  check "consumer index" cons_off 4;
+  check "descriptor array" desc_off (entry_size * size);
+  { region; prod_off; cons_off; desc_off; entry_size; size }
+
+let footprint ~entry_size ~size = 8 + (entry_size * size)
+
+let alloc a ~entry_size ~size =
+  let prod_off = Mem.Alloc.alloc a ~align:4 4 in
+  let cons_off = Mem.Alloc.alloc a ~align:4 4 in
+  let desc_off = Mem.Alloc.alloc a ~align:8 (entry_size * size) in
+  make (Mem.Alloc.region a) ~prod_off ~cons_off ~desc_off ~entry_size ~size
+
+let slot_off t idx = t.desc_off + (idx land (t.size - 1)) * t.entry_size
+
+let read_prod t = Mem.Region.get_u32 t.region t.prod_off
+
+let write_prod t v = Mem.Region.set_u32 t.region t.prod_off v
+
+let read_cons t = Mem.Region.get_u32 t.region t.cons_off
+
+let write_cons t v = Mem.Region.set_u32 t.region t.cons_off v

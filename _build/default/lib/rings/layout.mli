@@ -1,0 +1,45 @@
+(** Physical layout of a shared SPSC ring.
+
+    A ring is three objects in (usually untrusted) memory: a [u32]
+    producer index, a [u32] consumer index, and a power-of-two array of
+    fixed-size descriptor slots.  XSK rings use 8-byte slots (a [u64]
+    UMem offset — the paper packs length into the upper bits, we do the
+    same); io_uring uses 64-byte SQEs and 16-byte CQEs. *)
+
+type t = {
+  region : Mem.Region.t;
+  prod_off : int;  (** byte offset of the producer index *)
+  cons_off : int;  (** byte offset of the consumer index *)
+  desc_off : int;  (** byte offset of slot 0 *)
+  entry_size : int;
+  size : int;  (** number of slots; power of two *)
+}
+
+val make :
+  Mem.Region.t ->
+  prod_off:int ->
+  cons_off:int ->
+  desc_off:int ->
+  entry_size:int ->
+  size:int ->
+  t
+(** Validates that [size] is a power of two and that all three objects
+    fit in the region. *)
+
+val alloc : Mem.Alloc.t -> entry_size:int -> size:int -> t
+(** Carve a fresh ring out of an allocator (indices then slots). *)
+
+val slot_off : t -> int -> int
+(** [slot_off t idx] is the byte offset of slot [idx mod size]. *)
+
+val read_prod : t -> int
+(** Unchecked read of the shared producer index. *)
+
+val write_prod : t -> int -> unit
+
+val read_cons : t -> int
+
+val write_cons : t -> int -> unit
+
+val footprint : entry_size:int -> size:int -> int
+(** Bytes needed by {!alloc} (including the two indices). *)

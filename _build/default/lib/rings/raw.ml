@@ -1,0 +1,31 @@
+let free l =
+  let prod = Layout.read_prod l and cons = Layout.read_cons l in
+  l.Layout.size - U32.distance ~ahead:prod ~behind:cons
+
+let available l =
+  let prod = Layout.read_prod l and cons = Layout.read_cons l in
+  U32.distance ~ahead:prod ~behind:cons
+
+let produce l ~write =
+  if free l <= 0 then false
+  else begin
+    let prod = Layout.read_prod l in
+    write ~slot_off:(Layout.slot_off l prod);
+    Layout.write_prod l (U32.succ prod);
+    true
+  end
+
+let consume l ~read =
+  if available l <= 0 then None
+  else begin
+    let cons = Layout.read_cons l in
+    let v = read ~slot_off:(Layout.slot_off l cons) in
+    Layout.write_cons l (U32.succ cons);
+    Some v
+  end
+
+let consume_peek l ~read =
+  if available l <= 0 then None
+  else
+    let cons = Layout.read_cons l in
+    Some (read ~slot_off:(Layout.slot_off l cons))

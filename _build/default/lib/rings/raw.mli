@@ -1,0 +1,23 @@
+(** Unchecked ring operations.
+
+    This is the view of a ring held by a party that trusts the shared
+    indices — i.e. the simulated host kernel operating on its own XSK and
+    io_uring rings.  The enclave must never use this module on shared
+    rings; it uses {!Certified} instead. *)
+
+val free : Layout.t -> int
+(** Producer side: slots available to produce, trusting both indices. *)
+
+val available : Layout.t -> int
+(** Consumer side: entries available to consume, trusting both indices. *)
+
+val produce : Layout.t -> write:(slot_off:int -> unit) -> bool
+(** Write one entry at the current producer slot and advance the shared
+    producer index.  [false] when the ring is full. *)
+
+val consume : Layout.t -> read:(slot_off:int -> 'a) -> 'a option
+(** Read one entry at the current consumer slot and advance the shared
+    consumer index.  [None] when empty. *)
+
+val consume_peek : Layout.t -> read:(slot_off:int -> 'a) -> 'a option
+(** Like {!consume} but without advancing. *)

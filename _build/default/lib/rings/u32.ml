@@ -1,0 +1,11 @@
+let mask = 0xFFFFFFFF
+
+let of_int v = v land mask
+
+let add a b = (a + b) land mask
+
+let sub a b = (a - b) land mask
+
+let succ a = add a 1
+
+let distance ~ahead ~behind = sub ahead behind

@@ -1,0 +1,23 @@
+(** Arithmetic on 32-bit unsigned ring indices.
+
+    Real XSK and io_uring producer/consumer indices are free-running
+    [u32]s that wrap at 2{^32}.  The paper (§4.1, Implementation) notes
+    that the Table 2 checks need wrap-aware supplementary handling; doing
+    all index arithmetic modulo 2{^32} — as this module enforces — makes
+    the checks correct across wrap-around without special cases. *)
+
+val mask : int
+(** 0xFFFF_FFFF. *)
+
+val of_int : int -> int
+(** Truncate to 32 bits. *)
+
+val add : int -> int -> int
+
+val sub : int -> int -> int
+(** [sub a b] is [(a - b) mod 2{^32}], always in [\[0, 2{^32})]. *)
+
+val succ : int -> int
+
+val distance : ahead:int -> behind:int -> int
+(** [sub ahead behind]; named form for readability at call sites. *)

@@ -1,0 +1,1 @@
+lib/sgx/enclave.ml: Int64 Mem Params Sim

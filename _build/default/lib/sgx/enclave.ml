@@ -1,0 +1,37 @@
+type t = { engine : Sim.Engine.t; sgx : bool; name : string }
+
+let create engine ~sgx ~name = { engine; sgx; name }
+
+let engine t = t.engine
+
+let sgx_enabled t = t.sgx
+
+let name t = t.name
+
+let trusted_region t ~size ~name =
+  Mem.Region.create ~kind:Trusted ~name:(t.name ^ "." ^ name) ~size
+
+let untrusted_region t ~size ~name =
+  Mem.Region.create ~kind:Untrusted ~name:(t.name ^ "." ^ name) ~size
+
+let charge _t cycles =
+  if Int64.compare cycles 0L > 0 then Sim.Engine.delay cycles
+
+let ocall t =
+  Sim.Stats.incr (Sim.Engine.stats t.engine) "sgx.exits";
+  if t.sgx then charge t !Params.enclave_exit_cycles
+
+let exits t = Sim.Stats.get (Sim.Engine.stats t.engine) "sgx.exits"
+
+let copy_cycles t ~crossing len =
+  let per_byte =
+    if crossing && t.sgx then
+      Params.memcpy_cycles_per_byte +. Params.boundary_copy_extra_per_byte
+    else Params.memcpy_cycles_per_byte
+  in
+  Int64.of_float (ceil (float_of_int len *. per_byte))
+
+let charge_copy t ~crossing len =
+  if crossing then
+    Sim.Stats.add (Sim.Engine.stats t.engine) "sgx.boundary_bytes" len;
+  charge t (copy_cycles t ~crossing len)

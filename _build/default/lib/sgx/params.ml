@@ -1,0 +1,49 @@
+let enclave_exit_cycles = ref 8200L
+
+let syscall_cycles = 500L
+
+let libos_dispatch_cycles = 800L
+
+let memcpy_cycles_per_byte = 0.06
+
+let boundary_copy_extra_per_byte = 0.25
+
+let kernel_udp_softirq_per_packet = 1200L
+
+let kernel_udp_rx_syscall_cycles = 1800L
+
+let kernel_udp_tx_syscall_cycles = 2600L
+
+let kernel_tcp_per_op = 3000L
+
+let xdp_redirect_per_packet = 350L
+
+let enclave_udp_stack_per_packet = ref 1700L
+
+let iouring_kernel_per_op = 600L
+
+let iouring_sync_wait_cycles = 1200L
+
+let switchless_rpc_cycles = 1500L
+
+let vfs_per_op = 1000L
+
+let storage_cycles_per_byte = 0.12
+
+let mm_poll_period = 2000L
+
+let nic_link_gbps = 25.0
+
+let nic_queue_len = 2048
+
+let default_ring_size = 2048
+
+let default_umem_size = 16 * 1024 * 1024
+
+let umem_frame_size = 2048
+
+let udp_socket_buffer = 16 * 1024 * 1024
+
+let app_cycles_per_request = 1500L
+
+let wire_cycles_per_byte = Sim.Cycles.per_byte_at_gbps nic_link_gbps

@@ -1,0 +1,113 @@
+(** Calibration constants for the simulated testbed.
+
+    These are the only tuned numbers in the reproduction; every figure is
+    generated from this single set.  Time unit: CPU cycles of the paper's
+    Xeon Gold 6312U @ 2.40 GHz ({!Sim.Cycles.frequency_hz}).  Provenance
+    for each value is given inline; EXPERIMENTS.md discusses
+    sensitivity. *)
+
+val enclave_exit_cycles : int64 ref
+(** Cost of one EEXIT + OCALL + EENTER round trip: 8,200 cycles, the
+    floor reported by Weisse et al. (HotCalls, ISCA'17), cited in paper
+    §2.1.  Mutable (with {!enclave_udp_stack_per_packet}) so the
+    sensitivity bench can sweep it; everything else treats it as a
+    constant. *)
+
+val syscall_cycles : int64
+(** Bare Linux syscall entry/exit and dispatch: ~500 cycles (getpid-class
+    measurements on Ice Lake with KPTI). *)
+
+val libos_dispatch_cycles : int64
+(** Gramine's in-enclave syscall emulation shim per IO syscall (FD table,
+    handle locking, argument marshalling): ~800 cycles — chosen so
+    Gramine-Direct lands ~25 % under native on small-packet UDP, the
+    paper's Figure 4(a) observation. *)
+
+val memcpy_cycles_per_byte : float
+(** Plain memcpy throughput: ~0.06 cycles/B (≈ 40 GB/s single core). *)
+
+val boundary_copy_extra_per_byte : float
+(** Additional per-byte cost of copies that cross the enclave boundary
+    (MEE-encrypted EPC on one side): ~0.25 cycles/B, matching the 3-5x
+    memcpy slowdown reported for EPC traffic in prior SGX studies
+    (paper §6.2 attributes RAKIS-SGX's fstime overhead to this). *)
+
+val kernel_udp_softirq_per_packet : int64
+(** Kernel receive softirq per packet (driver, route, socket lookup,
+    skb enqueue): ~1,200 cycles, charged in the NIC queue context. *)
+
+val kernel_udp_rx_syscall_cycles : int64
+(** recvfrom syscall-side work (socket lock, skb dequeue, copy_to_user
+    bookkeeping): ~1,800 cycles, charged to the receiving thread.
+    Together with the bare syscall cost this yields ~1 Mpps for a
+    single-socket native receiver — the right magnitude for iperf3. *)
+
+val kernel_udp_tx_syscall_cycles : int64
+(** sendto syscall-side work (full TX stack traversal down to the
+    driver queue): ~2,600 cycles. *)
+
+val kernel_tcp_per_op : int64
+(** Kernel TCP send/recv path per call: ~3,000 cycles. *)
+
+val xdp_redirect_per_packet : int64
+(** XDP program run + XSK redirect per packet: ~350 cycles (AF_XDP
+    technology-guide numbers are 4-5x the full stack's pps). *)
+
+val enclave_udp_stack_per_packet : int64 ref
+(** RAKIS's in-enclave slimmed UDP/IP stack per packet: ~1,700 cycles —
+    a trimmed LWIP is slower per packet at raw parsing than the
+    optimized kernel fast path, but avoids all syscall machinery; with
+    the boundary copy this puts the RAKIS receive path ~10 % under the
+    native per-packet cost, the paper's C1 margin.  Mutable for the
+    sensitivity bench. *)
+
+val iouring_kernel_per_op : int64
+(** Kernel-side io_uring SQE fetch + dispatch + CQE post: ~600 cycles. *)
+
+val iouring_sync_wait_cycles : int64
+(** Latency a synchronous caller pays waiting for the asynchronous
+    kernel worker to pick up its SQE (paper §6.2: "waiting for another
+    thread to execute the task"): ~1,200 cycles. *)
+
+val switchless_rpc_cycles : int64
+(** Hand-off latency of a switchless (exitless) syscall to an untrusted
+    RPC worker thread, HotCalls/Eleos-style (paper §8): ~1,500 cycles —
+    the spin-wait round trip HotCalls reports (~620 cycles each way)
+    plus queueing. *)
+
+val vfs_per_op : int64
+(** VFS write/read path per call (page-cache hit): ~1,000 cycles. *)
+
+val storage_cycles_per_byte : float
+(** Page-cache copy cost per byte on the file path: ~0.12 cycles/B. *)
+
+val mm_poll_period : int64
+(** MM thread polling period over the shared producer indices: 2,000
+    cycles — frequent enough that wakeup latency is negligible, as the
+    paper's dedicated-thread design intends. *)
+
+val nic_link_gbps : float
+(** 25.0 — the testbed's loopback-wired link capacity. *)
+
+val nic_queue_len : int
+(** 2,048 descriptors per NIC queue (paper §6.1 setup). *)
+
+val default_ring_size : int
+(** 2,048 entries per XSK ring (paper §6.1 setup). *)
+
+val default_umem_size : int
+(** 16 MiB UMem (paper §6.1 setup). *)
+
+val umem_frame_size : int
+(** 2,048 B per UMem frame — one MTU-sized packet per frame, the AF_XDP
+    default. *)
+
+val udp_socket_buffer : int
+(** 16 MiB kernel UDP socket buffer (paper §6.1 setup). *)
+
+val app_cycles_per_request : int64
+(** Userspace work per request in the KV-store workloads (hashing,
+    parsing): ~1,500 cycles. *)
+
+val wire_cycles_per_byte : float
+(** Link serialization cost, from {!nic_link_gbps}. *)

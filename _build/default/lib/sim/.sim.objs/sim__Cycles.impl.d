@@ -1,0 +1,1 @@
+lib/sim/cycles.ml: Format Int64

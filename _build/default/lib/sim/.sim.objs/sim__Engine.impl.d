@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Effect Fun Int64 Logs Pqueue Printexc Stats

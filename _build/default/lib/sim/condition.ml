@@ -1,0 +1,19 @@
+type t = { queue : (unit -> unit) Queue.t }
+
+let create () = { queue = Queue.create () }
+
+let wait t = Engine.suspend (fun waker -> Queue.add waker t.queue)
+
+let signal t =
+  match Queue.take_opt t.queue with None -> () | Some waker -> waker ()
+
+let broadcast t =
+  let wakers = Queue.to_seq t.queue |> List.of_seq in
+  Queue.clear t.queue;
+  List.iter (fun waker -> waker ()) wakers
+
+let waiters t = Queue.length t.queue
+
+let wait_any ts =
+  Engine.suspend (fun waker ->
+      List.iter (fun t -> Queue.add waker t.queue) ts)

@@ -1,0 +1,131 @@
+type time = int64
+
+exception Not_in_process
+
+type t = {
+  mutable now : time;
+  mutable seq : int;
+  events : (time * int, unit -> unit) Pqueue.t;
+  mutable stopped : bool;
+  stats : Stats.t;
+}
+
+type _ Effect.t +=
+  | Delay : t * time -> unit Effect.t
+  | Suspend : t * ((unit -> unit) -> unit) -> unit Effect.t
+
+(* The engine an effect belongs to travels inside the effect payload; the
+   ambient engine for the currently running process is tracked here so the
+   argument-free [delay]/[suspend] API works. *)
+let current : t option ref = ref None
+
+let create () =
+  let cmp (ta, sa) (tb, sb) =
+    let c = Int64.compare ta tb in
+    if c <> 0 then c else compare sa sb
+  in
+  {
+    now = 0L;
+    seq = 0;
+    events = Pqueue.create ~cmp;
+    stopped = false;
+    stats = Stats.create ();
+  }
+
+let now t = t.now
+
+let stats t = t.stats
+
+let schedule t time f =
+  let time = if Int64.compare time t.now < 0 then t.now else time in
+  t.seq <- t.seq + 1;
+  Pqueue.push t.events (time, t.seq) f
+
+let at t time f = schedule t time f
+
+let pending t = Pqueue.length t.events
+
+let engine_of_ambient () =
+  match !current with None -> raise Not_in_process | Some t -> t
+
+let delay d =
+  (* Outside any process (e.g. environment boot code running before the
+     simulation starts) time cannot advance: treat the charge as free
+     rather than failing — setup costs are not part of any measurement
+     window.  Suspension, by contrast, is always an error there. *)
+  match !current with
+  | None -> ()
+  | Some t -> Effect.perform (Delay (t, d))
+
+let yield () = delay 0L
+
+let suspend register =
+  let t = engine_of_ambient () in
+  Effect.perform (Suspend (t, register))
+
+let stop t = t.stopped <- true
+
+let spawn t ?(name = "proc") f =
+  let open Effect.Deep in
+  let body () =
+    match_with f ()
+      {
+        retc = (fun () -> ());
+        exnc =
+          (fun e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Logs.err (fun m ->
+                m "process %s died: %s" name (Printexc.to_string e));
+            Printexc.raise_with_backtrace e bt);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Delay (eng, d) ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    schedule eng (Int64.add eng.now d) (fun () ->
+                        current := Some eng;
+                        continue k ()))
+            | Suspend (eng, register) ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    let woken = ref false in
+                    register (fun () ->
+                        if not !woken then begin
+                          woken := true;
+                          schedule eng eng.now (fun () ->
+                              current := Some eng;
+                              continue k ())
+                        end))
+            | _ -> None);
+      }
+  in
+  schedule t t.now (fun () ->
+      current := Some t;
+      body ())
+
+let run ?until t =
+  t.stopped <- false;
+  let horizon =
+    match until with None -> Int64.max_int | Some u -> u
+  in
+  let rec loop () =
+    if t.stopped then ()
+    else
+      match Pqueue.peek t.events with
+      | None -> ()
+      | Some ((time, _), _) when Int64.compare time horizon > 0 ->
+          (* Leave future events queued so a later [run] can resume. *)
+          t.now <- horizon
+      | Some _ ->
+          (match Pqueue.pop t.events with
+          | None -> assert false
+          | Some ((time, _), f) ->
+              t.now <- time;
+              let saved = !current in
+              Fun.protect ~finally:(fun () -> current := saved) f);
+          loop ()
+  in
+  loop ()
+
+let in_process () = !current <> None

@@ -1,0 +1,34 @@
+type t = {
+  mutable locked : bool;
+  cond : Condition.t;
+  mutable contended : int;
+}
+
+let create () = { locked = false; cond = Condition.create (); contended = 0 }
+
+let rec acquire t =
+  if t.locked then begin
+    t.contended <- t.contended + 1;
+    Condition.wait t.cond;
+    acquire t
+  end
+  else t.locked <- true
+
+let release t =
+  if not t.locked then invalid_arg "Lock.release: not held";
+  t.locked <- false;
+  Condition.signal t.cond
+
+let with_lock t f =
+  acquire t;
+  match f () with
+  | v ->
+      release t;
+      v
+  | exception e ->
+      release t;
+      raise e
+
+let held t = t.locked
+
+let contended t = t.contended

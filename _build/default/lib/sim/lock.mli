@@ -1,0 +1,25 @@
+(** Cooperative mutex for simulated threads.
+
+    There is no preemption in the engine, so a lock only matters around
+    suspension points (delays, blocking IO): it models the contention
+    the paper observed in LWIP's global-lock design (§4.2) when several
+    enclave threads charge cycles inside the stack. *)
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> unit
+(** Blocks while held by another process. *)
+
+val release : t -> unit
+(** Must be called by the current holder's flow. *)
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Acquire, run, release (also on exception). *)
+
+val held : t -> bool
+
+val contended : t -> int
+(** How many acquisitions had to wait (diagnostic: the lock-contention
+    metric for the global-lock vs fine-grained comparison). *)

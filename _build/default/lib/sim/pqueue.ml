@@ -1,0 +1,66 @@
+type ('k, 'v) t = {
+  cmp : 'k -> 'k -> int;
+  mutable arr : ('k * 'v) array;
+  mutable len : int;
+}
+
+let create ~cmp = { cmp; arr = [||]; len = 0 }
+
+let is_empty q = q.len = 0
+
+let length q = q.len
+
+let swap q i j =
+  let tmp = q.arr.(i) in
+  q.arr.(i) <- q.arr.(j);
+  q.arr.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    let ki, _ = q.arr.(i) and kp, _ = q.arr.(parent) in
+    if q.cmp ki kp < 0 then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  let key j = fst q.arr.(j) in
+  if l < q.len && q.cmp (key l) (key !smallest) < 0 then smallest := l;
+  if r < q.len && q.cmp (key r) (key !smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let push q k v =
+  (* Grow using the pushed binding as filler so no placeholder value is
+     ever needed. *)
+  if q.len = Array.length q.arr then begin
+    let ncap = if q.len = 0 then 16 else q.len * 2 in
+    let narr = Array.make ncap (k, v) in
+    Array.blit q.arr 0 narr 0 q.len;
+    q.arr <- narr
+  end;
+  q.arr.(q.len) <- (k, v);
+  q.len <- q.len + 1;
+  sift_up q (q.len - 1)
+
+let pop q =
+  if q.len = 0 then None
+  else begin
+    let top = q.arr.(0) in
+    q.len <- q.len - 1;
+    if q.len > 0 then begin
+      q.arr.(0) <- q.arr.(q.len);
+      sift_down q 0
+    end;
+    Some top
+  end
+
+let peek q = if q.len = 0 then None else Some q.arr.(0)
+
+let clear q = q.len <- 0

@@ -1,0 +1,26 @@
+(** Binary min-heap priority queue.
+
+    Used by the simulation engine to order pending events by (time, seq).
+    Keys are compared with a user-supplied total order; ties are impossible
+    in the engine because every event carries a unique sequence number. *)
+
+type ('k, 'v) t
+
+val create : cmp:('k -> 'k -> int) -> ('k, 'v) t
+(** [create ~cmp] is an empty queue ordered by [cmp] (smallest first). *)
+
+val is_empty : ('k, 'v) t -> bool
+
+val length : ('k, 'v) t -> int
+
+val push : ('k, 'v) t -> 'k -> 'v -> unit
+(** [push q k v] inserts binding [k -> v]. O(log n). *)
+
+val pop : ('k, 'v) t -> ('k * 'v) option
+(** [pop q] removes and returns the smallest binding, or [None] when empty.
+    O(log n). *)
+
+val peek : ('k, 'v) t -> ('k * 'v) option
+(** [peek q] returns the smallest binding without removing it. O(1). *)
+
+val clear : ('k, 'v) t -> unit

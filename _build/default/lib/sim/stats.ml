@@ -1,0 +1,61 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 64; gauges = Hashtbl.create 16 }
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges
+
+let counter_ref t key =
+  match Hashtbl.find_opt t.counters key with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.counters key r;
+      r
+
+let gauge_ref t key =
+  match Hashtbl.find_opt t.gauges key with
+  | Some r -> r
+  | None ->
+      let r = ref 0. in
+      Hashtbl.add t.gauges key r;
+      r
+
+let incr t key = Stdlib.incr (counter_ref t key)
+
+let add t key n =
+  let r = counter_ref t key in
+  r := !r + n
+
+let get t key =
+  match Hashtbl.find_opt t.counters key with Some r -> !r | None -> 0
+
+let set_gauge t key v = gauge_ref t key := v
+
+let add_gauge t key v =
+  let r = gauge_ref t key in
+  r := !r +. v
+
+let gauge t key =
+  match Hashtbl.find_opt t.gauges key with Some r -> !r | None -> 0.
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = sorted_bindings t.counters
+
+let gauges t = sorted_bindings t.gauges
+
+let pp ppf t =
+  let pp_counter ppf (k, v) = Format.fprintf ppf "%s = %d" k v in
+  let pp_gauge ppf (k, v) = Format.fprintf ppf "%s = %g" k v in
+  Format.fprintf ppf "@[<v>%a@,%a@]"
+    (Format.pp_print_list pp_counter)
+    (counters t)
+    (Format.pp_print_list pp_gauge)
+    (gauges t)

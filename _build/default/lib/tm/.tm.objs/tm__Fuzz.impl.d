@@ -1,0 +1,1 @@
+lib/tm/fuzz.ml: Array Bytes Char Format Hashtbl List Netstack Packet Printf Sim String

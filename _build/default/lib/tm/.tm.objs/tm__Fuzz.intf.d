@@ -1,0 +1,1 @@
+lib/tm/fuzz.mli: Format

@@ -1,0 +1,1 @@
+lib/tm/model_check.ml: Array Format Hostos List Mem Rakis Result Rings

@@ -1,0 +1,1 @@
+lib/tm/model_check.mli: Format

@@ -1,0 +1,209 @@
+type report = {
+  executions : int;
+  crashes : int;
+  crash_samples : string list;
+  delivered : int;
+  dropped : int;
+  arp_handled : int;
+  corpus_size : int;
+  distinct_outcomes : int;
+}
+
+let stack_mac = Packet.Addr.Mac.of_repr "02:aa:bb:cc:dd:01"
+
+let stack_ip = Packet.Addr.Ip.of_repr "192.168.7.1"
+
+let peer_mac = Packet.Addr.Mac.of_repr "02:aa:bb:cc:dd:02"
+
+let peer_ip = Packet.Addr.Ip.of_repr "192.168.7.2"
+
+let bound_ports = [ 53; 5201; 11211 ]
+
+(* Seed corpus: well-formed frames at every layer plus boundary sizes. *)
+let seeds () =
+  let udp port payload =
+    Packet.Frame.build_udp
+      {
+        Packet.Frame.src_mac = peer_mac;
+        dst_mac = stack_mac;
+        src_ip = peer_ip;
+        dst_ip = stack_ip;
+        src_port = 40000;
+        dst_port = port;
+      }
+      (Bytes.of_string payload)
+  in
+  let arp op =
+    Packet.Frame.build_arp ~src_mac:peer_mac ~dst_mac:stack_mac
+      {
+        Packet.Arp.op;
+        sender_mac = peer_mac;
+        sender_ip = peer_ip;
+        target_mac = Packet.Addr.Mac.zero;
+        target_ip = stack_ip;
+      }
+  in
+  [
+    udp 53 "hello";
+    udp 5201 (String.make 1400 'x');
+    udp 9999 "unbound port";
+    arp Packet.Arp.Request;
+    arp Packet.Arp.Reply;
+    Bytes.create 0;
+    Bytes.create 13;
+    Bytes.create 14;
+    Bytes.make 60 '\xff';
+  ]
+
+let mutate rng input =
+  let b = Bytes.copy input in
+  let n = Bytes.length b in
+  match Sim.Rng.int rng 6 with
+  | 0 when n > 0 ->
+      (* single byte set *)
+      Bytes.set b (Sim.Rng.int rng n) (Sim.Rng.byte rng);
+      b
+  | 1 when n > 0 ->
+      (* bit flip *)
+      let i = Sim.Rng.int rng n in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Sim.Rng.int rng 8)));
+      b
+  | 2 when n > 1 ->
+      (* truncate *)
+      Bytes.sub b 0 (Sim.Rng.int rng n)
+  | 3 ->
+      (* extend with random bytes *)
+      let extra = Bytes.create (1 + Sim.Rng.int rng 64) in
+      Sim.Rng.fill_bytes rng extra;
+      Bytes.cat b extra
+  | 4 when n > 4 ->
+      (* random 2-byte field smash (lengths, checksums, ports) *)
+      let i = Sim.Rng.int rng (n - 1) in
+      Bytes.set_uint16_be b i (Sim.Rng.int rng 65536);
+      b
+  | _ ->
+      (* fully random frame *)
+      let r = Bytes.create (Sim.Rng.int rng 128) in
+      Sim.Rng.fill_bytes rng r;
+      r
+
+(* Outcome signature of one execution — the coverage proxy. *)
+let outcome_signature ~delivered_delta ~arp_delta ~reasons =
+  if delivered_delta > 0 then "delivered"
+  else if arp_delta > 0 then "arp"
+  else
+    match reasons with
+    | [] -> "silent"
+    | rs -> String.concat "+" (List.sort String.compare rs)
+
+let hex b =
+  String.concat "" (List.map (Printf.sprintf "%02x") (List.map Char.code (List.of_seq (Bytes.to_seq b))))
+
+let run ?(seed = 0xF00DL) ?(executions = 50_000) () =
+  let rng = Sim.Rng.create ~seed in
+  let engine = Sim.Engine.create () in
+  let stack = Netstack.Stack.create engine ~mac:stack_mac ~ip:stack_ip () in
+  (* Emulated user actions: bound sockets whose queues are drained and
+     echoed below; a transmit hook the stack can always use. *)
+  Netstack.Stack.set_transmit stack (fun _frame -> ());
+  Netstack.Arp_cache.learn (Netstack.Stack.arp stack) peer_ip peer_mac;
+  let socks =
+    List.map
+      (fun port ->
+        match Netstack.Stack.bind stack ~port with
+        | Ok s -> s
+        | Error `Port_in_use -> assert false)
+      bound_ports
+  in
+  let corpus = ref (seeds ()) in
+  let corpus_n = ref (List.length !corpus) in
+  let outcomes = Hashtbl.create 32 in
+  let crashes = ref 0 and crash_samples = ref [] in
+  let arp_before = ref (Netstack.Arp_cache.entries (Netstack.Stack.arp stack)) in
+  let delivered_before = ref 0 in
+  let reasons_before = ref [] in
+  let exec input =
+    delivered_before := Netstack.Stack.rx_delivered stack;
+    reasons_before := Netstack.Stack.drop_reasons stack;
+    arp_before := Netstack.Arp_cache.entries (Netstack.Stack.arp stack);
+    let crashed =
+      match Netstack.Stack.input stack input with
+      | () -> false
+      | exception _ ->
+          incr crashes;
+          if List.length !crash_samples < 5 then
+            crash_samples := hex input :: !crash_samples;
+          true
+    in
+    (* Emulated user: drain and echo whatever arrived. *)
+    List.iter
+      (fun sock ->
+        while Netstack.Udp_socket.readable sock do
+          let payload, (src_ip, src_port) =
+            Netstack.Udp_socket.recvfrom sock ~max:65536
+          in
+          ignore
+            (Netstack.Stack.sendto stack
+               ~src_port:(Netstack.Udp_socket.port sock)
+               ~dst:(src_ip, src_port) payload)
+        done)
+      socks;
+    if not crashed then begin
+      let delivered_delta =
+        Netstack.Stack.rx_delivered stack - !delivered_before
+      in
+      let arp_delta =
+        Netstack.Arp_cache.entries (Netstack.Stack.arp stack) - !arp_before
+      in
+      let new_reasons =
+        List.filter_map
+          (fun (r, c) ->
+            match List.assoc_opt r !reasons_before with
+            | Some c0 when c0 = c -> None
+            | _ -> Some r)
+          (Netstack.Stack.drop_reasons stack)
+      in
+      let signature =
+        outcome_signature ~delivered_delta ~arp_delta ~reasons:new_reasons
+      in
+      if not (Hashtbl.mem outcomes signature) then begin
+        Hashtbl.add outcomes signature ();
+        corpus := input :: !corpus;
+        incr corpus_n
+      end
+    end
+  in
+  (* Replay all seeds, then mutate. *)
+  List.iter exec (seeds ());
+  let corpus_array () = Array.of_list !corpus in
+  let arr = ref (corpus_array ()) in
+  for i = 1 to executions do
+    if i mod 4096 = 0 then arr := corpus_array ();
+    let base = Sim.Rng.pick rng !arr in
+    exec (mutate rng base)
+  done;
+  {
+    executions = executions + List.length (seeds ());
+    crashes = !crashes;
+    crash_samples = !crash_samples;
+    delivered = Netstack.Stack.rx_delivered stack;
+    dropped = Netstack.Stack.rx_dropped stack;
+    arp_handled = Netstack.Arp_cache.entries (Netstack.Stack.arp stack);
+    corpus_size = !corpus_n;
+    distinct_outcomes = Hashtbl.length outcomes;
+  }
+
+let passed r = r.crashes = 0
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>executions        : %d@,\
+     crashes           : %d@,\
+     delivered         : %d@,\
+     dropped           : %d@,\
+     corpus size       : %d@,\
+     distinct outcomes : %d@,\
+     verdict           : %s@]"
+    r.executions r.crashes r.delivered r.dropped r.corpus_size
+    r.distinct_outcomes
+    (if passed r then "PASS" else "FAIL")

@@ -1,0 +1,37 @@
+(** Testing Module, part 2: fuzzing the UDP/IP stack (paper §5.2).
+
+    The paper runs AFL++ against a harness that initializes the SM's
+    UDP/IP stack, feeds it packets from stdin, and emulates user actions
+    (binding sockets, draining queues, echoing).  This reproduction is a
+    self-contained mutational fuzzer with the same harness shape:
+
+    - seed corpus of valid ARP, UDP and boundary frames;
+    - byte/bit/length/splice mutators plus fully random inputs;
+    - the stack's host-facing entry point ({!Netstack.Stack.input}) as
+      the single input source, per the paper's scope;
+    - emulated user: sockets bound on several ports, periodic queue
+      drains and echoes through the transmit hook;
+    - an input joins the corpus when it exercises a not-yet-seen
+      outcome (delivery, or a new drop reason) — a poor man's coverage
+      signal.
+
+    Pass criterion: no exception ever escapes the stack, and the stack's
+    accounting stays consistent (every input is either delivered,
+    dropped-with-reason, or ARP-consumed). *)
+
+type report = {
+  executions : int;
+  crashes : int;
+  crash_samples : string list;  (** hex of up to 5 crashing inputs *)
+  delivered : int;
+  dropped : int;
+  arp_handled : int;
+  corpus_size : int;
+  distinct_outcomes : int;
+}
+
+val run : ?seed:int64 -> ?executions:int -> unit -> report
+
+val pp_report : Format.formatter -> report -> unit
+
+val passed : report -> bool

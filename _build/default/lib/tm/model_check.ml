@@ -1,0 +1,255 @@
+type report = {
+  schedules : int;
+  fm_ops : int;
+  certified_violations : int;
+  naive_violations : int;
+  certified_rejects : int;
+  umem_cases : int;
+  umem_violations : int;
+}
+
+(* Boundary candidates for an adversarial index write, relative to the
+   current trusted state: window edges, off-by-ones and wrap values.
+   Complete in the small-scope sense: any hostile value either falls in
+   the same window-region as one of these or is strictly interior. *)
+let candidates ~tprod ~tcons ~size =
+  let open Rings.U32 in
+  [
+    tcons;
+    succ tcons;
+    sub tcons 1;
+    add tcons size;
+    add tcons (size + 1);
+    tprod;
+    succ tprod;
+    sub tprod 1;
+    add tprod size;
+    add tprod (size + 1);
+    0;
+    mask;
+    0x80000000;
+    add tprod 0x80000000;
+  ]
+
+let n_candidates = 14
+
+type role = Consumer_role | Producer_role
+
+(* Operations the FM can perform in each role.  Publish is folded into
+   Produce; Skip exercises the fail-action path. *)
+let ops_for = function
+  | Consumer_role -> [ `Available; `Consume; `Skip ]
+  | Producer_role -> [ `Free_slots; `Produce ]
+
+type machine = {
+  layout : Rings.Layout.t;
+  certified : Rings.Certified.t;
+  naive : Rings.Naive.t;
+  role : role;
+}
+
+let make_machine ~ring_size role =
+  let region =
+    Mem.Region.create ~kind:Untrusted ~name:"mc-shared"
+      ~size:(Rings.Layout.footprint ~entry_size:8 ~size:ring_size + 64)
+  in
+  let alloc = Mem.Alloc.create region () in
+  let layout = Rings.Layout.alloc alloc ~entry_size:8 ~size:ring_size in
+  let cert_role =
+    match role with
+    | Consumer_role -> Rings.Certified.Consumer
+    | Producer_role -> Rings.Certified.Producer
+  in
+  {
+    layout;
+    certified = Rings.Certified.create layout ~role:cert_role ();
+    naive = Rings.Naive.create layout;
+    role;
+  }
+
+let in_range v size = v >= 0 && v <= size
+
+(* Execute one FM op on the certified ring; true iff state stays legal. *)
+let cert_step m op =
+  let size = Rings.Certified.size m.certified in
+  let ok_result =
+    match op with
+    | `Available -> in_range (Rings.Certified.available m.certified) size
+    | `Consume ->
+        (match Rings.Certified.consume m.certified ~read:(fun ~slot_off ->
+             (* The read slot must lie inside the descriptor array. *)
+             slot_off >= m.layout.Rings.Layout.desc_off
+             && slot_off + 8
+                <= m.layout.Rings.Layout.desc_off
+                   + (8 * m.layout.Rings.Layout.size))
+         with
+        | Ok in_bounds -> in_bounds
+        | Error `Ring_empty -> true)
+    | `Skip ->
+        Rings.Certified.skip m.certified;
+        true
+    | `Free_slots -> in_range (Rings.Certified.free_slots m.certified) size
+    | `Produce -> (
+        match
+          Rings.Certified.produce m.certified ~write:(fun ~slot_off ->
+              Mem.Region.set_u64 m.layout.Rings.Layout.region slot_off 0L)
+        with
+        | Ok () ->
+            Rings.Certified.publish m.certified;
+            true
+        | Error `Ring_full -> true)
+  in
+  ok_result && Rings.Certified.invariant_holds m.certified
+
+(* The same op against the naive accessors; true iff state stays legal
+   (expected to fail under attack — the §5 case studies). *)
+let naive_step m op =
+  let size = m.layout.Rings.Layout.size in
+  let ok_result =
+    match op with
+    | `Available -> in_range (Rings.Naive.available m.naive) size
+    | `Consume ->
+        ignore (Rings.Naive.consume m.naive ~read:(fun ~slot_off:_ -> ()));
+        true
+    | `Skip -> true
+    | `Free_slots -> in_range (Rings.Naive.prod_nb_free m.naive ~wanted:size) size
+    | `Produce ->
+        ignore
+          (Rings.Naive.produce_batch m.naive ~count:1
+             ~write:(fun ~slot_off _ ->
+               Mem.Region.set_u64 m.layout.Rings.Layout.region slot_off 0L));
+        true
+  in
+  ok_result && Rings.Naive.invariant_holds m.naive
+
+(* Replay one schedule — a list of (candidate index, op index) — from a
+   fresh machine, counting violations. *)
+let replay ~ring_size role schedule stats =
+  let ops = Array.of_list (ops_for role) in
+  let cert = make_machine ~ring_size role in
+  let naive = make_machine ~ring_size role in
+  let fm_ops, cert_viol, naive_viol = stats in
+  List.iter
+    (fun (ci, oi) ->
+      let smash m trusted_of =
+        let tprod, tcons = trusted_of m in
+        let c = List.nth (candidates ~tprod ~tcons ~size:ring_size) ci in
+        match role with
+        | Consumer_role -> Hostos.Malice.smash_prod m.layout c
+        | Producer_role -> Hostos.Malice.smash_cons m.layout c
+      in
+      smash cert (fun m ->
+          (Rings.Certified.trusted_prod m.certified,
+           Rings.Certified.trusted_cons m.certified));
+      smash naive (fun m ->
+          (Rings.Naive.cached_prod m.naive, Rings.Naive.cached_cons m.naive));
+      let op = ops.(oi) in
+      incr fm_ops;
+      if not (cert_step cert op) then incr cert_viol;
+      if not (naive_step naive op) then incr naive_viol)
+    schedule;
+  Rings.Certified.failures cert.certified
+
+(* Enumerate every schedule of the given depth. *)
+let explore ~ring_size ~depth role =
+  let ops = Array.length (Array.of_list (ops_for role)) in
+  let schedules = ref 0 in
+  let fm_ops = ref 0 and cert_viol = ref 0 and naive_viol = ref 0 in
+  let rejects = ref 0 in
+  let rec go prefix d =
+    if d = 0 then begin
+      incr schedules;
+      rejects :=
+        !rejects
+        + replay ~ring_size role (List.rev prefix)
+            (fm_ops, cert_viol, naive_viol)
+    end
+    else
+      for ci = 0 to n_candidates - 1 do
+        for oi = 0 to ops - 1 do
+          go ((ci, oi) :: prefix) (d - 1)
+        done
+      done
+  in
+  go [] depth;
+  (!schedules, !fm_ops, !cert_viol, !naive_viol, !rejects)
+
+(* Exhaustive descriptor-validation grid over a small UMem. *)
+let check_umem () =
+  let frame = 64 and nframes = 8 in
+  let size = frame * nframes in
+  let cases = ref 0 and violations = ref 0 in
+  let offsets =
+    [ -frame; -1; 0; 1; 3; frame - 1; frame; frame + 1; 2 * frame;
+      (3 * frame) + 7; size - frame; size - 1; size; size + frame ]
+  in
+  let lens = [ 0; 1; frame - 1; frame; frame + 1; 2 * frame ] in
+  let routines = [ Rakis.Umem.Rx; Rakis.Umem.Tx ] in
+  List.iter
+    (fun routine ->
+      List.iter
+        (fun offset ->
+          List.iter
+            (fun len ->
+              incr cases;
+              (* Frames 0 and 1 are out with Rx, frames 2 and 3 out with
+                 Tx, the rest FM-owned. *)
+              let umem = Rakis.Umem.create ~size ~frame_size:frame in
+              let commit r =
+                match Rakis.Umem.alloc umem with
+                | Some off -> Rakis.Umem.commit umem off r
+                | None -> assert false
+              in
+              commit Rakis.Umem.Rx;
+              commit Rakis.Umem.Rx;
+              commit Rakis.Umem.Tx;
+              commit Rakis.Umem.Tx;
+              let frame_idx = if offset >= 0 then offset / frame else -1 in
+              let should_accept =
+                offset >= 0
+                && offset + max len 1 <= size
+                && offset mod frame = 0
+                && len <= frame
+                &&
+                match routine with
+                | Rakis.Umem.Rx -> frame_idx = 0 || frame_idx = 1
+                | Rakis.Umem.Tx -> frame_idx = 2 || frame_idx = 3
+              in
+              let accepted =
+                Result.is_ok (Rakis.Umem.reclaim umem routine ~offset ~len ())
+              in
+              if accepted <> should_accept then incr violations)
+            lens)
+        offsets)
+    routines;
+  (!cases, !violations)
+
+let verify ?(ring_size = 4) ?(depth = 3) () =
+  let s1, o1, c1, n1, r1 = explore ~ring_size ~depth Consumer_role in
+  let s2, o2, c2, n2, r2 = explore ~ring_size ~depth Producer_role in
+  let umem_cases, umem_violations = check_umem () in
+  {
+    schedules = s1 + s2;
+    fm_ops = o1 + o2;
+    certified_violations = c1 + c2;
+    naive_violations = n1 + n2;
+    certified_rejects = r1 + r2;
+    umem_cases;
+    umem_violations;
+  }
+
+let passed r = r.certified_violations = 0 && r.umem_violations = 0
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>schedules explored      : %d@,\
+     FM operations executed  : %d@,\
+     certified violations    : %d@,\
+     naive violations        : %d  (expected > 0: the §5 case studies)@,\
+     hostile values rejected : %d@,\
+     UMem grid cases         : %d@,\
+     UMem violations         : %d@,\
+     verdict                 : %s@]"
+    r.schedules r.fm_ops r.certified_violations r.naive_violations
+    r.certified_rejects r.umem_cases r.umem_violations
+    (if passed r then "PASS" else "FAIL")

@@ -1,0 +1,1 @@
+test/test_hostos.ml: Abi Alcotest Bytes Hostos Int64 Mem Packet Rings Sim

@@ -1,0 +1,1 @@
+test/test_libos.ml: Abi Alcotest Bytes Hostos Int64 Libos List Printf Rakis Sim

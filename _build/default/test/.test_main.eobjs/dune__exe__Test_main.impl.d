@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_abi Test_apps Test_hostos Test_libos Test_mem Test_misc Test_netstack Test_packet Test_rakis Test_rings Test_sgx Test_sim Test_stress Test_tm Test_tunnel

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Alloc Bytes Mem Ptr Region

@@ -1,0 +1,1 @@
+test/test_misc.ml: Abi Alcotest Bytes Hostos Int64 List Netstack Packet Rakis Result Sgx Sim

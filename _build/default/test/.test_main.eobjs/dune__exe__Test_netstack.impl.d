@@ -1,0 +1,1 @@
+test/test_netstack.ml: Alcotest Arp_cache Bytes List Netstack Packet QCheck QCheck_alcotest Result Sim Stack Udp_socket

@@ -1,0 +1,1 @@
+test/test_packet.ml: Addr Alcotest Arp Bytes Char Checksum Eth Format Frame Ipv4 List Packet QCheck QCheck_alcotest Udp

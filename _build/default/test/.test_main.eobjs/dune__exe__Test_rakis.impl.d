@@ -1,0 +1,1 @@
+test/test_rakis.ml: Abi Alcotest Array Bytes Char Hostos Libos List Mem Netstack Option Rakis Result Sgx Sim

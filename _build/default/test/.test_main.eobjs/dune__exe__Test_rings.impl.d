@@ -1,0 +1,1 @@
+test/test_rings.ml: Alcotest Certified Hostos Int64 Layout List Mem Naive QCheck QCheck_alcotest Queue Raw Rings U32

@@ -1,0 +1,1 @@
+test/test_sgx.ml: Alcotest Int64 List Mem Packet Sgx Sim

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Condition Cycles Engine Fun List Lock Mailbox Pqueue Rng Sim Stats

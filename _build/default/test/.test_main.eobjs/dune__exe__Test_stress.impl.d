@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Apps Array Bytes Hostos Int64 Libos Rakis Result Sim

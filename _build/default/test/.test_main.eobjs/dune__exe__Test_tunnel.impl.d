@@ -1,0 +1,1 @@
+test/test_tunnel.ml: Alcotest Bytes Char Hostos Libos List Printf QCheck QCheck_alcotest Rakis Result Sim

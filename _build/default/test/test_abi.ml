@@ -1,0 +1,135 @@
+(* Tests for errno codes, XSK descriptor packing and the io_uring SQE /
+   CQE wire format. *)
+
+let check = Alcotest.(check int)
+
+(* {1 Errno} *)
+
+let test_errno_roundtrip () =
+  List.iter
+    (fun e ->
+      match Abi.Errno.of_int (Abi.Errno.to_int e) with
+      | Some e' when e' = e -> ()
+      | _ -> Alcotest.failf "roundtrip %s" (Abi.Errno.to_string e))
+    [
+      Abi.Errno.EPERM; ENOENT; EBADF; EAGAIN; EINVAL; ENOBUFS; ENOTCONN;
+      ECONNREFUSED; ECONNRESET; EADDRINUSE; EMSGSIZE; ENOSYS; EFAULT;
+    ]
+
+let test_errno_linux_values () =
+  check "EPERM" 1 (Abi.Errno.to_int EPERM);
+  check "EAGAIN" 11 (Abi.Errno.to_int EAGAIN);
+  check "EINVAL" 22 (Abi.Errno.to_int EINVAL);
+  check "EFAULT" 14 (Abi.Errno.to_int EFAULT)
+
+let test_errno_unknown () =
+  Alcotest.(check bool) "unknown" true (Abi.Errno.of_int 9999 = None)
+
+(* {1 Xsk_desc} *)
+
+let test_xsk_desc_roundtrip () =
+  let d = Abi.Xsk_desc.encode ~offset:4096 ~len:1460 in
+  Alcotest.(check (pair int int)) "decode" (4096, 1460) (Abi.Xsk_desc.decode d)
+
+let test_xsk_desc_offset_only () =
+  let d = Abi.Xsk_desc.encode_offset 8192 in
+  check "offset" 8192 (Abi.Xsk_desc.decode_offset d);
+  Alcotest.(check (pair int int)) "len zero" (8192, 0) (Abi.Xsk_desc.decode d)
+
+let test_xsk_desc_bounds () =
+  (match Abi.Xsk_desc.encode ~offset:(-1) ~len:0 with
+  | _ -> Alcotest.fail "negative offset"
+  | exception Invalid_argument _ -> ());
+  match Abi.Xsk_desc.encode ~offset:0 ~len:0x10000 with
+  | _ -> Alcotest.fail "oversize len"
+  | exception Invalid_argument _ -> ()
+
+let test_xsk_desc_total_decode () =
+  (* Any bit pattern decodes without raising — untrusted input. *)
+  let off, len = Abi.Xsk_desc.decode 0xFFFFFFFFFFFFFFFFL in
+  Alcotest.(check bool) "fields in range" true
+    (off >= 0 && len >= 0 && len <= 0xFFFF)
+
+(* {1 Uring_abi} *)
+
+let region () = Mem.Region.create ~kind:Untrusted ~name:"abi" ~size:256
+
+let sample_sqe =
+  {
+    Abi.Uring_abi.opcode = Abi.Uring_abi.Read;
+    fd = 7;
+    file_off = 123456789L;
+    addr = 0x4000;
+    len = 512;
+    poll_events = 0;
+    user_data = 0xCAFEL;
+  }
+
+let test_sqe_roundtrip () =
+  let r = region () in
+  Abi.Uring_abi.write_sqe r 64 sample_sqe;
+  match Abi.Uring_abi.read_sqe r 64 with
+  | Error e -> Alcotest.fail e
+  | Ok sqe ->
+      check "fd" 7 sqe.fd;
+      Alcotest.(check int64) "off" 123456789L sqe.file_off;
+      check "addr" 0x4000 sqe.addr;
+      check "len" 512 sqe.len;
+      Alcotest.(check int64) "user_data" 0xCAFEL sqe.user_data;
+      Alcotest.(check bool) "opcode" true (sqe.opcode = Abi.Uring_abi.Read)
+
+let test_sqe_bad_opcode () =
+  let r = region () in
+  Mem.Region.set_u8 r 0 99;
+  match Abi.Uring_abi.read_sqe r 0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage opcode accepted"
+
+let test_cqe_roundtrip_positive () =
+  let r = region () in
+  Abi.Uring_abi.write_cqe r 0 { Abi.Uring_abi.user_data = 5L; res = 4096 };
+  let cqe = Abi.Uring_abi.read_cqe r 0 in
+  check "res" 4096 cqe.res;
+  Alcotest.(check int64) "user_data" 5L cqe.user_data
+
+let test_cqe_roundtrip_negative () =
+  (* Negative results (errnos) must survive the u32 two's-complement
+     encoding. *)
+  let r = region () in
+  Abi.Uring_abi.write_cqe r 16
+    { Abi.Uring_abi.user_data = 9L; res = Abi.Uring_abi.res_of_errno EAGAIN };
+  check "negative errno" (-11) (Abi.Uring_abi.read_cqe r 16).res
+
+let test_opcode_codes () =
+  List.iter
+    (fun op ->
+      match Abi.Uring_abi.opcode_of_int (Abi.Uring_abi.opcode_to_int op) with
+      | Some op' when op = op' -> ()
+      | _ -> Alcotest.fail "opcode roundtrip")
+    [ Abi.Uring_abi.Nop; Read; Write; Send; Recv; Poll_add ]
+
+let prop_cqe_res_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"cqe: any int32 result roundtrips" ~count:500
+       (QCheck.make QCheck.Gen.(-0x80000000 -- 0x7FFFFFFF))
+       (fun res ->
+         let r = region () in
+         Abi.Uring_abi.write_cqe r 0 { Abi.Uring_abi.user_data = 0L; res };
+         (Abi.Uring_abi.read_cqe r 0).res = res))
+
+let suite =
+  [
+    ("errno: roundtrip", `Quick, test_errno_roundtrip);
+    ("errno: linux values", `Quick, test_errno_linux_values);
+    ("errno: unknown", `Quick, test_errno_unknown);
+    ("xsk_desc: roundtrip", `Quick, test_xsk_desc_roundtrip);
+    ("xsk_desc: offset-only entries", `Quick, test_xsk_desc_offset_only);
+    ("xsk_desc: encode bounds", `Quick, test_xsk_desc_bounds);
+    ("xsk_desc: total decode", `Quick, test_xsk_desc_total_decode);
+    ("sqe: roundtrip", `Quick, test_sqe_roundtrip);
+    ("sqe: bad opcode rejected", `Quick, test_sqe_bad_opcode);
+    ("cqe: positive result", `Quick, test_cqe_roundtrip_positive);
+    ("cqe: negative errno result", `Quick, test_cqe_roundtrip_negative);
+    ("opcode: codes roundtrip", `Quick, test_opcode_codes);
+    prop_cqe_res_roundtrip;
+  ]

@@ -1,0 +1,278 @@
+(* Tests for the environment layer: the five environments expose the
+   same Api surface with the right cost/exit accounting, and the RAKIS
+   environment routes each syscall to the right provider. *)
+
+let check = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let make kind =
+  let engine = Sim.Engine.create () in
+  let kernel = Hostos.Kernel.create engine () in
+  match Libos.Env.create kernel kind () with
+  | Ok env -> (engine, kernel, env)
+  | Error e -> Alcotest.fail e
+
+let run_script engine f =
+  let finished = ref false in
+  Sim.Engine.spawn engine (fun () ->
+      f ();
+      finished := true;
+      Sim.Engine.stop engine);
+  Sim.Engine.run ~until:(Sim.Cycles.of_sec 30.) engine;
+  if not !finished then Alcotest.fail "script did not finish (deadlock?)"
+
+let expect label = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %a" label Abi.Errno.pp e
+
+(* The same little program under every environment: file write/read
+   plus a UDP echo against a native peer. *)
+let exercise kind =
+  let engine, kernel, env = make kind in
+  let api = Libos.Env.api env in
+  let peer = Libos.Hostapi.native kernel in
+  let udp_ok = ref false and file_ok = ref false in
+  Sim.Engine.spawn engine (fun () ->
+      (* Native peer echoes one datagram on the client interface. *)
+      let fd = peer.Libos.Api.udp_socket () in
+      ignore (peer.Libos.Api.bind fd (Hostos.Kernel.client_ip kernel, 9100));
+      match peer.Libos.Api.recvfrom fd 1024 with
+      | Ok (payload, src) -> ignore (peer.Libos.Api.sendto fd payload src)
+      | Error _ -> ());
+  run_script engine (fun () ->
+      (* Files. *)
+      let fd = expect "open" (api.Libos.Api.openf ~create:true ~trunc:true "/e") in
+      ignore (expect "write" (api.Libos.Api.write fd (Bytes.of_string "env!") 0 4));
+      ignore (expect "lseek" (api.Libos.Api.lseek fd 0));
+      let buf = Bytes.create 4 in
+      ignore (expect "read" (api.Libos.Api.read fd buf 0 4));
+      file_ok := Bytes.to_string buf = "env!";
+      ignore (expect "close" (api.Libos.Api.close fd));
+      (* UDP round trip to the native peer. *)
+      let sock = api.Libos.Api.udp_socket () in
+      ignore
+        (expect "sendto"
+           (api.Libos.Api.sendto sock (Bytes.of_string "marco")
+              (Hostos.Kernel.client_ip kernel, 9100)));
+      match api.Libos.Api.recvfrom sock 1024 with
+      | Ok (reply, _) -> udp_ok := Bytes.to_string reply = "marco"
+      | Error e -> Alcotest.failf "echo recv: %a" Abi.Errno.pp e);
+  check_bool "file path works" true !file_ok;
+  check_bool "udp path works" true !udp_ok;
+  env
+
+let test_native_works () = ignore (exercise Libos.Env.Native)
+
+let test_gramine_direct_works () = ignore (exercise Libos.Env.Gramine_direct)
+
+let test_gramine_sgx_works () = ignore (exercise Libos.Env.Gramine_sgx)
+
+let test_rakis_direct_works () = ignore (exercise Libos.Env.Rakis_direct)
+
+let test_rakis_sgx_works () = ignore (exercise Libos.Env.Rakis_sgx)
+
+let test_kind_names () =
+  Alcotest.(check (list string))
+    "names"
+    [ "native"; "rakis-direct"; "rakis-sgx"; "gramine-direct"; "gramine-sgx" ]
+    (List.map Libos.Env.kind_name Libos.Env.all)
+
+let test_gramine_counts_exits () =
+  let env = exercise Libos.Env.Gramine_sgx in
+  check_bool "every syscall exited" true (Libos.Env.exits env > 5)
+
+let test_native_has_no_exits () =
+  let env = exercise Libos.Env.Native in
+  check "no exits" 0 (Libos.Env.exits env)
+
+let test_rakis_data_path_exitless () =
+  (* RAKIS pays exits only for boot + open/close (setup syscalls), never
+     for read/write/sendto/recvfrom. *)
+  let engine, kernel, env = make Libos.Env.Rakis_sgx in
+  let api = Libos.Env.api env in
+  let exits_before = ref 0 in
+  run_script engine (fun () ->
+      let fd = expect "open" (api.Libos.Api.openf ~create:true ~trunc:true "/x") in
+      exits_before := Libos.Env.exits env;
+      for _ = 1 to 50 do
+        ignore (expect "write" (api.Libos.Api.write fd (Bytes.make 128 'z') 0 128))
+      done;
+      check "no exits across 50 writes" !exits_before (Libos.Env.exits env);
+      ignore (api.Libos.Api.close fd));
+  ignore kernel
+
+let test_gramine_sgx_costs_more_time () =
+  let run kind =
+    let engine, _, env = make kind in
+    let api = Libos.Env.api env in
+    let elapsed = ref 0L in
+    run_script engine (fun () ->
+        let fd = expect "open" (api.Libos.Api.openf ~create:true ~trunc:true "/t") in
+        let t0 = Sim.Engine.now engine in
+        for _ = 1 to 100 do
+          ignore (api.Libos.Api.write fd (Bytes.make 64 'w') 0 64)
+        done;
+        elapsed := Int64.sub (Sim.Engine.now engine) t0);
+    !elapsed
+  in
+  let native = run Libos.Env.Native in
+  let gramine_direct = run Libos.Env.Gramine_direct in
+  let gramine_sgx = run Libos.Env.Gramine_sgx in
+  check_bool "native < gramine-direct" true
+    (Int64.compare native gramine_direct < 0);
+  check_bool "gramine-direct < gramine-sgx" true
+    (Int64.compare gramine_direct gramine_sgx < 0);
+  (* The exit cost dominates: SGX mode should be several times slower. *)
+  check_bool "sgx >= 3x direct" true
+    (Int64.to_float gramine_sgx >= 3. *. Int64.to_float gramine_direct)
+
+let test_rakis_tcp_via_syncproxy () =
+  let engine, kernel, env = make Libos.Env.Rakis_sgx in
+  let api = Libos.Env.api env in
+  let peer = Libos.Hostapi.native kernel in
+  (* Native TCP server on the client interface. *)
+  Sim.Engine.spawn engine (fun () ->
+      let l = peer.Libos.Api.tcp_socket () in
+      ignore (peer.Libos.Api.bind l (Hostos.Kernel.client_ip kernel, 9200));
+      ignore (peer.Libos.Api.listen l);
+      match peer.Libos.Api.accept l with
+      | Ok c ->
+          let buf = Bytes.create 64 in
+          (match peer.Libos.Api.recv c buf 0 64 with
+          | Ok n -> ignore (peer.Libos.Api.send c buf 0 n)
+          | Error _ -> ())
+      | Error _ -> ());
+  run_script engine (fun () ->
+      let fd = api.Libos.Api.tcp_socket () in
+      ignore
+        (expect "connect"
+           (api.Libos.Api.connect fd (Hostos.Kernel.client_ip kernel, 9200)));
+      let exits = Libos.Env.exits env in
+      ignore (expect "send" (api.Libos.Api.send fd (Bytes.of_string "tcp via uring") 0 13));
+      let buf = Bytes.create 64 in
+      let n = expect "recv" (api.Libos.Api.recv fd buf 0 64) in
+      Alcotest.(check string) "echo" "tcp via uring" (Bytes.sub_string buf 0 n);
+      check "send/recv made no exits" exits (Libos.Env.exits env))
+
+let test_rakis_mixed_poll () =
+  (* One RAKIS UDP socket + one host TCP connection in a single poll
+     set: the API busy-waits across both providers (paper §4.2). *)
+  let engine, kernel, env = make Libos.Env.Rakis_sgx in
+  let api = Libos.Env.api env in
+  let peer = Libos.Hostapi.native kernel in
+  Sim.Engine.spawn engine (fun () ->
+      let l = peer.Libos.Api.tcp_socket () in
+      ignore (peer.Libos.Api.bind l (Hostos.Kernel.client_ip kernel, 9300));
+      ignore (peer.Libos.Api.listen l);
+      ignore (peer.Libos.Api.accept l));
+  Sim.Engine.spawn engine (fun () ->
+      (* A datagram arrives at the RAKIS socket after a delay. *)
+      Sim.Engine.delay (Sim.Cycles.of_us 300.);
+      let fd = peer.Libos.Api.udp_socket () in
+      ignore
+        (peer.Libos.Api.sendto fd (Bytes.of_string "udp wins")
+           (Rakis.Config.default.ip, 9400)));
+  run_script engine (fun () ->
+      let udp = api.Libos.Api.udp_socket () in
+      ignore (expect "bind" (api.Libos.Api.bind udp (Rakis.Config.default.ip, 9400)));
+      let tcp = api.Libos.Api.tcp_socket () in
+      ignore
+        (expect "connect"
+           (api.Libos.Api.connect tcp (Hostos.Kernel.client_ip kernel, 9300)));
+      match
+        api.Libos.Api.poll [ (udp, [ `In ]); (tcp, [ `In ]) ]
+          ~timeout:(Some (Sim.Cycles.of_ms 50.))
+      with
+      | Ok [ (fd, [ `In ]) ] -> check "udp socket became ready" udp fd
+      | Ok other -> Alcotest.failf "unexpected poll result (%d entries)" (List.length other)
+      | Error e -> Alcotest.failf "poll: %a" Abi.Errno.pp e)
+
+let test_rakis_spawn_gets_own_thread () =
+  let engine, _, env = make Libos.Env.Rakis_sgx in
+  let api = Libos.Env.api env in
+  let results = ref [] in
+  run_script engine (fun () ->
+      for i = 1 to 3 do
+        api.Libos.Api.spawn ~name:(Printf.sprintf "w%d" i) (fun api ->
+            let fd =
+              expect "open"
+                (api.Libos.Api.openf ~create:true ~trunc:true
+                   (Printf.sprintf "/t%d" i))
+            in
+            ignore
+              (expect "write" (api.Libos.Api.write fd (Bytes.make 32 'x') 0 32));
+            results := i :: !results)
+      done;
+      Sim.Engine.delay (Sim.Cycles.of_ms 5.));
+  check "all threads ran" 3 (List.length !results)
+
+let test_fd_misuse_rejected () =
+  let engine, _, env = make Libos.Env.Rakis_sgx in
+  let api = Libos.Env.api env in
+  run_script engine (fun () ->
+      let udp = api.Libos.Api.udp_socket () in
+      (match api.Libos.Api.send udp (Bytes.of_string "x") 0 1 with
+      | Error Abi.Errno.EINVAL -> ()
+      | _ -> Alcotest.fail "tcp send on udp fd");
+      (match api.Libos.Api.recvfrom 424242 16 with
+      | Error Abi.Errno.EBADF -> ()
+      | _ -> Alcotest.fail "bogus fd");
+      match api.Libos.Api.listen udp with
+      | Error Abi.Errno.EINVAL -> ()
+      | _ -> Alcotest.fail "listen on udp fd")
+
+let suite =
+  [
+    ("env: native end-to-end", `Quick, test_native_works);
+    ("env: gramine-direct end-to-end", `Quick, test_gramine_direct_works);
+    ("env: gramine-sgx end-to-end", `Quick, test_gramine_sgx_works);
+    ("env: rakis-direct end-to-end", `Quick, test_rakis_direct_works);
+    ("env: rakis-sgx end-to-end", `Quick, test_rakis_sgx_works);
+    ("env: kind names", `Quick, test_kind_names);
+    ("gramine: syscalls count exits", `Quick, test_gramine_counts_exits);
+    ("native: no exits", `Quick, test_native_has_no_exits);
+    ("rakis: exitless data path", `Quick, test_rakis_data_path_exitless);
+    ("gramine: sgx time dominates", `Quick, test_gramine_sgx_costs_more_time);
+    ("rakis: tcp via syncproxy without exits", `Quick,
+     test_rakis_tcp_via_syncproxy);
+    ("rakis: mixed-provider poll", `Quick, test_rakis_mixed_poll);
+    ("rakis: spawn creates per-thread io_uring", `Quick,
+     test_rakis_spawn_gets_own_thread);
+    ("api: fd misuse rejected", `Quick, test_fd_misuse_rejected);
+  ]
+
+let test_gramine_exitless_works_without_exits () =
+  let env = exercise Libos.Env.Gramine_sgx_exitless in
+  check "no exits in exitless mode" 0 (Libos.Env.exits env)
+
+let test_exitless_between_direct_and_sgx () =
+  (* The switchless handoff costs more than direct mode but far less
+     than exiting — HotCalls' headline result. *)
+  let run kind =
+    let engine, _, env = make kind in
+    let api = Libos.Env.api env in
+    let elapsed = ref 0L in
+    run_script engine (fun () ->
+        let fd = expect "open" (api.Libos.Api.openf ~create:true ~trunc:true "/t") in
+        let t0 = Sim.Engine.now engine in
+        for _ = 1 to 100 do
+          ignore (api.Libos.Api.write fd (Bytes.make 64 'w') 0 64)
+        done;
+        elapsed := Int64.sub (Sim.Engine.now engine) t0);
+    !elapsed
+  in
+  let direct = run Libos.Env.Gramine_direct in
+  let exitless = run Libos.Env.Gramine_sgx_exitless in
+  let sgx = run Libos.Env.Gramine_sgx in
+  check_bool "direct < exitless" true (Int64.compare direct exitless < 0);
+  check_bool "exitless < sgx" true (Int64.compare exitless sgx < 0)
+
+let suite =
+  suite
+  @ [
+      ("gramine exitless: zero exits", `Quick,
+       test_gramine_exitless_works_without_exits);
+      ("gramine exitless: between direct and sgx", `Quick,
+       test_exitless_between_direct_and_sgx);
+    ]

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "rakis-repro"
+    [
+      ("sim", Test_sim.suite);
+      ("mem", Test_mem.suite);
+      ("packet", Test_packet.suite);
+      ("rings", Test_rings.suite);
+      ("sgx", Test_sgx.suite);
+      ("abi", Test_abi.suite);
+      ("hostos", Test_hostos.suite);
+      ("netstack", Test_netstack.suite);
+      ("rakis", Test_rakis.suite);
+      ("libos", Test_libos.suite);
+      ("apps", Test_apps.suite);
+      ("tm", Test_tm.suite);
+      ("tunnel", Test_tunnel.suite);
+      ("stress", Test_stress.suite);
+      ("misc", Test_misc.suite);
+    ]

@@ -1,0 +1,194 @@
+(* Tests for memory regions, pointers and the bump allocator. *)
+
+open Mem
+
+let check = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let region ?(kind = Region.Untrusted) size =
+  Region.create ~kind ~name:"t" ~size
+
+(* {1 Region} *)
+
+let test_region_zeroed () =
+  let r = region 16 in
+  for i = 0 to 15 do
+    check "zero" 0 (Region.get_u8 r i)
+  done
+
+let test_region_u8_roundtrip () =
+  let r = region 4 in
+  Region.set_u8 r 2 0x1ff (* truncates *);
+  check "low byte stored" 0xff (Region.get_u8 r 2)
+
+let test_region_u16_endianness () =
+  let r = region 4 in
+  Region.set_u16 r 0 0xBEEF;
+  check "lo" 0xEF (Region.get_u8 r 0);
+  check "hi" 0xBE (Region.get_u8 r 1);
+  check "roundtrip" 0xBEEF (Region.get_u16 r 0)
+
+let test_region_u32_roundtrip () =
+  let r = region 8 in
+  Region.set_u32 r 4 0xFFFFFFFF;
+  check "max u32" 0xFFFFFFFF (Region.get_u32 r 4);
+  Region.set_u32 r 4 0x1_00000002 (* wraps to 2 *);
+  check "truncated" 2 (Region.get_u32 r 4)
+
+let test_region_u64_roundtrip () =
+  let r = region 8 in
+  Region.set_u64 r 0 0xDEADBEEFCAFEBABEL;
+  Alcotest.(check int64) "u64" 0xDEADBEEFCAFEBABEL (Region.get_u64 r 0)
+
+let test_region_bounds () =
+  let r = region 8 in
+  let expect_oob f = match f () with
+    | _ -> Alcotest.fail "expected Out_of_bounds"
+    | exception Region.Out_of_bounds _ -> ()
+  in
+  expect_oob (fun () -> Region.get_u8 r 8);
+  expect_oob (fun () -> Region.get_u8 r (-1));
+  expect_oob (fun () -> Region.get_u32 r 5);
+  expect_oob (fun () -> Region.get_u64 r 1);
+  expect_oob (fun () -> Region.set_u16 r 7 0)
+
+let test_region_in_bounds_overflow () =
+  let r = region 8 in
+  check_bool "len overflow rejected" false
+    (Region.in_bounds r ~off:4 ~len:max_int)
+
+let test_region_blit () =
+  let a = region 8 and b = region 8 in
+  Region.write_string a 0 "abcdefgh";
+  Region.blit a 2 b 4 3;
+  Alcotest.(check string) "copied" "cde" (Region.read_string b 4 3)
+
+let test_region_blit_bytes () =
+  let r = region 8 in
+  Region.blit_from_bytes (Bytes.of_string "xyz") 0 r 1 3;
+  let out = Bytes.create 3 in
+  Region.blit_to_bytes r 1 out 0 3;
+  Alcotest.(check string) "roundtrip" "xyz" (Bytes.to_string out)
+
+let test_region_fill () =
+  let r = region 8 in
+  Region.fill r 2 4 'Q';
+  Alcotest.(check string) "filled" "QQQQ" (Region.read_string r 2 4);
+  check "before untouched" 0 (Region.get_u8 r 1)
+
+let test_region_kind () =
+  check_bool "trusted" true (Region.is_trusted (region ~kind:Region.Trusted 4));
+  check_bool "untrusted" false (Region.is_trusted (region 4))
+
+let test_region_same () =
+  let a = region 4 in
+  check_bool "same" true (Region.same a a);
+  check_bool "different" false (Region.same a (region 4))
+
+(* {1 Ptr} *)
+
+let test_ptr_untrusted () =
+  let p = Ptr.v (region 8) 0 in
+  check_bool "untrusted ptr" true (Ptr.is_untrusted p);
+  let q = Ptr.v (region ~kind:Region.Trusted 8) 0 in
+  check_bool "trusted ptr" false (Ptr.is_untrusted q)
+
+let test_ptr_valid () =
+  let r = region 8 in
+  check_bool "fits" true (Ptr.valid (Ptr.v r 4) ~len:4);
+  check_bool "overflows" false (Ptr.valid (Ptr.v r 4) ~len:5);
+  check_bool "negative" false (Ptr.valid (Ptr.v r (-1)) ~len:1)
+
+let test_ptr_overlap () =
+  let r = region 64 in
+  let p = Ptr.v r 0 and q = Ptr.v r 8 in
+  check_bool "disjoint" false (Ptr.overlaps p ~len1:8 q ~len2:8);
+  check_bool "touching is disjoint" false (Ptr.overlaps p ~len1:8 q ~len2:8);
+  check_bool "overlap" true (Ptr.overlaps p ~len1:9 q ~len2:8);
+  check_bool "contained" true (Ptr.overlaps p ~len1:64 q ~len2:1)
+
+let test_ptr_overlap_cross_region () =
+  let p = Ptr.v (region 8) 0 and q = Ptr.v (region 8) 0 in
+  check_bool "regions never alias" false (Ptr.overlaps p ~len1:8 q ~len2:8)
+
+let test_ptr_all_disjoint () =
+  let r = region 64 in
+  check_bool "disjoint set" true
+    (Ptr.all_disjoint [ (Ptr.v r 0, 8); (Ptr.v r 8, 8); (Ptr.v r 32, 16) ]);
+  check_bool "clashing set" false
+    (Ptr.all_disjoint [ (Ptr.v r 0, 16); (Ptr.v r 8, 8) ])
+
+let test_ptr_add () =
+  let r = region 8 in
+  let p = Ptr.add (Ptr.v r 2) 3 in
+  check "offset" 5 p.Ptr.off
+
+(* {1 Alloc} *)
+
+let test_alloc_sequential () =
+  let a = Alloc.create (region 64) () in
+  let x = Alloc.alloc a 8 in
+  let y = Alloc.alloc a 8 in
+  check_bool "distinct" true (x <> y);
+  check "used" 16 (Alloc.used a)
+
+let test_alloc_alignment () =
+  let a = Alloc.create (region 256) () in
+  ignore (Alloc.alloc a ~align:1 3);
+  let x = Alloc.alloc a ~align:64 16 in
+  check "aligned" 0 (x mod 64)
+
+let test_alloc_exhaustion () =
+  let a = Alloc.create (region 16) () in
+  ignore (Alloc.alloc a 16);
+  match Alloc.alloc a 1 with
+  | _ -> Alcotest.fail "expected Out_of_memory"
+  | exception Alloc.Out_of_memory _ -> ()
+
+let test_alloc_slice () =
+  let r = region 64 in
+  let a = Alloc.create r ~base:16 ~limit:32 () in
+  let x = Alloc.alloc a 8 in
+  check_bool "inside slice" true (x >= 16 && x + 8 <= 32);
+  check "remaining" 8 (Alloc.remaining a)
+
+let test_alloc_bad_align () =
+  let a = Alloc.create (region 16) () in
+  Alcotest.check_raises "align must be pow2"
+    (Invalid_argument "Alloc.alloc: align must be a power of two") (fun () ->
+      ignore (Alloc.alloc a ~align:3 4))
+
+let test_alloc_ptr () =
+  let r = region 32 in
+  let a = Alloc.create r () in
+  let p = Alloc.alloc_ptr a 8 in
+  check_bool "same region" true (Region.same p.Ptr.region r)
+
+let suite =
+  [
+    ("region: fresh regions are zeroed", `Quick, test_region_zeroed);
+    ("region: u8 roundtrip truncates", `Quick, test_region_u8_roundtrip);
+    ("region: u16 little-endian", `Quick, test_region_u16_endianness);
+    ("region: u32 roundtrip and wrap", `Quick, test_region_u32_roundtrip);
+    ("region: u64 roundtrip", `Quick, test_region_u64_roundtrip);
+    ("region: bounds checks", `Quick, test_region_bounds);
+    ("region: in_bounds overflow-safe", `Quick, test_region_in_bounds_overflow);
+    ("region: region-to-region blit", `Quick, test_region_blit);
+    ("region: bytes blits", `Quick, test_region_blit_bytes);
+    ("region: fill", `Quick, test_region_fill);
+    ("region: trust kinds", `Quick, test_region_kind);
+    ("region: physical identity", `Quick, test_region_same);
+    ("ptr: trust classification", `Quick, test_ptr_untrusted);
+    ("ptr: validity", `Quick, test_ptr_valid);
+    ("ptr: overlap cases", `Quick, test_ptr_overlap);
+    ("ptr: no cross-region aliasing", `Quick, test_ptr_overlap_cross_region);
+    ("ptr: all_disjoint", `Quick, test_ptr_all_disjoint);
+    ("ptr: add", `Quick, test_ptr_add);
+    ("alloc: sequential allocations", `Quick, test_alloc_sequential);
+    ("alloc: alignment", `Quick, test_alloc_alignment);
+    ("alloc: exhaustion", `Quick, test_alloc_exhaustion);
+    ("alloc: slice bounds", `Quick, test_alloc_slice);
+    ("alloc: bad alignment", `Quick, test_alloc_bad_align);
+    ("alloc: pointer allocation", `Quick, test_alloc_ptr);
+  ]

@@ -1,0 +1,351 @@
+(* Tests for the in-enclave UDP/IP stack: ARP, delivery, validation
+   drops, sockets and locking disciplines. *)
+
+open Netstack
+
+let check = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let mac = Packet.Addr.Mac.of_repr "02:00:00:00:00:01"
+
+let peer_mac = Packet.Addr.Mac.of_repr "02:00:00:00:00:02"
+
+let ip = Packet.Addr.Ip.of_repr "10.0.0.1"
+
+let peer_ip = Packet.Addr.Ip.of_repr "10.0.0.2"
+
+let make_stack ?locking () =
+  let engine = Sim.Engine.create () in
+  let stack = Stack.create engine ~mac ~ip ?locking () in
+  let sent = ref [] in
+  Stack.set_transmit stack (fun frame -> sent := frame :: !sent);
+  Arp_cache.learn (Stack.arp stack) peer_ip peer_mac;
+  (engine, stack, sent)
+
+let udp_frame ?(dst_mac = mac) ?(dst_ip = ip) ?(dst_port = 5201) payload =
+  Packet.Frame.build_udp
+    {
+      Packet.Frame.src_mac = peer_mac;
+      dst_mac;
+      src_ip = peer_ip;
+      dst_ip;
+      src_port = 40000;
+      dst_port;
+    }
+    (Bytes.of_string payload)
+
+(* {1 Delivery} *)
+
+let test_delivery_to_bound_socket () =
+  let _, stack, _ = make_stack () in
+  let sock = Result.get_ok (Stack.bind stack ~port:5201) in
+  Stack.input stack (udp_frame "hello enclave");
+  check "delivered" 1 (Stack.rx_delivered stack);
+  let payload, (src_ip, src_port) = Udp_socket.recvfrom sock ~max:100 in
+  Alcotest.(check string) "payload" "hello enclave" (Bytes.to_string payload);
+  check "src port" 40000 src_port;
+  check_bool "src ip" true (Packet.Addr.Ip.equal src_ip peer_ip)
+
+let test_no_socket_drop () =
+  let _, stack, _ = make_stack () in
+  Stack.input stack (udp_frame ~dst_port:9 "nobody home");
+  check "dropped" 1 (Stack.rx_dropped stack);
+  Alcotest.(check (list (pair string int))) "reason" [ ("no-socket", 1) ]
+    (Stack.drop_reasons stack)
+
+let test_wrong_mac_dropped () =
+  let _, stack, _ = make_stack () in
+  ignore (Stack.bind stack ~port:5201);
+  Stack.input stack (udp_frame ~dst_mac:peer_mac "not ours");
+  check "nothing delivered" 0 (Stack.rx_delivered stack);
+  check_bool "not-ours counted" true
+    (List.mem_assoc "not-ours" (Stack.drop_reasons stack))
+
+let test_broadcast_mac_accepted () =
+  let _, stack, _ = make_stack () in
+  let sock = Result.get_ok (Stack.bind stack ~port:5201) in
+  Stack.input stack (udp_frame ~dst_mac:Packet.Addr.Mac.broadcast "bcast");
+  check "delivered" 1 (Udp_socket.pending sock)
+
+let test_wrong_ip_dropped () =
+  let _, stack, _ = make_stack () in
+  ignore (Stack.bind stack ~port:5201);
+  Stack.input stack (udp_frame ~dst_ip:peer_ip "wrong ip");
+  check "nothing delivered" 0 (Stack.rx_delivered stack)
+
+let test_corrupt_ip_checksum_dropped () =
+  let _, stack, _ = make_stack () in
+  ignore (Stack.bind stack ~port:5201);
+  let frame = udp_frame "x" in
+  Bytes.set_uint8 frame 22 7 (* corrupt TTL inside IP header *);
+  Stack.input stack frame;
+  check_bool "bad-ip counted" true
+    (List.mem_assoc "bad-ip" (Stack.drop_reasons stack))
+
+let test_corrupt_udp_checksum_dropped () =
+  let _, stack, _ = make_stack () in
+  ignore (Stack.bind stack ~port:5201);
+  let frame = udp_frame "payload" in
+  Bytes.set frame (Bytes.length frame - 1) 'Z';
+  Stack.input stack frame;
+  check_bool "bad-udp counted" true
+    (List.mem_assoc "bad-udp" (Stack.drop_reasons stack))
+
+let test_truncated_frame_dropped () =
+  let _, stack, _ = make_stack () in
+  Stack.input stack (Bytes.create 7);
+  check_bool "bad-eth counted" true
+    (List.mem_assoc "bad-eth" (Stack.drop_reasons stack))
+
+let test_queue_full_drops () =
+  let _, stack, _ = make_stack () in
+  let _sock =
+    match Stack.bind stack ~port:5201 with
+    | Ok s -> s
+    | Error _ -> Alcotest.fail "bind"
+  in
+  (* Default socket queue capacity is 4096. *)
+  for _ = 1 to 4097 do
+    Stack.input stack (udp_frame "flood")
+  done;
+  check "delivered to capacity" 4096 (Stack.rx_delivered stack);
+  check_bool "queue-full counted" true
+    (List.mem_assoc "queue-full" (Stack.drop_reasons stack))
+
+(* {1 ARP} *)
+
+let test_arp_request_answered () =
+  let _, stack, sent = make_stack () in
+  let req =
+    Packet.Frame.build_arp ~src_mac:peer_mac ~dst_mac:Packet.Addr.Mac.broadcast
+      {
+        Packet.Arp.op = Request;
+        sender_mac = peer_mac;
+        sender_ip = peer_ip;
+        target_mac = Packet.Addr.Mac.zero;
+        target_ip = ip;
+      }
+  in
+  Stack.input stack req;
+  match !sent with
+  | [ frame ] -> (
+      match Packet.Eth.parse frame with
+      | Ok { ethertype = Arp; payload; _ } -> (
+          match Packet.Arp.parse payload with
+          | Ok { op = Reply; sender_ip; _ } ->
+              check_bool "replies with our ip" true
+                (Packet.Addr.Ip.equal sender_ip ip)
+          | _ -> Alcotest.fail "not an arp reply")
+      | _ -> Alcotest.fail "not an arp frame")
+  | _ -> Alcotest.fail "expected exactly one reply"
+
+let test_arp_request_for_other_ip_ignored () =
+  let _, stack, sent = make_stack () in
+  let req =
+    Packet.Frame.build_arp ~src_mac:peer_mac ~dst_mac:Packet.Addr.Mac.broadcast
+      {
+        Packet.Arp.op = Request;
+        sender_mac = peer_mac;
+        sender_ip = peer_ip;
+        target_mac = Packet.Addr.Mac.zero;
+        target_ip = peer_ip;
+      }
+  in
+  Stack.input stack req;
+  check "no reply" 0 (List.length !sent)
+
+let test_arp_reply_learned () =
+  let _, stack, _ = make_stack () in
+  let other_ip = Packet.Addr.Ip.of_repr "10.0.0.3" in
+  let other_mac = Packet.Addr.Mac.of_repr "02:00:00:00:00:03" in
+  let reply =
+    Packet.Frame.build_arp ~src_mac:other_mac ~dst_mac:mac
+      {
+        Packet.Arp.op = Reply;
+        sender_mac = other_mac;
+        sender_ip = other_ip;
+        target_mac = mac;
+        target_ip = ip;
+      }
+  in
+  Stack.input stack reply;
+  match Arp_cache.lookup (Stack.arp stack) other_ip with
+  | Some m -> check_bool "learned" true (Packet.Addr.Mac.equal m other_mac)
+  | None -> Alcotest.fail "not learned"
+
+(* {1 Send path} *)
+
+let test_sendto_builds_valid_frame () =
+  let _, stack, sent = make_stack () in
+  (match Stack.sendto stack ~src_port:5201 ~dst:(peer_ip, 6000)
+           (Bytes.of_string "outbound")
+   with
+  | Ok 8 -> ()
+  | _ -> Alcotest.fail "sendto");
+  match !sent with
+  | [ frame ] -> (
+      match Packet.Frame.dissect_udp frame with
+      | Ok (info, payload) ->
+          check "dst port" 6000 info.dst_port;
+          check "src port" 5201 info.src_port;
+          Alcotest.(check string) "payload" "outbound" (Bytes.to_string payload);
+          check_bool "dst mac resolved" true
+            (Packet.Addr.Mac.equal info.dst_mac peer_mac)
+      | Error e -> Alcotest.failf "invalid frame: %a" Packet.Frame.pp_dissect_error e)
+  | _ -> Alcotest.fail "expected one frame"
+
+let test_sendto_too_big () =
+  let _, stack, _ = make_stack () in
+  match
+    Stack.sendto stack ~src_port:1 ~dst:(peer_ip, 6000)
+      (Bytes.create (Packet.Udp.max_payload + 1))
+  with
+  | Error Stack.Payload_too_big -> ()
+  | _ -> Alcotest.fail "oversize accepted"
+
+let test_sendto_without_transmit_hook () =
+  let engine = Sim.Engine.create () in
+  let stack = Stack.create engine ~mac ~ip () in
+  match Stack.sendto stack ~src_port:1 ~dst:(peer_ip, 6000) (Bytes.of_string "x") with
+  | Error Stack.No_transmit -> ()
+  | _ -> Alcotest.fail "expected No_transmit"
+
+(* {1 Sockets / binding} *)
+
+let test_bind_conflict () =
+  let _, stack, _ = make_stack () in
+  ignore (Stack.bind stack ~port:5201);
+  match Stack.bind stack ~port:5201 with
+  | Error `Port_in_use -> ()
+  | Ok _ -> Alcotest.fail "double bind"
+
+let test_bind_ephemeral () =
+  let _, stack, _ = make_stack () in
+  let a = Result.get_ok (Stack.bind stack ~port:0) in
+  let b = Result.get_ok (Stack.bind stack ~port:0) in
+  check_bool "distinct ephemeral ports" true
+    (Udp_socket.port a <> Udp_socket.port b)
+
+let test_unbind_frees_port () =
+  let _, stack, _ = make_stack () in
+  let s = Result.get_ok (Stack.bind stack ~port:5201) in
+  Stack.unbind stack s;
+  match Stack.bind stack ~port:5201 with
+  | Ok _ -> ()
+  | Error `Port_in_use -> Alcotest.fail "port not freed"
+
+let test_socket_activity_condition () =
+  let engine, stack, _ = make_stack () in
+  let sock = Result.get_ok (Stack.bind stack ~port:5201) in
+  let woken = ref false in
+  Sim.Engine.spawn engine (fun () ->
+      Sim.Condition.wait (Udp_socket.activity sock);
+      woken := true);
+  Sim.Engine.spawn engine (fun () ->
+      Sim.Engine.delay 100L;
+      Stack.input stack (udp_frame "wake"));
+  Sim.Engine.run engine;
+  check_bool "poller woken" true !woken
+
+(* {1 Locking disciplines} *)
+
+let run_under locking =
+  (* Two FM threads feeding the stack concurrently, one user thread
+     draining: both disciplines must deliver everything. *)
+  let engine = Sim.Engine.create () in
+  let stack = Stack.create engine ~mac ~ip ~locking () in
+  Stack.set_transmit stack (fun _ -> ());
+  let sock = Result.get_ok (Stack.bind stack ~port:5201) in
+  let packets = 200 in
+  for _ = 1 to 2 do
+    Sim.Engine.spawn engine (fun () ->
+        for _ = 1 to packets / 2 do
+          Stack.input stack (udp_frame "concurrent")
+        done)
+  done;
+  let received = ref 0 in
+  Sim.Engine.spawn engine (fun () ->
+      for _ = 1 to packets do
+        ignore (Udp_socket.recvfrom sock ~max:100);
+        incr received
+      done;
+      Sim.Engine.stop engine);
+  Sim.Engine.run ~until:(Sim.Cycles.of_sec 5.) engine;
+  (!received, Stack.lock_contention stack)
+
+let test_fine_locking_delivers () =
+  let received, _ = run_under `Fine in
+  check "all delivered" 200 received
+
+let test_global_locking_delivers () =
+  let received, _ = run_under `Global in
+  check "all delivered" 200 received
+
+let test_global_lock_contends_more () =
+  let _, fine = run_under `Fine in
+  let _, global = run_under `Global in
+  check_bool "global-lock contention dominates (the paper's LWIP issue)"
+    true
+    (global > fine)
+
+(* {1 Properties} *)
+
+let prop_stack_total =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"stack: input is total on arbitrary frames"
+       ~count:1000
+       (QCheck.make QCheck.Gen.(map Bytes.of_string (string_size (0 -- 200))))
+       (fun frame ->
+         let _, stack, _ = make_stack () in
+         ignore (Stack.bind stack ~port:5201);
+         Stack.input stack frame;
+         true))
+
+let prop_accounting_consistent =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"stack: every input is delivered, dropped or ARP" ~count:200
+       (QCheck.make
+          QCheck.Gen.(list_size (1 -- 50) (map Bytes.of_string (string_size (0 -- 100)))))
+       (fun frames ->
+         let _, stack, _ = make_stack () in
+         ignore (Stack.bind stack ~port:5201);
+         let valid = List.length frames in
+         List.iter (fun f -> Stack.input stack f) frames;
+         (* Also mix in some valid traffic. *)
+         Stack.input stack (udp_frame "valid");
+         Stack.rx_delivered stack + Stack.rx_dropped stack >= 1
+         && Stack.rx_delivered stack + Stack.rx_dropped stack <= valid + 1))
+
+let suite =
+  [
+    ("delivery: bound socket receives", `Quick, test_delivery_to_bound_socket);
+    ("delivery: no socket drop", `Quick, test_no_socket_drop);
+    ("delivery: wrong mac dropped", `Quick, test_wrong_mac_dropped);
+    ("delivery: broadcast mac accepted", `Quick, test_broadcast_mac_accepted);
+    ("delivery: wrong ip dropped", `Quick, test_wrong_ip_dropped);
+    ("delivery: corrupt ip header dropped", `Quick,
+     test_corrupt_ip_checksum_dropped);
+    ("delivery: corrupt udp checksum dropped", `Quick,
+     test_corrupt_udp_checksum_dropped);
+    ("delivery: truncated frame dropped", `Quick, test_truncated_frame_dropped);
+    ("delivery: queue-full drops", `Quick, test_queue_full_drops);
+    ("arp: request answered", `Quick, test_arp_request_answered);
+    ("arp: foreign request ignored", `Quick,
+     test_arp_request_for_other_ip_ignored);
+    ("arp: reply learned", `Quick, test_arp_reply_learned);
+    ("send: builds valid frames", `Quick, test_sendto_builds_valid_frame);
+    ("send: oversize rejected", `Quick, test_sendto_too_big);
+    ("send: no transmit hook", `Quick, test_sendto_without_transmit_hook);
+    ("socket: bind conflict", `Quick, test_bind_conflict);
+    ("socket: ephemeral ports", `Quick, test_bind_ephemeral);
+    ("socket: unbind frees port", `Quick, test_unbind_frees_port);
+    ("socket: activity condition wakes pollers", `Quick,
+     test_socket_activity_condition);
+    ("locking: fine-grained delivers", `Quick, test_fine_locking_delivers);
+    ("locking: global delivers", `Quick, test_global_locking_delivers);
+    ("locking: global contends more", `Quick, test_global_lock_contends_more);
+    prop_stack_total;
+    prop_accounting_consistent;
+  ]

@@ -1,0 +1,408 @@
+(* Tests for address parsing, checksums and the Ethernet/ARP/IPv4/UDP
+   codecs, including property-based roundtrips and total parsing. *)
+
+open Packet
+
+let mac = Addr.Mac.of_repr "02:00:00:00:00:01"
+
+let mac2 = Addr.Mac.of_repr "02:00:00:00:00:02"
+
+let ip = Addr.Ip.of_repr "10.0.0.1"
+
+let ip2 = Addr.Ip.of_repr "10.0.0.2"
+
+(* {1 Addresses} *)
+
+let test_mac_repr () =
+  Alcotest.(check string) "pp" "02:00:00:00:00:01"
+    (Format.asprintf "%a" Addr.Mac.pp mac);
+  Alcotest.(check bool) "equal" true
+    (Addr.Mac.equal mac (Addr.Mac.of_string (Addr.Mac.to_string mac)))
+
+let test_mac_broadcast () =
+  Alcotest.(check bool) "broadcast" true
+    (Addr.Mac.is_broadcast Addr.Mac.broadcast);
+  Alcotest.(check bool) "unicast" false (Addr.Mac.is_broadcast mac)
+
+let test_mac_bad_repr () =
+  (match Addr.Mac.of_repr "02:00" with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Invalid_argument _ -> ());
+  match Addr.Mac.of_string "abc" with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Invalid_argument _ -> ()
+
+let test_ip_repr () =
+  Alcotest.(check string) "roundtrip" "10.0.0.1" (Addr.Ip.to_repr ip);
+  Alcotest.(check int) "int value" 0x0A000001 (Addr.Ip.to_int ip)
+
+let test_ip_bad_repr () =
+  List.iter
+    (fun s ->
+      match Addr.Ip.of_repr s with
+      | _ -> Alcotest.fail ("accepted " ^ s)
+      | exception Invalid_argument _ -> ())
+    [ "10.0.0"; "1.2.3.4.5"; "256.0.0.1"; "a.b.c.d" ]
+
+(* {1 Checksum} *)
+
+let test_checksum_rfc1071_example () =
+  (* RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> sum ddf2, cksum 220d. *)
+  let b = Bytes.of_string "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
+  Alcotest.(check int) "checksum" 0x220d (Checksum.compute b 0 8)
+
+let test_checksum_odd_length () =
+  let b = Bytes.of_string "\x01\x02\x03" in
+  (* 0x0102 + 0x0300 = 0x0402; ~ = 0xFBFD *)
+  Alcotest.(check int) "odd bytes padded" 0xFBFD (Checksum.compute b 0 3)
+
+let test_checksum_self_verifies () =
+  let b = Bytes.of_string "\x12\x34\x00\x00\x56\x78" in
+  let c = Checksum.compute b 0 6 in
+  Bytes.set_uint16_be b 2 c;
+  Alcotest.(check bool) "valid" true (Checksum.valid b 0 6)
+
+(* {1 Ethernet} *)
+
+let test_eth_roundtrip () =
+  let frame =
+    Eth.build { Eth.dst = mac2; src = mac; ethertype = Ipv4; payload = Bytes.of_string "hi" }
+  in
+  match Eth.parse frame with
+  | Error _ -> Alcotest.fail "parse"
+  | Ok e ->
+      Alcotest.(check bool) "dst" true (Addr.Mac.equal e.dst mac2);
+      Alcotest.(check bool) "src" true (Addr.Mac.equal e.src mac);
+      Alcotest.(check string) "payload" "hi" (Bytes.to_string e.payload)
+
+let test_eth_truncated () =
+  match Eth.parse (Bytes.create 13) with
+  | Error (Eth.Truncated 13) -> ()
+  | _ -> Alcotest.fail "expected Truncated 13"
+
+let test_eth_ethertype_codes () =
+  Alcotest.(check int) "ipv4" 0x0800 (Eth.ethertype_to_int Ipv4);
+  Alcotest.(check int) "arp" 0x0806 (Eth.ethertype_to_int Arp);
+  Alcotest.(check bool) "unknown roundtrip" true
+    (Eth.ethertype_of_int 0x86dd = Eth.Unknown 0x86dd)
+
+(* {1 ARP} *)
+
+let arp_req =
+  {
+    Arp.op = Request;
+    sender_mac = mac;
+    sender_ip = ip;
+    target_mac = Addr.Mac.zero;
+    target_ip = ip2;
+  }
+
+let test_arp_roundtrip () =
+  match Arp.parse (Arp.build arp_req) with
+  | Error _ -> Alcotest.fail "parse"
+  | Ok a ->
+      Alcotest.(check bool) "op" true (a.op = Arp.Request);
+      Alcotest.(check bool) "sender ip" true (Addr.Ip.equal a.sender_ip ip);
+      Alcotest.(check bool) "target ip" true (Addr.Ip.equal a.target_ip ip2)
+
+let test_arp_bad_fields () =
+  let b = Arp.build arp_req in
+  let case mutate expect =
+    let b' = Bytes.copy b in
+    mutate b';
+    match Arp.parse b' with
+    | Error e when expect e -> ()
+    | _ -> Alcotest.fail "bad field accepted"
+  in
+  case (fun b -> Bytes.set_uint16_be b 0 7)
+    (function Arp.Bad_hardware_type 7 -> true | _ -> false);
+  case (fun b -> Bytes.set_uint16_be b 2 0x86dd)
+    (function Arp.Bad_protocol_type _ -> true | _ -> false);
+  case (fun b -> Bytes.set_uint8 b 4 8)
+    (function Arp.Bad_sizes (8, 4) -> true | _ -> false);
+  case (fun b -> Bytes.set_uint16_be b 6 3)
+    (function Arp.Bad_op 3 -> true | _ -> false)
+
+let test_arp_truncated () =
+  match Arp.parse (Bytes.create 27) with
+  | Error (Arp.Truncated 27) -> ()
+  | _ -> Alcotest.fail "expected truncated"
+
+(* {1 IPv4} *)
+
+let ipv4_pkt payload =
+  { Ipv4.src = ip; dst = ip2; proto = Udp; ttl = 64; ident = 7; payload }
+
+let test_ipv4_roundtrip () =
+  let b = Ipv4.build (ipv4_pkt (Bytes.of_string "data")) in
+  match Ipv4.parse b with
+  | Error _ -> Alcotest.fail "parse"
+  | Ok p ->
+      Alcotest.(check bool) "src" true (Addr.Ip.equal p.src ip);
+      Alcotest.(check bool) "proto" true (p.proto = Ipv4.Udp);
+      Alcotest.(check int) "ttl" 64 p.ttl;
+      Alcotest.(check string) "payload" "data" (Bytes.to_string p.payload)
+
+let test_ipv4_checksum_detects_corruption () =
+  let b = Ipv4.build (ipv4_pkt (Bytes.of_string "data")) in
+  Bytes.set_uint8 b 8 13 (* flip TTL without fixing checksum *);
+  match Ipv4.parse b with
+  | Error (Ipv4.Bad_checksum _) -> ()
+  | _ -> Alcotest.fail "corrupted header accepted"
+
+let test_ipv4_bad_version () =
+  let b = Ipv4.build (ipv4_pkt Bytes.empty) in
+  Bytes.set_uint8 b 0 0x65;
+  match Ipv4.parse b with
+  | Error (Ipv4.Bad_version 6) -> ()
+  | _ -> Alcotest.fail "expected bad version"
+
+let test_ipv4_options_rejected () =
+  let b = Ipv4.build (ipv4_pkt Bytes.empty) in
+  Bytes.set_uint8 b 0 0x46 (* ihl 6 *);
+  match Ipv4.parse b with
+  | Error (Ipv4.Bad_ihl 6) -> ()
+  | _ -> Alcotest.fail "expected bad ihl"
+
+let test_ipv4_total_length_bounds () =
+  let b = Ipv4.build (ipv4_pkt (Bytes.of_string "data")) in
+  Bytes.set_uint16_be b 2 (Bytes.length b + 1);
+  Bytes.set_uint16_be b 10 0;
+  Bytes.set_uint16_be b 10 (Checksum.compute b 0 20);
+  match Ipv4.parse b with
+  | Error (Ipv4.Bad_total_length _) -> ()
+  | _ -> Alcotest.fail "oversize total length accepted"
+
+let test_ipv4_payload_trimmed_to_total () =
+  (* A frame padded past the IP total length (Ethernet minimum padding)
+     must have its payload trimmed. *)
+  let b = Ipv4.build (ipv4_pkt (Bytes.of_string "data")) in
+  let padded = Bytes.cat b (Bytes.make 10 '\xAA') in
+  match Ipv4.parse padded with
+  | Ok p -> Alcotest.(check string) "trimmed" "data" (Bytes.to_string p.payload)
+  | Error _ -> Alcotest.fail "padded frame rejected"
+
+let test_ipv4_fragment_rejected () =
+  let b = Ipv4.build (ipv4_pkt (Bytes.of_string "data")) in
+  Bytes.set_uint16_be b 6 0x2000 (* MF set *);
+  Bytes.set_uint16_be b 10 0;
+  Bytes.set_uint16_be b 10 (Checksum.compute b 0 20);
+  match Ipv4.parse b with
+  | Error Ipv4.Fragmented -> ()
+  | _ -> Alcotest.fail "fragment accepted"
+
+let test_ipv4_ttl_zero () =
+  let b = Ipv4.build { (ipv4_pkt Bytes.empty) with ttl = 0 } in
+  match Ipv4.parse b with
+  | Error Ipv4.Ttl_expired -> ()
+  | _ -> Alcotest.fail "ttl 0 accepted"
+
+(* {1 UDP} *)
+
+let test_udp_roundtrip () =
+  let b =
+    Udp.build ~src:ip ~dst:ip2
+      { Udp.src_port = 1234; dst_port = 5678; payload = Bytes.of_string "xyz" }
+  in
+  match Udp.parse ~src:ip ~dst:ip2 b with
+  | Error _ -> Alcotest.fail "parse"
+  | Ok u ->
+      Alcotest.(check int) "src port" 1234 u.src_port;
+      Alcotest.(check int) "dst port" 5678 u.dst_port;
+      Alcotest.(check string) "payload" "xyz" (Bytes.to_string u.payload)
+
+let test_udp_checksum_covers_pseudo_header () =
+  let b =
+    Udp.build ~src:ip ~dst:ip2
+      { Udp.src_port = 1; dst_port = 2; payload = Bytes.of_string "xyz" }
+  in
+  (* Same datagram claimed from a different source must fail. *)
+  match Udp.parse ~src:ip2 ~dst:ip2 b with
+  | Error (Udp.Bad_checksum _) -> ()
+  | _ -> Alcotest.fail "pseudo-header not covered"
+
+let test_udp_corrupt_payload () =
+  let b =
+    Udp.build ~src:ip ~dst:ip2
+      { Udp.src_port = 1; dst_port = 2; payload = Bytes.of_string "xyz" }
+  in
+  Bytes.set b (Bytes.length b - 1) 'Q';
+  match Udp.parse ~src:ip ~dst:ip2 b with
+  | Error (Udp.Bad_checksum _) -> ()
+  | _ -> Alcotest.fail "corruption undetected"
+
+let test_udp_zero_checksum_accepted () =
+  let b =
+    Udp.build ~src:ip ~dst:ip2
+      { Udp.src_port = 1; dst_port = 2; payload = Bytes.of_string "abc" }
+  in
+  Bytes.set_uint16_be b 6 0 (* checksum disabled *);
+  Bytes.set b (Bytes.length b - 1) 'Q' (* corruption invisible *);
+  match Udp.parse ~src:ip ~dst:ip2 b with
+  | Ok u -> Alcotest.(check string) "payload" "abQ" (Bytes.to_string u.payload)
+  | Error _ -> Alcotest.fail "zero checksum rejected"
+
+let test_udp_port_zero_rejected () =
+  let b =
+    Udp.build ~src:ip ~dst:ip2
+      { Udp.src_port = 0; dst_port = 2; payload = Bytes.empty }
+  in
+  match Udp.parse ~src:ip ~dst:ip2 b with
+  | Error Udp.Bad_port -> ()
+  | _ -> Alcotest.fail "port 0 accepted"
+
+let test_udp_length_field_bounds () =
+  let b =
+    Udp.build ~src:ip ~dst:ip2
+      { Udp.src_port = 1; dst_port = 2; payload = Bytes.of_string "abc" }
+  in
+  Bytes.set_uint16_be b 4 100 (* longer than the buffer *);
+  match Udp.parse ~src:ip ~dst:ip2 b with
+  | Error (Udp.Bad_length (100, 11)) -> ()
+  | _ -> Alcotest.fail "bogus length accepted"
+
+(* {1 Frame} *)
+
+let info =
+  {
+    Frame.src_mac = mac;
+    dst_mac = mac2;
+    src_ip = ip;
+    dst_ip = ip2;
+    src_port = 1111;
+    dst_port = 2222;
+  }
+
+let test_frame_roundtrip () =
+  let frame = Frame.build_udp info (Bytes.of_string "payload!") in
+  match Frame.dissect_udp frame with
+  | Error e -> Alcotest.failf "dissect: %a" Frame.pp_dissect_error e
+  | Ok (info', payload) ->
+      Alcotest.(check int) "src port" 1111 info'.src_port;
+      Alcotest.(check int) "dst port" 2222 info'.dst_port;
+      Alcotest.(check bool) "src ip" true (Addr.Ip.equal info'.src_ip ip);
+      Alcotest.(check string) "payload" "payload!" (Bytes.to_string payload)
+
+let test_frame_overhead () =
+  let frame = Frame.build_udp info (Bytes.of_string "1234") in
+  Alcotest.(check int) "overhead" (4 + Frame.frame_overhead)
+    (Bytes.length frame)
+
+let test_frame_peek_ports () =
+  let frame = Frame.build_udp info (Bytes.of_string "1234") in
+  Alcotest.(check (option (pair int int))) "ports" (Some (1111, 2222))
+    (Frame.peek_udp_ports frame);
+  Alcotest.(check (option (pair int int))) "arp has none" None
+    (Frame.peek_udp_ports (Frame.build_arp ~src_mac:mac ~dst_mac:mac2 arp_req))
+
+let test_frame_dissect_rejects_arp () =
+  let frame = Frame.build_arp ~src_mac:mac ~dst_mac:mac2 arp_req in
+  match Frame.dissect_udp frame with
+  | Error Frame.Not_ipv4 -> ()
+  | _ -> Alcotest.fail "arp dissected as udp"
+
+(* {1 Properties} *)
+
+let bytes_gen = QCheck.Gen.(map Bytes.of_string (string_size (0 -- 256)))
+
+let prop_udp_roundtrip =
+  QCheck.Test.make ~name:"udp: build/parse roundtrip for any payload"
+    ~count:500
+    (QCheck.make
+       QCheck.Gen.(
+         triple (1 -- 0xffff) (1 -- 0xffff) bytes_gen))
+    (fun (sp, dp, payload) ->
+      let b =
+        Udp.build ~src:ip ~dst:ip2
+          { Udp.src_port = sp; dst_port = dp; payload }
+      in
+      match Udp.parse ~src:ip ~dst:ip2 b with
+      | Ok u ->
+          u.src_port = sp && u.dst_port = dp
+          && Bytes.equal u.payload payload
+      | Error _ -> false)
+
+let prop_frame_roundtrip =
+  QCheck.Test.make ~name:"frame: full-stack roundtrip for any payload"
+    ~count:300
+    (QCheck.make bytes_gen)
+    (fun payload ->
+      match Frame.dissect_udp (Frame.build_udp info payload) with
+      | Ok (_, p) -> Bytes.equal p payload
+      | Error _ -> false)
+
+let prop_parsers_total =
+  QCheck.Test.make ~name:"parsers: total on arbitrary bytes" ~count:2000
+    (QCheck.make bytes_gen)
+    (fun b ->
+      (match Eth.parse b with Ok _ | Error _ -> ());
+      (match Arp.parse b with Ok _ | Error _ -> ());
+      (match Ipv4.parse b with Ok _ | Error _ -> ());
+      (match Udp.parse ~src:ip ~dst:ip2 b with Ok _ | Error _ -> ());
+      ignore (Frame.peek_udp_ports b);
+      true)
+
+let prop_checksum_detects_single_flip =
+  QCheck.Test.make
+    ~name:"checksum: any single-bit flip in an even-sized buffer is caught"
+    ~count:500
+    (QCheck.make
+       QCheck.Gen.(
+         pair (map Bytes.of_string (string_size (2 -- 64))) (0 -- 1000)))
+    (fun (b, pos) ->
+      let b = if Bytes.length b mod 2 = 1 then Bytes.cat b (Bytes.make 1 'x') else b in
+      let with_cksum = Bytes.cat b (Bytes.make 2 '\000') in
+      let n = Bytes.length with_cksum in
+      Bytes.set_uint16_be with_cksum (n - 2) (Checksum.compute with_cksum 0 n);
+      let i = pos mod (n - 2) in
+      Bytes.set with_cksum i (Char.chr (Char.code (Bytes.get with_cksum i) lxor 1));
+      not (Checksum.valid with_cksum 0 n))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_udp_roundtrip;
+      prop_frame_roundtrip;
+      prop_parsers_total;
+      prop_checksum_detects_single_flip;
+    ]
+
+let suite =
+  [
+    ("mac: repr roundtrip", `Quick, test_mac_repr);
+    ("mac: broadcast", `Quick, test_mac_broadcast);
+    ("mac: bad inputs rejected", `Quick, test_mac_bad_repr);
+    ("ip: repr roundtrip", `Quick, test_ip_repr);
+    ("ip: bad inputs rejected", `Quick, test_ip_bad_repr);
+    ("checksum: RFC 1071 example", `Quick, test_checksum_rfc1071_example);
+    ("checksum: odd length padded", `Quick, test_checksum_odd_length);
+    ("checksum: self-verification", `Quick, test_checksum_self_verifies);
+    ("eth: roundtrip", `Quick, test_eth_roundtrip);
+    ("eth: truncated", `Quick, test_eth_truncated);
+    ("eth: ethertype codes", `Quick, test_eth_ethertype_codes);
+    ("arp: roundtrip", `Quick, test_arp_roundtrip);
+    ("arp: bad fields rejected", `Quick, test_arp_bad_fields);
+    ("arp: truncated", `Quick, test_arp_truncated);
+    ("ipv4: roundtrip", `Quick, test_ipv4_roundtrip);
+    ("ipv4: checksum detects corruption", `Quick,
+     test_ipv4_checksum_detects_corruption);
+    ("ipv4: bad version", `Quick, test_ipv4_bad_version);
+    ("ipv4: options rejected", `Quick, test_ipv4_options_rejected);
+    ("ipv4: total length bounds", `Quick, test_ipv4_total_length_bounds);
+    ("ipv4: payload trimmed to total length", `Quick,
+     test_ipv4_payload_trimmed_to_total);
+    ("ipv4: fragments rejected", `Quick, test_ipv4_fragment_rejected);
+    ("ipv4: ttl zero rejected", `Quick, test_ipv4_ttl_zero);
+    ("udp: roundtrip", `Quick, test_udp_roundtrip);
+    ("udp: pseudo-header coverage", `Quick,
+     test_udp_checksum_covers_pseudo_header);
+    ("udp: payload corruption detected", `Quick, test_udp_corrupt_payload);
+    ("udp: zero checksum accepted", `Quick, test_udp_zero_checksum_accepted);
+    ("udp: port zero rejected", `Quick, test_udp_port_zero_rejected);
+    ("udp: length field bounds", `Quick, test_udp_length_field_bounds);
+    ("frame: roundtrip", `Quick, test_frame_roundtrip);
+    ("frame: header overhead", `Quick, test_frame_overhead);
+    ("frame: port peek", `Quick, test_frame_peek_ports);
+    ("frame: dissect rejects non-UDP", `Quick, test_frame_dissect_rejects_arp);
+  ]
+  @ props

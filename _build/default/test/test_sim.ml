@@ -1,0 +1,418 @@
+(* Tests for the discrete-event engine, conditions, mailboxes, locks,
+   the priority queue and the RNG. *)
+
+open Sim
+
+let check = Alcotest.(check int)
+
+let check64 = Alcotest.(check int64)
+
+let check_bool = Alcotest.(check bool)
+
+(* {1 Pqueue} *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create ~cmp:compare in
+  List.iter (fun k -> Pqueue.push q k (string_of_int k)) [ 5; 1; 4; 1; 3; 9 ];
+  let rec drain acc =
+    match Pqueue.pop q with
+    | None -> List.rev acc
+    | Some (k, _) -> drain (k :: acc)
+  in
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 3; 4; 5; 9 ] (drain [])
+
+let test_pqueue_peek () =
+  let q = Pqueue.create ~cmp:compare in
+  Alcotest.(check bool) "empty" true (Pqueue.peek q = None);
+  Pqueue.push q 2 "b";
+  Pqueue.push q 1 "a";
+  (match Pqueue.peek q with
+  | Some (1, "a") -> ()
+  | _ -> Alcotest.fail "peek should be smallest");
+  check "peek does not remove" 2 (Pqueue.length q)
+
+let test_pqueue_grow () =
+  let q = Pqueue.create ~cmp:compare in
+  for i = 1000 downto 1 do
+    Pqueue.push q i i
+  done;
+  check "length" 1000 (Pqueue.length q);
+  (match Pqueue.pop q with
+  | Some (1, 1) -> ()
+  | _ -> Alcotest.fail "min of 1000");
+  Pqueue.clear q;
+  check_bool "cleared" true (Pqueue.is_empty q)
+
+(* {1 Engine} *)
+
+let test_engine_time_advances () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.spawn e (fun () ->
+      Engine.delay 100L;
+      log := (Engine.now e, "a") :: !log;
+      Engine.delay 50L;
+      log := (Engine.now e, "b") :: !log);
+  Engine.run e;
+  Alcotest.(check (list (pair int64 string)))
+    "timeline"
+    [ (100L, "a"); (150L, "b") ]
+    (List.rev !log)
+
+let test_engine_interleaving () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.spawn e (fun () ->
+      Engine.delay 10L;
+      log := "p1@10" :: !log;
+      Engine.delay 20L;
+      log := "p1@30" :: !log);
+  Engine.spawn e (fun () ->
+      Engine.delay 20L;
+      log := "p2@20" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string))
+    "interleave" [ "p1@10"; "p2@20"; "p1@30" ] (List.rev !log)
+
+let test_engine_fifo_same_time () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.spawn e (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let ran = ref 0 in
+  Engine.spawn e (fun () ->
+      let rec loop () =
+        Engine.delay 10L;
+        incr ran;
+        loop ()
+      in
+      loop ());
+  Engine.run ~until:100L e;
+  check "horizon caps iterations" 10 !ran;
+  check64 "clock at horizon" 100L (Engine.now e);
+  (* Resumable after the horizon. *)
+  Engine.run ~until:200L e;
+  check "resumed" 20 !ran
+
+let test_engine_stop () =
+  let e = Engine.create () in
+  let ran = ref 0 in
+  Engine.spawn e (fun () ->
+      let rec loop () =
+        Engine.delay 10L;
+        incr ran;
+        if !ran = 3 then Engine.stop e;
+        loop ()
+      in
+      loop ());
+  Engine.run e;
+  check "stopped after 3" 3 !ran
+
+let test_engine_at_callback () =
+  let e = Engine.create () in
+  let fired = ref 0L in
+  Engine.at e 500L (fun () -> fired := Engine.now e);
+  Engine.run e;
+  check64 "at fires at time" 500L !fired
+
+let test_engine_past_at_runs_now () =
+  let e = Engine.create () in
+  let fired = ref false in
+  Engine.spawn e (fun () ->
+      Engine.delay 100L;
+      Engine.at e 50L (fun () -> fired := true));
+  Engine.run e;
+  check_bool "past callback still runs" true !fired
+
+let test_engine_exception_propagates () =
+  let e = Engine.create () in
+  Engine.spawn e (fun () -> failwith "boom");
+  Alcotest.check_raises "escapes run" (Failure "boom") (fun () -> Engine.run e)
+
+let test_engine_delay_outside_process () =
+  (* Setup code outside processes may charge; it is a no-op. *)
+  Engine.delay 1000L;
+  ()
+
+let test_engine_suspend_outside_raises () =
+  match Engine.suspend (fun _ -> ()) with
+  | () -> Alcotest.fail "suspend outside process must raise"
+  | exception Engine.Not_in_process -> ()
+
+let test_engine_stats () =
+  let e = Engine.create () in
+  Stats.incr (Engine.stats e) "x";
+  check "stats attached" 1 (Stats.get (Engine.stats e) "x")
+
+(* {1 Condition} *)
+
+let test_condition_signal_wakes_one () =
+  let e = Engine.create () in
+  let c = Condition.create () in
+  let woken = ref 0 in
+  for _ = 1 to 3 do
+    Engine.spawn e (fun () ->
+        Condition.wait c;
+        incr woken)
+  done;
+  Engine.spawn e (fun () ->
+      Engine.delay 10L;
+      Condition.signal c);
+  Engine.run e;
+  check "one woken" 1 !woken
+
+let test_condition_broadcast_wakes_all () =
+  let e = Engine.create () in
+  let c = Condition.create () in
+  let woken = ref 0 in
+  for _ = 1 to 3 do
+    Engine.spawn e (fun () ->
+        Condition.wait c;
+        incr woken)
+  done;
+  Engine.spawn e (fun () ->
+      Engine.delay 10L;
+      Condition.broadcast c);
+  Engine.run e;
+  check "all woken" 3 !woken
+
+let test_condition_wait_any () =
+  let e = Engine.create () in
+  let c1 = Condition.create () and c2 = Condition.create () in
+  let woken = ref false in
+  Engine.spawn e (fun () ->
+      Condition.wait_any [ c1; c2 ];
+      woken := true);
+  Engine.spawn e (fun () ->
+      Engine.delay 5L;
+      Condition.broadcast c2);
+  Engine.run e;
+  check_bool "woken via second condition" true !woken
+
+let test_condition_signal_no_waiters () =
+  let c = Condition.create () in
+  Condition.signal c;
+  Condition.broadcast c;
+  check "no waiters" 0 (Condition.waiters c)
+
+(* {1 Mailbox} *)
+
+let test_mailbox_fifo () =
+  let e = Engine.create () in
+  let mb = Mailbox.create () in
+  let got = ref [] in
+  Engine.spawn e (fun () ->
+      for i = 1 to 5 do
+        Mailbox.put mb i
+      done);
+  Engine.spawn e (fun () ->
+      for _ = 1 to 5 do
+        got := Mailbox.get mb :: !got
+      done);
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !got)
+
+let test_mailbox_blocking_get () =
+  let e = Engine.create () in
+  let mb = Mailbox.create () in
+  let got_at = ref 0L in
+  Engine.spawn e (fun () ->
+      ignore (Mailbox.get mb);
+      got_at := Engine.now e);
+  Engine.spawn e (fun () ->
+      Engine.delay 100L;
+      Mailbox.put mb ());
+  Engine.run e;
+  check64 "blocked until put" 100L !got_at
+
+let test_mailbox_capacity_blocks_put () =
+  let e = Engine.create () in
+  let mb = Mailbox.create ~capacity:2 () in
+  let done_at = ref 0L in
+  Engine.spawn e (fun () ->
+      Mailbox.put mb 1;
+      Mailbox.put mb 2;
+      Mailbox.put mb 3;
+      (* blocks *)
+      done_at := Engine.now e);
+  Engine.spawn e (fun () ->
+      Engine.delay 50L;
+      ignore (Mailbox.get mb));
+  Engine.run e;
+  check64 "third put blocked" 50L !done_at
+
+let test_mailbox_try_put_full () =
+  let mb = Mailbox.create ~capacity:1 () in
+  check_bool "accepts" true (Mailbox.try_put mb 1);
+  check_bool "rejects when full" false (Mailbox.try_put mb 2);
+  check "length" 1 (Mailbox.length mb)
+
+let test_mailbox_try_get_empty () =
+  let mb : int Mailbox.t = Mailbox.create () in
+  check_bool "empty" true (Mailbox.try_get mb = None)
+
+let test_mailbox_peek () =
+  let mb = Mailbox.create () in
+  check_bool "peek empty" true (Mailbox.peek mb = None);
+  ignore (Mailbox.try_put mb 42);
+  check_bool "peek" true (Mailbox.peek mb = Some 42);
+  check "peek does not consume" 1 (Mailbox.length mb)
+
+(* {1 Lock} *)
+
+let test_lock_mutual_exclusion () =
+  let e = Engine.create () in
+  let l = Lock.create () in
+  let in_critical = ref 0 and max_seen = ref 0 in
+  for _ = 1 to 4 do
+    Engine.spawn e (fun () ->
+        Lock.with_lock l (fun () ->
+            incr in_critical;
+            max_seen := max !max_seen !in_critical;
+            Engine.delay 10L;
+            decr in_critical))
+  done;
+  Engine.run e;
+  check "never two holders" 1 !max_seen;
+  check "contention recorded" 3 (Lock.contended l)
+
+let test_lock_release_not_held () =
+  let l = Lock.create () in
+  Alcotest.check_raises "release unheld"
+    (Invalid_argument "Lock.release: not held") (fun () -> Lock.release l)
+
+let test_lock_with_lock_exception_releases () =
+  let e = Engine.create () in
+  let l = Lock.create () in
+  Engine.spawn e (fun () ->
+      (try Lock.with_lock l (fun () -> failwith "inside") with
+      | Failure _ -> ());
+      Alcotest.(check bool) "released after exception" false (Lock.held l));
+  Engine.run e
+
+(* {1 Stats} *)
+
+let test_stats_counters () =
+  let s = Stats.create () in
+  Stats.incr s "a";
+  Stats.add s "a" 4;
+  Stats.incr s "b";
+  check "a" 5 (Stats.get s "a");
+  check "b" 1 (Stats.get s "b");
+  check "absent" 0 (Stats.get s "zzz");
+  Alcotest.(check (list (pair string int)))
+    "sorted" [ ("a", 5); ("b", 1) ] (Stats.counters s)
+
+let test_stats_gauges () =
+  let s = Stats.create () in
+  Stats.set_gauge s "g" 1.5;
+  Stats.add_gauge s "g" 0.5;
+  Alcotest.(check (float 1e-9)) "gauge" 2.0 (Stats.gauge s "g")
+
+let test_stats_reset () =
+  let s = Stats.create () in
+  Stats.incr s "a";
+  Stats.reset s;
+  check "reset" 0 (Stats.get s "a")
+
+(* {1 Rng} *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42L and b = Rng.create ~seed:42L in
+  for _ = 1 to 100 do
+    check64 "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_int_bounds () =
+  let r = Rng.create ~seed:7L in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of bounds"
+  done
+
+let test_rng_int_bad_bound () =
+  let r = Rng.create ~seed:1L in
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be > 0") (fun () ->
+      ignore (Rng.int r 0))
+
+let test_rng_float_bounds () =
+  let r = Rng.create ~seed:9L in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    if v < 0. || v >= 2.5 then Alcotest.fail "float out of bounds"
+  done
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create ~seed:3L in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+(* {1 Cycles} *)
+
+let test_cycles_roundtrip () =
+  Alcotest.(check (float 1e-6)) "sec roundtrip" 1.5
+    (Cycles.to_sec (Cycles.of_sec 1.5))
+
+let test_cycles_wire_rate () =
+  (* 25 Gbps at 2.4 GHz: 0.768 cycles per byte. *)
+  Alcotest.(check (float 1e-9)) "25G" 0.768 (Cycles.per_byte_at_gbps 25.
+
+)
+
+let suite =
+  [
+    ("pqueue: ordering", `Quick, test_pqueue_order);
+    ("pqueue: peek", `Quick, test_pqueue_peek);
+    ("pqueue: growth and clear", `Quick, test_pqueue_grow);
+    ("engine: time advances with delay", `Quick, test_engine_time_advances);
+    ("engine: processes interleave by time", `Quick, test_engine_interleaving);
+    ("engine: same-time events are FIFO", `Quick, test_engine_fifo_same_time);
+    ("engine: until horizon and resume", `Quick, test_engine_until);
+    ("engine: stop ends run", `Quick, test_engine_stop);
+    ("engine: at callback", `Quick, test_engine_at_callback);
+    ("engine: past at runs immediately", `Quick, test_engine_past_at_runs_now);
+    ("engine: process exception escapes run", `Quick,
+     test_engine_exception_propagates);
+    ("engine: delay outside process is no-op", `Quick,
+     test_engine_delay_outside_process);
+    ("engine: suspend outside process raises", `Quick,
+     test_engine_suspend_outside_raises);
+    ("engine: stats registry attached", `Quick, test_engine_stats);
+    ("condition: signal wakes one", `Quick, test_condition_signal_wakes_one);
+    ("condition: broadcast wakes all", `Quick,
+     test_condition_broadcast_wakes_all);
+    ("condition: wait_any", `Quick, test_condition_wait_any);
+    ("condition: signal with no waiters", `Quick,
+     test_condition_signal_no_waiters);
+    ("mailbox: fifo order", `Quick, test_mailbox_fifo);
+    ("mailbox: get blocks until put", `Quick, test_mailbox_blocking_get);
+    ("mailbox: put blocks at capacity", `Quick,
+     test_mailbox_capacity_blocks_put);
+    ("mailbox: try_put on full", `Quick, test_mailbox_try_put_full);
+    ("mailbox: try_get on empty", `Quick, test_mailbox_try_get_empty);
+    ("mailbox: peek", `Quick, test_mailbox_peek);
+    ("lock: mutual exclusion", `Quick, test_lock_mutual_exclusion);
+    ("lock: release unheld raises", `Quick, test_lock_release_not_held);
+    ("lock: with_lock releases on exception", `Quick,
+     test_lock_with_lock_exception_releases);
+    ("stats: counters", `Quick, test_stats_counters);
+    ("stats: gauges", `Quick, test_stats_gauges);
+    ("stats: reset", `Quick, test_stats_reset);
+    ("rng: deterministic stream", `Quick, test_rng_deterministic);
+    ("rng: int bounds", `Quick, test_rng_int_bounds);
+    ("rng: int bad bound", `Quick, test_rng_int_bad_bound);
+    ("rng: float bounds", `Quick, test_rng_float_bounds);
+    ("rng: shuffle is a permutation", `Quick, test_rng_shuffle_permutation);
+    ("cycles: sec roundtrip", `Quick, test_cycles_roundtrip);
+    ("cycles: 25G wire rate", `Quick, test_cycles_wire_rate);
+  ]

@@ -1,0 +1,56 @@
+(* Tests for the Testing Module itself: the model checker must pass on
+   the certified rings and find the naive violations; the fuzzer must
+   run crash-free. *)
+
+let check = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let test_model_check_passes () =
+  let r = Tm.Model_check.verify ~ring_size:4 ~depth:2 () in
+  check "certified violations" 0 r.certified_violations;
+  check "umem violations" 0 r.umem_violations;
+  check_bool "verdict" true (Tm.Model_check.passed r)
+
+let test_model_check_finds_naive_bugs () =
+  (* The §5 case studies must be rediscovered by the same schedules. *)
+  let r = Tm.Model_check.verify ~ring_size:4 ~depth:2 () in
+  check_bool "naive violations found" true (r.naive_violations > 0);
+  check_bool "hostile values were rejected" true (r.certified_rejects > 0)
+
+let test_model_check_explores () =
+  let d1 = Tm.Model_check.verify ~ring_size:4 ~depth:1 () in
+  let d2 = Tm.Model_check.verify ~ring_size:4 ~depth:2 () in
+  check_bool "depth grows the space" true (d2.schedules > d1.schedules);
+  check_bool "fm ops executed" true (d2.fm_ops > d2.schedules)
+
+let test_fuzz_no_crashes () =
+  let r = Tm.Fuzz.run ~seed:1L ~executions:5000 () in
+  check "crashes" 0 r.crashes;
+  check_bool "verdict" true (Tm.Fuzz.passed r)
+
+let test_fuzz_covers_outcomes () =
+  let r = Tm.Fuzz.run ~seed:2L ~executions:5000 () in
+  check_bool "delivered some valid traffic" true (r.delivered > 0);
+  check_bool "dropped some invalid traffic" true (r.dropped > 0);
+  check_bool "several distinct outcomes" true (r.distinct_outcomes >= 4);
+  check_bool "corpus grew beyond the seeds" true (r.corpus_size > 9)
+
+let test_fuzz_deterministic () =
+  let a = Tm.Fuzz.run ~seed:3L ~executions:2000 () in
+  let b = Tm.Fuzz.run ~seed:3L ~executions:2000 () in
+  check "same deliveries" a.delivered b.delivered;
+  check "same drops" a.dropped b.dropped;
+  check "same corpus" a.corpus_size b.corpus_size
+
+let suite =
+  [
+    ("model check: certified rings pass", `Slow, test_model_check_passes);
+    ("model check: naive rings fail (case studies)", `Slow,
+     test_model_check_finds_naive_bugs);
+    ("model check: exploration grows with depth", `Slow,
+     test_model_check_explores);
+    ("fuzz: no crashes", `Quick, test_fuzz_no_crashes);
+    ("fuzz: coverage outcomes", `Quick, test_fuzz_covers_outcomes);
+    ("fuzz: deterministic given a seed", `Quick, test_fuzz_deterministic);
+  ]

@@ -44,6 +44,45 @@ let raw_roundtrip =
                   Mem.Region.get_u64 l.Rings.Layout.region slot_off))
          done))
 
+let certified_single_roundtrip =
+  (* Single-op baseline for the batched variant below: both endpoints
+     certified, one refresh + one publish per slot. *)
+  Test.make ~name:"ring: certified single produce+consume"
+    (Staged.stage (fun () ->
+         let l = make_ring 8 in
+         let prod = Rings.Certified.create l ~role:Rings.Certified.Producer () in
+         let cons = Rings.Certified.create l ~role:Rings.Certified.Consumer () in
+         for _ = 1 to 64 do
+           (match
+              Rings.Certified.produce prod ~write:(fun ~slot_off ->
+                  Mem.Region.set_u64 l.Rings.Layout.region slot_off 42L)
+            with
+           | Ok () -> Rings.Certified.publish prod
+           | Error `Ring_full -> ());
+           ignore
+             (Rings.Certified.consume cons ~read:(fun ~slot_off ->
+                  Mem.Region.get_u64 l.Rings.Layout.region slot_off))
+         done))
+
+let certified_batched_roundtrip =
+  (* Same 64 slots as [certified_roundtrip], but one refresh + one
+     publish per 8-slot burst instead of per slot. *)
+  Test.make ~name:"ring: certified batched produce+consume (8/burst)"
+    (Staged.stage (fun () ->
+         let l = make_ring 8 in
+         let prod = Rings.Certified.create l ~role:Rings.Certified.Producer () in
+         let cons = Rings.Certified.create l ~role:Rings.Certified.Consumer () in
+         for _ = 1 to 8 do
+           ignore
+             (Rings.Certified.produce_batch prod ~count:8
+                ~write:(fun ~slot_off _ ->
+                  Mem.Region.set_u64 l.Rings.Layout.region slot_off 42L));
+           ignore
+             (Rings.Certified.consume_batch cons ~max:8
+                ~read:(fun ~slot_off _ ->
+                  ignore (Mem.Region.get_u64 l.Rings.Layout.region slot_off)))
+         done))
+
 let sample_frame =
   Packet.Frame.build_udp
     {
@@ -80,6 +119,13 @@ let checksum =
     (let b = Bytes.make 1460 '\x5a' in
      Staged.stage (fun () -> ignore (Packet.Checksum.compute b 0 1460)))
 
+let checksum_scalar =
+  Test.make ~name:"checksum: 1460 bytes, 16-bit scalar loop"
+    (let b = Bytes.make 1460 '\x5a' in
+     Staged.stage (fun () ->
+         ignore
+           (Packet.Checksum.finish (Packet.Checksum.ones_sum_scalar b 0 1460))))
+
 let umem_cycle =
   Test.make ~name:"umem: alloc+commit+reclaim"
     (let u = Rakis.Umem.create ~size:(64 * 2048) ~frame_size:2048 in
@@ -114,10 +160,13 @@ let run () =
   let tests =
     [
       certified_roundtrip;
+      certified_single_roundtrip;
+      certified_batched_roundtrip;
       raw_roundtrip;
       frame_build;
       frame_dissect;
       checksum;
+      checksum_scalar;
       umem_cycle;
       sqe_codec;
     ]

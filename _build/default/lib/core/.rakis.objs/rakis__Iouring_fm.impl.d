@@ -1,1 +1,1 @@
-lib/core/iouring_fm.ml: Abi Config Format Hashtbl Hostos Int64 List Mem Result Rings Sgx Sim
+lib/core/iouring_fm.ml: Abi Array Config Format Hashtbl Hostos Int64 List Mem Result Rings Sgx Sim

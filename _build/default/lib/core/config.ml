@@ -8,6 +8,7 @@ type t = {
   uring_entries : int;
   max_io_size : int;
   locking : Netstack.Stack.locking;
+  rx_burst : int;
   use_sqpoll : bool;
 }
 
@@ -22,6 +23,7 @@ let default =
     uring_entries = 256;
     max_io_size = 1 lsl 20;
     locking = `Fine;
+    rx_burst = 64;
     use_sqpoll = false;
   }
 
@@ -37,4 +39,5 @@ let validate t =
   else if t.umem_size / t.frame_size < 2 * t.ring_size then
     Error "umem must hold at least 2*ring_size frames"
   else if t.max_io_size <= 0 then Error "max_io_size must be positive"
+  else if t.rx_burst <= 0 then Error "rx_burst must be positive"
   else Ok ()

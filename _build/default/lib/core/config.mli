@@ -17,6 +17,10 @@ type t = {
   uring_entries : int;  (** iSub entries per per-thread io_uring *)
   max_io_size : int;  (** bounce-buffer bytes per io_uring FM *)
   locking : Netstack.Stack.locking;  (** UDP/IP stack lock discipline *)
+  rx_burst : int;
+      (** max descriptors an FM moves per certified-ring batch: one
+          peer-index validation and one index publish cover up to this
+          many slots (AF_XDP drivers use 32–64) *)
   use_sqpoll : bool;
       (** [IORING_SETUP_SQPOLL] (paper §4.3): a kernel thread polls iSub
           itself, so submissions need no [io_uring_enter] from the MM at

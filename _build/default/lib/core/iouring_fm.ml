@@ -108,6 +108,12 @@ let cqe_rejects t = t.cqe_rejects
 let ring_check_failures t =
   Rings.Certified.failures t.sq + Rings.Certified.failures t.cq
 
+let burst_counters t =
+  List.map
+    (fun (name, ring) ->
+      (name, (Rings.Certified.bursts ring, Rings.Certified.burst_slots ring)))
+    [ ("iSub", t.sq); ("iCompl", t.cq) ]
+
 let invariant_holds t =
   Rings.Certified.invariant_holds t.sq && Rings.Certified.invariant_holds t.cq
 
@@ -128,58 +134,72 @@ let settle t (p : pending) (cqe : Abi.Uring_abi.cqe) =
   in
   p.outcome <- Some outcome
 
-type reap = Reaped | Stray | Empty
+(* Drain everything iCompl holds in one certified burst: a single
+   producer-index validation covers all CQEs, and the consumer index is
+   released once.  Returns [(reaped, strays)]. *)
+let reap_burst t =
+  let reaped = ref 0 and strays = ref 0 in
+  ignore
+    (Rings.Certified.consume_batch t.cq ~max:(Rings.Certified.size t.cq)
+       ~read:(fun ~slot_off _ ->
+         let cqe =
+           Abi.Uring_abi.read_cqe (Rings.Certified.region t.cq) slot_off
+         in
+         match Hashtbl.find_opt t.pending cqe.user_data with
+         | Some p ->
+             Hashtbl.remove t.pending cqe.user_data;
+             settle t p cqe;
+             incr reaped
+         | None ->
+             (* No such request: a forged or replayed completion. *)
+             t.cqe_rejects <- t.cqe_rejects + 1;
+             incr strays));
+  (!reaped, !strays)
 
-(* Drain one CQE if available. *)
-let reap_once t =
-  match
-    Rings.Certified.consume t.cq ~read:(fun ~slot_off ->
-        Abi.Uring_abi.read_cqe (Rings.Certified.region t.cq) slot_off)
-  with
-  | Error `Ring_empty -> Empty
-  | Ok cqe -> (
-      match Hashtbl.find_opt t.pending cqe.user_data with
-      | Some p ->
-          Hashtbl.remove t.pending cqe.user_data;
-          settle t p cqe;
-          Reaped
-      | None ->
-          (* No such request: a forged or replayed completion. *)
-          t.cqe_rejects <- t.cqe_rejects + 1;
-          Stray)
+(* Produce a burst of SQEs with one consumer-index validation, one
+   producer-index publish and one kick.  Fills [pendings] with the
+   in-flight records of the SQEs actually produced (a prefix when the
+   host freezes/corrupts the consumer index and the ring looks full). *)
+let submit_burst t (sqes : (Abi.Uring_abi.sqe * int) array) =
+  let pendings = Array.make (Array.length sqes) None in
+  let produced =
+    Rings.Certified.produce_batch t.sq ~count:(Array.length sqes)
+      ~write:(fun ~slot_off i ->
+        let sqe, expected_max = sqes.(i) in
+        let user_data = t.next_user_data in
+        t.next_user_data <- Int64.add t.next_user_data 1L;
+        Abi.Uring_abi.write_sqe (Rings.Certified.region t.sq) slot_off
+          { sqe with user_data };
+        let p = { user_data; expected_max; outcome = None } in
+        Hashtbl.add t.pending user_data p;
+        pendings.(i) <- Some p)
+  in
+  if produced > 0 then t.kick ();
+  pendings
 
 let submit t (sqe : Abi.Uring_abi.sqe) ~expected_max =
-  let user_data = t.next_user_data in
-  t.next_user_data <- Int64.add t.next_user_data 1L;
-  let sqe = { sqe with user_data } in
-  match
-    Rings.Certified.produce t.sq ~write:(fun ~slot_off ->
-        Abi.Uring_abi.write_sqe (Rings.Certified.region t.sq) slot_off sqe)
-  with
-  | Error `Ring_full ->
+  match (submit_burst t [| (sqe, expected_max) |]).(0) with
+  | Some p -> Ok p
+  | None ->
       (* Plausible only when the host freezes/corrupts the consumer
          index: the per-thread FM never has this many ops in flight. *)
       Error Abi.Errno.EAGAIN
-  | Ok () ->
-      let p = { user_data; expected_max; outcome = None } in
-      Hashtbl.add t.pending user_data p;
-      Rings.Certified.publish t.sq;
-      t.kick ();
-      Ok p
 
 let rec await t (p : pending) =
   match p.outcome with
   | Some r -> r
   | None -> (
-      match reap_once t with
-      | Reaped -> await t p
-      | Stray ->
+      let reaped, strays = reap_burst t in
+      match p.outcome with
+      | Some r -> r
+      | None when strays > 0 ->
           (* The completion slot for this synchronous request carried a
              forged identity: fail the request with EPERM (Table 2) and
              forget it — a late genuine CQE will be counted as stray. *)
           Hashtbl.remove t.pending p.user_data;
           Error Abi.Errno.EPERM
-      | Empty ->
+      | None when reaped > 0 -> await t p
+      | None ->
           Sim.Condition.wait t.cq_notify;
           await t p)
 
@@ -297,17 +317,29 @@ let nop t = submit_wait t (base_sqe Abi.Uring_abi.Nop ~fd:(-1)) ~expected_max:0
    one outstanding Poll_add per fd, reusing probes across calls, and
    return the first fd whose probe completed. *)
 let poll_multi t specs ~timeout =
-  List.iter
-    (fun (fd, events) ->
-      if not (Hashtbl.mem t.probes fd) then
-        match
-          submit t
-            { (base_sqe Abi.Uring_abi.Poll_add ~fd) with poll_events = events }
-            ~expected_max:(Abi.Uring_abi.pollin lor Abi.Uring_abi.pollout)
-        with
-        | Ok p -> Hashtbl.add t.probes fd p
-        | Error _ -> ())
-    specs;
+  (* All missing probes go out as one SQ burst: one publish, one kick. *)
+  let missing =
+    List.filter (fun (fd, _) -> not (Hashtbl.mem t.probes fd)) specs
+  in
+  if missing <> [] then begin
+    let sqes =
+      Array.of_list
+        (List.map
+           (fun (fd, events) ->
+             ( { (base_sqe Abi.Uring_abi.Poll_add ~fd) with
+                 poll_events = events
+               },
+               Abi.Uring_abi.pollin lor Abi.Uring_abi.pollout ))
+           missing)
+    in
+    let pendings = submit_burst t sqes in
+    List.iteri
+      (fun i (fd, _) ->
+        match pendings.(i) with
+        | Some p -> Hashtbl.add t.probes fd p
+        | None -> ())
+      missing
+  end;
   let timer_fired = ref false in
   (match timeout with
   | None -> ()
@@ -336,13 +368,12 @@ let poll_multi t specs ~timeout =
         match outcome with
         | Ok mask -> Ok (Some (fd, mask))
         | Error e -> Error e)
-    | None -> (
+    | None ->
         if !timer_fired then Ok None
-        else
-          match reap_once t with
-          | Reaped | Stray -> wait ()
-          | Empty ->
-              Sim.Condition.wait t.cq_notify;
-              wait ())
+        else begin
+          let reaped, strays = reap_burst t in
+          if reaped + strays = 0 then Sim.Condition.wait t.cq_notify;
+          wait ()
+        end
   in
   wait ()

@@ -64,6 +64,10 @@ val ring_check_failures : t -> int
 val cqe_rejects : t -> int
 (** CQEs refused for wrong user_data or out-of-range result. *)
 
+val burst_counters : t -> (string * (int * int)) list
+(** Per-ring [(name, (bursts, slots))] batch counters (see
+    {!Xsk_fm.burst_counters}). *)
+
 val invariant_holds : t -> bool
 
 val pp_init_error : Format.formatter -> init_error -> unit

@@ -14,6 +14,8 @@ type t = {
   nframes : int;
   state : state array;
   free : int Queue.t; (* frame indices *)
+  mutable out_rx : int; (* frames currently With_kernel Rx *)
+  mutable out_tx : int; (* frames currently With_kernel Tx *)
   mutable rejects : int;
 }
 
@@ -25,7 +27,16 @@ let create ~size ~frame_size =
   for i = 0 to nframes - 1 do
     Queue.add i free
   done;
-  { size; frame_size; nframes; state = Array.make nframes Owned; free; rejects = 0 }
+  {
+    size;
+    frame_size;
+    nframes;
+    state = Array.make nframes Owned;
+    free;
+    out_rx = 0;
+    out_tx = 0;
+    rejects = 0;
+  }
 
 let frame_size t = t.frame_size
 
@@ -33,10 +44,7 @@ let frame_count t = t.nframes
 
 let free_frames t = Queue.length t.free
 
-let outstanding t routine =
-  Array.fold_left
-    (fun acc s -> if s = With_kernel routine then acc + 1 else acc)
-    0 t.state
+let outstanding t routine = match routine with Rx -> t.out_rx | Tx -> t.out_tx
 
 let alloc t =
   match Queue.take_opt t.free with
@@ -55,7 +63,11 @@ let frame_of_exn t offset op =
 let commit t offset routine =
   let idx = frame_of_exn t offset "commit" in
   match t.state.(idx) with
-  | Allocated -> t.state.(idx) <- With_kernel routine
+  | Allocated ->
+      t.state.(idx) <- With_kernel routine;
+      (match routine with
+      | Rx -> t.out_rx <- t.out_rx + 1
+      | Tx -> t.out_tx <- t.out_tx + 1)
   | Owned | With_kernel _ ->
       invalid_arg "Umem.commit: frame was not allocated"
 
@@ -80,6 +92,9 @@ let reclaim t routine ~offset ?(len = 0) () =
     match t.state.(idx) with
     | With_kernel r when r = routine ->
         t.state.(idx) <- Owned;
+        (match routine with
+        | Rx -> t.out_rx <- t.out_rx - 1
+        | Tx -> t.out_tx <- t.out_tx - 1);
         Queue.add idx t.free;
         Ok ()
     | Owned | Allocated | With_kernel _ ->

@@ -30,9 +30,12 @@ val frame_size : t -> int
 val frame_count : t -> int
 
 val free_frames : t -> int
-(** Frames currently owned by the FM. *)
+(** Frames currently owned by the FM.  O(1). *)
 
 val outstanding : t -> routine -> int
+(** Frames currently out with the kernel on that routine, maintained as
+    counters by {!commit}/{!reclaim} — O(1), never a scan (the rx hot
+    path calls this via {!free_frames} accounting every burst). *)
 
 val alloc : t -> int option
 (** Take a free frame for handing to the kernel; returns its offset. *)

@@ -15,6 +15,8 @@ type t = {
   umem : Umem.t;
   umem_ptr : Mem.Ptr.t;
   rx_notify : Sim.Condition.t;
+  rx_scratch : Bytes.t; (* trusted staging frame, reused per packet *)
+  rx_burst : int;
   mutable kick : unit -> unit;
   mutable rx_packets : int;
   mutable tx_packets : int;
@@ -96,6 +98,15 @@ let create ~enclave ~config ~stack ~fd ~xsk =
             ~frame_size:config.Config.frame_size;
         umem_ptr;
         rx_notify = Hostos.Xdp.rx_notify xsk;
+        (* One trusted staging frame, allocated (and charged) once; the
+           rx path reuses it for every packet instead of a per-packet
+           Bytes.create.  Safe because the stack copies what it keeps
+           ({!Netstack.Stack.input_borrowed}). *)
+        rx_scratch =
+          (Sgx.Enclave.charge_copy enclave ~crossing:false
+             config.Config.frame_size;
+           Bytes.create config.Config.frame_size);
+        rx_burst = min config.Config.rx_burst config.Config.ring_size;
         kick = (fun () -> ());
         rx_packets = 0;
         tx_packets = 0;
@@ -128,89 +139,81 @@ let ring_check_failures t =
 
 let desc_rejects t = Umem.rejects t.umem
 
+let burst_counters t =
+  List.map
+    (fun (name, ring) ->
+      (name, (Rings.Certified.bursts ring, Rings.Certified.burst_slots ring)))
+    [ ("xFill", t.fill); ("xRX", t.rx); ("xTX", t.tx); ("xCompl", t.compl_) ]
+
 let invariant_holds t =
   Rings.Certified.invariant_holds t.fill
   && Rings.Certified.invariant_holds t.rx
   && Rings.Certified.invariant_holds t.tx
   && Rings.Certified.invariant_holds t.compl_
 
-(* Keep xFill stocked with frames for incoming packets. *)
+(* Keep xFill stocked with frames for incoming packets: one burst
+   validates the peer index once and publishes the producer once,
+   however many frames are stocked. *)
 let refill t =
-  let produced = ref 0 in
-  let rec loop () =
-    if Rings.Certified.free_slots t.fill > 0 then
-      match Umem.alloc t.umem with
-      | None -> ()
-      | Some offset -> (
-          match
-            Rings.Certified.produce t.fill ~write:(fun ~slot_off ->
-                Mem.Region.set_u64 (Rings.Certified.region t.fill) slot_off
-                  (Abi.Xsk_desc.encode_offset offset))
-          with
-          | Ok () ->
-              Umem.commit t.umem offset Umem.Rx;
-              incr produced;
-              loop ()
-          | Error `Ring_full -> Umem.cancel t.umem offset)
-  in
-  loop ();
-  if !produced > 0 then begin
-    Rings.Certified.publish t.fill;
-    t.kick ()
+  let count = Umem.free_frames t.umem in
+  if count > 0 then begin
+    let produced =
+      Rings.Certified.produce_batch t.fill ~count ~write:(fun ~slot_off _ ->
+          match Umem.alloc t.umem with
+          | Some offset ->
+              Mem.Region.set_u64 (Rings.Certified.region t.fill) slot_off
+                (Abi.Xsk_desc.encode_offset offset);
+              Umem.commit t.umem offset Umem.Rx
+          | None ->
+              (* produce_batch never writes more slots than [count] and
+                 only this callback allocates. *)
+              assert false)
+    in
+    if produced > 0 then t.kick ()
   end
 
-(* Reclaim completed transmissions so their frames can be reused. *)
+(* Reclaim completed transmissions so their frames can be reused: drain
+   everything xCompl holds in one burst. *)
 let reap_completions t =
-  let rec loop () =
-    match
-      Rings.Certified.consume t.compl_ ~read:(fun ~slot_off ->
-          Abi.Xsk_desc.decode_offset
-            (Mem.Region.get_u64 (Rings.Certified.region t.compl_) slot_off))
-    with
-    | Error `Ring_empty -> ()
-    | Ok offset ->
-        (* Rejects are already counted by the UMem tracker; the ring
-           consumer was advanced by [consume] — exactly the "refuse and
-           advance consumer" fail action. *)
-        ignore (Umem.reclaim t.umem Umem.Tx ~offset ());
-        loop ()
-  in
-  loop ()
+  ignore
+    (Rings.Certified.consume_batch t.compl_
+       ~max:(Rings.Certified.size t.compl_)
+       ~read:(fun ~slot_off _ ->
+         let offset =
+           Abi.Xsk_desc.decode_offset
+             (Mem.Region.get_u64 (Rings.Certified.region t.compl_) slot_off)
+         in
+         (* Rejects are already counted by the UMem tracker; the burst
+            advances past the slot regardless — exactly the "refuse and
+            advance consumer" fail action. *)
+         ignore (Umem.reclaim t.umem Umem.Tx ~offset ())))
 
-(* Move one received descriptor into the enclave and hand it to the
-   UDP/IP stack.  Returns false when xRX was empty. *)
-let rx_once t =
-  match
-    Rings.Certified.consume t.rx ~read:(fun ~slot_off ->
+(* Drain a burst of received descriptors into the enclave and hand them
+   to the UDP/IP stack.  Returns the number of descriptors moved (valid
+   or refused); 0 when xRX was empty. *)
+let rx_burst t =
+  Rings.Certified.consume_batch t.rx ~max:t.rx_burst ~read:(fun ~slot_off _ ->
+      let offset, len =
         Abi.Xsk_desc.decode
-          (Mem.Region.get_u64 (Rings.Certified.region t.rx) slot_off))
-  with
-  | Error `Ring_empty -> false
-  | Ok (offset, len) -> (
+          (Mem.Region.get_u64 (Rings.Certified.region t.rx) slot_off)
+      in
       match Umem.reclaim t.umem Umem.Rx ~offset ~len () with
-      | Error _ -> true (* refused; consumer already advanced *)
+      | Error _ -> () (* refused; the burst advances past the slot *)
       | Ok () ->
-          let frame = Bytes.create len in
           Sgx.Enclave.charge_copy t.enclave ~crossing:true len;
           Mem.Region.blit_to_bytes t.umem_ptr.Mem.Ptr.region
             (t.umem_ptr.Mem.Ptr.off + offset)
-            frame 0 len;
+            t.rx_scratch 0 len;
           t.rx_packets <- t.rx_packets + 1;
-          Netstack.Stack.input t.stack frame;
-          true)
+          Netstack.Stack.input_borrowed t.stack t.rx_scratch ~len)
 
 let rx_loop t () =
   refill t;
   let rec loop () =
-    if rx_once t then begin
-      refill t;
-      loop ()
-    end
-    else begin
-      refill t;
-      Sim.Condition.wait t.rx_notify;
-      loop ()
-    end
+    let moved = rx_burst t in
+    refill t;
+    if moved = 0 then Sim.Condition.wait t.rx_notify;
+    loop ()
   in
   loop ()
 

@@ -62,6 +62,12 @@ val ring_check_failures : t -> int
 val desc_rejects : t -> int
 (** Rejected UMem descriptors (bad offset/owner/length). *)
 
+val burst_counters : t -> (string * (int * int)) list
+(** Per-ring [(name, (bursts, slots))] batch counters: how many
+    non-empty certified-ring bursts each ring executed and how many
+    slots they moved in total ([slots / bursts] = average burst
+    length, the amortization factor over the Table 2 checks). *)
+
 val rx_packets : t -> int
 (** Frames successfully moved into the enclave. *)
 

@@ -173,10 +173,10 @@ let handle_udp t (ip_pkt : Packet.Ipv4.t) =
           then t.rx_delivered <- t.rx_delivered + 1
           else drop t "queue-full")
 
-let input t frame =
+let input_borrowed t frame ~len =
   with_processing t (fun () ->
       charge_packet ();
-      match Packet.Eth.parse frame with
+      match Packet.Eth.parse_sub frame ~len with
       | Error _ -> drop t "bad-eth"
       | Ok eth -> (
           let for_us =
@@ -201,3 +201,5 @@ let input t frame =
                       (match ip_pkt.proto with
                       | Udp -> handle_udp t ip_pkt
                       | Tcp | Icmp | Other _ -> drop t "not-udp"))))
+
+let input t frame = input_borrowed t frame ~len:(Bytes.length frame)

@@ -58,6 +58,13 @@ val input : t -> Bytes.t -> unit
     layer are counted and dropped; ARP is answered; UDP lands in the
     matching socket queue. *)
 
+val input_borrowed : t -> Bytes.t -> len:int -> unit
+(** Like {!input} but the frame occupies the first [len] bytes of a
+    borrowed buffer the caller will reuse (the FM's scratch frame):
+    everything the stack keeps past the call — ARP entries, queued UDP
+    payloads — is copied out during parsing, so no per-packet
+    allocation is needed on the caller's side. *)
+
 (** {1 Introspection} *)
 
 val socket_count : t -> int

@@ -1,1 +1,1 @@
-lib/packet/checksum.ml: Bytes
+lib/packet/checksum.ml: Bytes Int64

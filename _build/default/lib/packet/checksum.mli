@@ -3,7 +3,14 @@
 val ones_sum : ?init:int -> Bytes.t -> int -> int -> int
 (** [ones_sum ~init b off len] folds the 16-bit one's-complement sum of
     [len] bytes starting at [off] into [init] (an odd trailing byte is
-    padded with zero, as the RFC specifies). *)
+    padded with zero, as the RFC specifies).  Internally sums 64-bit
+    big-endian words with a 16-bit tail loop — RFC 1071 §2(A) allows
+    any grouping because the sum is mod [0xffff]. *)
+
+val ones_sum_scalar : ?init:int -> Bytes.t -> int -> int -> int
+(** The straightforward 16-bit-at-a-time loop, kept as the reference
+    implementation: property tests assert it agrees with {!ones_sum}
+    everywhere, and the micro-benchmark reports the speedup. *)
 
 val finish : int -> int
 (** One's-complement of a folded sum, as the 16-bit checksum field

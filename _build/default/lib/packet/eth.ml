@@ -30,8 +30,9 @@ let build t =
   Bytes.blit t.payload 0 b header_size (Bytes.length t.payload);
   b
 
-let parse b =
-  let len = Bytes.length b in
+let parse_sub b ~len =
+  if len < 0 || len > Bytes.length b then
+    invalid_arg "Eth.parse_sub: len out of bounds";
   if len < header_size then Error (Truncated len)
   else
     Ok
@@ -41,6 +42,8 @@ let parse b =
         ethertype = ethertype_of_int (Bytes.get_uint16_be b 12);
         payload = Bytes.sub b header_size (len - header_size);
       }
+
+let parse b = parse_sub b ~len:(Bytes.length b)
 
 let pp_error ppf (Truncated n) =
   Format.fprintf ppf "truncated ethernet frame (%d bytes)" n

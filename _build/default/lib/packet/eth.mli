@@ -24,4 +24,10 @@ val build : t -> Bytes.t
 val parse : Bytes.t -> (t, error) result
 (** The payload is a copy: callers may mutate it freely. *)
 
+val parse_sub : Bytes.t -> len:int -> (t, error) result
+(** Parse the first [len] bytes of a possibly larger (borrowed) buffer;
+    the payload is still a fresh copy, so the buffer may be reused as
+    soon as this returns.  Raises [Invalid_argument] when [len] exceeds
+    the buffer. *)
+
 val pp_error : Format.formatter -> error -> unit

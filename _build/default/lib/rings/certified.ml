@@ -11,17 +11,22 @@ type t = {
   mutable tprod : int; (* trusted producer *)
   mutable tcons : int; (* trusted consumer *)
   mutable failures : int;
+  mutable bursts : int; (* non-empty batch operations *)
+  mutable burst_slots : int; (* slots moved by those batches *)
   on_failure : failure -> unit;
 }
 
-let create layout ~role ?(on_failure = fun _ -> ()) () =
+let create layout ~role ?(on_failure = fun _ -> ()) ?(init = 0) () =
+  let init = U32.of_int init in
   {
     layout;
     role;
     size = layout.Layout.size;
-    tprod = 0;
-    tcons = 0;
+    tprod = init;
+    tcons = init;
     failures = 0;
+    bursts = 0;
+    burst_slots = 0;
     on_failure;
   }
 
@@ -105,6 +110,75 @@ let consume t ~read =
 let skip t =
   require Consumer t "skip";
   if available t > 0 then release t
+
+let count_burst t n =
+  if n > 0 then begin
+    t.bursts <- t.bursts + 1;
+    t.burst_slots <- t.burst_slots + n
+  end
+
+(* Batch accessors: one peer-index refresh (with the same Table 2
+   checks) covers the whole burst, and the trusted index is stored to
+   shared memory once at the end.  Between refresh and publish only the
+   trusted snapshot is consulted, so a hostile index move mid-burst is
+   invisible until the next refresh — where the same checks catch it. *)
+
+let produce_batch t ~count ~write =
+  require Producer t "produce_batch";
+  refresh_cons t;
+  let free = t.size - U32.distance ~ahead:t.tprod ~behind:t.tcons in
+  let n = min count free in
+  if n <= 0 then 0
+  else begin
+    for i = 0 to n - 1 do
+      write ~slot_off:(Layout.slot_off t.layout (U32.add t.tprod i)) i
+    done;
+    t.tprod <- U32.add t.tprod n;
+    Layout.write_prod t.layout t.tprod;
+    count_burst t n;
+    n
+  end
+
+let consume_batch t ~max ~read =
+  require Consumer t "consume_batch";
+  refresh_prod t;
+  let n = min max (U32.distance ~ahead:t.tprod ~behind:t.tcons) in
+  if n <= 0 then 0
+  else begin
+    for i = 0 to n - 1 do
+      read ~slot_off:(Layout.slot_off t.layout (U32.add t.tcons i)) i
+    done;
+    t.tcons <- U32.add t.tcons n;
+    Layout.write_cons t.layout t.tcons;
+    count_burst t n;
+    n
+  end
+
+let peek_batch t ~max ~read =
+  require Consumer t "peek_batch";
+  refresh_prod t;
+  let n = min max (U32.distance ~ahead:t.tprod ~behind:t.tcons) in
+  let rec go i =
+    if i >= n then i
+    else if read ~slot_off:(Layout.slot_off t.layout (U32.add t.tcons i)) i
+    then go (i + 1)
+    else i
+  in
+  go 0
+
+let commit_batch t count =
+  require Consumer t "commit_batch";
+  if count < 0 || count > U32.distance ~ahead:t.tprod ~behind:t.tcons then
+    invalid_arg "Certified.commit_batch: count exceeds the validated window";
+  if count > 0 then begin
+    t.tcons <- U32.add t.tcons count;
+    Layout.write_cons t.layout t.tcons;
+    count_burst t count
+  end
+
+let bursts t = t.bursts
+
+let burst_slots t = t.burst_slots
 
 let trusted_prod t = t.tprod
 

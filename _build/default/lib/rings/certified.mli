@@ -35,8 +35,13 @@ type failure =
 
 type t
 
-val create : Layout.t -> role:role -> ?on_failure:(failure -> unit) -> unit -> t
-(** The ring size is copied to trusted memory here and never re-read. *)
+val create :
+  Layout.t -> role:role -> ?on_failure:(failure -> unit) -> ?init:int -> unit -> t
+(** The ring size is copied to trusted memory here and never re-read.
+    [init] (default 0) seeds both trusted indices, for attaching to a
+    ring whose indices already stand at a known position — tests use it
+    to start near the u32 wrap point; it must match the ring's actual
+    shared indices or the first refresh will reject them. *)
 
 val role : t -> role
 
@@ -70,6 +75,46 @@ val skip : t -> unit
     Table 2 fail action "Refuse and advance consumer" for bad UMem
     offsets.  No-op when nothing is available. *)
 
+(** {1 Batch operations}
+
+    The per-descriptor accessors above pay one untrusted-index read (and
+    its Table 2 window check) plus one trusted-index store per slot.
+    The batch variants amortize both over a burst: the peer index is
+    refreshed and validated {e once} before the burst, every slot is
+    processed against that trusted snapshot, and the enclave-owned index
+    is stored to shared memory {e once} after it.  The checks are on
+    index {e values}, not on per-slot access timing, so the §4.1
+    guarantees are unchanged: a hostile index move mid-burst cannot
+    influence the burst in progress and is caught by the next refresh. *)
+
+val produce_batch :
+  t -> count:int -> write:(slot_off:int -> int -> unit) -> int
+(** Refresh the trusted consumer once, write up to [count] descriptors
+    ([write] also receives the intra-burst position, [0..n-1]), advance
+    the trusted producer by the number written and publish it in a
+    single store.  Returns the number written ([0] when the ring is
+    full; never exceeds the validated free window). *)
+
+val consume_batch : t -> max:int -> read:(slot_off:int -> int -> unit) -> int
+(** Refresh the trusted producer once, read up to [max] descriptors and
+    release them with a single consumer-index store.  Per-descriptor
+    refusal keeps the Table 2 "refuse and advance consumer" semantics:
+    the callback refuses internally (counting the reject) and the burst
+    still advances past the slot. *)
+
+val peek_batch : t -> max:int -> read:(slot_off:int -> int -> bool) -> int
+(** Like {!consume_batch} but nothing is released: [read] returns
+    [true] to accept the slot and continue, [false] to stop the burst
+    before this slot (e.g. out of buffers mid-burst).  Returns the
+    accepted prefix length; pass it to {!commit_batch} to release.  The
+    unaccepted tail is not lost — it stays available for the next
+    burst. *)
+
+val commit_batch : t -> int -> unit
+(** Release [n] peeked entries with one consumer-index store.  Raises
+    [Invalid_argument] if [n] exceeds the validated window (an FM bug,
+    not a host attack — the host cannot influence the bound). *)
+
 (** {1 Introspection (tests and the Testing Module)} *)
 
 val trusted_prod : t -> int
@@ -78,6 +123,13 @@ val trusted_cons : t -> int
 
 val failures : t -> int
 (** Count of rejected peer-index reads. *)
+
+val bursts : t -> int
+(** Number of non-empty batch operations executed on this ring. *)
+
+val burst_slots : t -> int
+(** Total slots moved by those batches; [burst_slots / bursts] is the
+    average burst length. *)
 
 val invariant_holds : t -> bool
 (** [0 <= Pt - Ct <= St] (paper eq. 1). *)

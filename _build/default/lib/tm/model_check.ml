@@ -36,10 +36,14 @@ let n_candidates = 14
 type role = Consumer_role | Producer_role
 
 (* Operations the FM can perform in each role.  Publish is folded into
-   Produce; Skip exercises the fail-action path. *)
+   Produce; Skip exercises the fail-action path.  The batch ops run
+   with the schedule's hostile index re-smashed {e mid-burst} (between
+   the batch's single refresh and its single publish): the burst must
+   proceed on its validated snapshot, and the move is caught by the
+   next refresh. *)
 let ops_for = function
-  | Consumer_role -> [ `Available; `Consume; `Skip ]
-  | Producer_role -> [ `Free_slots; `Produce ]
+  | Consumer_role -> [ `Available; `Consume; `Skip; `Consume_batch; `Peek_commit ]
+  | Producer_role -> [ `Free_slots; `Produce; `Produce_batch ]
 
 type machine = {
   layout : Rings.Layout.t;
@@ -69,25 +73,48 @@ let make_machine ~ring_size role =
 
 let in_range v size = v >= 0 && v <= size
 
-(* Execute one FM op on the certified ring; true iff state stays legal. *)
-let cert_step m op =
+(* Execute one FM op on the certified ring; true iff state stays legal.
+   [mid] re-applies the schedule's hostile index write mid-burst, after
+   the batch op's refresh but before its publish. *)
+let cert_step m op ~mid =
   let size = Rings.Certified.size m.certified in
+  let slot_in_bounds slot_off =
+    (* The accessed slot must lie inside the descriptor array. *)
+    slot_off >= m.layout.Rings.Layout.desc_off
+    && slot_off + 8
+       <= m.layout.Rings.Layout.desc_off + (8 * m.layout.Rings.Layout.size)
+  in
   let ok_result =
     match op with
     | `Available -> in_range (Rings.Certified.available m.certified) size
     | `Consume ->
-        (match Rings.Certified.consume m.certified ~read:(fun ~slot_off ->
-             (* The read slot must lie inside the descriptor array. *)
-             slot_off >= m.layout.Rings.Layout.desc_off
-             && slot_off + 8
-                <= m.layout.Rings.Layout.desc_off
-                   + (8 * m.layout.Rings.Layout.size))
+        (match
+           Rings.Certified.consume m.certified ~read:(fun ~slot_off ->
+               slot_in_bounds slot_off)
          with
         | Ok in_bounds -> in_bounds
         | Error `Ring_empty -> true)
     | `Skip ->
         Rings.Certified.skip m.certified;
         true
+    | `Consume_batch ->
+        let bounds_ok = ref true in
+        let n =
+          Rings.Certified.consume_batch m.certified ~max:2
+            ~read:(fun ~slot_off _ ->
+              mid ();
+              if not (slot_in_bounds slot_off) then bounds_ok := false)
+        in
+        !bounds_ok && in_range n size
+    | `Peek_commit ->
+        let accepted =
+          Rings.Certified.peek_batch m.certified ~max:2
+            ~read:(fun ~slot_off _ ->
+              mid ();
+              slot_in_bounds slot_off)
+        in
+        Rings.Certified.commit_batch m.certified accepted;
+        in_range accepted size
     | `Free_slots -> in_range (Rings.Certified.free_slots m.certified) size
     | `Produce -> (
         match
@@ -98,6 +125,16 @@ let cert_step m op =
             Rings.Certified.publish m.certified;
             true
         | Error `Ring_full -> true)
+    | `Produce_batch ->
+        let bounds_ok = ref true in
+        let n =
+          Rings.Certified.produce_batch m.certified ~count:2
+            ~write:(fun ~slot_off _ ->
+              mid ();
+              if not (slot_in_bounds slot_off) then bounds_ok := false;
+              Mem.Region.set_u64 m.layout.Rings.Layout.region slot_off 0L)
+        in
+        !bounds_ok && in_range n size
   in
   ok_result && Rings.Certified.invariant_holds m.certified
 
@@ -105,19 +142,29 @@ let cert_step m op =
    (expected to fail under attack — the §5 case studies). *)
 let naive_step m op =
   let size = m.layout.Rings.Layout.size in
+  let naive_produce count =
+    ignore
+      (Rings.Naive.produce_batch m.naive ~count ~write:(fun ~slot_off _ ->
+           Mem.Region.set_u64 m.layout.Rings.Layout.region slot_off 0L))
+  in
   let ok_result =
     match op with
     | `Available -> in_range (Rings.Naive.available m.naive) size
-    | `Consume ->
+    | `Consume | `Peek_commit ->
         ignore (Rings.Naive.consume m.naive ~read:(fun ~slot_off:_ -> ()));
+        true
+    | `Consume_batch ->
+        for _ = 1 to 2 do
+          ignore (Rings.Naive.consume m.naive ~read:(fun ~slot_off:_ -> ()))
+        done;
         true
     | `Skip -> true
     | `Free_slots -> in_range (Rings.Naive.prod_nb_free m.naive ~wanted:size) size
     | `Produce ->
-        ignore
-          (Rings.Naive.produce_batch m.naive ~count:1
-             ~write:(fun ~slot_off _ ->
-               Mem.Region.set_u64 m.layout.Rings.Layout.region slot_off 0L));
+        naive_produce 1;
+        true
+    | `Produce_batch ->
+        naive_produce 2;
         true
   in
   ok_result && Rings.Naive.invariant_holds m.naive
@@ -138,14 +185,18 @@ let replay ~ring_size role schedule stats =
         | Consumer_role -> Hostos.Malice.smash_prod m.layout c
         | Producer_role -> Hostos.Malice.smash_cons m.layout c
       in
-      smash cert (fun m ->
-          (Rings.Certified.trusted_prod m.certified,
-           Rings.Certified.trusted_cons m.certified));
+      let smash_cert () =
+        smash cert (fun m ->
+            (Rings.Certified.trusted_prod m.certified,
+             Rings.Certified.trusted_cons m.certified))
+      in
+      smash_cert ();
       smash naive (fun m ->
           (Rings.Naive.cached_prod m.naive, Rings.Naive.cached_cons m.naive));
       let op = ops.(oi) in
       incr fm_ops;
-      if not (cert_step cert op) then incr cert_viol;
+      (* Batch ops re-apply the hostile write mid-burst via [mid]. *)
+      if not (cert_step cert op ~mid:smash_cert) then incr cert_viol;
       if not (naive_step naive op) then incr naive_viol)
     schedule;
   Rings.Certified.failures cert.certified

@@ -17,7 +17,16 @@
     every FM operation.  The same schedules run against the
     libxdp/liburing-style {!Rings.Naive} accessors, reproducing the §5
     case studies: the naive rings reach invalid states, the certified
-    rings never do. *)
+    rings never do.
+
+    The explored operation set includes the batch accessors
+    ({!Rings.Certified.consume_batch}, {!Rings.Certified.produce_batch}
+    and the peek/commit pair), with the adversarial index write
+    re-applied {e mid-burst} — between the batch's single refresh and
+    its single publish.  The required behaviour: the burst in progress
+    runs entirely on its validated snapshot (every slot in bounds, the
+    invariant intact), and the hostile move is caught by the next
+    refresh, exactly as with the per-slot accessors. *)
 
 type report = {
   schedules : int;  (** adversarial schedules explored *)

@@ -342,6 +342,25 @@ let prop_parsers_total =
       ignore (Frame.peek_udp_ports b);
       true)
 
+let prop_checksum_word_equals_scalar =
+  (* The 64-bit-word ones_sum must agree with the 16-bit reference loop
+     for every buffer, offset, length and initial sum — including the
+     unaligned offsets and odd tails the rx path produces. *)
+  QCheck.Test.make
+    ~name:"checksum: word-at-a-time ones_sum == scalar reference" ~count:2000
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (pair (map Bytes.of_string (string_size (0 -- 300))) (0 -- 300))
+           (pair (0 -- 300) (0 -- 0x1ffff)))
+    )
+    (fun ((b, off), (len, init)) ->
+      let n = Bytes.length b in
+      let off = if n = 0 then 0 else off mod n in
+      let len = min len (n - off) in
+      Checksum.ones_sum ~init b off len
+      = Checksum.ones_sum_scalar ~init b off len)
+
 let prop_checksum_detects_single_flip =
   QCheck.Test.make
     ~name:"checksum: any single-bit flip in an even-sized buffer is caught"
@@ -364,6 +383,7 @@ let props =
       prop_udp_roundtrip;
       prop_frame_roundtrip;
       prop_parsers_total;
+      prop_checksum_word_equals_scalar;
       prop_checksum_detects_single_flip;
     ]
 

@@ -294,6 +294,67 @@ let test_rakis_udp_no_exits_on_data_path () =
   check "zero data-path exits" exits_after_boot
     (Sgx.Enclave.exits (Rakis.Runtime.enclave fx.runtime))
 
+let test_rakis_batched_path_counts_match_single_op () =
+  (* The bursted rx/tx datapath must move exactly the packets the
+     per-op path moved: N data frames + 1 ARP in, N echoes + 1 ARP
+     reply out, with every frame back in the FM's pool afterwards. *)
+  let packets = 37 in
+  let fx = boot ~config:small_config () in
+  let client = native_client fx in
+  Sim.Engine.spawn fx.engine (fun () ->
+      let sock = Rakis.Runtime.udp_socket fx.runtime in
+      ignore (Rakis.Runtime.udp_bind fx.runtime sock 5201);
+      let rec loop () =
+        match Rakis.Runtime.udp_recvfrom fx.runtime sock ~max:2048 with
+        | Ok (payload, src) ->
+            ignore (Rakis.Runtime.udp_sendto fx.runtime sock payload ~dst:src);
+            loop ()
+        | Error _ -> ()
+      in
+      loop ());
+  run_script fx (fun () ->
+      let fd = client.Libos.Api.udp_socket () in
+      for i = 1 to packets do
+        (match
+           client.Libos.Api.sendto fd
+             (Bytes.make 200 (Char.chr (Char.code 'a' + (i mod 26))))
+             (Rakis.Config.default.ip, 5201)
+         with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "send %d: %a" i Abi.Errno.pp e);
+        match client.Libos.Api.recvfrom fd 2048 with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "recv %d: %a" i Abi.Errno.pp e
+      done;
+      Sim.Engine.delay (Sim.Cycles.of_ms 1.));
+  let fm = (Rakis.Runtime.xsk_fms fx.runtime).(0) in
+  check "rx count matches per-op path" (packets + 1) (Rakis.Xsk_fm.rx_packets fm);
+  check "tx count matches per-op path" (packets + 1) (Rakis.Xsk_fm.tx_packets fm);
+  (* Burst accounting is consistent: slot totals cover what moved, and
+     the rx side needed no more bursts than packets. *)
+  let counters = Rakis.Xsk_fm.burst_counters fm in
+  let bursts ring = fst (List.assoc ring counters) in
+  let slots ring = snd (List.assoc ring counters) in
+  check "xRX slots = packets in" (packets + 1) (slots "xRX");
+  check_bool "xRX amortized (bursts <= slots)" true
+    (bursts "xRX" <= slots "xRX");
+  check_bool "xFill bursts ran" true (bursts "xFill" > 0);
+  (* Completions reap lazily on the next send, so the final one may
+     still be in flight when the script stops. *)
+  check_bool "xCompl slots cover the packets out" true
+    (slots "xCompl" >= packets);
+  (* Ownership drained back: the in-flight counters (satellite of the
+     O(1) Umem.outstanding) net out against the free pool. *)
+  let u = Rakis.Xsk_fm.umem fm in
+  check "conservation"
+    (Rakis.Umem.frame_count u)
+    (Rakis.Umem.free_frames u
+    + Rakis.Umem.outstanding u Rakis.Umem.Rx
+    + Rakis.Umem.outstanding u Rakis.Umem.Tx);
+  check_bool "at most the final tx frame unreaped" true
+    (Rakis.Umem.outstanding u Rakis.Umem.Tx <= 1);
+  check_bool "invariants hold" true (Rakis.Runtime.invariant_holds fx.runtime)
+
 let test_rakis_monitor_issues_wakeups () =
   let fx = boot ~config:small_config () in
   let client = native_client fx in
@@ -620,6 +681,8 @@ let suite =
     ("e2e: udp echo through the rings", `Quick, test_rakis_udp_echo_roundtrip);
     ("e2e: zero enclave exits on the data path", `Quick,
      test_rakis_udp_no_exits_on_data_path);
+    ("e2e: batched datapath counts match the per-op path", `Quick,
+     test_rakis_batched_path_counts_match_single_op);
     ("e2e: monitor issues the wakeup syscalls", `Quick,
      test_rakis_monitor_issues_wakeups);
     ("attack: hostile ring indices survived", `Quick, test_attack_ring_indices);

@@ -249,6 +249,186 @@ let test_certified_on_failure_callback () =
   | [ Certified.Out_of_window { observed = 100; _ } ] -> ()
   | _ -> Alcotest.fail "expected Out_of_window callback"
 
+(* {1 Certified: batch accessors} *)
+
+let test_batch_empty_ring () =
+  let l = make_ring ~size:4 () in
+  let cons = Certified.create l ~role:Certified.Consumer () in
+  check "consume_batch on empty" 0
+    (Certified.consume_batch cons ~max:4 ~read:(fun ~slot_off:_ _ ->
+         Alcotest.fail "callback on empty ring"));
+  check "peek_batch on empty" 0
+    (Certified.peek_batch cons ~max:4 ~read:(fun ~slot_off:_ _ ->
+         Alcotest.fail "callback on empty ring"));
+  check "no bursts counted" 0 (Certified.bursts cons)
+
+let test_batch_produce_fills_exactly () =
+  let l, prod = certified_pair ~size:4 () in
+  (* Ask for more than fits: the batch clamps to the validated window
+     and publishes once. *)
+  let n =
+    Certified.produce_batch prod ~count:7 ~write:(fun ~slot_off i ->
+        write_slot l ~slot_off (Int64.of_int (10 + i)))
+  in
+  check "clamped to ring size" 4 n;
+  check "published in one store" 4 (Raw.available l);
+  check "exactly-full ring produces zero" 0
+    (Certified.produce_batch prod ~count:1 ~write:(fun ~slot_off:_ _ ->
+         Alcotest.fail "callback on full ring"));
+  (* FIFO content arrived in batch order. *)
+  (match Raw.consume l ~read:(fun ~slot_off -> read_slot l ~slot_off) with
+  | Some 10L -> ()
+  | _ -> Alcotest.fail "batch write order");
+  check "burst counters" 1 (Certified.bursts prod);
+  check "burst slots" 4 (Certified.burst_slots prod)
+
+let test_batch_consume_drains () =
+  let l = make_ring ~size:8 () in
+  let cons = Certified.create l ~role:Certified.Consumer () in
+  for v = 1 to 5 do
+    ignore
+      (Raw.produce l ~write:(fun ~slot_off ->
+           write_slot l ~slot_off (Int64.of_int v)))
+  done;
+  let seen = ref [] in
+  let n =
+    Certified.consume_batch cons ~max:3 ~read:(fun ~slot_off i ->
+        seen := (i, read_slot l ~slot_off) :: !seen)
+  in
+  check "max respected" 3 n;
+  Alcotest.(check (list (pair int int64)))
+    "batch order and positions"
+    [ (0, 1L); (1, 2L); (2, 3L) ]
+    (List.rev !seen);
+  check "released once, all three" 3 (Layout.read_cons l);
+  check "rest still available" 2 (Certified.available cons)
+
+let test_batch_wraparound_u32_boundary () =
+  (* Attach near the u32 wrap point: index arithmetic must carry the
+     burst across 0xFFFFFFFF -> 0 without losing slots. *)
+  let start = Rings.U32.mask - 1 in
+  let l = make_ring ~size:4 () in
+  Layout.write_prod l start;
+  Layout.write_cons l start;
+  let prod = Certified.create l ~role:Certified.Producer ~init:start () in
+  let n =
+    Certified.produce_batch prod ~count:4 ~write:(fun ~slot_off i ->
+        write_slot l ~slot_off (Int64.of_int (100 + i)))
+  in
+  check "full burst across the wrap" 4 n;
+  check "shared producer wrapped" 2 (Layout.read_prod l);
+  check_bool "invariant across wrap" true (Certified.invariant_holds prod);
+  (* Consumer side across the same wrap. *)
+  let cons = Certified.create l ~role:Certified.Consumer ~init:start () in
+  let got = ref [] in
+  let m =
+    Certified.consume_batch cons ~max:4 ~read:(fun ~slot_off _ ->
+        got := read_slot l ~slot_off :: !got)
+  in
+  check "consumed across the wrap" 4 m;
+  Alcotest.(check (list int64))
+    "fifo across the wrap" [ 100L; 101L; 102L; 103L ] (List.rev !got);
+  check "shared consumer wrapped" 2 (Layout.read_cons l);
+  check_bool "invariant" true (Certified.invariant_holds cons);
+  check "no failures" 0 (Certified.failures cons)
+
+let test_batch_malice_between_bursts () =
+  let l = make_ring ~size:4 () in
+  let cons = Certified.create l ~role:Certified.Consumer () in
+  for v = 1 to 2 do
+    ignore
+      (Raw.produce l ~write:(fun ~slot_off ->
+           write_slot l ~slot_off (Int64.of_int v)))
+  done;
+  check "honest burst" 2
+    (Certified.consume_batch cons ~max:4 ~read:(fun ~slot_off:_ _ -> ()));
+  (* Hostile index jump between bursts: the next burst's single refresh
+     must reject it and move nothing. *)
+  Hostos.Malice.smash_prod l 100;
+  check "hostile burst refused" 0
+    (Certified.consume_batch cons ~max:4 ~read:(fun ~slot_off:_ _ ->
+         Alcotest.fail "slot handed out under attack"));
+  check "failure recorded" 1 (Certified.failures cons);
+  check_bool "invariant" true (Certified.invariant_holds cons)
+
+let test_batch_malice_mid_burst () =
+  (* A hostile move between the burst's refresh and its publish must not
+     affect the burst in progress, and must be caught next refresh. *)
+  let l = make_ring ~size:4 () in
+  let cons = Certified.create l ~role:Certified.Consumer () in
+  for v = 1 to 3 do
+    ignore
+      (Raw.produce l ~write:(fun ~slot_off ->
+           write_slot l ~slot_off (Int64.of_int v)))
+  done;
+  let n =
+    Certified.consume_batch cons ~max:3 ~read:(fun ~slot_off:_ i ->
+        if i = 0 then Hostos.Malice.smash_prod l 0x80000000)
+  in
+  check "burst ran on its validated snapshot" 3 n;
+  check "mid-burst move not yet observed" 0 (Certified.failures cons);
+  check "caught on the next refresh" 0 (Certified.available cons);
+  check "failure recorded" 1 (Certified.failures cons);
+  check_bool "invariant" true (Certified.invariant_holds cons)
+
+let test_batch_peek_commit () =
+  let l = make_ring ~size:8 () in
+  let cons = Certified.create l ~role:Certified.Consumer () in
+  for v = 1 to 4 do
+    ignore
+      (Raw.produce l ~write:(fun ~slot_off ->
+           write_slot l ~slot_off (Int64.of_int v)))
+  done;
+  (* Accept two, then refuse mid-burst: the tail must not be lost. *)
+  let accepted =
+    Certified.peek_batch cons ~max:4 ~read:(fun ~slot_off:_ i -> i < 2)
+  in
+  check "prefix accepted" 2 accepted;
+  check "nothing released before commit" 0 (Layout.read_cons l);
+  Certified.commit_batch cons accepted;
+  check "released in one store" 2 (Layout.read_cons l);
+  (* The refused slot is still first in line. *)
+  (match Certified.consume cons ~read:(fun ~slot_off -> read_slot l ~slot_off)
+   with
+  | Ok 3L -> ()
+  | _ -> Alcotest.fail "refused slot lost");
+  Alcotest.check_raises "over-commit is an FM bug"
+    (Invalid_argument "Certified.commit_batch: count exceeds the validated window")
+    (fun () -> Certified.commit_batch cons 5)
+
+let test_batch_matches_single_op_counts () =
+  (* The batched path must move exactly the same number of entries as
+     the per-op path over identical traffic. *)
+  let batched = ref 0 and single = ref 0 in
+  let l1 = make_ring ~size:4 () in
+  let c1 = Certified.create l1 ~role:Certified.Consumer () in
+  let l2 = make_ring ~size:4 () in
+  let c2 = Certified.create l2 ~role:Certified.Consumer () in
+  for round = 1 to 50 do
+    let burst = 1 + (round mod 4) in
+    for v = 1 to burst do
+      ignore
+        (Raw.produce l1 ~write:(fun ~slot_off ->
+             write_slot l1 ~slot_off (Int64.of_int v)));
+      ignore
+        (Raw.produce l2 ~write:(fun ~slot_off ->
+             write_slot l2 ~slot_off (Int64.of_int v)))
+    done;
+    batched :=
+      !batched + Certified.consume_batch c1 ~max:8 ~read:(fun ~slot_off:_ _ -> ());
+    let rec drain () =
+      match Certified.consume c2 ~read:(fun ~slot_off:_ -> ()) with
+      | Ok () ->
+          incr single;
+          drain ()
+      | Error `Ring_empty -> ()
+    in
+    drain ()
+  done;
+  check "same totals" !single !batched;
+  check "trusted state agrees" (Certified.trusted_cons c2)
+    (Certified.trusted_cons c1)
+
 (* {1 Naive rings: the §5 case studies} *)
 
 let test_naive_prod_nb_free_overshoot () =
@@ -410,6 +590,21 @@ let suite =
     ("certified: skip fail-action", `Quick, test_certified_skip_advances);
     ("certified: failure callback", `Quick,
      test_certified_on_failure_callback);
+    ("certified batch: empty ring", `Quick, test_batch_empty_ring);
+    ("certified batch: produce clamps to exactly-full", `Quick,
+     test_batch_produce_fills_exactly);
+    ("certified batch: consume drains in order", `Quick,
+     test_batch_consume_drains);
+    ("certified batch: u32 wraparound", `Quick,
+     test_batch_wraparound_u32_boundary);
+    ("certified batch: malice between bursts", `Quick,
+     test_batch_malice_between_bursts);
+    ("certified batch: malice mid-burst", `Quick,
+     test_batch_malice_mid_burst);
+    ("certified batch: peek/commit keeps the tail", `Quick,
+     test_batch_peek_commit);
+    ("certified batch: totals match single-op path", `Quick,
+     test_batch_matches_single_op_counts);
     ("naive: xsk_prod_nb_free overshoot (libxdp case study)", `Quick,
      test_naive_prod_nb_free_overshoot);
     ("naive: batch overwrite of in-flight descriptors", `Quick,

@@ -1,17 +1,158 @@
-(* Testing Module: model-checking binary (paper §5.1's verification
-   binary, with bounded-exhaustive search in place of KLEE). *)
+(* Testing Module verification binary (paper §5.1's verification
+   binary, with bounded-exhaustive search in place of KLEE).
+
+   Modes:
+   - default: bounded-exhaustive model check of the certified rings;
+   - --campaign: the full adversarial campaign — differential oracle
+     runs (certified vs naive vs golden model), end-to-end single /
+     pairwise / soup attack schedules on both datapaths, and a
+     shrinker demonstration.  --budget bounds the total end-to-end
+     workload steps (CI smoke uses --budget 2000);
+   - --replay '<datapath>:<seed>:<budget>:<schedule>': replay one
+     campaign outcome from its copy-pasteable repro token. *)
+
+let total_fired o =
+  List.fold_left (fun acc (_, n) -> acc + n) 0 o.Tm.Campaign.fired
+
+let dp_name = function Tm.Campaign.Xsk -> "xsk" | Tm.Campaign.Iouring -> "io_uring"
+
+let campaign ~budget =
+  Format.printf "RAKIS Testing Module: adversarial campaign (budget %d)@.@."
+    budget;
+  let failures = ref 0 in
+  (* Differential oracle: >= 10k scheduled steps per datapath shape. *)
+  let oracle_steps = max 10_000 budget in
+  List.iter
+    (fun shape ->
+      let r = Tm.Oracle.run ~shape ~seed:11L ~steps:oracle_steps () in
+      Format.printf "%a@.@." Tm.Oracle.pp_report r;
+      if not (Tm.Oracle.passed r) then incr failures)
+    [ Tm.Oracle.Xsk_shape; Tm.Oracle.Iouring_shape ];
+  (* End-to-end schedules.  The per-run budget splits the global budget
+     over the singles (11 + 9), a pairwise sample and two soups. *)
+  let datapaths = [ Tm.Campaign.Xsk; Tm.Campaign.Iouring ] in
+  let singles =
+    List.concat_map
+      (fun dp -> List.map (fun a -> (dp, a)) (Tm.Campaign.applicable dp))
+      datapaths
+  in
+  let runs = List.length singles + 8 in
+  let per_run = max 16 (budget / runs) in
+  let summarize o =
+    if Tm.Campaign.failed o then begin
+      incr failures;
+      Format.printf "%a@.repro: %s@.@." Tm.Campaign.pp_outcome o
+        (Tm.Campaign.repro o)
+    end
+  in
+  List.iter
+    (fun (dp, attack) ->
+      let o =
+        Tm.Campaign.run ~datapath:dp ~seed:21L ~budget:per_run
+          [ Tm.Campaign.At { step = per_run / 4; attack } ]
+      in
+      Format.printf "single %-9s %-20s ok=%d refused=%d lost=%d fired=%d %s@."
+        (dp_name dp)
+        (Hostos.Malice.attack_name attack)
+        o.Tm.Campaign.ok o.Tm.Campaign.refused o.Tm.Campaign.lost
+        (total_fired o)
+        (if Tm.Campaign.failed o then "FAIL" else "ok");
+      summarize o)
+    singles;
+  (* Pairwise sample: index and descriptor attacks composed. *)
+  List.iter
+    (fun dp ->
+      List.iter
+        (fun (a, b) ->
+          let o =
+            Tm.Campaign.run ~datapath:dp ~seed:31L ~budget:per_run
+              [
+                Tm.Campaign.At { step = per_run / 4; attack = a };
+                Tm.Campaign.At { step = per_run / 2; attack = b };
+              ]
+          in
+          summarize o)
+        (Tm.Campaign.pairs
+           Hostos.Malice.[ Prod_overshoot; Cons_regress; Oversize_len ]))
+    datapaths;
+  (* Soups. *)
+  List.iter
+    (fun dp ->
+      let schedule =
+        Tm.Campaign.soup ~datapath:dp ~seed:41L ~budget:per_run ()
+      in
+      let o = Tm.Campaign.run ~datapath:dp ~seed:41L ~budget:per_run schedule in
+      Format.printf
+        "soup   %-9s entries=%d ok=%d refused=%d lost=%d fired=%d %s@."
+        (dp_name dp)
+        (List.length schedule) o.Tm.Campaign.ok o.Tm.Campaign.refused
+        o.Tm.Campaign.lost (total_fired o)
+        (if Tm.Campaign.failed o then "FAIL" else "ok");
+      summarize o)
+    datapaths;
+  (* Shrinker demonstration on a naive-ring failure. *)
+  let events = Tm.Oracle.gen_soup ~seed:51L ~steps:60 in
+  if Tm.Oracle.naive_consumer_fails events then begin
+    let r = Tm.Shrink.minimize ~fails:Tm.Oracle.naive_consumer_fails events in
+    Format.printf "@.shrinker: naive failure %d -> %d steps (%d replays): "
+      r.Tm.Shrink.original
+      (List.length r.Tm.Shrink.trace)
+      r.Tm.Shrink.tests;
+    List.iter (fun e -> Format.printf "%a;" Tm.Oracle.pp_event e) r.Tm.Shrink.trace;
+    Format.printf "@."
+  end
+  else begin
+    Format.printf "@.shrinker: seed 51 soup did not fail the naive ring@.";
+    incr failures
+  end;
+  if !failures > 0 then begin
+    Format.printf "@.campaign FAILED (%d failures)@." !failures;
+    exit 1
+  end
+  else Format.printf "@.campaign passed@."
+
+let replay token =
+  match Tm.Campaign.run_repro token with
+  | Error e ->
+      Format.eprintf "bad repro token: %s@." e;
+      exit 2
+  | Ok o ->
+      Format.printf "%a@." Tm.Campaign.pp_outcome o;
+      if Tm.Campaign.failed o then exit 1
 
 let () =
-  let depth = ref 3 and ring_size = ref 4 in
+  let depth = ref 3
+  and ring_size = ref 4
+  and budget = ref 2000
+  and mode = ref `Model_check
+  and token = ref "" in
   let spec =
     [
       ("-depth", Arg.Set_int depth, "schedule depth (default 3)");
       ("-ring-size", Arg.Set_int ring_size, "ring slots (default 4)");
+      ( "--campaign",
+        Arg.Unit (fun () -> mode := `Campaign),
+        "run the adversarial campaign instead of the model check" );
+      ( "--budget",
+        Arg.Set_int budget,
+        "campaign end-to-end step budget (default 2000)" );
+      ( "--replay",
+        Arg.String
+          (fun s ->
+            mode := `Replay;
+            token := s),
+        "replay one campaign repro token" );
     ]
   in
-  Arg.parse spec (fun _ -> ()) "tm_verify [-depth N] [-ring-size N]";
-  Format.printf "RAKIS Testing Module: FM model check@.";
-  Format.printf "ring_size=%d depth=%d@.@." !ring_size !depth;
-  let report = Tm.Model_check.verify ~ring_size:!ring_size ~depth:!depth () in
-  Format.printf "%a@." Tm.Model_check.pp_report report;
-  if not (Tm.Model_check.passed report) then exit 1
+  Arg.parse spec
+    (fun _ -> ())
+    "tm_verify [-depth N] [-ring-size N] [--campaign] [--budget N] [--replay TOKEN]";
+  match !mode with
+  | `Campaign -> campaign ~budget:!budget
+  | `Replay -> replay !token
+  | `Model_check ->
+      Format.printf "RAKIS Testing Module: FM model check@.";
+      Format.printf "ring_size=%d depth=%d@.@." !ring_size !depth;
+      let report = Tm.Model_check.verify ~ring_size:!ring_size ~depth:!depth () in
+      Format.printf "%a@." Tm.Model_check.pp_report report;
+      if not (Tm.Model_check.passed report) then exit 1

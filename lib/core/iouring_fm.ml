@@ -185,6 +185,24 @@ let submit t (sqe : Abi.Uring_abi.sqe) ~expected_max =
          index: the per-thread FM never has this many ops in flight. *)
       Error Abi.Errno.EAGAIN
 
+(* Sleep until a completion is signalled — or a poll period elapses, in
+   which case nudge the kernel again ([io_uring_enter] is cheap and
+   non-blocking).  The nudge matters under attack: a smashed iCompl
+   producer index freezes the certified view (the hostile value keeps
+   being rejected) until the kernel next touches the ring and rewrites
+   the shared word from its private cursor; without the retry a
+   synchronous waiter would hang forever on a completion that is
+   already sitting in the ring. *)
+let wait_or_renudge t =
+  let engine = Sgx.Enclave.engine t.enclave in
+  Sim.Engine.at engine
+    (Int64.add (Sim.Engine.now engine) Sgx.Params.mm_poll_period)
+    (fun () -> Sim.Condition.broadcast t.cq_notify);
+  Sim.Condition.wait t.cq_notify;
+  (* Whatever woke us — completion broadcast or poll-period timer — the
+     view may still be frozen by a smashed index, so always re-enter. *)
+  t.kick ()
+
 let rec await t (p : pending) =
   match p.outcome with
   | Some r -> r
@@ -200,7 +218,7 @@ let rec await t (p : pending) =
           Error Abi.Errno.EPERM
       | None when reaped > 0 -> await t p
       | None ->
-          Sim.Condition.wait t.cq_notify;
+          wait_or_renudge t;
           await t p)
 
 let submit_wait t sqe ~expected_max =

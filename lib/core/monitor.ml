@@ -10,6 +10,7 @@ type watched =
       uring : Hostos.Io_uring.t;
       sq : Rings.Layout.t;
       mutable sq_seen : int;
+      mutable forced : bool;
     }
 
 type t = {
@@ -19,6 +20,9 @@ type t = {
   mutable watched : watched list;
   mutable pending : bool;
   mutable wakeups : int;
+  mutable rx_wakeups : int;
+  mutable tx_wakeups : int;
+  mutable uring_wakeups : int;
 }
 
 let create engine ~kernel =
@@ -29,6 +33,9 @@ let create engine ~kernel =
     watched = [];
     pending = false;
     wakeups = 0;
+    rx_wakeups = 0;
+    tx_wakeups = 0;
+    uring_wakeups = 0;
   }
 
 let watch_xsk t xsk =
@@ -45,8 +52,23 @@ let watch_xsk t xsk =
 
 let watch_uring t uring =
   t.watched <-
-    Uring { uring; sq = Hostos.Io_uring.sq_layout uring; sq_seen = 0 }
+    Uring
+      { uring; sq = Hostos.Io_uring.sq_layout uring; sq_seen = 0; forced = false }
     :: t.watched
+
+(* An explicit enter request from the FM, index movement or not: a
+   hostile iCompl producer value freezes the certified view until the
+   kernel next rewrites the shared word, so the FM periodically asks
+   for a re-enter even when it has published nothing new. *)
+let nudge_uring t uring =
+  List.iter
+    (fun w ->
+      match w with
+      | Uring r when Hostos.Io_uring.uring_id r.uring = Hostos.Io_uring.uring_id uring
+        ->
+          r.forced <- true
+      | _ -> ())
+    t.watched
 
 (* [pending] survives kicks that arrive while the MM is mid-scan (the
    condition would otherwise drop them). *)
@@ -55,6 +77,12 @@ let kick t =
   Sim.Condition.signal t.work
 
 let wakeup_syscalls t = t.wakeups
+
+let rx_wakeup_syscalls t = t.rx_wakeups
+
+let tx_wakeup_syscalls t = t.tx_wakeups
+
+let uring_wakeup_syscalls t = t.uring_wakeups
 
 let advanced ~seen ~now = Rings.U32.distance ~ahead:now ~behind:seen > 0
 
@@ -67,19 +95,23 @@ let scan t =
           if advanced ~seen:r.fill_seen ~now:fill_now then begin
             r.fill_seen <- fill_now;
             t.wakeups <- t.wakeups + 1;
+            t.rx_wakeups <- t.rx_wakeups + 1;
             Hostos.Kernel.xsk_rx_wakeup t.kernel r.xsk
           end;
           let tx_now = Rings.Layout.read_prod r.tx in
           if advanced ~seen:r.tx_seen ~now:tx_now then begin
             r.tx_seen <- tx_now;
             t.wakeups <- t.wakeups + 1;
+            t.tx_wakeups <- t.tx_wakeups + 1;
             Hostos.Kernel.xsk_tx_wakeup t.kernel r.xsk
           end
       | Uring r ->
           let sq_now = Rings.Layout.read_prod r.sq in
-          if advanced ~seen:r.sq_seen ~now:sq_now then begin
+          if r.forced || advanced ~seen:r.sq_seen ~now:sq_now then begin
+            r.forced <- false;
             r.sq_seen <- sq_now;
             t.wakeups <- t.wakeups + 1;
+            t.uring_wakeups <- t.uring_wakeups + 1;
             Hostos.Kernel.uring_enter t.kernel r.uring
           end)
     t.watched

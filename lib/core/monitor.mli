@@ -28,8 +28,24 @@ val watch_uring : t -> Hostos.Io_uring.t -> unit
 val kick : t -> unit
 (** Signal the MM that some watched producer index may have advanced. *)
 
+val nudge_uring : t -> Hostos.Io_uring.t -> unit
+(** Ask the MM to issue an [io_uring_enter] for this uring on its next
+    scan even if iSub has not advanced.  The io_uring FM uses this to
+    recover liveness when a hostile iCompl producer value freezes its
+    certified view: only kernel re-entry rewrites the shared word.
+    Call {!kick} afterwards to schedule the scan. *)
+
 val start : t -> unit
 (** Spawn the MM thread. *)
 
 val wakeup_syscalls : t -> int
 (** Wakeup syscalls issued so far (all kinds). *)
+
+val rx_wakeup_syscalls : t -> int
+(** [recvfrom]-style wakeups issued for xFill advances. *)
+
+val tx_wakeup_syscalls : t -> int
+(** [sendto]-style wakeups issued for xTX advances. *)
+
+val uring_wakeup_syscalls : t -> int
+(** [io_uring_enter] wakeups issued for iSub advances. *)

@@ -217,7 +217,9 @@ let new_thread t =
             shared-memory polling in this simulation. *)
          Iouring_fm.set_kick fm (fun () -> Hostos.Io_uring.enter uring)
        else begin
-         Iouring_fm.set_kick fm (fun () -> Monitor.kick t.monitor);
+         Iouring_fm.set_kick fm (fun () ->
+             Monitor.nudge_uring t.monitor uring;
+             Monitor.kick t.monitor);
          Monitor.watch_uring t.monitor uring
        end);
       let thread = { runtime = t; proxy = Syncproxy.create fm } in

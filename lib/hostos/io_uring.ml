@@ -5,6 +5,9 @@ type t = {
   engine : Sim.Engine.t;
   sq : Rings.Layout.t;
   cq : Rings.Layout.t;
+  ksq : Kring.t;
+  kcq : Kring.t;
+  region : Mem.Region.t;
   exec : Abi.Uring_abi.sqe -> exec_result;
   malice : Malice.t option ref;
   wake : Sim.Condition.t;
@@ -12,6 +15,7 @@ type t = {
   mutable submitted : int;
   mutable completed : int;
   mutable dropped : int;
+  mutable last_user_data : int64;
 }
 
 let next_id = ref 0
@@ -28,6 +32,10 @@ let completed t = t.completed
 
 let dropped t = t.dropped
 
+(* CQE tampering covers both the Table 2 "return code" checks and the
+   identity checks the FM performs against its pending table: a forged
+   user_data (wrong, replayed, never-issued or off-by-one) must surface
+   as a stray, an inflated res as an out-of-range count. *)
 let tamper_cqe t (cqe : Abi.Uring_abi.cqe) =
   match !(t.malice) with
   | None -> cqe
@@ -41,6 +49,27 @@ let tamper_cqe t (cqe : Abi.Uring_abi.cqe) =
         (* A wildly out-of-range "bytes transferred" count. *)
         { cqe with res = 0x7FFFFFF0 }
       end
+      else if cqe.res >= 0 && Malice.roll !(t.malice) Oversize_len then begin
+        Malice.record m Oversize_len;
+        (* Claim far more bytes than any request could have asked for. *)
+        { cqe with res = cqe.res + 0x200000 }
+      end
+      else if Malice.roll !(t.malice) Foreign_frame then begin
+        Malice.record m Foreign_frame;
+        (* Replay the identity of a completion the FM already settled —
+           the io_uring analogue of recycling a frame it does not own. *)
+        { cqe with user_data = t.last_user_data }
+      end
+      else if Malice.roll !(t.malice) Bad_umem_offset then begin
+        Malice.record m Bad_umem_offset;
+        (* An identity that was never issued at all. *)
+        { cqe with user_data = -1L }
+      end
+      else if Malice.roll !(t.malice) Misaligned_offset then begin
+        Malice.record m Misaligned_offset;
+        (* Off-by-one identity: the FM's next, not-yet-issued tag. *)
+        { cqe with user_data = Int64.add cqe.user_data 1L }
+      end
       else cqe
 
 let tamper_cq_prod t =
@@ -51,26 +80,65 @@ let tamper_cq_prod t =
         Malice.record m Prod_overshoot;
         Malice.smash_prod t.cq
           (Rings.U32.add (Rings.Layout.read_prod t.cq) (t.cq.Rings.Layout.size + 9))
+      end;
+      if Malice.roll !(t.malice) Prod_regress then begin
+        Malice.record m Prod_regress;
+        Malice.smash_prod t.cq (Rings.U32.sub (Rings.Layout.read_prod t.cq) 2)
       end
 
+let tamper_sq_cons t =
+  match !(t.malice) with
+  | None -> ()
+  | Some m ->
+      if Malice.roll !(t.malice) Cons_overshoot then begin
+        Malice.record m Cons_overshoot;
+        Malice.smash_cons t.sq
+          (Rings.U32.add (Rings.Layout.read_prod t.sq) (t.sq.Rings.Layout.size + 5))
+      end;
+      if Malice.roll !(t.malice) Cons_regress then begin
+        Malice.record m Cons_regress;
+        Malice.smash_cons t.sq (Rings.U32.sub (Rings.Layout.read_cons t.sq) 3)
+      end
+
+(* Corrupt_packet on the io_uring path: flip bytes of the data a Read /
+   Recv just landed in the (untrusted) bounce buffer.  Table 2 leaves
+   data values unchecked (TLS territory) — RAKIS must survive, not
+   detect. *)
+let maybe_corrupt_buffer t (sqe : Abi.Uring_abi.sqe) res =
+  match (sqe.opcode, !(t.malice)) with
+  | (Abi.Uring_abi.Read | Abi.Uring_abi.Recv), Some m
+    when res > 0 && Malice.roll !(t.malice) Corrupt_packet ->
+      Malice.record m Corrupt_packet;
+      let n = 1 + Sim.Rng.int (Malice.rng m) 4 in
+      for _ = 1 to n do
+        let i = sqe.addr + Sim.Rng.int (Malice.rng m) res in
+        Mem.Region.set_u8 t.region i (Char.code (Sim.Rng.byte (Malice.rng m)))
+      done
+  | _ -> ()
+
 let post_cqe t cqe =
+  let honest_user_data = cqe.Abi.Uring_abi.user_data in
   let cqe = tamper_cqe t cqe in
   let ok =
-    Rings.Raw.produce t.cq ~write:(fun ~slot_off ->
+    Kring.produce t.kcq ~write:(fun ~slot_off ->
         Abi.Uring_abi.write_cqe t.cq.Rings.Layout.region slot_off cqe)
   in
-  if ok then t.completed <- t.completed + 1 else t.dropped <- t.dropped + 1;
+  if ok then begin
+    t.completed <- t.completed + 1;
+    t.last_user_data <- honest_user_data
+  end
+  else t.dropped <- t.dropped + 1;
   tamper_cq_prod t;
   Sim.Condition.broadcast t.cq_notify
 
 let worker t () =
   let rec drain () =
     let sqe =
-      Rings.Raw.consume t.sq ~read:(fun ~slot_off ->
+      Kring.consume t.ksq ~read:(fun ~slot_off ->
           Abi.Uring_abi.read_sqe t.sq.Rings.Layout.region slot_off)
     in
     match sqe with
-    | None -> ()
+    | None -> tamper_sq_cons t
     | Some (Error _) ->
         (* Unparseable SQE: the real kernel posts -EINVAL with whatever
            user_data it could read; we read none, so 0. *)
@@ -87,6 +155,7 @@ let worker t () =
         Sim.Engine.delay Sgx.Params.iouring_kernel_per_op;
         (match t.exec sqe with
         | Done res ->
+            maybe_corrupt_buffer t sqe res;
             post_cqe t { Abi.Uring_abi.user_data = sqe.user_data; res }
         | Blocking f ->
             (* Ops that may wait (recv, poll) run in their own kernel
@@ -96,11 +165,17 @@ let worker t () =
               ~name:(Printf.sprintf "uring%d-op" t.id)
               (fun () ->
                 let res = f () in
+                maybe_corrupt_buffer t sqe res;
                 post_cqe t { Abi.Uring_abi.user_data = sqe.user_data; res }));
         drain ()
   in
   let rec loop () =
     Sim.Condition.wait t.wake;
+    (* Kernel re-entry rewrites the shared index words from its private
+       cursors (see {!Kring}): smashes of kernel-owned indices are
+       transient. *)
+    Kring.publish_consumer t.ksq;
+    Kring.publish_producer t.kcq;
     drain ();
     loop ()
   in
@@ -121,6 +196,9 @@ let create engine ~alloc ~entries ~exec ~malice =
       engine;
       sq;
       cq;
+      ksq = Kring.consumer sq;
+      kcq = Kring.producer cq;
+      region = Mem.Alloc.region alloc;
       exec;
       malice;
       wake = Sim.Condition.create ();
@@ -128,6 +206,7 @@ let create engine ~alloc ~entries ~exec ~malice =
       submitted = 0;
       completed = 0;
       dropped = 0;
+      last_user_data = 0L;
     }
   in
   Sim.Engine.spawn engine ~name:(Printf.sprintf "uring%d-worker" t.id) (worker t);

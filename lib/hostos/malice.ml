@@ -11,19 +11,64 @@ type attack =
   | Cqe_bogus_res
   | Corrupt_packet
 
+type trigger =
+  | Probability of float
+  | Once of float
+  | At_step of int
+  | Burst of { first_step : int; last_step : int; probability : float }
+
+type arming = { trigger : trigger; mutable spent : bool }
+
 type t = {
   rng : Sim.Rng.t;
-  armed : (attack, float) Hashtbl.t;
+  armed : (attack, arming list ref) Hashtbl.t;
+  counts : (attack, int) Hashtbl.t;
   mutable fired : int;
+  mutable step : int;
 }
 
-let create ~seed = { rng = Sim.Rng.create ~seed; armed = Hashtbl.create 8; fired = 0 }
+let create ~seed =
+  {
+    rng = Sim.Rng.create ~seed;
+    armed = Hashtbl.create 8;
+    counts = Hashtbl.create 8;
+    fired = 0;
+    step = 0;
+  }
 
-let arm t ?(probability = 1.0) attack = Hashtbl.replace t.armed attack probability
+let install t attack arming =
+  match Hashtbl.find_opt t.armed attack with
+  | Some l -> l := !l @ [ arming ]
+  | None -> Hashtbl.replace t.armed attack (ref [ arming ])
+
+let arm t ?(probability = 1.0) attack =
+  (* Replace semantics: re-arming an always/probability attack resets
+     whatever schedule was installed before (test suites rely on it). *)
+  Hashtbl.replace t.armed attack
+    (ref [ { trigger = Probability probability; spent = false } ])
+
+let arm_once t ?(probability = 1.0) attack =
+  install t attack { trigger = Once probability; spent = false }
+
+let arm_at t ~step attack =
+  install t attack { trigger = At_step step; spent = false }
+
+let arm_burst t ~first_step ~last_step ?(probability = 1.0) attack =
+  install t attack
+    { trigger = Burst { first_step; last_step; probability }; spent = false }
 
 let disarm t attack = Hashtbl.remove t.armed attack
 
-let armed t attack = Hashtbl.mem t.armed attack
+let armed t attack =
+  match Hashtbl.find_opt t.armed attack with
+  | None -> false
+  | Some l -> List.exists (fun a -> not a.spent) !l
+
+let set_step t step = t.step <- step
+
+let step t = t.step
+
+let hit t p = p >= 1.0 || Sim.Rng.float t.rng 1.0 < p
 
 let roll t attack =
   match t with
@@ -31,13 +76,40 @@ let roll t attack =
   | Some t -> (
       match Hashtbl.find_opt t.armed attack with
       | None -> false
-      | Some p -> p >= 1.0 || Sim.Rng.float t.rng 1.0 < p)
+      | Some l ->
+          List.exists
+            (fun a ->
+              (not a.spent)
+              &&
+              match a.trigger with
+              | Probability p -> hit t p
+              | Once p ->
+                  if hit t p then begin
+                    a.spent <- true;
+                    true
+                  end
+                  else false
+              | At_step n ->
+                  if t.step >= n then begin
+                    a.spent <- true;
+                    true
+                  end
+                  else false
+              | Burst { first_step; last_step; probability } ->
+                  t.step >= first_step && t.step <= last_step
+                  && hit t probability)
+            !l)
 
 let rng t = t.rng
 
 let fired t = t.fired
 
-let record t _attack = t.fired <- t.fired + 1
+let record t attack =
+  t.fired <- t.fired + 1;
+  Hashtbl.replace t.counts attack
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts attack))
+
+let fired_of t attack = Option.value ~default:0 (Hashtbl.find_opt t.counts attack)
 
 let smash_prod layout v = Rings.Layout.write_prod layout v
 
@@ -58,17 +130,26 @@ let all_attacks =
     Corrupt_packet;
   ]
 
-let pp_attack ppf a =
-  Format.pp_print_string ppf
-    (match a with
-    | Prod_overshoot -> "prod-overshoot"
-    | Prod_regress -> "prod-regress"
-    | Cons_overshoot -> "cons-overshoot"
-    | Cons_regress -> "cons-regress"
-    | Bad_umem_offset -> "bad-umem-offset"
-    | Misaligned_offset -> "misaligned-offset"
-    | Foreign_frame -> "foreign-frame"
-    | Oversize_len -> "oversize-len"
-    | Cqe_wrong_user_data -> "cqe-wrong-user-data"
-    | Cqe_bogus_res -> "cqe-bogus-res"
-    | Corrupt_packet -> "corrupt-packet")
+let fired_counts t =
+  List.filter_map
+    (fun a ->
+      match fired_of t a with 0 -> None | n -> Some (a, n))
+    all_attacks
+
+let attack_name = function
+  | Prod_overshoot -> "prod-overshoot"
+  | Prod_regress -> "prod-regress"
+  | Cons_overshoot -> "cons-overshoot"
+  | Cons_regress -> "cons-regress"
+  | Bad_umem_offset -> "bad-umem-offset"
+  | Misaligned_offset -> "misaligned-offset"
+  | Foreign_frame -> "foreign-frame"
+  | Oversize_len -> "oversize-len"
+  | Cqe_wrong_user_data -> "cqe-wrong-user-data"
+  | Cqe_bogus_res -> "cqe-bogus-res"
+  | Corrupt_packet -> "corrupt-packet"
+
+let attack_of_string s =
+  List.find_opt (fun a -> String.equal (attack_name a) s) all_attacks
+
+let pp_attack ppf a = Format.pp_print_string ppf (attack_name a)

@@ -20,7 +20,14 @@
       "return code is expected for the requested operation" check;
     - [Corrupt_packet] mangles user data values, which Table 2
       deliberately does {e not} check (left to TLS) — RAKIS must stay
-      robust (not crash) but need not detect it. *)
+      robust (not crash) but need not detect it.
+
+    Beyond always-on/probabilistic arming, the Testing Module's campaign
+    engine installs {e schedules}: fire exactly once, fire at a given
+    campaign step, or fire with some probability inside a step window
+    ({!arm_once}, {!arm_at}, {!arm_burst}).  The campaign driver
+    advances the step counter with {!set_step}; kernel paths keep
+    calling {!roll} unchanged. *)
 
 type attack =
   | Prod_overshoot
@@ -41,11 +48,32 @@ val create : seed:int64 -> t
 
 val arm : t -> ?probability:float -> attack -> unit
 (** Make [attack] fire with the given probability (default 1.0) at each
-    opportunity. *)
+    opportunity.  Replaces any schedule previously installed for the
+    attack. *)
+
+val arm_once : t -> ?probability:float -> attack -> unit
+(** Fire at most once: each opportunity rolls with [probability]
+    (default 1.0 — fire at the very next opportunity); the arming is
+    spent on the first hit. *)
+
+val arm_at : t -> step:int -> attack -> unit
+(** Fire once at the first opportunity on or after campaign [step]
+    (see {!set_step}).  Deterministic: consumes no randomness. *)
+
+val arm_burst : t -> first_step:int -> last_step:int -> ?probability:float -> attack -> unit
+(** Fire with [probability] at every opportunity while the campaign
+    step is within [first_step..last_step] (inclusive). *)
 
 val disarm : t -> attack -> unit
+(** Remove every arming of [attack]. *)
 
 val armed : t -> attack -> bool
+(** Is any unspent arming installed for [attack]? *)
+
+val set_step : t -> int -> unit
+(** Advance the campaign step counter ({!arm_at}/{!arm_burst} clock). *)
+
+val step : t -> int
 
 val roll : t option -> attack -> bool
 (** Should the attack fire now?  [None] (no adversary) is never. *)
@@ -58,6 +86,13 @@ val fired : t -> int
 val record : t -> attack -> unit
 (** Called by kernel paths when they actually apply an attack. *)
 
+val fired_of : t -> attack -> int
+(** Tamperings actually performed for one specific attack. *)
+
+val fired_counts : t -> (attack * int) list
+(** All attacks that fired at least once, with their counts, in
+    {!all_attacks} order. *)
+
 (** {1 Standalone ring smashing (tests / model checker)} *)
 
 val smash_prod : Rings.Layout.t -> int -> unit
@@ -66,5 +101,11 @@ val smash_prod : Rings.Layout.t -> int -> unit
 val smash_cons : Rings.Layout.t -> int -> unit
 
 val all_attacks : attack list
+
+val attack_name : attack -> string
+(** Stable kebab-case name (the {!pp_attack} rendering). *)
+
+val attack_of_string : string -> attack option
+(** Inverse of {!attack_name}; [None] on unknown names. *)
 
 val pp_attack : Format.formatter -> attack -> unit

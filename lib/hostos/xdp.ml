@@ -9,6 +9,12 @@ type xsk = {
   rx : Rings.Layout.t;
   tx : Rings.Layout.t;
   compl_ : Rings.Layout.t;
+  (* The kernel's private cursors (a real kernel never re-reads its own
+     shared index word, so Malice smashes cannot poison these). *)
+  kfill : Kring.t;
+  krx : Kring.t;
+  ktx : Kring.t;
+  kcompl : Kring.t;
   umem : Mem.Ptr.t;
   umem_size : int;
   frame_size : int;
@@ -41,6 +47,10 @@ let create_xsk t ~alloc ~umem_size ~frame_size ~ring_size =
     rx;
     tx;
     compl_;
+    kfill = Kring.consumer fill;
+    krx = Kring.producer rx;
+    ktx = Kring.consumer tx;
+    kcompl = Kring.producer compl_;
     umem;
     umem_size;
     frame_size;
@@ -154,10 +164,10 @@ let rx_deliver t x frame =
   let frame = maybe_corrupt t frame in
   let len = Bytes.length frame in
   if len > x.frame_size then x.rx_dropped <- x.rx_dropped + 1
-  else if Rings.Raw.free x.rx <= 0 then x.rx_dropped <- x.rx_dropped + 1
+  else if Kring.free x.krx <= 0 then x.rx_dropped <- x.rx_dropped + 1
   else begin
     let offset =
-      Rings.Raw.consume x.fill ~read:(fun ~slot_off ->
+      Kring.consume x.kfill ~read:(fun ~slot_off ->
           Abi.Xsk_desc.decode_offset
             (Mem.Region.get_u64 x.fill.Rings.Layout.region slot_off))
     in
@@ -172,7 +182,7 @@ let rx_deliver t x frame =
           (x.umem.Mem.Ptr.off + offset) len;
         let desc = rx_descriptor t x ~offset ~len in
         let ok =
-          Rings.Raw.produce x.rx ~write:(fun ~slot_off ->
+          Kring.produce x.krx ~write:(fun ~slot_off ->
               Mem.Region.set_u64 x.rx.Rings.Layout.region slot_off desc)
         in
         if ok then x.rx_delivered <- x.rx_delivered + 1
@@ -186,7 +196,7 @@ let rx_deliver t x frame =
 let tx_drain t x =
   let rec loop () =
     let desc =
-      Rings.Raw.consume x.tx ~read:(fun ~slot_off ->
+      Kring.consume x.ktx ~read:(fun ~slot_off ->
           Abi.Xsk_desc.decode (Mem.Region.get_u64 x.tx.Rings.Layout.region slot_off))
     in
     match desc with
@@ -212,7 +222,7 @@ let tx_drain t x =
           | _ -> offset
         in
         ignore
-          (Rings.Raw.produce x.compl_ ~write:(fun ~slot_off ->
+          (Kring.produce x.kcompl ~write:(fun ~slot_off ->
                Mem.Region.set_u64 x.compl_.Rings.Layout.region slot_off
                  (Abi.Xsk_desc.encode_offset compl_off)));
         Sim.Condition.broadcast x.compl_notify;
@@ -239,9 +249,21 @@ let attach t ~nic ~queue ~prog ~xsk ~stack_fallback =
       | Drop -> ()
       | Redirect -> rx_deliver t xsk frame)
 
-let tx_wakeup _t x = Sim.Condition.signal x.tx_wake
+(* Wakeup syscalls re-enter the kernel, which rewrites the shared ring
+   words from its private cursors as a side effect — in a real kernel
+   the shared word always reflects kernel truth, so a Malice smash of a
+   kernel-owned index only survives until the next kernel visit. *)
+let republish x =
+  Kring.publish_consumer x.kfill;
+  Kring.publish_producer x.krx;
+  Kring.publish_consumer x.ktx;
+  Kring.publish_producer x.kcompl
 
-let rx_wakeup _t _x = ()
+let tx_wakeup _t x =
+  republish x;
+  Sim.Condition.signal x.tx_wake
+
+let rx_wakeup _t x = republish x
 
 let rx_notify x = x.rx_notify
 

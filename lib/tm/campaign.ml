@@ -1,0 +1,541 @@
+(* Deterministic adversarial campaign engine (Testing Module, §5).
+
+   A campaign run boots a full RAKIS-SGX machine (enclave, XDP/io_uring
+   kernel paths, Monitor Module) via {!Apps.Harness}, installs a
+   *schedule* of {!Hostos.Malice} attacks keyed to workload steps, and
+   drives a verifying end-to-end workload over one datapath:
+
+   - [Xsk]: the enclave runs a UDP echo server over the XSK fast path;
+     a native peer sends step-tagged datagrams and verifies the echoes.
+   - [Iouring]: the enclave performs file write/read-back cycles and a
+     TCP echo conversation with a native peer, both through the
+     SyncProxy / io_uring FM.
+
+   Everything is seeded, so any outcome — in particular any violation —
+   replays exactly from its [(seed, schedule)] pair; {!repro} prints the
+   pair as a copy-pasteable string and {!run_repro} replays it.
+
+   What counts as a violation is exactly the paper's Table 2 contract:
+   the enclave must never act on corrupted control data (wrong payload
+   delivered as if intact, broken ring invariant, out-of-range count).
+   Detected-and-refused operations (EPERM, rejected indices, dropped
+   frames) are the *correct* outcome under attack, and data-level
+   corruption ([Corrupt_packet]) is deliberately not detected by RAKIS
+   (TLS territory): payload mismatches while it is live are recorded as
+   tolerated, not violations. *)
+
+type datapath = Xsk | Iouring
+
+type entry =
+  | At of { step : int; attack : Hostos.Malice.attack }
+  | During of {
+      first : int;
+      last : int;
+      probability : float;
+      attack : Hostos.Malice.attack;
+    }
+
+type schedule = entry list
+
+type violation = { at_step : int; what : string }
+
+type outcome = {
+  datapath : datapath;
+  seed : int64;
+  budget : int;
+  schedule : schedule;
+  steps_run : int;
+  ok : int;  (* operations that completed and verified against the model *)
+  late_ok : int;  (* verified operations in the last quarter (recovery) *)
+  refused : int;  (* detected-and-refused operations (EPERM & friends) *)
+  lost : int;  (* timeouts / drops: availability, not integrity *)
+  tolerated : int;  (* payload mismatches while Corrupt_packet was live *)
+  fired : (Hostos.Malice.attack * int) list;
+  ring_rejects : int;
+  desc_rejects : int;
+  invariant_ok : bool;
+  violations : violation list;
+}
+
+let datapath_name = function Xsk -> "xsk" | Iouring -> "io_uring"
+
+let applicable = function
+  | Xsk ->
+      List.filter
+        (fun a ->
+          not
+            (List.mem a
+               Hostos.Malice.[ Cqe_wrong_user_data; Cqe_bogus_res ]))
+        Hostos.Malice.all_attacks
+  | Iouring -> Hostos.Malice.all_attacks
+
+let install_schedule m schedule =
+  List.iter
+    (function
+      | At { step; attack } -> Hostos.Malice.arm_at m ~step attack
+      | During { first; last; probability; attack } ->
+          Hostos.Malice.arm_burst m ~first_step:first ~last_step:last
+            ~probability attack)
+    schedule
+
+let campaign_config =
+  {
+    Rakis.Config.default with
+    ring_size = 32;
+    umem_size = 64 * 2048;
+    uring_entries = 64;
+    max_io_size = 4096;
+  }
+
+(* Mutable per-run verification state shared by the workload drivers. *)
+type state = {
+  mutable steps_run : int;
+  mutable ok : int;
+  mutable late_ok : int;
+  mutable refused : int;
+  mutable lost : int;
+  mutable tolerated : int;
+  mutable violations : violation list;
+  malice : Hostos.Malice.t;
+  budget : int;
+}
+
+let violate st ~step what = st.violations <- { at_step = step; what } :: st.violations
+
+let data_attack_live st =
+  Hostos.Malice.fired_of st.malice Hostos.Malice.Corrupt_packet > 0
+
+let good st ~step =
+  st.ok <- st.ok + 1;
+  if step >= 3 * st.budget / 4 then st.late_ok <- st.late_ok + 1
+
+let mismatch st ~step what =
+  if data_attack_live st then st.tolerated <- st.tolerated + 1
+  else violate st ~step what
+
+(* {1 XSK datapath: UDP echo with step-tagged datagrams} *)
+
+let tag_of payload =
+  if Bytes.length payload >= 8 then
+    int_of_string_opt (Bytes.sub_string payload 0 8)
+  else None
+
+let mk_datagram step =
+  let len = 64 + (step * 13 mod 192) in
+  let b = Bytes.create len in
+  Bytes.blit_string (Printf.sprintf "%08d" (step mod 100_000_000)) 0 b 0 8;
+  for i = 8 to len - 1 do
+    Bytes.set b i (Char.chr (((step * 31) + i) land 0xff))
+  done;
+  b
+
+let xsk_port = 7
+
+let run_xsk_workload (h : Apps.Harness.t) st =
+  (* Enclave-side echo server over the XSK fast path. *)
+  Sim.Engine.spawn h.engine (fun () ->
+      let api = Apps.Harness.api h in
+      let fd = api.Libos.Api.udp_socket () in
+      ignore (api.Libos.Api.bind fd (campaign_config.Rakis.Config.ip, xsk_port));
+      let rec loop () =
+        match api.Libos.Api.recvfrom fd 4096 with
+        | Ok (payload, src) ->
+            ignore (api.Libos.Api.sendto fd payload src);
+            loop ()
+        | Error _ -> ()
+      in
+      loop ());
+  (* Native peer client: one tagged datagram per step, verified echo. *)
+  Sim.Engine.spawn h.engine (fun () ->
+      Sim.Engine.delay (Sim.Cycles.of_us 50.);
+      let peer = h.peer in
+      let fd = peer.Libos.Api.udp_socket () in
+      let dst = (campaign_config.Rakis.Config.ip, xsk_port) in
+      for step = 0 to st.budget - 1 do
+        Hostos.Malice.set_step st.malice step;
+        let payload = mk_datagram step in
+        (match peer.Libos.Api.sendto fd payload dst with
+        | Error _ -> st.refused <- st.refused + 1
+        | Ok _ ->
+            (* Wait for the echo; a stale echo of an earlier timed-out
+               step is drained and ignored (availability, not
+               integrity). *)
+            let rec collect tries =
+              if tries = 0 then st.lost <- st.lost + 1
+              else
+                match
+                  peer.Libos.Api.poll
+                    [ (fd, [ `In ]) ]
+                    ~timeout:(Some (Sim.Cycles.of_us 300.))
+                with
+                | Ok [] | Error _ -> st.lost <- st.lost + 1
+                | Ok _ -> (
+                    match peer.Libos.Api.recvfrom fd 4096 with
+                    | Error _ -> st.lost <- st.lost + 1
+                    | Ok (reply, _) ->
+                        if Bytes.equal reply payload then good st ~step
+                        else
+                          (match tag_of reply with
+                          | Some t when t < step -> collect (tries - 1)
+                          | _ ->
+                              mismatch st ~step
+                                (Printf.sprintf
+                                   "udp echo mismatch (%d bytes)"
+                                   (Bytes.length reply))))
+            in
+            collect 3);
+        st.steps_run <- st.steps_run + 1
+      done;
+      Apps.Harness.stop h)
+
+(* {1 io_uring datapath: file write/read-back + TCP echo via SyncProxy} *)
+
+let block_size = 64
+
+let n_slots = 8
+
+let mk_block step =
+  Bytes.init block_size (fun i -> Char.chr (((step * 17) + i) land 0xff))
+
+let mk_tcp_msg step =
+  let b = Bytes.create 32 in
+  Bytes.blit_string (Printf.sprintf "%08d" (step mod 100_000_000)) 0 b 0 8;
+  for i = 8 to 31 do
+    Bytes.set b i (Char.chr (((step * 7) + i) land 0xff))
+  done;
+  b
+
+let tcp_port = 9212
+
+let run_iouring_workload (h : Apps.Harness.t) st =
+  (* Native peer: TCP echo server with an accept loop (the enclave
+     reconnects after any refused stream operation). *)
+  Sim.Engine.spawn h.engine (fun () ->
+      let peer = h.peer in
+      let l = peer.Libos.Api.tcp_socket () in
+      ignore (peer.Libos.Api.bind l (Hostos.Kernel.client_ip h.kernel, tcp_port));
+      ignore (peer.Libos.Api.listen l);
+      let rec serve () =
+        match peer.Libos.Api.accept l with
+        | Error _ -> ()
+        | Ok c ->
+            Sim.Engine.spawn h.engine (fun () ->
+                let buf = Bytes.create 256 in
+                let rec echo () =
+                  match peer.Libos.Api.recv c buf 0 256 with
+                  | Ok n when n > 0 ->
+                      ignore (peer.Libos.Api.send c buf 0 n);
+                      echo ()
+                  | Ok _ | Error _ -> ignore (peer.Libos.Api.close c)
+                in
+                echo ());
+            serve ()
+      in
+      serve ());
+  (* Enclave: alternate a verified file slot-cycle and a verified TCP
+     round trip, every operation via the io_uring FM / SyncProxy. *)
+  Sim.Engine.spawn h.engine (fun () ->
+      Sim.Engine.delay (Sim.Cycles.of_us 50.);
+      let api = Apps.Harness.api h in
+      (* Golden in-enclave file model: EPERM means the kernel *did*
+         execute the operation (only the completion was refused), so
+         the model applies the write; EAGAIN means it never reached the
+         ring. *)
+      let model = Bytes.make (n_slots * block_size) '\000' in
+      let high = ref 0 in
+      let fd =
+        match api.Libos.Api.openf ~create:true ~trunc:true "campaign.dat" with
+        | Ok fd -> fd
+        | Error _ -> -1
+      in
+      let tcp = ref None in
+      let tcp_connect () =
+        let s = api.Libos.Api.tcp_socket () in
+        match
+          api.Libos.Api.connect s (Hostos.Kernel.client_ip h.kernel, tcp_port)
+        with
+        | Ok () -> tcp := Some s
+        | Error _ -> ignore (api.Libos.Api.close s)
+      in
+      let tcp_reset s =
+        ignore (api.Libos.Api.close s);
+        tcp := None
+      in
+      let file_step step =
+        let slot = step mod n_slots in
+        let off = slot * block_size in
+        let data = mk_block step in
+        let apply_model () =
+          Bytes.blit data 0 model off block_size;
+          high := max !high (off + block_size)
+        in
+        (match api.Libos.Api.lseek fd off with Ok _ -> () | Error _ -> ());
+        (match api.Libos.Api.write fd data 0 block_size with
+        | Ok n when n > 0 ->
+            Bytes.blit data 0 model off n;
+            high := max !high (off + n)
+        | Ok _ -> st.refused <- st.refused + 1
+        | Error Abi.Errno.EPERM ->
+            st.refused <- st.refused + 1;
+            apply_model ()
+        | Error _ -> st.refused <- st.refused + 1);
+        match api.Libos.Api.lseek fd off with
+        | Error _ -> st.refused <- st.refused + 1
+        | Ok _ -> (
+            let buf = Bytes.create block_size in
+            match api.Libos.Api.read fd buf 0 block_size with
+            | Error _ -> st.refused <- st.refused + 1
+            | Ok n ->
+                let expected = max 0 (min block_size (!high - off)) in
+                if n <> expected then
+                  mismatch st ~step
+                    (Printf.sprintf "file read length %d, expected %d" n
+                       expected)
+                else if Bytes.sub buf 0 n = Bytes.sub model off n then
+                  good st ~step
+                else mismatch st ~step "file read-back mismatch")
+      in
+      let tcp_step step =
+        if !tcp = None then tcp_connect ();
+        match !tcp with
+        | None -> st.lost <- st.lost + 1
+        | Some s -> (
+            let msg = mk_tcp_msg step in
+            match api.Libos.Api.send s msg 0 32 with
+            | Ok 0 | Error Abi.Errno.EAGAIN ->
+                (* Never reached the ring: no reply will come. *)
+                st.refused <- st.refused + 1
+            | Error _ ->
+                st.refused <- st.refused + 1;
+                tcp_reset s
+            | Ok _ -> (
+                let buf = Bytes.create 32 in
+                let rec fill got tries =
+                  if got >= 32 || tries = 0 then got
+                  else
+                    match api.Libos.Api.recv s buf got (32 - got) with
+                    | Ok n when n > 0 -> fill (got + n) (tries - 1)
+                    | Ok _ | Error _ -> got
+                in
+                match api.Libos.Api.recv s buf 0 32 with
+                | Error _ ->
+                    (* Refused completion: the reply bytes were consumed
+                       by the kernel but discarded by the FM — resync by
+                       reconnecting. *)
+                    st.refused <- st.refused + 1;
+                    tcp_reset s
+                | Ok n ->
+                    let got = if n < 32 then fill n 8 else n in
+                    if got <> 32 then begin
+                      st.refused <- st.refused + 1;
+                      tcp_reset s
+                    end
+                    else if Bytes.equal buf msg then good st ~step
+                    else begin
+                      mismatch st ~step "tcp echo mismatch";
+                      tcp_reset s
+                    end))
+      in
+      for step = 0 to st.budget - 1 do
+        Hostos.Malice.set_step st.malice step;
+        if step land 1 = 0 then file_step step else tcp_step step;
+        st.steps_run <- st.steps_run + 1
+      done;
+      (match !tcp with Some s -> ignore (api.Libos.Api.close s) | None -> ());
+      Apps.Harness.stop h)
+
+(* {1 Running} *)
+
+let run ~datapath ~seed ?(budget = 64) schedule =
+  match
+    Apps.Harness.make Libos.Env.Rakis_sgx ~rakis_config:campaign_config ()
+  with
+  | Error e -> failwith ("campaign: harness boot failed: " ^ e)
+  | Ok h ->
+      let malice = Hostos.Malice.create ~seed in
+      install_schedule malice schedule;
+      Hostos.Kernel.set_malice h.kernel (Some malice);
+      let st =
+        {
+          steps_run = 0;
+          ok = 0;
+          late_ok = 0;
+          refused = 0;
+          lost = 0;
+          tolerated = 0;
+          violations = [];
+          malice;
+          budget;
+        }
+      in
+      (match datapath with
+      | Xsk -> run_xsk_workload h st
+      | Iouring -> run_iouring_workload h st);
+      let horizon =
+        Int64.add (Sim.Cycles.of_ms 50.)
+          (Int64.mul (Int64.of_int budget) (Sim.Cycles.of_ms 2.))
+      in
+      (try Apps.Harness.run h ~until:horizon
+       with exn ->
+         violate st ~step:st.steps_run
+           ("workload crashed: " ^ Printexc.to_string exn));
+      if st.steps_run < budget then
+        (* The engine drained or hit the horizon before the driver
+           finished: an availability stall is a campaign failure too —
+           it would otherwise hide violations in the unexecuted tail. *)
+        violate st ~step:st.steps_run
+          (Printf.sprintf "stalled after %d/%d steps" st.steps_run budget);
+      let ring_rejects, desc_rejects, invariant_ok =
+        match Libos.Env.runtime h.env with
+        | Some rt ->
+            ( Rakis.Runtime.total_ring_check_failures rt,
+              Rakis.Runtime.total_desc_rejects rt,
+              Rakis.Runtime.invariant_holds rt )
+        | None -> (0, 0, false)
+      in
+      {
+        datapath;
+        seed;
+        budget;
+        schedule;
+        steps_run = st.steps_run;
+        ok = st.ok;
+        late_ok = st.late_ok;
+        refused = st.refused;
+        lost = st.lost;
+        tolerated = st.tolerated;
+        fired = Hostos.Malice.fired_counts malice;
+        ring_rejects;
+        desc_rejects;
+        invariant_ok;
+        violations = List.rev st.violations;
+      }
+
+let failed (o : outcome) = o.violations <> [] || not o.invariant_ok
+
+(* {1 Schedule generation} *)
+
+let soup ~datapath ~seed ?(entries = 16) ~budget () =
+  let rng = Sim.Rng.create ~seed in
+  let attacks = Array.of_list (applicable datapath) in
+  List.init entries (fun _ ->
+      let attack = Sim.Rng.pick rng attacks in
+      if Sim.Rng.int rng 4 = 0 then
+        let first = Sim.Rng.int rng (max 1 (budget / 2)) in
+        let last = first + 1 + Sim.Rng.int rng (max 1 (budget / 4)) in
+        During { first; last; probability = 0.3; attack }
+      else At { step = Sim.Rng.int rng (max 1 budget); attack })
+
+let pairs attacks =
+  let rec go = function
+    | [] -> []
+    | a :: rest -> List.map (fun b -> (a, b)) rest @ go rest
+  in
+  go attacks
+
+(* {1 Repro strings} *)
+
+let entry_to_string = function
+  | At { step; attack } ->
+      Printf.sprintf "%d=%s" step (Hostos.Malice.attack_name attack)
+  | During { first; last; probability; attack } ->
+      Printf.sprintf "%d..%d@%g=%s" first last probability
+        (Hostos.Malice.attack_name attack)
+
+let repro (o : outcome) =
+  Printf.sprintf "%s:%Ld:%d:%s" (datapath_name o.datapath) o.seed o.budget
+    (String.concat ";" (List.map entry_to_string o.schedule))
+
+let parse_entry s =
+  match String.index_opt s '=' with
+  | None -> Error (Printf.sprintf "bad schedule entry %S" s)
+  | Some eq -> (
+      let where = String.sub s 0 eq in
+      let name = String.sub s (eq + 1) (String.length s - eq - 1) in
+      match Hostos.Malice.attack_of_string name with
+      | None -> Error (Printf.sprintf "unknown attack %S" name)
+      | Some attack -> (
+          match String.index_opt where '.' with
+          | None -> (
+              match int_of_string_opt where with
+              | Some step -> Ok (At { step; attack })
+              | None -> Error (Printf.sprintf "bad step %S" where))
+          | Some _ -> (
+              match
+                Scanf.sscanf_opt where "%d..%d@%g" (fun first last p ->
+                    (first, last, p))
+              with
+              | Some (first, last, probability) ->
+                  Ok (During { first; last; probability; attack })
+              | None -> Error (Printf.sprintf "bad burst %S" where))))
+
+let parse_repro s =
+  match String.split_on_char ':' s with
+  | [ dp; seed; budget; entries ] -> (
+      let datapath =
+        match dp with
+        | "xsk" -> Some Xsk
+        | "io_uring" -> Some Iouring
+        | _ -> None
+      in
+      match (datapath, Int64.of_string_opt seed, int_of_string_opt budget) with
+      | Some datapath, Some seed, Some budget ->
+          let parts =
+            if entries = "" then []
+            else String.split_on_char ';' entries
+          in
+          let rec collect acc = function
+            | [] -> Ok (List.rev acc)
+            | p :: rest -> (
+                match parse_entry p with
+                | Ok e -> collect (e :: acc) rest
+                | Error _ as e -> e)
+          in
+          Result.map
+            (fun schedule -> (datapath, seed, budget, schedule))
+            (collect [] parts)
+      | _ -> Error (Printf.sprintf "bad repro header in %S" s))
+  | _ -> Error (Printf.sprintf "bad repro string %S" s)
+
+let run_repro s =
+  Result.map
+    (fun (datapath, seed, budget, schedule) ->
+      run ~datapath ~seed ~budget schedule)
+    (parse_repro s)
+
+(* {1 Shrinking a failing campaign} *)
+
+let shrink_failure (o : outcome) =
+  Shrink.minimize
+    ~fails:(fun schedule ->
+      failed (run ~datapath:o.datapath ~seed:o.seed ~budget:o.budget schedule))
+    o.schedule
+
+(* {1 Reporting} *)
+
+let pp_schedule ppf s =
+  Format.pp_print_string ppf (String.concat ";" (List.map entry_to_string s))
+
+let pp_outcome ppf (o : outcome) =
+  Format.fprintf ppf
+    "@[<v>campaign %s seed=%Ld budget=%d schedule=[%a]@,\
+     steps=%d ok=%d late_ok=%d refused=%d lost=%d tolerated=%d@,\
+     ring_rejects=%d desc/cqe_rejects=%d invariant=%b@,\
+     fired: %s@,\
+     %s@]"
+    (datapath_name o.datapath) o.seed o.budget pp_schedule o.schedule
+    o.steps_run o.ok o.late_ok o.refused o.lost o.tolerated o.ring_rejects
+    o.desc_rejects o.invariant_ok
+    (if o.fired = [] then "(none)"
+     else
+       String.concat ", "
+         (List.map
+            (fun (a, n) ->
+              Printf.sprintf "%s x%d" (Hostos.Malice.attack_name a) n)
+            o.fired))
+    (if o.violations = [] then "no violations"
+     else
+       String.concat "; "
+         (List.map
+            (fun v -> Printf.sprintf "VIOLATION step %d: %s" v.at_step v.what)
+            o.violations))

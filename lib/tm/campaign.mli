@@ -1,0 +1,88 @@
+(** Deterministic adversarial campaign engine (Testing Module, §5).
+
+    Runs full enclave↔host simulations — XSK UDP echo, io_uring
+    file/TCP workloads via the SyncProxy, Monitor-driven wakeups —
+    under {e schedules} of {!Hostos.Malice} attacks: single attacks
+    pinned to a step, pairwise combinations, or RNG-driven soups.
+    Every run is seeded and the simulator is deterministic, so any
+    outcome replays exactly from its [(seed, schedule)] pair.
+
+    Violations are Table 2 contract breaches only: a broken certified
+    invariant, corrupted data acted on as if intact, an out-of-range
+    transfer count, or a stalled workload.  Detected refusals (EPERM,
+    rejected indices, dropped frames) and data-level corruption while
+    [Corrupt_packet] is live (deliberately unchecked by RAKIS — TLS
+    territory) are counted separately, not as violations. *)
+
+type datapath = Xsk | Iouring
+
+type entry =
+  | At of { step : int; attack : Hostos.Malice.attack }
+      (** fire once at the first opportunity on or after [step] *)
+  | During of {
+      first : int;
+      last : int;
+      probability : float;
+      attack : Hostos.Malice.attack;
+    }  (** burst window: fire with [probability] while inside it *)
+
+type schedule = entry list
+
+type violation = { at_step : int; what : string }
+
+type outcome = {
+  datapath : datapath;
+  seed : int64;
+  budget : int;  (** workload steps driven *)
+  schedule : schedule;
+  steps_run : int;
+  ok : int;  (** operations verified against the golden model *)
+  late_ok : int;  (** verified operations in the last quarter (recovery) *)
+  refused : int;  (** detected-and-refused operations *)
+  lost : int;  (** timeouts / drops (availability, not integrity) *)
+  tolerated : int;  (** mismatches while a data-level attack was live *)
+  fired : (Hostos.Malice.attack * int) list;
+  ring_rejects : int;  (** certified index-check rejections *)
+  desc_rejects : int;  (** descriptor/UMem + CQE rejections *)
+  invariant_ok : bool;
+  violations : violation list;
+}
+
+val run :
+  datapath:datapath -> seed:int64 -> ?budget:int -> schedule -> outcome
+(** Boot a fresh RAKIS-SGX machine, install the schedule, drive
+    [budget] (default 64) verifying workload steps, and collect the
+    outcome. *)
+
+val failed : outcome -> bool
+
+val applicable : datapath -> Hostos.Malice.attack list
+(** The attacks whose kernel tampering hooks lie on this datapath (the
+    two CQE forgeries have no XSK-side hook; everything else applies to
+    both). *)
+
+val soup :
+  datapath:datapath -> seed:int64 -> ?entries:int -> budget:int -> unit -> schedule
+(** Seeded random schedule mixing pinned steps and burst windows over
+    the datapath's applicable attacks. *)
+
+val pairs : 'a list -> ('a * 'a) list
+(** All unordered pairs, for pairwise campaigns. *)
+
+val repro : outcome -> string
+(** Copy-pasteable replay token:
+    ["<datapath>:<seed>:<budget>:<step>=<attack>;<a>..<b>@<p>=<attack>;…"]
+    — feed it to {!run_repro} or [tm_verify --replay]. *)
+
+val parse_repro :
+  string -> (datapath * int64 * int * schedule, string) result
+
+val run_repro : string -> (outcome, string) result
+
+val shrink_failure : outcome -> entry Shrink.result
+(** Greedily minimize a failing outcome's schedule (re-running the full
+    campaign per candidate) to a minimal still-failing repro. *)
+
+val pp_schedule : Format.formatter -> schedule -> unit
+
+val pp_outcome : Format.formatter -> outcome -> unit

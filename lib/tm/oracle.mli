@@ -1,0 +1,53 @@
+(** Differential ring oracle: certified vs naive vs a golden model.
+
+    Replays one seeded schedule of honest ring traffic plus strictly
+    illegal index smashes against a {!Rings.Certified} endpoint, a
+    {!Rings.Naive} endpoint (the §5 libxdp/liburing case-study port)
+    and a golden in-enclave FIFO model, in both enclave roles and both
+    datapath ring shapes.  The certified endpoint must either agree
+    with the model or reject with a recorded violation — a divergence
+    without a rejection is {e silent} and fails the oracle.  Naive
+    divergences are expected; their failing schedules feed the
+    {!Shrink} demonstration. *)
+
+type shape = Xsk_shape | Iouring_shape
+
+type dir = Enclave_consumer | Enclave_producer
+
+type event =
+  | Produce  (** honest production (host or enclave, per direction) *)
+  | Consume  (** honest consumption by the opposite side *)
+  | Probe  (** availability / free-slot probe with range checks *)
+  | Smash_over of int  (** strictly-illegal overshoot of the peer index *)
+  | Smash_back of int  (** regression behind the validated trusted copy *)
+
+type report = {
+  shape : shape;
+  seed : int64;
+  steps : int;
+  injected : int;  (** hostile index writes *)
+  cert_rejections : int;
+  naive_divergences : int;
+  silent_divergences : int;  (** certified divergence without rejection: must be 0 *)
+  moved : int;  (** values verified end-to-end through the certified rings *)
+}
+
+val run : ?shape:shape -> ?seed:int64 -> ?steps:int -> unit -> report
+(** Replay [steps] (default 10000) events, split across the two
+    enclave roles, against all three implementations. *)
+
+val passed : report -> bool
+(** Zero silent divergences. *)
+
+val gen_soup : seed:int64 -> steps:int -> event list
+(** A seeded random event schedule (multi-attack: ~10% smashes). *)
+
+val naive_consumer_fails : ?shape:shape -> event list -> bool
+(** Deterministic replay predicate for {!Shrink}: does this schedule
+    make a fresh naive consumer diverge? *)
+
+val shape_name : shape -> string
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp_report : Format.formatter -> report -> unit

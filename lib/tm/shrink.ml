@@ -1,0 +1,53 @@
+(* Greedy trace shrinker (ddmin-lite).
+
+   Given a failing trace and a predicate that replays a candidate trace
+   and reports whether it still fails, repeatedly delete chunks —
+   halving the chunk size down to single elements — until no single
+   deletion preserves the failure.  The result is 1-minimal: removing
+   any one remaining element makes the failure disappear.  Replay
+   determinism (seeded RNGs everywhere in the TM) is what makes the
+   predicate meaningful. *)
+
+type 'a result = {
+  trace : 'a list;  (* the minimized failing trace *)
+  original : int;  (* length of the input trace *)
+  tests : int;  (* predicate evaluations spent *)
+}
+
+let remove_slice l start len =
+  List.filteri (fun i _ -> i < start || i >= start + len) l
+
+let minimize ?(max_tests = 10_000) ~fails trace =
+  let tests = ref 0 in
+  let try_fails c =
+    incr tests;
+    !tests <= max_tests && fails c
+  in
+  let original = List.length trace in
+  let rec shrink chunk trace =
+    let changed = ref false in
+    let cur = ref trace in
+    let start = ref 0 in
+    while !start < List.length !cur do
+      let cand = remove_slice !cur !start chunk in
+      if cand <> [] && List.length cand < List.length !cur && try_fails cand
+      then begin
+        (* Keep [start] in place: the next chunk slid into position. *)
+        cur := cand;
+        changed := true
+      end
+      else start := !start + chunk
+    done;
+    if !changed then shrink chunk !cur
+    else if chunk > 1 then shrink (chunk / 2) !cur
+    else !cur
+  in
+  if original = 0 || not (try_fails trace) then
+    { trace; original; tests = !tests }
+  else
+    let trace = shrink (max 1 (original / 2)) trace in
+    { trace; original; tests = !tests }
+
+let ratio r =
+  if r.trace = [] then 1.0
+  else float_of_int r.original /. float_of_int (List.length r.trace)

@@ -1,0 +1,26 @@
+(** Greedy trace shrinker for the Testing Module.
+
+    Reduces a failing schedule to a minimal reproducing one by repeated
+    chunk deletion (a ddmin-style pass: chunk sizes halve from half the
+    trace down to single elements, re-running the deterministic replay
+    predicate after each candidate deletion).  The result is 1-minimal:
+    deleting any single remaining step no longer reproduces the
+    failure. *)
+
+type 'a result = {
+  trace : 'a list;  (** the minimized failing trace *)
+  original : int;  (** length of the input trace *)
+  tests : int;  (** predicate evaluations spent *)
+}
+
+val minimize :
+  ?max_tests:int -> fails:('a list -> bool) -> 'a list -> 'a result
+(** [minimize ~fails trace] assumes [fails trace = true] (if not, the
+    input is returned unchanged).  [fails] must be deterministic —
+    replay any seeded RNG from scratch on every call.  At most
+    [max_tests] (default 10000) predicate evaluations are spent; on
+    exhaustion the best trace found so far is returned (still
+    failing). *)
+
+val ratio : 'a result -> float
+(** Shrink ratio: original length / minimized length. *)

@@ -13,6 +13,8 @@ let () =
       ("libos", Test_libos.suite);
       ("apps", Test_apps.suite);
       ("tm", Test_tm.suite);
+      ("campaign", Test_campaign.suite);
+      ("monitor", Test_monitor.suite);
       ("tunnel", Test_tunnel.suite);
       ("stress", Test_stress.suite);
       ("misc", Test_misc.suite);

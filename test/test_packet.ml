@@ -377,6 +377,58 @@ let prop_checksum_detects_single_flip =
       Bytes.set with_cksum i (Char.chr (Char.code (Bytes.get with_cksum i) lxor 1));
       not (Checksum.valid with_cksum 0 n))
 
+let prop_checksum_incremental_chaining =
+  (* Summing a prefix and feeding the folded result through [~init] for
+     the suffix must equal the one-shot sum — the incremental pattern
+     the tx path uses (header sum chained into the payload sum).  The
+     split point must be even: RFC 1071's trailing-byte pad only applies
+     at the true end of the data. *)
+  QCheck.Test.make ~name:"checksum: incremental ~init chaining == one-shot"
+    ~count:2000
+    (QCheck.make
+       QCheck.Gen.(pair (map Bytes.of_string (string_size (0 -- 300))) (0 -- 300)))
+    (fun (b, split) ->
+      let n = Bytes.length b in
+      let k = min n split land lnot 1 in
+      Checksum.ones_sum ~init:(Checksum.ones_sum b 0 k) b k (n - k)
+      = Checksum.ones_sum b 0 n)
+
+let prop_checksum_odd_pad_equivalence =
+  (* An odd-length buffer sums exactly as if zero-padded to even length
+     (RFC 1071's virtual trailing zero byte). *)
+  QCheck.Test.make ~name:"checksum: odd length == explicit zero pad"
+    ~count:1000
+    (QCheck.make QCheck.Gen.(map Bytes.of_string (string_size (1 -- 129))))
+    (fun b ->
+      let b = if Bytes.length b mod 2 = 0 then Bytes.sub b 0 (Bytes.length b - 1) else b in
+      let n = Bytes.length b in
+      let padded = Bytes.cat b (Bytes.make 1 '\000') in
+      Checksum.compute b 0 n = Checksum.compute padded 0 (n + 1)
+      && Checksum.ones_sum b 0 n = Checksum.ones_sum padded 0 (n + 1))
+
+let prop_checksum_carries_fold =
+  (* Both implementations fold end-around carries completely: any bytes
+     and any (even absurdly large) initial sum give a 16-bit result, and
+     embedding [compute]'s output makes the region verify. *)
+  QCheck.Test.make ~name:"checksum: carries fold to 16 bits, compute/valid roundtrip"
+    ~count:1000
+    (QCheck.make
+       QCheck.Gen.(
+         pair (map Bytes.of_string (string_size (0 -- 200))) (0 -- 0xFFFFFF)))
+    (fun (b, init) ->
+      let n = Bytes.length b in
+      let s = Checksum.ones_sum ~init b 0 n in
+      let s' = Checksum.ones_sum_scalar ~init b 0 n in
+      (* The embedded field must sit at an even offset (as in every real
+         header): pad odd buffers before appending it. *)
+      let b = if n mod 2 = 1 then Bytes.cat b (Bytes.make 1 '\000') else b in
+      let n' = Bytes.length b in
+      let with_cksum = Bytes.cat b (Bytes.make 2 '\000') in
+      Bytes.set_uint16_be with_cksum n' (Checksum.compute with_cksum 0 (n' + 2));
+      s = s' && s >= 0 && s < 0x10000
+      && Checksum.finish s < 0x10000
+      && Checksum.valid with_cksum 0 (n' + 2))
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -385,6 +437,9 @@ let props =
       prop_parsers_total;
       prop_checksum_word_equals_scalar;
       prop_checksum_detects_single_flip;
+      prop_checksum_incremental_chaining;
+      prop_checksum_odd_pad_equivalence;
+      prop_checksum_carries_fold;
     ]
 
 let suite =

@@ -554,9 +554,65 @@ let prop_raw_fifo =
                 | None -> false))
         script)
 
+let u32_pair = QCheck.make QCheck.Gen.(pair (0 -- U32.mask) (0 -- U32.mask))
+
+let prop_u32_add_sub_inverse =
+  QCheck.Test.make ~name:"u32: sub inverts add for any operands" ~count:2000
+    u32_pair
+    (fun (a, b) -> U32.sub (U32.add a b) b = a && U32.add (U32.sub a b) b = a)
+
+let prop_u32_results_in_range =
+  QCheck.Test.make ~name:"u32: every result stays within [0, mask]"
+    ~count:2000 u32_pair
+    (fun (a, b) ->
+      let in_range v = v >= 0 && v <= U32.mask in
+      in_range (U32.add a b)
+      && in_range (U32.sub a b)
+      && in_range (U32.succ a)
+      && in_range (U32.distance ~ahead:a ~behind:b))
+
+let prop_u32_distance_antisymmetric =
+  (* d(a,b) + d(b,a) = 0 (mod 2^32): the two directions around the ring
+     are complements. *)
+  QCheck.Test.make ~name:"u32: distance is antisymmetric mod 2^32"
+    ~count:2000 u32_pair
+    (fun (a, b) ->
+      U32.add
+        (U32.distance ~ahead:a ~behind:b)
+        (U32.distance ~ahead:b ~behind:a)
+      = 0)
+
+let prop_u32_distance_shift_invariant =
+  (* Shifting both cursors by the same amount — in particular across the
+     2^32 wrap — leaves their distance unchanged.  This is the property
+     every certified window check relies on. *)
+  QCheck.Test.make ~name:"u32: distance invariant under common shifts"
+    ~count:2000
+    (QCheck.make
+       QCheck.Gen.(pair (pair (0 -- U32.mask) (0 -- U32.mask)) (0 -- U32.mask)))
+    (fun ((a, b), k) ->
+      U32.distance ~ahead:(U32.add a k) ~behind:(U32.add b k)
+      = U32.distance ~ahead:a ~behind:b)
+
+let prop_u32_succ_is_add_one =
+  QCheck.Test.make ~name:"u32: succ = add 1, wrapping at mask" ~count:2000
+    (QCheck.make QCheck.Gen.(0 -- U32.mask))
+    (fun a ->
+      U32.succ a = U32.add a 1
+      && (a <> U32.mask || U32.succ a = 0)
+      && U32.distance ~ahead:(U32.succ a) ~behind:a = 1)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_certified_invariant_any_smash; prop_raw_fifo ]
+    [
+      prop_certified_invariant_any_smash;
+      prop_raw_fifo;
+      prop_u32_add_sub_inverse;
+      prop_u32_results_in_range;
+      prop_u32_distance_antisymmetric;
+      prop_u32_distance_shift_invariant;
+      prop_u32_succ_is_add_one;
+    ]
 
 let suite =
   [

@@ -2,10 +2,28 @@ type series = (string * (string * float) list) list
 
 let envs = Libos.Env.all
 
+(* The most recent RAKIS harness booted by [harness]: [main.exe
+   --metrics <target>] dumps its registry after the target runs. *)
+let last_rakis : Apps.Harness.t option ref = ref None
+
 let harness ?rakis_config ?nic_queues kind =
   match Apps.Harness.make kind ?rakis_config ?nic_queues () with
-  | Ok h -> h
+  | Ok h ->
+      if Option.is_some (Libos.Env.runtime h.Apps.Harness.env) then
+        last_rakis := Some h;
+      h
   | Error e -> failwith (Libos.Env.kind_name kind ^ ": " ^ e)
+
+let dump_metrics () =
+  match !last_rakis with
+  | None -> Format.printf "@.(no RAKIS environment ran; no metrics to dump)@."
+  | Some h -> (
+      match Libos.Env.runtime h.Apps.Harness.env with
+      | None -> ()
+      | Some rt ->
+          Format.printf "@.== metrics (last RAKIS harness of the run) ==@.%a@."
+            Obs.Metrics.pp
+            (Obs.metrics (Rakis.Runtime.obs rt)))
 
 let print_header title =
   Format.printf "@.=== %s ===@." title
@@ -122,7 +140,7 @@ let table2 () =
       { Rakis.Config.default with ring_size = 64; umem_size = 256 * 2048 }
     in
     let runtime = Result.get_ok (Rakis.Runtime.boot kernel ~sgx:true ~config ()) in
-    let m = Hostos.Malice.create ~seed:5L in
+    let m = Hostos.Malice.create ~seed:5L () in
     Hostos.Malice.arm m ~probability:0.3 attack;
     Hostos.Kernel.set_malice kernel (Some m);
     let client = Libos.Hostapi.native kernel in

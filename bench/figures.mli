@@ -58,6 +58,11 @@ val ablation : unit -> unit
       (Gramine) at equal exit budgets — i.e. what the Table 2 checks
       cost end-to-end. *)
 
+val dump_metrics : unit -> unit
+(** Print the Obs metrics registry of the most recent RAKIS harness any
+    figure booted ([main.exe --metrics <target>]).  A no-op notice when
+    the target ran no RAKIS environment. *)
+
 val sensitivity : unit -> unit
 (** The robustness check EXPERIMENTS.md asserts: sweep the two most
     influential calibration constants — the enclave-exit cost and the

@@ -5,7 +5,8 @@
 
 let usage () =
   prerr_endline
-    "usage: main.exe [fig2|table1|table2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|claims|ablation|sensitivity|micro|all]";
+    "usage: main.exe [--metrics] \
+     [fig2|table1|table2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|claims|ablation|sensitivity|micro|all]";
   exit 2
 
 let run_all () =
@@ -30,19 +31,23 @@ let run_all () =
   if not ok then exit 1
 
 let () =
-  match Array.to_list Sys.argv with
-  | [ _ ] | [ _; "all" ] -> run_all ()
-  | [ _; "fig2" ] -> ignore (Figures.fig2 ())
-  | [ _; "table1" ] -> Figures.table1 ()
-  | [ _; "table2" ] -> Figures.table2 ()
-  | [ _; "fig4a" ] -> ignore (Figures.fig4a ())
-  | [ _; "fig4b" ] -> ignore (Figures.fig4b ())
-  | [ _; "fig4c" ] -> ignore (Figures.fig4c ())
-  | [ _; "fig5a" ] -> ignore (Figures.fig5a ())
-  | [ _; "fig5b" ] -> ignore (Figures.fig5b ())
-  | [ _; "fig5c" ] -> ignore (Figures.fig5c ())
-  | [ _; "ablation" ] -> Figures.ablation ()
-  | [ _; "sensitivity" ] -> Figures.sensitivity ()
-  | [ _; "claims" ] -> if not (Figures.claims ()) then exit 1
-  | [ _; "micro" ] -> Micro.run ()
-  | _ -> usage ()
+  let args = List.tl (Array.to_list Sys.argv) in
+  let metrics = List.mem "--metrics" args in
+  let args = List.filter (fun a -> a <> "--metrics") args in
+  (match args with
+  | [] | [ "all" ] -> run_all ()
+  | [ "fig2" ] -> ignore (Figures.fig2 ())
+  | [ "table1" ] -> Figures.table1 ()
+  | [ "table2" ] -> Figures.table2 ()
+  | [ "fig4a" ] -> ignore (Figures.fig4a ())
+  | [ "fig4b" ] -> ignore (Figures.fig4b ())
+  | [ "fig4c" ] -> ignore (Figures.fig4c ())
+  | [ "fig5a" ] -> ignore (Figures.fig5a ())
+  | [ "fig5b" ] -> ignore (Figures.fig5b ())
+  | [ "fig5c" ] -> ignore (Figures.fig5c ())
+  | [ "ablation" ] -> Figures.ablation ()
+  | [ "sensitivity" ] -> Figures.sensitivity ()
+  | [ "claims" ] -> if not (Figures.claims ()) then exit 1
+  | [ "micro" ] -> Micro.run ()
+  | _ -> usage ());
+  if metrics then Figures.dump_metrics ()

@@ -128,7 +128,7 @@ let checksum_scalar =
 
 let umem_cycle =
   Test.make ~name:"umem: alloc+commit+reclaim"
-    (let u = Rakis.Umem.create ~size:(64 * 2048) ~frame_size:2048 in
+    (let u = Rakis.Umem.create ~size:(64 * 2048) ~frame_size:2048 () in
      Staged.stage (fun () ->
          match Rakis.Umem.alloc u with
          | Some off ->

@@ -40,16 +40,60 @@ let harness ?rakis_config ?nic_queues kind =
       Format.eprintf "boot failed: %s@." e;
       exit 1
 
-let report h =
-  Format.printf "enclave exits: %d@." (Libos.Env.exits h.Apps.Harness.env);
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the runtime's metrics registry (counters, gauges, \
+           histograms) after the workload.  RAKIS environments only.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the runtime's trace ring to $(docv) as Chrome trace_event \
+           JSON (open in chrome://tracing or ui.perfetto.dev).  RAKIS \
+           environments only.")
+
+let dump_obs ~metrics ~trace_file h =
   match Libos.Env.runtime h.Apps.Harness.env with
+  | None ->
+      if metrics || trace_file <> None then
+        Format.eprintf
+          "note: --metrics/--trace require a RAKIS environment (rakis-direct \
+           or rakis-sgx)@."
+  | Some rt ->
+      let obs = Rakis.Runtime.obs rt in
+      if metrics then
+        Format.printf "@.== metrics ==@.%a@." Obs.Metrics.pp (Obs.metrics obs);
+      (match trace_file with
+      | None -> ()
+      | Some file ->
+          let tr = Obs.trace obs in
+          Out_channel.with_open_text file (fun oc ->
+              let ppf = Format.formatter_of_out_channel oc in
+              Obs.Trace.to_chrome
+                ~us_per_cycle:(1e6 /. Sim.Cycles.frequency_hz)
+                ppf tr;
+              Format.pp_print_flush ppf ());
+          Format.printf "trace: %d events written to %s (%d dropped)@."
+            (List.length (Obs.Trace.events tr))
+            file (Obs.Trace.dropped tr))
+
+let report ?(metrics = false) ?trace_file h =
+  Format.printf "enclave exits: %d@." (Libos.Env.exits h.Apps.Harness.env);
+  (match Libos.Env.runtime h.Apps.Harness.env with
   | None -> ()
   | Some rt ->
       Format.printf
         "rakis: ring-check failures %d, descriptor/CQE rejects %d, invariants %s@."
         (Rakis.Runtime.total_ring_check_failures rt)
         (Rakis.Runtime.total_desc_rejects rt)
-        (if Rakis.Runtime.invariant_holds rt then "held" else "BROKEN")
+        (if Rakis.Runtime.invariant_holds rt then "held" else "BROKEN"));
+  dump_obs ~metrics ~trace_file h
 
 let hello_cmd =
   let run env =
@@ -69,21 +113,21 @@ let iperf_cmd =
   let streams =
     Arg.(value & opt int 4 & info [ "streams" ] ~doc:"Parallel client streams.")
   in
-  let run env packets size streams =
+  let run env packets size streams metrics trace_file =
     let h = harness env in
     let r = Apps.Iperf.run ~streams h ~packet_size:size ~packets in
     Format.printf "%a@." Apps.Iperf.pp_result r;
-    report h
+    report ~metrics ?trace_file h
   in
   Cmd.v (Cmd.info "iperf" ~doc:"iperf3-style UDP throughput (Figure 4a)")
-    Term.(const run $ env_arg $ packets $ size $ streams)
+    Term.(const run $ env_arg $ packets $ size $ streams $ metrics_arg $ trace_arg)
 
 let memcached_cmd =
   let threads =
     Arg.(value & opt int 4 & info [ "threads" ] ~doc:"Server threads.")
   in
   let ops = Arg.(value & opt int 10000 & info [ "ops" ] ~doc:"Operations.") in
-  let run env threads ops =
+  let run env threads ops metrics trace_file =
     let h =
       harness
         ~rakis_config:{ Rakis.Config.default with num_xsks = threads }
@@ -91,23 +135,23 @@ let memcached_cmd =
     in
     let r = Apps.Memcached.run h ~server_threads:threads ~ops in
     Format.printf "%a@." Apps.Memcached.pp_result r;
-    report h
+    report ~metrics ?trace_file h
   in
   Cmd.v (Cmd.info "memcached" ~doc:"memcached over UDP (Figure 4c)")
-    Term.(const run $ env_arg $ threads $ ops)
+    Term.(const run $ env_arg $ threads $ ops $ metrics_arg $ trace_arg)
 
 let curl_cmd =
   let size =
     Arg.(value & opt int 16 & info [ "size-mb" ] ~doc:"File size in MiB.")
   in
-  let run env size =
+  let run env size metrics trace_file =
     let h = harness env in
     let r = Apps.Curl.run h ~file_size:(size * 1024 * 1024) in
     Format.printf "%a@." Apps.Curl.pp_result r;
-    report h
+    report ~metrics ?trace_file h
   in
   Cmd.v (Cmd.info "curl" ~doc:"curl QUIC-style download (Figure 4b)")
-    Term.(const run $ env_arg $ size)
+    Term.(const run $ env_arg $ size $ metrics_arg $ trace_arg)
 
 let redis_cmd =
   let command_conv =
@@ -122,14 +166,14 @@ let redis_cmd =
   let conns =
     Arg.(value & opt int 50 & info [ "connections" ] ~doc:"Client connections.")
   in
-  let run env command ops conns =
+  let run env command ops conns metrics trace_file =
     let h = harness env in
     let r = Apps.Redis.run ~connections:conns h ~command ~ops in
     Format.printf "%a@." Apps.Redis.pp_result r;
-    report h
+    report ~metrics ?trace_file h
   in
   Cmd.v (Cmd.info "redis" ~doc:"redis over TCP via io_uring (Figure 5b)")
-    Term.(const run $ env_arg $ command $ ops $ conns)
+    Term.(const run $ env_arg $ command $ ops $ conns $ metrics_arg $ trace_arg)
 
 let fstime_cmd =
   let block =
@@ -137,15 +181,15 @@ let fstime_cmd =
   in
   let blocks = Arg.(value & opt int 3000 & info [ "blocks" ] ~doc:"Blocks.") in
   let read_mode = Arg.(value & flag & info [ "read" ] ~doc:"Read test.") in
-  let run env block blocks read_mode =
+  let run env block blocks read_mode metrics trace_file =
     let h = harness env in
     let mode = if read_mode then Apps.Fstime.Read else Apps.Fstime.Write in
     let r = Apps.Fstime.run ~mode h ~block_size:block ~blocks in
     Format.printf "%a@." Apps.Fstime.pp_result r;
-    report h
+    report ~metrics ?trace_file h
   in
   Cmd.v (Cmd.info "fstime" ~doc:"UnixBench fstime (Figure 5a)")
-    Term.(const run $ env_arg $ block $ blocks $ read_mode)
+    Term.(const run $ env_arg $ block $ blocks $ read_mode $ metrics_arg $ trace_arg)
 
 let mcrypt_cmd =
   let size =
@@ -154,14 +198,35 @@ let mcrypt_cmd =
   let block =
     Arg.(value & opt int 65536 & info [ "block" ] ~doc:"Read block size.")
   in
-  let run env size block =
+  let run env size block metrics trace_file =
     let h = harness env in
     let r = Apps.Mcrypt.run h ~file_size:(size * 1024 * 1024) ~block_size:block in
     Format.printf "%a@." Apps.Mcrypt.pp_result r;
-    report h
+    report ~metrics ?trace_file h
   in
   Cmd.v (Cmd.info "mcrypt" ~doc:"mcrypt file encryption (Figure 5c)")
-    Term.(const run $ env_arg $ size $ block)
+    Term.(const run $ env_arg $ size $ block $ metrics_arg $ trace_arg)
+
+let udp_echo_cmd =
+  let datagrams =
+    Arg.(
+      value & opt int 2000 & info [ "datagrams" ] ~doc:"Round trips to attempt.")
+  in
+  let size =
+    Arg.(value & opt int 512 & info [ "size" ] ~doc:"UDP payload bytes.")
+  in
+  let run env datagrams size metrics trace_file =
+    let h = harness env in
+    let r = Apps.Udp_echo.run h ~datagrams ~payload_size:size in
+    Format.printf "%a@." Apps.Udp_echo.pp_result r;
+    report ~metrics ?trace_file h
+  in
+  Cmd.v
+    (Cmd.info "udp_echo"
+       ~doc:
+         "Closed-loop UDP echo (paper §1 scenario); the canonical workload \
+          for $(b,--metrics)/$(b,--trace)")
+    Term.(const run $ env_arg $ datagrams $ size $ metrics_arg $ trace_arg)
 
 let verify_cmd =
   let depth = Arg.(value & opt int 3 & info [ "depth" ] ~doc:"Schedule depth.") in
@@ -194,6 +259,7 @@ let () =
        (Cmd.group info
           [
             hello_cmd;
+            udp_echo_cmd;
             iperf_cmd;
             memcached_cmd;
             curl_cmd;

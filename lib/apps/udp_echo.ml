@@ -1,0 +1,68 @@
+type result = {
+  env : string;
+  datagrams : int;
+  echoed : int;
+  payload_size : int;
+  duration : Sim.Engine.time;
+  round_trips_per_sec : float;
+}
+
+let port = 7
+
+let server api () =
+  let fd = api.Libos.Api.udp_socket () in
+  (match api.Libos.Api.bind fd (Packet.Addr.Ip.of_repr "10.0.0.1", port) with
+  | Ok () -> ()
+  | Error e -> failwith (Format.asprintf "echo server bind: %a" Abi.Errno.pp e));
+  let rec loop () =
+    match api.Libos.Api.recvfrom fd 65536 with
+    | Ok (payload, src) ->
+        ignore (api.Libos.Api.sendto fd payload src);
+        loop ()
+    | Error _ -> ()
+  in
+  loop ()
+
+(* Closed-loop native client: each datagram waits for its echo, so the
+   count measures round trips, not offered load. *)
+let client api ~datagrams ~payload_size ~echoed ~first ~last ~stop () =
+  (* Let the server finish socket+bind before offering load. *)
+  Sim.Engine.delay (Sim.Cycles.of_us 50.);
+  let fd = api.Libos.Api.udp_socket () in
+  let dst = (Packet.Addr.Ip.of_repr "10.0.0.1", port) in
+  let payload = Bytes.make payload_size 'e' in
+  first := Libos.Api.now api;
+  for _ = 1 to datagrams do
+    ignore (api.Libos.Api.sendto fd payload dst);
+    match api.Libos.Api.recvfrom fd 65536 with
+    | Ok _ ->
+        incr echoed;
+        last := Libos.Api.now api
+    | Error _ -> ()
+  done;
+  stop ()
+
+let run (h : Harness.t) ~datagrams ~payload_size =
+  let echoed = ref 0 and first = ref 0L and last = ref 0L in
+  Sim.Engine.spawn h.engine ~name:"echo-server" (server (Harness.api h));
+  Sim.Engine.spawn h.engine ~name:"echo-client"
+    (client h.peer ~datagrams ~payload_size ~echoed ~first ~last ~stop:(fun () ->
+         Harness.stop h));
+  Harness.run h ~until:(Sim.Cycles.of_sec 30.);
+  let duration = if !echoed = 0 then 0L else Int64.sub !last !first in
+  {
+    env = (Harness.api h).Libos.Api.name;
+    datagrams;
+    echoed = !echoed;
+    payload_size;
+    duration;
+    round_trips_per_sec =
+      (if Int64.compare duration 0L <= 0 then 0.
+       else float_of_int !echoed /. Sim.Cycles.to_sec duration);
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%-14s size=%4dB echoed=%d/%d in %a (%.0f round trips/s simulated)" r.env
+    r.payload_size r.echoed r.datagrams Sim.Cycles.pp_duration r.duration
+    r.round_trips_per_sec

@@ -1,0 +1,23 @@
+(** UDP echo round trips — the paper-introduction scenario (§1): an
+    in-enclave echo server answering a closed-loop native client.
+
+    Unlike {!Iperf} (open-loop offered load, measures goodput), every
+    datagram here waits for its echo, so the result measures request
+    latency through the whole XSK datapath: certified rings in both
+    directions, UMem frame recycling and Monitor Module wakeups per
+    round trip.  This is the canonical workload for reading the Obs
+    metrics and trace output (see README, "Reading metrics and
+    traces"). *)
+
+type result = {
+  env : string;
+  datagrams : int;  (** round trips attempted *)
+  echoed : int;  (** round trips completed *)
+  payload_size : int;
+  duration : Sim.Engine.time;  (** first send to last echo *)
+  round_trips_per_sec : float;
+}
+
+val run : Harness.t -> datagrams:int -> payload_size:int -> result
+
+val pp_result : Format.formatter -> result -> unit

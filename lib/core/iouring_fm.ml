@@ -23,7 +23,12 @@ type t = {
   mutable next_user_data : int64;
   pending : (int64, pending) Hashtbl.t;
   probes : (int, pending) Hashtbl.t; (* outstanding Poll_add per fd *)
-  mutable cqe_rejects : int;
+  cqe_rejects : Obs.Metrics.counter;
+  sqes_submitted : Obs.Metrics.counter;
+  cqes_reaped : Obs.Metrics.counter;
+  cqe_strays : Obs.Metrics.counter;
+  sync_wait_cycles : Obs.Metrics.histogram; (* submit->complete, cycles *)
+  trace : Obs.Trace.t option;
 }
 
 let pp_init_error ppf = function
@@ -53,7 +58,7 @@ let layout_objects name (l : Rings.Layout.t) =
 
 let ( let* ) = Result.bind
 
-let create ~enclave ~config ~fd ~uring ~bounce =
+let create ?obs ?(name = "uring") ~enclave ~config ~fd ~uring ~bounce () =
   if fd < 0 then Error (Bad_fd fd)
   else
     let entries = config.Config.uring_entries in
@@ -82,11 +87,18 @@ let create ~enclave ~config ~fd ~uring ~bounce =
         Ok ()
       else Error (Overlapping "iSub, iCompl, bounce")
     in
+    let m =
+      match obs with Some o -> Obs.metrics o | None -> Obs.Metrics.create ()
+    in
     Ok
       {
         enclave;
-        sq = Rings.Certified.create sq ~role:Rings.Certified.Producer ();
-        cq = Rings.Certified.create cq ~role:Rings.Certified.Consumer ();
+        sq =
+          Rings.Certified.create sq ~role:Rings.Certified.Producer ?obs
+            ~name:(name ^ ".iSub") ();
+        cq =
+          Rings.Certified.create cq ~role:Rings.Certified.Consumer ?obs
+            ~name:(name ^ ".iCompl") ();
         bounce;
         bounce_size = config.Config.max_io_size;
         cq_notify = Hostos.Io_uring.cq_notify uring;
@@ -94,7 +106,12 @@ let create ~enclave ~config ~fd ~uring ~bounce =
         next_user_data = 1L;
         pending = Hashtbl.create 8;
         probes = Hashtbl.create 8;
-        cqe_rejects = 0;
+        cqe_rejects = Obs.Metrics.counter m (name ^ ".cqe_rejects");
+        sqes_submitted = Obs.Metrics.counter m (name ^ ".sqes_submitted");
+        cqes_reaped = Obs.Metrics.counter m (name ^ ".cqes_reaped");
+        cqe_strays = Obs.Metrics.counter m (name ^ ".cqe_strays");
+        sync_wait_cycles = Obs.Metrics.histogram m (name ^ ".sync_wait_cycles");
+        trace = Option.map Obs.trace obs;
       }
 
 let set_kick t f = t.kick <- f
@@ -103,7 +120,7 @@ let sq_ring t = t.sq
 
 let cq_ring t = t.cq
 
-let cqe_rejects t = t.cqe_rejects
+let cqe_rejects t = Obs.Metrics.value t.cqe_rejects
 
 let ring_check_failures t =
   Rings.Certified.failures t.sq + Rings.Certified.failures t.cq
@@ -121,14 +138,14 @@ let invariant_holds t =
 let settle t (p : pending) (cqe : Abi.Uring_abi.cqe) =
   let outcome =
     if cqe.res > p.expected_max then begin
-      t.cqe_rejects <- t.cqe_rejects + 1;
+      Obs.Metrics.incr t.cqe_rejects;
       Error Abi.Errno.EPERM
     end
     else if cqe.res < 0 then
       match Abi.Errno.of_int (-cqe.res) with
       | Some e -> Error e
       | None ->
-          t.cqe_rejects <- t.cqe_rejects + 1;
+          Obs.Metrics.incr t.cqe_rejects;
           Error Abi.Errno.EPERM
     else Ok cqe.res
   in
@@ -152,8 +169,10 @@ let reap_burst t =
              incr reaped
          | None ->
              (* No such request: a forged or replayed completion. *)
-             t.cqe_rejects <- t.cqe_rejects + 1;
+             Obs.Metrics.incr t.cqe_rejects;
+             Obs.Metrics.incr t.cqe_strays;
              incr strays));
+  Obs.Metrics.add t.cqes_reaped !reaped;
   (!reaped, !strays)
 
 (* Produce a burst of SQEs with one consumer-index validation, one
@@ -174,7 +193,10 @@ let submit_burst t (sqes : (Abi.Uring_abi.sqe * int) array) =
         Hashtbl.add t.pending user_data p;
         pendings.(i) <- Some p)
   in
-  if produced > 0 then t.kick ();
+  if produced > 0 then begin
+    Obs.Metrics.add t.sqes_submitted produced;
+    t.kick ()
+  end;
   pendings
 
 let submit t (sqe : Abi.Uring_abi.sqe) ~expected_max =
@@ -221,14 +243,34 @@ let rec await t (p : pending) =
           wait_or_renudge t;
           await t p)
 
+(* Static operation names for SyncProxy span events: literals only, so
+   recording never allocates on the syscall path. *)
+let op_name : Abi.Uring_abi.opcode -> string = function
+  | Nop -> "uring.nop"
+  | Read -> "uring.read"
+  | Write -> "uring.write"
+  | Send -> "uring.send"
+  | Recv -> "uring.recv"
+  | Poll_add -> "uring.poll"
+
 let submit_wait t sqe ~expected_max =
   match submit t sqe ~expected_max with
   | Error e -> Error e
   | Ok p ->
+      let engine = Sgx.Enclave.engine t.enclave in
+      let start = Sim.Engine.now engine in
       (* The synchronous caller hands off to the kernel worker and pays
          the handoff latency (paper §6.2). *)
       Sgx.Enclave.charge t.enclave Sgx.Params.iouring_sync_wait_cycles;
-      await t p
+      let r = await t p in
+      Obs.Metrics.observe t.sync_wait_cycles
+        (Int64.to_int (Int64.sub (Sim.Engine.now engine) start));
+      (match t.trace with
+      | None -> ()
+      | Some tr ->
+          Obs.Trace.span tr ~cat:"syncproxy" ~arg:sqe.Abi.Uring_abi.fd
+            (op_name sqe.Abi.Uring_abi.opcode) ~start);
+      r
 
 let base_sqe opcode ~fd =
   {

@@ -21,16 +21,31 @@ type init_error =
 type t
 
 val create :
+  ?obs:Obs.t ->
+  ?name:string ->
   enclave:Sgx.Enclave.t ->
   config:Config.t ->
   fd:int ->
   uring:Hostos.Io_uring.t ->
   bounce:Mem.Ptr.t ->
+  unit ->
   (t, init_error) result
 (** [bounce] is the FM's staging buffer of [config.max_io_size] bytes in
-    untrusted memory (allocated by the runtime, validated here). *)
+    untrusted memory (allocated by the runtime, validated here).
+
+    [obs] (with [name], default ["uring"] — the runtime passes
+    ["uring0"], ["uring1"], ... per thread) registers SQE/CQE counters
+    (["<name>.sqes_submitted"], ["<name>.cqes_reaped"],
+    ["<name>.cqe_rejects"], ["<name>.cqe_strays"]), a
+    submit-to-complete latency histogram
+    (["<name>.sync_wait_cycles"]), and the certified-ring instruments
+    for ["<name>.iSub"] / ["<name>.iCompl"].  Each synchronous
+    operation additionally records a ["syncproxy"] span in the trace,
+    from submit to validated completion. *)
 
 val set_kick : t -> (unit -> unit) -> unit
+(** Install the Monitor Module's wakeup hook, invoked after every
+    SQE batch is published so the host side gets scanned promptly. *)
 
 val read :
   t -> fd:int -> off:int -> buf:Bytes.t -> pos:int -> len:int ->
@@ -41,25 +56,33 @@ val read :
 val write :
   t -> fd:int -> off:int -> buf:Bytes.t -> pos:int -> len:int ->
   (int, Abi.Errno.t) result
+(** File write at absolute offset [off] from trusted [buf]; chunked
+    like {!read}. *)
 
 val send :
   t -> fd:int -> buf:Bytes.t -> pos:int -> len:int -> (int, Abi.Errno.t) result
+(** TCP send via the bounce buffer; returns bytes accepted. *)
 
 val recv :
   t -> fd:int -> buf:Bytes.t -> pos:int -> len:int -> (int, Abi.Errno.t) result
+(** TCP receive via the bounce buffer; returns bytes read. *)
 
 val poll : t -> fd:int -> events:int -> (int, Abi.Errno.t) result
 (** Returns the ready-events mask. *)
 
 val nop : t -> (int, Abi.Errno.t) result
+(** Submit a no-op SQE and wait for its CQE (plumbing check). *)
 
 (** {1 Introspection} *)
 
 val sq_ring : t -> Rings.Certified.t
+(** The certified iSub (submission) ring. *)
 
 val cq_ring : t -> Rings.Certified.t
+(** The certified iCompl (completion) ring. *)
 
 val ring_check_failures : t -> int
+(** Index rejections summed over iSub and iCompl. *)
 
 val cqe_rejects : t -> int
 (** CQEs refused for wrong user_data or out-of-range result. *)
@@ -69,8 +92,10 @@ val burst_counters : t -> (string * (int * int)) list
     {!Xsk_fm.burst_counters}). *)
 
 val invariant_holds : t -> bool
+(** Both certified rings satisfy the paper's eq. 1 invariant. *)
 
 val pp_init_error : Format.formatter -> init_error -> unit
+(** Human-readable rendering of a {!init_error}. *)
 
 val poll_multi :
   t ->

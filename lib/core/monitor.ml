@@ -19,23 +19,32 @@ type t = {
   work : Sim.Condition.t;
   mutable watched : watched list;
   mutable pending : bool;
-  mutable wakeups : int;
-  mutable rx_wakeups : int;
-  mutable tx_wakeups : int;
-  mutable uring_wakeups : int;
+  wakeups : Obs.Metrics.counter;
+  rx_wakeups : Obs.Metrics.counter;
+  tx_wakeups : Obs.Metrics.counter;
+  uring_wakeups : Obs.Metrics.counter;
+  scans : Obs.Metrics.counter;
+  forced_enters : Obs.Metrics.counter;
+  trace : Obs.Trace.t option;
 }
 
-let create engine ~kernel =
+let create ?obs engine ~kernel =
+  let m =
+    match obs with Some o -> Obs.metrics o | None -> Obs.Metrics.create ()
+  in
   {
     engine;
     kernel;
     work = Sim.Condition.create ();
     watched = [];
     pending = false;
-    wakeups = 0;
-    rx_wakeups = 0;
-    tx_wakeups = 0;
-    uring_wakeups = 0;
+    wakeups = Obs.Metrics.counter m "mm.wakeups";
+    rx_wakeups = Obs.Metrics.counter m "mm.wakeups.rx";
+    tx_wakeups = Obs.Metrics.counter m "mm.wakeups.tx";
+    uring_wakeups = Obs.Metrics.counter m "mm.wakeups.uring";
+    scans = Obs.Metrics.counter m "mm.scans";
+    forced_enters = Obs.Metrics.counter m "mm.forced_enters";
+    trace = Option.map Obs.trace obs;
   }
 
 let watch_xsk t xsk =
@@ -76,17 +85,29 @@ let kick t =
   t.pending <- true;
   Sim.Condition.signal t.work
 
-let wakeup_syscalls t = t.wakeups
+let wakeup_syscalls t = Obs.Metrics.value t.wakeups
 
-let rx_wakeup_syscalls t = t.rx_wakeups
+let rx_wakeup_syscalls t = Obs.Metrics.value t.rx_wakeups
 
-let tx_wakeup_syscalls t = t.tx_wakeups
+let tx_wakeup_syscalls t = Obs.Metrics.value t.tx_wakeups
 
-let uring_wakeup_syscalls t = t.uring_wakeups
+let uring_wakeup_syscalls t = Obs.Metrics.value t.uring_wakeups
+
+let scan_count t = Obs.Metrics.value t.scans
+
+let forced_enters t = Obs.Metrics.value t.forced_enters
 
 let advanced ~seen ~now = Rings.U32.distance ~ahead:now ~behind:seen > 0
 
+let wakeup t kind_counter label =
+  Obs.Metrics.incr t.wakeups;
+  Obs.Metrics.incr kind_counter;
+  match t.trace with
+  | None -> ()
+  | Some tr -> Obs.Trace.instant tr ~cat:"mm" label
+
 let scan t =
+  Obs.Metrics.incr t.scans;
   List.iter
     (fun w ->
       match w with
@@ -94,24 +115,23 @@ let scan t =
           let fill_now = Rings.Layout.read_prod r.fill in
           if advanced ~seen:r.fill_seen ~now:fill_now then begin
             r.fill_seen <- fill_now;
-            t.wakeups <- t.wakeups + 1;
-            t.rx_wakeups <- t.rx_wakeups + 1;
+            wakeup t t.rx_wakeups "mm.wakeup.rx";
             Hostos.Kernel.xsk_rx_wakeup t.kernel r.xsk
           end;
           let tx_now = Rings.Layout.read_prod r.tx in
           if advanced ~seen:r.tx_seen ~now:tx_now then begin
             r.tx_seen <- tx_now;
-            t.wakeups <- t.wakeups + 1;
-            t.tx_wakeups <- t.tx_wakeups + 1;
+            wakeup t t.tx_wakeups "mm.wakeup.tx";
             Hostos.Kernel.xsk_tx_wakeup t.kernel r.xsk
           end
       | Uring r ->
           let sq_now = Rings.Layout.read_prod r.sq in
           if r.forced || advanced ~seen:r.sq_seen ~now:sq_now then begin
+            if r.forced && not (advanced ~seen:r.sq_seen ~now:sq_now) then
+              Obs.Metrics.incr t.forced_enters;
             r.forced <- false;
             r.sq_seen <- sq_now;
-            t.wakeups <- t.wakeups + 1;
-            t.uring_wakeups <- t.uring_wakeups + 1;
+            wakeup t t.uring_wakeups "mm.wakeup.uring";
             Hostos.Kernel.uring_enter t.kernel r.uring
           end)
     t.watched

@@ -19,7 +19,11 @@
 
 type t
 
-val create : Sim.Engine.t -> kernel:Hostos.Kernel.t -> t
+val create : ?obs:Obs.t -> Sim.Engine.t -> kernel:Hostos.Kernel.t -> t
+(** [obs] registers the MM's counters in the shared registry —
+    ["mm.wakeups"] (with [".rx"] / [".tx"] / [".uring"] breakdowns),
+    ["mm.scans"] and ["mm.forced_enters"] — and records an ["mm"]
+    trace instant per wakeup syscall issued. *)
 
 val watch_xsk : t -> Hostos.Xdp.xsk -> unit
 
@@ -49,3 +53,11 @@ val tx_wakeup_syscalls : t -> int
 
 val uring_wakeup_syscalls : t -> int
 (** [io_uring_enter] wakeups issued for iSub advances. *)
+
+val scan_count : t -> int
+(** Watched-ring scan passes executed by the MM thread. *)
+
+val forced_enters : t -> int
+(** [io_uring_enter] wakeups issued {e solely} because of
+    {!nudge_uring} — iSub had not advanced.  These measure the
+    liveness-recovery overhead under iCompl index-smashing attacks. *)

@@ -2,6 +2,7 @@ type t = {
   enclave : Sgx.Enclave.t;
   kernel : Hostos.Kernel.t;
   config : Config.t;
+  obs : Obs.t;
   stack : Netstack.Stack.t;
   monitor : Monitor.t;
   xsk_fms : Xsk_fm.t array;
@@ -9,6 +10,7 @@ type t = {
   owned_ports : (int, unit) Hashtbl.t;
   mutable threads : thread list;
   mutable tx_counter : int;
+  mutable thread_counter : int;
 }
 
 and udp_sock = { mutable bound : Netstack.Udp_socket.t option }
@@ -24,6 +26,8 @@ let stack t = t.stack
 let monitor t = t.monitor
 
 let config t = t.config
+
+let obs t = t.obs
 
 let xsk_fms t = t.xsk_fms
 
@@ -83,11 +87,19 @@ let boot kernel ~sgx ?(config = Config.default) () =
           ~name:"shared"
       in
       let shared_alloc = Mem.Alloc.create shared () in
+      (* One registry + trace ring for the whole runtime, stamped with
+         the simulation clock: every subsystem below registers its
+         instruments here under a per-instance name. *)
+      let obs =
+        Obs.create ~trace_capacity:8192
+          ~clock:(fun () -> Sim.Engine.now engine)
+          ()
+      in
       let stack =
-        Netstack.Stack.create engine ~mac:config.mac ~ip:config.ip
+        Netstack.Stack.create ~obs engine ~mac:config.mac ~ip:config.ip
           ~locking:config.locking ()
       in
-      let monitor = Monitor.create engine ~kernel in
+      let monitor = Monitor.create ~obs engine ~kernel in
       let rec make_fms i acc =
         if i = config.num_xsks then Ok (List.rev acc)
         else begin
@@ -99,7 +111,11 @@ let boot kernel ~sgx ?(config = Config.default) () =
               ~umem_size:config.umem_size ~frame_size:config.frame_size
               ~ring_size:config.ring_size
           in
-          match Xsk_fm.create ~enclave ~config ~stack ~fd ~xsk with
+          match
+            Xsk_fm.create ~obs
+              ~name:("xsk" ^ string_of_int i)
+              ~enclave ~config ~stack ~fd ~xsk ()
+          with
           | Error e -> Error (Format.asprintf "xsk fm: %a" Xsk_fm.pp_init_error e)
           | Ok fm -> make_fms (i + 1) ((fm, xsk) :: acc)
         end
@@ -112,6 +128,7 @@ let boot kernel ~sgx ?(config = Config.default) () =
               enclave;
               kernel;
               config;
+              obs;
               stack;
               monitor;
               xsk_fms = Array.of_list (List.map fst fms);
@@ -119,6 +136,7 @@ let boot kernel ~sgx ?(config = Config.default) () =
               owned_ports = Hashtbl.create 16;
               threads = [];
               tx_counter = 0;
+              thread_counter = 0;
             }
           in
           Netstack.Stack.set_transmit stack (stack_transmit t);
@@ -206,7 +224,12 @@ let new_thread t =
   let bounce =
     Mem.Alloc.alloc_ptr t.shared_alloc ~align:8 t.config.Config.max_io_size
   in
-  match Iouring_fm.create ~enclave:t.enclave ~config:t.config ~fd ~uring ~bounce
+  let id = t.thread_counter in
+  t.thread_counter <- t.thread_counter + 1;
+  match
+    Iouring_fm.create ~obs:t.obs
+      ~name:("uring" ^ string_of_int id)
+      ~enclave:t.enclave ~config:t.config ~fd ~uring ~bounce ()
   with
   | Error e -> Error (Format.asprintf "io_uring fm: %a" Iouring_fm.pp_init_error e)
   | Ok fm ->

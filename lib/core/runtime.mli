@@ -17,25 +17,47 @@
     matching the paper's one-FM-per-user-thread design. *)
 
 type t
+(** One booted RAKIS machine: enclave, shared arena, XSK FMs, UDP/IP
+    stack, Monitor Module and per-thread io_uring FMs. *)
 
 type udp_sock
+(** An in-enclave UDP socket handle served by the XSK fast path. *)
 
 type thread
+(** A user thread's io_uring context: its FM plus its SyncProxy. *)
 
 val boot :
   Hostos.Kernel.t -> sgx:bool -> ?config:Config.t -> unit -> (t, string) result
+(** Run the boot sequence above against [kernel].  [sgx:false] skips
+    enclave-transition cost accounting (the "native" baseline in the
+    benchmarks); [config] defaults to {!Config.default}.  Errors are
+    human-readable descriptions of the failed boot stage. *)
 
 val enclave : t -> Sgx.Enclave.t
+(** The enclave whose transition/charging model all FMs share. *)
 
 val kernel : t -> Hostos.Kernel.t
+(** The (untrusted) host kernel this runtime was booted against. *)
 
 val stack : t -> Netstack.Stack.t
+(** The in-enclave UDP/IP network stack. *)
 
 val monitor : t -> Monitor.t
+(** The Monitor Module thread driving host-side ring wakeups. *)
 
 val config : t -> Config.t
+(** The validated configuration the runtime booted with. *)
+
+val obs : t -> Obs.t
+(** The runtime-wide observability handle: one metrics registry and one
+    trace ring shared by the stack, the Monitor Module and every
+    FastPath Module, with instruments named per instance (["xsk0.*"],
+    ["uring1.*"], ["mm.*"], ["stack.*"]).  The trace clock is the
+    simulation engine's cycle counter. *)
 
 val xsk_fms : t -> Xsk_fm.t array
+(** One XSK FastPath Module per configured NIC queue, in queue order
+    (instrumented as ["xsk0"], ["xsk1"], …). *)
 
 val owns_port : t -> int -> bool
 (** Is this UDP port currently served by RAKIS (bound in the enclave)? *)
@@ -43,8 +65,11 @@ val owns_port : t -> int -> bool
 (** {1 UDP syscalls (XDP fast path — no enclave exits)} *)
 
 val udp_socket : t -> udp_sock
+(** Allocate an unbound UDP socket. *)
 
 val udp_bind : t -> udp_sock -> int -> (unit, Abi.Errno.t) result
+(** Bind to a UDP port; from then on the XDP program steers matching
+    traffic to the enclave's XSKs instead of the host stack. *)
 
 val udp_sendto :
   t ->
@@ -52,16 +77,22 @@ val udp_sendto :
   Bytes.t ->
   dst:Packet.Addr.Ip.t * int ->
   (int, Abi.Errno.t) result
+(** Transmit one datagram through the in-enclave stack and the XSK TX
+    path — no enclave exit; the Monitor Module kicks the host side. *)
 
 val udp_recvfrom :
   t ->
   udp_sock ->
   max:int ->
   (Bytes.t * (Packet.Addr.Ip.t * int), Abi.Errno.t) result
+(** Dequeue one received datagram (payload truncated to [max]) plus the
+    sender's address; [EAGAIN] when the socket queue is empty. *)
 
 val udp_readable : t -> udp_sock -> bool
+(** [true] iff a datagram is queued ([udp_recvfrom] would not block). *)
 
 val udp_close : t -> udp_sock -> unit
+(** Release the socket and its port reservation. *)
 
 (** {1 Per-thread io_uring contexts} *)
 
@@ -70,16 +101,24 @@ val new_thread : t -> (thread, string) result
     io_uring setup syscalls run via one OCALL). *)
 
 val syncproxy : thread -> Syncproxy.t
+(** The thread's SyncProxy, through which blocking IO syscalls go. *)
 
 val thread_runtime : thread -> t
+(** The runtime the thread belongs to. *)
 
 (** {1 Introspection} *)
 
 val total_ring_check_failures : t -> int
+(** Certified-ring index rejections summed over every ring in the
+    system (XSK quads plus io_uring SQ/CQ pairs). *)
 
 val total_desc_rejects : t -> int
+(** Descriptor-level rejections: out-of-UMem XSK descriptors plus
+    forged/stray io_uring CQEs. *)
 
 val invariant_holds : t -> bool
+(** Conjunction of every certified ring's local invariant and every
+    UMem's ownership invariant — the Table 2 safety statement. *)
 
 val tx_round_robin : t -> int
 (** Frames transmitted through the stack's transmit hook. *)

@@ -4,26 +4,40 @@
     syscalls: TCP [send]/[recv], [read], [write] and [poll]. *)
 
 type t
+(** A SyncProxy bound to one thread's io_uring FM.  Every call below
+    submits a single SQE via {!Iouring_fm.submit_wait} and spins (inside
+    the enclave, no exit) until its CQE lands — so each call also emits
+    one ["syncproxy"] trace span and one [<name>.sync_wait_cycles]
+    histogram observation on the FM's Obs registry. *)
 
 val create : Iouring_fm.t -> t
+(** Wrap an io_uring FM; the proxy itself holds no other state. *)
 
 val fm : t -> Iouring_fm.t
+(** The underlying io_uring FastPath Module. *)
 
 val read :
   t -> fd:int -> off:int -> buf:Bytes.t -> pos:int -> len:int ->
   (int, Abi.Errno.t) result
+(** Positional file read into [buf.[pos..pos+len-1]]; returns the byte
+    count (0 at EOF). *)
 
 val write :
   t -> fd:int -> off:int -> buf:Bytes.t -> pos:int -> len:int ->
   (int, Abi.Errno.t) result
+(** Positional file write from [buf.[pos..pos+len-1]]. *)
 
 val send :
   t -> fd:int -> buf:Bytes.t -> pos:int -> len:int -> (int, Abi.Errno.t) result
+(** Send on a connected TCP socket; returns bytes accepted. *)
 
 val recv :
   t -> fd:int -> buf:Bytes.t -> pos:int -> len:int -> (int, Abi.Errno.t) result
+(** Receive from a connected TCP socket; returns bytes read. *)
 
 val poll : t -> fd:int -> events:int -> (int, Abi.Errno.t) result
+(** Block until [fd] is ready for any of [events] (POLL* bit mask);
+    returns the ready events. *)
 
 val poll_multi :
   t ->

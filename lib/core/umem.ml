@@ -16,10 +16,13 @@ type t = {
   free : int Queue.t; (* frame indices *)
   mutable out_rx : int; (* frames currently With_kernel Rx *)
   mutable out_tx : int; (* frames currently With_kernel Tx *)
-  mutable rejects : int;
+  rejects : Obs.Metrics.counter;
+  trace : Obs.Trace.t option;
+  alloc_label : string; (* precomputed: alloc/free trace is per-frame *)
+  free_label : string;
 }
 
-let create ~size ~frame_size =
+let create ?obs ?(name = "umem") ~size ~frame_size () =
   if frame_size <= 0 || size <= 0 || size mod frame_size <> 0 then
     invalid_arg "Umem.create: size must be a positive multiple of frame_size";
   let nframes = size / frame_size in
@@ -27,6 +30,9 @@ let create ~size ~frame_size =
   for i = 0 to nframes - 1 do
     Queue.add i free
   done;
+  let m =
+    match obs with Some o -> Obs.metrics o | None -> Obs.Metrics.create ()
+  in
   {
     size;
     frame_size;
@@ -35,7 +41,10 @@ let create ~size ~frame_size =
     free;
     out_rx = 0;
     out_tx = 0;
-    rejects = 0;
+    rejects = Obs.Metrics.counter m (name ^ ".rejects");
+    trace = Option.map Obs.trace obs;
+    alloc_label = name ^ ".alloc";
+    free_label = name ^ ".free";
   }
 
 let frame_size t = t.frame_size
@@ -46,12 +55,19 @@ let free_frames t = Queue.length t.free
 
 let outstanding t routine = match routine with Rx -> t.out_rx | Tx -> t.out_tx
 
+let trace_frame t label offset =
+  match t.trace with
+  | None -> ()
+  | Some tr -> Obs.Trace.instant tr ~cat:"umem" ~arg:offset label
+
 let alloc t =
   match Queue.take_opt t.free with
   | None -> None
   | Some idx ->
       t.state.(idx) <- Allocated;
-      Some (idx * t.frame_size)
+      let offset = idx * t.frame_size in
+      trace_frame t t.alloc_label offset;
+      Some offset
 
 let frame_of_exn t offset op =
   if offset < 0 || offset >= t.size then
@@ -80,7 +96,7 @@ let cancel t offset =
   | Owned | With_kernel _ -> invalid_arg "Umem.cancel: frame was not allocated"
 
 let reject t r =
-  t.rejects <- t.rejects + 1;
+  Obs.Metrics.incr t.rejects;
   Error r
 
 let reclaim t routine ~offset ?(len = 0) () =
@@ -96,12 +112,13 @@ let reclaim t routine ~offset ?(len = 0) () =
         | Rx -> t.out_rx <- t.out_rx - 1
         | Tx -> t.out_tx <- t.out_tx - 1);
         Queue.add idx t.free;
+        trace_frame t t.free_label offset;
         Ok ()
     | Owned | Allocated | With_kernel _ ->
         reject t (Wrong_owner { offset; expected = routine })
   end
 
-let rejects t = t.rejects
+let rejects t = Obs.Metrics.value t.rejects
 
 let pp_reject ppf = function
   | Out_of_range off -> Format.fprintf ppf "offset %d out of UMem range" off

@@ -22,8 +22,12 @@ type reject =
 
 type t
 
-val create : size:int -> frame_size:int -> t
-(** [size] must be a positive multiple of [frame_size]. *)
+val create : ?obs:Obs.t -> ?name:string -> size:int -> frame_size:int -> unit -> t
+(** [size] must be a positive multiple of [frame_size].  [obs] wires
+    the reject counter into a shared registry as [<name>.rejects]
+    (default name ["umem"]) and records a trace event per frame handed
+    out ([<name>.alloc]) or validated back in ([<name>.free]), with the
+    frame offset as payload. *)
 
 val frame_size : t -> int
 

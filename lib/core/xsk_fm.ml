@@ -18,9 +18,10 @@ type t = {
   rx_scratch : Bytes.t; (* trusted staging frame, reused per packet *)
   rx_burst : int;
   mutable kick : unit -> unit;
-  mutable rx_packets : int;
-  mutable tx_packets : int;
-  mutable tx_frame_drops : int;
+  rx_packets : Obs.Metrics.counter;
+  tx_packets : Obs.Metrics.counter;
+  tx_frame_drops : Obs.Metrics.counter;
+  rx_burst_hist : Obs.Metrics.histogram; (* slots moved per rx burst *)
 }
 
 let pp_init_error ppf = function
@@ -54,7 +55,7 @@ let layout_objects name (l : Rings.Layout.t) =
 
 let ( let* ) = Result.bind
 
-let create ~enclave ~config ~stack ~fd ~xsk =
+let create ?obs ?(name = "xsk") ~enclave ~config ~stack ~fd ~xsk () =
   if fd < 0 then Error (Bad_fd fd)
   else
     let* fill = certify_layout config "xFill" (Hostos.Xdp.fill_layout xsk) in
@@ -83,19 +84,24 @@ let create ~enclave ~config ~stack ~fd ~xsk =
           (Overlapping
              (String.concat ", " (List.map (fun (n, _, _) -> n) objects)))
     in
-    let ring role layout = Rings.Certified.create layout ~role () in
+    let ring role ring_name layout =
+      Rings.Certified.create layout ~role ?obs ~name:(name ^ "." ^ ring_name) ()
+    in
+    let m =
+      match obs with Some o -> Obs.metrics o | None -> Obs.Metrics.create ()
+    in
     Ok
       {
         enclave;
         config;
         stack;
-        fill = ring Rings.Certified.Producer fill;
-        rx = ring Rings.Certified.Consumer rx;
-        tx = ring Rings.Certified.Producer tx;
-        compl_ = ring Rings.Certified.Consumer compl_;
+        fill = ring Rings.Certified.Producer "xFill" fill;
+        rx = ring Rings.Certified.Consumer "xRX" rx;
+        tx = ring Rings.Certified.Producer "xTX" tx;
+        compl_ = ring Rings.Certified.Consumer "xCompl" compl_;
         umem =
-          Umem.create ~size:config.Config.umem_size
-            ~frame_size:config.Config.frame_size;
+          Umem.create ?obs ~name:(name ^ ".umem") ~size:config.Config.umem_size
+            ~frame_size:config.Config.frame_size ();
         umem_ptr;
         rx_notify = Hostos.Xdp.rx_notify xsk;
         (* One trusted staging frame, allocated (and charged) once; the
@@ -108,9 +114,10 @@ let create ~enclave ~config ~stack ~fd ~xsk =
            Bytes.create config.Config.frame_size);
         rx_burst = min config.Config.rx_burst config.Config.ring_size;
         kick = (fun () -> ());
-        rx_packets = 0;
-        tx_packets = 0;
-        tx_frame_drops = 0;
+        rx_packets = Obs.Metrics.counter m (name ^ ".rx_packets");
+        tx_packets = Obs.Metrics.counter m (name ^ ".tx_packets");
+        tx_frame_drops = Obs.Metrics.counter m (name ^ ".tx_frame_drops");
+        rx_burst_hist = Obs.Metrics.histogram m (name ^ ".rx_burst_slots");
       }
 
 let set_kick t f = t.kick <- f
@@ -125,11 +132,11 @@ let compl_ring t = t.compl_
 
 let umem t = t.umem
 
-let rx_packets t = t.rx_packets
+let rx_packets t = Obs.Metrics.value t.rx_packets
 
-let tx_packets t = t.tx_packets
+let tx_packets t = Obs.Metrics.value t.tx_packets
 
-let tx_frame_drops t = t.tx_frame_drops
+let tx_frame_drops t = Obs.Metrics.value t.tx_frame_drops
 
 let ring_check_failures t =
   Rings.Certified.failures t.fill
@@ -192,20 +199,24 @@ let reap_completions t =
    to the UDP/IP stack.  Returns the number of descriptors moved (valid
    or refused); 0 when xRX was empty. *)
 let rx_burst t =
-  Rings.Certified.consume_batch t.rx ~max:t.rx_burst ~read:(fun ~slot_off _ ->
-      let offset, len =
-        Abi.Xsk_desc.decode
-          (Mem.Region.get_u64 (Rings.Certified.region t.rx) slot_off)
-      in
-      match Umem.reclaim t.umem Umem.Rx ~offset ~len () with
-      | Error _ -> () (* refused; the burst advances past the slot *)
-      | Ok () ->
-          Sgx.Enclave.charge_copy t.enclave ~crossing:true len;
-          Mem.Region.blit_to_bytes t.umem_ptr.Mem.Ptr.region
-            (t.umem_ptr.Mem.Ptr.off + offset)
-            t.rx_scratch 0 len;
-          t.rx_packets <- t.rx_packets + 1;
-          Netstack.Stack.input_borrowed t.stack t.rx_scratch ~len)
+  let moved =
+    Rings.Certified.consume_batch t.rx ~max:t.rx_burst ~read:(fun ~slot_off _ ->
+        let offset, len =
+          Abi.Xsk_desc.decode
+            (Mem.Region.get_u64 (Rings.Certified.region t.rx) slot_off)
+        in
+        match Umem.reclaim t.umem Umem.Rx ~offset ~len () with
+        | Error _ -> () (* refused; the burst advances past the slot *)
+        | Ok () ->
+            Sgx.Enclave.charge_copy t.enclave ~crossing:true len;
+            Mem.Region.blit_to_bytes t.umem_ptr.Mem.Ptr.region
+              (t.umem_ptr.Mem.Ptr.off + offset)
+              t.rx_scratch 0 len;
+            Obs.Metrics.incr t.rx_packets;
+            Netstack.Stack.input_borrowed t.stack t.rx_scratch ~len)
+  in
+  if moved > 0 then Obs.Metrics.observe t.rx_burst_hist moved;
+  moved
 
 let rx_loop t () =
   refill t;
@@ -223,7 +234,7 @@ let start t =
 let transmit t frame =
   let len = Bytes.length frame in
   if len > t.config.Config.frame_size then begin
-    t.tx_frame_drops <- t.tx_frame_drops + 1;
+    Obs.Metrics.incr t.tx_frame_drops;
     false
   end
   else begin
@@ -240,7 +251,7 @@ let transmit t frame =
     in
     match acquire 16 with
     | None ->
-        t.tx_frame_drops <- t.tx_frame_drops + 1;
+        Obs.Metrics.incr t.tx_frame_drops;
         false
     | Some offset -> (
         Sgx.Enclave.charge_copy t.enclave ~crossing:true len;
@@ -255,11 +266,11 @@ let transmit t frame =
         | Ok () ->
             Umem.commit t.umem offset Umem.Tx;
             Rings.Certified.publish t.tx;
-            t.tx_packets <- t.tx_packets + 1;
+            Obs.Metrics.incr t.tx_packets;
             t.kick ();
             true
         | Error `Ring_full ->
             Umem.cancel t.umem offset;
-            t.tx_frame_drops <- t.tx_frame_drops + 1;
+            Obs.Metrics.incr t.tx_frame_drops;
             false)
   end

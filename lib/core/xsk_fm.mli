@@ -21,14 +21,23 @@ type init_error =
 type t
 
 val create :
+  ?obs:Obs.t ->
+  ?name:string ->
   enclave:Sgx.Enclave.t ->
   config:Config.t ->
   stack:Netstack.Stack.t ->
   fd:int ->
   xsk:Hostos.Xdp.xsk ->
+  unit ->
   (t, init_error) result
 (** [xsk] carries the host-returned pointers being validated; the FM
-    never trusts any other part of it. *)
+    never trusts any other part of it.
+
+    [obs] (with [name], default ["xsk"] — the runtime passes ["xsk0"],
+    ["xsk1"], ...) registers this FM's packet/drop counters, its rx
+    burst-length histogram, and the per-ring and UMem instruments
+    (["<name>.xFill.*"], ["<name>.umem.*"]) in the shared registry,
+    with ring-batch and frame-level trace events. *)
 
 val set_kick : t -> (unit -> unit) -> unit
 (** Install the Monitor Module kick called after publishing work. *)
@@ -47,14 +56,19 @@ val transmit : t -> Bytes.t -> bool
 (** {1 Introspection} *)
 
 val fill_ring : t -> Rings.Certified.t
+(** Certified xFill ring (enclave produces free frames). *)
 
 val rx_ring : t -> Rings.Certified.t
+(** Certified xRX ring (enclave consumes received frames). *)
 
 val tx_ring : t -> Rings.Certified.t
+(** Certified xTX ring (enclave produces frames to send). *)
 
 val compl_ring : t -> Rings.Certified.t
+(** Certified xCompl ring (enclave reclaims sent frames). *)
 
 val umem : t -> Umem.t
+(** The FM's UMem frame allocator. *)
 
 val ring_check_failures : t -> int
 (** Rejected untrusted ring-index reads across all four rings. *)
@@ -72,8 +86,10 @@ val rx_packets : t -> int
 (** Frames successfully moved into the enclave. *)
 
 val tx_packets : t -> int
+(** Frames queued on xTX. *)
 
 val tx_frame_drops : t -> int
+(** Transmits abandoned because no UMem frame was free. *)
 
 val invariant_holds : t -> bool
 (** Paper eq. 1 on all four rings — the Testing Module's property. *)

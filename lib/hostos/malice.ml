@@ -19,20 +19,74 @@ type trigger =
 
 type arming = { trigger : trigger; mutable spent : bool }
 
+let all_attacks =
+  [
+    Prod_overshoot;
+    Prod_regress;
+    Cons_overshoot;
+    Cons_regress;
+    Bad_umem_offset;
+    Misaligned_offset;
+    Foreign_frame;
+    Oversize_len;
+    Cqe_wrong_user_data;
+    Cqe_bogus_res;
+    Corrupt_packet;
+  ]
+
+let attack_name = function
+  | Prod_overshoot -> "prod-overshoot"
+  | Prod_regress -> "prod-regress"
+  | Cons_overshoot -> "cons-overshoot"
+  | Cons_regress -> "cons-regress"
+  | Bad_umem_offset -> "bad-umem-offset"
+  | Misaligned_offset -> "misaligned-offset"
+  | Foreign_frame -> "foreign-frame"
+  | Oversize_len -> "oversize-len"
+  | Cqe_wrong_user_data -> "cqe-wrong-user-data"
+  | Cqe_bogus_res -> "cqe-bogus-res"
+  | Corrupt_packet -> "corrupt-packet"
+
+let attack_index = function
+  | Prod_overshoot -> 0
+  | Prod_regress -> 1
+  | Cons_overshoot -> 2
+  | Cons_regress -> 3
+  | Bad_umem_offset -> 4
+  | Misaligned_offset -> 5
+  | Foreign_frame -> 6
+  | Oversize_len -> 7
+  | Cqe_wrong_user_data -> 8
+  | Cqe_bogus_res -> 9
+  | Corrupt_packet -> 10
+
 type t = {
   rng : Sim.Rng.t;
   armed : (attack, arming list ref) Hashtbl.t;
-  counts : (attack, int) Hashtbl.t;
-  mutable fired : int;
+  (* Per-attack fired counts live in the (possibly shared) registry as
+     [malice.<attack-name>], so campaign reports and live metrics read
+     the same cells and cannot drift. *)
+  counts : Obs.Metrics.counter array; (* indexed by attack_index *)
+  total : Obs.Metrics.counter;
+  labels : string array; (* trace labels, one per attack *)
+  trace : Obs.Trace.t option;
   mutable step : int;
 }
 
-let create ~seed =
+let create ?obs ~seed () =
+  let m =
+    match obs with Some o -> Obs.metrics o | None -> Obs.Metrics.create ()
+  in
+  let labels =
+    Array.of_list (List.map (fun a -> "malice." ^ attack_name a) all_attacks)
+  in
   {
     rng = Sim.Rng.create ~seed;
     armed = Hashtbl.create 8;
-    counts = Hashtbl.create 8;
-    fired = 0;
+    counts = Array.map (Obs.Metrics.counter m) labels;
+    total = Obs.Metrics.counter m "malice.fired";
+    labels;
+    trace = Option.map Obs.trace obs;
     step = 0;
   }
 
@@ -102,52 +156,27 @@ let roll t attack =
 
 let rng t = t.rng
 
-let fired t = t.fired
+let fired t = Obs.Metrics.value t.total
 
 let record t attack =
-  t.fired <- t.fired + 1;
-  Hashtbl.replace t.counts attack
-    (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts attack))
+  Obs.Metrics.incr t.total;
+  let i = attack_index attack in
+  Obs.Metrics.incr t.counts.(i);
+  match t.trace with
+  | None -> ()
+  | Some tr -> Obs.Trace.instant tr ~cat:"malice" t.labels.(i)
 
-let fired_of t attack = Option.value ~default:0 (Hashtbl.find_opt t.counts attack)
+let fired_of t attack = Obs.Metrics.value t.counts.(attack_index attack)
 
 let smash_prod layout v = Rings.Layout.write_prod layout v
 
 let smash_cons layout v = Rings.Layout.write_cons layout v
-
-let all_attacks =
-  [
-    Prod_overshoot;
-    Prod_regress;
-    Cons_overshoot;
-    Cons_regress;
-    Bad_umem_offset;
-    Misaligned_offset;
-    Foreign_frame;
-    Oversize_len;
-    Cqe_wrong_user_data;
-    Cqe_bogus_res;
-    Corrupt_packet;
-  ]
 
 let fired_counts t =
   List.filter_map
     (fun a ->
       match fired_of t a with 0 -> None | n -> Some (a, n))
     all_attacks
-
-let attack_name = function
-  | Prod_overshoot -> "prod-overshoot"
-  | Prod_regress -> "prod-regress"
-  | Cons_overshoot -> "cons-overshoot"
-  | Cons_regress -> "cons-regress"
-  | Bad_umem_offset -> "bad-umem-offset"
-  | Misaligned_offset -> "misaligned-offset"
-  | Foreign_frame -> "foreign-frame"
-  | Oversize_len -> "oversize-len"
-  | Cqe_wrong_user_data -> "cqe-wrong-user-data"
-  | Cqe_bogus_res -> "cqe-bogus-res"
-  | Corrupt_packet -> "corrupt-packet"
 
 let attack_of_string s =
   List.find_opt (fun a -> String.equal (attack_name a) s) all_attacks

@@ -44,7 +44,11 @@ type attack =
 
 type t
 
-val create : seed:int64 -> t
+val create : ?obs:Obs.t -> seed:int64 -> unit -> t
+(** [obs] puts the fired counts in the shared registry —
+    ["malice.fired"] plus one ["malice.<attack-name>"] counter per
+    attack — and records a ["malice"] trace instant per tampering, so
+    campaign reports and live metrics read the same cells. *)
 
 val arm : t -> ?probability:float -> attack -> unit
 (** Make [attack] fire with the given probability (default 1.0) at each

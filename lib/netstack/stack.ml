@@ -12,12 +12,16 @@ type t = {
   sockets : (int, Udp_socket.t) Hashtbl.t;
   arp : Arp_cache.t;
   mutable transmit : (Bytes.t -> unit) option;
-  mutable rx_delivered : int;
-  drops : (string, int ref) Hashtbl.t;
+  metrics : Obs.Metrics.t;
+  rx_delivered : Obs.Metrics.counter;
+  drops : (string, Obs.Metrics.counter) Hashtbl.t;
   mutable next_ephemeral : int;
 }
 
-let create engine ~mac ~ip ?(locking = `Fine) () =
+let create ?obs engine ~mac ~ip ?(locking = `Fine) () =
+  let metrics =
+    match obs with Some o -> Obs.metrics o | None -> Obs.Metrics.create ()
+  in
   {
     engine;
     mac;
@@ -28,7 +32,8 @@ let create engine ~mac ~ip ?(locking = `Fine) () =
     sockets = Hashtbl.create 16;
     arp = Arp_cache.create engine ();
     transmit = None;
-    rx_delivered = 0;
+    metrics;
+    rx_delivered = Obs.Metrics.counter metrics "stack.rx_delivered";
     drops = Hashtbl.create 8;
     next_ephemeral = 50000;
   }
@@ -41,17 +46,24 @@ let arp t = t.arp
 
 let set_transmit t f = t.transmit <- Some f
 
+(* Registry counters named [stack.drop.<reason>], created on the first
+   drop of each reason: the steady state is one Hashtbl probe and a
+   field bump, with no string building. *)
 let drop t reason =
   match Hashtbl.find_opt t.drops reason with
-  | Some r -> incr r
-  | None -> Hashtbl.add t.drops reason (ref 1)
+  | Some c -> Obs.Metrics.incr c
+  | None ->
+      let c = Obs.Metrics.counter t.metrics ("stack.drop." ^ reason) in
+      Obs.Metrics.incr c;
+      Hashtbl.add t.drops reason c
 
-let rx_delivered t = t.rx_delivered
+let rx_delivered t = Obs.Metrics.value t.rx_delivered
 
-let rx_dropped t = Hashtbl.fold (fun _ r acc -> acc + !r) t.drops 0
+let rx_dropped t =
+  Hashtbl.fold (fun _ c acc -> acc + Obs.Metrics.value c) t.drops 0
 
 let drop_reasons t =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.drops []
+  Hashtbl.fold (fun k c acc -> (k, Obs.Metrics.value c) :: acc) t.drops []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let socket_count t = Hashtbl.length t.sockets
@@ -170,7 +182,7 @@ let handle_udp t (ip_pkt : Packet.Ipv4.t) =
           if
             Udp_socket.enqueue sock udp.payload
               ~src:(ip_pkt.src, udp.src_port)
-          then t.rx_delivered <- t.rx_delivered + 1
+          then Obs.Metrics.incr t.rx_delivered
           else drop t "queue-full")
 
 let input_borrowed t frame ~len =

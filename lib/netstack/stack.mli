@@ -21,12 +21,18 @@ type t
 type send_error = Unresolvable | Payload_too_big | No_transmit
 
 val create :
+  ?obs:Obs.t ->
   Sim.Engine.t ->
   mac:Packet.Addr.Mac.t ->
   ip:Packet.Addr.Ip.t ->
   ?locking:locking ->
   unit ->
   t
+(** [obs] registers the stack's delivery counter
+    (["stack.rx_delivered"]) and per-cause drop counters
+    (["stack.drop.<reason>"], created on first occurrence) in the
+    shared registry; without it they live in a private one and are
+    reachable only through the accessors below. *)
 
 val mac : t -> Packet.Addr.Mac.t
 

@@ -1,0 +1,118 @@
+(** Metrics registry: named counters, gauges and log2-bucketed
+    histograms (Obs layer; see DESIGN.md §7).
+
+    This is the quantitative half of the observability layer backing the
+    paper's evaluation methodology (§6): enclave exits avoided, ring
+    batch efficiency, Monitor wakeup counts and reject tallies all
+    become named instruments in one registry instead of ad-hoc mutable
+    fields scattered across the FastPath/Monitor modules.
+
+    Instruments are {e handles}: a subsystem looks its instrument up
+    once by dot-separated name at creation time ({!counter}, {!gauge},
+    {!histogram} — find-or-create, so the same name always yields the
+    same handle) and afterwards updates it through the handle.  Updates
+    ({!incr}, {!add}, {!set}, {!observe}) are single field mutations:
+    no allocation, no hashing, nothing that could distort the hot path
+    being measured.
+
+    Naming convention used by the RAKIS runtime: subsystem-prefixed
+    dot-separated lowercase, e.g. ["xsk0.rx_packets"],
+    ["xsk0.xFill.bursts"], ["mm.wakeups.tx"], ["malice.prod-overshoot"],
+    ["stack.drop.bad-udp"]. *)
+
+type t
+(** A registry.  The RAKIS runtime owns one per boot; standalone
+    subsystems create private ones when none is supplied. *)
+
+type counter
+(** Monotonically increasing integer (events, packets, rejects). *)
+
+type gauge
+(** Instantaneous float level (occupancy, rates). *)
+
+type histogram
+(** Log2-bucketed distribution of non-negative integer observations
+    (batch sizes, latencies in cycles). *)
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Zero every registered instrument, keeping all registrations (and
+    outstanding handles) valid. *)
+
+(** {1 Registration (find-or-create; not for hot paths)} *)
+
+val counter : t -> string -> counter
+(** [counter t name] is the unique counter called [name] in [t],
+    created at 0 on first use. *)
+
+val gauge : t -> string -> gauge
+
+val histogram : t -> string -> histogram
+
+(** {1 Hot-path updates (allocation-free)} *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val set : gauge -> float -> unit
+
+val observe : histogram -> int -> unit
+(** Record one observation [v].  Bucket 0 counts [v <= 0]; bucket [k]
+    ([k >= 1]) counts [2{^k-1} <= v < 2{^k}]. *)
+
+(** {1 Reading handles} *)
+
+val value : counter -> int
+
+val counter_name : counter -> string
+
+val get : gauge -> float
+
+val gauge_name : gauge -> string
+
+val count : histogram -> int
+(** Total observations recorded. *)
+
+val sum : histogram -> int
+(** Sum of all observed values. *)
+
+val mean : histogram -> float
+(** [sum / count]; [0.] when empty. *)
+
+val histogram_name : histogram -> string
+
+val buckets : histogram -> (int * int * int) list
+(** Non-empty buckets as [(lo, hi, count)], ascending.  The [v <= 0]
+    bucket reports [lo = min_int], [hi = 0]. *)
+
+val bucket_of : int -> int
+(** The bucket index {!observe} files a value under (exposed for the
+    property tests). *)
+
+(** {1 Registry-wide queries} *)
+
+val find : t -> string -> int option
+(** Counter value by name; [None] if never registered. *)
+
+val get_counter : t -> string -> int
+(** Like {!find} but [0] when absent. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val gauges : t -> (string * float) list
+
+val histograms : t -> histogram list
+
+val with_prefix : t -> string -> (string * int) list
+(** Counters whose name starts with [prefix], with the prefix stripped
+    — e.g. [with_prefix t "stack.drop."] lists drop reasons. *)
+
+(** {1 Rendering} *)
+
+val pp : Format.formatter -> t -> unit
+(** Aligned name/value table: counters, then gauges, then histograms. *)
+
+val pp_histogram : Format.formatter -> histogram -> unit

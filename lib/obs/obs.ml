@@ -1,0 +1,20 @@
+module Metrics = Metrics
+module Trace = Trace
+
+type t = { metrics : Metrics.t; trace : Trace.t }
+
+let create ?trace_capacity ?(clock = fun () -> 0L) () =
+  {
+    metrics = Metrics.create ();
+    trace = Trace.create ?capacity:trace_capacity ~clock ();
+  }
+
+let metrics t = t.metrics
+
+let trace t = t.trace
+
+let counter t name = Metrics.counter t.metrics name
+
+let gauge t name = Metrics.gauge t.metrics name
+
+let histogram t name = Metrics.histogram t.metrics name

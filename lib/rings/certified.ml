@@ -10,23 +10,35 @@ type t = {
   size : int; (* trusted copy, fixed at creation *)
   mutable tprod : int; (* trusted producer *)
   mutable tcons : int; (* trusted consumer *)
-  mutable failures : int;
-  mutable bursts : int; (* non-empty batch operations *)
-  mutable burst_slots : int; (* slots moved by those batches *)
+  failures : Obs.Metrics.counter;
+  bursts : Obs.Metrics.counter; (* non-empty batch operations *)
+  burst_slots : Obs.Metrics.counter; (* slots moved by those batches *)
+  trace : Obs.Trace.t option;
+  produce_label : string; (* precomputed: batch trace events are hot-path *)
+  consume_label : string;
   on_failure : failure -> unit;
 }
 
-let create layout ~role ?(on_failure = fun _ -> ()) ?(init = 0) () =
+let create layout ~role ?(on_failure = fun _ -> ()) ?(init = 0) ?obs
+    ?(name = "ring") () =
   let init = U32.of_int init in
+  (* Without a supplied sink the instruments live in a private registry:
+     the accessors below still work and nothing is shared. *)
+  let m =
+    match obs with Some o -> Obs.metrics o | None -> Obs.Metrics.create ()
+  in
   {
     layout;
     role;
     size = layout.Layout.size;
     tprod = init;
     tcons = init;
-    failures = 0;
-    bursts = 0;
-    burst_slots = 0;
+    failures = Obs.Metrics.counter m (name ^ ".failures");
+    bursts = Obs.Metrics.counter m (name ^ ".bursts");
+    burst_slots = Obs.Metrics.counter m (name ^ ".burst_slots");
+    trace = Option.map Obs.trace obs;
+    produce_label = name ^ ".produce";
+    consume_label = name ^ ".consume";
     on_failure;
   }
 
@@ -35,7 +47,7 @@ let role t = t.role
 let size t = t.size
 
 let reject t failure =
-  t.failures <- t.failures + 1;
+  Obs.Metrics.incr t.failures;
   t.on_failure failure
 
 (* Enclave is producer: refresh the trusted consumer from the untrusted
@@ -111,10 +123,13 @@ let skip t =
   require Consumer t "skip";
   if available t > 0 then release t
 
-let count_burst t n =
+let count_burst t ~label n =
   if n > 0 then begin
-    t.bursts <- t.bursts + 1;
-    t.burst_slots <- t.burst_slots + n
+    Obs.Metrics.incr t.bursts;
+    Obs.Metrics.add t.burst_slots n;
+    match t.trace with
+    | None -> ()
+    | Some tr -> Obs.Trace.instant tr ~cat:"ring" ~arg:n label
   end
 
 (* Batch accessors: one peer-index refresh (with the same Table 2
@@ -135,7 +150,7 @@ let produce_batch t ~count ~write =
     done;
     t.tprod <- U32.add t.tprod n;
     Layout.write_prod t.layout t.tprod;
-    count_burst t n;
+    count_burst t ~label:t.produce_label n;
     n
   end
 
@@ -150,7 +165,7 @@ let consume_batch t ~max ~read =
     done;
     t.tcons <- U32.add t.tcons n;
     Layout.write_cons t.layout t.tcons;
-    count_burst t n;
+    count_burst t ~label:t.consume_label n;
     n
   end
 
@@ -173,18 +188,18 @@ let commit_batch t count =
   if count > 0 then begin
     t.tcons <- U32.add t.tcons count;
     Layout.write_cons t.layout t.tcons;
-    count_burst t count
+    count_burst t ~label:t.consume_label count
   end
 
-let bursts t = t.bursts
+let bursts t = Obs.Metrics.value t.bursts
 
-let burst_slots t = t.burst_slots
+let burst_slots t = Obs.Metrics.value t.burst_slots
 
 let trusted_prod t = t.tprod
 
 let trusted_cons t = t.tcons
 
-let failures t = t.failures
+let failures t = Obs.Metrics.value t.failures
 
 let invariant_holds t =
   let d = U32.distance ~ahead:t.tprod ~behind:t.tcons in

@@ -36,12 +36,26 @@ type failure =
 type t
 
 val create :
-  Layout.t -> role:role -> ?on_failure:(failure -> unit) -> ?init:int -> unit -> t
+  Layout.t ->
+  role:role ->
+  ?on_failure:(failure -> unit) ->
+  ?init:int ->
+  ?obs:Obs.t ->
+  ?name:string ->
+  unit ->
+  t
 (** The ring size is copied to trusted memory here and never re-read.
     [init] (default 0) seeds both trusted indices, for attaching to a
     ring whose indices already stand at a known position — tests use it
     to start near the u32 wrap point; it must match the ring's actual
-    shared indices or the first refresh will reject them. *)
+    shared indices or the first refresh will reject them.
+
+    [obs] wires the ring's failure/burst counters into a shared
+    {!Obs.Metrics} registry under [name] (e.g. ["xsk0.xFill.failures"])
+    and records one trace event per non-empty batch
+    ([<name>.produce] / [<name>.consume], [arg] = slots moved).  When
+    absent the same counters live in a private registry, so the
+    accessors below work regardless. *)
 
 val role : t -> role
 

@@ -20,6 +20,7 @@
 type t
 
 val create : Layout.t -> t
+(** Attach to a shared ring; caches both indices like libxdp does. *)
 
 val prod_nb_free : t -> wanted:int -> int
 (** Faithful port of libxdp's [xsk_prod_nb_free]: returns the cached
@@ -36,10 +37,14 @@ val available : t -> int
 (** Trusts the shared producer index blindly. *)
 
 val consume : t -> read:(slot_off:int -> 'a) -> 'a option
+(** Consume one entry if {!available} says any exist — no validation of
+    what the peer actually produced. *)
 
 val cached_prod : t -> int
+(** Last producer index read from shared memory (unvalidated). *)
 
 val cached_cons : t -> int
+(** Last consumer index read from shared memory (unvalidated). *)
 
 val invariant_holds : t -> bool
 (** Paper eq. 1 over the cached indices — tests show this is violated

@@ -13,11 +13,13 @@ val of_int : int -> int
 (** Truncate to 32 bits. *)
 
 val add : int -> int -> int
+(** [add a b] modulo 2{^32}. *)
 
 val sub : int -> int -> int
 (** [sub a b] is [(a - b) mod 2{^32}], always in [\[0, 2{^32})]. *)
 
 val succ : int -> int
+(** [add a 1]. *)
 
 val distance : ahead:int -> behind:int -> int
 (** [sub ahead behind]; named form for readability at call sites. *)

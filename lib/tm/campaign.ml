@@ -55,6 +55,9 @@ type outcome = {
   desc_rejects : int;
   invariant_ok : bool;
   violations : violation list;
+  trace_tail : string list;
+      (* rendered tail of the runtime's trace ring, captured only on
+         failure: the events leading up to the violation *)
 }
 
 let datapath_name = function Xsk -> "xsk" | Iouring -> "io_uring"
@@ -352,7 +355,10 @@ let run ~datapath ~seed ?(budget = 64) schedule =
   with
   | Error e -> failwith ("campaign: harness boot failed: " ^ e)
   | Ok h ->
-      let malice = Hostos.Malice.create ~seed in
+      (* Share the runtime's registry/trace so campaign reports and the
+         live [malice.*] metrics read the same counters. *)
+      let obs = Option.map Rakis.Runtime.obs (Libos.Env.runtime h.env) in
+      let malice = Hostos.Malice.create ?obs ~seed () in
       install_schedule malice schedule;
       Hostos.Kernel.set_malice h.kernel (Some malice);
       let st =
@@ -393,6 +399,16 @@ let run ~datapath ~seed ?(budget = 64) schedule =
               Rakis.Runtime.invariant_holds rt )
         | None -> (0, 0, false)
       in
+      let trace_tail =
+        if st.violations = [] && invariant_ok then []
+        else
+          match Libos.Env.runtime h.env with
+          | None -> []
+          | Some rt ->
+              List.map
+                (Format.asprintf "%a" Obs.Trace.pp_event)
+                (Obs.Trace.last (Obs.trace (Rakis.Runtime.obs rt)) 24)
+      in
       {
         datapath;
         seed;
@@ -409,6 +425,7 @@ let run ~datapath ~seed ?(budget = 64) schedule =
         desc_rejects;
         invariant_ok;
         violations = List.rev st.violations;
+        trace_tail;
       }
 
 let failed (o : outcome) = o.violations <> [] || not o.invariant_ok
@@ -522,7 +539,7 @@ let pp_outcome ppf (o : outcome) =
      steps=%d ok=%d late_ok=%d refused=%d lost=%d tolerated=%d@,\
      ring_rejects=%d desc/cqe_rejects=%d invariant=%b@,\
      fired: %s@,\
-     %s@]"
+     %s"
     (datapath_name o.datapath) o.seed o.budget pp_schedule o.schedule
     o.steps_run o.ok o.late_ok o.refused o.lost o.tolerated o.ring_rejects
     o.desc_rejects o.invariant_ok
@@ -538,4 +555,10 @@ let pp_outcome ppf (o : outcome) =
        String.concat "; "
          (List.map
             (fun v -> Printf.sprintf "VIOLATION step %d: %s" v.at_step v.what)
-            o.violations))
+            o.violations));
+  if o.trace_tail <> [] then begin
+    Format.fprintf ppf "@,last %d trace events before the failure:"
+      (List.length o.trace_tail);
+    List.iter (fun line -> Format.fprintf ppf "@,  %s" line) o.trace_tail
+  end;
+  Format.fprintf ppf "@]"

@@ -46,6 +46,11 @@ type outcome = {
   desc_rejects : int;  (** descriptor/UMem + CQE rejections *)
   invariant_ok : bool;
   violations : violation list;
+  trace_tail : string list;
+      (** rendered tail (up to 24 events, oldest first) of the
+          runtime's Obs trace ring — captured only when the run failed,
+          so every repro token ships with the events that led up to the
+          violation; [[]] on success *)
 }
 
 val run :

@@ -31,7 +31,10 @@ type report = {
 }
 
 val run : ?seed:int64 -> ?executions:int -> unit -> report
+(** Run the fuzzing loop ([executions] defaults to 50_000) with a
+    seeded RNG; deterministic for a given [(seed, executions)]. *)
 
 val pp_report : Format.formatter -> report -> unit
 
 val passed : report -> bool
+(** No crashes and accounting consistent. *)

@@ -245,7 +245,7 @@ let check_umem () =
               incr cases;
               (* Frames 0 and 1 are out with Rx, frames 2 and 3 out with
                  Tx, the rest FM-owned. *)
-              let umem = Rakis.Umem.create ~size ~frame_size:frame in
+              let umem = Rakis.Umem.create ~size ~frame_size:frame () in
               let commit r =
                 match Rakis.Umem.alloc umem with
                 | Some off -> Rakis.Umem.commit umem off r

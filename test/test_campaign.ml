@@ -24,7 +24,7 @@ let label dp attack =
 (* {1 Malice scheduling hooks (satellite: per-attack counts)} *)
 
 let test_malice_per_attack_counts () =
-  let m = M.create ~seed:3L in
+  let m = M.create ~seed:3L () in
   M.record m M.Prod_overshoot;
   M.record m M.Prod_overshoot;
   M.record m M.Corrupt_packet;
@@ -38,7 +38,7 @@ let test_malice_per_attack_counts () =
     (List.map (fun (a, n) -> (M.attack_name a, n)) (M.fired_counts m))
 
 let test_malice_arm_at () =
-  let m = M.create ~seed:3L in
+  let m = M.create ~seed:3L () in
   M.arm_at m ~step:5 M.Oversize_len;
   for s = 0 to 4 do
     M.set_step m s;
@@ -52,20 +52,20 @@ let test_malice_arm_at () =
 
 let test_malice_arm_at_late_opportunity () =
   (* No opportunity at the exact step: fires at the first one after. *)
-  let m = M.create ~seed:3L in
+  let m = M.create ~seed:3L () in
   M.arm_at m ~step:5 M.Foreign_frame;
   M.set_step m 7;
   check_bool "first opportunity after step" true (M.roll (Some m) M.Foreign_frame);
   check_bool "once only" false (M.roll (Some m) M.Foreign_frame)
 
 let test_malice_arm_once () =
-  let m = M.create ~seed:3L in
+  let m = M.create ~seed:3L () in
   M.arm_once m M.Cons_regress;
   check_bool "fires" true (M.roll (Some m) M.Cons_regress);
   check_bool "spent" false (M.roll (Some m) M.Cons_regress)
 
 let test_malice_arm_burst () =
-  let m = M.create ~seed:3L in
+  let m = M.create ~seed:3L () in
   M.arm_burst m ~first_step:3 ~last_step:5 M.Prod_regress;
   let fired_at s =
     M.set_step m s;
@@ -78,7 +78,7 @@ let test_malice_arm_burst () =
   check_bool "after window" false (fired_at 6)
 
 let test_malice_arm_replaces () =
-  let m = M.create ~seed:3L in
+  let m = M.create ~seed:3L () in
   M.arm_at m ~step:90 M.Oversize_len;
   M.arm m ~probability:0.0 M.Oversize_len;
   M.set_step m 95;

@@ -18,4 +18,5 @@ let () =
       ("tunnel", Test_tunnel.suite);
       ("stress", Test_stress.suite);
       ("misc", Test_misc.suite);
+      ("obs", Test_obs.suite);
     ]

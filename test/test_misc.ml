@@ -151,7 +151,7 @@ let test_poll_unknown_fd_ignored () =
 (* {1 Malice arming} *)
 
 let test_malice_zero_probability_never_fires () =
-  let m = Hostos.Malice.create ~seed:1L in
+  let m = Hostos.Malice.create ~seed:1L () in
   Hostos.Malice.arm m ~probability:0.0 Hostos.Malice.Corrupt_packet;
   for _ = 1 to 1000 do
     if Hostos.Malice.roll (Some m) Hostos.Malice.Corrupt_packet then
@@ -159,7 +159,7 @@ let test_malice_zero_probability_never_fires () =
   done
 
 let test_malice_disarm () =
-  let m = Hostos.Malice.create ~seed:1L in
+  let m = Hostos.Malice.create ~seed:1L () in
   Hostos.Malice.arm m Hostos.Malice.Prod_overshoot;
   check_bool "armed fires" true (Hostos.Malice.roll (Some m) Prod_overshoot);
   Hostos.Malice.disarm m Hostos.Malice.Prod_overshoot;
@@ -168,7 +168,7 @@ let test_malice_disarm () =
     (Hostos.Malice.roll None Prod_overshoot)
 
 let test_malice_probability_roughly_respected () =
-  let m = Hostos.Malice.create ~seed:3L in
+  let m = Hostos.Malice.create ~seed:3L () in
   Hostos.Malice.arm m ~probability:0.25 Hostos.Malice.Cqe_bogus_res;
   let fired = ref 0 in
   for _ = 1 to 10_000 do

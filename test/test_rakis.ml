@@ -9,7 +9,7 @@ let check_bool = Alcotest.(check bool)
 
 (* {1 UMem allocator} *)
 
-let umem () = Rakis.Umem.create ~size:(8 * 64) ~frame_size:64
+let umem () = Rakis.Umem.create ~size:(8 * 64) ~frame_size:64 ()
 
 let test_umem_initially_owned () =
   let u = umem () in
@@ -172,7 +172,7 @@ let test_boot_rejects_trusted_pointers () =
   match
     Rakis.Xsk_fm.create ~enclave
       ~config:{ small_config with umem_size = 64 * 2048 }
-      ~stack ~fd:3 ~xsk
+      ~stack ~fd:3 ~xsk ()
   with
   | Error (Rakis.Xsk_fm.Pointer_in_trusted _) -> ()
   | Ok _ -> Alcotest.fail "trusted pointers accepted (Appendix A attack)"
@@ -195,7 +195,7 @@ let test_boot_rejects_negative_fd () =
   match
     Rakis.Xsk_fm.create ~enclave
       ~config:{ small_config with umem_size = 64 * 2048 }
-      ~stack ~fd:(-1) ~xsk
+      ~stack ~fd:(-1) ~xsk ()
   with
   | Error (Rakis.Xsk_fm.Bad_fd _) -> ()
   | _ -> Alcotest.fail "negative fd accepted"
@@ -221,7 +221,7 @@ let test_iouring_fm_rejects_trusted_bounce () =
   let trusted = Mem.Region.create ~kind:Trusted ~name:"tr" ~size:(1 lsl 20) in
   match
     Rakis.Iouring_fm.create ~enclave ~config:small_config ~fd:4 ~uring
-      ~bounce:(Mem.Ptr.v trusted 0)
+      ~bounce:(Mem.Ptr.v trusted 0) ()
   with
   | Error (Rakis.Iouring_fm.Pointer_in_trusted _) -> ()
   | _ -> Alcotest.fail "trusted bounce buffer accepted"
@@ -379,7 +379,7 @@ let test_rakis_monitor_issues_wakeups () =
 
 let attack_fixture attacks =
   let fx = boot ~config:small_config () in
-  let m = Hostos.Malice.create ~seed:99L in
+  let m = Hostos.Malice.create ~seed:99L () in
   List.iter (fun (a, p) -> Hostos.Malice.arm m ~probability:p a) attacks;
   Hostos.Kernel.set_malice fx.kernel (Some m);
   (fx, m)

@@ -66,7 +66,7 @@ let test_curl_recovers_from_corruption () =
   match Apps.Harness.make Libos.Env.Rakis_sgx () with
   | Error e -> Alcotest.fail e
   | Ok h ->
-      let m = Hostos.Malice.create ~seed:21L in
+      let m = Hostos.Malice.create ~seed:21L () in
       Hostos.Malice.arm m ~probability:0.02 Hostos.Malice.Corrupt_packet;
       Hostos.Kernel.set_malice h.kernel (Some m);
       let size = 2 * 1024 * 1024 in

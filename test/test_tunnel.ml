@@ -113,7 +113,7 @@ let test_tunnel_over_rakis_under_corruption () =
     { Rakis.Config.default with ring_size = 64; umem_size = 256 * 2048 }
   in
   let runtime = Result.get_ok (Rakis.Runtime.boot kernel ~sgx:true ~config ()) in
-  let m = Hostos.Malice.create ~seed:7L in
+  let m = Hostos.Malice.create ~seed:7L () in
   Hostos.Malice.arm m ~probability:0.4 Hostos.Malice.Corrupt_packet;
   Hostos.Kernel.set_malice kernel (Some m);
   let key = 0xfeedL in

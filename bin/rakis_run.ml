@@ -58,6 +58,79 @@ let trace_arg =
            JSON (open in chrome://tracing or ui.perfetto.dev).  RAKIS \
            environments only.")
 
+let faults_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "faults" ] ~docv:"PLAN"
+        ~doc:
+          "Host-fault plan injected during the workload: ';'-separated \
+           entries '@P=fault', 'once[@P]=fault', 'STEP=fault' or \
+           'A..B@P=fault' (e.g. \
+           '@0.05=transient-errno;200=monitor-crash').  Arms the enclave \
+           watchdog.  RAKIS environments only.")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 7
+    & info [ "fault-seed" ] ~docv:"N"
+        ~doc:"Fault injector RNG seed (runs replay bit-for-bit per seed).")
+
+(* Install the fault plan on a booted harness: injector + watchdog + a
+   step clock ticking every 10 simulated µs (the At_step/Burst domain —
+   workloads here have no campaign step counter).  The tick process is
+   perpetual, which is fine: every workload below stops the engine
+   explicitly or runs to a horizon. *)
+let install_faults h ~spec ~seed =
+  if spec = "" then None
+  else
+    match Hostos.Faults.plan_of_string spec with
+    | Error e ->
+        Format.eprintf "bad --faults plan: %s@." e;
+        exit 2
+    | Ok plan -> (
+        match Libos.Env.runtime h.Apps.Harness.env with
+        | None ->
+            Format.eprintf
+              "note: --faults requires a RAKIS environment (rakis-direct or \
+               rakis-sgx)@.";
+            None
+        | Some rt ->
+            let f =
+              Hostos.Faults.create ~obs:(Rakis.Runtime.obs rt)
+                ~seed:(Int64.of_int seed) ()
+            in
+            Hostos.Faults.install_plan f plan;
+            Hostos.Kernel.set_faults h.Apps.Harness.kernel (Some f);
+            Rakis.Runtime.start_watchdog rt;
+            Sim.Engine.spawn h.Apps.Harness.engine ~name:"fault-clock"
+              (fun () ->
+                let rec tick step =
+                  Hostos.Faults.set_step f step;
+                  Sim.Engine.delay (Sim.Cycles.of_us 10.);
+                  tick (step + 1)
+                in
+                tick 0);
+            Some f)
+
+let report_faults h injector =
+  match injector with
+  | None -> ()
+  | Some f ->
+      Format.printf "faults injected: %s@."
+        (match Hostos.Faults.injected_counts f with
+        | [] -> "(none)"
+        | counts ->
+            String.concat ", "
+              (List.map
+                 (fun (fault, n) ->
+                   Printf.sprintf "%s x%d" (Hostos.Faults.fault_name fault) n)
+                 counts));
+      (match Libos.Env.runtime h.Apps.Harness.env with
+      | Some rt ->
+          Format.printf "watchdog restarts: %d@."
+            (Rakis.Runtime.watchdog_restarts rt)
+      | None -> ())
+
 let dump_obs ~metrics ~trace_file h =
   match Libos.Env.runtime h.Apps.Harness.env with
   | None ->
@@ -113,14 +186,18 @@ let iperf_cmd =
   let streams =
     Arg.(value & opt int 4 & info [ "streams" ] ~doc:"Parallel client streams.")
   in
-  let run env packets size streams metrics trace_file =
+  let run env packets size streams faults fault_seed metrics trace_file =
     let h = harness env in
+    let injector = install_faults h ~spec:faults ~seed:fault_seed in
     let r = Apps.Iperf.run ~streams h ~packet_size:size ~packets in
     Format.printf "%a@." Apps.Iperf.pp_result r;
+    report_faults h injector;
     report ~metrics ?trace_file h
   in
   Cmd.v (Cmd.info "iperf" ~doc:"iperf3-style UDP throughput (Figure 4a)")
-    Term.(const run $ env_arg $ packets $ size $ streams $ metrics_arg $ trace_arg)
+    Term.(
+      const run $ env_arg $ packets $ size $ streams $ faults_arg
+      $ fault_seed_arg $ metrics_arg $ trace_arg)
 
 let memcached_cmd =
   let threads =
@@ -215,18 +292,30 @@ let udp_echo_cmd =
   let size =
     Arg.(value & opt int 512 & info [ "size" ] ~doc:"UDP payload bytes.")
   in
-  let run env datagrams size metrics trace_file =
+  let run env datagrams size faults fault_seed metrics trace_file =
     let h = harness env in
+    let injector = install_faults h ~spec:faults ~seed:fault_seed in
     let r = Apps.Udp_echo.run h ~datagrams ~payload_size:size in
     Format.printf "%a@." Apps.Udp_echo.pp_result r;
-    report ~metrics ?trace_file h
+    report_faults h injector;
+    report ~metrics ?trace_file h;
+    (* Under injected faults the echo loop must still complete: faults
+       cost latency, never datagrams.  A shortfall is a recovery bug. *)
+    if injector <> None && r.Apps.Udp_echo.echoed < datagrams then begin
+      Format.eprintf "FAIL: %d/%d datagrams echoed under faults@."
+        r.Apps.Udp_echo.echoed datagrams;
+      exit 1
+    end
   in
   Cmd.v
     (Cmd.info "udp_echo"
        ~doc:
          "Closed-loop UDP echo (paper §1 scenario); the canonical workload \
-          for $(b,--metrics)/$(b,--trace)")
-    Term.(const run $ env_arg $ datagrams $ size $ metrics_arg $ trace_arg)
+          for $(b,--metrics)/$(b,--trace), and with $(b,--faults) the \
+          recovery smoke test: exits 1 unless every datagram is echoed")
+    Term.(
+      const run $ env_arg $ datagrams $ size $ faults_arg $ fault_seed_arg
+      $ metrics_arg $ trace_arg)
 
 let verify_cmd =
   let depth = Arg.(value & opt int 3 & info [ "depth" ] ~doc:"Schedule depth.") in

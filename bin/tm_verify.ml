@@ -8,15 +8,23 @@
      pairwise / soup attack schedules on both datapaths, and a
      shrinker demonstration.  --budget bounds the total end-to-end
      workload steps (CI smoke uses --budget 2000);
-   - --replay '<datapath>:<seed>:<budget>:<schedule>': replay one
-     campaign outcome from its copy-pasteable repro token. *)
+   - --replay '<datapath>:<seed>:<budget>:<schedule>[:<faults>]':
+     replay one campaign outcome from its copy-pasteable repro token
+     (5-segment tokens re-run the embedded fault plan bit-for-bit);
+   - --faults '<plan>' (with --campaign): additionally run each
+     datapath under that host-fault plan alone and composed with an
+     attack soup — the Faults.plan syntax of docs/cli.md
+     (e.g. '@0.05=transient-errno;200=monitor-crash'). *)
 
 let total_fired o =
   List.fold_left (fun acc (_, n) -> acc + n) 0 o.Tm.Campaign.fired
 
+let total_injected o =
+  List.fold_left (fun acc (_, n) -> acc + n) 0 o.Tm.Campaign.injected
+
 let dp_name = function Tm.Campaign.Xsk -> "xsk" | Tm.Campaign.Iouring -> "io_uring"
 
-let campaign ~budget =
+let campaign ~budget ~faults_plan =
   Format.printf "RAKIS Testing Module: adversarial campaign (budget %d)@.@."
     budget;
   let failures = ref 0 in
@@ -36,7 +44,9 @@ let campaign ~budget =
       (fun dp -> List.map (fun a -> (dp, a)) (Tm.Campaign.applicable dp))
       datapaths
   in
-  let runs = List.length singles + 8 in
+  let runs =
+    List.length singles + 8 + (if faults_plan = [] then 0 else 4)
+  in
   let per_run = max 16 (budget / runs) in
   let summarize o =
     if Tm.Campaign.failed o then begin
@@ -90,6 +100,37 @@ let campaign ~budget =
         (if Tm.Campaign.failed o then "FAIL" else "ok");
       summarize o)
     datapaths;
+  (* Host-fault schedules: the plan alone (pure availability weather),
+     then composed with an attack soup — a lying AND failing host. *)
+  if faults_plan <> [] then
+    List.iter
+      (fun dp ->
+        let o =
+          Tm.Campaign.run ~datapath:dp ~seed:61L ~budget:per_run
+            ~faults:faults_plan []
+        in
+        Format.printf
+          "faults %-9s injected=%d ok=%d refused=%d lost=%d %s@."
+          (dp_name dp) (total_injected o) o.Tm.Campaign.ok
+          o.Tm.Campaign.refused o.Tm.Campaign.lost
+          (if Tm.Campaign.failed o then "FAIL" else "ok");
+        summarize o;
+        let schedule =
+          Tm.Campaign.soup ~datapath:dp ~seed:71L ~budget:per_run ()
+        in
+        let o =
+          Tm.Campaign.run ~datapath:dp ~seed:71L ~budget:per_run
+            ~faults:faults_plan schedule
+        in
+        Format.printf
+          "faults+soup %-9s entries=%d injected=%d ok=%d refused=%d \
+           lost=%d fired=%d %s@."
+          (dp_name dp)
+          (List.length schedule) (total_injected o) o.Tm.Campaign.ok
+          o.Tm.Campaign.refused o.Tm.Campaign.lost (total_fired o)
+          (if Tm.Campaign.failed o then "FAIL" else "ok");
+        summarize o)
+      datapaths;
   (* Shrinker demonstration on a naive-ring failure. *)
   let events = Tm.Oracle.gen_soup ~seed:51L ~steps:60 in
   if Tm.Oracle.naive_consumer_fails events then begin
@@ -125,6 +166,7 @@ let () =
   and ring_size = ref 4
   and budget = ref 2000
   and mode = ref `Model_check
+  and faults_spec = ref ""
   and token = ref "" in
   let spec =
     [
@@ -136,6 +178,10 @@ let () =
       ( "--budget",
         Arg.Set_int budget,
         "campaign end-to-end step budget (default 2000)" );
+      ( "--faults",
+        Arg.Set_string faults_spec,
+        "host-fault plan for the campaign (';'-separated, e.g. \
+         '@0.05=transient-errno;200=monitor-crash')" );
       ( "--replay",
         Arg.String
           (fun s ->
@@ -146,9 +192,15 @@ let () =
   in
   Arg.parse spec
     (fun _ -> ())
-    "tm_verify [-depth N] [-ring-size N] [--campaign] [--budget N] [--replay TOKEN]";
+    "tm_verify [-depth N] [-ring-size N] [--campaign] [--budget N] [--faults \
+     PLAN] [--replay TOKEN]";
   match !mode with
-  | `Campaign -> campaign ~budget:!budget
+  | `Campaign -> (
+      match Hostos.Faults.plan_of_string !faults_spec with
+      | Error e ->
+          Format.eprintf "bad --faults plan: %s@." e;
+          exit 2
+      | Ok faults_plan -> campaign ~budget:!budget ~faults_plan)
   | `Replay -> replay !token
   | `Model_check ->
       Format.printf "RAKIS Testing Module: FM model check@.";

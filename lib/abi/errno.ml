@@ -1,6 +1,8 @@
 type t =
   | EPERM
   | ENOENT
+  | EINTR
+  | EIO
   | EBADF
   | EAGAIN
   | EINVAL
@@ -12,10 +14,13 @@ type t =
   | EMSGSIZE
   | ENOSYS
   | EFAULT
+  | ETIMEDOUT
 
 let to_int = function
   | EPERM -> 1
   | ENOENT -> 2
+  | EINTR -> 4
+  | EIO -> 5
   | EBADF -> 9
   | EAGAIN -> 11
   | EINVAL -> 22
@@ -27,10 +32,13 @@ let to_int = function
   | EMSGSIZE -> 90
   | ENOSYS -> 38
   | EFAULT -> 14
+  | ETIMEDOUT -> 110
 
 let of_int = function
   | 1 -> Some EPERM
   | 2 -> Some ENOENT
+  | 4 -> Some EINTR
+  | 5 -> Some EIO
   | 9 -> Some EBADF
   | 11 -> Some EAGAIN
   | 22 -> Some EINVAL
@@ -42,11 +50,14 @@ let of_int = function
   | 90 -> Some EMSGSIZE
   | 38 -> Some ENOSYS
   | 14 -> Some EFAULT
+  | 110 -> Some ETIMEDOUT
   | _ -> None
 
 let to_string = function
   | EPERM -> "EPERM"
   | ENOENT -> "ENOENT"
+  | EINTR -> "EINTR"
+  | EIO -> "EIO"
   | EBADF -> "EBADF"
   | EAGAIN -> "EAGAIN"
   | EINVAL -> "EINVAL"
@@ -58,5 +69,38 @@ let to_string = function
   | EMSGSIZE -> "EMSGSIZE"
   | ENOSYS -> "ENOSYS"
   | EFAULT -> "EFAULT"
+  | ETIMEDOUT -> "ETIMEDOUT"
+
+let all =
+  [
+    EPERM;
+    ENOENT;
+    EINTR;
+    EIO;
+    EBADF;
+    EAGAIN;
+    EINVAL;
+    ENOBUFS;
+    ENOTCONN;
+    ECONNREFUSED;
+    ECONNRESET;
+    EADDRINUSE;
+    EMSGSIZE;
+    ENOSYS;
+    EFAULT;
+    ETIMEDOUT;
+  ]
+
+(* The retry-worthy set: the operation did not execute and repeating it
+   is legal.  ETIMEDOUT is deliberately excluded — it is what the
+   enclave's own recovery machinery reports after exhausting retries, so
+   treating it as transient would loop. *)
+let is_transient = function
+  | EAGAIN | EINTR | ENOBUFS | EIO -> true
+  | EPERM | ENOENT | EBADF | EINVAL | ENOTCONN | ECONNREFUSED | ECONNRESET
+  | EADDRINUSE | EMSGSIZE | ENOSYS | EFAULT | ETIMEDOUT ->
+      false
+
+let transient = List.filter is_transient all
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)

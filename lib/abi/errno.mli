@@ -6,6 +6,8 @@
 type t =
   | EPERM
   | ENOENT
+  | EINTR
+  | EIO
   | EBADF
   | EAGAIN
   | EINVAL
@@ -17,6 +19,7 @@ type t =
   | EMSGSIZE
   | ENOSYS
   | EFAULT
+  | ETIMEDOUT
 
 val to_int : t -> int
 (** The positive errno value (EPERM = 1, ...). *)
@@ -24,5 +27,17 @@ val to_int : t -> int
 val of_int : int -> t option
 
 val to_string : t -> string
+
+val all : t list
+(** Every code, in declaration order. *)
+
+val is_transient : t -> bool
+(** Errors a caller may retry: the operation did not take effect and
+    reissuing it is legal ([EAGAIN], [EINTR], [ENOBUFS], [EIO]).
+    [ETIMEDOUT] is {e not} transient — it is the terminal verdict the
+    enclave's recovery machinery itself reports after retries. *)
+
+val transient : t list
+(** The codes for which {!is_transient} holds, in declaration order. *)
 
 val pp : Format.formatter -> t -> unit

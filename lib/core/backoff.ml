@@ -1,0 +1,32 @@
+type t = {
+  rng : Sim.Rng.t;
+  base : int64;
+  cap : int64;
+  mutable attempt : int;
+}
+
+let create ?(seed = 1L) ~base ~cap () =
+  if base <= 0L then invalid_arg "Backoff.create: base must be positive";
+  if cap < base then invalid_arg "Backoff.create: cap must be >= base";
+  { rng = Sim.Rng.create ~seed; base; cap; attempt = 0 }
+
+let reset t = t.attempt <- 0
+
+let attempt t = t.attempt
+
+(* delay(n) = min(cap, base * 2^n + jitter), jitter uniform in
+   [0, base * 2^n).  Jitter below one doubling keeps the sequence
+   strictly monotone until it saturates: max delay(n) < 2*base*2^n =
+   min possible delay(n+1). *)
+let next t =
+  let n = t.attempt in
+  t.attempt <- n + 1;
+  let cap = Int64.to_int t.cap in
+  let base = Int64.to_int t.base in
+  (* [base lsl n] overflows once n nears the word size; any shift that
+     can no longer be represented has certainly passed the cap. *)
+  let expo =
+    if n >= 62 || base > max_int asr n then cap else min cap (base lsl n)
+  in
+  if expo >= cap then t.cap
+  else Int64.of_int (min cap (expo + Sim.Rng.int t.rng expo))

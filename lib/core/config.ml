@@ -10,6 +10,10 @@ type t = {
   locking : Netstack.Stack.locking;
   rx_burst : int;
   use_sqpoll : bool;
+  retry_limit : int;
+  backoff_base : int64;
+  backoff_cap : int64;
+  reinit_threshold : int;
 }
 
 let default =
@@ -25,6 +29,10 @@ let default =
     locking = `Fine;
     rx_burst = 64;
     use_sqpoll = false;
+    retry_limit = 8;
+    backoff_base = 500L;
+    backoff_cap = 16_000L;
+    reinit_threshold = 32;
   }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
@@ -40,4 +48,9 @@ let validate t =
     Error "umem must hold at least 2*ring_size frames"
   else if t.max_io_size <= 0 then Error "max_io_size must be positive"
   else if t.rx_burst <= 0 then Error "rx_burst must be positive"
+  else if t.retry_limit < 0 then Error "retry_limit must be non-negative"
+  else if t.backoff_base <= 0L then Error "backoff_base must be positive"
+  else if t.backoff_cap < t.backoff_base then
+    Error "backoff_cap must be at least backoff_base"
+  else if t.reinit_threshold <= 0 then Error "reinit_threshold must be positive"
   else Ok ()

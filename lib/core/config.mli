@@ -26,6 +26,17 @@ type t = {
           itself, so submissions need no [io_uring_enter] from the MM at
           all — trading a busy kernel thread for the last wakeup
           syscalls.  Default false (the paper's MM-driven design). *)
+  retry_limit : int;
+      (** max retries of one transient host failure before the FM gives
+          up and reports [ETIMEDOUT] (DESIGN.md §8); default 8 *)
+  backoff_base : int64;
+      (** first retry backoff in cycles (doubles per attempt); default
+          500 *)
+  backoff_cap : int64;
+      (** backoff ceiling in cycles; default 16,000 (~6.7 µs) *)
+  reinit_threshold : int;
+      (** consecutive-iteration certified-ring failures after which an
+          XSK FM quarantines and re-initializes its rings; default 32 *)
 }
 
 val default : t

@@ -28,6 +28,11 @@ type t = {
   cqes_reaped : Obs.Metrics.counter;
   cqe_strays : Obs.Metrics.counter;
   sync_wait_cycles : Obs.Metrics.histogram; (* submit->complete, cycles *)
+  retry_limit : int;
+  backoff : Backoff.t;
+  retries : Obs.Metrics.counter;
+  retry_success : Obs.Metrics.counter;
+  retry_exhausted : Obs.Metrics.counter;
   trace : Obs.Trace.t option;
 }
 
@@ -111,6 +116,17 @@ let create ?obs ?(name = "uring") ~enclave ~config ~fd ~uring ~bounce () =
         cqes_reaped = Obs.Metrics.counter m (name ^ ".cqes_reaped");
         cqe_strays = Obs.Metrics.counter m (name ^ ".cqe_strays");
         sync_wait_cycles = Obs.Metrics.histogram m (name ^ ".sync_wait_cycles");
+        retry_limit = config.Config.retry_limit;
+        backoff =
+          (* Seeded by the FM's name, not a global counter: replayed
+             campaign runs create FMs in the same order with the same
+             names, so retry timing is reproducible bit-for-bit. *)
+          Backoff.create
+            ~seed:(Int64.of_int (Hashtbl.hash name))
+            ~base:config.Config.backoff_base ~cap:config.Config.backoff_cap ();
+        retries = Obs.Metrics.counter m (name ^ ".retries");
+        retry_success = Obs.Metrics.counter m (name ^ ".retry_success");
+        retry_exhausted = Obs.Metrics.counter m (name ^ ".retry_exhausted");
         trace = Option.map Obs.trace obs;
       }
 
@@ -121,6 +137,12 @@ let sq_ring t = t.sq
 let cq_ring t = t.cq
 
 let cqe_rejects t = Obs.Metrics.value t.cqe_rejects
+
+let retries t = Obs.Metrics.value t.retries
+
+let retry_successes t = Obs.Metrics.value t.retry_success
+
+let retries_exhausted t = Obs.Metrics.value t.retry_exhausted
 
 let ring_check_failures t =
   Rings.Certified.failures t.sq + Rings.Certified.failures t.cq
@@ -253,7 +275,7 @@ let op_name : Abi.Uring_abi.opcode -> string = function
   | Recv -> "uring.recv"
   | Poll_add -> "uring.poll"
 
-let submit_wait t sqe ~expected_max =
+let submit_wait_once t sqe ~expected_max =
   match submit t sqe ~expected_max with
   | Error e -> Error e
   | Ok p ->
@@ -271,6 +293,39 @@ let submit_wait t sqe ~expected_max =
           Obs.Trace.span tr ~cat:"syncproxy" ~arg:sqe.Abi.Uring_abi.fd
             (op_name sqe.Abi.Uring_abi.opcode) ~start);
       r
+
+(* Transient host failures (bounced submissions, EAGAIN/EINTR-class
+   CQEs) are retried with bounded exponential backoff; the kick before
+   each retry matters when the failure was a full-looking iSub — only
+   kernel re-entry rewrites a smashed consumer word.  Exhaustion
+   surfaces as ETIMEDOUT, the terminal recovery verdict: the op is
+   known never to have executed (every attempt bounced), so callers may
+   treat it like any refused request. *)
+let submit_wait t sqe ~expected_max =
+  let rec attempt n =
+    match submit_wait_once t sqe ~expected_max with
+    | Error e when Abi.Errno.is_transient e ->
+        if n >= t.retry_limit then begin
+          Obs.Metrics.incr t.retry_exhausted;
+          Backoff.reset t.backoff;
+          Error Abi.Errno.ETIMEDOUT
+        end
+        else begin
+          Obs.Metrics.incr t.retries;
+          t.kick ();
+          Sim.Engine.delay (Backoff.next t.backoff);
+          attempt (n + 1)
+        end
+    | r ->
+        if n > 0 then begin
+          (match r with
+          | Ok _ -> Obs.Metrics.incr t.retry_success
+          | Error _ -> ());
+          Backoff.reset t.backoff
+        end;
+        r
+  in
+  attempt 0
 
 let base_sqe opcode ~fd =
   {
@@ -294,7 +349,10 @@ let chunked t ~make_sqe ~stage ~unstage ~pos ~len =
       | Error e -> if done_ > 0 then Ok done_ else Error e
       | Ok n ->
           unstage ~pos:(pos + done_) ~n;
-          if n < chunk then Ok (done_ + n) else go (done_ + n)
+          (* A short completion (the kernel honoured a prefix — e.g. an
+             injected Short_io) is resubmitted for the remainder; only
+             a zero count (EOF / peer gone) ends the transfer early. *)
+          if n = 0 then Ok done_ else go (done_ + n)
     end
   in
   go 0

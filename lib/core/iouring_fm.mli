@@ -87,6 +87,17 @@ val ring_check_failures : t -> int
 val cqe_rejects : t -> int
 (** CQEs refused for wrong user_data or out-of-range result. *)
 
+val retries : t -> int
+(** Transient-failure retries taken (["<name>.retries"]).  Every
+    synchronous operation retries [config.retry_limit] times with
+    {!Backoff} before reporting [ETIMEDOUT] (DESIGN.md §8). *)
+
+val retry_successes : t -> int
+(** Operations that succeeded only after at least one retry. *)
+
+val retries_exhausted : t -> int
+(** Operations that gave up after [config.retry_limit] retries. *)
+
 val burst_counters : t -> (string * (int * int)) list
 (** Per-ring [(name, (bursts, slots))] batch counters (see
     {!Xsk_fm.burst_counters}). *)

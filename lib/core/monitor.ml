@@ -5,6 +5,7 @@ type watched =
       tx : Rings.Layout.t;
       mutable fill_seen : int;
       mutable tx_seen : int;
+      mutable forced : bool;
     }
   | Uring of {
       uring : Hostos.Io_uring.t;
@@ -25,7 +26,17 @@ type t = {
   uring_wakeups : Obs.Metrics.counter;
   scans : Obs.Metrics.counter;
   forced_enters : Obs.Metrics.counter;
+  forced_tx : Obs.Metrics.counter;
+  beats : Obs.Metrics.counter;
+  crashes : Obs.Metrics.counter;
   trace : Obs.Trace.t option;
+  (* Liveness state the in-enclave watchdog samples (DESIGN.md §8).
+     The MM thread is untrusted and may crash or hang; [generation]
+     fences stale incarnations out after a restart. *)
+  mutable generation : int;
+  mutable alive : bool;
+  mutable last_beat : int64;
+  mutable hb_armed : bool;
 }
 
 let create ?obs engine ~kernel =
@@ -44,7 +55,14 @@ let create ?obs engine ~kernel =
     uring_wakeups = Obs.Metrics.counter m "mm.wakeups.uring";
     scans = Obs.Metrics.counter m "mm.scans";
     forced_enters = Obs.Metrics.counter m "mm.forced_enters";
+    forced_tx = Obs.Metrics.counter m "mm.forced_tx";
+    beats = Obs.Metrics.counter m "mm.heartbeats";
+    crashes = Obs.Metrics.counter m "mm.crashes";
     trace = Option.map Obs.trace obs;
+    generation = 0;
+    alive = false;
+    last_beat = 0L;
+    hb_armed = false;
   }
 
 let watch_xsk t xsk =
@@ -56,6 +74,7 @@ let watch_xsk t xsk =
         tx = Hostos.Xdp.tx_layout xsk;
         fill_seen = 0;
         tx_seen = 0;
+        forced = false;
       }
     :: t.watched
 
@@ -79,6 +98,18 @@ let nudge_uring t uring =
       | _ -> ())
     t.watched
 
+(* The XSK flavour of a forced wakeup: the FM suspects a TX wakeup was
+   dropped (frames outstanding, completions quiet), so ask for a sendto
+   even though xTX has not advanced. *)
+let nudge_xsk t xsk =
+  List.iter
+    (fun w ->
+      match w with
+      | Xsk r when Hostos.Xdp.xsk_id r.xsk = Hostos.Xdp.xsk_id xsk ->
+          r.forced <- true
+      | _ -> ())
+    t.watched
+
 (* [pending] survives kicks that arrive while the MM is mid-scan (the
    condition would otherwise drop them). *)
 let kick t =
@@ -96,6 +127,18 @@ let uring_wakeup_syscalls t = Obs.Metrics.value t.uring_wakeups
 let scan_count t = Obs.Metrics.value t.scans
 
 let forced_enters t = Obs.Metrics.value t.forced_enters
+
+let forced_tx_wakeups t = Obs.Metrics.value t.forced_tx
+
+let alive t = t.alive
+
+let last_beat t = t.last_beat
+
+let heartbeats t = Obs.Metrics.value t.beats
+
+let crashes t = Obs.Metrics.value t.crashes
+
+let generation t = t.generation
 
 let advanced ~seen ~now = Rings.U32.distance ~ahead:now ~behind:seen > 0
 
@@ -119,7 +162,10 @@ let scan t =
             Hostos.Kernel.xsk_rx_wakeup t.kernel r.xsk
           end;
           let tx_now = Rings.Layout.read_prod r.tx in
-          if advanced ~seen:r.tx_seen ~now:tx_now then begin
+          let adv = advanced ~seen:r.tx_seen ~now:tx_now in
+          if r.forced || adv then begin
+            if r.forced && not adv then Obs.Metrics.incr t.forced_tx;
+            r.forced <- false;
             r.tx_seen <- tx_now;
             wakeup t t.tx_wakeups "mm.wakeup.tx";
             Hostos.Kernel.xsk_tx_wakeup t.kernel r.xsk
@@ -136,17 +182,64 @@ let scan t =
           end)
     t.watched
 
+let force_scan t = scan t
+
+(* Idle wait, with a liveness beat.  Arming the heartbeat timer only
+   when a fault injector is installed keeps fault-free runs' event
+   queues drainable (several tests terminate on queue exhaustion) and
+   costs nothing: without faults the MM cannot crash, so nothing
+   samples the beat.  At most one timer is outstanding ([hb_armed]) no
+   matter how often the loop passes through here. *)
+let heartbeat_wait t =
+  (match Hostos.Kernel.faults t.kernel with
+  | Some _ when not t.hb_armed ->
+      t.hb_armed <- true;
+      Sim.Engine.at t.engine
+        (Int64.add (Sim.Engine.now t.engine) Sgx.Params.mm_heartbeat_period)
+        (fun () ->
+          t.hb_armed <- false;
+          Sim.Condition.broadcast t.work)
+  | _ -> ());
+  Sim.Condition.wait t.work
+
 let start t =
+  t.generation <- t.generation + 1;
+  let gen = t.generation in
+  t.alive <- true;
+  t.last_beat <- Sim.Engine.now t.engine;
   Sim.Engine.spawn t.engine ~name:"rakis-mm" (fun () ->
       let rec loop () =
-        if t.pending then begin
-          t.pending <- false;
-          scan t;
-          loop ()
-        end
+        (* A later restart fences this incarnation out: scans and beats
+           from a superseded MM thread must stop (it may have been woken
+           from a hang long after its replacement took over). *)
+        if t.generation <> gen then ()
         else begin
-          Sim.Condition.wait t.work;
-          loop ()
+          t.last_beat <- Sim.Engine.now t.engine;
+          Obs.Metrics.incr t.beats;
+          match Hostos.Kernel.faults t.kernel with
+          | Some f when Hostos.Faults.roll (Some f) Hostos.Faults.Monitor_crash
+            ->
+              Hostos.Faults.record f Hostos.Faults.Monitor_crash;
+              Obs.Metrics.incr t.crashes;
+              t.alive <- false
+              (* thread exits; the watchdog notices the stale beat *)
+          | Some f when Hostos.Faults.roll (Some f) Hostos.Faults.Monitor_hang
+            ->
+              Hostos.Faults.record f Hostos.Faults.Monitor_hang;
+              Sim.Engine.delay Sgx.Params.fault_monitor_hang;
+              loop ()
+          | _ ->
+              if t.pending then begin
+                t.pending <- false;
+                scan t;
+                loop ()
+              end
+              else begin
+                heartbeat_wait t;
+                loop ()
+              end
         end
       in
       loop ())
+
+let restart t = start t

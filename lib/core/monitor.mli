@@ -39,8 +39,47 @@ val nudge_uring : t -> Hostos.Io_uring.t -> unit
     certified view: only kernel re-entry rewrites the shared word.
     Call {!kick} afterwards to schedule the scan. *)
 
+val nudge_xsk : t -> Hostos.Xdp.xsk -> unit
+(** The XSK analogue: issue a [sendto] TX wakeup for this XSK on the
+    next scan even if xTX has not advanced.  The XSK FM's rekick timer
+    uses this when TX frames stay outstanding with no completions — the
+    recovery for a dropped or withheld xTX wakeup (DESIGN.md §8). *)
+
 val start : t -> unit
-(** Spawn the MM thread. *)
+(** Spawn the MM thread (a new generation; see {!restart}). *)
+
+(** {1 Liveness and the watchdog (DESIGN.md §8)}
+
+    The MM thread is untrusted and may crash or hang ({!Hostos.Faults}).
+    While a fault injector is installed it maintains a heartbeat every
+    {!Sgx.Params.mm_heartbeat_period} cycles; {!Runtime}'s in-enclave
+    watchdog samples {!alive} and {!last_beat} and calls {!restart} when
+    the beat goes stale.  Generations fence superseded incarnations out:
+    a hung thread that wakes after a restart exits without touching
+    anything. *)
+
+val restart : t -> unit
+(** Spawn a replacement MM thread, superseding any prior incarnation. *)
+
+val force_scan : t -> unit
+(** Run one watched-ring scan in the {e caller's} context — the
+    watchdog's degraded polling while the MM is being replaced.  From
+    inside the enclave the wakeup syscalls it issues cost enclave
+    exits, which is exactly why this is a stopgap, not the design. *)
+
+val alive : t -> bool
+(** False once the current MM incarnation has crashed. *)
+
+val last_beat : t -> int64
+(** Simulation time of the current incarnation's most recent beat. *)
+
+val heartbeats : t -> int
+
+val crashes : t -> int
+(** Injected MM crashes observed so far (["mm.crashes"]). *)
+
+val generation : t -> int
+(** Number of times the MM has been started ({!start} + {!restart}). *)
 
 val wakeup_syscalls : t -> int
 (** Wakeup syscalls issued so far (all kinds). *)
@@ -61,3 +100,7 @@ val forced_enters : t -> int
 (** [io_uring_enter] wakeups issued {e solely} because of
     {!nudge_uring} — iSub had not advanced.  These measure the
     liveness-recovery overhead under iCompl index-smashing attacks. *)
+
+val forced_tx_wakeups : t -> int
+(** [sendto] wakeups issued solely because of {!nudge_xsk} — xTX had
+    not advanced (["mm.forced_tx"]). *)

@@ -151,6 +151,17 @@ let boot kernel ~sgx ?(config = Config.default) () =
           Array.iteri
             (fun i fm ->
               Xsk_fm.set_kick fm (fun () -> Monitor.kick monitor);
+              Xsk_fm.set_renudge fm (fun () ->
+                  Monitor.nudge_xsk monitor xsks.(i);
+                  Monitor.kick monitor);
+              (* Quarantine-and-reinit republish: one OCALL from the FM
+                 drives kernel re-entry on both wakeup paths so all four
+                 shared index words are rewritten from kernel truth
+                 before the FM resyncs to them. *)
+              Xsk_fm.set_republish fm (fun () ->
+                  Sgx.Enclave.ocall enclave;
+                  Hostos.Kernel.xsk_rx_wakeup kernel xsks.(i);
+                  Hostos.Kernel.xsk_tx_wakeup kernel xsks.(i));
               Monitor.watch_xsk monitor xsks.(i);
               Xsk_fm.start fm)
             t.xsk_fms;
@@ -269,9 +280,49 @@ let total_desc_rejects t =
 
 let invariant_holds t =
   Array.for_all Xsk_fm.invariant_holds t.xsk_fms
+  && Array.for_all
+       (fun fm -> Umem.conservation_holds (Xsk_fm.umem fm))
+       t.xsk_fms
   && List.for_all
        (fun th -> Iouring_fm.invariant_holds (Syncproxy.fm th.proxy))
        t.threads
+
+(* {1 Watchdog (DESIGN.md §8)} *)
+
+(* The in-enclave thread that keeps the (untrusted, crashable) Monitor
+   Module honest.  Spawned on demand — it is only meaningful when a
+   fault injector can kill the MM, and its periodic timer would keep
+   the event queue of fault-free runs from draining. *)
+let start_watchdog t =
+  let engine = Hostos.Kernel.engine t.kernel in
+  let m = Obs.metrics t.obs in
+  let restarts = Obs.Metrics.counter m "watchdog.restarts" in
+  let degraded = Obs.Metrics.counter m "watchdog.degraded_scans" in
+  Sim.Engine.spawn engine ~name:"rakis-watchdog" (fun () ->
+      let rec loop () =
+        Sim.Engine.delay Sgx.Params.watchdog_period;
+        let stale =
+          Int64.sub (Sim.Engine.now engine) (Monitor.last_beat t.monitor)
+          > Sgx.Params.watchdog_timeout
+        in
+        if (not (Monitor.alive t.monitor)) || stale then begin
+          (* Degraded polling: one scan from inside the enclave (paying
+             enclave exits for its wakeups — the stopgap, not the
+             design) so work published while the MM was down moves
+             now, then hand back to a fresh MM incarnation. *)
+          Obs.Metrics.incr degraded;
+          Sgx.Enclave.ocall t.enclave;
+          Monitor.force_scan t.monitor;
+          Obs.Metrics.incr restarts;
+          Monitor.restart t.monitor;
+          Monitor.kick t.monitor
+        end;
+        loop ()
+      in
+      loop ())
+
+let watchdog_restarts t =
+  Obs.Metrics.value (Obs.Metrics.counter (Obs.metrics t.obs) "watchdog.restarts")
 
 let udp_activity _t sock =
   Option.map Netstack.Udp_socket.activity sock.bound

@@ -117,8 +117,23 @@ val total_desc_rejects : t -> int
     forged/stray io_uring CQEs. *)
 
 val invariant_holds : t -> bool
-(** Conjunction of every certified ring's local invariant and every
-    UMem's ownership invariant — the Table 2 safety statement. *)
+(** Conjunction of every certified ring's local invariant, every UMem's
+    frame-conservation invariant (no frame leaked or double-owned), and
+    every io_uring ring pair's invariant — the Table 2 safety statement
+    extended with the §8 leak-freedom obligation. *)
+
+val start_watchdog : t -> unit
+(** Spawn the in-enclave watchdog (DESIGN.md §8): every
+    {!Sgx.Params.watchdog_period} cycles it samples the Monitor
+    Module's liveness ({!Monitor.alive} / {!Monitor.last_beat}); on a
+    crash or a beat staler than {!Sgx.Params.watchdog_timeout} it runs
+    one degraded scan from inside the enclave and restarts the MM.
+    Call after installing a fault injector ({!Hostos.Kernel.set_faults})
+    — its periodic timer keeps the event queue alive, so fault-free
+    runs that terminate on queue exhaustion should not start it. *)
+
+val watchdog_restarts : t -> int
+(** Monitor restarts performed by the watchdog (["watchdog.restarts"]). *)
 
 val tx_round_robin : t -> int
 (** Frames transmitted through the stack's transmit hook. *)

@@ -16,7 +16,9 @@ type t = {
   free : int Queue.t; (* frame indices *)
   mutable out_rx : int; (* frames currently With_kernel Rx *)
   mutable out_tx : int; (* frames currently With_kernel Tx *)
+  mutable allocated : int; (* frames in Allocated limbo *)
   rejects : Obs.Metrics.counter;
+  force_reclaims : Obs.Metrics.counter;
   trace : Obs.Trace.t option;
   alloc_label : string; (* precomputed: alloc/free trace is per-frame *)
   free_label : string;
@@ -41,7 +43,9 @@ let create ?obs ?(name = "umem") ~size ~frame_size () =
     free;
     out_rx = 0;
     out_tx = 0;
+    allocated = 0;
     rejects = Obs.Metrics.counter m (name ^ ".rejects");
+    force_reclaims = Obs.Metrics.counter m (name ^ ".force_reclaims");
     trace = Option.map Obs.trace obs;
     alloc_label = name ^ ".alloc";
     free_label = name ^ ".free";
@@ -65,6 +69,7 @@ let alloc t =
   | None -> None
   | Some idx ->
       t.state.(idx) <- Allocated;
+      t.allocated <- t.allocated + 1;
       let offset = idx * t.frame_size in
       trace_frame t t.alloc_label offset;
       Some offset
@@ -81,6 +86,7 @@ let commit t offset routine =
   match t.state.(idx) with
   | Allocated ->
       t.state.(idx) <- With_kernel routine;
+      t.allocated <- t.allocated - 1;
       (match routine with
       | Rx -> t.out_rx <- t.out_rx + 1
       | Tx -> t.out_tx <- t.out_tx + 1)
@@ -92,6 +98,7 @@ let cancel t offset =
   match t.state.(idx) with
   | Allocated ->
       t.state.(idx) <- Owned;
+      t.allocated <- t.allocated - 1;
       Queue.add idx t.free
   | Owned | With_kernel _ -> invalid_arg "Umem.cancel: frame was not allocated"
 
@@ -117,6 +124,34 @@ let reclaim t routine ~offset ?(len = 0) () =
     | Owned | Allocated | With_kernel _ ->
         reject t (Wrong_owner { offset; expected = routine })
   end
+
+let limbo t = t.allocated
+
+let conservation_holds t =
+  Queue.length t.free + t.out_rx + t.out_tx + t.allocated = t.nframes
+
+(* Quarantine-and-reinit support: after ring re-certification nothing
+   the kernel still "holds" will ever legitimately come back, so pull
+   every With_kernel frame home.  Frames in Allocated limbo belong to a
+   transmit in progress and are deliberately left alone — their owner
+   will commit or cancel them. *)
+let reclaim_outstanding t =
+  let count = ref 0 in
+  Array.iteri
+    (fun idx -> function
+      | With_kernel _ ->
+          t.state.(idx) <- Owned;
+          Queue.add idx t.free;
+          trace_frame t t.free_label (idx * t.frame_size);
+          incr count
+      | Owned | Allocated -> ())
+    t.state;
+  t.out_rx <- 0;
+  t.out_tx <- 0;
+  Obs.Metrics.add t.force_reclaims !count;
+  !count
+
+let force_reclaims t = Obs.Metrics.value t.force_reclaims
 
 let rejects t = Obs.Metrics.value t.rejects
 

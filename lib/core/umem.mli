@@ -61,4 +61,25 @@ val reclaim : t -> routine -> offset:int -> ?len:int -> unit -> (unit, reject) r
 
 val rejects : t -> int
 
+(** {1 Leak accounting and recovery (DESIGN.md §8)} *)
+
+val limbo : t -> int
+(** Frames allocated but not yet committed or cancelled — owned by an
+    operation in progress.  Zero whenever no FM is mid-transmit. *)
+
+val conservation_holds : t -> bool
+(** Every frame is accounted for:
+    [free + outstanding Rx + outstanding Tx + limbo = frame_count].
+    Holds at every quiescent point; e2e tests assert it at exit. *)
+
+val reclaim_outstanding : t -> int
+(** Forcibly return every [With_kernel] frame to the pool — the UMem
+    half of quarantine-and-reinit, valid only after the rings those
+    frames were promised through have been re-certified (so stale
+    kernel descriptors for them will be refused as [Wrong_owner]).
+    Frames in {!limbo} are left to their owner.  Returns the number
+    reclaimed (also accumulated under [<name>.force_reclaims]). *)
+
+val force_reclaims : t -> int
+
 val pp_reject : Format.formatter -> reject -> unit

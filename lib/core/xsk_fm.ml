@@ -15,12 +15,31 @@ type t = {
   umem : Umem.t;
   umem_ptr : Mem.Ptr.t;
   rx_notify : Sim.Condition.t;
+  compl_notify : Sim.Condition.t;
   rx_scratch : Bytes.t; (* trusted staging frame, reused per packet *)
   rx_burst : int;
   mutable kick : unit -> unit;
+  mutable renudge : unit -> unit; (* forced TX wakeup via the MM *)
+  mutable republish : unit -> unit; (* OCALL: kernel re-enter + republish *)
+  backoff : Backoff.t;
+  (* Persistence detection for quarantine-and-reinit: [failure_mark] is
+     the ring-failure count last iteration; [failure_base] rebases on
+     every clean iteration so only uninterrupted runs of failures reach
+     the threshold. *)
+  mutable failure_mark : int;
+  mutable failure_base : int;
+  (* Dropped-TX-wakeup recovery: at most one rekick timer outstanding
+     ([rekick_armed]); its deadline lives here, not in a per-wait ref —
+     a fired timer's broadcast often wakes a *later* wait, which must
+     still recognize the deadline as passed. *)
+  mutable rekick_armed : bool;
+  mutable rekick_deadline : int64;
   rx_packets : Obs.Metrics.counter;
   tx_packets : Obs.Metrics.counter;
   tx_frame_drops : Obs.Metrics.counter;
+  tx_rekicks : Obs.Metrics.counter;
+  reinits : Obs.Metrics.counter;
+  reinit_reclaimed : Obs.Metrics.counter;
   rx_burst_hist : Obs.Metrics.histogram; (* slots moved per rx burst *)
 }
 
@@ -104,6 +123,7 @@ let create ?obs ?(name = "xsk") ~enclave ~config ~stack ~fd ~xsk () =
             ~frame_size:config.Config.frame_size ();
         umem_ptr;
         rx_notify = Hostos.Xdp.rx_notify xsk;
+        compl_notify = Hostos.Xdp.compl_notify xsk;
         (* One trusted staging frame, allocated (and charged) once; the
            rx path reuses it for every packet instead of a per-packet
            Bytes.create.  Safe because the stack copies what it keeps
@@ -114,13 +134,30 @@ let create ?obs ?(name = "xsk") ~enclave ~config ~stack ~fd ~xsk () =
            Bytes.create config.Config.frame_size);
         rx_burst = min config.Config.rx_burst config.Config.ring_size;
         kick = (fun () -> ());
+        renudge = (fun () -> ());
+        republish = (fun () -> ());
+        backoff =
+          Backoff.create
+            ~seed:(Int64.of_int (Hashtbl.hash name))
+            ~base:config.Config.backoff_base ~cap:config.Config.backoff_cap ();
+        failure_mark = 0;
+        failure_base = 0;
+        rekick_armed = false;
+        rekick_deadline = 0L;
         rx_packets = Obs.Metrics.counter m (name ^ ".rx_packets");
         tx_packets = Obs.Metrics.counter m (name ^ ".tx_packets");
         tx_frame_drops = Obs.Metrics.counter m (name ^ ".tx_frame_drops");
+        tx_rekicks = Obs.Metrics.counter m (name ^ ".tx_rekicks");
+        reinits = Obs.Metrics.counter m (name ^ ".reinits");
+        reinit_reclaimed = Obs.Metrics.counter m (name ^ ".reinit_reclaimed");
         rx_burst_hist = Obs.Metrics.histogram m (name ^ ".rx_burst_slots");
       }
 
 let set_kick t f = t.kick <- f
+
+let set_renudge t f = t.renudge <- f
+
+let set_republish t f = t.republish <- f
 
 let fill_ring t = t.fill
 
@@ -137,6 +174,12 @@ let rx_packets t = Obs.Metrics.value t.rx_packets
 let tx_packets t = Obs.Metrics.value t.tx_packets
 
 let tx_frame_drops t = Obs.Metrics.value t.tx_frame_drops
+
+let tx_rekicks t = Obs.Metrics.value t.tx_rekicks
+
+let reinits t = Obs.Metrics.value t.reinits
+
+let reinit_reclaimed t = Obs.Metrics.value t.reinit_reclaimed
 
 let ring_check_failures t =
   Rings.Certified.failures t.fill
@@ -218,12 +261,89 @@ let rx_burst t =
   if moved > 0 then Obs.Metrics.observe t.rx_burst_hist moved;
   moved
 
+(* Quarantine-and-reinit (DESIGN.md §8): when certified-ring failures
+   persist, the trusted view and the kernel's have diverged beyond what
+   per-burst rejection heals.  Ask the kernel to re-enter and republish
+   its indices (one OCALL), re-adopt the shared words as the trusted
+   baseline, pull home every frame still promised to the old ring
+   epoch, and restock xFill.  A stale kernel descriptor naming a
+   reclaimed frame is later refused as [Wrong_owner] — availability
+   cost only, never a double-owned frame. *)
+let reinit t =
+  Obs.Metrics.incr t.reinits;
+  t.republish ();
+  List.iter
+    (fun ring ->
+      (* [`Bad_window] leaves the ring quarantined; the failure counter
+         keeps climbing and the next threshold crossing retries. *)
+      match Rings.Certified.resync ring with Ok () | Error (`Bad_window _) -> ())
+    [ t.fill; t.rx; t.tx; t.compl_ ];
+  let reclaimed = Umem.reclaim_outstanding t.umem in
+  Obs.Metrics.add t.reinit_reclaimed reclaimed;
+  refill t
+
+let maybe_reinit t =
+  let f = ring_check_failures t in
+  if f = t.failure_mark then
+    (* A clean iteration rebases the window: sporadic rejections (lone
+       smashes, probabilistic attacks) never accumulate to a reinit;
+       only an uninterrupted run of failing iterations does. *)
+    t.failure_base <- f
+  else if f - t.failure_base >= t.config.Config.reinit_threshold then begin
+    t.failure_base <- f;
+    reinit t
+  end;
+  t.failure_mark <- f
+
+(* Idle wait, with the dropped-TX-wakeup recovery: while TX frames are
+   outstanding, arm a rekick timer — if neither a packet nor a
+   completion arrives within {!Sgx.Params.xsk_rekick_period}, the xTX
+   wakeup was likely dropped and only a forced sendto can unstick the
+   kernel (the kernel reads the shared xFill producer directly, so RX
+   needs no analogue). *)
+(* Expire the rekick deadline if it has passed: disarm, and if TX work
+   is still outstanding the xTX wakeup was likely dropped — force one.
+   Must run on entry as well as after the wait, because the timer's
+   broadcast may land while the loop is busy (or parked with nothing
+   outstanding): the flag would otherwise stay armed forever and no
+   future timer could ever be set. *)
+let check_rekick t engine =
+  if
+    t.rekick_armed
+    && Int64.compare (Sim.Engine.now engine) t.rekick_deadline >= 0
+  then begin
+    t.rekick_armed <- false;
+    if Umem.outstanding t.umem Umem.Tx > 0 then begin
+      Obs.Metrics.incr t.tx_rekicks;
+      t.renudge ()
+    end
+  end
+
+let idle_wait t =
+  let engine = Sgx.Enclave.engine t.enclave in
+  check_rekick t engine;
+  if Umem.outstanding t.umem Umem.Tx > 0 && not t.rekick_armed then begin
+    t.rekick_armed <- true;
+    t.rekick_deadline <-
+      Int64.add (Sim.Engine.now engine) Sgx.Params.xsk_rekick_period;
+    Sim.Engine.at engine t.rekick_deadline (fun () ->
+        Sim.Condition.broadcast t.rx_notify)
+  end;
+  Sim.Condition.wait_any [ t.rx_notify; t.compl_notify ];
+  check_rekick t engine
+
 let rx_loop t () =
   refill t;
   let rec loop () =
     let moved = rx_burst t in
+    (* Reaping completions here (not only on the transmit path) drains
+       outstanding TX even when the application goes quiet after its
+       last send — a precondition for the rekick gate above going
+       false. *)
+    reap_completions t;
     refill t;
-    if moved = 0 then Sim.Condition.wait t.rx_notify;
+    maybe_reinit t;
+    if moved = 0 then idle_wait t;
     loop ()
   in
   loop ()
@@ -239,17 +359,21 @@ let transmit t frame =
   end
   else begin
     reap_completions t;
+    Backoff.reset t.backoff;
     let rec acquire tries =
       match Umem.alloc t.umem with
       | Some offset -> Some offset
       | None when tries = 0 -> None
       | None ->
-          (* Transient exhaustion: wait for in-flight sends to complete. *)
-          Sim.Engine.delay 1000L;
+          (* Transient exhaustion: back off exponentially while
+             in-flight sends complete (a stalled NIC holds frames for
+             whole stall windows — fixed short sleeps just burn the
+             window polling). *)
+          Sim.Engine.delay (Backoff.next t.backoff);
           reap_completions t;
           acquire (tries - 1)
     in
-    match acquire 16 with
+    match acquire (2 * t.config.Config.retry_limit) with
     | None ->
         Obs.Metrics.incr t.tx_frame_drops;
         false
@@ -268,6 +392,11 @@ let transmit t frame =
             Rings.Certified.publish t.tx;
             Obs.Metrics.incr t.tx_packets;
             t.kick ();
+            (* Wake our own rx loop: if it parked in the untimed branch
+               of [idle_wait] before this frame went outstanding, it
+               would never arm the rekick timer — and a dropped xTX
+               wakeup would then stall this frame forever. *)
+            Sim.Condition.broadcast t.rx_notify;
             true
         | Error `Ring_full ->
             Umem.cancel t.umem offset;

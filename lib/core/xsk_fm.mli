@@ -42,6 +42,18 @@ val create :
 val set_kick : t -> (unit -> unit) -> unit
 (** Install the Monitor Module kick called after publishing work. *)
 
+val set_renudge : t -> (unit -> unit) -> unit
+(** Install the forced-TX-wakeup hook ({!Monitor.nudge_xsk} + kick),
+    invoked when TX frames stay outstanding past
+    {!Sgx.Params.xsk_rekick_period} with no completions — the recovery
+    for a dropped or withheld xTX wakeup (DESIGN.md §8). *)
+
+val set_republish : t -> (unit -> unit) -> unit
+(** Install the ring-republish hook for quarantine-and-reinit: one
+    OCALL driving kernel re-entry on this XSK so the kernel rewrites
+    all four shared index words from its private cursors, after which
+    the FM re-adopts them ({!Rings.Certified.resync}). *)
+
 val start : t -> unit
 (** Spawn the FM's dedicated receive thread (paper §4.1, QoS): it moves
     packets from UMem into trusted memory, feeds them to the UDP/IP
@@ -90,6 +102,20 @@ val tx_packets : t -> int
 
 val tx_frame_drops : t -> int
 (** Transmits abandoned because no UMem frame was free. *)
+
+val tx_rekicks : t -> int
+(** Forced TX wakeups requested by the rekick timer
+    (["<name>.tx_rekicks"]). *)
+
+val reinits : t -> int
+(** Quarantine-and-reinit episodes: persistent certified-ring failures
+    (≥ [config.reinit_threshold] across consecutive iterations)
+    triggered a ring resync (["<name>.reinits"]). *)
+
+val reinit_reclaimed : t -> int
+(** UMem frames pulled home by those reinits
+    (["<name>.reinit_reclaimed"]) — frames the kernel would otherwise
+    have leaked forever. *)
 
 val invariant_holds : t -> bool
 (** Paper eq. 1 on all four rings — the Testing Module's property. *)

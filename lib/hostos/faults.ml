@@ -1,0 +1,252 @@
+type fault =
+  | Transient_errno
+  | Short_io
+  | Partial_cqe
+  | Drop_wakeup
+  | Delay_wakeup
+  | Nic_stall
+  | Monitor_crash
+  | Monitor_hang
+
+type trigger =
+  | Probability of float
+  | Once of float
+  | At_step of int
+  | Burst of { first_step : int; last_step : int; probability : float }
+
+type arming = { trigger : trigger; mutable spent : bool }
+
+type plan_entry = { fault : fault; when_ : trigger }
+
+type plan = plan_entry list
+
+let all_faults =
+  [
+    Transient_errno;
+    Short_io;
+    Partial_cqe;
+    Drop_wakeup;
+    Delay_wakeup;
+    Nic_stall;
+    Monitor_crash;
+    Monitor_hang;
+  ]
+
+let fault_name = function
+  | Transient_errno -> "transient-errno"
+  | Short_io -> "short-io"
+  | Partial_cqe -> "partial-cqe"
+  | Drop_wakeup -> "drop-wakeup"
+  | Delay_wakeup -> "delay-wakeup"
+  | Nic_stall -> "nic-stall"
+  | Monitor_crash -> "monitor-crash"
+  | Monitor_hang -> "monitor-hang"
+
+let fault_index = function
+  | Transient_errno -> 0
+  | Short_io -> 1
+  | Partial_cqe -> 2
+  | Drop_wakeup -> 3
+  | Delay_wakeup -> 4
+  | Nic_stall -> 5
+  | Monitor_crash -> 6
+  | Monitor_hang -> 7
+
+type t = {
+  rng : Sim.Rng.t;
+  armed : (fault, arming list ref) Hashtbl.t;
+  (* Per-fault injected counts live in the (possibly shared) registry as
+     [faults.<fault-name>], so campaign reports and live metrics read
+     the same cells — exactly the Malice counter discipline. *)
+  counts : Obs.Metrics.counter array; (* indexed by fault_index *)
+  total : Obs.Metrics.counter;
+  labels : string array;
+  trace : Obs.Trace.t option;
+  mutable step : int;
+}
+
+let create ?obs ~seed () =
+  let m =
+    match obs with Some o -> Obs.metrics o | None -> Obs.Metrics.create ()
+  in
+  let labels =
+    Array.of_list (List.map (fun f -> "faults." ^ fault_name f) all_faults)
+  in
+  {
+    rng = Sim.Rng.create ~seed;
+    armed = Hashtbl.create 8;
+    counts = Array.map (Obs.Metrics.counter m) labels;
+    total = Obs.Metrics.counter m "faults.injected";
+    labels;
+    trace = Option.map Obs.trace obs;
+    step = 0;
+  }
+
+let install t fault arming =
+  match Hashtbl.find_opt t.armed fault with
+  | Some l -> l := !l @ [ arming ]
+  | None -> Hashtbl.replace t.armed fault (ref [ arming ])
+
+let arm t ?(probability = 1.0) fault =
+  Hashtbl.replace t.armed fault
+    (ref [ { trigger = Probability probability; spent = false } ])
+
+let arm_once t ?(probability = 1.0) fault =
+  install t fault { trigger = Once probability; spent = false }
+
+let arm_at t ~step fault =
+  install t fault { trigger = At_step step; spent = false }
+
+let arm_burst t ~first_step ~last_step ?(probability = 1.0) fault =
+  install t fault
+    { trigger = Burst { first_step; last_step; probability }; spent = false }
+
+let disarm t fault = Hashtbl.remove t.armed fault
+
+let armed t fault =
+  match Hashtbl.find_opt t.armed fault with
+  | None -> false
+  | Some l -> List.exists (fun a -> not a.spent) !l
+
+let set_step t step = t.step <- step
+
+let step t = t.step
+
+let hit t p = p >= 1.0 || Sim.Rng.float t.rng 1.0 < p
+
+let roll t fault =
+  match t with
+  | None -> false
+  | Some t -> (
+      match Hashtbl.find_opt t.armed fault with
+      | None -> false
+      | Some l ->
+          List.exists
+            (fun a ->
+              (not a.spent)
+              &&
+              match a.trigger with
+              | Probability p -> hit t p
+              | Once p ->
+                  if hit t p then begin
+                    a.spent <- true;
+                    true
+                  end
+                  else false
+              | At_step n ->
+                  if t.step >= n then begin
+                    a.spent <- true;
+                    true
+                  end
+                  else false
+              | Burst { first_step; last_step; probability } ->
+                  t.step >= first_step && t.step <= last_step
+                  && hit t probability)
+            !l)
+
+let rng t = t.rng
+
+let injected t = Obs.Metrics.value t.total
+
+let record t fault =
+  Obs.Metrics.incr t.total;
+  let i = fault_index fault in
+  Obs.Metrics.incr t.counts.(i);
+  match t.trace with
+  | None -> ()
+  | Some tr -> Obs.Trace.instant tr ~cat:"faults" t.labels.(i)
+
+let injected_of t fault = Obs.Metrics.value t.counts.(fault_index fault)
+
+let injected_counts t =
+  List.filter_map
+    (fun f -> match injected_of t f with 0 -> None | n -> Some (f, n))
+    all_faults
+
+let transient_errnos = Array.of_list Abi.Errno.transient
+
+let pick_errno t = Sim.Rng.pick t.rng transient_errnos
+
+let fault_of_string s =
+  List.find_opt (fun f -> String.equal (fault_name f) s) all_faults
+
+let pp_fault ppf f = Format.pp_print_string ppf (fault_name f)
+
+(* {1 Plans: printable, parseable fault schedules} *)
+
+let install_plan t plan =
+  List.iter
+    (fun { fault; when_ } ->
+      match when_ with
+      | Probability probability -> arm t ~probability fault
+      | Once probability -> arm_once t ~probability fault
+      | At_step step -> arm_at t ~step fault
+      | Burst { first_step; last_step; probability } ->
+          arm_burst t ~first_step ~last_step ~probability fault)
+    plan
+
+let entry_to_string { fault; when_ } =
+  let name = fault_name fault in
+  match when_ with
+  | Probability p -> Printf.sprintf "@%g=%s" p name
+  | Once p when p >= 1.0 -> Printf.sprintf "once=%s" name
+  | Once p -> Printf.sprintf "once@%g=%s" p name
+  | At_step n -> Printf.sprintf "%d=%s" n name
+  | Burst { first_step; last_step; probability } ->
+      Printf.sprintf "%d..%d@%g=%s" first_step last_step probability name
+
+let plan_to_string plan = String.concat ";" (List.map entry_to_string plan)
+
+let parse_entry s =
+  match String.index_opt s '=' with
+  | None -> Error (Printf.sprintf "bad fault entry %S" s)
+  | Some eq -> (
+      let where = String.sub s 0 eq in
+      let name = String.sub s (eq + 1) (String.length s - eq - 1) in
+      match fault_of_string name with
+      | None -> Error (Printf.sprintf "unknown fault %S" name)
+      | Some fault -> (
+          let entry when_ = Ok { fault; when_ } in
+          if where = "once" then entry (Once 1.0)
+          else if String.length where > 5 && String.sub where 0 5 = "once@" then
+            match
+              float_of_string_opt
+                (String.sub where 5 (String.length where - 5))
+            with
+            | Some p -> entry (Once p)
+            | None -> Error (Printf.sprintf "bad once probability %S" where)
+          else if String.length where > 0 && where.[0] = '@' then
+            match
+              float_of_string_opt
+                (String.sub where 1 (String.length where - 1))
+            with
+            | Some p -> entry (Probability p)
+            | None -> Error (Printf.sprintf "bad probability %S" where)
+          else
+            match String.index_opt where '.' with
+            | None -> (
+                match int_of_string_opt where with
+                | Some step -> entry (At_step step)
+                | None -> Error (Printf.sprintf "bad fault step %S" where))
+            | Some _ -> (
+                match
+                  Scanf.sscanf_opt where "%d..%d@%g" (fun first last p ->
+                      (first, last, p))
+                with
+                | Some (first_step, last_step, probability) ->
+                    entry (Burst { first_step; last_step; probability })
+                | None -> Error (Printf.sprintf "bad fault window %S" where))))
+
+let plan_of_string s =
+  if String.trim s = "" then Ok []
+  else
+    let rec collect acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+          match parse_entry p with
+          | Ok e -> collect (e :: acc) rest
+          | Error _ as e -> e)
+    in
+    collect [] (String.split_on_char ';' s)
+
+let pp_plan ppf plan = Format.pp_print_string ppf (plan_to_string plan)

@@ -10,6 +10,7 @@ type t = {
   region : Mem.Region.t;
   exec : Abi.Uring_abi.sqe -> exec_result;
   malice : Malice.t option ref;
+  faults : Faults.t option ref;
   wake : Sim.Condition.t;
   cq_notify : Sim.Condition.t;
   mutable submitted : int;
@@ -131,6 +132,21 @@ let post_cqe t cqe =
   tamper_cq_prod t;
   Sim.Condition.broadcast t.cq_notify
 
+(* Short_io: the kernel honours only a prefix of a transfer-style SQE
+   and reports the truncated count honestly — legal POSIX behaviour the
+   FM must absorb by resubmitting the tail. *)
+let faulty_sqe t (sqe : Abi.Uring_abi.sqe) =
+  match !(t.faults) with
+  | Some f
+    when (match sqe.opcode with
+         | Abi.Uring_abi.Read | Abi.Uring_abi.Write | Abi.Uring_abi.Send ->
+             sqe.len > 1
+         | _ -> false)
+         && Faults.roll !(t.faults) Faults.Short_io ->
+      Faults.record f Faults.Short_io;
+      { sqe with len = 1 + Sim.Rng.int (Faults.rng f) (sqe.len - 1) }
+  | _ -> sqe
+
 let worker t () =
   let rec drain () =
     let sqe =
@@ -149,25 +165,45 @@ let worker t () =
             Abi.Uring_abi.user_data = 0L;
             res = Abi.Uring_abi.res_of_errno Abi.Errno.EINVAL;
           };
-        drain ()
+        next ()
     | Some (Ok sqe) ->
         t.submitted <- t.submitted + 1;
         Sim.Engine.delay Sgx.Params.iouring_kernel_per_op;
-        (match t.exec sqe with
-        | Done res ->
-            maybe_corrupt_buffer t sqe res;
-            post_cqe t { Abi.Uring_abi.user_data = sqe.user_data; res }
-        | Blocking f ->
-            (* Ops that may wait (recv, poll) run in their own kernel
-               context so the ring worker keeps draining — matching
-               io_uring's async poll/recv machinery. *)
-            Sim.Engine.spawn t.engine
-              ~name:(Printf.sprintf "uring%d-op" t.id)
-              (fun () ->
-                let res = f () in
+        (match !(t.faults) with
+        | Some f when Faults.roll !(t.faults) Faults.Transient_errno ->
+            (* The op never ran; bounce it with a retryable errno. *)
+            Faults.record f Faults.Transient_errno;
+            post_cqe t
+              {
+                Abi.Uring_abi.user_data = sqe.user_data;
+                res = Abi.Uring_abi.res_of_errno (Faults.pick_errno f);
+              }
+        | _ -> (
+            let sqe = faulty_sqe t sqe in
+            match t.exec sqe with
+            | Done res ->
                 maybe_corrupt_buffer t sqe res;
-                post_cqe t { Abi.Uring_abi.user_data = sqe.user_data; res }));
-        drain ()
+                post_cqe t { Abi.Uring_abi.user_data = sqe.user_data; res }
+            | Blocking f ->
+                (* Ops that may wait (recv, poll) run in their own kernel
+                   context so the ring worker keeps draining — matching
+                   io_uring's async poll/recv machinery. *)
+                Sim.Engine.spawn t.engine
+                  ~name:(Printf.sprintf "uring%d-op" t.id)
+                  (fun () ->
+                    let res = f () in
+                    maybe_corrupt_buffer t sqe res;
+                    post_cqe t { Abi.Uring_abi.user_data = sqe.user_data; res })));
+        next ()
+  (* Partial_cqe: the worker deschedules mid-batch, leaving the iSub tail
+     queued until the next io_uring_enter.  Liveness is the enclave's
+     problem — its wait path must renudge, not assume one enter drains
+     everything. *)
+  and next () =
+    match !(t.faults) with
+    | Some f when Faults.roll !(t.faults) Faults.Partial_cqe ->
+        Faults.record f Faults.Partial_cqe
+    | _ -> drain ()
   in
   let rec loop () =
     Sim.Condition.wait t.wake;
@@ -181,7 +217,7 @@ let worker t () =
   in
   loop ()
 
-let create engine ~alloc ~entries ~exec ~malice =
+let create engine ~alloc ~entries ~exec ~malice ~faults =
   incr next_id;
   let sq =
     Rings.Layout.alloc alloc ~entry_size:Abi.Uring_abi.sqe_size ~size:entries
@@ -201,6 +237,7 @@ let create engine ~alloc ~entries ~exec ~malice =
       region = Mem.Alloc.region alloc;
       exec;
       malice;
+      faults;
       wake = Sim.Condition.create ();
       cq_notify = Sim.Condition.create ();
       submitted = 0;

@@ -24,6 +24,7 @@ val create :
   entries:int ->
   exec:(Abi.Uring_abi.sqe -> exec_result) ->
   malice:Malice.t option ref ->
+  faults:Faults.t option ref ->
   t
 (** Allocates iSub ([entries] SQE slots) and iCompl ([2*entries] CQE
     slots, like the real default) from the shared allocator. *)

@@ -21,6 +21,7 @@ type t = {
   fds : (fd, fd_obj) Hashtbl.t;
   mutable next_fd : fd;
   malice_ref : Malice.t option ref;
+  faults_ref : Faults.t option ref;
 }
 
 type poll_event = Pollin | Pollout
@@ -30,13 +31,14 @@ let server_ip_v = Packet.Addr.Ip.of_repr "10.0.0.1"
 let client_ip_v = Packet.Addr.Ip.of_repr "10.0.0.2"
 
 let create engine ?(nic_queues = 4) () =
+  let faults_ref = ref None in
   let nic0 =
-    Nic.create engine ~id:0
+    Nic.create engine ~id:0 ~faults:faults_ref
       ~mac:(Packet.Addr.Mac.of_repr "02:00:00:00:00:01")
       ~ip:server_ip_v ~queues:nic_queues
   in
   let nic1 =
-    Nic.create engine ~id:1
+    Nic.create engine ~id:1 ~faults:faults_ref
       ~mac:(Packet.Addr.Mac.of_repr "02:00:00:00:00:02")
       ~ip:client_ip_v ~queues:nic_queues
   in
@@ -62,6 +64,7 @@ let create engine ?(nic_queues = 4) () =
       fds = Hashtbl.create 32;
       next_fd = 3;
       malice_ref;
+      faults_ref;
     }
   in
   Array.iter
@@ -86,6 +89,10 @@ let client_ip _t = client_ip_v
 let set_malice t m = t.malice_ref := m
 
 let malice t = !(t.malice_ref)
+
+let set_faults t f = t.faults_ref := f
+
+let faults t = !(t.faults_ref)
 
 let syscall _t = Sim.Engine.delay Sgx.Params.syscall_cycles
 
@@ -338,13 +345,26 @@ let xsk_attach t ~xsk ~nic_id ~queue ~prog =
   Xdp.attach t.xdp ~nic ~queue ~prog ~xsk ~stack_fallback:(fun frame ->
       Udp_core.stack_input t.udp nic frame)
 
+(* Wakeups pay the syscall cost regardless; whether the kernel then acts
+   on them is where faults bite — a dropped wakeup is swallowed after
+   the trap, a delayed one takes effect fault_wakeup_delay later. *)
+let faulty_wakeup t k =
+  match !(t.faults_ref) with
+  | Some f when Faults.roll !(t.faults_ref) Faults.Drop_wakeup ->
+      Faults.record f Faults.Drop_wakeup
+  | Some f when Faults.roll !(t.faults_ref) Faults.Delay_wakeup ->
+      Faults.record f Faults.Delay_wakeup;
+      Sim.Engine.delay Sgx.Params.fault_wakeup_delay;
+      k ()
+  | _ -> k ()
+
 let xsk_tx_wakeup t xsk =
   syscall t;
-  Xdp.tx_wakeup t.xdp xsk
+  faulty_wakeup t (fun () -> Xdp.tx_wakeup t.xdp xsk)
 
 let xsk_rx_wakeup t xsk =
   syscall t;
-  Xdp.rx_wakeup t.xdp xsk
+  faulty_wakeup t (fun () -> Xdp.rx_wakeup t.xdp xsk)
 
 (* Execute one SQE on behalf of the io_uring worker.  [region] is the
    shared region SQE buffer offsets refer to. *)
@@ -452,10 +472,10 @@ let uring_create t ~alloc ~entries =
   let uring =
     Io_uring.create t.engine ~alloc ~entries
       ~exec:(fun sqe -> exec_sqe t region sqe)
-      ~malice:t.malice_ref
+      ~malice:t.malice_ref ~faults:t.faults_ref
   in
   (alloc_fd t (Uring_fd uring), uring)
 
 let uring_enter t uring =
   syscall t;
-  Io_uring.enter uring
+  faulty_wakeup t (fun () -> Io_uring.enter uring)

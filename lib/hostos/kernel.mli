@@ -34,6 +34,12 @@ val set_malice : t -> Malice.t option -> unit
 
 val malice : t -> Malice.t option
 
+val set_faults : t -> Faults.t option -> unit
+(** Install a fault injector; consulted by the wakeup syscalls
+    ([Drop_wakeup]/[Delay_wakeup]), the io_uring worker and the NICs. *)
+
+val faults : t -> Faults.t option
+
 (** {1 Generic} *)
 
 val close : t -> fd -> (unit, Abi.Errno.t) result

@@ -7,6 +7,7 @@ type t = {
   rx_queues : Bytes.t Sim.Mailbox.t array;
   mutable handlers : (Bytes.t -> unit) array;
   mutable peer : t option;
+  faults : Faults.t option ref;
   key : string; (* stats key prefix *)
 }
 
@@ -42,6 +43,14 @@ let deliver t frame =
 let tx_process t () =
   let rec loop () =
     let frame = Sim.Mailbox.get t.tx_queue in
+    (* A stall window pauses the transmit engine (PHY retraining, PCIe
+       hiccup): frames are delayed, never dropped — queues above absorb
+       the back-pressure. *)
+    (match !(t.faults) with
+    | Some f when Faults.roll !(t.faults) Faults.Nic_stall ->
+        Faults.record f Faults.Nic_stall;
+        Sim.Engine.delay Sgx.Params.fault_nic_stall
+    | _ -> ());
     let wire_cycles =
       Int64.of_float
         (float_of_int (Bytes.length frame) *. Sgx.Params.wire_cycles_per_byte)
@@ -63,7 +72,7 @@ let rx_process t q () =
   in
   loop ()
 
-let create engine ~id ~mac ~ip ~queues =
+let create ?(faults = ref None) engine ~id ~mac ~ip ~queues =
   if queues <= 0 then invalid_arg "Nic.create: need at least one queue";
   let t =
     {
@@ -77,6 +86,7 @@ let create engine ~id ~mac ~ip ~queues =
             Sim.Mailbox.create ~capacity:Sgx.Params.nic_queue_len ());
       handlers = Array.make queues (fun _ -> ());
       peer = None;
+      faults;
       key = Printf.sprintf "nic.%d" id;
     }
   in

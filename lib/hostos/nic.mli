@@ -15,12 +15,15 @@
 type t
 
 val create :
+  ?faults:Faults.t option ref ->
   Sim.Engine.t ->
   id:int ->
   mac:Packet.Addr.Mac.t ->
   ip:Packet.Addr.Ip.t ->
   queues:int ->
   t
+(** [faults] (shared with {!Kernel}) drives [Nic_stall] windows in the
+    transmit process. *)
 
 val id : t -> int
 

@@ -205,6 +205,23 @@ let invariant_holds t =
   let d = U32.distance ~ahead:t.tprod ~behind:t.tcons in
   d >= 0 && d <= t.size
 
+(* Quarantine-and-reinit: after the kernel has republished its own
+   indices (see {!Hostos.Kring}), adopt the shared words as the new
+   trusted baseline — provided they once again describe a legal
+   window.  This deliberately also adopts the enclave-owned index, whose
+   shared word the enclave itself last wrote, so both cursors restart
+   from a mutually consistent snapshot. *)
+let resync t =
+  let prod = U32.of_int (Layout.read_prod t.layout) in
+  let cons = U32.of_int (Layout.read_cons t.layout) in
+  let d = U32.distance ~ahead:prod ~behind:cons in
+  if d >= 0 && d <= t.size then begin
+    t.tprod <- prod;
+    t.tcons <- cons;
+    Ok ()
+  end
+  else Error (`Bad_window (prod, cons))
+
 let pp_failure ppf = function
   | Out_of_window { observed; trusted_prod; trusted_cons } ->
       Format.fprintf ppf

@@ -148,6 +148,14 @@ val burst_slots : t -> int
 val invariant_holds : t -> bool
 (** [0 <= Pt - Ct <= St] (paper eq. 1). *)
 
+val resync : t -> (unit, [ `Bad_window of int * int ]) result
+(** Re-adopt both shared index words as the trusted baseline — the
+    quarantine-and-reinit step of XSK recovery (DESIGN.md §8), called
+    after the kernel has republished its indices so the shared words
+    reflect kernel truth again.  Accepted only if they describe a legal
+    window ([0 <= P - C <= St]); on [`Bad_window (prod, cons)] the
+    trusted copies are unchanged and the caller retries later. *)
+
 val pp_failure : Format.formatter -> failure -> unit
 
 val region : t -> Mem.Region.t

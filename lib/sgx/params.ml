@@ -32,6 +32,32 @@ let storage_cycles_per_byte = 0.12
 
 let mm_poll_period = 2000L
 
+(* Fault model and recovery clocks (DESIGN.md §8). *)
+
+let mm_heartbeat_period = 50_000L
+(* MM loop liveness beat while idle: ~20 us at 2.4 GHz. *)
+
+let watchdog_period = 100_000L
+(* How often the in-enclave watchdog samples the MM heartbeat. *)
+
+let watchdog_timeout = 150_000L
+(* Heartbeat staleness beyond which the MM counts as dead/hung: three
+   missed beats.  Worst-case detection latency is period + timeout. *)
+
+let xsk_rekick_period = 20_000L
+(* Idle timeout while TX frames are outstanding before the FM forces a
+   sendto wakeup — recovers from a dropped/withheld xTX wakeup. *)
+
+let fault_wakeup_delay = 5_000L
+(* Extra latency a Delay_wakeup fault adds to one wakeup syscall. *)
+
+let fault_nic_stall = 50_000L
+(* Length of one injected NIC transmit stall window. *)
+
+let fault_monitor_hang = 400_000L
+(* How long a Monitor_hang fault freezes the MM loop: comfortably past
+   watchdog_timeout, so a hang is indistinguishable from a crash. *)
+
 let nic_link_gbps = 25.0
 
 let nic_queue_len = 2048

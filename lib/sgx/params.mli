@@ -86,6 +86,37 @@ val mm_poll_period : int64
     cycles — frequent enough that wakeup latency is negligible, as the
     paper's dedicated-thread design intends. *)
 
+(** {1 Fault model and recovery clocks (DESIGN.md §8)} *)
+
+val mm_heartbeat_period : int64
+(** MM loop liveness beat while idle: 50,000 cycles (~20 µs), the clock
+    the in-enclave watchdog samples. *)
+
+val watchdog_period : int64
+(** How often the watchdog samples the MM heartbeat: 100,000 cycles. *)
+
+val watchdog_timeout : int64
+(** Heartbeat staleness beyond which the MM counts as dead or hung:
+    150,000 cycles (three missed beats).  Worst-case detection latency
+    is [watchdog_period + watchdog_timeout]. *)
+
+val xsk_rekick_period : int64
+(** Idle timeout while TX frames are outstanding before the XSK FM
+    forces a sendto wakeup: 20,000 cycles — recovers from a dropped or
+    withheld xTX wakeup. *)
+
+val fault_wakeup_delay : int64
+(** Extra latency a [Delay_wakeup] fault adds to one wakeup syscall:
+    5,000 cycles. *)
+
+val fault_nic_stall : int64
+(** Length of one injected NIC transmit stall window: 50,000 cycles. *)
+
+val fault_monitor_hang : int64
+(** How long a [Monitor_hang] fault freezes the MM loop: 400,000 cycles,
+    comfortably past {!watchdog_timeout} so a hang is indistinguishable
+    from a crash. *)
+
 val nic_link_gbps : float
 (** 25.0 — the testbed's loopback-wired link capacity. *)
 

@@ -51,6 +51,8 @@ type outcome = {
   lost : int;  (* timeouts / drops: availability, not integrity *)
   tolerated : int;  (* payload mismatches while Corrupt_packet was live *)
   fired : (Hostos.Malice.attack * int) list;
+  fault_plan : Hostos.Faults.plan;
+  injected : (Hostos.Faults.fault * int) list;
   ring_rejects : int;
   desc_rejects : int;
   invariant_ok : bool;
@@ -100,8 +102,15 @@ type state = {
   mutable tolerated : int;
   mutable violations : violation list;
   malice : Hostos.Malice.t;
+  faults : Hostos.Faults.t option;
   budget : int;
 }
+
+let tick st step =
+  Hostos.Malice.set_step st.malice step;
+  match st.faults with
+  | Some f -> Hostos.Faults.set_step f step
+  | None -> ()
 
 let violate st ~step what = st.violations <- { at_step = step; what } :: st.violations
 
@@ -155,7 +164,7 @@ let run_xsk_workload (h : Apps.Harness.t) st =
       let fd = peer.Libos.Api.udp_socket () in
       let dst = (campaign_config.Rakis.Config.ip, xsk_port) in
       for step = 0 to st.budget - 1 do
-        Hostos.Malice.set_step st.malice step;
+        tick st step;
         let payload = mk_datagram step in
         (match peer.Libos.Api.sendto fd payload dst with
         | Error _ -> st.refused <- st.refused + 1
@@ -340,7 +349,7 @@ let run_iouring_workload (h : Apps.Harness.t) st =
                     end))
       in
       for step = 0 to st.budget - 1 do
-        Hostos.Malice.set_step st.malice step;
+        tick st step;
         if step land 1 = 0 then file_step step else tcp_step step;
         st.steps_run <- st.steps_run + 1
       done;
@@ -349,7 +358,7 @@ let run_iouring_workload (h : Apps.Harness.t) st =
 
 (* {1 Running} *)
 
-let run ~datapath ~seed ?(budget = 64) schedule =
+let run ~datapath ~seed ?(budget = 64) ?(faults = []) schedule =
   match
     Apps.Harness.make Libos.Env.Rakis_sgx ~rakis_config:campaign_config ()
   with
@@ -361,6 +370,23 @@ let run ~datapath ~seed ?(budget = 64) schedule =
       let malice = Hostos.Malice.create ?obs ~seed () in
       install_schedule malice schedule;
       Hostos.Kernel.set_malice h.kernel (Some malice);
+      (* The fault injector rides the same seed (xored so its RNG stream
+         never mirrors the attacker's) and, because a plan may kill the
+         Monitor, arms the enclave watchdog alongside it. *)
+      let injector =
+        if faults = [] then None
+        else begin
+          let f =
+            Hostos.Faults.create ?obs ~seed:(Int64.logxor seed 0x5EEDL) ()
+          in
+          Hostos.Faults.install_plan f faults;
+          Hostos.Kernel.set_faults h.kernel (Some f);
+          (match Libos.Env.runtime h.env with
+          | Some rt -> Rakis.Runtime.start_watchdog rt
+          | None -> ());
+          Some f
+        end
+      in
       let st =
         {
           steps_run = 0;
@@ -371,6 +397,7 @@ let run ~datapath ~seed ?(budget = 64) schedule =
           tolerated = 0;
           violations = [];
           malice;
+          faults = injector;
           budget;
         }
       in
@@ -421,6 +448,11 @@ let run ~datapath ~seed ?(budget = 64) schedule =
         lost = st.lost;
         tolerated = st.tolerated;
         fired = Hostos.Malice.fired_counts malice;
+        fault_plan = faults;
+        injected =
+          (match injector with
+          | Some f -> Hostos.Faults.injected_counts f
+          | None -> []);
         ring_rejects;
         desc_rejects;
         invariant_ok;
@@ -450,6 +482,33 @@ let pairs attacks =
   in
   go attacks
 
+(* Random fault plan.  Monitor faults are pinned to a single step: a
+   monitor that re-dies probabilistically after every watchdog restart
+   measures the watchdog's restart rate, not recovery — one crash per
+   plan entry is the interesting schedule. *)
+let fault_soup ~seed ?(entries = 6) ~budget () =
+  let rng = Sim.Rng.create ~seed in
+  let faults = Array.of_list Hostos.Faults.all_faults in
+  List.init entries (fun _ ->
+      let fault = Sim.Rng.pick rng faults in
+      let when_ =
+        match fault with
+        | Hostos.Faults.Monitor_crash | Hostos.Faults.Monitor_hang ->
+            Hostos.Faults.At_step (Sim.Rng.int rng (max 1 budget))
+        | _ -> (
+            match Sim.Rng.int rng 3 with
+            | 0 ->
+                Hostos.Faults.Probability
+                  (0.02 +. (0.08 *. Sim.Rng.float rng 1.0))
+            | 1 -> Hostos.Faults.At_step (Sim.Rng.int rng (max 1 budget))
+            | _ ->
+                let first = Sim.Rng.int rng (max 1 (budget / 2)) in
+                let last = first + 1 + Sim.Rng.int rng (max 1 (budget / 4)) in
+                Hostos.Faults.Burst
+                  { first_step = first; last_step = last; probability = 0.3 })
+      in
+      { Hostos.Faults.fault; when_ })
+
 (* {1 Repro strings} *)
 
 let entry_to_string = function
@@ -460,8 +519,14 @@ let entry_to_string = function
         (Hostos.Malice.attack_name attack)
 
 let repro (o : outcome) =
-  Printf.sprintf "%s:%Ld:%d:%s" (datapath_name o.datapath) o.seed o.budget
-    (String.concat ";" (List.map entry_to_string o.schedule))
+  let base =
+    Printf.sprintf "%s:%Ld:%d:%s" (datapath_name o.datapath) o.seed o.budget
+      (String.concat ";" (List.map entry_to_string o.schedule))
+  in
+  (* Fault-free tokens keep the historical 4-segment shape; a fifth
+     segment carries the fault plan so replay is bit-for-bit. *)
+  if o.fault_plan = [] then base
+  else base ^ ":" ^ Hostos.Faults.plan_to_string o.fault_plan
 
 let parse_entry s =
   match String.index_opt s '=' with
@@ -487,45 +552,53 @@ let parse_entry s =
               | None -> Error (Printf.sprintf "bad burst %S" where))))
 
 let parse_repro s =
+  let parse dp seed budget entries fault_part =
+    let datapath =
+      match dp with
+      | "xsk" -> Some Xsk
+      | "io_uring" -> Some Iouring
+      | _ -> None
+    in
+    match (datapath, Int64.of_string_opt seed, int_of_string_opt budget) with
+    | Some datapath, Some seed, Some budget -> (
+        let parts =
+          if entries = "" then [] else String.split_on_char ';' entries
+        in
+        let rec collect acc = function
+          | [] -> Ok (List.rev acc)
+          | p :: rest -> (
+              match parse_entry p with
+              | Ok e -> collect (e :: acc) rest
+              | Error _ as e -> e)
+        in
+        match (collect [] parts, Hostos.Faults.plan_of_string fault_part) with
+        | Ok schedule, Ok faults -> Ok (datapath, seed, budget, schedule, faults)
+        | (Error _ as e), _ -> e
+        | _, Error e -> Error e)
+    | _ -> Error (Printf.sprintf "bad repro header in %S" s)
+  in
   match String.split_on_char ':' s with
-  | [ dp; seed; budget; entries ] -> (
-      let datapath =
-        match dp with
-        | "xsk" -> Some Xsk
-        | "io_uring" -> Some Iouring
-        | _ -> None
-      in
-      match (datapath, Int64.of_string_opt seed, int_of_string_opt budget) with
-      | Some datapath, Some seed, Some budget ->
-          let parts =
-            if entries = "" then []
-            else String.split_on_char ';' entries
-          in
-          let rec collect acc = function
-            | [] -> Ok (List.rev acc)
-            | p :: rest -> (
-                match parse_entry p with
-                | Ok e -> collect (e :: acc) rest
-                | Error _ as e -> e)
-          in
-          Result.map
-            (fun schedule -> (datapath, seed, budget, schedule))
-            (collect [] parts)
-      | _ -> Error (Printf.sprintf "bad repro header in %S" s))
+  | [ dp; seed; budget; entries ] -> parse dp seed budget entries ""
+  | [ dp; seed; budget; entries; fault_part ] ->
+      parse dp seed budget entries fault_part
   | _ -> Error (Printf.sprintf "bad repro string %S" s)
 
 let run_repro s =
   Result.map
-    (fun (datapath, seed, budget, schedule) ->
-      run ~datapath ~seed ~budget schedule)
+    (fun (datapath, seed, budget, schedule, faults) ->
+      run ~datapath ~seed ~budget ~faults schedule)
     (parse_repro s)
 
 (* {1 Shrinking a failing campaign} *)
 
+(* The fault plan is held fixed while the attack schedule shrinks: a
+   minimal repro under the same host weather is what gets debugged. *)
 let shrink_failure (o : outcome) =
   Shrink.minimize
     ~fails:(fun schedule ->
-      failed (run ~datapath:o.datapath ~seed:o.seed ~budget:o.budget schedule))
+      failed
+        (run ~datapath:o.datapath ~seed:o.seed ~budget:o.budget
+           ~faults:o.fault_plan schedule))
     o.schedule
 
 (* {1 Reporting} *)
@@ -556,6 +629,16 @@ let pp_outcome ppf (o : outcome) =
          (List.map
             (fun v -> Printf.sprintf "VIOLATION step %d: %s" v.at_step v.what)
             o.violations));
+  if o.fault_plan <> [] then
+    Format.fprintf ppf "@,faults=[%a] injected: %s" Hostos.Faults.pp_plan
+      o.fault_plan
+      (if o.injected = [] then "(none)"
+       else
+         String.concat ", "
+           (List.map
+              (fun (f, n) ->
+                Printf.sprintf "%s x%d" (Hostos.Faults.fault_name f) n)
+              o.injected));
   if o.trace_tail <> [] then begin
     Format.fprintf ppf "@,last %d trace events before the failure:"
       (List.length o.trace_tail);

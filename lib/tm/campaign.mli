@@ -42,6 +42,11 @@ type outcome = {
   lost : int;  (** timeouts / drops (availability, not integrity) *)
   tolerated : int;  (** mismatches while a data-level attack was live *)
   fired : (Hostos.Malice.attack * int) list;
+  fault_plan : Hostos.Faults.plan;
+      (** the host-fault schedule the run executed under ([[]] =
+          fault-free; the injector and watchdog were not armed) *)
+  injected : (Hostos.Faults.fault * int) list;
+      (** faults actually injected, with counts *)
   ring_rejects : int;  (** certified index-check rejections *)
   desc_rejects : int;  (** descriptor/UMem + CQE rejections *)
   invariant_ok : bool;
@@ -54,10 +59,20 @@ type outcome = {
 }
 
 val run :
-  datapath:datapath -> seed:int64 -> ?budget:int -> schedule -> outcome
+  datapath:datapath ->
+  seed:int64 ->
+  ?budget:int ->
+  ?faults:Hostos.Faults.plan ->
+  schedule ->
+  outcome
 (** Boot a fresh RAKIS-SGX machine, install the schedule, drive
     [budget] (default 64) verifying workload steps, and collect the
-    outcome. *)
+    outcome.  A non-empty [faults] plan additionally arms a
+    {!Hostos.Faults} injector (seeded from [seed], so replays are
+    bit-for-bit) and the enclave watchdog ({!Rakis.Runtime.start_watchdog}):
+    attacks and host faults compose in one run, and the oracle's
+    verdicts are unchanged — faults may only cost availability
+    ([lost]/[refused]), never integrity. *)
 
 val failed : outcome -> bool
 
@@ -74,13 +89,27 @@ val soup :
 val pairs : 'a list -> ('a * 'a) list
 (** All unordered pairs, for pairwise campaigns. *)
 
+val fault_soup :
+  seed:int64 -> ?entries:int -> budget:int -> unit -> Hostos.Faults.plan
+(** Seeded random fault plan (default 6 entries) mixing probabilistic,
+    pinned-step and burst triggers.  Monitor crash/hang entries are
+    always pinned to a single step — a monitor that probabilistically
+    re-dies after every watchdog restart measures the restart rate, not
+    recovery. *)
+
 val repro : outcome -> string
 (** Copy-pasteable replay token:
-    ["<datapath>:<seed>:<budget>:<step>=<attack>;<a>..<b>@<p>=<attack>;…"]
-    — feed it to {!run_repro} or [tm_verify --replay]. *)
+    ["<datapath>:<seed>:<budget>:<step>=<attack>;…"], with a fifth
+    [":<fault-plan>"] segment (syntax of {!Hostos.Faults.plan_to_string})
+    appended iff the run had one — so fault runs replay bit-for-bit and
+    fault-free tokens keep the historical 4-segment shape.  Feed it to
+    {!run_repro} or [tm_verify --replay]. *)
 
 val parse_repro :
-  string -> (datapath * int64 * int * schedule, string) result
+  string ->
+  (datapath * int64 * int * schedule * Hostos.Faults.plan, string) result
+(** Accepts both 4-segment (fault-free, plan [[]]) and 5-segment
+    tokens. *)
 
 val run_repro : string -> (outcome, string) result
 

@@ -11,12 +11,35 @@ let harness kind ?rakis_config ?nic_queues () =
   | Ok h -> h
   | Error e -> Alcotest.fail e
 
+(* Every e2e workload must hand back every UMem frame it borrowed:
+   conservation across free/rx/tx/limbo, nothing stuck in limbo, and
+   the runtime-wide invariants (which re-check conservation per FM).
+   Non-RAKIS environments have no runtime and nothing to leak. *)
+let assert_no_leaks h =
+  match Libos.Env.runtime h.Apps.Harness.env with
+  | None -> ()
+  | Some rt ->
+      Array.iter
+        (fun fm ->
+          let u = Rakis.Xsk_fm.umem fm in
+          check_bool "umem conservation" true (Rakis.Umem.conservation_holds u);
+          check "no limbo frames" 0 (Rakis.Umem.limbo u))
+        (Rakis.Runtime.xsk_fms rt);
+      check_bool "runtime invariant holds" true (Rakis.Runtime.invariant_holds rt)
+
+(* Run an app closure against a fresh harness, then audit for leaks. *)
+let with_harness kind ?rakis_config ?nic_queues f =
+  let h = harness kind ?rakis_config ?nic_queues () in
+  let r = f h in
+  assert_no_leaks h;
+  r
+
 (* {1 helloworld} *)
 
 let test_helloworld_output_everywhere () =
   List.iter
     (fun kind ->
-      let r = Apps.Helloworld.run (harness kind ()) in
+      let r = with_harness kind (fun h -> Apps.Helloworld.run h) in
       Alcotest.(check string)
         (Libos.Env.kind_name kind ^ " output")
         "Hello, world!\n" r.output)
@@ -32,15 +55,15 @@ let test_helloworld_exit_floor () =
 
 let test_iperf_delivers_native () =
   let r =
-    Apps.Iperf.run ~streams:1 (harness Libos.Env.Native ()) ~packet_size:512
-      ~packets:500
+    with_harness Libos.Env.Native (fun h ->
+        Apps.Iperf.run ~streams:1 h ~packet_size:512 ~packets:500)
   in
   check "all delivered (offered below capacity)" 500 r.received_packets;
   check_bool "positive goodput" true (r.goodput_gbps > 0.)
 
 let test_iperf_rakis_beats_gramine_sgx () =
   let run kind =
-    Apps.Iperf.run (harness kind ()) ~packet_size:1460 ~packets:3000
+    with_harness kind (fun h -> Apps.Iperf.run h ~packet_size:1460 ~packets:3000)
   in
   let rakis = run Libos.Env.Rakis_sgx in
   let gramine = run Libos.Env.Gramine_sgx in
@@ -55,6 +78,7 @@ let test_iperf_figure2_exit_counts () =
     (* One stream below capacity so nothing is dropped and the per-
        packet exit count is exact. *)
     let r = Apps.Iperf.run ~streams:1 h ~packet_size:512 ~packets:500 in
+    assert_no_leaks h;
     (r, Libos.Env.exits h.env)
   in
   let gr, gramine = run Libos.Env.Gramine_sgx in
@@ -69,7 +93,8 @@ let test_memcached_completes_everywhere () =
   List.iter
     (fun kind ->
       let r =
-        Apps.Memcached.run (harness kind ()) ~server_threads:2 ~ops:300
+        with_harness kind (fun h ->
+            Apps.Memcached.run h ~server_threads:2 ~ops:300)
       in
       check_bool
         (Libos.Env.kind_name kind ^ " completes")
@@ -88,8 +113,8 @@ let test_memcached_scales_with_threads () =
 
 let test_memcached_rakis_vs_gramine () =
   let run kind =
-    (Apps.Memcached.run (harness kind ()) ~server_threads:2 ~ops:1500)
-      .kops_per_sec
+    (with_harness kind (fun h -> Apps.Memcached.run h ~server_threads:2 ~ops:1500))
+      .Apps.Memcached.kops_per_sec
   in
   let rakis = run Libos.Env.Rakis_sgx in
   let gramine = run Libos.Env.Gramine_sgx in
@@ -99,7 +124,9 @@ let test_memcached_rakis_vs_gramine () =
 
 let test_curl_transfers_whole_file () =
   let size = 1024 * 1024 in
-  let r = Apps.Curl.run (harness Libos.Env.Rakis_sgx ()) ~file_size:size in
+  let r =
+    with_harness Libos.Env.Rakis_sgx (fun h -> Apps.Curl.run h ~file_size:size)
+  in
   let chunks = (size + Apps.Curl.chunk_payload - 1) / Apps.Curl.chunk_payload in
   check_bool "all chunks arrived" true
     (r.received_bytes >= chunks * Apps.Curl.chunk_payload);
@@ -107,7 +134,10 @@ let test_curl_transfers_whole_file () =
 
 let test_curl_gramine_sgx_slower () =
   let size = 2 * 1024 * 1024 in
-  let run kind = (Apps.Curl.run (harness kind ()) ~file_size:size).seconds in
+  let run kind =
+    (with_harness kind (fun h -> Apps.Curl.run h ~file_size:size))
+      .Apps.Curl.seconds
+  in
   let native = run Libos.Env.Native in
   let rakis = run Libos.Env.Rakis_sgx in
   let gramine = run Libos.Env.Gramine_sgx in
@@ -120,9 +150,8 @@ let test_redis_all_commands () =
   List.iter
     (fun command ->
       let r =
-        Apps.Redis.run ~connections:10
-          (harness Libos.Env.Rakis_sgx ())
-          ~command ~ops:300
+        with_harness Libos.Env.Rakis_sgx (fun h ->
+            Apps.Redis.run ~connections:10 h ~command ~ops:300)
       in
       check_bool
         (Apps.Redis.command_name command ^ " completes")
@@ -132,9 +161,9 @@ let test_redis_all_commands () =
 
 let test_redis_rakis_vs_gramine () =
   let run kind =
-    (Apps.Redis.run ~connections:20 (harness kind ()) ~command:Apps.Redis.Get
-       ~ops:1000)
-      .kops_per_sec
+    (with_harness kind (fun h ->
+         Apps.Redis.run ~connections:20 h ~command:Apps.Redis.Get ~ops:1000))
+      .Apps.Redis.kops_per_sec
   in
   let rakis = run Libos.Env.Rakis_sgx in
   let gramine = run Libos.Env.Gramine_sgx in
@@ -143,19 +172,27 @@ let test_redis_rakis_vs_gramine () =
 (* {1 fstime} *)
 
 let test_fstime_write_then_read () =
-  let h = harness Libos.Env.Native () in
-  let w = Apps.Fstime.run ~mode:Apps.Fstime.Write h ~block_size:4096 ~blocks:100 in
+  let w =
+    with_harness Libos.Env.Native (fun h ->
+        Apps.Fstime.run ~mode:Apps.Fstime.Write h ~block_size:4096 ~blocks:100)
+  in
   check "bytes written" (4096 * 100) w.bytes;
-  let h = harness Libos.Env.Native () in
-  let r = Apps.Fstime.run ~mode:Apps.Fstime.Read h ~block_size:4096 ~blocks:100 in
+  let r =
+    with_harness Libos.Env.Native (fun h ->
+        Apps.Fstime.run ~mode:Apps.Fstime.Read h ~block_size:4096 ~blocks:100)
+  in
   check "bytes read" (4096 * 100) r.bytes;
-  let h = harness Libos.Env.Rakis_sgx () in
-  let c = Apps.Fstime.run ~mode:Apps.Fstime.Copy h ~block_size:4096 ~blocks:100 in
+  let c =
+    with_harness Libos.Env.Rakis_sgx (fun h ->
+        Apps.Fstime.run ~mode:Apps.Fstime.Copy h ~block_size:4096 ~blocks:100)
+  in
   check "bytes copied" (4096 * 100) c.bytes
 
 let test_fstime_rakis_beats_gramine_sgx () =
   let run kind =
-    (Apps.Fstime.run (harness kind ()) ~block_size:4096 ~blocks:500).mb_per_sec
+    (with_harness kind (fun h ->
+         Apps.Fstime.run h ~block_size:4096 ~blocks:500))
+      .Apps.Fstime.mb_per_sec
   in
   let rakis = run Libos.Env.Rakis_sgx in
   let gramine = run Libos.Env.Gramine_sgx in
@@ -165,7 +202,9 @@ let test_fstime_rakis_sgx_overhead_vs_direct () =
   (* Figure 5(a): at large blocks RAKIS-SGX pays boundary copies that
      RAKIS-Direct does not. *)
   let run kind =
-    (Apps.Fstime.run (harness kind ()) ~block_size:65536 ~blocks:200).mb_per_sec
+    (with_harness kind (fun h ->
+         Apps.Fstime.run h ~block_size:65536 ~blocks:200))
+      .Apps.Fstime.mb_per_sec
   in
   let direct = run Libos.Env.Rakis_direct in
   let sgx = run Libos.Env.Rakis_sgx in
@@ -186,8 +225,9 @@ let test_mcrypt_same_ciphertext_everywhere () =
      environments: the environments change costs, never data. *)
   let size = 1024 * 1024 in
   let run kind =
-    (Apps.Mcrypt.run (harness kind ()) ~file_size:size ~block_size:65536)
-      .checksum
+    (with_harness kind (fun h ->
+         Apps.Mcrypt.run h ~file_size:size ~block_size:65536))
+      .Apps.Mcrypt.checksum
   in
   let native = run Libos.Env.Native in
   check "rakis-sgx matches" native (run Libos.Env.Rakis_sgx);
@@ -198,8 +238,9 @@ let test_mcrypt_compute_bound () =
      compute-dominated workload. *)
   let size = 2 * 1024 * 1024 in
   let run kind =
-    (Apps.Mcrypt.run (harness kind ()) ~file_size:size ~block_size:65536)
-      .seconds
+    (with_harness kind (fun h ->
+         Apps.Mcrypt.run h ~file_size:size ~block_size:65536))
+      .Apps.Mcrypt.seconds
   in
   let native = run Libos.Env.Native in
   let gramine = run Libos.Env.Gramine_sgx in

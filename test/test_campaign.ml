@@ -171,11 +171,12 @@ let test_repro_roundtrip () =
       let token = C.repro o in
       match C.parse_repro token with
       | Error e -> Alcotest.failf "parse_repro %S: %s" token e
-      | Ok (dp', seed', budget', schedule') ->
+      | Ok (dp', seed', budget', schedule', faults') ->
           check_bool "datapath" true (dp = dp');
           Alcotest.(check int64) "seed" 77L seed';
           check "budget" 28 budget';
           check_bool "schedule" true (schedule' = mixed_schedule);
+          check_bool "fault-free plan" true (faults' = []);
           (match C.run_repro token with
           | Error e -> Alcotest.failf "run_repro %S: %s" token e
           | Ok o' -> check_bool "replayed outcome" true (o = o')))

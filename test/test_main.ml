@@ -14,6 +14,7 @@ let () =
       ("apps", Test_apps.suite);
       ("tm", Test_tm.suite);
       ("campaign", Test_campaign.suite);
+      ("faults", Test_faults.suite);
       ("monitor", Test_monitor.suite);
       ("tunnel", Test_tunnel.suite);
       ("stress", Test_stress.suite);

@@ -5,9 +5,80 @@
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--metrics] \
+    "usage: main.exe [--metrics] [--json] \
      [fig2|table1|table2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|claims|ablation|sensitivity|micro|all]";
   exit 2
+
+(* {1 Machine-readable results}
+
+   [--json] runs the three headline workloads on rakis-sgx and writes
+   one [BENCH_<workload>.json] each — throughput, p50/p99 cycles
+   (log2-bucket upper bounds, so conservative) and the enclave exit
+   count — for CI to archive and diff across commits. *)
+
+type jfield = S of string | I of int | F of float
+
+let write_json path fields =
+  let oc = open_out path in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then output_string oc ",\n";
+      Printf.fprintf oc "  %S: " k;
+      match v with
+      | S s -> Printf.fprintf oc "%S" s
+      | I n -> Printf.fprintf oc "%d" n
+      | F f -> Printf.fprintf oc "%.6g" f)
+    fields;
+  output_string oc "\n}\n";
+  close_out oc;
+  Format.printf "wrote %s@." path
+
+let json_harness () =
+  match Apps.Harness.make Libos.Env.Rakis_sgx () with
+  | Ok h -> h
+  | Error e -> failwith ("rakis-sgx: " ^ e)
+
+let run_json () =
+  let h = json_harness () in
+  let r = Apps.Udp_echo.run h ~datagrams:2000 ~payload_size:512 in
+  write_json "BENCH_udp_echo.json"
+    [
+      ("workload", S "udp_echo");
+      ("env", S r.Apps.Udp_echo.env);
+      ("datagrams", I r.Apps.Udp_echo.datagrams);
+      ("echoed", I r.Apps.Udp_echo.echoed);
+      ("round_trips_per_sec", F r.Apps.Udp_echo.round_trips_per_sec);
+      ("p50_cycles", I r.Apps.Udp_echo.rtt_p50);
+      ("p99_cycles", I r.Apps.Udp_echo.rtt_p99);
+      ("exits", I (Libos.Env.exits h.Apps.Harness.env));
+    ];
+  let h = json_harness () in
+  let r = Apps.Iperf.run h ~packet_size:1460 ~packets:12_000 in
+  write_json "BENCH_iperf.json"
+    [
+      ("workload", S "iperf");
+      ("env", S r.Apps.Iperf.env);
+      ("sent_packets", I r.Apps.Iperf.sent_packets);
+      ("received_packets", I r.Apps.Iperf.received_packets);
+      ("goodput_gbps", F r.Apps.Iperf.goodput_gbps);
+      ("loss", F r.Apps.Iperf.loss);
+      ("p50_cycles", I r.Apps.Iperf.gap_p50);
+      ("p99_cycles", I r.Apps.Iperf.gap_p99);
+      ("exits", I (Libos.Env.exits h.Apps.Harness.env));
+    ];
+  let h = json_harness () in
+  let r = Apps.Fstime.run h ~block_size:4096 ~blocks:3000 in
+  write_json "BENCH_fstime.json"
+    [
+      ("workload", S "fstime");
+      ("env", S r.Apps.Fstime.env);
+      ("bytes", I r.Apps.Fstime.bytes);
+      ("mb_per_sec", F r.Apps.Fstime.mb_per_sec);
+      ("p50_cycles", I r.Apps.Fstime.op_p50);
+      ("p99_cycles", I r.Apps.Fstime.op_p99);
+      ("exits", I (Libos.Env.exits h.Apps.Harness.env));
+    ]
 
 let run_all () =
   ignore (Figures.fig2 ());
@@ -33,7 +104,12 @@ let run_all () =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let metrics = List.mem "--metrics" args in
-  let args = List.filter (fun a -> a <> "--metrics") args in
+  let json = List.mem "--json" args in
+  let args =
+    List.filter (fun a -> a <> "--metrics" && a <> "--json") args
+  in
+  if json then run_json ()
+  else
   (match args with
   | [] | [ "all" ] -> run_all ()
   | [ "fig2" ] -> ignore (Figures.fig2 ())

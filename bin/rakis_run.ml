@@ -75,6 +75,56 @@ let fault_seed_arg =
     & info [ "fault-seed" ] ~docv:"N"
         ~doc:"Fault injector RNG seed (runs replay bit-for-bit per seed).")
 
+(* Degraded-mode knobs (DESIGN.md §9), threaded into the RAKIS config. *)
+let degraded_arg =
+  Arg.(
+    value
+    & opt bool Rakis.Config.default.Rakis.Config.degraded
+    & info [ "degraded" ] ~docv:"BOOL"
+        ~doc:
+          "Enable circuit breakers + exit-based slow-path failover \
+           (DESIGN.md §9).  $(b,--degraded=false) restores the PR 4 \
+           behaviour: persistent FIOKP failure surfaces as ETIMEDOUT.")
+
+let breaker_threshold_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "breaker-threshold" ] ~docv:"N"
+        ~doc:"Consecutive terminal failures that open a breaker.")
+
+let breaker_cooldown_arg =
+  Arg.(
+    value & opt (some int64) None
+    & info [ "breaker-cooldown" ] ~docv:"CYCLES"
+        ~doc:"Open-state cooldown before the first half-open probe.")
+
+let breaker_probes_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "breaker-probes" ] ~docv:"N"
+        ~doc:"Consecutive probe successes needed to close a breaker.")
+
+let health_config_term =
+  let apply degraded threshold cooldown probes =
+    let cfg = { Rakis.Config.default with degraded } in
+    let cfg =
+      match threshold with
+      | Some v -> { cfg with Rakis.Config.breaker_threshold = v }
+      | None -> cfg
+    in
+    let cfg =
+      match cooldown with
+      | Some v -> { cfg with Rakis.Config.breaker_cooldown = v }
+      | None -> cfg
+    in
+    match probes with
+    | Some v -> { cfg with Rakis.Config.breaker_probes = v }
+    | None -> cfg
+  in
+  Cmdliner.Term.(
+    const apply $ degraded_arg $ breaker_threshold_arg $ breaker_cooldown_arg
+    $ breaker_probes_arg)
+
 (* Install the fault plan on a booted harness: injector + watchdog + a
    step clock ticking every 10 simulated µs (the At_step/Burst domain —
    workloads here have no campaign step counter).  The tick process is
@@ -127,8 +177,34 @@ let report_faults h injector =
                  counts));
       (match Libos.Env.runtime h.Apps.Harness.env with
       | Some rt ->
-          Format.printf "watchdog restarts: %d@."
+          Format.printf "watchdog restarts: %d (degraded scans: %d)@."
             (Rakis.Runtime.watchdog_restarts rt)
+            (Rakis.Runtime.watchdog_degraded_scans rt);
+          let pb name b =
+            if
+              Rakis.Health.opens b > 0
+              || Rakis.Health.failovers b > 0
+              || Rakis.Health.sheds b > 0
+            then
+              Format.printf
+                "breaker %-5s state=%s opens=%d closes=%d failovers=%d \
+                 probes=%d sheds=%d@."
+                name
+                (Rakis.Health.state_name (Rakis.Health.state b))
+                (Rakis.Health.opens b) (Rakis.Health.closes b)
+                (Rakis.Health.failovers b)
+                (Rakis.Health.probes_sent b)
+                (Rakis.Health.sheds b)
+          in
+          pb "xsk" (Rakis.Runtime.xsk_breaker rt);
+          pb "uring" (Rakis.Runtime.uring_breaker rt);
+          pb "mm" (Rakis.Runtime.mm_breaker rt);
+          let slow =
+            Obs.Metrics.get_counter
+              (Obs.metrics (Rakis.Runtime.obs rt))
+              "health.slow_calls"
+          in
+          if slow > 0 then Format.printf "slow-path calls: %d@." slow
       | None -> ())
 
 let dump_obs ~metrics ~trace_file h =
@@ -186,8 +262,8 @@ let iperf_cmd =
   let streams =
     Arg.(value & opt int 4 & info [ "streams" ] ~doc:"Parallel client streams.")
   in
-  let run env packets size streams faults fault_seed metrics trace_file =
-    let h = harness env in
+  let run env cfg packets size streams faults fault_seed metrics trace_file =
+    let h = harness ~rakis_config:cfg env in
     let injector = install_faults h ~spec:faults ~seed:fault_seed in
     let r = Apps.Iperf.run ~streams h ~packet_size:size ~packets in
     Format.printf "%a@." Apps.Iperf.pp_result r;
@@ -196,8 +272,8 @@ let iperf_cmd =
   in
   Cmd.v (Cmd.info "iperf" ~doc:"iperf3-style UDP throughput (Figure 4a)")
     Term.(
-      const run $ env_arg $ packets $ size $ streams $ faults_arg
-      $ fault_seed_arg $ metrics_arg $ trace_arg)
+      const run $ env_arg $ health_config_term $ packets $ size $ streams
+      $ faults_arg $ fault_seed_arg $ metrics_arg $ trace_arg)
 
 let memcached_cmd =
   let threads =
@@ -258,15 +334,19 @@ let fstime_cmd =
   in
   let blocks = Arg.(value & opt int 3000 & info [ "blocks" ] ~doc:"Blocks.") in
   let read_mode = Arg.(value & flag & info [ "read" ] ~doc:"Read test.") in
-  let run env block blocks read_mode metrics trace_file =
-    let h = harness env in
+  let run env cfg block blocks read_mode faults fault_seed metrics trace_file =
+    let h = harness ~rakis_config:cfg env in
+    let injector = install_faults h ~spec:faults ~seed:fault_seed in
     let mode = if read_mode then Apps.Fstime.Read else Apps.Fstime.Write in
     let r = Apps.Fstime.run ~mode h ~block_size:block ~blocks in
     Format.printf "%a@." Apps.Fstime.pp_result r;
+    report_faults h injector;
     report ~metrics ?trace_file h
   in
   Cmd.v (Cmd.info "fstime" ~doc:"UnixBench fstime (Figure 5a)")
-    Term.(const run $ env_arg $ block $ blocks $ read_mode $ metrics_arg $ trace_arg)
+    Term.(
+      const run $ env_arg $ health_config_term $ block $ blocks $ read_mode
+      $ faults_arg $ fault_seed_arg $ metrics_arg $ trace_arg)
 
 let mcrypt_cmd =
   let size =
@@ -292,8 +372,8 @@ let udp_echo_cmd =
   let size =
     Arg.(value & opt int 512 & info [ "size" ] ~doc:"UDP payload bytes.")
   in
-  let run env datagrams size faults fault_seed metrics trace_file =
-    let h = harness env in
+  let run env cfg datagrams size faults fault_seed metrics trace_file =
+    let h = harness ~rakis_config:cfg env in
     let injector = install_faults h ~spec:faults ~seed:fault_seed in
     let r = Apps.Udp_echo.run h ~datagrams ~payload_size:size in
     Format.printf "%a@." Apps.Udp_echo.pp_result r;
@@ -314,8 +394,8 @@ let udp_echo_cmd =
           for $(b,--metrics)/$(b,--trace), and with $(b,--faults) the \
           recovery smoke test: exits 1 unless every datagram is echoed")
     Term.(
-      const run $ env_arg $ datagrams $ size $ faults_arg $ fault_seed_arg
-      $ metrics_arg $ trace_arg)
+      const run $ env_arg $ health_config_term $ datagrams $ size $ faults_arg
+      $ fault_seed_arg $ metrics_arg $ trace_arg)
 
 let verify_cmd =
   let depth = Arg.(value & opt int 3 & info [ "depth" ] ~doc:"Schedule depth.") in

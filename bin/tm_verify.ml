@@ -45,7 +45,7 @@ let campaign ~budget ~faults_plan =
       datapaths
   in
   let runs =
-    List.length singles + 8 + (if faults_plan = [] then 0 else 4)
+    List.length singles + 10 + (if faults_plan = [] then 0 else 4)
   in
   let per_run = max 16 (budget / runs) in
   let summarize o =
@@ -98,6 +98,31 @@ let campaign ~budget ~faults_plan =
         (List.length schedule) o.Tm.Campaign.ok o.Tm.Campaign.refused
         o.Tm.Campaign.lost (total_fired o)
         (if Tm.Campaign.failed o then "FAIL" else "ok");
+      summarize o)
+    datapaths;
+  (* Canonical breaker-failover arc (DESIGN.md §9): a probability-1
+     fault burst opens the primitive's breaker, traffic rides the
+     exit-based slow path, and the fault-free tail lets it probe and
+     fail back.  Asserted, not just reported: a run where the breaker
+     never engaged means the degraded-mode machinery is wired out. *)
+  List.iter
+    (fun dp ->
+      let plan = Tm.Campaign.failover_plan ~datapath:dp ~budget:per_run in
+      let o =
+        Tm.Campaign.run ~datapath:dp ~seed:81L ~budget:per_run ~faults:plan []
+      in
+      Format.printf
+        "failover %-9s opens=%d failovers=%d closes=%d slow=%d \
+         watchdog=%d scans=%d %s@."
+        (dp_name dp) o.Tm.Campaign.breaker_opens
+        o.Tm.Campaign.breaker_failovers o.Tm.Campaign.breaker_closes
+        o.Tm.Campaign.slow_calls o.Tm.Campaign.watchdog_restarts
+        o.Tm.Campaign.degraded_scans
+        (if Tm.Campaign.failed o then "FAIL" else "ok");
+      if o.Tm.Campaign.breaker_opens = 0 then begin
+        incr failures;
+        Format.printf "failover %s: breaker never opened@." (dp_name dp)
+      end;
       summarize o)
     datapaths;
   (* Host-fault schedules: the plan alone (pure availability weather),

@@ -7,9 +7,17 @@ type result = {
   bytes : int;
   duration : Sim.Engine.time;
   mb_per_sec : float;
+  op_p50 : int;  (** per-operation latency percentiles, cycles *)
+  op_p99 : int;
 }
 
-let bench api ~mode ~block_size ~blocks ~out () =
+let bench api ~mode ~block_size ~blocks ~ops ~out () =
+  let timed f =
+    let t0 = Libos.Api.now api in
+    let r = f () in
+    Obs.Metrics.observe ops (Int64.to_int (Int64.sub (Libos.Api.now api) t0));
+    r
+  in
   let path = "/tmp/fstime.dat" in
   let block = Bytes.make block_size 'f' in
   let open_file ?(p = path) ?(trunc = false) () =
@@ -31,22 +39,22 @@ let bench api ~mode ~block_size ~blocks ~out () =
   (match mode with
   | Write ->
       for _ = 1 to blocks do
-        match api.Libos.Api.write fd block 0 block_size with
+        match timed (fun () -> api.Libos.Api.write fd block 0 block_size) with
         | Ok n -> total := !total + n
         | Error e -> failwith (Format.asprintf "fstime write: %a" Abi.Errno.pp e)
       done
   | Read ->
       for _ = 1 to blocks do
-        match api.Libos.Api.read fd block 0 block_size with
+        match timed (fun () -> api.Libos.Api.read fd block 0 block_size) with
         | Ok n -> total := !total + n
         | Error e -> failwith (Format.asprintf "fstime read: %a" Abi.Errno.pp e)
       done
   | Copy ->
       let dst = open_file ~p:"/tmp/fstime.copy" ~trunc:true () in
       for _ = 1 to blocks do
-        (match api.Libos.Api.read fd block 0 block_size with
+        (match timed (fun () -> api.Libos.Api.read fd block 0 block_size) with
         | Ok n when n > 0 -> (
-            match api.Libos.Api.write dst block 0 n with
+            match timed (fun () -> api.Libos.Api.write dst block 0 n) with
             | Ok m -> total := !total + m
             | Error e ->
                 failwith (Format.asprintf "fstime copy write: %a" Abi.Errno.pp e))
@@ -59,8 +67,9 @@ let bench api ~mode ~block_size ~blocks ~out () =
 
 let run ?(mode = Write) (h : Harness.t) ~block_size ~blocks =
   let out = ref None in
+  let ops = Obs.Metrics.histogram (Obs.Metrics.create ()) "fstime.op" in
   Sim.Engine.spawn h.engine ~name:"fstime" (fun () ->
-      bench (Harness.api h) ~mode ~block_size ~blocks ~out ();
+      bench (Harness.api h) ~mode ~block_size ~blocks ~ops ~out ();
       Harness.stop h);
   Harness.run h ~until:(Sim.Cycles.of_sec 60.);
   let bytes, duration = Option.value !out ~default:(0, 0L) in
@@ -74,6 +83,8 @@ let run ?(mode = Write) (h : Harness.t) ~block_size ~blocks =
       (if Int64.compare duration 0L <= 0 then 0.
        else
          float_of_int bytes /. (1024. *. 1024.) /. Sim.Cycles.to_sec duration);
+    op_p50 = Obs.Metrics.percentile ops 50.;
+    op_p99 = Obs.Metrics.percentile ops 99.;
   }
 
 let pp_result ppf r =

@@ -13,6 +13,10 @@ type result = {
   bytes : int;
   duration : Sim.Engine.time;
   mb_per_sec : float;
+  op_p50 : int;
+      (** per-operation latency percentiles in cycles (conservative
+          log2-bucket upper bounds) *)
+  op_p99 : int;
 }
 
 val run : ?mode:mode -> Harness.t -> block_size:int -> blocks:int -> result

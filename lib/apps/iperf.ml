@@ -7,6 +7,8 @@ type result = {
   duration : Sim.Engine.time;
   goodput_gbps : float;
   loss : float;
+  gap_p50 : int;  (** server-side inter-arrival gap percentiles, cycles *)
+  gap_p99 : int;
 }
 
 let port = 5201
@@ -20,7 +22,7 @@ let gap_for size =
   let frame = size + Packet.Frame.frame_overhead in
   Int64.of_float (float_of_int frame *. Sgx.Params.wire_cycles_per_byte)
 
-let server api ~stats ~stop () =
+let server api ~stats ~gaps ~stop () =
   let received_packets, received_bytes, first_rx, last_rx, done_ = stats in
   let fd = api.Libos.Api.udp_socket () in
   (match api.Libos.Api.bind fd (Packet.Addr.Ip.of_repr "10.0.0.1", port) with
@@ -39,7 +41,8 @@ let server api ~stats ~stop () =
         end
         else begin
           let now = Libos.Api.now api in
-          if !first_rx = None then first_rx := Some now;
+          if !first_rx = None then first_rx := Some now
+          else Obs.Metrics.observe gaps (Int64.to_int (Int64.sub now !last_rx));
           last_rx := now;
           incr received_packets;
           received_bytes := !received_bytes + Bytes.length payload;
@@ -111,8 +114,9 @@ let run ?(streams = 4) (h : Harness.t) ~packet_size ~packets =
   and done_ = ref false
   and sent = ref 0 in
   let stats = (received_packets, received_bytes, first_rx, last_rx, done_) in
+  let gaps = Obs.Metrics.histogram (Obs.Metrics.create ()) "iperf.rx_gap" in
   Sim.Engine.spawn h.engine ~name:"iperf-server"
-    (server (Harness.api h) ~stats ~stop:(fun () -> Harness.stop h));
+    (server (Harness.api h) ~stats ~gaps ~stop:(fun () -> Harness.stop h));
   Sim.Engine.spawn h.engine ~name:"iperf-client"
     (client h.peer ~packet_size ~packets ~streams ~sent);
   Harness.run h ~until:(Sim.Cycles.of_sec 30.);
@@ -140,6 +144,8 @@ let run ?(streams = 4) (h : Harness.t) ~packet_size ~packets =
     loss =
       (if !sent = 0 then 0.
        else 1. -. (float_of_int !received_packets /. float_of_int !sent));
+    gap_p50 = Obs.Metrics.percentile gaps 50.;
+    gap_p99 = Obs.Metrics.percentile gaps 99.;
   }
 
 let pp_result ppf r =

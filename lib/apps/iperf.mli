@@ -14,6 +14,10 @@ type result = {
   duration : Sim.Engine.time;  (** first-to-last datagram at the server *)
   goodput_gbps : float;
   loss : float;  (** fraction of offered datagrams not delivered *)
+  gap_p50 : int;
+      (** server-side inter-arrival gap percentiles in cycles
+          (conservative log2-bucket upper bounds) *)
+  gap_p99 : int;
 }
 
 val port : int

@@ -5,6 +5,8 @@ type result = {
   payload_size : int;
   duration : Sim.Engine.time;
   round_trips_per_sec : float;
+  rtt_p50 : int;
+  rtt_p99 : int;
 }
 
 let port = 7
@@ -25,7 +27,7 @@ let server api () =
 
 (* Closed-loop native client: each datagram waits for its echo, so the
    count measures round trips, not offered load. *)
-let client api ~datagrams ~payload_size ~echoed ~first ~last ~stop () =
+let client api ~datagrams ~payload_size ~echoed ~first ~last ~rtts ~stop () =
   (* Let the server finish socket+bind before offering load. *)
   Sim.Engine.delay (Sim.Cycles.of_us 50.);
   let fd = api.Libos.Api.udp_socket () in
@@ -33,21 +35,24 @@ let client api ~datagrams ~payload_size ~echoed ~first ~last ~stop () =
   let payload = Bytes.make payload_size 'e' in
   first := Libos.Api.now api;
   for _ = 1 to datagrams do
+    let sent_at = Libos.Api.now api in
     ignore (api.Libos.Api.sendto fd payload dst);
     match api.Libos.Api.recvfrom fd 65536 with
     | Ok _ ->
         incr echoed;
-        last := Libos.Api.now api
+        last := Libos.Api.now api;
+        Obs.Metrics.observe rtts (Int64.to_int (Int64.sub !last sent_at))
     | Error _ -> ()
   done;
   stop ()
 
 let run (h : Harness.t) ~datagrams ~payload_size =
   let echoed = ref 0 and first = ref 0L and last = ref 0L in
+  let rtts = Obs.Metrics.histogram (Obs.Metrics.create ()) "udp_echo.rtt" in
   Sim.Engine.spawn h.engine ~name:"echo-server" (server (Harness.api h));
   Sim.Engine.spawn h.engine ~name:"echo-client"
-    (client h.peer ~datagrams ~payload_size ~echoed ~first ~last ~stop:(fun () ->
-         Harness.stop h));
+    (client h.peer ~datagrams ~payload_size ~echoed ~first ~last ~rtts
+       ~stop:(fun () -> Harness.stop h));
   Harness.run h ~until:(Sim.Cycles.of_sec 30.);
   let duration = if !echoed = 0 then 0L else Int64.sub !last !first in
   {
@@ -59,10 +64,13 @@ let run (h : Harness.t) ~datagrams ~payload_size =
     round_trips_per_sec =
       (if Int64.compare duration 0L <= 0 then 0.
        else float_of_int !echoed /. Sim.Cycles.to_sec duration);
+    rtt_p50 = Obs.Metrics.percentile rtts 50.;
+    rtt_p99 = Obs.Metrics.percentile rtts 99.;
   }
 
 let pp_result ppf r =
   Format.fprintf ppf
-    "%-14s size=%4dB echoed=%d/%d in %a (%.0f round trips/s simulated)" r.env
-    r.payload_size r.echoed r.datagrams Sim.Cycles.pp_duration r.duration
-    r.round_trips_per_sec
+    "%-14s size=%4dB echoed=%d/%d in %a (%.0f round trips/s simulated, rtt \
+     p50<=%d p99<=%d cycles)"
+    r.env r.payload_size r.echoed r.datagrams Sim.Cycles.pp_duration r.duration
+    r.round_trips_per_sec r.rtt_p50 r.rtt_p99

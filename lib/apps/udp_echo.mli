@@ -16,6 +16,8 @@ type result = {
   payload_size : int;
   duration : Sim.Engine.time;  (** first send to last echo *)
   round_trips_per_sec : float;
+  rtt_p50 : int;  (** median round-trip cycles (log2-bucket resolution) *)
+  rtt_p99 : int;  (** 99th-percentile round-trip cycles *)
 }
 
 val run : Harness.t -> datagrams:int -> payload_size:int -> result

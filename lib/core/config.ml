@@ -14,6 +14,12 @@ type t = {
   backoff_base : int64;
   backoff_cap : int64;
   reinit_threshold : int;
+  degraded : bool;
+  breaker_threshold : int;
+  breaker_cooldown : int64;
+  breaker_probes : int;
+  max_pending : int;
+  sync_op_timeout : int64;
 }
 
 let default =
@@ -33,6 +39,12 @@ let default =
     backoff_base = 500L;
     backoff_cap = 16_000L;
     reinit_threshold = 32;
+    degraded = true;
+    breaker_threshold = 3;
+    breaker_cooldown = 400_000L;
+    breaker_probes = 4;
+    max_pending = 256;
+    sync_op_timeout = 1_000_000L;
   }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
@@ -53,4 +65,11 @@ let validate t =
   else if t.backoff_cap < t.backoff_base then
     Error "backoff_cap must be at least backoff_base"
   else if t.reinit_threshold <= 0 then Error "reinit_threshold must be positive"
+  else if t.breaker_threshold <= 0 then
+    Error "breaker_threshold must be positive"
+  else if t.breaker_cooldown <= 0L then
+    Error "breaker_cooldown must be positive"
+  else if t.breaker_probes <= 0 then Error "breaker_probes must be positive"
+  else if t.max_pending <= 0 then Error "max_pending must be positive"
+  else if t.sync_op_timeout <= 0L then Error "sync_op_timeout must be positive"
   else Ok ()

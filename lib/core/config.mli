@@ -37,6 +37,28 @@ type t = {
   reinit_threshold : int;
       (** consecutive-iteration certified-ring failures after which an
           XSK FM quarantines and re-initializes its rings; default 32 *)
+  degraded : bool;
+      (** enable graceful degradation (DESIGN.md §9): per-primitive
+          circuit breakers reroute ops through the exit-based LibOS
+          slow path when a FIOKP fails persistently.  Default true;
+          false restores PR 4's fail-with-[ETIMEDOUT] behaviour. *)
+  breaker_threshold : int;
+      (** consecutive terminal failures that open a circuit breaker;
+          default 3 *)
+  breaker_cooldown : int64;
+      (** cycles a breaker stays [Open] before the next op may probe
+          ([Half_open]); default 400,000 (~167 µs) *)
+  breaker_probes : int;
+      (** consecutive probe successes that close a half-open breaker
+          (failback hysteresis); default 4 *)
+  max_pending : int;
+      (** admission bound on in-flight io_uring ops per FM; beyond it
+          new work is shed with [EAGAIN]; default 256 *)
+  sync_op_timeout : int64;
+      (** cycles a synchronous prompt-class io_uring op (Read / Write /
+          Send / Nop) waits for its CQE before abandoning the attempt —
+          the anti-livelock deadline under persistent wakeup loss;
+          default 1,000,000 (well above the worst legitimate sync op) *)
 }
 
 val default : t

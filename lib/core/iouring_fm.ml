@@ -23,6 +23,18 @@ type t = {
   mutable next_user_data : int64;
   pending : (int64, pending) Hashtbl.t;
   probes : (int, pending) Hashtbl.t; (* outstanding Poll_add per fd *)
+  (* In-flight accounting: [live] is maintained op-by-op (incremented on
+     submit, decremented on settle/abandon/forget) as an independent
+     shadow of [Hashtbl.length pending]; [accounting_holds] cross-checks
+     the two so a path that drops a record without retiring it — the
+     historical ETIMEDOUT leak — trips the runtime invariant. *)
+  mutable live : int;
+  mutable probe_mode : bool;
+  mutable sq_full_streak : int;
+  mutable breaker : Health.t option;
+  max_pending : int;
+  sync_op_timeout : int64;
+  sheds : Obs.Metrics.counter;
   cqe_rejects : Obs.Metrics.counter;
   sqes_submitted : Obs.Metrics.counter;
   cqes_reaped : Obs.Metrics.counter;
@@ -111,6 +123,13 @@ let create ?obs ?(name = "uring") ~enclave ~config ~fd ~uring ~bounce () =
         next_user_data = 1L;
         pending = Hashtbl.create 8;
         probes = Hashtbl.create 8;
+        live = 0;
+        probe_mode = false;
+        sq_full_streak = 0;
+        breaker = None;
+        max_pending = config.Config.max_pending;
+        sync_op_timeout = config.Config.sync_op_timeout;
+        sheds = Obs.Metrics.counter m (name ^ ".sheds");
         cqe_rejects = Obs.Metrics.counter m (name ^ ".cqe_rejects");
         sqes_submitted = Obs.Metrics.counter m (name ^ ".sqes_submitted");
         cqes_reaped = Obs.Metrics.counter m (name ^ ".cqes_reaped");
@@ -131,6 +150,10 @@ let create ?obs ?(name = "uring") ~enclave ~config ~fd ~uring ~bounce () =
       }
 
 let set_kick t f = t.kick <- f
+
+let set_breaker t b = t.breaker <- Some b
+
+let set_probe_mode t on = t.probe_mode <- on
 
 let sq_ring t = t.sq
 
@@ -155,6 +178,26 @@ let burst_counters t =
 
 let invariant_holds t =
   Rings.Certified.invariant_holds t.sq && Rings.Certified.invariant_holds t.cq
+
+let inflight t = Hashtbl.length t.pending
+
+let sheds t = Obs.Metrics.value t.sheds
+
+let accounting_holds t =
+  t.live >= 0
+  && t.live = Hashtbl.length t.pending
+  && Hashtbl.fold
+       (fun _ (p : pending) ok ->
+         ok && (p.outcome <> None || Hashtbl.mem t.pending p.user_data))
+       t.probes true
+
+(* The single point where an in-flight record is reclaimed; membership
+   guard keeps settle-then-abandon races idempotent. *)
+let retire t user_data =
+  if Hashtbl.mem t.pending user_data then begin
+    Hashtbl.remove t.pending user_data;
+    t.live <- t.live - 1
+  end
 
 (* Validate one CQE against its pending record. *)
 let settle t (p : pending) (cqe : Abi.Uring_abi.cqe) =
@@ -186,7 +229,7 @@ let reap_burst t =
          in
          match Hashtbl.find_opt t.pending cqe.user_data with
          | Some p ->
-             Hashtbl.remove t.pending cqe.user_data;
+             retire t cqe.user_data;
              settle t p cqe;
              incr reaped
          | None ->
@@ -213,12 +256,25 @@ let submit_burst t (sqes : (Abi.Uring_abi.sqe * int) array) =
           { sqe with user_data };
         let p = { user_data; expected_max; outcome = None } in
         Hashtbl.add t.pending user_data p;
+        t.live <- t.live + 1;
         pendings.(i) <- Some p)
   in
   if produced > 0 then begin
     Obs.Metrics.add t.sqes_submitted produced;
     t.kick ()
   end;
+  (* Overload feed: iSub looking full across consecutive bursts (even
+     after certification) is an SQ-full streak — a breaker-worthy
+     overload signal, unlike one-off Malice index noise. *)
+  if Array.length sqes > 0 then
+    if produced < Array.length sqes then begin
+      t.sq_full_streak <- t.sq_full_streak + 1;
+      if t.sq_full_streak >= 3 then begin
+        t.sq_full_streak <- 0;
+        match t.breaker with None -> () | Some b -> Health.record_failure b
+      end
+    end
+    else t.sq_full_streak <- 0;
   pendings
 
 let submit t (sqe : Abi.Uring_abi.sqe) ~expected_max =
@@ -247,7 +303,7 @@ let wait_or_renudge t =
      view may still be frozen by a smashed index, so always re-enter. *)
   t.kick ()
 
-let rec await t (p : pending) =
+let rec await ?deadline t (p : pending) =
   match p.outcome with
   | Some r -> r
   | None -> (
@@ -258,12 +314,25 @@ let rec await t (p : pending) =
           (* The completion slot for this synchronous request carried a
              forged identity: fail the request with EPERM (Table 2) and
              forget it — a late genuine CQE will be counted as stray. *)
-          Hashtbl.remove t.pending p.user_data;
+          retire t p.user_data;
           Error Abi.Errno.EPERM
-      | None when reaped > 0 -> await t p
-      | None ->
-          wait_or_renudge t;
-          await t p)
+      | None when reaped > 0 -> await ?deadline t p
+      | None -> (
+          match deadline with
+          | Some d when Sim.Engine.now (Sgx.Enclave.engine t.enclave) >= d ->
+              (* Abandon a completion that never came (e.g. every wakeup
+                 swallowed, so the SQE never entered the kernel).
+                 Without this deadline a synchronous op under a
+                 persistent wakeup drop livelocks forever and the
+                 retry/ETIMEDOUT machinery never engages.  Retiring the
+                 record here is what keeps [accounting_holds] balanced
+                 across retry exhaustion; EAGAIN is transient, so the
+                 caller's retry loop takes over. *)
+              retire t p.user_data;
+              Error Abi.Errno.EAGAIN
+          | _ ->
+              wait_or_renudge t;
+              await ?deadline t p))
 
 (* Static operation names for SyncProxy span events: literals only, so
    recording never allocates on the syscall path. *)
@@ -275,16 +344,32 @@ let op_name : Abi.Uring_abi.opcode -> string = function
   | Recv -> "uring.recv"
   | Poll_add -> "uring.poll"
 
+(* Prompt-class opcodes complete as soon as the kernel runs them, so a
+   missing CQE after [sync_op_timeout] means the datapath is stuck and
+   the attempt is abandoned.  Recv and Poll_add legitimately block for
+   unbounded time on peer data — and an abandoned Recv SQE that later
+   executes would consume stream bytes nobody is waiting for — so they
+   never get a deadline.  (Send is at-least-once under abandonment; the
+   availability posture of DESIGN.md §9 accepts that.) *)
+let prompt_class : Abi.Uring_abi.opcode -> bool = function
+  | Nop | Read | Write | Send -> true
+  | Recv | Poll_add -> false
+
 let submit_wait_once t sqe ~expected_max =
   match submit t sqe ~expected_max with
   | Error e -> Error e
   | Ok p ->
       let engine = Sgx.Enclave.engine t.enclave in
       let start = Sim.Engine.now engine in
+      let deadline =
+        if prompt_class sqe.Abi.Uring_abi.opcode then
+          Some (Int64.add start t.sync_op_timeout)
+        else None
+      in
       (* The synchronous caller hands off to the kernel worker and pays
          the handoff latency (paper §6.2). *)
       Sgx.Enclave.charge t.enclave Sgx.Params.iouring_sync_wait_cycles;
-      let r = await t p in
+      let r = await ?deadline t p in
       Obs.Metrics.observe t.sync_wait_cycles
         (Int64.to_int (Int64.sub (Sim.Engine.now engine) start));
       (match t.trace with
@@ -302,10 +387,13 @@ let submit_wait_once t sqe ~expected_max =
    known never to have executed (every attempt bounced), so callers may
    treat it like any refused request. *)
 let submit_wait t sqe ~expected_max =
+  (* Probe mode (Health half-open): one attempt, no retry budget — a
+     probe exists to answer "did the FIOKP heal?" cheaply, not to win. *)
+  let limit = if t.probe_mode then 0 else t.retry_limit in
   let rec attempt n =
     match submit_wait_once t sqe ~expected_max with
     | Error e when Abi.Errno.is_transient e ->
-        if n >= t.retry_limit then begin
+        if n >= limit then begin
           Obs.Metrics.incr t.retry_exhausted;
           Backoff.reset t.backoff;
           Error Abi.Errno.ETIMEDOUT
@@ -373,7 +461,19 @@ let no_stage ~pos:_ ~chunk:_ = ()
 
 let no_unstage ~pos:_ ~n:_ = ()
 
+(* Admission control: refuse new synchronous work once [max_pending]
+   ops are in flight — a bounded queue with EAGAIN backpressure to the
+   app, never a silent drop of accepted work. *)
+let admit t =
+  if Hashtbl.length t.pending >= t.max_pending then begin
+    Obs.Metrics.incr t.sheds;
+    (match t.breaker with None -> () | Some b -> Health.record_shed b);
+    Error Abi.Errno.EAGAIN
+  end
+  else Ok ()
+
 let read t ~fd ~off ~buf ~pos ~len =
+  let* () = admit t in
   chunked t
     ~make_sqe:(fun ~done_ ~chunk ->
       {
@@ -387,6 +487,7 @@ let read t ~fd ~off ~buf ~pos ~len =
     ~pos ~len
 
 let write t ~fd ~off ~buf ~pos ~len =
+  let* () = admit t in
   chunked t
     ~make_sqe:(fun ~done_ ~chunk ->
       {
@@ -398,6 +499,7 @@ let write t ~fd ~off ~buf ~pos ~len =
     ~stage:(stage_out t buf) ~unstage:no_unstage ~pos ~len
 
 let send t ~fd ~buf ~pos ~len =
+  let* () = admit t in
   chunked t
     ~make_sqe:(fun ~done_:_ ~chunk ->
       {
@@ -408,6 +510,7 @@ let send t ~fd ~buf ~pos ~len =
     ~stage:(stage_out t buf) ~unstage:no_unstage ~pos ~len
 
 let recv t ~fd ~buf ~pos ~len =
+  let* () = admit t in
   (* A recv returns as soon as any bytes are available: do not chunk. *)
   let chunk = min len t.bounce_size in
   match
@@ -425,11 +528,23 @@ let recv t ~fd ~buf ~pos ~len =
       Ok n
 
 let poll t ~fd ~events =
+  let* () = admit t in
   submit_wait t
     { (base_sqe Abi.Uring_abi.Poll_add ~fd) with poll_events = events }
     ~expected_max:(Abi.Uring_abi.pollin lor Abi.Uring_abi.pollout)
 
-let nop t = submit_wait t (base_sqe Abi.Uring_abi.Nop ~fd:(-1)) ~expected_max:0
+let nop t =
+  let* () = admit t in
+  submit_wait t (base_sqe Abi.Uring_abi.Nop ~fd:(-1)) ~expected_max:0
+
+let forget_fd t ~fd =
+  match Hashtbl.find_opt t.probes fd with
+  | None -> ()
+  | Some p ->
+      (* Closing an fd with an unsettled readiness probe used to leak
+         both the probe and its pending record forever. *)
+      Hashtbl.remove t.probes fd;
+      retire t p.user_data
 
 (* Multi-fd poll (the API submodule's io_uring side, paper §4.2): keep
    one outstanding Poll_add per fd, reusing probes across calls, and

@@ -47,6 +47,21 @@ val set_kick : t -> (unit -> unit) -> unit
 (** Install the Monitor Module's wakeup hook, invoked after every
     SQE batch is published so the host side gets scanned promptly. *)
 
+val set_breaker : t -> Health.t -> unit
+(** Attach the io_uring circuit breaker.  The FM feeds it overload
+    signals only — SQ-full streaks (3 consecutive full-looking
+    publishes) as failures and admission sheds — leaving
+    success/failure verdicts on synchronous ops to {!Syncproxy}, which
+    knows whether an op was probe traffic. *)
+
+val set_probe_mode : t -> bool -> unit
+(** While on, synchronous ops get no retry budget (one attempt, then
+    [ETIMEDOUT]): half-open probes must answer cheaply, not win. *)
+
+val forget_fd : t -> fd:int -> unit
+(** Drop the outstanding readiness probe for a closed [fd], retiring
+    its in-flight record (previously leaked forever). *)
+
 val read :
   t -> fd:int -> off:int -> buf:Bytes.t -> pos:int -> len:int ->
   (int, Abi.Errno.t) result
@@ -104,6 +119,23 @@ val burst_counters : t -> (string * (int * int)) list
 
 val invariant_holds : t -> bool
 (** Both certified rings satisfy the paper's eq. 1 invariant. *)
+
+val inflight : t -> int
+(** Ops submitted but not yet settled, abandoned or forgotten.  Zero at
+    quiescence (after every synchronous op has returned and every
+    polled fd is closed); a leak here is what the ETIMEDOUT regression
+    test pins. *)
+
+val sheds : t -> int
+(** Ops refused with [EAGAIN] by admission control
+    (["<name>.sheds"]): the pending table already held
+    [config.max_pending] ops. *)
+
+val accounting_holds : t -> bool
+(** In-flight accounting is internally consistent: the op-by-op [live]
+    shadow counter matches the pending table, and every unsettled
+    readiness probe still has its pending record.  Rolled into
+    {!Runtime.invariant_holds}. *)
 
 val pp_init_error : Format.formatter -> init_error -> unit
 (** Human-readable rendering of a {!init_error}. *)

@@ -1,3 +1,14 @@
+type slow_udp = {
+  su_socket : unit -> int;
+  su_bind : int -> port:int -> (unit, Abi.Errno.t) result;
+  su_sendto :
+    int -> Bytes.t -> dst:Packet.Addr.Ip.t * int -> (int, Abi.Errno.t) result;
+  su_recvfrom :
+    int -> max:int -> (Bytes.t * (Packet.Addr.Ip.t * int), Abi.Errno.t) result;
+  su_readable : int -> bool;
+  su_close : int -> unit;
+}
+
 type t = {
   enclave : Sgx.Enclave.t;
   kernel : Hostos.Kernel.t;
@@ -8,12 +19,26 @@ type t = {
   xsk_fms : Xsk_fm.t array;
   shared_alloc : Mem.Alloc.t;
   owned_ports : (int, unit) Hashtbl.t;
+  (* One breaker per primitive, shared by every instance of it, so
+     metric names ("health.xsk.*", "health.uring.*", "health.mm.*") and
+     failover policy are per-primitive (DESIGN.md §9). *)
+  xsk_breaker : Health.t;
+  uring_breaker : Health.t;
+  mm_breaker : Health.t;
+  mutable slow_ops : Syncproxy.slow_ops option;
+  mutable slow_udp : slow_udp option;
+  mutable udp_socks : udp_sock list;
+  mutable last_tx_ok : bool; (* feedback from [stack_transmit] *)
+  mutable probing : bool; (* half-open probe in flight: skip the reroute *)
   mutable threads : thread list;
   mutable tx_counter : int;
   mutable thread_counter : int;
 }
 
-and udp_sock = { mutable bound : Netstack.Udp_socket.t option }
+and udp_sock = {
+  mutable bound : Netstack.Udp_socket.t option;
+  mutable host_fd : int option; (* exit-based fallback socket, same port *)
+}
 
 and thread = { runtime : t; proxy : Syncproxy.t }
 
@@ -35,13 +60,37 @@ let owns_port t port = Hashtbl.mem t.owned_ports port
 
 let tx_round_robin t = t.tx_counter
 
+let xsk_breaker t = t.xsk_breaker
+
+let uring_breaker t = t.uring_breaker
+
+let mm_breaker t = t.mm_breaker
+
+let set_udp_slow_path t su = t.slow_udp <- Some su
+
+let set_slow_path t ops =
+  t.slow_ops <- Some ops;
+  if t.config.Config.degraded then
+    List.iter (fun th -> Syncproxy.set_slow th.proxy ops) t.threads
+
+(* Failover is only meaningful with a slow path to fail over to: without
+   one installed (bare-Runtime tests, native boots) every routing
+   decision below collapses to the PR 4 fast-path-only behaviour. *)
+let xsk_failover_ready t = t.config.Config.degraded && t.slow_udp <> None
+
 (* The XDP program loaded on the enclave's NIC queues: redirect UDP for
    enclave-owned ports and ARP aimed at the enclave IP; everything else
-   falls through to the host stack. *)
+   falls through to the host stack.  While the XSK breaker is not
+   closed, owned-port traffic is PASSed instead: the host stack delivers
+   it to the fallback socket bound to the same port, the RX half of the
+   exit-based slow path.  ARP is PASSed too — the NIC shares the
+   enclave's IP, so the host stack answers neighbour queries that the
+   enclave could only answer over the dead XSK TX ring. *)
 let xdp_program t frame =
+  let degraded () = xsk_failover_ready t && Health.degraded t.xsk_breaker in
   match Packet.Frame.peek_udp_ports frame with
   | Some (_, dst_port) when Hashtbl.mem t.owned_ports dst_port ->
-      Hostos.Xdp.Redirect
+      if degraded () then Hostos.Xdp.Pass else Hostos.Xdp.Redirect
   | Some _ -> Hostos.Xdp.Pass
   | None -> (
       match Packet.Eth.parse frame with
@@ -49,22 +98,134 @@ let xdp_program t frame =
           match Packet.Arp.parse payload with
           | Ok arp when Packet.Addr.Ip.equal arp.target_ip t.config.Config.ip
             ->
-              Hostos.Xdp.Redirect
+              if degraded () then Hostos.Xdp.Pass else Hostos.Xdp.Redirect
           | Ok _ | Error _ -> Hostos.Xdp.Pass)
       | Ok _ | Error _ -> Hostos.Xdp.Pass)
 
+(* {1 XSK failover (DESIGN.md §9)} *)
+
+(* Lazily create the exit-based fallback socket for a bound enclave
+   socket: a host UDP socket bound to the same port (the host stack's
+   port table is separate from the enclave netstack's, so the port is
+   free there).  Once it exists, XDP PASSes owned-port traffic into it
+   while the breaker is open. *)
+let host_fallback t sock =
+  match sock.host_fd with
+  | Some fd -> Some fd
+  | None -> (
+      match (t.slow_udp, sock.bound) with
+      | Some su, Some s -> (
+          let fd = su.su_socket () in
+          match su.su_bind fd ~port:(Netstack.Udp_socket.port s) with
+          | Ok () ->
+              sock.host_fd <- Some fd;
+              Some fd
+          | Error _ ->
+              su.su_close fd;
+              None)
+      | _ -> None)
+
+let find_sock t port =
+  List.find_opt
+    (fun sock ->
+      match sock.bound with
+      | Some s -> Netstack.Udp_socket.port s = port
+      | None -> false)
+    t.udp_socks
+
+(* Resend one rescued layer-2 frame through the slow path: dissect it
+   back into (socket, destination, payload) and push the payload out
+   of the owning socket's fallback fd.  Non-UDP frames (ARP) and frames
+   of sockets closed meanwhile have nothing to reroute. *)
+let reroute_frame t frame =
+  match t.slow_udp with
+  | None -> false
+  | Some su -> (
+      match Packet.Frame.dissect_udp frame with
+      | Error _ -> false
+      | Ok (info, payload) -> (
+          match find_sock t info.Packet.Frame.src_port with
+          | None -> false
+          | Some sock -> (
+              match host_fallback t sock with
+              | None -> false
+              | Some fd -> (
+                  Health.record_failover t.xsk_breaker;
+                  match
+                    su.su_sendto fd payload
+                      ~dst:(info.Packet.Frame.dst_ip, info.Packet.Frame.dst_port)
+                  with
+                  | Ok _ -> true
+                  | Error _ -> false))))
+
+(* Breaker-open hook: bind fallback sockets for every bound port first
+   (so PASSed inbound traffic has somewhere to land), then rescue the
+   in-flight TX frames of every XSK through the slow path. *)
+let on_xsk_open t () =
+  if xsk_failover_ready t then begin
+    List.iter (fun sock -> ignore (host_fallback t sock)) t.udp_socks;
+    Array.iter
+      (fun fm -> ignore (Xsk_fm.failover_reroute fm ~resend:(reroute_frame t)))
+      t.xsk_fms
+  end
+
+(* Open-breaker handling of a frame the netstack wants transmitted.
+   UDP frames are resent through the owning socket's fallback host fd.
+   ARP requests are "answered" on the spot by teaching the cache a
+   broadcast placeholder: the host kernel does its own neighbour
+   resolution on the slow path, and a thread blocked in
+   [Netstack.Stack.sendto]'s ARP resolve must not wait for a reply that
+   can never arrive on a dead XSK.  (The placeholder lingers after
+   failback; this kernel delivers UDP by port, and any genuine ARP
+   traffic overwrites it.) *)
+let failover_transmit t frame =
+  match Packet.Frame.dissect_udp frame with
+  | Ok _ -> reroute_frame t frame
+  | Error _ -> (
+      match Packet.Eth.parse frame with
+      | Ok { Packet.Eth.ethertype = Packet.Eth.Arp; payload; _ } -> (
+          match Packet.Arp.parse payload with
+          | Ok { Packet.Arp.op = Packet.Arp.Request; target_ip; _ } ->
+              Netstack.Arp_cache.learn
+                (Netstack.Stack.arp t.stack)
+                target_ip Packet.Addr.Mac.broadcast;
+              true
+          | Ok { Packet.Arp.op = Packet.Arp.Reply; _ } ->
+              (* XDP PASSes ARP while the breaker is open, so the host
+                 stack answers queries on the enclave's behalf; a reply
+                 of our own has nowhere useful to go. *)
+              true
+          | Error _ -> false)
+      | Ok _ | Error _ -> false)
+
 (* Transmit hook installed into the UDP/IP stack: spread frames over the
-   XSK FMs round-robin. *)
+   XSK FMs round-robin — unless the XSK breaker is open with a slow
+   path installed, in which case frames take the exit-based route.
+   [last_tx_ok] feeds the outcome back to [udp_sendto], which cannot
+   see it through [Netstack.Stack.sendto] — a frame every path refused
+   is surfaced as [EAGAIN], never silently dropped once degraded mode
+   is on.  Half-open probe traffic ([t.probing]) must reach the FM:
+   its completion (or rekick timeout) is the very signal the breaker is
+   waiting on to fail back (or re-open). *)
 let stack_transmit t frame =
-  let n = Array.length t.xsk_fms in
-  let start = t.tx_counter in
-  t.tx_counter <- t.tx_counter + 1;
-  let rec try_fm i =
-    if i >= n then ()
-    else if Xsk_fm.transmit t.xsk_fms.((start + i) mod n) frame then ()
-    else try_fm (i + 1)
-  in
-  try_fm 0
+  if
+    xsk_failover_ready t
+    && Health.degraded t.xsk_breaker
+    && (not t.probing)
+    && failover_transmit t frame
+  then t.last_tx_ok <- true
+  else begin
+    let n = Array.length t.xsk_fms in
+    let start = t.tx_counter in
+    t.tx_counter <- t.tx_counter + 1;
+    let rec try_fm i =
+      if i >= n then t.last_tx_ok <- false
+      else if Xsk_fm.transmit t.xsk_fms.((start + i) mod n) frame then
+        t.last_tx_ok <- true
+      else try_fm (i + 1)
+    in
+    try_fm 0
+  end
 
 let shared_arena_size config =
   let ring_foot =
@@ -123,6 +284,8 @@ let boot kernel ~sgx ?(config = Config.default) () =
       (match make_fms 0 [] with
       | Error e -> Error e
       | Ok fms ->
+          let clock () = Sim.Engine.now engine in
+          let breaker name = Health.of_config ~obs ~name ~clock config in
           let t =
             {
               enclave;
@@ -134,6 +297,14 @@ let boot kernel ~sgx ?(config = Config.default) () =
               xsk_fms = Array.of_list (List.map fst fms);
               shared_alloc;
               owned_ports = Hashtbl.create 16;
+              xsk_breaker = breaker "xsk";
+              uring_breaker = breaker "uring";
+              mm_breaker = breaker "mm";
+              slow_ops = None;
+              slow_udp = None;
+              udp_socks = [];
+              last_tx_ok = true;
+              probing = false;
               threads = [];
               tx_counter = 0;
               thread_counter = 0;
@@ -165,12 +336,19 @@ let boot kernel ~sgx ?(config = Config.default) () =
               Monitor.watch_xsk monitor xsks.(i);
               Xsk_fm.start fm)
             t.xsk_fms;
+          if config.degraded then begin
+            Array.iter (fun fm -> Xsk_fm.set_breaker fm t.xsk_breaker) t.xsk_fms;
+            Health.set_on_open t.xsk_breaker (on_xsk_open t)
+          end;
           Monitor.start monitor;
           Ok t)
 
 (* {1 UDP} *)
 
-let udp_socket _t = { bound = None }
+let udp_socket t =
+  let sock = { bound = None; host_fd = None } in
+  t.udp_socks <- sock :: t.udp_socks;
+  sock
 
 let udp_bind t sock port =
   match Netstack.Stack.bind t.stack ~port with
@@ -178,6 +356,10 @@ let udp_bind t sock port =
   | Ok s ->
       sock.bound <- Some s;
       Hashtbl.replace t.owned_ports (Netstack.Udp_socket.port s) ();
+      (* Bound while the breaker is already open: create the fallback
+         immediately, or PASSed traffic for this port would be lost. *)
+      if xsk_failover_ready t && Health.degraded t.xsk_breaker then
+        ignore (host_fallback t sock);
       Ok ()
 
 let ensure_bound t sock =
@@ -191,31 +373,126 @@ let ensure_bound t sock =
           | None -> Error Abi.Errno.EINVAL)
       | Error e -> Error e)
 
+let fast_sendto t s payload ~dst =
+  t.last_tx_ok <- true;
+  match
+    Netstack.Stack.sendto t.stack
+      ~src_port:(Netstack.Udp_socket.port s)
+      ~dst payload
+  with
+  | Ok n -> if t.last_tx_ok then Ok n else Error Abi.Errno.EAGAIN
+  | Error Netstack.Stack.Payload_too_big -> Error Abi.Errno.EMSGSIZE
+  | Error Netstack.Stack.Unresolvable -> Error Abi.Errno.ENOTCONN
+  | Error Netstack.Stack.No_transmit -> Error Abi.Errno.ENOTCONN
+
+let slow_sendto t sock payload ~dst =
+  match t.slow_udp with
+  | None -> None
+  | Some su -> (
+      match host_fallback t sock with
+      | None -> None
+      | Some fd -> Some (su.su_sendto fd payload ~dst))
+
 let udp_sendto t sock payload ~dst =
   match ensure_bound t sock with
   | Error e -> Error e
-  | Ok s -> (
-      match
-        Netstack.Stack.sendto t.stack
-          ~src_port:(Netstack.Udp_socket.port s)
-          ~dst payload
-      with
-      | Ok n -> Ok n
-      | Error Netstack.Stack.Payload_too_big -> Error Abi.Errno.EMSGSIZE
-      | Error Netstack.Stack.Unresolvable -> Error Abi.Errno.ENOTCONN
-      | Error Netstack.Stack.No_transmit -> Error Abi.Errno.ENOTCONN)
+  | Ok s ->
+      if not (xsk_failover_ready t) then (
+        (* PR 4 semantics: the datagram may be silently dropped by a
+           saturated TX path, as UDP permits. *)
+        match fast_sendto t s payload ~dst with
+        | Error Abi.Errno.EAGAIN -> Ok (Bytes.length payload)
+        | r -> r)
+      else (
+        match Health.allow t.xsk_breaker with
+        | Health.Slow -> (
+            match slow_sendto t sock payload ~dst with
+            | Some r -> r
+            | None ->
+                Health.record_shed t.xsk_breaker;
+                Error Abi.Errno.EAGAIN)
+        | Health.Fast | Health.Probe as verdict -> (
+            if verdict = Health.Probe then t.probing <- true;
+            let sent =
+              Fun.protect
+                ~finally:(fun () -> t.probing <- false)
+                (fun () -> fast_sendto t s payload ~dst)
+            in
+            match sent with
+            | Error Abi.Errno.EAGAIN -> (
+                (* Every FM refused the frame (the exhaustion already
+                   fed the breaker): resend via the slow path, or make
+                   the backpressure explicit. *)
+                match slow_sendto t sock payload ~dst with
+                | Some r ->
+                    Health.record_failover t.xsk_breaker;
+                    r
+                | None ->
+                    Health.record_shed t.xsk_breaker;
+                    Error Abi.Errno.EAGAIN)
+            | r -> r))
 
-let udp_recvfrom _t sock ~max =
+(* Degraded receive: once failover is configured, datagrams may sit in
+   either the enclave netstack (XDP Redirect epochs) or the host
+   fallback socket (XDP Pass epochs), so poll both.  [sock.host_fd] is
+   re-read every iteration — a thread that blocked here while the
+   breaker was still closed must start draining a fallback that
+   [on_xsk_open] binds only later.  The host-side check runs whenever
+   the fallback exists, not only while the breaker is open: packets
+   PASSed just before failback must still be drained afterwards. *)
+let udp_recvfrom t sock ~max =
   match sock.bound with
   | None -> Error Abi.Errno.EINVAL
-  | Some s -> Ok (Netstack.Udp_socket.recvfrom s ~max)
+  | Some s ->
+      if not (xsk_failover_ready t) then
+        Ok (Netstack.Udp_socket.recvfrom s ~max)
+      else
+        let engine = Hostos.Kernel.engine t.kernel in
+        let rec loop () =
+          if Netstack.Udp_socket.readable s then
+            Ok (Netstack.Udp_socket.recvfrom s ~max)
+          else
+            match (sock.host_fd, t.slow_udp) with
+            | Some fd, Some su when su.su_readable fd ->
+                Health.record_failover t.xsk_breaker;
+                su.su_recvfrom fd ~max
+            | _ ->
+                (* Park on enclave-socket activity, with a quantum
+                   timer: host-socket arrivals broadcast a different
+                   condition, so the timer bounds how stale the
+                   host-side check can get. *)
+                let cond = Netstack.Udp_socket.activity s in
+                let fired = ref false in
+                Sim.Engine.at engine
+                  (Int64.add (Sim.Engine.now engine)
+                     Sgx.Params.xsk_rekick_period)
+                  (fun () ->
+                    if not !fired then begin
+                      fired := true;
+                      Sim.Condition.broadcast cond
+                    end);
+                Sim.Condition.wait cond;
+                fired := true;
+                loop ()
+        in
+        loop ()
 
-let udp_readable _t sock =
+let udp_readable t sock =
   match sock.bound with
   | None -> false
-  | Some s -> Netstack.Udp_socket.readable s
+  | Some s -> (
+      Netstack.Udp_socket.readable s
+      ||
+      match (sock.host_fd, t.slow_udp) with
+      | Some fd, Some su -> su.su_readable fd
+      | _ -> false)
 
 let udp_close t sock =
+  (match (sock.host_fd, t.slow_udp) with
+  | Some fd, Some su -> su.su_close fd
+  | _ -> ());
+  sock.host_fd <- None;
+  t.udp_socks <- List.filter (fun o -> o != sock) t.udp_socks;
   match sock.bound with
   | None -> ()
   | Some s ->
@@ -256,7 +533,9 @@ let new_thread t =
              Monitor.kick t.monitor);
          Monitor.watch_uring t.monitor uring
        end);
-      let thread = { runtime = t; proxy = Syncproxy.create fm } in
+      let proxy = Syncproxy.create ?slow:t.slow_ops fm in
+      if t.config.Config.degraded then Syncproxy.set_breaker proxy t.uring_breaker;
+      let thread = { runtime = t; proxy } in
       t.threads <- thread :: t.threads;
       Ok thread
 
@@ -286,6 +565,9 @@ let invariant_holds t =
   && List.for_all
        (fun th -> Iouring_fm.invariant_holds (Syncproxy.fm th.proxy))
        t.threads
+  && List.for_all
+       (fun th -> Iouring_fm.accounting_holds (Syncproxy.fm th.proxy))
+       t.threads
 
 (* {1 Watchdog (DESIGN.md §8)} *)
 
@@ -313,16 +595,37 @@ let start_watchdog t =
           Obs.Metrics.incr degraded;
           Sgx.Enclave.ocall t.enclave;
           Monitor.force_scan t.monitor;
-          Obs.Metrics.incr restarts;
-          Monitor.restart t.monitor;
-          Monitor.kick t.monitor
-        end;
+          if not t.config.Config.degraded then begin
+            Obs.Metrics.incr restarts;
+            Monitor.restart t.monitor;
+            Monitor.kick t.monitor
+          end
+          else begin
+            (* MM breaker: a persistently dying Monitor stops earning
+               restarts (the enclave-side scans above carry the load);
+               half-open probes are restart attempts, and a stretch of
+               healthy checks below closes the breaker again. *)
+            Health.record_failure t.mm_breaker;
+            match Health.allow t.mm_breaker with
+            | Health.Fast | Health.Probe ->
+                Obs.Metrics.incr restarts;
+                Monitor.restart t.monitor;
+                Monitor.kick t.monitor
+            | Health.Slow -> ()
+          end
+        end
+        else if t.config.Config.degraded then
+          Health.record_success t.mm_breaker;
         loop ()
       in
       loop ())
 
 let watchdog_restarts t =
   Obs.Metrics.value (Obs.Metrics.counter (Obs.metrics t.obs) "watchdog.restarts")
+
+let watchdog_degraded_scans t =
+  Obs.Metrics.value
+    (Obs.Metrics.counter (Obs.metrics t.obs) "watchdog.degraded_scans")
 
 let udp_activity _t sock =
   Option.map Netstack.Udp_socket.activity sock.bound

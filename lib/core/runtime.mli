@@ -26,6 +26,24 @@ type udp_sock
 type thread
 (** A user thread's io_uring context: its FM plus its SyncProxy. *)
 
+type slow_udp = {
+  su_socket : unit -> int;
+  su_bind : int -> port:int -> (unit, Abi.Errno.t) result;
+  su_sendto :
+    int -> Bytes.t -> dst:Packet.Addr.Ip.t * int -> (int, Abi.Errno.t) result;
+  su_recvfrom :
+    int -> max:int -> (Bytes.t * (Packet.Addr.Ip.t * int), Abi.Errno.t) result;
+  su_readable : int -> bool;
+  su_close : int -> unit;
+}
+(** The exit-based UDP slow path: plain host-kernel sockets driven via
+    OCALLs, implemented by {!Libos.Hostapi.slow_udp}.  Used only while
+    the XSK breaker is open (DESIGN.md §9): when the breaker trips, each
+    bound fast-path socket gets a same-port fallback host socket, XDP
+    switches from [Redirect] to [Pass] for owned ports (so inbound
+    datagrams land on the fallback socket), and sends go out via
+    [su_sendto] — paying the modeled SGX exit + copy costs. *)
+
 val boot :
   Hostos.Kernel.t -> sgx:bool -> ?config:Config.t -> unit -> (t, string) result
 (** Run the boot sequence above against [kernel].  [sgx:false] skips
@@ -62,6 +80,30 @@ val xsk_fms : t -> Xsk_fm.t array
 val owns_port : t -> int -> bool
 (** Is this UDP port currently served by RAKIS (bound in the enclave)? *)
 
+(** {1 Degraded mode (DESIGN.md §9)} *)
+
+val set_slow_path : t -> Syncproxy.slow_ops -> unit
+(** Install the exit-based io_uring slow path; applied to every existing
+    and future {!new_thread} SyncProxy when [config.degraded]. *)
+
+val set_udp_slow_path : t -> slow_udp -> unit
+(** Install the exit-based UDP slow path.  Until this is called the XSK
+    breaker only observes (routing never changes): failover needs a slow
+    path to fail over {e to}. *)
+
+val xsk_breaker : t -> Health.t
+(** The runtime-wide XSK circuit breaker (["health.xsk.*"]), fed by
+    every XSK FM's terminal failure/success signals. *)
+
+val uring_breaker : t -> Health.t
+(** The io_uring circuit breaker (["health.uring.*"]), shared by every
+    thread's SyncProxy and FM overload feed. *)
+
+val mm_breaker : t -> Health.t
+(** The Monitor Module breaker (["health.mm.*"]), fed by the watchdog:
+    open means the watchdog stops restarting a persistently dying MM and
+    carries the load with in-enclave degraded scans instead. *)
+
 (** {1 UDP syscalls (XDP fast path — no enclave exits)} *)
 
 val udp_socket : t -> udp_sock
@@ -78,7 +120,11 @@ val udp_sendto :
   dst:Packet.Addr.Ip.t * int ->
   (int, Abi.Errno.t) result
 (** Transmit one datagram through the in-enclave stack and the XSK TX
-    path — no enclave exit; the Monitor Module kicks the host side. *)
+    path — no enclave exit; the Monitor Module kicks the host side.
+    With a slow path installed and the XSK breaker not [Closed], the
+    datagram is rerouted through the exit-based host socket instead;
+    [EAGAIN] only when both paths refuse (backpressure — the datagram
+    was never accepted, so nothing is silently lost). *)
 
 val udp_recvfrom :
   t ->
@@ -86,7 +132,10 @@ val udp_recvfrom :
   max:int ->
   (Bytes.t * (Packet.Addr.Ip.t * int), Abi.Errno.t) result
 (** Dequeue one received datagram (payload truncated to [max]) plus the
-    sender's address; [EAGAIN] when the socket queue is empty. *)
+    sender's address; [EAGAIN] when the socket queue is empty.  While a
+    fallback host socket exists (breaker open, or still draining just
+    after failback) both sources are polled: the in-enclave stack first,
+    then the host socket via the exit-based slow path. *)
 
 val udp_readable : t -> udp_sock -> bool
 (** [true] iff a datagram is queued ([udp_recvfrom] would not block). *)
@@ -128,12 +177,20 @@ val start_watchdog : t -> unit
     Module's liveness ({!Monitor.alive} / {!Monitor.last_beat}); on a
     crash or a beat staler than {!Sgx.Params.watchdog_timeout} it runs
     one degraded scan from inside the enclave and restarts the MM.
+    When [config.degraded], restarts additionally go through the MM
+    breaker ({!mm_breaker}): a persistently dying Monitor opens it and
+    stops earning restarts (scans continue), half-open probes are
+    restart attempts, and sustained healthy checks close it again.
     Call after installing a fault injector ({!Hostos.Kernel.set_faults})
     — its periodic timer keeps the event queue alive, so fault-free
     runs that terminate on queue exhaustion should not start it. *)
 
 val watchdog_restarts : t -> int
 (** Monitor restarts performed by the watchdog (["watchdog.restarts"]). *)
+
+val watchdog_degraded_scans : t -> int
+(** In-enclave degraded scans the watchdog ran in place of a healthy
+    Monitor Module (["watchdog.degraded_scans"]). *)
 
 val tx_round_robin : t -> int
 (** Frames transmitted through the stack's transmit hook. *)

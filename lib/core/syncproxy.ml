@@ -1,17 +1,118 @@
-type t = { fm : Iouring_fm.t }
+type slow_ops = {
+  read :
+    fd:int ->
+    off:int ->
+    buf:Bytes.t ->
+    pos:int ->
+    len:int ->
+    (int, Abi.Errno.t) result;
+  write :
+    fd:int ->
+    off:int ->
+    buf:Bytes.t ->
+    pos:int ->
+    len:int ->
+    (int, Abi.Errno.t) result;
+  send : fd:int -> buf:Bytes.t -> pos:int -> len:int -> (int, Abi.Errno.t) result;
+  recv : fd:int -> buf:Bytes.t -> pos:int -> len:int -> (int, Abi.Errno.t) result;
+  poll : fd:int -> events:int -> (int, Abi.Errno.t) result;
+}
 
-let create fm = { fm }
+type t = {
+  fm : Iouring_fm.t;
+  mutable slow : slow_ops option;
+  mutable breaker : Health.t option;
+}
+
+let create ?slow ?breaker fm = { fm; slow; breaker }
 
 let fm t = t.fm
 
-let read t = Iouring_fm.read t.fm
+let set_slow t s = t.slow <- Some s
 
-let write t = Iouring_fm.write t.fm
+let set_breaker t b =
+  t.breaker <- Some b;
+  Iouring_fm.set_breaker t.fm b
 
-let send t = Iouring_fm.send t.fm
+let degraded t =
+  match t.breaker with None -> false | Some b -> Health.degraded b
 
-let recv t = Iouring_fm.recv t.fm
+let probe_attempt t fast =
+  Iouring_fm.set_probe_mode t.fm true;
+  Fun.protect ~finally:(fun () -> Iouring_fm.set_probe_mode t.fm false) fast
 
-let poll t = Iouring_fm.poll t.fm
+(* One synchronous op through the breaker.  [probe_ok] is false for ops
+   whose abandoned SQE could corrupt state if the kernel executes it
+   late (a probe [recv] would consume stream bytes nobody awaits; a
+   probe [poll] has no completion deadline at all) — those decline the
+   probe slot and go slow.  An [ETIMEDOUT] fast result is the terminal
+   "every attempt bounced, the op never ran" verdict (DESIGN.md §8), so
+   completing it via the slow path is safe and keeps the failure
+   invisible to the app. *)
+let route t ~probe_ok ~fast ~slow_fn =
+  match (t.breaker, t.slow) with
+  | None, _ | _, None -> fast ()
+  | Some b, Some slow -> (
+      match Health.allow b with
+      | Health.Slow -> slow_fn slow
+      | Health.Probe when not probe_ok ->
+          Health.cancel_probe b;
+          Health.record_failover b;
+          slow_fn slow
+      | Health.Probe -> (
+          match probe_attempt t fast with
+          | Ok _ as r ->
+              Health.record_success b;
+              r
+          | Error Abi.Errno.ETIMEDOUT ->
+              Health.record_failure b;
+              Health.record_failover b;
+              slow_fn slow
+          | Error e as r when Abi.Errno.is_transient e ->
+              (* Admission shed, not a datapath verdict: release the
+                 probe slot and surface the backpressure. *)
+              Health.cancel_probe b;
+              r
+          | Error _ as r ->
+              (* The FIOKP answered; the op failed semantically. *)
+              Health.record_success b;
+              r)
+      | Health.Fast -> (
+          match fast () with
+          | Ok _ as r ->
+              Health.record_success b;
+              r
+          | Error Abi.Errno.ETIMEDOUT ->
+              Health.record_failure b;
+              Health.record_failover b;
+              slow_fn slow
+          | Error _ as r -> r))
+
+let read t ~fd ~off ~buf ~pos ~len =
+  route t ~probe_ok:true
+    ~fast:(fun () -> Iouring_fm.read t.fm ~fd ~off ~buf ~pos ~len)
+    ~slow_fn:(fun s -> s.read ~fd ~off ~buf ~pos ~len)
+
+let write t ~fd ~off ~buf ~pos ~len =
+  route t ~probe_ok:true
+    ~fast:(fun () -> Iouring_fm.write t.fm ~fd ~off ~buf ~pos ~len)
+    ~slow_fn:(fun s -> s.write ~fd ~off ~buf ~pos ~len)
+
+let send t ~fd ~buf ~pos ~len =
+  route t ~probe_ok:true
+    ~fast:(fun () -> Iouring_fm.send t.fm ~fd ~buf ~pos ~len)
+    ~slow_fn:(fun s -> s.send ~fd ~buf ~pos ~len)
+
+let recv t ~fd ~buf ~pos ~len =
+  route t ~probe_ok:false
+    ~fast:(fun () -> Iouring_fm.recv t.fm ~fd ~buf ~pos ~len)
+    ~slow_fn:(fun s -> s.recv ~fd ~buf ~pos ~len)
+
+let poll t ~fd ~events =
+  route t ~probe_ok:false
+    ~fast:(fun () -> Iouring_fm.poll t.fm ~fd ~events)
+    ~slow_fn:(fun s -> s.poll ~fd ~events)
 
 let poll_multi t = Iouring_fm.poll_multi t.fm
+
+let forget_fd t ~fd = Iouring_fm.forget_fd t.fm ~fd

@@ -1,20 +1,62 @@
 (** SyncProxy (paper §4.2): a per-thread passthrough stub that serves
     synchronous IO syscalls by forwarding them to the thread's io_uring
     FM and blocking until completion.  RAKIS uses it for exactly five
-    syscalls: TCP [send]/[recv], [read], [write] and [poll]. *)
+    syscalls: TCP [send]/[recv], [read], [write] and [poll].
+
+    Since DESIGN.md §9 the proxy is also the io_uring failover point:
+    when a {!Health} breaker and a {!slow_ops} table are attached, every
+    op is routed through the breaker — [Fast] ops take the FM (and a
+    terminal [ETIMEDOUT] fails over to the slow path instead of
+    surfacing), [Probe] ops test the FM with the retry budget disabled,
+    and [Slow] ops go straight to the exit-based LibOS path.  With no
+    breaker or no slow path attached, behaviour is exactly the PR 4
+    passthrough. *)
+
+type slow_ops = {
+  read :
+    fd:int ->
+    off:int ->
+    buf:Bytes.t ->
+    pos:int ->
+    len:int ->
+    (int, Abi.Errno.t) result;
+  write :
+    fd:int ->
+    off:int ->
+    buf:Bytes.t ->
+    pos:int ->
+    len:int ->
+    (int, Abi.Errno.t) result;
+  send : fd:int -> buf:Bytes.t -> pos:int -> len:int -> (int, Abi.Errno.t) result;
+  recv : fd:int -> buf:Bytes.t -> pos:int -> len:int -> (int, Abi.Errno.t) result;
+  poll : fd:int -> events:int -> (int, Abi.Errno.t) result;
+}
+(** The exit-based slow path: same five signatures as the fast ops,
+    implemented by {!Libos.Hostapi.slow_ops} as plain host syscalls
+    paying the modeled SGX exit + copy costs. *)
 
 type t
-(** A SyncProxy bound to one thread's io_uring FM.  Every call below
+(** A SyncProxy bound to one thread's io_uring FM.  Every fast call
     submits a single SQE via {!Iouring_fm.submit_wait} and spins (inside
     the enclave, no exit) until its CQE lands — so each call also emits
     one ["syncproxy"] trace span and one [<name>.sync_wait_cycles]
     histogram observation on the FM's Obs registry. *)
 
-val create : Iouring_fm.t -> t
-(** Wrap an io_uring FM; the proxy itself holds no other state. *)
+val create : ?slow:slow_ops -> ?breaker:Health.t -> Iouring_fm.t -> t
+(** Wrap an io_uring FM.  [slow] and [breaker] (usually attached later
+    via {!set_slow} / {!set_breaker}) enable degraded-mode routing. *)
 
 val fm : t -> Iouring_fm.t
 (** The underlying io_uring FastPath Module. *)
+
+val set_slow : t -> slow_ops -> unit
+
+val set_breaker : t -> Health.t -> unit
+(** Attach the shared io_uring breaker; also installs it on the FM for
+    the overload feeds ({!Iouring_fm.set_breaker}). *)
+
+val degraded : t -> bool
+(** The attached breaker (if any) is not [Closed]. *)
 
 val read :
   t -> fd:int -> off:int -> buf:Bytes.t -> pos:int -> len:int ->
@@ -33,15 +75,22 @@ val send :
 
 val recv :
   t -> fd:int -> buf:Bytes.t -> pos:int -> len:int -> (int, Abi.Errno.t) result
-(** Receive from a connected TCP socket; returns bytes read. *)
+(** Receive from a connected TCP socket; returns bytes read.  Declines
+    probe slots: an abandoned probe [Recv] SQE executed late by the
+    kernel would consume stream bytes nobody is waiting for. *)
 
 val poll : t -> fd:int -> events:int -> (int, Abi.Errno.t) result
 (** Block until [fd] is ready for any of [events] (POLL* bit mask);
-    returns the ready events. *)
+    returns the ready events.  Declines probe slots ([Poll_add] has no
+    completion deadline). *)
 
 val poll_multi :
   t ->
   (int * int) list ->
   timeout:Sim.Engine.time option ->
   ((int * int) option, Abi.Errno.t) result
-(** See {!Iouring_fm.poll_multi}. *)
+(** See {!Iouring_fm.poll_multi}.  Not breaker-routed: callers own the
+    timeout and mix providers (see [Libos.Rakis_env.poll]). *)
+
+val forget_fd : t -> fd:int -> unit
+(** {!Iouring_fm.forget_fd} on the underlying FM (called on fd close). *)

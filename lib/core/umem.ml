@@ -135,19 +135,20 @@ let conservation_holds t =
    every With_kernel frame home.  Frames in Allocated limbo belong to a
    transmit in progress and are deliberately left alone — their owner
    will commit or cancel them. *)
-let reclaim_outstanding t =
+let reclaim_outstanding ?only t =
+  let want r = match only with None -> true | Some o -> o = r in
   let count = ref 0 in
   Array.iteri
     (fun idx -> function
-      | With_kernel _ ->
+      | With_kernel r when want r ->
           t.state.(idx) <- Owned;
           Queue.add idx t.free;
           trace_frame t t.free_label (idx * t.frame_size);
           incr count
-      | Owned | Allocated -> ())
+      | With_kernel _ | Owned | Allocated -> ())
     t.state;
-  t.out_rx <- 0;
-  t.out_tx <- 0;
+  if want Rx then t.out_rx <- 0;
+  if want Tx then t.out_tx <- 0;
   Obs.Metrics.add t.force_reclaims !count;
   !count
 

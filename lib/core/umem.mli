@@ -72,13 +72,18 @@ val conservation_holds : t -> bool
     [free + outstanding Rx + outstanding Tx + limbo = frame_count].
     Holds at every quiescent point; e2e tests assert it at exit. *)
 
-val reclaim_outstanding : t -> int
+val reclaim_outstanding : ?only:routine -> t -> int
 (** Forcibly return every [With_kernel] frame to the pool — the UMem
     half of quarantine-and-reinit, valid only after the rings those
     frames were promised through have been re-certified (so stale
     kernel descriptors for them will be refused as [Wrong_owner]).
-    Frames in {!limbo} are left to their owner.  Returns the number
-    reclaimed (also accumulated under [<name>.force_reclaims]). *)
+    [?only] restricts the sweep to one routine: the breaker-open
+    failover reinit passes [~only:Tx] because xFill promises are still
+    honored by the kernel — reclaiming them would turn every
+    post-failback arrival landing in a not-yet-consumed fill entry
+    into a [Wrong_owner] drop.  Frames in {!limbo} are left to their
+    owner.  Returns the number reclaimed (also accumulated under
+    [<name>.force_reclaims]). *)
 
 val force_reclaims : t -> int
 

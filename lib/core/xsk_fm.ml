@@ -34,6 +34,12 @@ type t = {
      still recognize the deadline as passed. *)
   mutable rekick_armed : bool;
   mutable rekick_deadline : int64;
+  (* Frames committed to xTX and not yet reclaimed, by UMem offset.
+     This is what failover can still save: when the breaker opens these
+     are copied out and resent via the slow path before [reinit] pulls
+     the frames home (zero lost accepted datagrams, DESIGN.md §9). *)
+  tx_inflight : (int, int) Hashtbl.t; (* offset -> frame length *)
+  mutable breaker : Health.t option;
   rx_packets : Obs.Metrics.counter;
   tx_packets : Obs.Metrics.counter;
   tx_frame_drops : Obs.Metrics.counter;
@@ -144,6 +150,8 @@ let create ?obs ?(name = "xsk") ~enclave ~config ~stack ~fd ~xsk () =
         failure_base = 0;
         rekick_armed = false;
         rekick_deadline = 0L;
+        tx_inflight = Hashtbl.create 16;
+        breaker = None;
         rx_packets = Obs.Metrics.counter m (name ^ ".rx_packets");
         tx_packets = Obs.Metrics.counter m (name ^ ".tx_packets");
         tx_frame_drops = Obs.Metrics.counter m (name ^ ".tx_frame_drops");
@@ -158,6 +166,16 @@ let set_kick t f = t.kick <- f
 let set_renudge t f = t.renudge <- f
 
 let set_republish t f = t.republish <- f
+
+let set_breaker t b = t.breaker <- Some b
+
+let breaker_failure t =
+  match t.breaker with None -> () | Some b -> Health.record_failure b
+
+let breaker_success t =
+  match t.breaker with None -> () | Some b -> Health.record_success b
+
+let tx_inflight t = Hashtbl.length t.tx_inflight
 
 let fill_ring t = t.fill
 
@@ -225,6 +243,7 @@ let refill t =
 (* Reclaim completed transmissions so their frames can be reused: drain
    everything xCompl holds in one burst. *)
 let reap_completions t =
+  let reclaimed = ref 0 in
   ignore
     (Rings.Certified.consume_batch t.compl_
        ~max:(Rings.Certified.size t.compl_)
@@ -236,7 +255,15 @@ let reap_completions t =
          (* Rejects are already counted by the UMem tracker; the burst
             advances past the slot regardless — exactly the "refuse and
             advance consumer" fail action. *)
-         ignore (Umem.reclaim t.umem Umem.Tx ~offset ())))
+         match Umem.reclaim t.umem Umem.Tx ~offset () with
+         | Ok () ->
+             Hashtbl.remove t.tx_inflight offset;
+             incr reclaimed
+         | Error _ -> ()));
+  (* Completions flowing is direct evidence the TX datapath works:
+     clears the breaker's failure streak, and in half-open counts the
+     probe frame's round trip as the probe verdict. *)
+  if !reclaimed > 0 then breaker_success t
 
 (* Drain a burst of received descriptors into the enclave and hand them
    to the UDP/IP stack.  Returns the number of descriptors moved (valid
@@ -269,17 +296,35 @@ let rx_burst t =
    epoch, and restock xFill.  A stale kernel descriptor naming a
    reclaimed frame is later refused as [Wrong_owner] — availability
    cost only, never a double-owned frame. *)
-let reinit t =
+let reinit ?(keep_rx = false) t =
   Obs.Metrics.incr t.reinits;
   t.republish ();
+  let unhealed = ref false in
   List.iter
     (fun ring ->
       (* [`Bad_window] leaves the ring quarantined; the failure counter
          keeps climbing and the next threshold crossing retries. *)
-      match Rings.Certified.resync ring with Ok () | Error (`Bad_window _) -> ())
+      match Rings.Certified.resync ring with
+      | Ok () -> ()
+      | Error (`Bad_window _) -> unhealed := true)
     [ t.fill; t.rx; t.tx; t.compl_ ];
-  let reclaimed = Umem.reclaim_outstanding t.umem in
+  (* A reinit that leaves a ring quarantined is a terminal recovery
+     failure — exactly what should push the breaker toward Open. *)
+  if !unhealed then breaker_failure t;
+  let reclaimed =
+    (* The breaker-open reinit keeps xFill promises alive: the kernel
+       still honors them (only the TX half died), and reclaiming them
+       would make post-failback arrivals land in [Wrong_owner] frames
+       — accepted datagrams lost.  Attack-driven reinits (DESIGN.md §8)
+       sweep both routines: after ring divergence nothing the kernel
+       holds is trusted. *)
+    if keep_rx then Umem.reclaim_outstanding ~only:Umem.Tx t.umem
+    else Umem.reclaim_outstanding t.umem
+  in
   Obs.Metrics.add t.reinit_reclaimed reclaimed;
+  (* Every rescuable frame is home now; in-flight records refer to a
+     dead ring epoch (failover copies frames out *before* reinit). *)
+  Hashtbl.reset t.tx_inflight;
   refill t
 
 let maybe_reinit t =
@@ -315,6 +360,11 @@ let check_rekick t engine =
     t.rekick_armed <- false;
     if Umem.outstanding t.umem Umem.Tx > 0 then begin
       Obs.Metrics.incr t.tx_rekicks;
+      (* A forced renudge means a whole rekick period passed with TX
+         outstanding and no completions: a breaker failure signal (3 of
+         these ≈ 60k cycles opens the breaker at default thresholds;
+         completions in between clear the streak via [breaker_success]). *)
+      breaker_failure t;
       t.renudge ()
     end
   end
@@ -376,6 +426,9 @@ let transmit t frame =
     match acquire (2 * t.config.Config.retry_limit) with
     | None ->
         Obs.Metrics.incr t.tx_frame_drops;
+        (* UMem exhaustion that outlasted the whole backoff budget is an
+           overload signal, not noise. *)
+        breaker_failure t;
         false
     | Some offset -> (
         Sgx.Enclave.charge_copy t.enclave ~crossing:true len;
@@ -389,6 +442,7 @@ let transmit t frame =
         with
         | Ok () ->
             Umem.commit t.umem offset Umem.Tx;
+            Hashtbl.replace t.tx_inflight offset len;
             Rings.Certified.publish t.tx;
             Obs.Metrics.incr t.tx_packets;
             t.kick ();
@@ -401,5 +455,40 @@ let transmit t frame =
         | Error `Ring_full ->
             Umem.cancel t.umem offset;
             Obs.Metrics.incr t.tx_frame_drops;
+            breaker_failure t;
             false)
   end
+
+(* Breaker-open hook (DESIGN.md §9): rescue every frame still committed
+   to the dead ring epoch.  Completed-but-unreaped frames are reaped
+   first so nothing is sent twice; the rest are copied into trusted
+   memory (paying the crossing) and handed to [resend] — the runtime
+   pushes them through the exit-based host socket — before [reinit]
+   reclaims the UMem frames and restocks xFill for the half-open probe
+   that will eventually test this XSK again.  Returns the number of
+   frames rerouted. *)
+let failover_reroute t ~resend =
+  (* Drain xRX first: frames the kernel has already handed over would
+     otherwise be reclaimed unread by [reinit] — accepted datagrams
+     lost, which degraded mode promises never happens.  The netstack's
+     receive side does not depend on the dead TX half. *)
+  while rx_burst t > 0 do
+    ()
+  done;
+  reap_completions t;
+  let frames =
+    List.sort compare
+      (Hashtbl.fold (fun offset len acc -> (offset, len) :: acc) t.tx_inflight [])
+  in
+  let rerouted = ref 0 in
+  List.iter
+    (fun (offset, len) ->
+      let buf = Bytes.create len in
+      Sgx.Enclave.charge_copy t.enclave ~crossing:true len;
+      Mem.Region.blit_to_bytes t.umem_ptr.Mem.Ptr.region
+        (t.umem_ptr.Mem.Ptr.off + offset)
+        buf 0 len;
+      if resend buf then incr rerouted)
+    frames;
+  reinit ~keep_rx:true t;
+  !rerouted

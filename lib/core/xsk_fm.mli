@@ -54,10 +54,26 @@ val set_republish : t -> (unit -> unit) -> unit
     all four shared index words from its private cursors, after which
     the FM re-adopts them ({!Rings.Certified.resync}). *)
 
+val set_breaker : t -> Health.t -> unit
+(** Attach the XSK circuit breaker.  The FM feeds it terminal signals:
+    forced TX re-kicks (a rekick period with outstanding TX and no
+    completions), UMem exhaustion that outlasts the backoff budget,
+    xTX ring-full drops and reinits that leave a ring quarantined are
+    failures; reaped completions are successes (clearing the streak,
+    or — in half-open — settling the probe frame's verdict). *)
+
 val start : t -> unit
 (** Spawn the FM's dedicated receive thread (paper §4.1, QoS): it moves
     packets from UMem into trusted memory, feeds them to the UDP/IP
     stack, and keeps xFill replenished. *)
+
+val failover_reroute : t -> resend:(Bytes.t -> bool) -> int
+(** Breaker-open rescue (DESIGN.md §9): reap what completed, copy every
+    frame still committed to xTX into trusted memory and hand each to
+    [resend] (the runtime's exit-based host-socket path), then
+    quarantine-and-reinit the rings so the XSK is clean for half-open
+    probes.  Returns the number of frames rerouted — with a working
+    slow path, accepted datagrams survive the breaker trip. *)
 
 val transmit : t -> Bytes.t -> bool
 (** Send one layer-2 frame: allocate a UMem frame, copy the payload
@@ -99,6 +115,10 @@ val rx_packets : t -> int
 
 val tx_packets : t -> int
 (** Frames queued on xTX. *)
+
+val tx_inflight : t -> int
+(** Frames committed to xTX and not yet reclaimed (what
+    {!failover_reroute} would rescue right now). *)
 
 val tx_frame_drops : t -> int
 (** Transmits abandoned because no UMem frame was free. *)

@@ -13,6 +13,7 @@ type trigger =
   | Once of float
   | At_step of int
   | Burst of { first_step : int; last_step : int; probability : float }
+  | Persistent
 
 type arming = { trigger : trigger; mutable spent : bool }
 
@@ -101,6 +102,9 @@ let arm_burst t ~first_step ~last_step ?(probability = 1.0) fault =
   install t fault
     { trigger = Burst { first_step; last_step; probability }; spent = false }
 
+let arm_persistent t fault =
+  install t fault { trigger = Persistent; spent = false }
+
 let disarm t fault = Hashtbl.remove t.armed fault
 
 let armed t fault =
@@ -141,7 +145,8 @@ let roll t fault =
                   else false
               | Burst { first_step; last_step; probability } ->
                   t.step >= first_step && t.step <= last_step
-                  && hit t probability)
+                  && hit t probability
+              | Persistent -> true)
             !l)
 
 let rng t = t.rng
@@ -182,7 +187,8 @@ let install_plan t plan =
       | Once probability -> arm_once t ~probability fault
       | At_step step -> arm_at t ~step fault
       | Burst { first_step; last_step; probability } ->
-          arm_burst t ~first_step ~last_step ~probability fault)
+          arm_burst t ~first_step ~last_step ~probability fault
+      | Persistent -> arm_persistent t fault)
     plan
 
 let entry_to_string { fault; when_ } =
@@ -194,6 +200,7 @@ let entry_to_string { fault; when_ } =
   | At_step n -> Printf.sprintf "%d=%s" n name
   | Burst { first_step; last_step; probability } ->
       Printf.sprintf "%d..%d@%g=%s" first_step last_step probability name
+  | Persistent -> Printf.sprintf "persist=%s" name
 
 let plan_to_string plan = String.concat ";" (List.map entry_to_string plan)
 
@@ -208,6 +215,7 @@ let parse_entry s =
       | Some fault -> (
           let entry when_ = Ok { fault; when_ } in
           if where = "once" then entry (Once 1.0)
+          else if where = "persist" then entry Persistent
           else if String.length where > 5 && String.sub where 0 5 = "once@" then
             match
               float_of_string_opt

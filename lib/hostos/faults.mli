@@ -43,6 +43,11 @@ type trigger =
   | Once of float  (** rolls each opportunity; spent on the first hit *)
   | At_step of int  (** once, at the first opportunity on/after a step *)
   | Burst of { first_step : int; last_step : int; probability : float }
+  | Persistent
+      (** every opportunity, forever — never spent, never heals.  The
+          canonical way to force a circuit breaker open: the fault
+          outlives every retry budget, so only failover keeps the run
+          alive. *)
 
 type t
 
@@ -61,6 +66,9 @@ val arm_at : t -> step:int -> fault -> unit
 
 val arm_burst :
   t -> first_step:int -> last_step:int -> ?probability:float -> fault -> unit
+
+val arm_persistent : t -> fault -> unit
+(** {!Persistent}: fire at every opportunity until {!disarm}. *)
 
 val disarm : t -> fault -> unit
 
@@ -110,7 +118,8 @@ val pp_fault : Format.formatter -> fault -> unit
     - ["@P=fault"] — {!Probability} [P];
     - ["once=fault"] / ["once@P=fault"] — {!Once};
     - ["STEP=fault"] — {!At_step};
-    - ["A..B@P=fault"] — {!Burst}. *)
+    - ["A..B@P=fault"] — {!Burst};
+    - ["persist=fault"] — {!Persistent}. *)
 
 type plan_entry = { fault : fault; when_ : trigger }
 

@@ -268,6 +268,9 @@ let rec api env proxy : Api.t =
             Hashtbl.remove env.fds fd;
             Ok ()
         | Some (Rhost { kfd; _ }) ->
+            (* Drop any abandoned probe SQE still charged to this fd so
+               the FM's in-flight accounting doesn't leak (§9). *)
+            Rakis.Syncproxy.forget_fd proxy ~fd:kfd;
             Hashtbl.remove env.fds fd;
             host_call env (fun k -> K.close k kfd)
         | None -> Error Abi.Errno.EBADF);
@@ -286,6 +289,15 @@ let create kernel ~sgx ?config () =
   | Error e -> Error e
   | Ok runtime -> (
       let env = { runtime; kernel; fds = Hashtbl.create 32; next_fd = 1000 } in
+      (* Degraded-mode wiring (DESIGN.md §9): give the runtime the
+         exit-based slow paths the circuit breakers fail over to.
+         Installed before the first thread so its SyncProxy is born
+         with the fallback attached. *)
+      if (R.config runtime).Rakis.Config.degraded then begin
+        let enclave = R.enclave runtime and obs = R.obs runtime in
+        R.set_slow_path runtime (Hostapi.slow_ops ~obs kernel enclave);
+        R.set_udp_slow_path runtime (Hostapi.slow_udp ~obs kernel enclave)
+      end;
       match R.new_thread runtime with
       | Error e -> Error e
       | Ok thread -> Ok (api env (R.syncproxy thread), runtime))

@@ -100,6 +100,26 @@ let buckets h =
   done;
   !acc
 
+let percentile h p =
+  if h.h_count = 0 then 0
+  else begin
+    let p = if p < 0. then 0. else if p > 100. then 100. else p in
+    (* Rank of the requested observation (1-based, ceiling): the
+       smallest k such that at least p% of observations are <= the
+       answer.  Resolution is the log2 bucket: we report the bucket's
+       upper bound, a conservative (pessimistic) latency estimate. *)
+    let rank =
+      max 1 (int_of_float (ceil (p /. 100. *. float_of_int h.h_count)))
+    in
+    let rec walk k seen =
+      if k >= nbuckets then snd (bucket_bounds (nbuckets - 1))
+      else
+        let seen = seen + h.h_buckets.(k) in
+        if seen >= rank then snd (bucket_bounds k) else walk (k + 1) seen
+    in
+    walk 0 0
+  end
+
 (* {1 Registry-wide queries} *)
 
 let find t name = Option.map (fun c -> c.c_value) (Hashtbl.find_opt t.cs name)

@@ -87,6 +87,13 @@ val buckets : histogram -> (int * int * int) list
 (** Non-empty buckets as [(lo, hi, count)], ascending.  The [v <= 0]
     bucket reports [lo = min_int], [hi = 0]. *)
 
+val percentile : histogram -> float -> int
+(** [percentile h p] (0 <= [p] <= 100, clamped) estimates the p-th
+    percentile of observed values at log2-bucket resolution: the upper
+    bound of the bucket holding the ceil(p% · count)-th smallest
+    observation — a conservative estimate.  [0] when empty; bucket 0
+    ([v <= 0]) reports 0. *)
+
 val bucket_of : int -> int
 (** The bucket index {!observe} files a value under (exposed for the
     property tests). *)

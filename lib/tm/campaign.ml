@@ -56,6 +56,12 @@ type outcome = {
   ring_rejects : int;
   desc_rejects : int;
   invariant_ok : bool;
+  watchdog_restarts : int;
+  degraded_scans : int;
+  breaker_opens : int;  (* summed over the xsk/uring/mm breakers *)
+  breaker_failovers : int;
+  breaker_closes : int;
+  slow_calls : int;  (* ops completed via the exit-based slow path *)
   violations : violation list;
   trace_tail : string list;
       (* rendered tail of the runtime's trace ring, captured only on
@@ -426,6 +432,25 @@ let run ~datapath ~seed ?(budget = 64) ?(faults = []) schedule =
               Rakis.Runtime.invariant_holds rt )
         | None -> (0, 0, false)
       in
+      let wd_restarts, degraded_scans, b_opens, b_failovers, b_closes, slow_calls
+          =
+        match Libos.Env.runtime h.env with
+        | None -> (0, 0, 0, 0, 0, 0)
+        | Some rt ->
+            let sum f =
+              f (Rakis.Runtime.xsk_breaker rt)
+              + f (Rakis.Runtime.uring_breaker rt)
+              + f (Rakis.Runtime.mm_breaker rt)
+            in
+            ( Rakis.Runtime.watchdog_restarts rt,
+              Rakis.Runtime.watchdog_degraded_scans rt,
+              sum Rakis.Health.opens,
+              sum Rakis.Health.failovers,
+              sum Rakis.Health.closes,
+              Obs.Metrics.get_counter
+                (Obs.metrics (Rakis.Runtime.obs rt))
+                "health.slow_calls" )
+      in
       let trace_tail =
         if st.violations = [] && invariant_ok then []
         else
@@ -456,6 +481,12 @@ let run ~datapath ~seed ?(budget = 64) ?(faults = []) schedule =
         ring_rejects;
         desc_rejects;
         invariant_ok;
+        watchdog_restarts = wd_restarts;
+        degraded_scans;
+        breaker_opens = b_opens;
+        breaker_failovers = b_failovers;
+        breaker_closes = b_closes;
+        slow_calls;
         violations = List.rev st.violations;
         trace_tail;
       }
@@ -508,6 +539,32 @@ let fault_soup ~seed ?(entries = 6) ~budget () =
                   { first_step = first; last_step = last; probability = 0.3 })
       in
       { Hostos.Faults.fault; when_ })
+
+(* Canonical breaker-failover fault window (DESIGN.md §9): a hard
+   (probability-1) burst over the middle of the run, so the breaker
+   opens early, the exit-based slow path carries the middle, and the
+   fault-free tail exercises half-open probes and failback — all
+   observable from one 5-segment repro token.  For the XSK datapath we
+   drop every TX wakeup (transmission dies; RX stays NIC-driven); for
+   io_uring we bounce every SQE with a transient errno. *)
+let failover_plan ~datapath ~budget =
+  let fault =
+    match datapath with
+    | Xsk -> Hostos.Faults.Drop_wakeup
+    | Iouring -> Hostos.Faults.Transient_errno
+  in
+  [
+    {
+      Hostos.Faults.fault;
+      when_ =
+        Hostos.Faults.Burst
+          {
+            first_step = max 1 (budget / 8);
+            last_step = budget / 2;
+            probability = 1.0;
+          };
+    };
+  ]
 
 (* {1 Repro strings} *)
 
@@ -639,6 +696,16 @@ let pp_outcome ppf (o : outcome) =
               (fun (f, n) ->
                 Printf.sprintf "%s x%d" (Hostos.Faults.fault_name f) n)
               o.injected));
+  if
+    o.breaker_opens > 0 || o.slow_calls > 0 || o.watchdog_restarts > 0
+    || o.degraded_scans > 0
+  then
+    Format.fprintf ppf
+      "@,\
+       health: opens=%d failovers=%d closes=%d slow_calls=%d \
+       watchdog_restarts=%d degraded_scans=%d"
+      o.breaker_opens o.breaker_failovers o.breaker_closes o.slow_calls
+      o.watchdog_restarts o.degraded_scans;
   if o.trace_tail <> [] then begin
     Format.fprintf ppf "@,last %d trace events before the failure:"
       (List.length o.trace_tail);

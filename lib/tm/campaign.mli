@@ -50,6 +50,14 @@ type outcome = {
   ring_rejects : int;  (** certified index-check rejections *)
   desc_rejects : int;  (** descriptor/UMem + CQE rejections *)
   invariant_ok : bool;
+  watchdog_restarts : int;  (** Monitor restarts by the watchdog *)
+  degraded_scans : int;  (** in-enclave scans run in the MM's stead *)
+  breaker_opens : int;
+      (** circuit-breaker trips, summed over the xsk/uring/mm breakers
+          (DESIGN.md §9) *)
+  breaker_failovers : int;  (** ops rerouted to the exit-based slow path *)
+  breaker_closes : int;  (** recoveries: half-open probes that failed back *)
+  slow_calls : int;  (** host syscalls the slow path actually performed *)
   violations : violation list;
   trace_tail : string list;
       (** rendered tail (up to 24 events, oldest first) of the
@@ -96,6 +104,14 @@ val fault_soup :
     always pinned to a single step — a monitor that probabilistically
     re-dies after every watchdog restart measures the restart rate, not
     recovery. *)
+
+val failover_plan : datapath:datapath -> budget:int -> Hostos.Faults.plan
+(** Canonical breaker-failover weather (DESIGN.md §9): one
+    probability-1 burst over [budget/8 .. budget/2] — {!Hostos.Faults.Drop_wakeup}
+    for [Xsk] (transmission dies, the XSK breaker opens),
+    {!Hostos.Faults.Transient_errno} for [Iouring] (every SQE bounces).
+    The fault-free tail lets the breaker half-open, probe and fail
+    back, so a single run shows the whole degrade/recover arc. *)
 
 val repro : outcome -> string
 (** Copy-pasteable replay token:

@@ -15,6 +15,7 @@ let () =
       ("tm", Test_tm.suite);
       ("campaign", Test_campaign.suite);
       ("faults", Test_faults.suite);
+      ("health", Test_health.suite);
       ("monitor", Test_monitor.suite);
       ("tunnel", Test_tunnel.suite);
       ("stress", Test_stress.suite);

@@ -104,9 +104,18 @@ let breaker_probes_arg =
     & info [ "breaker-probes" ] ~docv:"N"
         ~doc:"Consecutive probe successes needed to close a breaker.")
 
+let queues_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "queues" ] ~docv:"N"
+        ~doc:
+          "Datapath shards (DESIGN.md §10): one XSK set + UMem + stack + \
+           Monitor per shard, NIC queues spread across them by RSS.  \
+           Default 1 (the single-queue datapath).  RAKIS environments only.")
+
 let health_config_term =
-  let apply degraded threshold cooldown probes =
-    let cfg = { Rakis.Config.default with degraded } in
+  let apply degraded threshold cooldown probes queues =
+    let cfg = { Rakis.Config.default with degraded; num_queues = queues } in
     let cfg =
       match threshold with
       | Some v -> { cfg with Rakis.Config.breaker_threshold = v }
@@ -123,7 +132,14 @@ let health_config_term =
   in
   Cmdliner.Term.(
     const apply $ degraded_arg $ breaker_threshold_arg $ breaker_cooldown_arg
-    $ breaker_probes_arg)
+    $ breaker_probes_arg $ queues_arg)
+
+(* The NIC must expose at least as many hardware queues as the config
+   asks shards for. *)
+let sharded_harness cfg env =
+  harness ~rakis_config:cfg
+    ~nic_queues:(max 4 cfg.Rakis.Config.num_queues)
+    env
 
 (* Install the fault plan on a booted harness: injector + watchdog + a
    step clock ticking every 10 simulated µs (the At_step/Burst domain —
@@ -197,6 +213,11 @@ let report_faults h injector =
                 (Rakis.Health.sheds b)
           in
           pb "xsk" (Rakis.Runtime.xsk_breaker rt);
+          for k = 1 to Rakis.Runtime.shard_count rt - 1 do
+            pb
+              (Printf.sprintf "xsk.%d" k)
+              (Rakis.Runtime.shard_breaker rt k)
+          done;
           pb "uring" (Rakis.Runtime.uring_breaker rt);
           pb "mm" (Rakis.Runtime.mm_breaker rt);
           let slow =
@@ -263,7 +284,7 @@ let iperf_cmd =
     Arg.(value & opt int 4 & info [ "streams" ] ~doc:"Parallel client streams.")
   in
   let run env cfg packets size streams faults fault_seed metrics trace_file =
-    let h = harness ~rakis_config:cfg env in
+    let h = sharded_harness cfg env in
     let injector = install_faults h ~spec:faults ~seed:fault_seed in
     let r = Apps.Iperf.run ~streams h ~packet_size:size ~packets in
     Format.printf "%a@." Apps.Iperf.pp_result r;
@@ -335,7 +356,7 @@ let fstime_cmd =
   let blocks = Arg.(value & opt int 3000 & info [ "blocks" ] ~doc:"Blocks.") in
   let read_mode = Arg.(value & flag & info [ "read" ] ~doc:"Read test.") in
   let run env cfg block blocks read_mode faults fault_seed metrics trace_file =
-    let h = harness ~rakis_config:cfg env in
+    let h = sharded_harness cfg env in
     let injector = install_faults h ~spec:faults ~seed:fault_seed in
     let mode = if read_mode then Apps.Fstime.Read else Apps.Fstime.Write in
     let r = Apps.Fstime.run ~mode h ~block_size:block ~blocks in
@@ -372,10 +393,19 @@ let udp_echo_cmd =
   let size =
     Arg.(value & opt int 512 & info [ "size" ] ~doc:"UDP payload bytes.")
   in
-  let run env cfg datagrams size faults fault_seed metrics trace_file =
-    let h = harness ~rakis_config:cfg env in
+  let flows =
+    Arg.(
+      value & opt int 1
+      & info [ "flows" ]
+          ~doc:
+            "Concurrent closed-loop client flows splitting the datagram \
+             budget; flows > 1 bind deterministic source ports so RSS \
+             spreads them across $(b,--queues) shards.")
+  in
+  let run env cfg datagrams size flows faults fault_seed metrics trace_file =
+    let h = sharded_harness cfg env in
     let injector = install_faults h ~spec:faults ~seed:fault_seed in
-    let r = Apps.Udp_echo.run h ~datagrams ~payload_size:size in
+    let r = Apps.Udp_echo.run ~flows h ~datagrams ~payload_size:size in
     Format.printf "%a@." Apps.Udp_echo.pp_result r;
     report_faults h injector;
     report ~metrics ?trace_file h;
@@ -394,8 +424,8 @@ let udp_echo_cmd =
           for $(b,--metrics)/$(b,--trace), and with $(b,--faults) the \
           recovery smoke test: exits 1 unless every datagram is echoed")
     Term.(
-      const run $ env_arg $ health_config_term $ datagrams $ size $ faults_arg
-      $ fault_seed_arg $ metrics_arg $ trace_arg)
+      const run $ env_arg $ health_config_term $ datagrams $ size $ flows
+      $ faults_arg $ fault_seed_arg $ metrics_arg $ trace_arg)
 
 let verify_cmd =
   let depth = Arg.(value & opt int 3 & info [ "depth" ] ~doc:"Schedule depth.") in

@@ -24,9 +24,10 @@ let total_injected o =
 
 let dp_name = function Tm.Campaign.Xsk -> "xsk" | Tm.Campaign.Iouring -> "io_uring"
 
-let campaign ~budget ~faults_plan =
-  Format.printf "RAKIS Testing Module: adversarial campaign (budget %d)@.@."
-    budget;
+let campaign ~budget ~faults_plan ~queues =
+  Format.printf
+    "RAKIS Testing Module: adversarial campaign (budget %d, queues %d)@.@."
+    budget queues;
   let failures = ref 0 in
   (* Differential oracle: >= 10k scheduled steps per datapath shape. *)
   let oracle_steps = max 10_000 budget in
@@ -58,7 +59,7 @@ let campaign ~budget ~faults_plan =
   List.iter
     (fun (dp, attack) ->
       let o =
-        Tm.Campaign.run ~datapath:dp ~seed:21L ~budget:per_run
+        Tm.Campaign.run ~datapath:dp ~seed:21L ~budget:per_run ~queues
           [ Tm.Campaign.At { step = per_run / 4; attack } ]
       in
       Format.printf "single %-9s %-20s ok=%d refused=%d lost=%d fired=%d %s@."
@@ -75,7 +76,7 @@ let campaign ~budget ~faults_plan =
       List.iter
         (fun (a, b) ->
           let o =
-            Tm.Campaign.run ~datapath:dp ~seed:31L ~budget:per_run
+            Tm.Campaign.run ~datapath:dp ~seed:31L ~budget:per_run ~queues
               [
                 Tm.Campaign.At { step = per_run / 4; attack = a };
                 Tm.Campaign.At { step = per_run / 2; attack = b };
@@ -91,7 +92,7 @@ let campaign ~budget ~faults_plan =
       let schedule =
         Tm.Campaign.soup ~datapath:dp ~seed:41L ~budget:per_run ()
       in
-      let o = Tm.Campaign.run ~datapath:dp ~seed:41L ~budget:per_run schedule in
+      let o = Tm.Campaign.run ~datapath:dp ~seed:41L ~budget:per_run ~queues schedule in
       Format.printf
         "soup   %-9s entries=%d ok=%d refused=%d lost=%d fired=%d %s@."
         (dp_name dp)
@@ -109,7 +110,7 @@ let campaign ~budget ~faults_plan =
     (fun dp ->
       let plan = Tm.Campaign.failover_plan ~datapath:dp ~budget:per_run in
       let o =
-        Tm.Campaign.run ~datapath:dp ~seed:81L ~budget:per_run ~faults:plan []
+        Tm.Campaign.run ~datapath:dp ~seed:81L ~budget:per_run ~queues ~faults:plan []
       in
       Format.printf
         "failover %-9s opens=%d failovers=%d closes=%d slow=%d \
@@ -131,7 +132,7 @@ let campaign ~budget ~faults_plan =
     List.iter
       (fun dp ->
         let o =
-          Tm.Campaign.run ~datapath:dp ~seed:61L ~budget:per_run
+          Tm.Campaign.run ~datapath:dp ~seed:61L ~budget:per_run ~queues
             ~faults:faults_plan []
         in
         Format.printf
@@ -144,7 +145,7 @@ let campaign ~budget ~faults_plan =
           Tm.Campaign.soup ~datapath:dp ~seed:71L ~budget:per_run ()
         in
         let o =
-          Tm.Campaign.run ~datapath:dp ~seed:71L ~budget:per_run
+          Tm.Campaign.run ~datapath:dp ~seed:71L ~budget:per_run ~queues
             ~faults:faults_plan schedule
         in
         Format.printf
@@ -156,6 +157,39 @@ let campaign ~budget ~faults_plan =
           (if Tm.Campaign.failed o then "FAIL" else "ok");
         summarize o)
       datapaths;
+  (* Shard containment (DESIGN.md §10): a persistent wakeup-drop pinned
+     to shard 1 may only ever open shard 1's breaker — breaker activity
+     on any other shard means the blast radius leaked across shards. *)
+  if queues > 1 then begin
+    let plan =
+      [
+        {
+          Hostos.Faults.fault = Hostos.Faults.Drop_wakeup;
+          when_ = Hostos.Faults.Persistent;
+          shard = Some 1;
+        };
+      ]
+    in
+    let o =
+      Tm.Campaign.run ~datapath:Tm.Campaign.Xsk ~seed:91L ~budget:per_run
+        ~queues ~faults:plan []
+    in
+    let leaked =
+      List.exists
+        (fun (k, opens) -> k <> 1 && opens > 0)
+        (List.mapi (fun k opens -> (k, opens)) o.Tm.Campaign.shard_opens)
+    in
+    Format.printf "containment xsk shard-1 fault: opens=[%s] lost=%d %s@."
+      (String.concat ";" (List.map string_of_int o.Tm.Campaign.shard_opens))
+      o.Tm.Campaign.lost
+      (if leaked || Tm.Campaign.failed o then "FAIL" else "ok");
+    if leaked then begin
+      incr failures;
+      Format.printf "containment: shard-1 fault opened another shard's \
+                     breaker@."
+    end;
+    summarize o
+  end;
   (* Shrinker demonstration on a naive-ring failure. *)
   let events = Tm.Oracle.gen_soup ~seed:51L ~steps:60 in
   if Tm.Oracle.naive_consumer_fails events then begin
@@ -190,6 +224,7 @@ let () =
   let depth = ref 3
   and ring_size = ref 4
   and budget = ref 2000
+  and queues = ref 1
   and mode = ref `Model_check
   and faults_spec = ref ""
   and token = ref "" in
@@ -203,6 +238,10 @@ let () =
       ( "--budget",
         Arg.Set_int budget,
         "campaign end-to-end step budget (default 2000)" );
+      ( "--queues",
+        Arg.Set_int queues,
+        "datapath shards for the campaign workloads (default 1); > 1 \
+         additionally runs the shard-containment check" );
       ( "--faults",
         Arg.Set_string faults_spec,
         "host-fault plan for the campaign (';'-separated, e.g. \
@@ -217,15 +256,15 @@ let () =
   in
   Arg.parse spec
     (fun _ -> ())
-    "tm_verify [-depth N] [-ring-size N] [--campaign] [--budget N] [--faults \
-     PLAN] [--replay TOKEN]";
+    "tm_verify [-depth N] [-ring-size N] [--campaign] [--budget N] [--queues \
+     N] [--faults PLAN] [--replay TOKEN]";
   match !mode with
   | `Campaign -> (
       match Hostos.Faults.plan_of_string !faults_spec with
       | Error e ->
           Format.eprintf "bad --faults plan: %s@." e;
           exit 2
-      | Ok faults_plan -> campaign ~budget:!budget ~faults_plan)
+      | Ok faults_plan -> campaign ~budget:!budget ~faults_plan ~queues:!queues)
   | `Replay -> replay !token
   | `Model_check ->
       Format.printf "RAKIS Testing Module: FM model check@.";

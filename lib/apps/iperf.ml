@@ -9,6 +9,7 @@ type result = {
   loss : float;
   gap_p50 : int;  (** server-side inter-arrival gap percentiles, cycles *)
   gap_p99 : int;
+  shards : Shards.report option;
 }
 
 let port = 5201
@@ -20,7 +21,7 @@ let data_marker = 'D'
 (* Offered inter-packet gap for a target of the full link rate. *)
 let gap_for size =
   let frame = size + Packet.Frame.frame_overhead in
-  Int64.of_float (float_of_int frame *. Sgx.Params.wire_cycles_per_byte)
+  Int64.of_float (float_of_int frame *. !Sgx.Params.live_wire_cycles_per_byte)
 
 let server api ~stats ~gaps ~stop () =
   let received_packets, received_bytes, first_rx, last_rx, done_ = stats in
@@ -34,20 +35,39 @@ let server api ~stats ~gaps ~stop () =
         failwith (Format.asprintf "iperf server recv: %a" Abi.Errno.pp e)
     | Ok (payload, _) ->
         if Bytes.length payload > 0 && Bytes.get payload 0 = fin_marker then begin
-          (* The FIN is queued behind all data, so the backlog has fully
-             drained by the time we see it. *)
+          (* With RSS the FIN flow can hash to an idle queue and overtake
+             data still backlogged on another queue, so drain to
+             quiescence: keep receiving until nothing arrives for a
+             grace window. *)
+          let grace = Sim.Cycles.of_us 200. in
+          let rec drain () =
+            match api.Libos.Api.poll [ (fd, [ `In ]) ] ~timeout:(Some grace) with
+            | Ok ((_ :: _) as _ready) -> (
+                match api.Libos.Api.recvfrom fd 65536 with
+                | Ok (payload, _)
+                  when Bytes.length payload > 0
+                       && Bytes.get payload 0 = data_marker ->
+                    count payload;
+                    drain ()
+                | Ok _ -> drain ()
+                | Error _ -> ())
+            | Ok [] | Error _ -> ()
+          in
+          drain ();
           done_ := true;
           stop ()
         end
         else begin
-          let now = Libos.Api.now api in
-          if !first_rx = None then first_rx := Some now
-          else Obs.Metrics.observe gaps (Int64.to_int (Int64.sub now !last_rx));
-          last_rx := now;
-          incr received_packets;
-          received_bytes := !received_bytes + Bytes.length payload;
+          count payload;
           loop ()
         end
+  and count payload =
+    let now = Libos.Api.now api in
+    if !first_rx = None then first_rx := Some now
+    else Obs.Metrics.observe gaps (Int64.to_int (Int64.sub now !last_rx));
+    last_rx := now;
+    incr received_packets;
+    received_bytes := !received_bytes + Bytes.length payload
   in
   loop ()
 
@@ -55,11 +75,18 @@ let server api ~stats ~gaps ~stop () =
    parallel streams (like -P): a single simulated sender thread cannot
    exceed its own syscall rate, while the paper's client offers the
    full 25 Gbps. *)
-let stream api ~packet_size ~packets ~sent ~finished () =
+let stream api ~packet_size ~packets ~src ~sent ~finished () =
   (* Let the server finish socket+bind (expensive under a LibOS) before
      offering load — iperf3 servers likewise start first. *)
   Sim.Engine.delay (Sim.Cycles.of_us 50.);
   let fd = api.Libos.Api.udp_socket () in
+  (match src with
+  | None -> ()
+  | Some addr -> (
+      match api.Libos.Api.bind fd addr with
+      | Ok () -> ()
+      | Error e ->
+          failwith (Format.asprintf "iperf stream bind: %a" Abi.Errno.pp e)));
   let dst = (Packet.Addr.Ip.of_repr "10.0.0.1", port) in
   let payload = Bytes.make packet_size '\000' in
   Bytes.set payload 0 data_marker;
@@ -80,7 +107,7 @@ let stream api ~packet_size ~packets ~sent ~finished () =
   send 0 start;
   finished ()
 
-let client api ~packet_size ~packets ~streams ~sent () =
+let client api ~packet_size ~packets ~streams ~srcs ~sent () =
   let live = ref streams in
   let per_stream = max 1 (packets / streams) in
   let finished () =
@@ -100,13 +127,25 @@ let client api ~packet_size ~packets ~streams ~sent () =
     end
   in
   for s = 1 to streams - 1 do
+    let src = srcs.(s) in
     api.Libos.Api.spawn
       ~name:(Printf.sprintf "iperf-stream%d" s)
-      (fun api -> stream api ~packet_size ~packets:per_stream ~sent ~finished ())
+      (fun api ->
+        stream api ~packet_size ~packets:per_stream ~src ~sent ~finished ())
   done;
-  stream api ~packet_size ~packets:per_stream ~sent ~finished ()
+  stream api ~packet_size ~packets:per_stream ~src:srcs.(0) ~sent ~finished ()
 
-let run ?(streams = 4) (h : Harness.t) ~packet_size ~packets =
+let run ?(streams = 4) ?src_ports (h : Harness.t) ~packet_size ~packets =
+  let srcs =
+    match src_ports with
+    | None -> Array.make (max 1 streams) None
+    | Some ports ->
+        let ip = Hostos.Kernel.client_ip h.kernel in
+        Array.init (max 1 streams) (fun i ->
+            match List.nth_opt ports i with
+            | Some p -> Some (ip, p)
+            | None -> None)
+  in
   let received_packets = ref 0
   and received_bytes = ref 0
   and first_rx = ref None
@@ -118,7 +157,7 @@ let run ?(streams = 4) (h : Harness.t) ~packet_size ~packets =
   Sim.Engine.spawn h.engine ~name:"iperf-server"
     (server (Harness.api h) ~stats ~gaps ~stop:(fun () -> Harness.stop h));
   Sim.Engine.spawn h.engine ~name:"iperf-client"
-    (client h.peer ~packet_size ~packets ~streams ~sent);
+    (client h.peer ~packet_size ~packets ~streams ~srcs ~sent);
   Harness.run h ~until:(Sim.Cycles.of_sec 30.);
   let duration =
     match !first_rx with
@@ -133,6 +172,8 @@ let run ?(streams = 4) (h : Harness.t) ~packet_size ~packets =
       /. Sim.Cycles.to_sec duration
       /. 1e9
   in
+  let shards = Shards.capture h in
+  Shards.check_exn ~what:"iperf" shards;
   {
     env = (Harness.api h).Libos.Api.name;
     packet_size;
@@ -146,10 +187,14 @@ let run ?(streams = 4) (h : Harness.t) ~packet_size ~packets =
        else 1. -. (float_of_int !received_packets /. float_of_int !sent));
     gap_p50 = Obs.Metrics.percentile gaps 50.;
     gap_p99 = Obs.Metrics.percentile gaps 99.;
+    shards;
   }
 
 let pp_result ppf r =
   Format.fprintf ppf
     "%-14s size=%4dB sent=%d rcvd=%d goodput=%.2f Gbps loss=%.1f%%" r.env
     r.packet_size r.sent_packets r.received_packets r.goodput_gbps
-    (100. *. r.loss)
+    (100. *. r.loss);
+  match r.shards with
+  | Some s when s.Shards.queues > 1 -> Format.fprintf ppf "@,%a" Shards.pp s
+  | _ -> ()

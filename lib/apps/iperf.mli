@@ -18,13 +18,26 @@ type result = {
       (** server-side inter-arrival gap percentiles in cycles
           (conservative log2-bucket upper bounds) *)
   gap_p99 : int;
+  shards : Shards.report option;
+      (** per-shard exit accounting ([None] for non-RAKIS baselines);
+          {!run} fails on a silently idle shard (see {!Shards}) *)
 }
 
 val port : int
 
-val run : ?streams:int -> Harness.t -> packet_size:int -> packets:int -> result
+val run :
+  ?streams:int ->
+  ?src_ports:int list ->
+  Harness.t ->
+  packet_size:int ->
+  packets:int ->
+  result
 (** Runs the full simulation; returns the server-side measurement.
     [streams] parallel senders (default 4) model the paper's 25 Gbps
-    offered load, split evenly over [packets]. *)
+    offered load, split evenly over [packets].  [src_ports] (see
+    {!Shards.spread_ports}) binds stream [i] to a deterministic client
+    port so RSS spreads the streams uniformly over the datapath shards;
+    by default streams use ephemeral ports and land where the Toeplitz
+    hash takes them. *)
 
 val pp_result : Format.formatter -> result -> unit

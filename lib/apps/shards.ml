@@ -1,0 +1,117 @@
+(* Per-shard exit accounting for the benchmark apps (DESIGN.md §10).
+
+   The NIC's per-queue UDP counters are the ground truth for "shard k
+   was offered traffic"; the runtime's per-shard stack counters say what
+   the shard actually delivered.  A shard that was offered datagrams,
+   delivered none, and has no breaker activity explaining the silence
+   (failover PASSes its traffic to the host stack) went *silently* idle
+   — a steering or wiring bug the aggregate numbers would average away,
+   so the workloads fail the run on it. *)
+
+type stat = {
+  shard : int;
+  offered : int; (* UDP frames the NIC enqueued on this shard's queues *)
+  rx_delivered : int; (* datagrams the shard's stack delivered to sockets *)
+  tx_frames : int; (* frames submitted through the shard's transmit hook *)
+  breaker : string; (* breaker state name at capture time *)
+  breaker_opens : int;
+  breaker_failovers : int;
+}
+
+type report = { queues : int; stats : stat list }
+
+let capture (h : Harness.t) =
+  match Libos.Env.runtime h.env with
+  | None -> None
+  | Some rt ->
+      let nic = Hostos.Kernel.nic h.kernel 0 in
+      let per_queue = Hostos.Nic.udp_rx_per_queue nic in
+      let queues = Rakis.Runtime.shard_count rt in
+      let offered = Array.make queues 0 in
+      Array.iteri
+        (fun q n -> offered.(q mod queues) <- offered.(q mod queues) + n)
+        per_queue;
+      let stats =
+        List.init queues (fun k ->
+            let b = Rakis.Runtime.shard_breaker rt k in
+            {
+              shard = k;
+              offered = offered.(k);
+              rx_delivered = Rakis.Runtime.shard_rx_delivered rt k;
+              tx_frames = Rakis.Runtime.shard_tx_frames rt k;
+              breaker = Rakis.Health.state_name (Rakis.Health.state b);
+              breaker_opens = Rakis.Health.opens b;
+              breaker_failovers = Rakis.Health.failovers b;
+            })
+      in
+      Some { queues; stats }
+
+(* Deterministic client source ports that spread [n] flows uniformly
+   over the NIC's RSS queues: flow i gets the first port >= [base] (past
+   its predecessors) that hashes to queue [i mod queue_count].  Pure
+   function of the Toeplitz hash, so runs replay bit-for-bit; with one
+   queue it degenerates to base, base+1, ... *)
+let spread_ports (h : Harness.t) ~n ~dst:(dst_ip, dst_port) ~base =
+  let queues = Hostos.Nic.queue_count (Hostos.Kernel.nic h.kernel 0) in
+  let src_ip = Packet.Addr.Ip.to_int (Hostos.Kernel.client_ip h.kernel) in
+  let dst_ip = Packet.Addr.Ip.to_int dst_ip in
+  let next = ref base in
+  List.init n (fun i ->
+      let want = i mod queues in
+      let rec find () =
+        let p = !next in
+        incr next;
+        if
+          Packet.Rss.queue ~queues ~src_ip ~dst_ip ~src_port:p ~dst_port
+          = want
+        then p
+        else find ()
+      in
+      find ())
+
+let total_rx r = List.fold_left (fun acc s -> acc + s.rx_delivered) 0 r.stats
+
+let total_tx r = List.fold_left (fun acc s -> acc + s.tx_frames) 0 r.stats
+
+(* Silence is only a bug when nothing explains it: an open/opened
+   breaker means the shard's traffic legitimately rode the host
+   fallback socket instead of the enclave stack. *)
+let silently_idle r =
+  List.filter_map
+    (fun s ->
+      if
+        s.offered > 0 && s.rx_delivered = 0 && s.breaker_opens = 0
+        && s.breaker_failovers = 0
+      then Some s.shard
+      else None)
+    r.stats
+
+let check_exn ~what = function
+  | None -> ()
+  | Some r -> (
+      match silently_idle r with
+      | [] -> ()
+      | idle ->
+          failwith
+            (Printf.sprintf
+               "%s: shard(s) %s were offered traffic but delivered nothing \
+                (no breaker activity to explain it)"
+               what
+               (String.concat ", " (List.map string_of_int idle))))
+
+let pp_stat ppf s =
+  Format.fprintf ppf
+    "shard %d: offered=%d rx_delivered=%d tx=%d breaker=%s opens=%d \
+     failovers=%d"
+    s.shard s.offered s.rx_delivered s.tx_frames s.breaker s.breaker_opens
+    s.breaker_failovers
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Format.fprintf ppf "@,";
+      pp_stat ppf s)
+    r.stats;
+  Format.fprintf ppf "@,aggregate: rx_delivered=%d tx=%d over %d shard(s)@]"
+    (total_rx r) (total_tx r) r.queues

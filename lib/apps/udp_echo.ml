@@ -2,11 +2,13 @@ type result = {
   env : string;
   datagrams : int;
   echoed : int;
+  flows : int;
   payload_size : int;
   duration : Sim.Engine.time;
   round_trips_per_sec : float;
   rtt_p50 : int;
   rtt_p99 : int;
+  shards : Shards.report option;
 }
 
 let port = 7
@@ -26,39 +28,75 @@ let server api () =
   loop ()
 
 (* Closed-loop native client: each datagram waits for its echo, so the
-   count measures round trips, not offered load. *)
-let client api ~datagrams ~payload_size ~echoed ~first ~last ~rtts ~stop () =
+   count measures round trips, not offered load.  [src] pins the source
+   port (multi-flow runs need distinct, deterministic 4-tuples so RSS
+   spreads the flows over the shards); the single-flow default keeps the
+   historical ephemeral-port behaviour. *)
+let client api ~datagrams ~payload_size ~src ~echoed ~first ~last ~rtts ~fin ()
+    =
   (* Let the server finish socket+bind before offering load. *)
   Sim.Engine.delay (Sim.Cycles.of_us 50.);
   let fd = api.Libos.Api.udp_socket () in
+  (match src with
+  | None -> ()
+  | Some addr -> (
+      match api.Libos.Api.bind fd addr with
+      | Ok () -> ()
+      | Error e ->
+          failwith (Format.asprintf "echo client bind: %a" Abi.Errno.pp e)));
   let dst = (Packet.Addr.Ip.of_repr "10.0.0.1", port) in
   let payload = Bytes.make payload_size 'e' in
-  first := Libos.Api.now api;
+  if !first = 0L then first := Libos.Api.now api;
   for _ = 1 to datagrams do
     let sent_at = Libos.Api.now api in
     ignore (api.Libos.Api.sendto fd payload dst);
     match api.Libos.Api.recvfrom fd 65536 with
     | Ok _ ->
         incr echoed;
-        last := Libos.Api.now api;
+        last := Int64.max !last (Libos.Api.now api);
         Obs.Metrics.observe rtts (Int64.to_int (Int64.sub !last sent_at))
     | Error _ -> ()
   done;
-  stop ()
+  fin ()
 
-let run (h : Harness.t) ~datagrams ~payload_size =
+let run ?(flows = 1) (h : Harness.t) ~datagrams ~payload_size =
   let echoed = ref 0 and first = ref 0L and last = ref 0L in
   let rtts = Obs.Metrics.histogram (Obs.Metrics.create ()) "udp_echo.rtt" in
   Sim.Engine.spawn h.engine ~name:"echo-server" (server (Harness.api h));
-  Sim.Engine.spawn h.engine ~name:"echo-client"
-    (client h.peer ~datagrams ~payload_size ~echoed ~first ~last ~rtts
-       ~stop:(fun () -> Harness.stop h));
+  let live = ref flows in
+  let fin () =
+    decr live;
+    if !live = 0 then Harness.stop h
+  in
+  if flows <= 1 then
+    Sim.Engine.spawn h.engine ~name:"echo-client"
+      (client h.peer ~datagrams ~payload_size ~src:None ~echoed ~first ~last
+         ~rtts ~fin)
+  else begin
+    let ports =
+      Array.of_list
+        (Shards.spread_ports h ~n:flows
+           ~dst:(Packet.Addr.Ip.of_repr "10.0.0.1", port)
+           ~base:40000)
+    in
+    for i = 0 to flows - 1 do
+      let n = (datagrams / flows) + if i < datagrams mod flows then 1 else 0 in
+      Sim.Engine.spawn h.engine
+        ~name:(Printf.sprintf "echo-client%d" i)
+        (client h.peer ~datagrams:n ~payload_size
+           ~src:(Some (Hostos.Kernel.client_ip h.kernel, ports.(i)))
+           ~echoed ~first ~last ~rtts ~fin)
+    done
+  end;
   Harness.run h ~until:(Sim.Cycles.of_sec 30.);
   let duration = if !echoed = 0 then 0L else Int64.sub !last !first in
+  let shards = Shards.capture h in
+  Shards.check_exn ~what:"udp_echo" shards;
   {
     env = (Harness.api h).Libos.Api.name;
     datagrams;
     echoed = !echoed;
+    flows;
     payload_size;
     duration;
     round_trips_per_sec =
@@ -66,6 +104,7 @@ let run (h : Harness.t) ~datagrams ~payload_size =
        else float_of_int !echoed /. Sim.Cycles.to_sec duration);
     rtt_p50 = Obs.Metrics.percentile rtts 50.;
     rtt_p99 = Obs.Metrics.percentile rtts 99.;
+    shards;
   }
 
 let pp_result ppf r =
@@ -73,4 +112,7 @@ let pp_result ppf r =
     "%-14s size=%4dB echoed=%d/%d in %a (%.0f round trips/s simulated, rtt \
      p50<=%d p99<=%d cycles)"
     r.env r.payload_size r.echoed r.datagrams Sim.Cycles.pp_duration r.duration
-    r.round_trips_per_sec r.rtt_p50 r.rtt_p99
+    r.round_trips_per_sec r.rtt_p50 r.rtt_p99;
+  match r.shards with
+  | Some s when s.Shards.queues > 1 -> Format.fprintf ppf "@,%a" Shards.pp s
+  | _ -> ()

@@ -13,13 +13,23 @@ type result = {
   env : string;
   datagrams : int;  (** round trips attempted *)
   echoed : int;  (** round trips completed *)
+  flows : int;  (** concurrent closed-loop client flows *)
   payload_size : int;
   duration : Sim.Engine.time;  (** first send to last echo *)
   round_trips_per_sec : float;
   rtt_p50 : int;  (** median round-trip cycles (log2-bucket resolution) *)
   rtt_p99 : int;  (** 99th-percentile round-trip cycles *)
+  shards : Shards.report option;
+      (** per-shard exit accounting ([None] for non-RAKIS baselines);
+          {!run} fails on a silently idle shard (see {!Shards}) *)
 }
 
-val run : Harness.t -> datagrams:int -> payload_size:int -> result
+val run :
+  ?flows:int -> Harness.t -> datagrams:int -> payload_size:int -> result
+(** [flows] (default 1) concurrent closed-loop clients split the
+    [datagrams] budget.  Multi-flow clients bind deterministic source
+    ports picked by {!Shards.spread_ports} so RSS spreads them uniformly
+    over the datapath shards; the single-flow default keeps the
+    historical ephemeral-port behaviour. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -2,6 +2,7 @@ type t = {
   ip : Packet.Addr.Ip.t;
   mac : Packet.Addr.Mac.t;
   num_xsks : int;
+  num_queues : int;
   ring_size : int;
   umem_size : int;
   frame_size : int;
@@ -27,6 +28,7 @@ let default =
     ip = Packet.Addr.Ip.of_repr "10.0.0.1";
     mac = Packet.Addr.Mac.of_repr "02:00:00:00:00:01";
     num_xsks = 1;
+    num_queues = 1;
     ring_size = Sgx.Params.default_ring_size;
     umem_size = Sgx.Params.default_umem_size;
     frame_size = Sgx.Params.umem_frame_size;
@@ -51,6 +53,7 @@ let is_pow2 n = n > 0 && n land (n - 1) = 0
 
 let validate t =
   if t.num_xsks <= 0 then Error "num_xsks must be positive"
+  else if t.num_queues <= 0 then Error "num_queues must be positive"
   else if not (is_pow2 t.ring_size) then Error "ring_size must be a power of 2"
   else if not (is_pow2 t.uring_entries) then
     Error "uring_entries must be a power of 2"

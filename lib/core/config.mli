@@ -11,6 +11,11 @@ type t = {
   ip : Packet.Addr.Ip.t;  (** the enclave's IP (defaults to iface 0's) *)
   mac : Packet.Addr.Mac.t;  (** the enclave's MAC *)
   num_xsks : int;  (** one FM thread per XSK (paper §4.1 QoS) *)
+  num_queues : int;
+      (** datapath shards: each shard owns one set of XSKs + UMem, its
+          own in-enclave stack instance and its own Monitor, and serves
+          the NIC queues whose RSS hash maps to it.  Default 1 — one
+          shard over all NIC queues, the pre-sharding behaviour. *)
   ring_size : int;  (** entries per XSK ring (power of two) *)
   umem_size : int;  (** bytes of UMem per XSK *)
   frame_size : int;  (** bytes per UMem frame *)

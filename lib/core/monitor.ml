@@ -17,6 +17,10 @@ type watched =
 type t = {
   engine : Sim.Engine.t;
   kernel : Hostos.Kernel.t;
+  (* Which datapath shard this MM serves (None = the only MM).  Gives
+     Monitor_crash/Monitor_hang rolls their shard context and names the
+     spawned thread. *)
+  shard : int option;
   work : Sim.Condition.t;
   mutable watched : watched list;
   mutable pending : bool;
@@ -39,25 +43,27 @@ type t = {
   mutable hb_armed : bool;
 }
 
-let create ?obs engine ~kernel =
+let create ?obs ?name ?shard engine ~kernel =
   let m =
     match obs with Some o -> Obs.metrics o | None -> Obs.Metrics.create ()
   in
+  let name = Option.value name ~default:"mm" in
   {
     engine;
     kernel;
+    shard;
     work = Sim.Condition.create ();
     watched = [];
     pending = false;
-    wakeups = Obs.Metrics.counter m "mm.wakeups";
-    rx_wakeups = Obs.Metrics.counter m "mm.wakeups.rx";
-    tx_wakeups = Obs.Metrics.counter m "mm.wakeups.tx";
-    uring_wakeups = Obs.Metrics.counter m "mm.wakeups.uring";
-    scans = Obs.Metrics.counter m "mm.scans";
-    forced_enters = Obs.Metrics.counter m "mm.forced_enters";
-    forced_tx = Obs.Metrics.counter m "mm.forced_tx";
-    beats = Obs.Metrics.counter m "mm.heartbeats";
-    crashes = Obs.Metrics.counter m "mm.crashes";
+    wakeups = Obs.Metrics.counter m (name ^ ".wakeups");
+    rx_wakeups = Obs.Metrics.counter m (name ^ ".wakeups.rx");
+    tx_wakeups = Obs.Metrics.counter m (name ^ ".wakeups.tx");
+    uring_wakeups = Obs.Metrics.counter m (name ^ ".wakeups.uring");
+    scans = Obs.Metrics.counter m (name ^ ".scans");
+    forced_enters = Obs.Metrics.counter m (name ^ ".forced_enters");
+    forced_tx = Obs.Metrics.counter m (name ^ ".forced_tx");
+    beats = Obs.Metrics.counter m (name ^ ".heartbeats");
+    crashes = Obs.Metrics.counter m (name ^ ".crashes");
     trace = Option.map Obs.trace obs;
     generation = 0;
     alive = false;
@@ -207,7 +213,12 @@ let start t =
   let gen = t.generation in
   t.alive <- true;
   t.last_beat <- Sim.Engine.now t.engine;
-  Sim.Engine.spawn t.engine ~name:"rakis-mm" (fun () ->
+  let thread_name =
+    match t.shard with
+    | None -> "rakis-mm"
+    | Some k -> Printf.sprintf "rakis-mm%d" k
+  in
+  Sim.Engine.spawn t.engine ~name:thread_name (fun () ->
       let rec loop () =
         (* A later restart fences this incarnation out: scans and beats
            from a superseded MM thread must stop (it may have been woken
@@ -217,13 +228,13 @@ let start t =
           t.last_beat <- Sim.Engine.now t.engine;
           Obs.Metrics.incr t.beats;
           match Hostos.Kernel.faults t.kernel with
-          | Some f when Hostos.Faults.roll (Some f) Hostos.Faults.Monitor_crash
+          | Some f when Hostos.Faults.roll ?shard:t.shard (Some f) Hostos.Faults.Monitor_crash
             ->
               Hostos.Faults.record f Hostos.Faults.Monitor_crash;
               Obs.Metrics.incr t.crashes;
               t.alive <- false
               (* thread exits; the watchdog notices the stale beat *)
-          | Some f when Hostos.Faults.roll (Some f) Hostos.Faults.Monitor_hang
+          | Some f when Hostos.Faults.roll ?shard:t.shard (Some f) Hostos.Faults.Monitor_hang
             ->
               Hostos.Faults.record f Hostos.Faults.Monitor_hang;
               Sim.Engine.delay Sgx.Params.fault_monitor_hang;

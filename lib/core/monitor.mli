@@ -19,11 +19,22 @@
 
 type t
 
-val create : ?obs:Obs.t -> Sim.Engine.t -> kernel:Hostos.Kernel.t -> t
+val create :
+  ?obs:Obs.t ->
+  ?name:string ->
+  ?shard:int ->
+  Sim.Engine.t ->
+  kernel:Hostos.Kernel.t ->
+  t
 (** [obs] registers the MM's counters in the shared registry —
     ["mm.wakeups"] (with [".rx"] / [".tx"] / [".uring"] breakdowns),
     ["mm.scans"] and ["mm.forced_enters"] — and records an ["mm"]
-    trace instant per wakeup syscall issued. *)
+    trace instant per wakeup syscall issued.  [name] (default ["mm"])
+    prefixes the counters, so per-shard Monitors (["mm.0"], ["mm.1"],
+    …) get distinct metric cells instead of silently sharing the
+    find-or-create defaults.  [shard] is the datapath shard this MM
+    serves: its crash/hang fault rolls carry that context, so a
+    shard-pinned [Monitor_crash] kills only shard [k]'s MM. *)
 
 val watch_xsk : t -> Hostos.Xdp.xsk -> unit
 

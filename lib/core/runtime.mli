@@ -4,24 +4,45 @@
     Boot sequence (mirroring the paper):
     + validate the user configuration (trusted ground truth);
     + allocate the shared untrusted memory arena;
-    + run the XSK initialization syscalls outside the enclave (one
-      OCALL covering them) and let each {!Xsk_fm} validate the returned
-      pointers;
-    + attach the XDP program — redirect UDP destined to enclave-owned
-      ports, and ARP aimed at the enclave IP, to the queue's XSK; PASS
-      everything else to the host stack;
-    + start the per-XSK FM threads, the UDP/IP stack, and the Monitor
-      Module thread outside the enclave.
+    + for each of the [config.num_queues] datapath {e shards}: build its
+      in-enclave UDP/IP stack instance and Monitor Module, run the XSK
+      initialization syscalls outside the enclave (one OCALL covering
+      them) and let each {!Xsk_fm} validate the returned pointers;
+    + attach the XDP program to every NIC queue — redirect UDP destined
+      to enclave-owned ports, and ARP aimed at the enclave IP, to the
+      XSK of the shard serving that queue; PASS everything else to the
+      host stack;
+    + start the per-XSK FM threads and each shard's Monitor Module
+      thread outside the enclave.
+
+    {b Sharding (DESIGN.md §10).}  With [config.num_queues = S > 1] the
+    datapath is S independent shards, each owning a slice of the NIC's
+    queues (queue [q] -> shard [q mod S]): its own XSK FMs + UMems, its
+    own stack instance, its own MM and its own XSK circuit breaker.  The
+    NIC's deterministic symmetric RSS hash pins every UDP flow to one
+    queue in both directions, so shards share no fast-path state and
+    scale near-linearly; transmit picks the shard with the same hash, so
+    TX affinity matches RX.  Every shard stack is bound to every owned
+    port (mirrored binds), and {!udp_recvfrom} multiplexes the per-shard
+    sockets.  Faults or attacks pinned to shard [k]
+    ({!Hostos.Faults.arm}[ ~shard]) can only degrade shard [k]'s flows:
+    other shards' breakers stay closed and their traffic is untouched.
+    With the default [num_queues = 1] everything below collapses to the
+    single-queue behaviour, names and repro tokens of PR 5.
 
     Per-thread io_uring FMs are created on demand via {!new_thread},
-    matching the paper's one-FM-per-user-thread design. *)
+    matching the paper's one-FM-per-user-thread design; threads are
+    assigned to shards round-robin for Monitor coverage and fault
+    attribution. *)
 
 type t
-(** One booted RAKIS machine: enclave, shared arena, XSK FMs, UDP/IP
-    stack, Monitor Module and per-thread io_uring FMs. *)
+(** One booted RAKIS machine: enclave, shared arena, per-shard XSK FMs /
+    stacks / Monitor Modules, and per-thread io_uring FMs. *)
 
 type udp_sock
-(** An in-enclave UDP socket handle served by the XSK fast path. *)
+(** An in-enclave UDP socket handle served by the XSK fast path.  Bound
+    on every shard's stack (same port), so a flow's datagrams surface on
+    the shard its RSS hash selects. *)
 
 type thread
 (** A user thread's io_uring context: its FM plus its SyncProxy. *)
@@ -38,18 +59,21 @@ type slow_udp = {
 }
 (** The exit-based UDP slow path: plain host-kernel sockets driven via
     OCALLs, implemented by {!Libos.Hostapi.slow_udp}.  Used only while
-    the XSK breaker is open (DESIGN.md §9): when the breaker trips, each
-    bound fast-path socket gets a same-port fallback host socket, XDP
-    switches from [Redirect] to [Pass] for owned ports (so inbound
-    datagrams land on the fallback socket), and sends go out via
-    [su_sendto] — paying the modeled SGX exit + copy costs. *)
+    an XSK breaker is open (DESIGN.md §9): when a shard's breaker trips,
+    each bound fast-path socket gets a same-port fallback host socket,
+    that shard's XDP queues switch from [Redirect] to [Pass] for owned
+    ports (so inbound datagrams land on the fallback socket), and the
+    shard's sends go out via [su_sendto] — paying the modeled SGX exit +
+    copy costs.  The host stack is not sharded: one fallback socket per
+    port serves every shard. *)
 
 val boot :
   Hostos.Kernel.t -> sgx:bool -> ?config:Config.t -> unit -> (t, string) result
 (** Run the boot sequence above against [kernel].  [sgx:false] skips
     enclave-transition cost accounting (the "native" baseline in the
     benchmarks); [config] defaults to {!Config.default}.  Errors are
-    human-readable descriptions of the failed boot stage. *)
+    human-readable descriptions of the failed boot stage — including
+    [config.num_queues] exceeding the NIC's queue count. *)
 
 val enclave : t -> Sgx.Enclave.t
 (** The enclave whose transition/charging model all FMs share. *)
@@ -58,27 +82,53 @@ val kernel : t -> Hostos.Kernel.t
 (** The (untrusted) host kernel this runtime was booted against. *)
 
 val stack : t -> Netstack.Stack.t
-(** The in-enclave UDP/IP network stack. *)
+(** Shard 0's in-enclave UDP/IP network stack (the only one when
+    [num_queues = 1]). *)
 
 val monitor : t -> Monitor.t
-(** The Monitor Module thread driving host-side ring wakeups. *)
+(** Shard 0's Monitor Module thread. *)
 
 val config : t -> Config.t
 (** The validated configuration the runtime booted with. *)
 
 val obs : t -> Obs.t
 (** The runtime-wide observability handle: one metrics registry and one
-    trace ring shared by the stack, the Monitor Module and every
-    FastPath Module, with instruments named per instance (["xsk0.*"],
-    ["uring1.*"], ["mm.*"], ["stack.*"]).  The trace clock is the
+    trace ring shared by every shard's stack, Monitor Module and
+    FastPath Modules, with instruments named per instance.  Single-queue
+    names are the historical ["xsk0.*"], ["mm.*"], ["stack.*"]; with
+    [S > 1] shard [k]'s instances register as ["xsk.<k>.<i>.*"],
+    ["mm.<k>.*"], ["stack.<k>.*"] and ["health.xsk.<k>.*"], so per-shard
+    counters never silently share cells.  The trace clock is the
     simulation engine's cycle counter. *)
 
 val xsk_fms : t -> Xsk_fm.t array
-(** One XSK FastPath Module per configured NIC queue, in queue order
-    (instrumented as ["xsk0"], ["xsk1"], …). *)
+(** Every XSK FastPath Module in the system, shard-major ([num_queues *
+    num_xsks] total; shard 0's FMs first). *)
 
 val owns_port : t -> int -> bool
 (** Is this UDP port currently served by RAKIS (bound in the enclave)? *)
+
+(** {1 Shards} *)
+
+val shard_count : t -> int
+(** Number of datapath shards ([config.num_queues]). *)
+
+val shard_breaker : t -> int -> Health.t
+(** Shard [k]'s XSK circuit breaker (["health.xsk.<k>.*"] when sharded,
+    ["health.xsk.*"] for the single shard). *)
+
+val shard_monitor : t -> int -> Monitor.t
+(** Shard [k]'s Monitor Module. *)
+
+val shard_fms : t -> int -> Xsk_fm.t array
+(** Shard [k]'s XSK FastPath Modules. *)
+
+val shard_rx_delivered : t -> int -> int
+(** Datagrams shard [k]'s stack delivered to sockets — the per-shard RX
+    activity counter apps use to detect a silently idle shard. *)
+
+val shard_tx_frames : t -> int -> int
+(** Frames submitted through shard [k]'s transmit hook. *)
 
 (** {1 Degraded mode (DESIGN.md §9)} *)
 
@@ -88,21 +138,23 @@ val set_slow_path : t -> Syncproxy.slow_ops -> unit
 
 val set_udp_slow_path : t -> slow_udp -> unit
 (** Install the exit-based UDP slow path.  Until this is called the XSK
-    breaker only observes (routing never changes): failover needs a slow
+    breakers only observe (routing never changes): failover needs a slow
     path to fail over {e to}. *)
 
 val xsk_breaker : t -> Health.t
-(** The runtime-wide XSK circuit breaker (["health.xsk.*"]), fed by
-    every XSK FM's terminal failure/success signals. *)
+(** Shard 0's XSK circuit breaker — the runtime-wide breaker when
+    [num_queues = 1]; see {!shard_breaker} for the rest. *)
 
 val uring_breaker : t -> Health.t
 (** The io_uring circuit breaker (["health.uring.*"]), shared by every
-    thread's SyncProxy and FM overload feed. *)
+    thread's SyncProxy and FM overload feed (io_uring FMs are
+    per-thread, not per-queue, so this breaker stays runtime-wide). *)
 
 val mm_breaker : t -> Health.t
 (** The Monitor Module breaker (["health.mm.*"]), fed by the watchdog:
-    open means the watchdog stops restarting a persistently dying MM and
-    carries the load with in-enclave degraded scans instead. *)
+    open means the watchdog stops restarting persistently dying MMs and
+    carries the load with in-enclave degraded scans instead.  One
+    breaker for all shards — the watchdog is a single enclave thread. *)
 
 (** {1 UDP syscalls (XDP fast path — no enclave exits)} *)
 
@@ -110,8 +162,11 @@ val udp_socket : t -> udp_sock
 (** Allocate an unbound UDP socket. *)
 
 val udp_bind : t -> udp_sock -> int -> (unit, Abi.Errno.t) result
-(** Bind to a UDP port; from then on the XDP program steers matching
-    traffic to the enclave's XSKs instead of the host stack. *)
+(** Bind to a UDP port on {e every} shard's stack; from then on the XDP
+    program steers matching traffic to the serving shard's XSKs instead
+    of the host stack.  Mirrored binds use the same concrete port
+    everywhere, so the shard port tables stay identical and ephemeral
+    allocation (port [0], resolved on shard 0) never collides. *)
 
 val udp_sendto :
   t ->
@@ -120,11 +175,12 @@ val udp_sendto :
   dst:Packet.Addr.Ip.t * int ->
   (int, Abi.Errno.t) result
 (** Transmit one datagram through the in-enclave stack and the XSK TX
-    path — no enclave exit; the Monitor Module kicks the host side.
-    With a slow path installed and the XSK breaker not [Closed], the
-    datagram is rerouted through the exit-based host socket instead;
-    [EAGAIN] only when both paths refuse (backpressure — the datagram
-    was never accepted, so nothing is silently lost). *)
+    path of the shard the flow's RSS hash selects — no enclave exit; the
+    shard's Monitor Module kicks the host side.  With a slow path
+    installed and that shard's XSK breaker not [Closed], the datagram is
+    rerouted through the exit-based host socket instead; [EAGAIN] only
+    when both paths refuse (backpressure — the datagram was never
+    accepted, so nothing is silently lost). *)
 
 val udp_recvfrom :
   t ->
@@ -132,22 +188,26 @@ val udp_recvfrom :
   max:int ->
   (Bytes.t * (Packet.Addr.Ip.t * int), Abi.Errno.t) result
 (** Dequeue one received datagram (payload truncated to [max]) plus the
-    sender's address; [EAGAIN] when the socket queue is empty.  While a
-    fallback host socket exists (breaker open, or still draining just
-    after failback) both sources are polled: the in-enclave stack first,
-    then the host socket via the exit-based slow path. *)
+    sender's address; [EAGAIN] when every source is empty.  All shard
+    sockets are polled (a flow's datagrams surface on exactly one, per
+    RSS); while a fallback host socket exists (breaker open, or still
+    draining just after failback) it is polled too, via the exit-based
+    slow path. *)
 
 val udp_readable : t -> udp_sock -> bool
-(** [true] iff a datagram is queued ([udp_recvfrom] would not block). *)
+(** [true] iff a datagram is queued on any shard socket or the fallback
+    ([udp_recvfrom] would not block). *)
 
 val udp_close : t -> udp_sock -> unit
-(** Release the socket and its port reservation. *)
+(** Release the socket (on every shard) and its port reservation. *)
 
 (** {1 Per-thread io_uring contexts} *)
 
 val new_thread : t -> (thread, string) result
 (** Create the calling user thread's io_uring FM + SyncProxy (the
-    io_uring setup syscalls run via one OCALL). *)
+    io_uring setup syscalls run via one OCALL).  The thread is assigned
+    to a shard round-robin: that shard's MM watches its ring, and
+    shard-pinned faults on the io_uring path key off the assignment. *)
 
 val syncproxy : thread -> Syncproxy.t
 (** The thread's SyncProxy, through which blocking IO syscalls go. *)
@@ -159,7 +219,7 @@ val thread_runtime : thread -> t
 
 val total_ring_check_failures : t -> int
 (** Certified-ring index rejections summed over every ring in the
-    system (XSK quads plus io_uring SQ/CQ pairs). *)
+    system (all shards' XSK quads plus io_uring SQ/CQ pairs). *)
 
 val total_desc_rejects : t -> int
 (** Descriptor-level rejections: out-of-UMem XSK descriptors plus
@@ -169,21 +229,22 @@ val invariant_holds : t -> bool
 (** Conjunction of every certified ring's local invariant, every UMem's
     frame-conservation invariant (no frame leaked or double-owned), and
     every io_uring ring pair's invariant — the Table 2 safety statement
-    extended with the §8 leak-freedom obligation. *)
+    extended with the §8 leak-freedom obligation, over all shards. *)
 
 val start_watchdog : t -> unit
 (** Spawn the in-enclave watchdog (DESIGN.md §8): every
-    {!Sgx.Params.watchdog_period} cycles it samples the Monitor
-    Module's liveness ({!Monitor.alive} / {!Monitor.last_beat}); on a
-    crash or a beat staler than {!Sgx.Params.watchdog_timeout} it runs
-    one degraded scan from inside the enclave and restarts the MM.
+    {!Sgx.Params.watchdog_period} cycles it samples {e each} shard
+    Monitor Module's liveness ({!Monitor.alive} / {!Monitor.last_beat});
+    on a crash or a beat staler than {!Sgx.Params.watchdog_timeout} it
+    runs one degraded scan from inside the enclave and restarts that MM.
     When [config.degraded], restarts additionally go through the MM
-    breaker ({!mm_breaker}): a persistently dying Monitor opens it and
-    stops earning restarts (scans continue), half-open probes are
-    restart attempts, and sustained healthy checks close it again.
-    Call after installing a fault injector ({!Hostos.Kernel.set_faults})
-    — its periodic timer keeps the event queue alive, so fault-free
-    runs that terminate on queue exhaustion should not start it. *)
+    breaker ({!mm_breaker}): persistently dying Monitors open it and
+    stop earning restarts (scans continue), half-open probes are restart
+    attempts, and sustained healthy periods — no shard MM unhealthy —
+    close it again.  Call after installing a fault injector
+    ({!Hostos.Kernel.set_faults}) — its periodic timer keeps the event
+    queue alive, so fault-free runs that terminate on queue exhaustion
+    should not start it. *)
 
 val watchdog_restarts : t -> int
 (** Monitor restarts performed by the watchdog (["watchdog.restarts"]). *)
@@ -193,8 +254,8 @@ val watchdog_degraded_scans : t -> int
     Monitor Module (["watchdog.degraded_scans"]). *)
 
 val tx_round_robin : t -> int
-(** Frames transmitted through the stack's transmit hook. *)
+(** Frames transmitted through the stacks' transmit hooks (all shards). *)
 
-val udp_activity : t -> udp_sock -> Sim.Condition.t option
-(** Activity condition of a bound socket (poll support); [None] when
-    unbound. *)
+val udp_activity : t -> udp_sock -> Sim.Condition.t list
+(** Activity conditions of a bound socket, one per shard (poll support);
+    [[]] when unbound. *)

@@ -15,9 +15,9 @@ type trigger =
   | Burst of { first_step : int; last_step : int; probability : float }
   | Persistent
 
-type arming = { trigger : trigger; mutable spent : bool }
+type arming = { trigger : trigger; shard : int option; mutable spent : bool }
 
-type plan_entry = { fault : fault; when_ : trigger }
+type plan_entry = { fault : fault; when_ : trigger; shard : int option }
 
 type plan = plan_entry list
 
@@ -88,22 +88,26 @@ let install t fault arming =
   | Some l -> l := !l @ [ arming ]
   | None -> Hashtbl.replace t.armed fault (ref [ arming ])
 
-let arm t ?(probability = 1.0) fault =
+let arm t ?(probability = 1.0) ?shard fault =
   Hashtbl.replace t.armed fault
-    (ref [ { trigger = Probability probability; spent = false } ])
+    (ref [ { trigger = Probability probability; shard; spent = false } ])
 
-let arm_once t ?(probability = 1.0) fault =
-  install t fault { trigger = Once probability; spent = false }
+let arm_once t ?(probability = 1.0) ?shard fault =
+  install t fault { trigger = Once probability; shard; spent = false }
 
-let arm_at t ~step fault =
-  install t fault { trigger = At_step step; spent = false }
+let arm_at t ~step ?shard fault =
+  install t fault { trigger = At_step step; shard; spent = false }
 
-let arm_burst t ~first_step ~last_step ?(probability = 1.0) fault =
+let arm_burst t ~first_step ~last_step ?(probability = 1.0) ?shard fault =
   install t fault
-    { trigger = Burst { first_step; last_step; probability }; spent = false }
+    {
+      trigger = Burst { first_step; last_step; probability };
+      shard;
+      spent = false;
+    }
 
-let arm_persistent t fault =
-  install t fault { trigger = Persistent; spent = false }
+let arm_persistent t ?shard fault =
+  install t fault { trigger = Persistent; shard; spent = false }
 
 let disarm t fault = Hashtbl.remove t.armed fault
 
@@ -118,7 +122,14 @@ let step t = t.step
 
 let hit t p = p >= 1.0 || Sim.Rng.float t.rng 1.0 < p
 
-let roll t fault =
+(* An arming pinned to shard [k] only matches opportunities that carry
+   shard context [Some k]; unpinned armings match every opportunity. *)
+let shard_matches arming_shard roll_shard =
+  match arming_shard with
+  | None -> true
+  | Some k -> ( match roll_shard with Some k' -> k = k' | None -> false)
+
+let roll ?shard t fault =
   match t with
   | None -> false
   | Some t -> (
@@ -128,6 +139,7 @@ let roll t fault =
           List.exists
             (fun a ->
               (not a.spent)
+              && shard_matches a.shard shard
               &&
               match a.trigger with
               | Probability p -> hit t p
@@ -181,18 +193,22 @@ let pp_fault ppf f = Format.pp_print_string ppf (fault_name f)
 
 let install_plan t plan =
   List.iter
-    (fun { fault; when_ } ->
+    (fun { fault; when_; shard } ->
       match when_ with
-      | Probability probability -> arm t ~probability fault
-      | Once probability -> arm_once t ~probability fault
-      | At_step step -> arm_at t ~step fault
+      | Probability probability -> arm t ~probability ?shard fault
+      | Once probability -> arm_once t ~probability ?shard fault
+      | At_step step -> arm_at t ~step ?shard fault
       | Burst { first_step; last_step; probability } ->
-          arm_burst t ~first_step ~last_step ~probability fault
-      | Persistent -> arm_persistent t fault)
+          arm_burst t ~first_step ~last_step ~probability ?shard fault
+      | Persistent -> arm_persistent t ?shard fault)
     plan
 
-let entry_to_string { fault; when_ } =
-  let name = fault_name fault in
+let entry_to_string { fault; when_; shard } =
+  let name =
+    match shard with
+    | None -> fault_name fault
+    | Some k -> Printf.sprintf "%s#%d" (fault_name fault) k
+  in
   match when_ with
   | Probability p -> Printf.sprintf "@%g=%s" p name
   | Once p when p >= 1.0 -> Printf.sprintf "once=%s" name
@@ -210,10 +226,26 @@ let parse_entry s =
   | Some eq -> (
       let where = String.sub s 0 eq in
       let name = String.sub s (eq + 1) (String.length s - eq - 1) in
+      (* A "#k" suffix pins the fault to datapath shard k. *)
+      let name, shard =
+        match String.index_opt name '#' with
+        | None -> (Ok name, None)
+        | Some h -> (
+            let n = String.sub name 0 h in
+            match
+              int_of_string_opt
+                (String.sub name (h + 1) (String.length name - h - 1))
+            with
+            | Some k when k >= 0 -> (Ok n, Some k)
+            | _ -> (Error (Printf.sprintf "bad shard suffix %S" name), None))
+      in
+      match name with
+      | Error e -> Error e
+      | Ok name -> (
       match fault_of_string name with
       | None -> Error (Printf.sprintf "unknown fault %S" name)
       | Some fault -> (
-          let entry when_ = Ok { fault; when_ } in
+          let entry when_ = Ok { fault; when_; shard } in
           if where = "once" then entry (Once 1.0)
           else if where = "persist" then entry Persistent
           else if String.length where > 5 && String.sub where 0 5 = "once@" then
@@ -243,7 +275,7 @@ let parse_entry s =
                 with
                 | Some (first_step, last_step, probability) ->
                     entry (Burst { first_step; last_step; probability })
-                | None -> Error (Printf.sprintf "bad fault window %S" where))))
+                | None -> Error (Printf.sprintf "bad fault window %S" where)))))
 
 let plan_of_string s =
   if String.trim s = "" then Ok []

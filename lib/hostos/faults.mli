@@ -56,18 +56,27 @@ val create : ?obs:Obs.t -> seed:int64 -> unit -> t
     ["faults.injected"] plus one ["faults.<fault-name>"] counter per
     fault — and records a ["faults"] trace instant per injection. *)
 
-val arm : t -> ?probability:float -> fault -> unit
+val arm : t -> ?probability:float -> ?shard:int -> fault -> unit
 (** Fire with [probability] (default 1.0) at each opportunity.
-    Replaces any schedule previously installed for the fault. *)
+    Replaces any schedule previously installed for the fault.  [shard]
+    pins the arming to one datapath shard: it only matches opportunities
+    whose {!roll} carries the same shard context, so an attack on shard
+    [k] provably cannot touch shard [j]'s traffic. *)
 
-val arm_once : t -> ?probability:float -> fault -> unit
+val arm_once : t -> ?probability:float -> ?shard:int -> fault -> unit
 
-val arm_at : t -> step:int -> fault -> unit
+val arm_at : t -> step:int -> ?shard:int -> fault -> unit
 
 val arm_burst :
-  t -> first_step:int -> last_step:int -> ?probability:float -> fault -> unit
+  t ->
+  first_step:int ->
+  last_step:int ->
+  ?probability:float ->
+  ?shard:int ->
+  fault ->
+  unit
 
-val arm_persistent : t -> fault -> unit
+val arm_persistent : t -> ?shard:int -> fault -> unit
 (** {!Persistent}: fire at every opportunity until {!disarm}. *)
 
 val disarm : t -> fault -> unit
@@ -81,8 +90,11 @@ val set_step : t -> int -> unit
 
 val step : t -> int
 
-val roll : t option -> fault -> bool
-(** Should the fault fire now?  [None] (no injector) is never. *)
+val roll : ?shard:int -> t option -> fault -> bool
+(** Should the fault fire now?  [None] (no injector) is never.  [shard]
+    is the datapath shard this opportunity belongs to (if any): armings
+    pinned to a shard match only opportunities on that shard, unpinned
+    armings match all opportunities. *)
 
 val rng : t -> Sim.Rng.t
 
@@ -119,9 +131,12 @@ val pp_fault : Format.formatter -> fault -> unit
     - ["once=fault"] / ["once@P=fault"] — {!Once};
     - ["STEP=fault"] — {!At_step};
     - ["A..B@P=fault"] — {!Burst};
-    - ["persist=fault"] — {!Persistent}. *)
+    - ["persist=fault"] — {!Persistent}.
 
-type plan_entry = { fault : fault; when_ : trigger }
+    A ["#k"] suffix on the fault name (e.g. ["persist=drop-wakeup#1"])
+    pins the entry to datapath shard [k]. *)
+
+type plan_entry = { fault : fault; when_ : trigger; shard : int option }
 
 type plan = plan_entry list
 

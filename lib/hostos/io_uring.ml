@@ -17,11 +17,18 @@ type t = {
   mutable completed : int;
   mutable dropped : int;
   mutable last_user_data : int64;
+  (* Datapath shard of the thread this ring belongs to, for shard-pinned
+     fault/malice armings.  None until the runtime tags it. *)
+  mutable shard : int option;
 }
 
 let next_id = ref 0
 
 let uring_id t = t.id
+
+let set_shard t shard = t.shard <- Some shard
+
+let shard t = t.shard
 
 let sq_layout t = t.sq
 
@@ -41,32 +48,32 @@ let tamper_cqe t (cqe : Abi.Uring_abi.cqe) =
   match !(t.malice) with
   | None -> cqe
   | Some m ->
-      if Malice.roll !(t.malice) Cqe_wrong_user_data then begin
+      if Malice.roll ?shard:t.shard !(t.malice) Cqe_wrong_user_data then begin
         Malice.record m Cqe_wrong_user_data;
         { cqe with user_data = Int64.add cqe.user_data 0xDEADL }
       end
-      else if Malice.roll !(t.malice) Cqe_bogus_res then begin
+      else if Malice.roll ?shard:t.shard !(t.malice) Cqe_bogus_res then begin
         Malice.record m Cqe_bogus_res;
         (* A wildly out-of-range "bytes transferred" count. *)
         { cqe with res = 0x7FFFFFF0 }
       end
-      else if cqe.res >= 0 && Malice.roll !(t.malice) Oversize_len then begin
+      else if cqe.res >= 0 && Malice.roll ?shard:t.shard !(t.malice) Oversize_len then begin
         Malice.record m Oversize_len;
         (* Claim far more bytes than any request could have asked for. *)
         { cqe with res = cqe.res + 0x200000 }
       end
-      else if Malice.roll !(t.malice) Foreign_frame then begin
+      else if Malice.roll ?shard:t.shard !(t.malice) Foreign_frame then begin
         Malice.record m Foreign_frame;
         (* Replay the identity of a completion the FM already settled —
            the io_uring analogue of recycling a frame it does not own. *)
         { cqe with user_data = t.last_user_data }
       end
-      else if Malice.roll !(t.malice) Bad_umem_offset then begin
+      else if Malice.roll ?shard:t.shard !(t.malice) Bad_umem_offset then begin
         Malice.record m Bad_umem_offset;
         (* An identity that was never issued at all. *)
         { cqe with user_data = -1L }
       end
-      else if Malice.roll !(t.malice) Misaligned_offset then begin
+      else if Malice.roll ?shard:t.shard !(t.malice) Misaligned_offset then begin
         Malice.record m Misaligned_offset;
         (* Off-by-one identity: the FM's next, not-yet-issued tag. *)
         { cqe with user_data = Int64.add cqe.user_data 1L }
@@ -77,12 +84,12 @@ let tamper_cq_prod t =
   match !(t.malice) with
   | None -> ()
   | Some m ->
-      if Malice.roll !(t.malice) Prod_overshoot then begin
+      if Malice.roll ?shard:t.shard !(t.malice) Prod_overshoot then begin
         Malice.record m Prod_overshoot;
         Malice.smash_prod t.cq
           (Rings.U32.add (Rings.Layout.read_prod t.cq) (t.cq.Rings.Layout.size + 9))
       end;
-      if Malice.roll !(t.malice) Prod_regress then begin
+      if Malice.roll ?shard:t.shard !(t.malice) Prod_regress then begin
         Malice.record m Prod_regress;
         Malice.smash_prod t.cq (Rings.U32.sub (Rings.Layout.read_prod t.cq) 2)
       end
@@ -91,12 +98,12 @@ let tamper_sq_cons t =
   match !(t.malice) with
   | None -> ()
   | Some m ->
-      if Malice.roll !(t.malice) Cons_overshoot then begin
+      if Malice.roll ?shard:t.shard !(t.malice) Cons_overshoot then begin
         Malice.record m Cons_overshoot;
         Malice.smash_cons t.sq
           (Rings.U32.add (Rings.Layout.read_prod t.sq) (t.sq.Rings.Layout.size + 5))
       end;
-      if Malice.roll !(t.malice) Cons_regress then begin
+      if Malice.roll ?shard:t.shard !(t.malice) Cons_regress then begin
         Malice.record m Cons_regress;
         Malice.smash_cons t.sq (Rings.U32.sub (Rings.Layout.read_cons t.sq) 3)
       end
@@ -108,7 +115,7 @@ let tamper_sq_cons t =
 let maybe_corrupt_buffer t (sqe : Abi.Uring_abi.sqe) res =
   match (sqe.opcode, !(t.malice)) with
   | (Abi.Uring_abi.Read | Abi.Uring_abi.Recv), Some m
-    when res > 0 && Malice.roll !(t.malice) Corrupt_packet ->
+    when res > 0 && Malice.roll ?shard:t.shard !(t.malice) Corrupt_packet ->
       Malice.record m Corrupt_packet;
       let n = 1 + Sim.Rng.int (Malice.rng m) 4 in
       for _ = 1 to n do
@@ -142,7 +149,7 @@ let faulty_sqe t (sqe : Abi.Uring_abi.sqe) =
          | Abi.Uring_abi.Read | Abi.Uring_abi.Write | Abi.Uring_abi.Send ->
              sqe.len > 1
          | _ -> false)
-         && Faults.roll !(t.faults) Faults.Short_io ->
+         && Faults.roll ?shard:t.shard !(t.faults) Faults.Short_io ->
       Faults.record f Faults.Short_io;
       { sqe with len = 1 + Sim.Rng.int (Faults.rng f) (sqe.len - 1) }
   | _ -> sqe
@@ -170,7 +177,7 @@ let worker t () =
         t.submitted <- t.submitted + 1;
         Sim.Engine.delay Sgx.Params.iouring_kernel_per_op;
         (match !(t.faults) with
-        | Some f when Faults.roll !(t.faults) Faults.Transient_errno ->
+        | Some f when Faults.roll ?shard:t.shard !(t.faults) Faults.Transient_errno ->
             (* The op never ran; bounce it with a retryable errno. *)
             Faults.record f Faults.Transient_errno;
             post_cqe t
@@ -201,7 +208,7 @@ let worker t () =
      everything. *)
   and next () =
     match !(t.faults) with
-    | Some f when Faults.roll !(t.faults) Faults.Partial_cqe ->
+    | Some f when Faults.roll ?shard:t.shard !(t.faults) Faults.Partial_cqe ->
         Faults.record f Faults.Partial_cqe
     | _ -> drain ()
   in
@@ -244,6 +251,7 @@ let create engine ~alloc ~entries ~exec ~malice ~faults =
       completed = 0;
       dropped = 0;
       last_user_data = 0L;
+      shard = None;
     }
   in
   Sim.Engine.spawn engine ~name:(Printf.sprintf "uring%d-worker" t.id) (worker t);

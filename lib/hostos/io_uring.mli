@@ -31,6 +31,12 @@ val create :
 
 val uring_id : t -> int
 
+val set_shard : t -> int -> unit
+(** Tag this ring with the datapath shard of its owning thread, giving
+    fault/malice rolls on the io_uring path their shard context. *)
+
+val shard : t -> int option
+
 val sq_layout : t -> Rings.Layout.t
 
 val cq_layout : t -> Rings.Layout.t

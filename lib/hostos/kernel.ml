@@ -348,11 +348,11 @@ let xsk_attach t ~xsk ~nic_id ~queue ~prog =
 (* Wakeups pay the syscall cost regardless; whether the kernel then acts
    on them is where faults bite — a dropped wakeup is swallowed after
    the trap, a delayed one takes effect fault_wakeup_delay later. *)
-let faulty_wakeup t k =
+let faulty_wakeup ?shard t k =
   match !(t.faults_ref) with
-  | Some f when Faults.roll !(t.faults_ref) Faults.Drop_wakeup ->
+  | Some f when Faults.roll ?shard !(t.faults_ref) Faults.Drop_wakeup ->
       Faults.record f Faults.Drop_wakeup
-  | Some f when Faults.roll !(t.faults_ref) Faults.Delay_wakeup ->
+  | Some f when Faults.roll ?shard !(t.faults_ref) Faults.Delay_wakeup ->
       Faults.record f Faults.Delay_wakeup;
       Sim.Engine.delay Sgx.Params.fault_wakeup_delay;
       k ()
@@ -360,11 +360,11 @@ let faulty_wakeup t k =
 
 let xsk_tx_wakeup t xsk =
   syscall t;
-  faulty_wakeup t (fun () -> Xdp.tx_wakeup t.xdp xsk)
+  faulty_wakeup ?shard:(Xdp.shard xsk) t (fun () -> Xdp.tx_wakeup t.xdp xsk)
 
 let xsk_rx_wakeup t xsk =
   syscall t;
-  faulty_wakeup t (fun () -> Xdp.rx_wakeup t.xdp xsk)
+  faulty_wakeup ?shard:(Xdp.shard xsk) t (fun () -> Xdp.rx_wakeup t.xdp xsk)
 
 (* Execute one SQE on behalf of the io_uring worker.  [region] is the
    shared region SQE buffer offsets refer to. *)
@@ -478,4 +478,5 @@ let uring_create t ~alloc ~entries =
 
 let uring_enter t uring =
   syscall t;
-  faulty_wakeup t (fun () -> Io_uring.enter uring)
+  faulty_wakeup ?shard:(Io_uring.shard uring) t (fun () ->
+      Io_uring.enter uring)

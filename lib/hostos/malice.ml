@@ -17,7 +17,7 @@ type trigger =
   | At_step of int
   | Burst of { first_step : int; last_step : int; probability : float }
 
-type arming = { trigger : trigger; mutable spent : bool }
+type arming = { trigger : trigger; shard : int option; mutable spent : bool }
 
 let all_attacks =
   [
@@ -95,21 +95,25 @@ let install t attack arming =
   | Some l -> l := !l @ [ arming ]
   | None -> Hashtbl.replace t.armed attack (ref [ arming ])
 
-let arm t ?(probability = 1.0) attack =
+let arm t ?(probability = 1.0) ?shard attack =
   (* Replace semantics: re-arming an always/probability attack resets
      whatever schedule was installed before (test suites rely on it). *)
   Hashtbl.replace t.armed attack
-    (ref [ { trigger = Probability probability; spent = false } ])
+    (ref [ { trigger = Probability probability; shard; spent = false } ])
 
-let arm_once t ?(probability = 1.0) attack =
-  install t attack { trigger = Once probability; spent = false }
+let arm_once t ?(probability = 1.0) ?shard attack =
+  install t attack { trigger = Once probability; shard; spent = false }
 
-let arm_at t ~step attack =
-  install t attack { trigger = At_step step; spent = false }
+let arm_at t ~step ?shard attack =
+  install t attack { trigger = At_step step; shard; spent = false }
 
-let arm_burst t ~first_step ~last_step ?(probability = 1.0) attack =
+let arm_burst t ~first_step ~last_step ?(probability = 1.0) ?shard attack =
   install t attack
-    { trigger = Burst { first_step; last_step; probability }; spent = false }
+    {
+      trigger = Burst { first_step; last_step; probability };
+      shard;
+      spent = false;
+    }
 
 let disarm t attack = Hashtbl.remove t.armed attack
 
@@ -124,7 +128,13 @@ let step t = t.step
 
 let hit t p = p >= 1.0 || Sim.Rng.float t.rng 1.0 < p
 
-let roll t attack =
+(* Same shard-pinning discipline as {!Faults.roll}. *)
+let shard_matches arming_shard roll_shard =
+  match arming_shard with
+  | None -> true
+  | Some k -> ( match roll_shard with Some k' -> k = k' | None -> false)
+
+let roll ?shard t attack =
   match t with
   | None -> false
   | Some t -> (
@@ -134,6 +144,7 @@ let roll t attack =
           List.exists
             (fun a ->
               (not a.spent)
+              && shard_matches a.shard shard
               &&
               match a.trigger with
               | Probability p -> hit t p

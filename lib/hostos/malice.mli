@@ -50,21 +50,29 @@ val create : ?obs:Obs.t -> seed:int64 -> unit -> t
     attack — and records a ["malice"] trace instant per tampering, so
     campaign reports and live metrics read the same cells. *)
 
-val arm : t -> ?probability:float -> attack -> unit
+val arm : t -> ?probability:float -> ?shard:int -> attack -> unit
 (** Make [attack] fire with the given probability (default 1.0) at each
     opportunity.  Replaces any schedule previously installed for the
-    attack. *)
+    attack.  [shard] pins the arming to one datapath shard: it matches
+    only opportunities whose {!roll} carries the same shard context. *)
 
-val arm_once : t -> ?probability:float -> attack -> unit
+val arm_once : t -> ?probability:float -> ?shard:int -> attack -> unit
 (** Fire at most once: each opportunity rolls with [probability]
     (default 1.0 — fire at the very next opportunity); the arming is
     spent on the first hit. *)
 
-val arm_at : t -> step:int -> attack -> unit
+val arm_at : t -> step:int -> ?shard:int -> attack -> unit
 (** Fire once at the first opportunity on or after campaign [step]
     (see {!set_step}).  Deterministic: consumes no randomness. *)
 
-val arm_burst : t -> first_step:int -> last_step:int -> ?probability:float -> attack -> unit
+val arm_burst :
+  t ->
+  first_step:int ->
+  last_step:int ->
+  ?probability:float ->
+  ?shard:int ->
+  attack ->
+  unit
 (** Fire with [probability] at every opportunity while the campaign
     step is within [first_step..last_step] (inclusive). *)
 
@@ -79,8 +87,10 @@ val set_step : t -> int -> unit
 
 val step : t -> int
 
-val roll : t option -> attack -> bool
-(** Should the attack fire now?  [None] (no adversary) is never. *)
+val roll : ?shard:int -> t option -> attack -> bool
+(** Should the attack fire now?  [None] (no adversary) is never.
+    [shard] is the datapath shard of this opportunity: shard-pinned
+    armings match only rolls on their shard. *)
 
 val rng : t -> Sim.Rng.t
 

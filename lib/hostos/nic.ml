@@ -6,6 +6,7 @@ type t = {
   tx_queue : Bytes.t Sim.Mailbox.t;
   rx_queues : Bytes.t Sim.Mailbox.t array;
   mutable handlers : (Bytes.t -> unit) array;
+  udp_rx : int array; (* UDP frames enqueued, per receive queue *)
   mutable peer : t option;
   faults : Faults.t option ref;
   key : string; (* stats key prefix *)
@@ -27,16 +28,27 @@ let tx_packets t = Sim.Stats.get (stats t) (t.key ^ ".tx")
 
 let drops t = Sim.Stats.get (stats t) (t.key ^ ".drops")
 
+(* Hardware RSS: the symmetric Toeplitz flow hash pins each UDP flow to
+   one receive queue for the NIC's lifetime.  Non-UDP traffic (ARP) has
+   no 4-tuple and lands on queue 0. *)
 let steer t frame =
-  match Packet.Frame.peek_udp_ports frame with
-  | Some (src_port, _) -> src_port mod Array.length t.rx_queues
+  match Packet.Frame.peek_udp_flow frame with
+  | Some (src_ip, dst_ip, src_port, dst_port) ->
+      Packet.Rss.queue
+        ~queues:(Array.length t.rx_queues)
+        ~src_ip ~dst_ip ~src_port ~dst_port
   | None -> 0
 
 let deliver t frame =
   let q = steer t frame in
-  if Sim.Mailbox.try_put t.rx_queues.(q) frame then
-    Sim.Stats.incr (stats t) (t.key ^ ".rx")
+  if Sim.Mailbox.try_put t.rx_queues.(q) frame then begin
+    Sim.Stats.incr (stats t) (t.key ^ ".rx");
+    if Packet.Frame.peek_udp_flow frame <> None then
+      t.udp_rx.(q) <- t.udp_rx.(q) + 1
+  end
   else Sim.Stats.incr (stats t) (t.key ^ ".drops")
+
+let udp_rx_per_queue t = Array.copy t.udp_rx
 
 (* The transmit process: serialize frames at the link rate and deliver
    them to the wired peer. *)
@@ -53,7 +65,7 @@ let tx_process t () =
     | _ -> ());
     let wire_cycles =
       Int64.of_float
-        (float_of_int (Bytes.length frame) *. Sgx.Params.wire_cycles_per_byte)
+        (float_of_int (Bytes.length frame) *. !Sgx.Params.live_wire_cycles_per_byte)
     in
     Sim.Engine.delay wire_cycles;
     Sim.Stats.incr (stats t) (t.key ^ ".tx");
@@ -85,6 +97,7 @@ let create ?(faults = ref None) engine ~id ~mac ~ip ~queues =
         Array.init queues (fun _ ->
             Sim.Mailbox.create ~capacity:Sgx.Params.nic_queue_len ());
       handlers = Array.make queues (fun _ -> ());
+      udp_rx = Array.make queues 0;
       peer = None;
       faults;
       key = Printf.sprintf "nic.%d" id;

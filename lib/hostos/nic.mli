@@ -51,6 +51,12 @@ val steer : t -> Bytes.t -> int
 
 val rx_packets : t -> int
 
+val udp_rx_per_queue : t -> int array
+(** UDP frames enqueued per receive queue (snapshot copy).  Ground truth
+    for "this queue — hence its datapath shard — was offered traffic":
+    apps compare it against per-shard delivery counters to catch a shard
+    that went silently idle. *)
+
 val tx_packets : t -> int
 
 val drops : t -> int

@@ -61,7 +61,7 @@ let accept _t l =
 
 let wire_delay len =
   Sim.Engine.delay
-    (Int64.of_float (float_of_int len *. Sgx.Params.wire_cycles_per_byte))
+    (Int64.of_float (float_of_int len *. !Sgx.Params.live_wire_cycles_per_byte))
 
 let connect t ~ip ~port =
   match Hashtbl.find_opt t.listeners port with

@@ -25,6 +25,9 @@ type xsk = {
   mutable rx_delivered : int;
   mutable rx_dropped : int;
   mutable tx_sent : int;
+  (* Which datapath shard this XSK serves — the context shard-pinned
+     Malice armings match against.  None until the runtime attaches. *)
+  mutable shard : int option;
 }
 
 type t = {
@@ -61,9 +64,14 @@ let create_xsk t ~alloc ~umem_size ~frame_size ~ring_size =
     rx_delivered = 0;
     rx_dropped = 0;
     tx_sent = 0;
+    shard = None;
   }
 
 let xsk_id x = x.id
+
+let set_shard x shard = x.shard <- Some shard
+
+let shard x = x.shard
 
 let fill_layout x = x.fill
 
@@ -100,21 +108,21 @@ let tamper_after_rx t x =
   match !(t.malice) with
   | None -> ()
   | Some m ->
-      if Malice.roll !(t.malice) Prod_overshoot then begin
+      if Malice.roll ?shard:x.shard !(t.malice) Prod_overshoot then begin
         Malice.record m Prod_overshoot;
         Malice.smash_prod x.rx
           (Rings.U32.add (Rings.Layout.read_prod x.rx) (x.rx.Rings.Layout.size + 7))
       end;
-      if Malice.roll !(t.malice) Prod_regress then begin
+      if Malice.roll ?shard:x.shard !(t.malice) Prod_regress then begin
         Malice.record m Prod_regress;
         Malice.smash_prod x.rx (Rings.U32.sub (Rings.Layout.read_prod x.rx) 2)
       end;
-      if Malice.roll !(t.malice) Cons_overshoot then begin
+      if Malice.roll ?shard:x.shard !(t.malice) Cons_overshoot then begin
         Malice.record m Cons_overshoot;
         Malice.smash_cons x.fill
           (Rings.U32.add (Rings.Layout.read_prod x.fill) (x.fill.Rings.Layout.size + 5))
       end;
-      if Malice.roll !(t.malice) Cons_regress then begin
+      if Malice.roll ?shard:x.shard !(t.malice) Cons_regress then begin
         Malice.record m Cons_regress;
         Malice.smash_cons x.fill (Rings.U32.sub (Rings.Layout.read_cons x.fill) 3)
       end
@@ -124,29 +132,29 @@ let rx_descriptor t x ~offset ~len =
   match !(t.malice) with
   | None -> Abi.Xsk_desc.encode ~offset ~len
   | Some m ->
-      if Malice.roll !(t.malice) Bad_umem_offset then begin
+      if Malice.roll ?shard:x.shard !(t.malice) Bad_umem_offset then begin
         Malice.record m Bad_umem_offset;
         Abi.Xsk_desc.encode ~offset:(x.umem_size + (4 * x.frame_size)) ~len
       end
-      else if Malice.roll !(t.malice) Misaligned_offset then begin
+      else if Malice.roll ?shard:x.shard !(t.malice) Misaligned_offset then begin
         Malice.record m Misaligned_offset;
         Abi.Xsk_desc.encode ~offset:(offset + 3) ~len
       end
-      else if Malice.roll !(t.malice) Foreign_frame then begin
+      else if Malice.roll ?shard:x.shard !(t.malice) Foreign_frame then begin
         Malice.record m Foreign_frame;
         (* A perfectly in-bounds, aligned frame — just not one the FM
            handed to this routine. *)
         Abi.Xsk_desc.encode ~offset:(x.umem_size - x.frame_size) ~len
       end
-      else if Malice.roll !(t.malice) Oversize_len then begin
+      else if Malice.roll ?shard:x.shard !(t.malice) Oversize_len then begin
         Malice.record m Oversize_len;
         Abi.Xsk_desc.encode ~offset ~len:(2 * x.frame_size)
       end
       else Abi.Xsk_desc.encode ~offset ~len
 
-let maybe_corrupt t frame =
+let maybe_corrupt t x frame =
   match !(t.malice) with
-  | Some m when Malice.roll !(t.malice) Corrupt_packet ->
+  | Some m when Malice.roll ?shard:x.shard !(t.malice) Corrupt_packet ->
       Malice.record m Corrupt_packet;
       let frame = Bytes.copy frame in
       let n = 1 + Sim.Rng.int (Malice.rng m) 4 in
@@ -161,7 +169,7 @@ let maybe_corrupt t frame =
    write the packet into UMem, announce it on xRX. *)
 let rx_deliver t x frame =
   charge_per_packet ();
-  let frame = maybe_corrupt t frame in
+  let frame = maybe_corrupt t x frame in
   let len = Bytes.length frame in
   if len > x.frame_size then x.rx_dropped <- x.rx_dropped + 1
   else if Kring.free x.krx <= 0 then x.rx_dropped <- x.rx_dropped + 1
@@ -213,10 +221,10 @@ let tx_drain t x =
         end;
         let compl_off =
           match !(t.malice) with
-          | Some m when Malice.roll !(t.malice) Foreign_frame ->
+          | Some m when Malice.roll ?shard:x.shard !(t.malice) Foreign_frame ->
               Malice.record m Foreign_frame;
               0 (* recycle a frame the FM did not send *)
-          | Some m when Malice.roll !(t.malice) Bad_umem_offset ->
+          | Some m when Malice.roll ?shard:x.shard !(t.malice) Bad_umem_offset ->
               Malice.record m Bad_umem_offset;
               x.umem_size + x.frame_size
           | _ -> offset

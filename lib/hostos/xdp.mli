@@ -40,6 +40,13 @@ val create_xsk :
 
 val xsk_id : xsk -> int
 
+val set_shard : xsk -> int -> unit
+(** Tag this XSK with the datapath shard it serves.  Malice rolls on its
+    rings then carry this shard context, so shard-pinned attacks hit
+    only their target shard's XSKs. *)
+
+val shard : xsk -> int option
+
 val fill_layout : xsk -> Rings.Layout.t
 
 val rx_layout : xsk -> Rings.Layout.t

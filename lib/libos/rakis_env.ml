@@ -106,7 +106,7 @@ let poll env proxy specs ~timeout =
           else begin
             (* Wait for stack activity (or the timer). *)
             let conds =
-              List.filter_map
+              List.concat_map
                 (fun (_, _, sock) -> R.udp_activity env.runtime sock)
                 rakis_socks
             in

@@ -15,13 +15,15 @@ type t = {
   metrics : Obs.Metrics.t;
   rx_delivered : Obs.Metrics.counter;
   drops : (string, Obs.Metrics.counter) Hashtbl.t;
+  name : string;
   mutable next_ephemeral : int;
 }
 
-let create ?obs engine ~mac ~ip ?(locking = `Fine) () =
+let create ?obs ?name ?arp engine ~mac ~ip ?(locking = `Fine) () =
   let metrics =
     match obs with Some o -> Obs.metrics o | None -> Obs.Metrics.create ()
   in
+  let name = Option.value name ~default:"stack" in
   {
     engine;
     mac;
@@ -30,11 +32,13 @@ let create ?obs engine ~mac ~ip ?(locking = `Fine) () =
     global_lock = Sim.Lock.create ();
     table_lock = Sim.Lock.create ();
     sockets = Hashtbl.create 16;
-    arp = Arp_cache.create engine ();
+    arp =
+      (match arp with Some a -> a | None -> Arp_cache.create engine ());
     transmit = None;
     metrics;
-    rx_delivered = Obs.Metrics.counter metrics "stack.rx_delivered";
+    rx_delivered = Obs.Metrics.counter metrics (name ^ ".rx_delivered");
     drops = Hashtbl.create 8;
+    name;
     next_ephemeral = 50000;
   }
 
@@ -53,7 +57,7 @@ let drop t reason =
   match Hashtbl.find_opt t.drops reason with
   | Some c -> Obs.Metrics.incr c
   | None ->
-      let c = Obs.Metrics.counter t.metrics ("stack.drop." ^ reason) in
+      let c = Obs.Metrics.counter t.metrics (t.name ^ ".drop." ^ reason) in
       Obs.Metrics.incr c;
       Hashtbl.add t.drops reason c
 

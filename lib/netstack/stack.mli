@@ -22,13 +22,22 @@ type send_error = Unresolvable | Payload_too_big | No_transmit
 
 val create :
   ?obs:Obs.t ->
+  ?name:string ->
+  ?arp:Arp_cache.t ->
   Sim.Engine.t ->
   mac:Packet.Addr.Mac.t ->
   ip:Packet.Addr.Ip.t ->
   ?locking:locking ->
   unit ->
   t
-(** [obs] registers the stack's delivery counter
+(** [name] (default ["stack"]) prefixes the metric names, so per-shard
+    stack instances get distinct counters.  [arp] shares an existing ARP
+    cache instead of creating one: sharded runtimes pass one cache to
+    every shard stack, because ARP traffic has no 4-tuple and RSS pins
+    it to queue 0 — a private per-shard cache would never hear replies
+    on other shards.
+
+    [obs] registers the stack's delivery counter
     (["stack.rx_delivered"]) and per-cause drop counters
     (["stack.drop.<reason>"], created on first occurrence) in the
     shared registry; without it they live in a private one and are

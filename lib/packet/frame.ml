@@ -93,3 +93,23 @@ let peek_udp_ports frame =
     if Bytes.length frame < udp_off + 4 then None
     else
       Some (Bytes.get_uint16_be frame udp_off, Bytes.get_uint16_be frame (udp_off + 2))
+
+let peek_udp_flow frame =
+  (* The RSS 4-tuple, as cheaply as [peek_udp_ports]: IPs in host order
+     straight from the IPv4 header (src at 26, dst at 30). *)
+  if Bytes.length frame < frame_overhead then None
+  else if Bytes.get_uint16_be frame 12 <> 0x0800 then None
+  else if Bytes.get_uint8 frame 23 <> 17 then None
+  else
+    let ihl = (Bytes.get_uint8 frame 14 land 0xf) * 4 in
+    let udp_off = Eth.header_size + ihl in
+    if Bytes.length frame < udp_off + 4 then None
+    else
+      let ip32 off =
+        (Bytes.get_uint16_be frame off lsl 16) lor Bytes.get_uint16_be frame (off + 2)
+      in
+      Some
+        ( ip32 (Eth.header_size + 12),
+          ip32 (Eth.header_size + 16),
+          Bytes.get_uint16_be frame udp_off,
+          Bytes.get_uint16_be frame (udp_off + 2) )

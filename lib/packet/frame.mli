@@ -34,3 +34,7 @@ val pp_dissect_error : Format.formatter -> dissect_error -> unit
 val peek_udp_ports : Bytes.t -> (int * int) option
 (** [(src_port, dst_port)] of a UDP frame, without any validation — used
     only for NIC receive-queue steering, mirroring hardware RSS. *)
+
+val peek_udp_flow : Bytes.t -> (int * int * int * int) option
+(** [(src_ip, dst_ip, src_port, dst_port)] of a UDP frame (IPs as
+    host-order ints), unvalidated — the {!Rss} hash input. *)

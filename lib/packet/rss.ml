@@ -1,0 +1,77 @@
+(* Receive-side scaling: the deterministic Toeplitz hash NICs use to
+   pin a flow to one receive queue.  The hash runs over the 12-byte
+   UDP/IPv4 4-tuple (src ip, dst ip, src port, dst port) against a
+   fixed 40-byte key — the same construction as Microsoft's RSS spec,
+   which real AF_XDP deployments rely on so that one XSK bound to one
+   queue sees every packet of "its" flows and none of anyone else's.
+
+   The tuple is canonicalized (lower endpoint first) before hashing, so
+   the hash is symmetric: both directions of a flow land on the same
+   queue.  The enclave runtime exploits this to give flows shard
+   affinity — the shard that receives a flow's datagrams is the shard
+   whose XSK transmits the replies. *)
+
+(* The de-facto standard 40-byte RSS key (Microsoft's example key, as
+   shipped by ixgbe/i40e/mlx5 by default). *)
+let key =
+  [|
+    0x6d; 0x5a; 0x56; 0xda; 0x25; 0x5b; 0x0e; 0xc2;
+    0x41; 0x67; 0x25; 0x3d; 0x43; 0xa3; 0x8f; 0xb0;
+    0xd0; 0xca; 0x2b; 0xcb; 0xae; 0x7b; 0x30; 0xb4;
+    0x77; 0xcb; 0x2d; 0xa3; 0x80; 0x30; 0xf2; 0x0c;
+    0x6a; 0x42; 0xb7; 0x3b; 0xbe; 0xac; 0x01; 0xfa;
+  |]
+
+(* 32-bit window of the key starting at bit [bit]. *)
+let key_window bit =
+  let byte = bit / 8 and shift = bit mod 8 in
+  let b i = if i < Array.length key then key.(i) else 0 in
+  let w40 =
+    (b byte lsl 32)
+    lor (b (byte + 1) lsl 24)
+    lor (b (byte + 2) lsl 16)
+    lor (b (byte + 3) lsl 8)
+    lor b (byte + 4)
+  in
+  (w40 lsr (8 - shift)) land 0xffffffff
+
+let fold_byte acc ~bit v =
+  let acc = ref acc in
+  for i = 0 to 7 do
+    if v land (0x80 lsr i) <> 0 then acc := !acc lxor key_window (bit + i)
+  done;
+  !acc
+
+(* Toeplitz over the canonicalized 12-byte tuple.  Endpoints are
+   ordered by (ip, port) so hash(a->b) = hash(b->a). *)
+let hash ~src_ip ~dst_ip ~src_port ~dst_port =
+  let (lo_ip, lo_port), (hi_ip, hi_port) =
+    if (src_ip, src_port) <= (dst_ip, dst_port) then
+      ((src_ip, src_port), (dst_ip, dst_port))
+    else ((dst_ip, dst_port), (src_ip, src_port))
+  in
+  let bytes =
+    [|
+      (lo_ip lsr 24) land 0xff;
+      (lo_ip lsr 16) land 0xff;
+      (lo_ip lsr 8) land 0xff;
+      lo_ip land 0xff;
+      (hi_ip lsr 24) land 0xff;
+      (hi_ip lsr 16) land 0xff;
+      (hi_ip lsr 8) land 0xff;
+      hi_ip land 0xff;
+      (lo_port lsr 8) land 0xff;
+      lo_port land 0xff;
+      (hi_port lsr 8) land 0xff;
+      hi_port land 0xff;
+    |]
+  in
+  let acc = ref 0 in
+  Array.iteri (fun i v -> acc := fold_byte !acc ~bit:(i * 8) v) bytes;
+  !acc land 0xffffffff
+
+(* Queue selection: hash through a mod-[queues] indirection, as the
+   simulated NIC has no 128-entry indirection table to program. *)
+let queue ~queues ~src_ip ~dst_ip ~src_port ~dst_port =
+  if queues <= 1 then 0
+  else hash ~src_ip ~dst_ip ~src_port ~dst_port mod queues

@@ -1,0 +1,14 @@
+(** Receive-side scaling: the symmetric Toeplitz flow hash used to pin
+    each UDP flow to one NIC queue (and hence one enclave datapath
+    shard).  Deterministic — no per-boot seeding — so a flow can never
+    migrate queues mid-run, and symmetric — the tuple is canonicalized
+    before hashing — so both directions of a flow share a queue. *)
+
+val hash :
+  src_ip:int -> dst_ip:int -> src_port:int -> dst_port:int -> int
+(** 32-bit Toeplitz hash of the canonicalized 4-tuple (IPs as host-order
+    [Addr.Ip.to_int] values). *)
+
+val queue :
+  queues:int -> src_ip:int -> dst_ip:int -> src_port:int -> dst_port:int -> int
+(** The receive queue for a flow: [hash mod queues] (0 when [queues <= 1]). *)

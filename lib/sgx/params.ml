@@ -73,3 +73,12 @@ let udp_socket_buffer = 16 * 1024 * 1024
 let app_cycles_per_request = 1500L
 
 let wire_cycles_per_byte = Sim.Cycles.per_byte_at_gbps nic_link_gbps
+
+(* The link rate actually charged by the NIC transmit engines.  A ref so
+   the queue-scaling bench sweep can model a faster link (the 25 Gbps
+   default saturates before a single enclave shard does); everything
+   else leaves it alone. *)
+let live_wire_cycles_per_byte = ref wire_cycles_per_byte
+
+let set_link_gbps gbps =
+  live_wire_cycles_per_byte := Sim.Cycles.per_byte_at_gbps gbps

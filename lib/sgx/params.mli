@@ -142,3 +142,12 @@ val app_cycles_per_request : int64
 
 val wire_cycles_per_byte : float
 (** Link serialization cost, from {!nic_link_gbps}. *)
+
+val live_wire_cycles_per_byte : float ref
+(** The serialization cost NIC transmit engines charge right now.
+    Defaults to {!wire_cycles_per_byte}; the bench queue sweep raises
+    the link rate through {!set_link_gbps} so aggregate throughput is
+    bounded by the enclave datapath, not the wire. *)
+
+val set_link_gbps : float -> unit
+(** Reset {!live_wire_cycles_per_byte} for a [gbps] link. *)

@@ -43,6 +43,7 @@ type outcome = {
   datapath : datapath;
   seed : int64;
   budget : int;
+  queues : int;  (* datapath shards the machine booted with *)
   schedule : schedule;
   steps_run : int;
   ok : int;  (* operations that completed and verified against the model *)
@@ -58,9 +59,10 @@ type outcome = {
   invariant_ok : bool;
   watchdog_restarts : int;
   degraded_scans : int;
-  breaker_opens : int;  (* summed over the xsk/uring/mm breakers *)
+  breaker_opens : int;  (* summed over every shard's xsk breaker + uring/mm *)
   breaker_failovers : int;
   breaker_closes : int;
+  shard_opens : int list;  (* per-shard XSK breaker trips, shard order *)
   slow_calls : int;  (* ops completed via the exit-based slow path *)
   violations : violation list;
   trace_tail : string list;
@@ -364,9 +366,11 @@ let run_iouring_workload (h : Apps.Harness.t) st =
 
 (* {1 Running} *)
 
-let run ~datapath ~seed ?(budget = 64) ?(faults = []) schedule =
+let run ~datapath ~seed ?(budget = 64) ?(queues = 1) ?(faults = []) schedule =
   match
-    Apps.Harness.make Libos.Env.Rakis_sgx ~rakis_config:campaign_config ()
+    Apps.Harness.make Libos.Env.Rakis_sgx
+      ~rakis_config:{ campaign_config with num_queues = queues }
+      ()
   with
   | Error e -> failwith ("campaign: harness boot failed: " ^ e)
   | Ok h ->
@@ -432,13 +436,22 @@ let run ~datapath ~seed ?(budget = 64) ?(faults = []) schedule =
               Rakis.Runtime.invariant_holds rt )
         | None -> (0, 0, false)
       in
-      let wd_restarts, degraded_scans, b_opens, b_failovers, b_closes, slow_calls
-          =
+      let ( wd_restarts,
+            degraded_scans,
+            b_opens,
+            b_failovers,
+            b_closes,
+            shard_opens,
+            slow_calls ) =
         match Libos.Env.runtime h.env with
-        | None -> (0, 0, 0, 0, 0, 0)
+        | None -> (0, 0, 0, 0, 0, [], 0)
         | Some rt ->
+            let shards =
+              List.init (Rakis.Runtime.shard_count rt)
+                (Rakis.Runtime.shard_breaker rt)
+            in
             let sum f =
-              f (Rakis.Runtime.xsk_breaker rt)
+              List.fold_left (fun acc b -> acc + f b) 0 shards
               + f (Rakis.Runtime.uring_breaker rt)
               + f (Rakis.Runtime.mm_breaker rt)
             in
@@ -447,6 +460,7 @@ let run ~datapath ~seed ?(budget = 64) ?(faults = []) schedule =
               sum Rakis.Health.opens,
               sum Rakis.Health.failovers,
               sum Rakis.Health.closes,
+              List.map Rakis.Health.opens shards,
               Obs.Metrics.get_counter
                 (Obs.metrics (Rakis.Runtime.obs rt))
                 "health.slow_calls" )
@@ -465,6 +479,7 @@ let run ~datapath ~seed ?(budget = 64) ?(faults = []) schedule =
         datapath;
         seed;
         budget;
+        queues;
         schedule;
         steps_run = st.steps_run;
         ok = st.ok;
@@ -486,6 +501,7 @@ let run ~datapath ~seed ?(budget = 64) ?(faults = []) schedule =
         breaker_opens = b_opens;
         breaker_failovers = b_failovers;
         breaker_closes = b_closes;
+        shard_opens;
         slow_calls;
         violations = List.rev st.violations;
         trace_tail;
@@ -538,7 +554,7 @@ let fault_soup ~seed ?(entries = 6) ~budget () =
                 Hostos.Faults.Burst
                   { first_step = first; last_step = last; probability = 0.3 })
       in
-      { Hostos.Faults.fault; when_ })
+      { Hostos.Faults.fault; when_; shard = None })
 
 (* Canonical breaker-failover fault window (DESIGN.md §9): a hard
    (probability-1) burst over the middle of the run, so the breaker
@@ -563,6 +579,7 @@ let failover_plan ~datapath ~budget =
             last_step = budget / 2;
             probability = 1.0;
           };
+      shard = None;
     };
   ]
 
@@ -580,9 +597,15 @@ let repro (o : outcome) =
     Printf.sprintf "%s:%Ld:%d:%s" (datapath_name o.datapath) o.seed o.budget
       (String.concat ";" (List.map entry_to_string o.schedule))
   in
-  (* Fault-free tokens keep the historical 4-segment shape; a fifth
-     segment carries the fault plan so replay is bit-for-bit. *)
-  if o.fault_plan = [] then base
+  (* Fault-free single-queue tokens keep the historical 4-segment
+     shape; a fifth segment carries the fault plan so replay is
+     bit-for-bit, and multi-queue runs append a sixth ["q<n>"] segment
+     (with an empty fifth when fault-free) for the shard count. *)
+  if o.queues > 1 then
+    Printf.sprintf "%s:%s:q%d" base
+      (Hostos.Faults.plan_to_string o.fault_plan)
+      o.queues
+  else if o.fault_plan = [] then base
   else base ^ ":" ^ Hostos.Faults.plan_to_string o.fault_plan
 
 let parse_entry s =
@@ -609,7 +632,7 @@ let parse_entry s =
               | None -> Error (Printf.sprintf "bad burst %S" where))))
 
 let parse_repro s =
-  let parse dp seed budget entries fault_part =
+  let parse dp seed budget entries fault_part queues =
     let datapath =
       match dp with
       | "xsk" -> Some Xsk
@@ -629,21 +652,30 @@ let parse_repro s =
               | Error _ as e -> e)
         in
         match (collect [] parts, Hostos.Faults.plan_of_string fault_part) with
-        | Ok schedule, Ok faults -> Ok (datapath, seed, budget, schedule, faults)
+        | Ok schedule, Ok faults ->
+            Ok (datapath, seed, budget, schedule, faults, queues)
         | (Error _ as e), _ -> e
         | _, Error e -> Error e)
     | _ -> Error (Printf.sprintf "bad repro header in %S" s)
   in
   match String.split_on_char ':' s with
-  | [ dp; seed; budget; entries ] -> parse dp seed budget entries ""
+  | [ dp; seed; budget; entries ] -> parse dp seed budget entries "" 1
   | [ dp; seed; budget; entries; fault_part ] ->
-      parse dp seed budget entries fault_part
+      parse dp seed budget entries fault_part 1
+  | [ dp; seed; budget; entries; fault_part; qpart ] -> (
+      match
+        if String.length qpart > 1 && qpart.[0] = 'q' then
+          int_of_string_opt (String.sub qpart 1 (String.length qpart - 1))
+        else None
+      with
+      | Some q when q >= 1 -> parse dp seed budget entries fault_part q
+      | _ -> Error (Printf.sprintf "bad queue segment %S" qpart))
   | _ -> Error (Printf.sprintf "bad repro string %S" s)
 
 let run_repro s =
   Result.map
-    (fun (datapath, seed, budget, schedule, faults) ->
-      run ~datapath ~seed ~budget ~faults schedule)
+    (fun (datapath, seed, budget, schedule, faults, queues) ->
+      run ~datapath ~seed ~budget ~queues ~faults schedule)
     (parse_repro s)
 
 (* {1 Shrinking a failing campaign} *)
@@ -655,7 +687,7 @@ let shrink_failure (o : outcome) =
     ~fails:(fun schedule ->
       failed
         (run ~datapath:o.datapath ~seed:o.seed ~budget:o.budget
-           ~faults:o.fault_plan schedule))
+           ~queues:o.queues ~faults:o.fault_plan schedule))
     o.schedule
 
 (* {1 Reporting} *)
@@ -706,6 +738,9 @@ let pp_outcome ppf (o : outcome) =
        watchdog_restarts=%d degraded_scans=%d"
       o.breaker_opens o.breaker_failovers o.breaker_closes o.slow_calls
       o.watchdog_restarts o.degraded_scans;
+  if o.queues > 1 then
+    Format.fprintf ppf "@,queues=%d shard xsk opens: [%s]" o.queues
+      (String.concat "; " (List.map string_of_int o.shard_opens));
   if o.trace_tail <> [] then begin
     Format.fprintf ppf "@,last %d trace events before the failure:"
       (List.length o.trace_tail);

@@ -34,6 +34,7 @@ type outcome = {
   datapath : datapath;
   seed : int64;
   budget : int;  (** workload steps driven *)
+  queues : int;  (** datapath shards the machine booted with *)
   schedule : schedule;
   steps_run : int;
   ok : int;  (** operations verified against the golden model *)
@@ -53,10 +54,14 @@ type outcome = {
   watchdog_restarts : int;  (** Monitor restarts by the watchdog *)
   degraded_scans : int;  (** in-enclave scans run in the MM's stead *)
   breaker_opens : int;
-      (** circuit-breaker trips, summed over the xsk/uring/mm breakers
-          (DESIGN.md §9) *)
+      (** circuit-breaker trips, summed over every shard's XSK breaker
+          plus the uring/mm breakers (DESIGN.md §9, §10) *)
   breaker_failovers : int;  (** ops rerouted to the exit-based slow path *)
   breaker_closes : int;  (** recoveries: half-open probes that failed back *)
+  shard_opens : int list;
+      (** per-shard XSK breaker trips in shard order ([queues] entries):
+          the containment witness — a fault pinned to shard [k] must
+          leave every other entry 0 *)
   slow_calls : int;  (** host syscalls the slow path actually performed *)
   violations : violation list;
   trace_tail : string list;
@@ -70,17 +75,21 @@ val run :
   datapath:datapath ->
   seed:int64 ->
   ?budget:int ->
+  ?queues:int ->
   ?faults:Hostos.Faults.plan ->
   schedule ->
   outcome
 (** Boot a fresh RAKIS-SGX machine, install the schedule, drive
     [budget] (default 64) verifying workload steps, and collect the
-    outcome.  A non-empty [faults] plan additionally arms a
-    {!Hostos.Faults} injector (seeded from [seed], so replays are
-    bit-for-bit) and the enclave watchdog ({!Rakis.Runtime.start_watchdog}):
-    attacks and host faults compose in one run, and the oracle's
-    verdicts are unchanged — faults may only cost availability
-    ([lost]/[refused]), never integrity. *)
+    outcome.  [queues] (default 1) boots the machine with that many
+    datapath shards ({!Rakis.Config.num_queues}); fault-plan entries and
+    attacks may then pin themselves to one shard ([#<k>] suffix in the
+    plan syntax) and [shard_opens] witnesses containment.  A non-empty
+    [faults] plan additionally arms a {!Hostos.Faults} injector (seeded
+    from [seed], so replays are bit-for-bit) and the enclave watchdog
+    ({!Rakis.Runtime.start_watchdog}): attacks and host faults compose
+    in one run, and the oracle's verdicts are unchanged — faults may
+    only cost availability ([lost]/[refused]), never integrity. *)
 
 val failed : outcome -> bool
 
@@ -118,14 +127,17 @@ val repro : outcome -> string
     ["<datapath>:<seed>:<budget>:<step>=<attack>;…"], with a fifth
     [":<fault-plan>"] segment (syntax of {!Hostos.Faults.plan_to_string})
     appended iff the run had one — so fault runs replay bit-for-bit and
-    fault-free tokens keep the historical 4-segment shape.  Feed it to
+    fault-free single-queue tokens keep the historical 4-segment shape.
+    Multi-queue runs always carry a sixth [":q<n>"] segment (after a
+    possibly-empty fault segment) recording the shard count.  Feed it to
     {!run_repro} or [tm_verify --replay]. *)
 
 val parse_repro :
   string ->
-  (datapath * int64 * int * schedule * Hostos.Faults.plan, string) result
-(** Accepts both 4-segment (fault-free, plan [[]]) and 5-segment
-    tokens. *)
+  (datapath * int64 * int * schedule * Hostos.Faults.plan * int, string) result
+(** Accepts 4-segment (fault-free, plan [[]]), 5-segment (faults) and
+    6-segment (faults + [q<n>] shard count) tokens; the last tuple
+    component is the queue count (1 for the shorter shapes). *)
 
 val run_repro : string -> (outcome, string) result
 

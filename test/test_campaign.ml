@@ -171,7 +171,7 @@ let test_repro_roundtrip () =
       let token = C.repro o in
       match C.parse_repro token with
       | Error e -> Alcotest.failf "parse_repro %S: %s" token e
-      | Ok (dp', seed', budget', schedule', faults') ->
+      | Ok (dp', seed', budget', schedule', faults', _) ->
           check_bool "datapath" true (dp = dp');
           Alcotest.(check int64) "seed" 77L seed';
           check "budget" 28 budget';

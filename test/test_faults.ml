@@ -83,13 +83,14 @@ let test_backoff_reset () =
 let test_plan_roundtrip () =
   let plan =
     [
-      { F.fault = F.Transient_errno; when_ = F.Probability 0.05 };
-      { F.fault = F.Short_io; when_ = F.Once 1.0 };
-      { F.fault = F.Drop_wakeup; when_ = F.Once 0.25 };
-      { F.fault = F.Monitor_crash; when_ = F.At_step 200 };
+      { F.fault = F.Transient_errno; when_ = F.Probability 0.05; shard = None };
+      { F.fault = F.Short_io; when_ = F.Once 1.0; shard = None };
+      { F.fault = F.Drop_wakeup; when_ = F.Once 0.25; shard = None };
+      { F.fault = F.Monitor_crash; when_ = F.At_step 200; shard = None };
       {
         F.fault = F.Nic_stall;
         when_ = F.Burst { first_step = 10; last_step = 40; probability = 0.5 };
+          shard = None;
       };
     ]
   in
@@ -189,7 +190,7 @@ let install_faults h plan =
    and the degraded scan must run. *)
 let test_watchdog_detection_latency () =
   let h = boot_sgx () in
-  let f = install_faults h [ { F.fault = F.Monitor_crash; when_ = F.Once 1.0 } ] in
+  let f = install_faults h [ { F.fault = F.Monitor_crash; when_ = F.Once 1.0; shard = None } ] in
   let rt = runtime h in
   let mon = Rakis.Runtime.monitor rt in
   let bound =
@@ -229,9 +230,9 @@ let test_udp_echo_completes_under_faults () =
   let f =
     install_faults h
       [
-        { F.fault = F.Monitor_crash; when_ = F.Once 0.01 };
-        { F.fault = F.Drop_wakeup; when_ = F.Probability 0.05 };
-        { F.fault = F.Delay_wakeup; when_ = F.Probability 0.02 };
+        { F.fault = F.Monitor_crash; when_ = F.Once 0.01; shard = None };
+        { F.fault = F.Drop_wakeup; when_ = F.Probability 0.05; shard = None };
+        { F.fault = F.Delay_wakeup; when_ = F.Probability 0.02; shard = None };
       ]
   in
   let r = Apps.Udp_echo.run h ~datagrams:300 ~payload_size:256 in
@@ -258,11 +259,11 @@ let test_udp_echo_fault_free_unchanged () =
 
 let fault_mix =
   [
-    { F.fault = F.Transient_errno; when_ = F.Probability 0.1 };
-    { F.fault = F.Short_io; when_ = F.Probability 0.05 };
-    { F.fault = F.Partial_cqe; when_ = F.Probability 0.05 };
-    { F.fault = F.Drop_wakeup; when_ = F.Probability 0.05 };
-    { F.fault = F.Monitor_crash; when_ = F.At_step 12 };
+    { F.fault = F.Transient_errno; when_ = F.Probability 0.1; shard = None };
+    { F.fault = F.Short_io; when_ = F.Probability 0.05; shard = None };
+    { F.fault = F.Partial_cqe; when_ = F.Probability 0.05; shard = None };
+    { F.fault = F.Drop_wakeup; when_ = F.Probability 0.05; shard = None };
+    { F.fault = F.Monitor_crash; when_ = F.At_step 12; shard = None };
   ]
 
 let test_campaign_faults_no_violations () =
@@ -285,7 +286,7 @@ let test_campaign_fault_repro_roundtrip () =
     (List.length (String.split_on_char ':' token) = 5);
   (match Tm.Campaign.parse_repro token with
   | Error e -> Alcotest.failf "parse_repro %S: %s" token e
-  | Ok (_, _, _, schedule', faults') ->
+  | Ok (_, _, _, schedule', faults', _) ->
       check_bool "schedule survives" true (schedule' = schedule);
       check_bool "fault plan survives" true (faults' = fault_mix));
   match Tm.Campaign.run_repro token with
@@ -298,7 +299,7 @@ let test_fault_soup_generator () =
   check_bool "deterministic" true (a = b);
   check "default entries" 6 (List.length a);
   List.iter
-    (fun { F.fault; when_ } ->
+    (fun { F.fault; when_; _ } ->
       match (fault, when_) with
       | (F.Monitor_crash | F.Monitor_hang), F.At_step _ -> ()
       | (F.Monitor_crash | F.Monitor_hang), _ ->

@@ -173,7 +173,7 @@ let assert_no_leaks h =
 let test_xsk_persistent_fault_zero_loss () =
   let h = boot_sgx () in
   let f =
-    install_faults h [ { F.fault = F.Drop_wakeup; when_ = F.Probability 1.0 } ]
+    install_faults h [ { F.fault = F.Drop_wakeup; when_ = F.Probability 1.0; shard = None } ]
   in
   let r = Apps.Udp_echo.run h ~datagrams:300 ~payload_size:256 in
   check "all datagrams echoed" 300 r.Apps.Udp_echo.echoed;
@@ -198,6 +198,7 @@ let test_xsk_failback_after_burst () =
         {
           F.fault = F.Drop_wakeup;
           when_ = F.Burst { first_step = 20; last_step = 80; probability = 1.0 };
+          shard = None;
         };
       ]
   in
@@ -226,7 +227,7 @@ let test_xsk_failback_after_burst () =
 let test_iperf_persistent_fault_zero_loss () =
   let h = boot_sgx () in
   let _ =
-    install_faults h [ { F.fault = F.Drop_wakeup; when_ = F.Probability 1.0 } ]
+    install_faults h [ { F.fault = F.Drop_wakeup; when_ = F.Probability 1.0; shard = None } ]
   in
   let r = Apps.Iperf.run h ~packet_size:1460 ~packets:2000 in
   check "every sent packet received" r.Apps.Iperf.sent_packets
@@ -246,8 +247,8 @@ let test_monitor_crash_plus_xsk_fault () =
   let f =
     install_faults h
       [
-        { F.fault = F.Monitor_crash; when_ = F.Once 1.0 };
-        { F.fault = F.Drop_wakeup; when_ = F.Probability 1.0 };
+        { F.fault = F.Monitor_crash; when_ = F.Once 1.0; shard = None };
+        { F.fault = F.Drop_wakeup; when_ = F.Probability 1.0; shard = None };
       ]
   in
   let r = Apps.Udp_echo.run h ~datagrams:300 ~payload_size:256 in
@@ -267,7 +268,7 @@ let test_uring_persistent_fault_fstime_completes () =
   let h = boot_sgx () in
   let f =
     install_faults h
-      [ { F.fault = F.Transient_errno; when_ = F.Probability 1.0 } ]
+      [ { F.fault = F.Transient_errno; when_ = F.Probability 1.0; shard = None } ]
   in
   let blocks = 400 and block_size = 4096 in
   let r = Apps.Fstime.run h ~block_size ~blocks in
@@ -346,7 +347,7 @@ let test_etimedout_settles_inflight_accounting () =
   let fx = boot ~config:small_config () in
   let _ =
     install_bare_faults fx
-      [ { F.fault = F.Transient_errno; when_ = F.Probability 1.0 } ]
+      [ { F.fault = F.Transient_errno; when_ = F.Probability 1.0; shard = None } ]
   in
   run_script fx (fun () ->
       match Rakis.Runtime.new_thread fx.runtime with

@@ -21,4 +21,5 @@ let () =
       ("stress", Test_stress.suite);
       ("misc", Test_misc.suite);
       ("obs", Test_obs.suite);
+      ("shard", Test_shard.suite);
     ]

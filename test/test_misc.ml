@@ -36,13 +36,32 @@ let udp_frame ~src_port =
 
 let test_nic_steering_by_source_port () =
   let _, a, _ = nic_fixture () in
-  check "port 40000 -> queue 0" 0 (Hostos.Nic.steer a (udp_frame ~src_port:40000));
-  check "port 40001 -> queue 1" 1 (Hostos.Nic.steer a (udp_frame ~src_port:40001));
-  check "port 40003 -> queue 3" 3 (Hostos.Nic.steer a (udp_frame ~src_port:40003));
+  (* RSS: every UDP flow lands on one in-range queue, deterministically. *)
+  let queues = Hostos.Nic.queue_count a in
+  let spread = Hashtbl.create 8 in
+  for src_port = 40000 to 40063 do
+    let q = Hostos.Nic.steer a (udp_frame ~src_port) in
+    check_bool "queue in range" true (q >= 0 && q < queues);
+    check (Printf.sprintf "port %d stable" src_port) q
+      (Hostos.Nic.steer a (udp_frame ~src_port));
+    Hashtbl.replace spread q ()
+  done;
+  check_bool "flows spread over >1 queue" true (Hashtbl.length spread > 1);
   check "non-udp -> queue 0" 0 (Hostos.Nic.steer a (Bytes.create 60));
-  (* Deterministic: same frame, same queue. *)
-  check "stable" 2 (Hostos.Nic.steer a (udp_frame ~src_port:40002));
-  check "stable again" 2 (Hostos.Nic.steer a (udp_frame ~src_port:40002))
+  (* The hash is symmetric: both directions of a flow share a queue, so
+     the steer must match Rss.queue with swapped endpoints. *)
+  let ip32 s = Packet.Addr.Ip.to_int (ip s) in
+  let fwd =
+    Packet.Rss.queue ~queues ~src_ip:(ip32 "10.0.0.2")
+      ~dst_ip:(ip32 "10.0.0.1") ~src_port:40007 ~dst_port:9
+  in
+  let rev =
+    Packet.Rss.queue ~queues ~src_ip:(ip32 "10.0.0.1")
+      ~dst_ip:(ip32 "10.0.0.2") ~src_port:9 ~dst_port:40007
+  in
+  check "symmetric hash" fwd rev;
+  check "steer matches Rss.queue" fwd
+    (Hostos.Nic.steer a (udp_frame ~src_port:40007))
 
 let test_nic_wire_pacing () =
   (* One 1500-byte frame at 25 Gbps should take ~1152 cycles on the

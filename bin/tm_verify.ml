@@ -220,13 +220,69 @@ let replay token =
       Format.printf "%a@." Tm.Campaign.pp_outcome o;
       if Tm.Campaign.failed o then exit 1
 
+let exhaustive ~depth ~queues ~min_states ~max_states ~mutant =
+  let mutant =
+    match mutant with
+    | "" -> None
+    | s -> (
+        match Tm.Explore.mutant_of_string s with
+        | Some m -> Some m
+        | None ->
+            Format.eprintf "unknown --mutant %S (one of: %s)@." s
+              (String.concat ", "
+                 (List.map Tm.Explore.mutant_name Tm.Explore.all_mutants));
+            exit 2)
+  in
+  (* Mutant runs weaken the breaker threshold to 1 so the witness path
+     (trip, cool down, probe) fits in a shallow depth bound. *)
+  let config =
+    {
+      Tm.Explore.default_config with
+      shards = queues;
+      mutant;
+      threshold = (if mutant = None then Tm.Explore.default_config.threshold else 1);
+    }
+  in
+  Format.printf
+    "RAKIS Testing Module: exhaustive product-machine exploration@.@.";
+  let t0 = Sys.time () in
+  let r = Tm.Explore.explore ~config ~depth ~max_states () in
+  let dt = Sys.time () -. t0 in
+  Format.printf "%a@.elapsed:          %.1fs@." Tm.Explore.pp_report r dt;
+  match mutant with
+  | Some m ->
+      (* a mutant run is expected to be CAUGHT *)
+      if r.Tm.Explore.violations = [] then begin
+        Format.printf "@.mutant %s NOT caught — the explorer's net has a hole@."
+          (Tm.Explore.mutant_name m);
+        exit 1
+      end
+      else Format.printf "@.mutant %s caught as expected@." (Tm.Explore.mutant_name m)
+  | None ->
+      if not (Tm.Explore.passed r) then begin
+        Format.printf "@.exploration FAILED@.";
+        exit 1
+      end;
+      if r.Tm.Explore.states < min_states then begin
+        Format.printf
+          "@.coverage regression: %d states < required %d (was the state \
+           space or the transition set narrowed?)@."
+          r.Tm.Explore.states min_states;
+        exit 1
+      end;
+      Format.printf "@.exploration passed@."
+
 let () =
-  let depth = ref 3
+  (* -1 = unset: the model check defaults to 3, --exhaustive to 6 *)
+  let depth = ref (-1)
   and ring_size = ref 4
   and budget = ref 2000
   and queues = ref 1
   and mode = ref `Model_check
   and faults_spec = ref ""
+  and min_states = ref 10_000
+  and max_states = ref 250_000
+  and mutant = ref ""
   and token = ref "" in
   let spec =
     [
@@ -252,12 +308,33 @@ let () =
             mode := `Replay;
             token := s),
         "replay one campaign repro token" );
+      ( "--exhaustive",
+        Arg.Unit (fun () -> mode := `Exhaustive),
+        "exhaustive bounded exploration of the FM product machine \
+         (ring x UMem x breaker x faults x shard); use with --depth, \
+         --queues, --min-states" );
+      ( "--depth",
+        Arg.Set_int depth,
+        "transition-sequence bound for --exhaustive (default 5)" );
+      ( "--min-states",
+        Arg.Set_int min_states,
+        "fail --exhaustive below this many distinct states — the CI \
+         coverage-regression gate (default 10000)" );
+      ( "--max-states",
+        Arg.Set_int max_states,
+        "state budget for --exhaustive (default 250000)" );
+      ( "--mutant",
+        Arg.Set_string mutant,
+        "run --exhaustive against a known-bad driver mutation and require \
+         it to be caught (probe-off-by-one | probe-slot-leak | \
+         skip-reclaim)" );
     ]
   in
   Arg.parse spec
     (fun _ -> ())
     "tm_verify [-depth N] [-ring-size N] [--campaign] [--budget N] [--queues \
-     N] [--faults PLAN] [--replay TOKEN]";
+     N] [--faults PLAN] [--replay TOKEN] [--exhaustive [--depth N] \
+     [--min-states N] [--mutant M]]";
   match !mode with
   | `Campaign -> (
       match Hostos.Faults.plan_of_string !faults_spec with
@@ -266,9 +343,14 @@ let () =
           exit 2
       | Ok faults_plan -> campaign ~budget:!budget ~faults_plan ~queues:!queues)
   | `Replay -> replay !token
+  | `Exhaustive ->
+      let depth = if !depth < 0 then 5 else !depth in
+      exhaustive ~depth ~queues:!queues ~min_states:!min_states
+        ~max_states:!max_states ~mutant:!mutant
   | `Model_check ->
+      let depth = if !depth < 0 then 3 else !depth in
       Format.printf "RAKIS Testing Module: FM model check@.";
-      Format.printf "ring_size=%d depth=%d@.@." !ring_size !depth;
-      let report = Tm.Model_check.verify ~ring_size:!ring_size ~depth:!depth () in
+      Format.printf "ring_size=%d depth=%d@.@." !ring_size depth;
+      let report = Tm.Model_check.verify ~ring_size:!ring_size ~depth () in
       Format.printf "%a@." Tm.Model_check.pp_report report;
       if not (Tm.Model_check.passed report) then exit 1

@@ -139,6 +139,29 @@ let record_success t =
 
 let cancel_probe t = t.probe_inflight <- false
 
+type observation = {
+  obs_state : state;
+  failure_streak : int;
+  probe_successes : int;
+  probe_inflight : bool;
+  cooldown_elapsed : bool;
+}
+
+let observe t =
+  {
+    obs_state = t.state;
+    failure_streak = t.failures;
+    probe_successes = t.successes;
+    probe_inflight = t.probe_inflight;
+    cooldown_elapsed =
+      (t.state = Open && Int64.sub (t.clock ()) t.opened_at >= t.cooldown);
+  }
+
+let pp_observation ppf o =
+  Format.fprintf ppf "%s fails=%d succs=%d inflight=%b cooled=%b"
+    (state_name o.obs_state) o.failure_streak o.probe_successes
+    o.probe_inflight o.cooldown_elapsed
+
 let record_failover t = Obs.Metrics.incr t.failovers
 
 let record_shed t = Obs.Metrics.incr t.sheds

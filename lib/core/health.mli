@@ -92,6 +92,24 @@ val cancel_probe : t -> unit
     to probe with the operation {!allow} handed them (e.g. a blocking
     [recv] whose abandoned SQE could corrupt a TCP stream). *)
 
+type observation = {
+  obs_state : state;
+  failure_streak : int;  (** consecutive failures while [Closed] *)
+  probe_successes : int;  (** consecutive probe successes while [Half_open] *)
+  probe_inflight : bool;
+  cooldown_elapsed : bool;
+      (** [Open] with the cooldown over: the next {!allow} probes *)
+}
+(** A pure snapshot of the breaker's full internal state — the
+    observation hook the Testing Module's explorer and reference-model
+    conformance checks (DESIGN.md §11) compare against
+    {!Tm.Stm_model.Breaker} after every transition. *)
+
+val observe : t -> observation
+(** Side-effect free: never moves the state machine or the counters. *)
+
+val pp_observation : Format.formatter -> observation -> unit
+
 val record_failover : t -> unit
 (** Count one operation rerouted to the slow path outside {!allow}
     (e.g. a fast-path attempt that exhausted retries mid-flight and

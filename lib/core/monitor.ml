@@ -146,6 +146,33 @@ let crashes t = Obs.Metrics.value t.crashes
 
 let generation t = t.generation
 
+type observation = {
+  obs_alive : bool;
+  obs_generation : int;
+  obs_scans : int;
+  obs_wakeups : int;
+  obs_forced_enters : int;
+  obs_forced_tx : int;
+  obs_crashes : int;
+}
+
+let observe t =
+  {
+    obs_alive = t.alive;
+    obs_generation = t.generation;
+    obs_scans = Obs.Metrics.value t.scans;
+    obs_wakeups = Obs.Metrics.value t.wakeups;
+    obs_forced_enters = Obs.Metrics.value t.forced_enters;
+    obs_forced_tx = Obs.Metrics.value t.forced_tx;
+    obs_crashes = Obs.Metrics.value t.crashes;
+  }
+
+let pp_observation ppf o =
+  Format.fprintf ppf
+    "alive=%b gen=%d scans=%d wakeups=%d forced=%d/%d crashes=%d" o.obs_alive
+    o.obs_generation o.obs_scans o.obs_wakeups o.obs_forced_enters
+    o.obs_forced_tx o.obs_crashes
+
 let advanced ~seen ~now = Rings.U32.distance ~ahead:now ~behind:seen > 0
 
 let wakeup t kind_counter label =

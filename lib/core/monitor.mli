@@ -115,3 +115,21 @@ val forced_enters : t -> int
 val forced_tx_wakeups : t -> int
 (** [sendto] wakeups issued solely because of {!nudge_xsk} — xTX had
     not advanced (["mm.forced_tx"]). *)
+
+type observation = {
+  obs_alive : bool;
+  obs_generation : int;
+  obs_scans : int;
+  obs_wakeups : int;
+  obs_forced_enters : int;
+  obs_forced_tx : int;
+  obs_crashes : int;
+}
+(** A pure snapshot of the MM's liveness state and counters — the
+    observation hook golden traces and watchdog tests compare across
+    restarts (DESIGN.md §11). *)
+
+val observe : t -> observation
+(** Side-effect free: reads counters, never touches the MM thread. *)
+
+val pp_observation : Format.formatter -> observation -> unit

@@ -90,6 +90,31 @@ let mm_breaker t = t.mm_breaker
 
 let shard_breaker t k = t.shards.(k).sh_breaker
 
+(* Pure product-machine observation: every breaker's full snapshot plus
+   every shard MM's liveness, named per instance.  The TM's golden
+   traces and the explorer's conformance checks read this (never the
+   raw mutable fields), so refactors of the runtime internals show up
+   as an observation diff, not a silent drift. *)
+let health_observations t =
+  let shard_obs =
+    List.concat
+      (List.init (Array.length t.shards) (fun k ->
+           let name =
+             if Array.length t.shards = 1 then "xsk" else Printf.sprintf "xsk.%d" k
+           in
+           [ (name, Health.observe t.shards.(k).sh_breaker) ]))
+  in
+  shard_obs
+  @ [ ("uring", Health.observe t.uring_breaker);
+      ("mm", Health.observe t.mm_breaker) ]
+
+let monitor_observations t =
+  List.init (Array.length t.shards) (fun k ->
+      let name =
+        if Array.length t.shards = 1 then "mm" else Printf.sprintf "mm.%d" k
+      in
+      (name, Monitor.observe t.shards.(k).sh_monitor))
+
 let shard_monitor t k = t.shards.(k).sh_monitor
 
 let shard_fms t k = t.shards.(k).sh_fms

@@ -156,6 +156,16 @@ val mm_breaker : t -> Health.t
     carries the load with in-enclave degraded scans instead.  One
     breaker for all shards — the watchdog is a single enclave thread. *)
 
+val health_observations : t -> (string * Health.observation) list
+(** Pure snapshot of every breaker in the machine — per-shard XSK
+    breakers (named ["xsk"] / ["xsk.<k>"]) then ["uring"] and ["mm"] —
+    the observation hook golden traces and the TM explorer's
+    conformance checks consume (DESIGN.md §11).  Side-effect free. *)
+
+val monitor_observations : t -> (string * Monitor.observation) list
+(** Pure snapshot of every shard MM's liveness state and wakeup
+    counters (named ["mm"] / ["mm.<k>"]).  Side-effect free. *)
+
 (** {1 UDP syscalls (XDP fast path — no enclave exits)} *)
 
 val udp_socket : t -> udp_sock

@@ -163,6 +163,21 @@ let roll ?shard t fault =
 
 let rng t = t.rng
 
+(* Deterministic listing of every installed arming — the pure
+   observation the TM explorer folds into its state hash (trigger kind,
+   shard pin and spent flag are the fault dimension of the product
+   machine). *)
+let armings t =
+  List.concat_map
+    (fun fault ->
+      match Hashtbl.find_opt t.armed fault with
+      | None -> []
+      | Some l ->
+          List.map
+            (fun a -> (fault, a.trigger, a.shard, a.spent))
+            !l)
+    all_faults
+
 let injected t = Obs.Metrics.value t.total
 
 let record t fault =

@@ -98,6 +98,12 @@ val roll : ?shard:int -> t option -> fault -> bool
 
 val rng : t -> Sim.Rng.t
 
+val armings : t -> (fault * trigger * int option * bool) list
+(** Every installed arming as [(fault, trigger, shard pin, spent)], in
+    deterministic {!all_faults} + installation order — the pure
+    observation hook the Testing Module's explorer hashes as the fault
+    dimension of its product state (DESIGN.md §11). *)
+
 val record : t -> fault -> unit
 (** Called by kernel paths when they actually inject a fault. *)
 

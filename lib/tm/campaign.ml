@@ -680,15 +680,43 @@ let run_repro s =
 
 (* {1 Shrinking a failing campaign} *)
 
-(* The fault plan is held fixed while the attack schedule shrinks: a
-   minimal repro under the same host weather is what gets debugged. *)
+type shrunk = {
+  shrunk_schedule : schedule;
+  shrunk_plan : Hostos.Faults.plan;
+  schedule_original : int;
+  plan_original : int;
+  shrink_tests : int;
+}
+
+(* Minimize both coordinates of the failure — the attack schedule AND
+   the fault plan — then simplify what deletion cannot reach: armings
+   whose shard pin ("#k") is not needed to reproduce lose it. *)
 let shrink_failure (o : outcome) =
-  Shrink.minimize
-    ~fails:(fun schedule ->
-      failed
-        (run ~datapath:o.datapath ~seed:o.seed ~budget:o.budget
-           ~queues:o.queues ~faults:o.fault_plan schedule))
-    o.schedule
+  let fails schedule plan =
+    failed
+      (run ~datapath:o.datapath ~seed:o.seed ~budget:o.budget ~queues:o.queues
+         ~faults:plan schedule)
+  in
+  let r = Shrink.minimize2 ~fails o.schedule o.fault_plan in
+  let unpin (e : Hostos.Faults.plan_entry) =
+    match e.Hostos.Faults.shard with
+    | Some _ -> Some { e with Hostos.Faults.shard = None }
+    | None -> None
+  in
+  let plan, pin_tests =
+    Shrink.simplify ~fails:(fun p -> fails r.Shrink.trace2 p) ~simpler:unpin
+      r.Shrink.plan2
+  in
+  {
+    shrunk_schedule = r.Shrink.trace2;
+    shrunk_plan = plan;
+    schedule_original = fst r.Shrink.original2;
+    plan_original = snd r.Shrink.original2;
+    shrink_tests = r.Shrink.tests2 + pin_tests;
+  }
+
+let shrunk_repro (o : outcome) (s : shrunk) =
+  repro { o with schedule = s.shrunk_schedule; fault_plan = s.shrunk_plan }
 
 (* {1 Reporting} *)
 

@@ -141,9 +141,24 @@ val parse_repro :
 
 val run_repro : string -> (outcome, string) result
 
-val shrink_failure : outcome -> entry Shrink.result
-(** Greedily minimize a failing outcome's schedule (re-running the full
-    campaign per candidate) to a minimal still-failing repro. *)
+type shrunk = {
+  shrunk_schedule : schedule;
+  shrunk_plan : Hostos.Faults.plan;
+  schedule_original : int;  (** schedule entries before shrinking *)
+  plan_original : int;  (** fault-plan entries before shrinking *)
+  shrink_tests : int;  (** campaign replays spent *)
+}
+
+val shrink_failure : outcome -> shrunk
+(** Greedily minimize a failing outcome (re-running the full campaign
+    per candidate) to a minimal still-failing repro — both coordinates:
+    the attack schedule and the fault plan (either may go empty), plus
+    an element pass that drops shard pins ([#k]) the failure does not
+    need. *)
+
+val shrunk_repro : outcome -> shrunk -> string
+(** The repro token of the minimized failure (same datapath, seed,
+    budget and queue count). *)
 
 val pp_schedule : Format.formatter -> schedule -> unit
 

@@ -24,3 +24,33 @@ val minimize :
 
 val ratio : 'a result -> float
 (** Shrink ratio: original length / minimized length. *)
+
+type ('a, 'b) result2 = {
+  trace2 : 'a list;  (** the minimized failing trace *)
+  plan2 : 'b list;  (** the minimized companion list (e.g. fault plan) *)
+  original2 : int * int;  (** input lengths: (trace, plan) *)
+  tests2 : int;
+}
+
+val minimize2 :
+  ?max_tests:int ->
+  fails:('a list -> 'b list -> bool) ->
+  'a list ->
+  'b list ->
+  ('a, 'b) result2
+(** Two-coordinate ddmin: alternate deletion passes over the trace and
+    the companion list until neither shrinks.  Unlike {!minimize},
+    either side may shrink to empty — a failure reproducible with no
+    faults at all drops the whole plan.  [fails] must be deterministic;
+    at most [max_tests] (default 20000) evaluations are spent. *)
+
+val simplify :
+  ?max_tests:int ->
+  fails:('a list -> bool) ->
+  simpler:('a -> 'a option) ->
+  'a list ->
+  'a list * int
+(** Element-wise simplification to fixpoint: for each element, propose
+    a simpler variant ([simpler], e.g. dropping a fault arming's shard
+    pin) and keep the replacement when the list still fails.  Returns
+    the simplified list and the predicate evaluations spent. *)

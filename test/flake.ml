@@ -1,0 +1,46 @@
+(* Flake guard (DESIGN.md §11, docs/testing.md).
+
+   Every randomized or seeded smoke routes its seed through this
+   module:
+
+   - [RAKIS_SEED=<n>] overrides the default seed of any test wired
+     through {!seed} or {!rand}, so a red run reproduces exactly;
+   - {!guard} prints the seed (and the env-var incantation to replay
+     it) on the way out of a failing test;
+   - {!rand} gives the QCheck suites one shared [Random.State] whose
+     seed is announced up front, so a property failure is replayable
+     even though QCheck draws its cases randomly. *)
+
+let override =
+  match Sys.getenv_opt "RAKIS_SEED" with
+  | None -> None
+  | Some s -> (
+      match Int64.of_string_opt (String.trim s) with
+      | Some v -> Some v
+      | None ->
+          Printf.eprintf "[flake] RAKIS_SEED=%S is not an integer; ignored\n%!" s;
+          None)
+
+let seed default = Option.value override ~default
+
+let guard ~name ~seed:s f =
+  try f ()
+  with exn ->
+    Printf.eprintf
+      "[flake] %s failed under seed=%Ld — rerun with RAKIS_SEED=%Ld\n%!" name s
+      s;
+    raise exn
+
+let qcheck_rand =
+  lazy
+    (let s =
+       match override with
+       | Some s -> Int64.to_int s land 0x3FFF_FFFF
+       | None ->
+           Random.self_init ();
+           Random.int 0x3FFF_FFFF
+     in
+     Printf.eprintf "[flake] qcheck seed=%d — rerun with RAKIS_SEED=%d\n%!" s s;
+     Random.State.make [| s |])
+
+let rand () = Random.State.copy (Lazy.force qcheck_rand)

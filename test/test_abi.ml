@@ -109,7 +109,7 @@ let test_opcode_codes () =
     [ Abi.Uring_abi.Nop; Read; Write; Send; Recv; Poll_add ]
 
 let prop_cqe_res_roundtrip =
-  QCheck_alcotest.to_alcotest
+  QCheck_alcotest.to_alcotest ~rand:(Flake.rand ())
     (QCheck.Test.make ~name:"cqe: any int32 result roundtrips" ~count:500
        (QCheck.make QCheck.Gen.(-0x80000000 -- 0x7FFFFFFF))
        (fun res ->

@@ -5,6 +5,7 @@
 
 module C = Tm.Campaign
 module M = Hostos.Malice
+module F = Hostos.Faults
 
 let check = Alcotest.(check int)
 
@@ -91,7 +92,9 @@ let test_malice_arm_replaces () =
    actually fire, and the tail of the run must verify cleanly again
    (recovery). *)
 let single dp attack =
-  let o = C.run ~datapath:dp ~seed:21L ~budget:32 [ C.At { step = 8; attack } ] in
+  let seed = Flake.seed 21L in
+  Flake.guard ~name:(label dp attack) ~seed @@ fun () ->
+  let o = C.run ~datapath:dp ~seed ~budget:32 [ C.At { step = 8; attack } ] in
   check_bool
     (label dp attack ^ ": no violation")
     false (C.failed o);
@@ -190,12 +193,14 @@ let test_pairs_helper () =
   check "pairs of 1" 0 (List.length (C.pairs [ 1 ]))
 
 let test_pairwise () =
+  let seed = Flake.seed 31L in
+  Flake.guard ~name:"pairwise campaign" ~seed @@ fun () ->
   List.iter
     (fun dp ->
       List.iter
         (fun (a, b) ->
           let o =
-            C.run ~datapath:dp ~seed:31L ~budget:28
+            C.run ~datapath:dp ~seed ~budget:28
               [ C.At { step = 7; attack = a }; C.At { step = 14; attack = b } ]
           in
           check_bool
@@ -207,11 +212,13 @@ let test_pairwise () =
     [ C.Xsk; C.Iouring ]
 
 let test_soup () =
+  let seed = Flake.seed 41L in
+  Flake.guard ~name:"attack soup" ~seed @@ fun () ->
   List.iter
     (fun dp ->
-      let schedule = C.soup ~datapath:dp ~seed:41L ~budget:48 () in
+      let schedule = C.soup ~datapath:dp ~seed ~budget:48 () in
       check_bool "soup is non-empty" true (schedule <> []);
-      let o = C.run ~datapath:dp ~seed:41L ~budget:48 schedule in
+      let o = C.run ~datapath:dp ~seed ~budget:48 schedule in
       check_bool "soup survives" false (C.failed o);
       check_bool "soup fired attacks" true (total_fired o > 0);
       check_bool "soup still made progress" true (o.C.ok > 0))
@@ -285,7 +292,69 @@ let test_shrink_campaign_failure () =
   check_bool "outcome passes" false (C.failed o);
   let r = C.shrink_failure o in
   check "non-failing schedule unchanged" (List.length o.C.schedule)
-    (List.length r.Tm.Shrink.trace)
+    (List.length r.C.shrunk_schedule);
+  check "non-failing plan unchanged" (List.length o.C.fault_plan)
+    (List.length r.C.shrunk_plan)
+
+(* ddmin over both coordinates: a failure that needs one of two armed
+   faults (and one of six schedule steps) shrinks to exactly that. *)
+let test_shrink_two_fault_plan () =
+  let needed =
+    { F.fault = F.Drop_wakeup; when_ = F.Persistent; shard = None }
+  in
+  let noise =
+    { F.fault = F.Transient_errno; when_ = F.Probability 0.1; shard = None }
+  in
+  let fails trace plan = List.mem 4 trace && List.mem needed plan in
+  let r = Tm.Shrink.minimize2 ~fails [ 1; 2; 3; 4; 5; 6 ] [ noise; needed ] in
+  check "2-fault plan shrinks to 1" 1 (List.length r.Tm.Shrink.plan2);
+  check_bool "the needed fault survives" true (List.mem needed r.Tm.Shrink.plan2);
+  check "schedule shrinks to 1 step" 1 (List.length r.Tm.Shrink.trace2);
+  check_bool "still fails" true (fails r.Tm.Shrink.trace2 r.Tm.Shrink.plan2)
+
+let test_shrink_plan_to_empty () =
+  (* a failure the faults play no part in drops the whole plan *)
+  let noise =
+    { F.fault = F.Transient_errno; when_ = F.Probability 0.1; shard = None }
+  in
+  let fails trace _plan = List.mem 4 trace in
+  let r = Tm.Shrink.minimize2 ~fails [ 1; 4; 5 ] [ noise; noise ] in
+  check "plan emptied" 0 (List.length r.Tm.Shrink.plan2);
+  check "one step left" 1 (List.length r.Tm.Shrink.trace2)
+
+let test_shrink_drops_shard_pin () =
+  (* the arming is essential, its "#1" pin is not: simplify unpins it *)
+  let pinned =
+    { F.fault = F.Drop_wakeup; when_ = F.Persistent; shard = Some 1 }
+  in
+  let fails plan = List.exists (fun e -> e.F.fault = F.Drop_wakeup) plan in
+  let unpin (e : F.plan_entry) =
+    match e.F.shard with
+    | Some _ -> Some { e with F.shard = None }
+    | None -> None
+  in
+  let plan, _tests = Tm.Shrink.simplify ~fails ~simpler:unpin [ pinned ] in
+  match plan with
+  | [ e ] ->
+      check_bool "pin dropped" true (e.F.shard = None);
+      check_bool "fault kept" true (e.F.fault = F.Drop_wakeup)
+  | _ -> Alcotest.fail "expected a single surviving entry"
+
+let test_shrink_keeps_needed_pin () =
+  (* when the failure is shard-specific the pin must survive *)
+  let pinned =
+    { F.fault = F.Drop_wakeup; when_ = F.Persistent; shard = Some 1 }
+  in
+  let fails plan = List.exists (fun e -> e.F.shard = Some 1) plan in
+  let unpin (e : F.plan_entry) =
+    match e.F.shard with
+    | Some _ -> Some { e with F.shard = None }
+    | None -> None
+  in
+  let plan, _tests = Tm.Shrink.simplify ~fails ~simpler:unpin [ pinned ] in
+  match plan with
+  | [ e ] -> check_bool "pin kept" true (e.F.shard = Some 1)
+  | _ -> Alcotest.fail "expected a single surviving entry"
 
 let suite =
   [
@@ -328,4 +397,12 @@ let suite =
       test_shrink_oracle_soup;
     Alcotest.test_case "shrink: campaign plumbing" `Slow
       test_shrink_campaign_failure;
+    Alcotest.test_case "shrink: 2-fault plan shrinks to 1" `Quick
+      test_shrink_two_fault_plan;
+    Alcotest.test_case "shrink: irrelevant plan goes empty" `Quick
+      test_shrink_plan_to_empty;
+    Alcotest.test_case "shrink: needless shard pin dropped" `Quick
+      test_shrink_drops_shard_pin;
+    Alcotest.test_case "shrink: essential shard pin kept" `Quick
+      test_shrink_keeps_needed_pin;
   ]

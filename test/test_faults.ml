@@ -38,7 +38,7 @@ let test_errno_transient () =
 (* {1 Deterministic exponential backoff} *)
 
 let test_backoff_monotone_bounded_deterministic =
-  QCheck_alcotest.to_alcotest
+  QCheck_alcotest.to_alcotest ~rand:(Flake.rand ())
     (QCheck.Test.make ~name:"backoff: monotone, bounded, deterministic"
        ~count:200
        (QCheck.make

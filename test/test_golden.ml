@@ -1,0 +1,271 @@
+(* Golden expect-traces (DESIGN.md §11).
+
+   Each case renders a fully deterministic artifact — a campaign
+   outcome, a breaker timeline, a batch of repro tokens, an explorer
+   report — and compares it byte-for-byte against a checked-in file
+   under [test/golden/].  A mismatch prints both versions; set
+   [RAKIS_UPDATE_GOLDEN=1] (and run from the repo root, e.g.
+   [RAKIS_UPDATE_GOLDEN=1 dune exec test/test_main.exe -- test golden])
+   to regenerate the files after an intentional rendering change.
+
+   No ppx_expect: the harness is ~40 lines of plain OCaml, which keeps
+   the golden workflow dependency-free. *)
+
+module C = Tm.Campaign
+module F = Hostos.Faults
+
+(* dune runtest sandboxes us in test/; dune exec runs from the root *)
+let golden_dir =
+  if Sys.file_exists "test/golden" then "test/golden"
+  else if Sys.file_exists "golden" then "golden"
+  else "test/golden"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let update_mode = Sys.getenv_opt "RAKIS_UPDATE_GOLDEN" <> None
+
+let check_golden name actual =
+  let path = Filename.concat golden_dir (name ^ ".txt") in
+  if update_mode then begin
+    write_file path actual;
+    Printf.printf "golden: wrote %s (%d bytes)\n%!" path (String.length actual)
+  end
+  else if not (Sys.file_exists path) then
+    Alcotest.failf
+      "golden file %s missing — generate it with RAKIS_UPDATE_GOLDEN=1"
+      path
+  else
+    let expected = read_file path in
+    if expected <> actual then
+      Alcotest.failf
+        "golden %s mismatch\n--- expected (%s) ---\n%s\n--- actual ---\n%s\n\
+         (rerun with RAKIS_UPDATE_GOLDEN=1 if the change is intentional)"
+        name path expected actual
+
+(* {1 Campaign outcomes} *)
+
+let test_campaign_outcomes () =
+  let clean = C.run ~datapath:C.Xsk ~seed:7L ~budget:32 [] in
+  let attacked =
+    C.run ~datapath:C.Xsk ~seed:7L ~budget:32
+      [
+        C.At { step = 4; attack = Hostos.Malice.Prod_overshoot };
+        C.During
+          {
+            first = 8;
+            last = 16;
+            probability = 1.0;
+            attack = Hostos.Malice.Misaligned_offset;
+          };
+      ]
+  in
+  let faulted =
+    C.run ~datapath:C.Iouring ~seed:11L ~budget:32
+      ~faults:
+        [
+          {
+            F.fault = F.Transient_errno;
+            when_ = F.Burst { first_step = 4; last_step = 16; probability = 1.0 };
+            shard = None;
+          };
+        ]
+      []
+  in
+  let sharded =
+    C.run ~datapath:C.Xsk ~seed:5L ~budget:32 ~queues:2
+      ~faults:
+        [ { F.fault = F.Drop_wakeup; when_ = F.Persistent; shard = Some 1 } ]
+      []
+  in
+  check_golden "campaign_outcomes"
+    (Format.asprintf
+       "@[<v>== clean xsk ==@,%a@,== attacked xsk ==@,%a@,== faulted \
+        io_uring ==@,%a@,== sharded xsk, fault pinned to shard 1 ==@,%a@]@."
+       C.pp_outcome clean C.pp_outcome attacked C.pp_outcome faulted
+       C.pp_outcome sharded)
+
+(* {1 Breaker timeline} *)
+
+let test_breaker_timeline () =
+  let clock = ref 0L in
+  let b =
+    Rakis.Health.create ~name:"golden" ~clock:(fun () -> !clock) ~threshold:2
+      ~cooldown:50L ~probes_needed:2 ()
+  in
+  let buf = Buffer.create 512 in
+  let line op =
+    Buffer.add_string buf
+      (Format.asprintf "%4Ld  %-12s %a  opens=%d closes=%d\n" !clock op
+         Rakis.Health.pp_observation (Rakis.Health.observe b)
+         (Rakis.Health.opens b) (Rakis.Health.closes b))
+  in
+  let allow op =
+    let d = Rakis.Health.allow b in
+    line
+      (Printf.sprintf "%s>%s" op
+         (match d with
+         | Rakis.Health.Fast -> "fast"
+         | Rakis.Health.Probe -> "probe"
+         | Rakis.Health.Slow -> "slow"))
+  in
+  let tick n =
+    clock := Int64.add !clock n;
+    line "tick"
+  in
+  line "boot";
+  allow "allow";
+  Rakis.Health.record_failure b;
+  line "failure";
+  Rakis.Health.record_failure b;
+  line "failure";
+  (* open: everything routes slow until the cooldown elapses *)
+  allow "allow";
+  tick 60L;
+  (* half-open: first allow wins the probe slot, the second is shed *)
+  allow "allow";
+  allow "allow";
+  (* the probe is declined (a blocking recv): slot released, still probing *)
+  Rakis.Health.cancel_probe b;
+  line "cancel";
+  allow "allow";
+  Rakis.Health.record_failure b;
+  line "failure";
+  (* reopened by the failed probe; cool down again and close via 2 probes *)
+  tick 60L;
+  allow "allow";
+  Rakis.Health.record_success b;
+  line "success";
+  allow "allow";
+  Rakis.Health.record_success b;
+  line "success";
+  allow "allow";
+  check_golden "breaker_timeline" (Buffer.contents buf)
+
+(* {1 Repro tokens} *)
+
+let test_repro_tokens () =
+  let template = C.run ~datapath:C.Xsk ~seed:1L ~budget:4 [] in
+  let cases =
+    [
+      ( "fault-free single queue (4 segments)",
+        {
+          template with
+          C.datapath = C.Xsk;
+          seed = 42L;
+          budget = 64;
+          schedule = [ C.At { step = 3; attack = Hostos.Malice.Cons_regress } ];
+          fault_plan = [];
+          queues = 1;
+        } );
+      ( "fault plan (5 segments)",
+        {
+          template with
+          C.datapath = C.Iouring;
+          seed = 9L;
+          budget = 128;
+          schedule =
+            [
+              C.During
+                {
+                  first = 2;
+                  last = 30;
+                  probability = 0.25;
+                  attack = Hostos.Malice.Cqe_bogus_res;
+                };
+            ];
+          fault_plan =
+            [
+              { F.fault = F.Short_io; when_ = F.Probability 0.5; shard = None };
+              { F.fault = F.Monitor_crash; when_ = F.At_step 11; shard = None };
+            ];
+          queues = 1;
+        } );
+      ( "multi-queue, empty plan (6 segments)",
+        {
+          template with
+          C.datapath = C.Xsk;
+          seed = 3L;
+          budget = 32;
+          schedule = [];
+          fault_plan = [];
+          queues = 4;
+        } );
+      ( "multi-queue, pinned persistent fault (6 segments)",
+        {
+          template with
+          C.datapath = C.Xsk;
+          seed = 5L;
+          budget = 32;
+          schedule = [];
+          fault_plan =
+            [ { F.fault = F.Drop_wakeup; when_ = F.Persistent; shard = Some 1 } ];
+          queues = 2;
+        } );
+      ( "once-trigger with probability (5 segments)",
+        {
+          template with
+          C.datapath = C.Xsk;
+          seed = 8L;
+          budget = 16;
+          schedule = [];
+          fault_plan =
+            [ { F.fault = F.Nic_stall; when_ = F.Once 0.75; shard = None } ];
+          queues = 1;
+        } );
+    ]
+  in
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (label, o) ->
+      let token = C.repro o in
+      (* idempotence is part of the contract the golden pins down *)
+      (match C.parse_repro token with
+      | Error e -> Alcotest.failf "token %S failed to parse back: %s" token e
+      | Ok (dp, seed, budget, schedule, plan, queues) ->
+          let again =
+            C.repro
+              {
+                o with
+                C.datapath = dp;
+                seed;
+                budget;
+                schedule;
+                fault_plan = plan;
+                queues;
+              }
+          in
+          if again <> token then
+            Alcotest.failf "token not idempotent: %S -> %S" token again);
+      Buffer.add_string buf (Printf.sprintf "%s\n  %s\n" label token))
+    cases;
+  check_golden "repro_tokens" (Buffer.contents buf)
+
+(* {1 Explorer report} *)
+
+let test_explore_report () =
+  let report =
+    Tm.Explore.explore
+      ~config:{ Tm.Explore.default_config with shards = 1 }
+      ~depth:4 ()
+  in
+  check_golden "explore_report"
+    (Format.asprintf "%a@." Tm.Explore.pp_report report)
+
+let suite =
+  [
+    Alcotest.test_case "golden: campaign outcomes" `Quick
+      test_campaign_outcomes;
+    Alcotest.test_case "golden: breaker timeline" `Quick test_breaker_timeline;
+    Alcotest.test_case "golden: repro tokens" `Quick test_repro_tokens;
+    Alcotest.test_case "golden: explorer report" `Quick test_explore_report;
+  ]

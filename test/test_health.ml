@@ -107,6 +107,135 @@ let test_breaker_cancel_probe_releases_slot () =
   check_bool "still half-open" true (H.state b = H.Half_open);
   check_bool "slot released" true (H.allow b = H.Probe)
 
+(* {2 Half-open races (DESIGN.md §11)}
+
+   The half-open window is where the breaker is most delicate: one
+   probe is in flight, regular traffic is still being shed, and
+   failure signals can arrive from *both* — the probe itself and
+   fast-path operations that were already in flight when the breaker
+   tripped.  These tests pin the exact interleavings. *)
+
+(* A second terminal failure lands while the probe is still in flight
+   (e.g. a straggler completion from before the trip).  The breaker
+   must re-open exactly once — not once per signal — and clear the
+   probe slot so the post-cooldown probe is admitted cleanly. *)
+let test_half_open_second_failure_during_probe () =
+  let now, b = mk () in
+  let opened = ref 0 in
+  H.set_on_open b (fun () -> incr opened);
+  for _ = 1 to 3 do
+    H.record_failure b
+  done;
+  check "tripped once" 1 !opened;
+  now := Int64.add !now 100L;
+  check_bool "probe admitted" true (H.allow b = H.Probe);
+  (* the straggler failure: re-opens and consumes the probe slot *)
+  H.record_failure b;
+  check_bool "re-opened" true (H.state b = H.Open);
+  check_bool "probe slot cleared" false
+    (H.observe b).H.probe_inflight;
+  check "hook fired once for the re-open" 2 !opened;
+  (* the probe's own failure now arrives: already open, must be inert *)
+  H.record_failure b;
+  check "no third open" 2 (H.opens b);
+  check "hook not double-fired" 2 !opened;
+  (* and the machine is not wedged: the normal arc still completes *)
+  now := Int64.add !now 100L;
+  check_bool "probe after second cooldown" true (H.allow b = H.Probe);
+  H.record_success b;
+  check_bool "probe 2" true (H.allow b = H.Probe);
+  H.record_success b;
+  check_bool "closed" true (H.state b = H.Closed);
+  check "one close" 1 (H.closes b)
+
+(* A probe declined by the caller (cancel_probe — the blocking-recv /
+   poll case, whose abandoned SQE could corrupt a TCP stream) must
+   contribute nothing toward closing: only completed probes are
+   evidence.  Repeated decline/re-admit cycles must neither close the
+   breaker nor wedge the slot. *)
+let test_half_open_declined_probes_are_not_evidence () =
+  let now, b = mk () in
+  for _ = 1 to 3 do
+    H.record_failure b
+  done;
+  now := Int64.add !now 100L;
+  (* decline three probes in a row: each releases the slot, none
+     advances the success count *)
+  for _ = 1 to 3 do
+    check_bool "probe admitted" true (H.allow b = H.Probe);
+    H.cancel_probe b;
+    check "no probe evidence accumulated" 0
+      (H.observe b).H.probe_successes
+  done;
+  check_bool "still half-open after declines" true
+    (H.state b = H.Half_open);
+  (* the full probes_needed count of completed probes is still due *)
+  check_bool "probe 1" true (H.allow b = H.Probe);
+  H.record_success b;
+  check_bool "one success is not enough" true (H.state b = H.Half_open);
+  check_bool "probe 2" true (H.allow b = H.Probe);
+  H.record_success b;
+  check_bool "closed by completed probes" true (H.state b = H.Closed)
+
+(* Property: over arbitrary op sequences, [on_open] fires exactly once
+   per transition into [Open], every state edge is legal, and the
+   probe slot only exists in [Half_open].  This is the race coverage
+   generalized: QCheck explores interleavings (including the two
+   pinned above) rather than a hand-picked few. *)
+type hcmd = Hc_allow | Hc_fail | Hc_success | Hc_cancel | Hc_tick
+
+let hcmd_name = function
+  | Hc_allow -> "allow"
+  | Hc_fail -> "fail"
+  | Hc_success -> "success"
+  | Hc_cancel -> "cancel"
+  | Hc_tick -> "tick"
+
+let breaker_hook_race_prop cmds =
+  let now, b = mk ~threshold:2 ~cooldown:40L ~probes:2 () in
+  let hook_fires = ref 0 in
+  H.set_on_open b (fun () -> incr hook_fires);
+  let prev = ref (H.state b) in
+  List.for_all
+    (fun c ->
+      (match c with
+      | Hc_allow -> ignore (H.allow b)
+      | Hc_fail -> H.record_failure b
+      | Hc_success -> H.record_success b
+      | Hc_cancel -> H.cancel_probe b
+      | Hc_tick -> now := Int64.add !now 17L);
+      let st = H.state b in
+      let legal =
+        st = !prev
+        ||
+        match (!prev, st) with
+        | H.Closed, H.Open
+        | H.Half_open, H.Open
+        | H.Open, H.Half_open
+        | H.Half_open, H.Closed ->
+            true
+        | _ -> false
+      in
+      prev := st;
+      legal
+      (* exactly once per Open transition: the counter and the hook
+         can never disagree, even mid-race *)
+      && !hook_fires = H.opens b
+      && ((H.observe b).H.probe_inflight = false || st = H.Half_open))
+    cmds
+
+let test_half_open_hook_property =
+  QCheck_alcotest.to_alcotest ~rand:(Flake.rand ())
+    (QCheck.Test.make ~name:"breaker: on_open exactly once per open (property)"
+       ~count:500
+       (QCheck.make
+          ~print:(fun l -> String.concat ";" (List.map hcmd_name l))
+          ~shrink:QCheck.Shrink.list
+          QCheck.Gen.(
+            list_size (int_bound 60)
+              (oneofl [ Hc_allow; Hc_fail; Hc_success; Hc_cancel; Hc_tick ])))
+       breaker_hook_race_prop)
+
 let test_breaker_out_of_band_counters () =
   let _, b = mk () in
   H.record_failover b;
@@ -420,6 +549,11 @@ let suite =
       test_breaker_probe_failure_reopens;
     Alcotest.test_case "breaker: cancel_probe releases slot" `Quick
       test_breaker_cancel_probe_releases_slot;
+    Alcotest.test_case "breaker: second failure during probe re-opens once"
+      `Quick test_half_open_second_failure_during_probe;
+    Alcotest.test_case "breaker: declined probes are not evidence" `Quick
+      test_half_open_declined_probes_are_not_evidence;
+    test_half_open_hook_property;
     Alcotest.test_case "breaker: out-of-band counters" `Quick
       test_breaker_out_of_band_counters;
     Alcotest.test_case "breaker: of_config" `Quick test_breaker_of_config;

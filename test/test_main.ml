@@ -13,6 +13,9 @@ let () =
       ("libos", Test_libos.suite);
       ("apps", Test_apps.suite);
       ("tm", Test_tm.suite);
+      ("explore", Test_explore.suite);
+      ("stm", Test_stm.suite);
+      ("golden", Test_golden.suite);
       ("campaign", Test_campaign.suite);
       ("faults", Test_faults.suite);
       ("health", Test_health.suite);

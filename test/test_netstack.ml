@@ -292,7 +292,7 @@ let test_global_lock_contends_more () =
 (* {1 Properties} *)
 
 let prop_stack_total =
-  QCheck_alcotest.to_alcotest
+  QCheck_alcotest.to_alcotest ~rand:(Flake.rand ())
     (QCheck.Test.make ~name:"stack: input is total on arbitrary frames"
        ~count:1000
        (QCheck.make QCheck.Gen.(map Bytes.of_string (string_size (0 -- 200))))
@@ -303,7 +303,7 @@ let prop_stack_total =
          true))
 
 let prop_accounting_consistent =
-  QCheck_alcotest.to_alcotest
+  QCheck_alcotest.to_alcotest ~rand:(Flake.rand ())
     (QCheck.Test.make
        ~name:"stack: every input is delivered, dropped or ARP" ~count:200
        (QCheck.make

@@ -275,8 +275,8 @@ let suite =
       test_histogram_stats;
     Alcotest.test_case "histogram: non-positive bucket" `Quick
       test_histogram_nonpositive_bucket;
-    QCheck_alcotest.to_alcotest prop_bucket_conservation;
-    QCheck_alcotest.to_alcotest prop_bucket_of_bounds;
+    QCheck_alcotest.to_alcotest ~rand:(Flake.rand ()) prop_bucket_conservation;
+    QCheck_alcotest.to_alcotest ~rand:(Flake.rand ()) prop_bucket_of_bounds;
     Alcotest.test_case "trace: records in order" `Quick
       test_trace_records_in_order;
     Alcotest.test_case "trace: wraparound" `Quick test_trace_wraparound;

@@ -430,7 +430,7 @@ let prop_checksum_carries_fold =
       && Checksum.valid with_cksum 0 (n' + 2))
 
 let props =
-  List.map QCheck_alcotest.to_alcotest
+  List.map (QCheck_alcotest.to_alcotest ~rand:(Flake.rand ()))
     [
       prop_udp_roundtrip;
       prop_frame_roundtrip;

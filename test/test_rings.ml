@@ -603,7 +603,7 @@ let prop_u32_succ_is_add_one =
       && U32.distance ~ahead:(U32.succ a) ~behind:a = 1)
 
 let props =
-  List.map QCheck_alcotest.to_alcotest
+  List.map (QCheck_alcotest.to_alcotest ~rand:(Flake.rand ()))
     [
       prop_certified_invariant_any_smash;
       prop_raw_fifo;

@@ -21,7 +21,7 @@ let flow_gen =
       (pair (pair (int_bound 65535) (int_bound 65535)) (int_range 1 16)))
 
 let qcheck_rss_bounded =
-  QCheck_alcotest.to_alcotest
+  QCheck_alcotest.to_alcotest ~rand:(Flake.rand ())
     (QCheck.Test.make ~name:"rss: queue is in [0, queues)" ~count:1000
        (QCheck.make flow_gen)
        (fun ((src_ip, dst_ip), ((src_port, dst_port), queues)) ->
@@ -31,7 +31,7 @@ let qcheck_rss_bounded =
          0 <= q && q < queues))
 
 let qcheck_rss_symmetric =
-  QCheck_alcotest.to_alcotest
+  QCheck_alcotest.to_alcotest ~rand:(Flake.rand ())
     (QCheck.Test.make
        ~name:"rss: both directions of a flow share a queue" ~count:1000
        (QCheck.make flow_gen)
@@ -44,7 +44,7 @@ let qcheck_rss_symmetric =
    queue — including interleaved with other flows' hashes — always
    lands on the same queue, so a flow can never migrate mid-run. *)
 let qcheck_rss_no_migration =
-  QCheck_alcotest.to_alcotest
+  QCheck_alcotest.to_alcotest ~rand:(Flake.rand ())
     (QCheck.Test.make ~name:"rss: deterministic, flows never migrate"
        ~count:1000 (QCheck.make flow_gen)
        (fun ((src_ip, dst_ip), ((src_port, dst_port), queues)) ->

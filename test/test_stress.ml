@@ -62,11 +62,15 @@ let test_mailbox_producer_consumer_storm () =
 let test_curl_recovers_from_corruption () =
   (* A host that corrupts 2% of frames: checksums reject them in
      whichever stack receives them, and go-back-N must still complete
-     the transfer with the full byte count. *)
+     the transfer with the full byte count.  The corruption pattern is
+     seed-dependent, so the seed goes through the flake guard: a red
+     run prints it, RAKIS_SEED replays it. *)
+  let seed = Flake.seed 21L in
+  Flake.guard ~name:"curl corruption" ~seed @@ fun () ->
   match Apps.Harness.make Libos.Env.Rakis_sgx () with
   | Error e -> Alcotest.fail e
   | Ok h ->
-      let m = Hostos.Malice.create ~seed:21L () in
+      let m = Hostos.Malice.create ~seed () in
       Hostos.Malice.arm m ~probability:0.02 Hostos.Malice.Corrupt_packet;
       Hostos.Kernel.set_malice h.kernel (Some m);
       let size = 2 * 1024 * 1024 in

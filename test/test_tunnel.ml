@@ -160,7 +160,7 @@ let test_tunnel_over_rakis_under_corruption () =
   check_bool "corruption fired" true (Hostos.Malice.fired m > 0)
 
 let prop_roundtrip =
-  QCheck_alcotest.to_alcotest
+  QCheck_alcotest.to_alcotest ~rand:(Flake.rand ())
     (QCheck.Test.make ~name:"tunnel: seal/unseal roundtrip for any payload"
        ~count:300
        (QCheck.make QCheck.Gen.(map Bytes.of_string (string_size (0 -- 512))))
@@ -171,7 +171,7 @@ let prop_roundtrip =
          | Error _ -> false))
 
 let prop_unseal_total =
-  QCheck_alcotest.to_alcotest
+  QCheck_alcotest.to_alcotest ~rand:(Flake.rand ())
     (QCheck.Test.make ~name:"tunnel: unseal is total on arbitrary bytes"
        ~count:1000
        (QCheck.make QCheck.Gen.(map Bytes.of_string (string_size (0 -- 128))))

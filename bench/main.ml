@@ -6,7 +6,7 @@
 let usage () =
   prerr_endline
     "usage: main.exe [--metrics] [--json] \
-     [fig2|table1|table2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|claims|ablation|sensitivity|micro|sweep|all]";
+     [fig2|table1|table2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|claims|ablation|sensitivity|micro|sweep|zerocopy|all]";
   exit 2
 
 (* {1 Machine-readable results}
@@ -79,6 +79,96 @@ let run_json () =
       ("p99_cycles", I r.Apps.Fstime.op_p99);
       ("exits", I (Libos.Env.exits h.Apps.Harness.env));
     ]
+
+(* {1 Zero-copy payoff}
+
+   Part of [--json]: the transmit-heavy pair — iperf-TCP (the enclave
+   as sender, the SEND_ZC showcase) and fstime (fixed-buffer file IO)
+   — runs with the zero-copy datapath off and on, recording sender
+   cycles/byte for each path into [BENCH_zerocopy.json] together with
+   the per-uring zero-copy counters of the zc runs (one uring FM per
+   enclave thread — the per-shard breakdown for these single-ring
+   workloads).  Gate: SEND_ZC cycles/byte must be strictly below the
+   copy path (it skips the kernel's bounce copy,
+   [Sgx.Params.iouring_copy_cycles_per_byte]). *)
+
+let zc_harness ~zerocopy =
+  match
+    Apps.Harness.make Libos.Env.Rakis_sgx
+      ~rakis_config:{ Rakis.Config.default with zerocopy } ()
+  with
+  | Ok h -> h
+  | Error e -> failwith ("rakis-sgx: " ^ e)
+
+(* Every "<uring>.zc_*" counter of a finished run, JSON-keyed under
+   [prefix]. *)
+let zc_counters h prefix =
+  match Libos.Env.runtime h.Apps.Harness.env with
+  | None -> []
+  | Some rt ->
+      List.filter_map
+        (fun (name, v) ->
+          if
+            List.exists
+              (fun suffix -> Filename.check_suffix name suffix)
+              [ ".zc_sends"; ".zc_fallbacks"; ".zc_notifs"; ".zc_leaks" ]
+          then Some (prefix ^ "_" ^ name, I v)
+          else None)
+        (Obs.Metrics.counters (Obs.metrics (Rakis.Runtime.obs rt)))
+
+let run_zc_json () =
+  let iperf zerocopy =
+    let h = zc_harness ~zerocopy in
+    (Apps.Iperf_tcp.run h ~bytes:(4 * 1024 * 1024), h)
+  in
+  let fstime zerocopy =
+    let h = zc_harness ~zerocopy in
+    let r = Apps.Fstime.run h ~block_size:4096 ~blocks:2000 in
+    let cpb =
+      if r.Apps.Fstime.bytes = 0 then 0.
+      else
+        Int64.to_float r.Apps.Fstime.duration
+        /. float_of_int r.Apps.Fstime.bytes
+    in
+    (cpb, h)
+  in
+  let it_copy, _ = iperf false in
+  let it_zc, it_h = iperf true in
+  let fs_copy_cpb, _ = fstime false in
+  let fs_zc_cpb, fs_h = fstime true in
+  write_json "BENCH_zerocopy.json"
+    ([
+       ("workload", S "zerocopy");
+       ("env", S "rakis-sgx");
+       ("iperf_tcp_bytes", I it_zc.Apps.Iperf_tcp.bytes_sent);
+       ("iperf_tcp_copy_cycles_per_byte", F it_copy.Apps.Iperf_tcp.cycles_per_byte);
+       ("iperf_tcp_zc_cycles_per_byte", F it_zc.Apps.Iperf_tcp.cycles_per_byte);
+       ( "iperf_tcp_zc_saving_per_byte",
+         F
+           (it_copy.Apps.Iperf_tcp.cycles_per_byte
+           -. it_zc.Apps.Iperf_tcp.cycles_per_byte) );
+       ("iperf_tcp_zc_sends", I it_zc.Apps.Iperf_tcp.zc_sends);
+       ("iperf_tcp_zc_fallbacks", I it_zc.Apps.Iperf_tcp.zc_fallbacks);
+       ("iperf_tcp_zc_notifs", I it_zc.Apps.Iperf_tcp.zc_notifs);
+       ("iperf_tcp_zc_leaks", I it_zc.Apps.Iperf_tcp.zc_leaks);
+       ("fstime_copy_cycles_per_byte", F fs_copy_cpb);
+       ("fstime_zc_cycles_per_byte", F fs_zc_cpb);
+       ("fstime_zc_saving_per_byte", F (fs_copy_cpb -. fs_zc_cpb));
+     ]
+    @ zc_counters it_h "iperf_tcp"
+    @ zc_counters fs_h "fstime");
+  Format.printf
+    "iperf-tcp cycles/byte: copy %.4f, zc %.4f; fstime: copy %.4f, zc %.4f \
+     (gate: zc < copy on iperf-tcp)@."
+    it_copy.Apps.Iperf_tcp.cycles_per_byte it_zc.Apps.Iperf_tcp.cycles_per_byte
+    fs_copy_cpb fs_zc_cpb;
+  if
+    it_zc.Apps.Iperf_tcp.cycles_per_byte
+    >= it_copy.Apps.Iperf_tcp.cycles_per_byte
+  then begin
+    Format.printf "FAIL: SEND_ZC did not beat the copy path@.";
+    exit 1
+  end
 
 (* {1 Queue-scaling sweep}
 
@@ -203,7 +293,10 @@ let () =
   let args =
     List.filter (fun a -> a <> "--metrics" && a <> "--json") args
   in
-  if json then run_json ()
+  if json then begin
+    run_json ();
+    run_zc_json ()
+  end
   else
   (match args with
   | [] | [ "all" ] -> run_all ()
@@ -221,5 +314,6 @@ let () =
   | [ "claims" ] -> if not (Figures.claims ()) then exit 1
   | [ "micro" ] -> Micro.run ()
   | [ "sweep" ] -> run_sweep ()
+  | [ "zerocopy" ] -> run_zc_json ()
   | _ -> usage ());
   if metrics then Figures.dump_metrics ()

@@ -148,6 +148,8 @@ let sqe_codec =
          len = 4096;
          poll_events = 0;
          user_data = 1L;
+         buf_index = 0;
+         fixed = false;
        }
      in
      Staged.stage (fun () ->

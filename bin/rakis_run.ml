@@ -104,6 +104,15 @@ let breaker_probes_arg =
     & info [ "breaker-probes" ] ~docv:"N"
         ~doc:"Consecutive probe successes needed to close a breaker.")
 
+let zerocopy_arg =
+  Arg.(
+    value & flag
+    & info [ "zerocopy" ]
+        ~doc:
+          "Enable the zero-copy io_uring datapath (docs/zerocopy.md): \
+           SEND_ZC from registered frames, fixed-buffer file IO and \
+           multishot recv.  RAKIS environments only.")
+
 let queues_arg =
   Arg.(
     value & opt int 1
@@ -114,8 +123,10 @@ let queues_arg =
            Default 1 (the single-queue datapath).  RAKIS environments only.")
 
 let health_config_term =
-  let apply degraded threshold cooldown probes queues =
-    let cfg = { Rakis.Config.default with degraded; num_queues = queues } in
+  let apply degraded threshold cooldown probes queues zerocopy =
+    let cfg =
+      { Rakis.Config.default with degraded; num_queues = queues; zerocopy }
+    in
     let cfg =
       match threshold with
       | Some v -> { cfg with Rakis.Config.breaker_threshold = v }
@@ -132,7 +143,7 @@ let health_config_term =
   in
   Cmdliner.Term.(
     const apply $ degraded_arg $ breaker_threshold_arg $ breaker_cooldown_arg
-    $ breaker_probes_arg $ queues_arg)
+    $ breaker_probes_arg $ queues_arg $ zerocopy_arg)
 
 (* The NIC must expose at least as many hardware queues as the config
    asks shards for. *)
@@ -262,7 +273,16 @@ let report ?(metrics = false) ?trace_file h =
         "rakis: ring-check failures %d, descriptor/CQE rejects %d, invariants %s@."
         (Rakis.Runtime.total_ring_check_failures rt)
         (Rakis.Runtime.total_desc_rejects rt)
-        (if Rakis.Runtime.invariant_holds rt then "held" else "BROKEN"));
+        (if Rakis.Runtime.invariant_holds rt then "held" else "BROKEN");
+      if (Rakis.Runtime.config rt).Rakis.Config.zerocopy then
+        Format.printf
+          "zerocopy: sends %d, fallbacks %d, notifs %d, notif rejects %d, \
+           leaks %d@."
+          (Rakis.Runtime.total_zc_sends rt)
+          (Rakis.Runtime.total_zc_fallbacks rt)
+          (Rakis.Runtime.total_zc_notifs rt)
+          (Rakis.Runtime.total_zc_notif_rejects rt)
+          (Rakis.Runtime.total_zc_leaks rt));
   dump_obs ~metrics ~trace_file h
 
 let hello_cmd =
@@ -295,6 +315,32 @@ let iperf_cmd =
     Term.(
       const run $ env_arg $ health_config_term $ packets $ size $ streams
       $ faults_arg $ fault_seed_arg $ metrics_arg $ trace_arg)
+
+let iperf_tcp_cmd =
+  let mbytes =
+    Arg.(value & opt int 8 & info [ "mbytes" ] ~doc:"MiB to stream.")
+  in
+  let chunk =
+    Arg.(value & opt int 16384 & info [ "chunk" ] ~doc:"Bytes per send call.")
+  in
+  let run env cfg mbytes chunk faults fault_seed metrics trace_file =
+    let h = sharded_harness cfg env in
+    let injector = install_faults h ~spec:faults ~seed:fault_seed in
+    let r =
+      Apps.Iperf_tcp.run ~chunk_size:chunk h ~bytes:(mbytes * 1024 * 1024)
+    in
+    Format.printf "%a@." Apps.Iperf_tcp.pp_result r;
+    report_faults h injector;
+    report ~metrics ?trace_file h
+  in
+  Cmd.v
+    (Cmd.info "iperf_tcp"
+       ~doc:
+         "iperf3-style TCP bulk send, enclave as sender — the SEND_ZC \
+          showcase; compare cycles/byte with and without $(b,--zerocopy)")
+    Term.(
+      const run $ env_arg $ health_config_term $ mbytes $ chunk $ faults_arg
+      $ fault_seed_arg $ metrics_arg $ trace_arg)
 
 let memcached_cmd =
   let threads =
@@ -460,6 +506,7 @@ let () =
             hello_cmd;
             udp_echo_cmd;
             iperf_cmd;
+            iperf_tcp_cmd;
             memcached_cmd;
             curl_cmd;
             redis_cmd;

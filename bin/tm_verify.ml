@@ -8,9 +8,10 @@
      pairwise / soup attack schedules on both datapaths, and a
      shrinker demonstration.  --budget bounds the total end-to-end
      workload steps (CI smoke uses --budget 2000);
-   - --replay '<datapath>:<seed>:<budget>:<schedule>[:<faults>]':
+   - --replay '<datapath>:<seed>:<budget>:<schedule>[:<faults>][:q<n>][:zc]':
      replay one campaign outcome from its copy-pasteable repro token
-     (5-segment tokens re-run the embedded fault plan bit-for-bit);
+     (5-segment tokens re-run the embedded fault plan bit-for-bit; a
+     trailing "zc" segment boots the zero-copy datapath);
    - --faults '<plan>' (with --campaign): additionally run each
      datapath under that host-fault plan alone and composed with an
      attack soup — the Faults.plan syntax of docs/cli.md
@@ -38,15 +39,22 @@ let campaign ~budget ~faults_plan ~queues =
       if not (Tm.Oracle.passed r) then incr failures)
     [ Tm.Oracle.Xsk_shape; Tm.Oracle.Iouring_shape ];
   (* End-to-end schedules.  The per-run budget splits the global budget
-     over the singles (11 + 9), a pairwise sample and two soups. *)
+     over the singles (11 + 9 + the 2 zero-copy notif forgeries), a
+     pairwise sample and three soups. *)
   let datapaths = [ Tm.Campaign.Xsk; Tm.Campaign.Iouring ] in
+  let copy_singles = Tm.Campaign.applicable Tm.Campaign.Iouring in
   let singles =
     List.concat_map
-      (fun dp -> List.map (fun a -> (dp, a)) (Tm.Campaign.applicable dp))
+      (fun dp -> List.map (fun a -> (dp, false, a)) (Tm.Campaign.applicable dp))
       datapaths
+    @ List.filter_map
+        (fun a ->
+          if List.mem a copy_singles then None
+          else Some (Tm.Campaign.Iouring, true, a))
+        (Tm.Campaign.applicable ~zerocopy:true Tm.Campaign.Iouring)
   in
   let runs =
-    List.length singles + 10 + (if faults_plan = [] then 0 else 4)
+    List.length singles + 11 + (if faults_plan = [] then 0 else 4)
   in
   let per_run = max 16 (budget / runs) in
   let summarize o =
@@ -57,13 +65,14 @@ let campaign ~budget ~faults_plan ~queues =
     end
   in
   List.iter
-    (fun (dp, attack) ->
+    (fun (dp, zerocopy, attack) ->
       let o =
         Tm.Campaign.run ~datapath:dp ~seed:21L ~budget:per_run ~queues
+          ~zerocopy
           [ Tm.Campaign.At { step = per_run / 4; attack } ]
       in
       Format.printf "single %-9s %-20s ok=%d refused=%d lost=%d fired=%d %s@."
-        (dp_name dp)
+        (if zerocopy then dp_name dp ^ "+zc" else dp_name dp)
         (Hostos.Malice.attack_name attack)
         o.Tm.Campaign.ok o.Tm.Campaign.refused o.Tm.Campaign.lost
         (total_fired o)
@@ -86,21 +95,30 @@ let campaign ~budget ~faults_plan ~queues =
         (Tm.Campaign.pairs
            Hostos.Malice.[ Prod_overshoot; Cons_regress; Oversize_len ]))
     datapaths;
-  (* Soups. *)
+  (* Soups — per datapath, plus one over the zero-copy io_uring
+     datapath so the notif forgeries land mixed in with everything
+     else. *)
+  let soup_shapes =
+    List.map (fun dp -> (dp, false)) datapaths
+    @ [ (Tm.Campaign.Iouring, true) ]
+  in
   List.iter
-    (fun dp ->
+    (fun (dp, zerocopy) ->
       let schedule =
-        Tm.Campaign.soup ~datapath:dp ~seed:41L ~budget:per_run ()
+        Tm.Campaign.soup ~datapath:dp ~zerocopy ~seed:41L ~budget:per_run ()
       in
-      let o = Tm.Campaign.run ~datapath:dp ~seed:41L ~budget:per_run ~queues schedule in
+      let o =
+        Tm.Campaign.run ~datapath:dp ~seed:41L ~budget:per_run ~queues
+          ~zerocopy schedule
+      in
       Format.printf
         "soup   %-9s entries=%d ok=%d refused=%d lost=%d fired=%d %s@."
-        (dp_name dp)
+        (if zerocopy then dp_name dp ^ "+zc" else dp_name dp)
         (List.length schedule) o.Tm.Campaign.ok o.Tm.Campaign.refused
         o.Tm.Campaign.lost (total_fired o)
         (if Tm.Campaign.failed o then "FAIL" else "ok");
       summarize o)
-    datapaths;
+    soup_shapes;
   (* Canonical breaker-failover arc (DESIGN.md §9): a probability-1
      fault burst opens the primitive's breaker, traffic rides the
      exit-based slow path, and the fault-free tail lets it probe and
@@ -327,7 +345,7 @@ let () =
         Arg.Set_string mutant,
         "run --exhaustive against a known-bad driver mutation and require \
          it to be caught (probe-off-by-one | probe-slot-leak | \
-         skip-reclaim)" );
+         skip-reclaim | zc-release-early)" );
     ]
   in
   Arg.parse spec

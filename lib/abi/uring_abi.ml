@@ -1,4 +1,13 @@
-type opcode = Nop | Read | Write | Send | Recv | Poll_add
+type opcode =
+  | Nop
+  | Read
+  | Write
+  | Send
+  | Recv
+  | Poll_add
+  | Send_zc
+  | Sendmsg_zc
+  | Recv_multi
 
 type sqe = {
   opcode : opcode;
@@ -8,9 +17,11 @@ type sqe = {
   len : int;
   poll_events : int;
   user_data : int64;
+  buf_index : int;
+  fixed : bool;
 }
 
-type cqe = { user_data : int64; res : int }
+type cqe = { user_data : int64; res : int; flags : int }
 
 let sqe_size = 64
 
@@ -20,6 +31,22 @@ let pollin = 0x001
 
 let pollout = 0x004
 
+(* CQE flag bits, mirroring IORING_CQE_F_*.  [cqe_f_more] marks a CQE
+   that is not the last one for its SQE (zero-copy completion before the
+   notif; every multishot hit except the terminating one).  [cqe_f_notif]
+   marks the deferred zero-copy notification: only once it arrives may
+   the submitter reuse the buffer.  [cqe_f_buffer] says the upper 16 bits
+   of [flags] carry the id of the provided buffer the kernel picked. *)
+let cqe_f_buffer = 1
+
+let cqe_f_more = 2
+
+let cqe_f_notif = 8
+
+let cqe_buffer_shift = 16
+
+let cqe_buffer_id flags = flags lsr cqe_buffer_shift
+
 let opcode_to_int = function
   | Nop -> 0
   | Read -> 1
@@ -27,6 +54,9 @@ let opcode_to_int = function
   | Send -> 3
   | Recv -> 4
   | Poll_add -> 5
+  | Send_zc -> 6
+  | Sendmsg_zc -> 7
+  | Recv_multi -> 8
 
 let opcode_of_int = function
   | 0 -> Some Nop
@@ -35,6 +65,9 @@ let opcode_of_int = function
   | 3 -> Some Send
   | 4 -> Some Recv
   | 5 -> Some Poll_add
+  | 6 -> Some Send_zc
+  | 7 -> Some Sendmsg_zc
+  | 8 -> Some Recv_multi
   | _ -> None
 
 let write_sqe r off sqe =
@@ -44,7 +77,9 @@ let write_sqe r off sqe =
   Mem.Region.set_u64 r (off + 16) (Int64.of_int sqe.addr);
   Mem.Region.set_u32 r (off + 24) sqe.len;
   Mem.Region.set_u32 r (off + 28) sqe.poll_events;
-  Mem.Region.set_u64 r (off + 32) sqe.user_data
+  Mem.Region.set_u64 r (off + 32) sqe.user_data;
+  Mem.Region.set_u32 r (off + 40) sqe.buf_index;
+  Mem.Region.set_u8 r (off + 44) (if sqe.fixed then 1 else 0)
 
 let read_sqe r off =
   match opcode_of_int (Mem.Region.get_u8 r off) with
@@ -59,18 +94,24 @@ let read_sqe r off =
           len = Mem.Region.get_u32 r (off + 24);
           poll_events = Mem.Region.get_u32 r (off + 28);
           user_data = Mem.Region.get_u64 r (off + 32);
+          buf_index = Mem.Region.get_u32 r (off + 40);
+          fixed = Mem.Region.get_u8 r (off + 44) <> 0;
         }
 
 let write_cqe r off cqe =
   Mem.Region.set_u64 r off cqe.user_data;
   (* Two's-complement encode the signed result in a u32 field. *)
   Mem.Region.set_u32 r (off + 8) (cqe.res land 0xFFFFFFFF);
-  Mem.Region.set_u32 r (off + 12) 0
+  Mem.Region.set_u32 r (off + 12) cqe.flags
 
 let read_cqe r off =
   let raw = Mem.Region.get_u32 r (off + 8) in
   let res = if raw land 0x80000000 <> 0 then raw - 0x100000000 else raw in
-  { user_data = Mem.Region.get_u64 r off; res }
+  {
+    user_data = Mem.Region.get_u64 r off;
+    res;
+    flags = Mem.Region.get_u32 r (off + 12);
+  }
 
 let res_of_errno e = -Errno.to_int e
 
@@ -82,4 +123,7 @@ let pp_opcode ppf op =
     | Write -> "write"
     | Send -> "send"
     | Recv -> "recv"
-    | Poll_add -> "poll_add")
+    | Poll_add -> "poll_add"
+    | Send_zc -> "send_zc"
+    | Sendmsg_zc -> "sendmsg_zc"
+    | Recv_multi -> "recv_multi")

@@ -4,9 +4,28 @@
     16-byte CQEs living in shared (untrusted) memory, manipulated through
     {!Mem.Region} accessors at ring-slot offsets.  RAKIS uses io_uring
     for five syscalls (paper §4.2) — send/recv on TCP sockets, read,
-    write and poll; [Nop] exists for testing. *)
+    write and poll; [Nop] exists for testing.
 
-type opcode = Nop | Read | Write | Send | Recv | Poll_add
+    The zero-copy extension (docs/zerocopy.md) adds three opcodes and a
+    CQE [flags] word.  [Send_zc]/[Sendmsg_zc] complete in {e two phases}:
+    a completion CQE carrying {!cqe_f_more} (the byte count), then a
+    later notification CQE carrying {!cqe_f_notif} once the NIC has
+    drained the buffer — only the notif returns buffer ownership to the
+    submitter.  [Recv_multi] is multishot: one SQE produces a stream of
+    CQEs, each flagged {!cqe_f_more} (+ {!cqe_f_buffer} with the provided
+    buffer id in the upper bits); the terminating CQE carries no
+    [cqe_f_more]. *)
+
+type opcode =
+  | Nop
+  | Read
+  | Write
+  | Send
+  | Recv
+  | Poll_add
+  | Send_zc  (** zero-copy send: completion + later notif CQE *)
+  | Sendmsg_zc  (** msghdr variant of [Send_zc]; same lifetime rules *)
+  | Recv_multi  (** multishot receive into provided (registered) buffers *)
 
 type sqe = {
   opcode : opcode;
@@ -16,11 +35,19 @@ type sqe = {
   len : int;
   poll_events : int;  (** POLLIN/POLLOUT mask for [Poll_add] *)
   user_data : int64;
+  buf_index : int;
+      (** registered-buffer table index when [fixed]; provided-buffer
+          group id for [Recv_multi]; ignored otherwise *)
+  fixed : bool;
+      (** the IO buffer is a registered buffer: the kernel DMAs straight
+          from/into the pinned frame instead of bouncing through a
+          kernel-side copy *)
 }
 
-type cqe = { user_data : int64; res : int }
+type cqe = { user_data : int64; res : int; flags : int }
 (** [res] is the syscall-style result: >= 0 on success, [-errno] on
-    failure. *)
+    failure.  [flags] is a {!cqe_f_more}/{!cqe_f_notif}/{!cqe_f_buffer}
+    bit set (plus a buffer id in the upper bits, see {!cqe_buffer_id}). *)
 
 val sqe_size : int
 (** 64. *)
@@ -31,6 +58,28 @@ val cqe_size : int
 val pollin : int
 
 val pollout : int
+
+val cqe_f_buffer : int
+(** The upper {!cqe_buffer_shift} bits of [flags] carry the id of the
+    provided buffer the kernel wrote into (multishot recv). *)
+
+val cqe_f_more : int
+(** More CQEs follow for the same SQE: a zero-copy completion whose
+    notif is still pending, or a non-final multishot hit.  A buffer
+    referenced by a CQE with this flag is {e still owned by the
+    kernel}. *)
+
+val cqe_f_notif : int
+(** Zero-copy notification: the NIC is done with the buffer and
+    ownership returns to the submitter.  This CQE — never the
+    completion — is what releases the frame (SNIPPETS.md Snippet 1:
+    the buffer node hangs off the notif, not the request). *)
+
+val cqe_buffer_shift : int
+(** 16. *)
+
+val cqe_buffer_id : int -> int
+(** [cqe_buffer_id flags] extracts the provided-buffer id. *)
 
 val opcode_to_int : opcode -> int
 

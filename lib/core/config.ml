@@ -21,6 +21,9 @@ type t = {
   breaker_probes : int;
   max_pending : int;
   sync_op_timeout : int64;
+  zerocopy : bool;
+  zc_frames : int;
+  zc_frame_size : int;
 }
 
 let default =
@@ -47,6 +50,9 @@ let default =
     breaker_probes = 4;
     max_pending = 256;
     sync_op_timeout = 1_000_000L;
+    zerocopy = false;
+    zc_frames = 32;
+    zc_frame_size = 16 * 1024;
   }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
@@ -75,4 +81,6 @@ let validate t =
   else if t.breaker_probes <= 0 then Error "breaker_probes must be positive"
   else if t.max_pending <= 0 then Error "max_pending must be positive"
   else if t.sync_op_timeout <= 0L then Error "sync_op_timeout must be positive"
+  else if t.zc_frames <= 0 then Error "zc_frames must be positive"
+  else if t.zc_frame_size <= 0 then Error "zc_frame_size must be positive"
   else Ok ()

@@ -64,6 +64,18 @@ type t = {
           Send / Nop) waits for its CQE before abandoning the attempt —
           the anti-livelock deadline under persistent wakeup loss;
           default 1,000,000 (well above the worst legitimate sync op) *)
+  zerocopy : bool;
+      (** enable the zero-copy io_uring datapath (docs/zerocopy.md):
+          each FM registers a pool of shared-memory frames at setup;
+          sends go out as [SEND_ZC] from Registered UMem frames (freed
+          only on notif), file read/write use fixed-buffer SQEs (no
+          kernel-side bounce copy) and TCP receive is armed multishot.
+          Default false — the classic bounce-buffer path. *)
+  zc_frames : int;
+      (** registered frames per FM zero-copy pool; default 32 *)
+  zc_frame_size : int;
+      (** bytes per registered frame; default 16 KiB — large frames
+          amortize per-op costs on streaming sends *)
 }
 
 val default : t

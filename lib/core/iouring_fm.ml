@@ -12,6 +12,44 @@ type pending = {
   mutable outcome : (int, Abi.Errno.t) result option;
 }
 
+(* A zero-copy send awaiting its second CQE.  The frame is Registered in
+   the pool and only the notif naming this [user_data] may free it —
+   [completed] records that the first (completion) CQE was validated, so
+   an earlier notif is provably forged (docs/zerocopy.md). *)
+type notif_rec = { zoff : int; mutable completed : bool }
+
+(* A multishot receive stream: one SQE, many CQEs.  Data CQEs are staged
+   into [outcomes] at reap time (the frame goes straight back into the
+   provided-buffer ring); the terminating CQE — no [F_MORE] — parks its
+   raw result in [terminal] and retires the in-flight record. *)
+type ms = {
+  ms_p : pending;
+  outcomes : Bytes.t Queue.t;
+  mutable terminal : int option;
+  mutable leftover : (Bytes.t * int) option; (* staged data, consumed prefix *)
+}
+
+(* Zero-copy machinery (config.zerocopy): a pool of frames in untrusted
+   memory, registered with the kernel once at setup.  Sends lend frames
+   ([Umem.Registered] until notif), multishot receives promise them
+   through the provided-buffer ring ([With_kernel Rx], exactly like an
+   XSK fill-ring promise), and fixed-buffer file IO stages through them
+   with no kernel-side bounce copy. *)
+type zc = {
+  pool : Umem.t;
+  arena : Mem.Ptr.t;
+  zframe : int; (* bytes per pool frame *)
+  notif_pending : (int64, notif_rec) Hashtbl.t;
+  ms_by_fd : (int, ms) Hashtbl.t;
+  ms_by_ud : (int64, ms) Hashtbl.t;
+  provide : int -> unit; (* push a buffer id into the shared buf_ring *)
+  zc_sends : Obs.Metrics.counter;
+  zc_fallbacks : Obs.Metrics.counter;
+  zc_notifs : Obs.Metrics.counter;
+  zc_notif_early : Obs.Metrics.counter; (* notifs before their completion *)
+  zc_notif_stray : Obs.Metrics.counter; (* duplicated / fabricated notifs *)
+}
+
 type t = {
   enclave : Sgx.Enclave.t;
   sq : Rings.Certified.t;
@@ -46,6 +84,7 @@ type t = {
   retry_success : Obs.Metrics.counter;
   retry_exhausted : Obs.Metrics.counter;
   trace : Obs.Trace.t option;
+  zc : zc option;
 }
 
 let pp_init_error ppf = function
@@ -75,10 +114,12 @@ let layout_objects name (l : Rings.Layout.t) =
 
 let ( let* ) = Result.bind
 
-let create ?obs ?(name = "uring") ~enclave ~config ~fd ~uring ~bounce () =
+let create ?obs ?(name = "uring") ~enclave ~config ~fd ~uring ~bounce
+    ?zc_arena () =
   if fd < 0 then Error (Bad_fd fd)
   else
     let entries = config.Config.uring_entries in
+    let zc_size = config.Config.zc_frames * config.Config.zc_frame_size in
     let* sq =
       certify_layout "iSub" ~entry_size:Abi.Uring_abi.sqe_size ~size:entries
         (Hostos.Io_uring.sq_layout uring)
@@ -95,9 +136,23 @@ let create ?obs ?(name = "uring") ~enclave ~config ~fd ~uring ~bounce () =
         Error (Bad_layout "bounce buffer does not fit its region")
       else Ok ()
     in
+    let* () =
+      match zc_arena with
+      | None -> Ok ()
+      | Some a ->
+          if not (Mem.Ptr.is_untrusted a) then
+            Error (Pointer_in_trusted "zero-copy arena")
+          else if not (Mem.Ptr.valid a ~len:zc_size) then
+            Error (Bad_layout "zero-copy arena does not fit its region")
+          else Ok ()
+    in
     let objects =
       (("bounce", bounce, config.Config.max_io_size) :: layout_objects "iSub" sq)
       @ layout_objects "iCompl" cq
+      @
+      match zc_arena with
+      | Some a -> [ ("zc arena", a, zc_size) ]
+      | None -> []
     in
     let* () =
       if Mem.Ptr.all_disjoint (List.map (fun (_, p, l) -> (p, l)) objects) then
@@ -147,6 +202,28 @@ let create ?obs ?(name = "uring") ~enclave ~config ~fd ~uring ~bounce () =
         retry_success = Obs.Metrics.counter m (name ^ ".retry_success");
         retry_exhausted = Obs.Metrics.counter m (name ^ ".retry_exhausted");
         trace = Option.map Obs.trace obs;
+        zc =
+          Option.map
+            (fun a ->
+              {
+                pool =
+                  Umem.create ?obs ~name:(name ^ ".zc") ~size:zc_size
+                    ~frame_size:config.Config.zc_frame_size ();
+                arena = a;
+                zframe = config.Config.zc_frame_size;
+                notif_pending = Hashtbl.create 8;
+                ms_by_fd = Hashtbl.create 4;
+                ms_by_ud = Hashtbl.create 4;
+                provide = (fun id -> Hostos.Io_uring.provide_buffer uring id);
+                zc_sends = Obs.Metrics.counter m (name ^ ".zc_sends");
+                zc_fallbacks = Obs.Metrics.counter m (name ^ ".zc_fallbacks");
+                zc_notifs = Obs.Metrics.counter m (name ^ ".zc_notifs");
+                zc_notif_early =
+                  Obs.Metrics.counter m (name ^ ".zc_notif_early");
+                zc_notif_stray =
+                  Obs.Metrics.counter m (name ^ ".zc_notif_stray");
+              })
+            zc_arena;
       }
 
 let set_kick t f = t.kick <- f
@@ -183,6 +260,36 @@ let inflight t = Hashtbl.length t.pending
 
 let sheds t = Obs.Metrics.value t.sheds
 
+let zc_enabled t = t.zc <> None
+
+let zc_pool t = Option.map (fun z -> z.pool) t.zc
+
+let zc_sends t =
+  match t.zc with None -> 0 | Some z -> Obs.Metrics.value z.zc_sends
+
+let zc_fallbacks t =
+  match t.zc with None -> 0 | Some z -> Obs.Metrics.value z.zc_fallbacks
+
+let zc_notifs t =
+  match t.zc with None -> 0 | Some z -> Obs.Metrics.value z.zc_notifs
+
+let zc_notif_rejects t =
+  match t.zc with
+  | None -> 0
+  | Some z ->
+      Obs.Metrics.value z.zc_notif_early + Obs.Metrics.value z.zc_notif_stray
+
+(* Completed-but-unnotified sends: at quiescence each is a frame the
+   host is sitting on by withholding its notif — the dropped-notif
+   availability leak the TM campaign fails on. *)
+let zc_leaks t =
+  match t.zc with
+  | None -> 0
+  | Some z ->
+      Hashtbl.fold
+        (fun _ (nr : notif_rec) n -> if nr.completed then n + 1 else n)
+        z.notif_pending 0
+
 let accounting_holds t =
   t.live >= 0
   && t.live = Hashtbl.length t.pending
@@ -190,6 +297,14 @@ let accounting_holds t =
        (fun _ (p : pending) ok ->
          ok && (p.outcome <> None || Hashtbl.mem t.pending p.user_data))
        t.probes true
+  && (match t.zc with
+     | None -> true
+     | Some z ->
+         (* Every Registered frame has exactly one notif-pending entry
+            and vice versa — the notif-anchored ownership contract of
+            docs/zerocopy.md, checked as a runtime invariant. *)
+         Umem.registered z.pool = Hashtbl.length z.notif_pending
+         && Umem.conservation_holds z.pool)
 
 (* The single point where an in-flight record is reclaimed; membership
    guard keeps settle-then-abandon races idempotent. *)
@@ -216,6 +331,106 @@ let settle t (p : pending) (cqe : Abi.Uring_abi.cqe) =
   in
   p.outcome <- Some outcome
 
+(* A SEND_ZC completion CQE ([F_MORE]) flips its notif-pending entry to
+   completed: from here on the frame's release is the notif's job and
+   only the notif's (SNIPPETS Snippet 1's "buffer node hangs off the
+   notif" rule).  Runs even when the in-flight record is already gone —
+   a zc op we abandoned on timeout still executed in the kernel, and its
+   frame must stay recoverable through the late notif.  Returns true
+   when the CQE was such a late completion (host honest, not a stray). *)
+let zc_mark_completed t (cqe : Abi.Uring_abi.cqe) =
+  match t.zc with
+  | Some z when cqe.flags land Abi.Uring_abi.cqe_f_more <> 0 -> (
+      match Hashtbl.find_opt z.notif_pending cqe.user_data with
+      | Some nr when not nr.completed ->
+          nr.completed <- true;
+          true
+      | Some _ | None -> false)
+  | _ -> false
+
+(* Zero-copy CQE triage, ahead of the pending-table lookup.  Notif CQEs
+   drive the only legal exit from [Umem.Registered]; multishot CQEs
+   stream data into their per-fd queue.  Returns true when the CQE was
+   consumed here.  Rejected notifs bump [cqe_rejects] plus a dedicated
+   counter but never [cqe_strays]: a forged notif must not abort an
+   unrelated synchronous waiter (that escalation is reserved for forged
+   completion identities). *)
+let zc_cqe t (cqe : Abi.Uring_abi.cqe) =
+  match t.zc with
+  | None -> false
+  | Some z ->
+      if cqe.flags land Abi.Uring_abi.cqe_f_notif <> 0 then begin
+        (match Hashtbl.find_opt z.notif_pending cqe.user_data with
+        | Some nr when nr.completed -> (
+            Hashtbl.remove z.notif_pending cqe.user_data;
+            Obs.Metrics.incr z.zc_notifs;
+            match Umem.release z.pool ~offset:nr.zoff with
+            | Ok () -> ()
+            | Error _ -> Obs.Metrics.incr t.cqe_rejects)
+        | Some _ ->
+            (* Forged-early notif: the host claims the NIC drained a
+               frag whose send the kernel has not even finished
+               accepting.  Refuse; the frame stays Registered and the
+               honest notif (if any) still frees it.  Honouring this
+               CQE is precisely the use-after-reuse-before-notif
+               violation of docs/zerocopy.md. *)
+            Obs.Metrics.incr z.zc_notif_early;
+            Obs.Metrics.incr t.cqe_rejects
+        | None ->
+            (* Duplicated or fabricated notif: no frame is lent out
+               under this identity.  Refusing it is what turns the
+               host's double-free attempt into a no-op. *)
+            Obs.Metrics.incr z.zc_notif_stray;
+            Obs.Metrics.incr t.cqe_rejects);
+        true
+      end
+      else
+        match Hashtbl.find_opt z.ms_by_ud cqe.user_data with
+        | None -> false
+        | Some ms ->
+            (if cqe.flags land Abi.Uring_abi.cqe_f_more <> 0 then begin
+               if cqe.res <= 0 then
+                 (* A data CQE must carry bytes; [F_MORE] with res <= 0
+                    is malformed. *)
+                 Obs.Metrics.incr t.cqe_rejects
+               else begin
+                 let bid = Abi.Uring_abi.cqe_buffer_id cqe.flags in
+                 let off = bid * z.zframe in
+                 match Umem.reclaim z.pool Rx ~offset:off ~len:cqe.res () with
+                 | Error _ ->
+                     (* Bogus buffer id / oversize count: the pool's
+                        ownership map refused it (Table 2 fail action:
+                        drop the CQE, keep the stream). *)
+                     Obs.Metrics.incr t.cqe_rejects
+                 | Ok () ->
+                     (* Stage the bytes inside now — the frame goes
+                        straight back into the provided-buffer ring, so
+                        the arena slot may be overwritten at any later
+                        point. *)
+                     Sgx.Enclave.charge_copy t.enclave ~crossing:true
+                       cqe.res;
+                     let data = Bytes.create cqe.res in
+                     Mem.Region.blit_to_bytes z.arena.Mem.Ptr.region
+                       (z.arena.Mem.Ptr.off + off)
+                       data 0 cqe.res;
+                     Queue.push data ms.outcomes;
+                     (* Re-provision so the stream keeps flowing. *)
+                     (match Umem.alloc z.pool with
+                     | Some noff ->
+                         Umem.commit z.pool noff Rx;
+                         z.provide (noff / z.zframe)
+                     | None -> ())
+               end
+             end
+             else begin
+               (* Terminating CQE (no F_MORE): the multishot is over —
+                  EOF, error, or ENOBUFS when the ring ran dry. *)
+               ms.terminal <- Some cqe.res;
+               Hashtbl.remove z.ms_by_ud cqe.user_data;
+               retire t cqe.user_data
+             end);
+            true
+
 (* Drain everything iCompl holds in one certified burst: a single
    producer-index validation covers all CQEs, and the consumer index is
    released once.  Returns [(reaped, strays)]. *)
@@ -227,16 +442,22 @@ let reap_burst t =
          let cqe =
            Abi.Uring_abi.read_cqe (Rings.Certified.region t.cq) slot_off
          in
-         match Hashtbl.find_opt t.pending cqe.user_data with
-         | Some p ->
-             retire t cqe.user_data;
-             settle t p cqe;
-             incr reaped
-         | None ->
-             (* No such request: a forged or replayed completion. *)
-             Obs.Metrics.incr t.cqe_rejects;
-             Obs.Metrics.incr t.cqe_strays;
-             incr strays));
+         if zc_cqe t cqe then incr reaped
+         else
+           match Hashtbl.find_opt t.pending cqe.user_data with
+           | Some p ->
+               retire t cqe.user_data;
+               settle t p cqe;
+               ignore (zc_mark_completed t cqe);
+               incr reaped
+           | None ->
+               if zc_mark_completed t cqe then incr reaped
+               else begin
+                 (* No such request: a forged or replayed completion. *)
+                 Obs.Metrics.incr t.cqe_rejects;
+                 Obs.Metrics.incr t.cqe_strays;
+                 incr strays
+               end));
   Obs.Metrics.add t.cqes_reaped !reaped;
   (!reaped, !strays)
 
@@ -343,6 +564,9 @@ let op_name : Abi.Uring_abi.opcode -> string = function
   | Send -> "uring.send"
   | Recv -> "uring.recv"
   | Poll_add -> "uring.poll"
+  | Send_zc -> "uring.send_zc"
+  | Sendmsg_zc -> "uring.sendmsg_zc"
+  | Recv_multi -> "uring.recv_multi"
 
 (* Prompt-class opcodes complete as soon as the kernel runs them, so a
    missing CQE after [sync_op_timeout] means the datapath is stuck and
@@ -353,7 +577,11 @@ let op_name : Abi.Uring_abi.opcode -> string = function
    availability posture of DESIGN.md §9 accepts that.) *)
 let prompt_class : Abi.Uring_abi.opcode -> bool = function
   | Nop | Read | Write | Send -> true
-  | Recv | Poll_add -> false
+  (* SEND_ZC's {e completion} is prompt (the kernel posts it as soon as
+     it accepts the bytes); only the notif is unbounded, and nothing
+     waits on the notif synchronously. *)
+  | Send_zc | Sendmsg_zc -> true
+  | Recv | Poll_add | Recv_multi -> false
 
 let submit_wait_once t sqe ~expected_max =
   match submit t sqe ~expected_max with
@@ -424,6 +652,8 @@ let base_sqe opcode ~fd =
     len = 0;
     poll_events = 0;
     user_data = 0L;
+    buf_index = 0;
+    fixed = false;
   }
 
 (* Chunked data transfer through the bounce buffer. *)
@@ -472,8 +702,7 @@ let admit t =
   end
   else Ok ()
 
-let read t ~fd ~off ~buf ~pos ~len =
-  let* () = admit t in
+let read_copy t ~fd ~off ~buf ~pos ~len =
   chunked t
     ~make_sqe:(fun ~done_ ~chunk ->
       {
@@ -486,8 +715,7 @@ let read t ~fd ~off ~buf ~pos ~len =
     ~unstage:(unstage_in t buf)
     ~pos ~len
 
-let write t ~fd ~off ~buf ~pos ~len =
-  let* () = admit t in
+let write_copy t ~fd ~off ~buf ~pos ~len =
   chunked t
     ~make_sqe:(fun ~done_ ~chunk ->
       {
@@ -498,8 +726,7 @@ let write t ~fd ~off ~buf ~pos ~len =
       })
     ~stage:(stage_out t buf) ~unstage:no_unstage ~pos ~len
 
-let send t ~fd ~buf ~pos ~len =
-  let* () = admit t in
+let send_copy t ~fd ~buf ~pos ~len =
   chunked t
     ~make_sqe:(fun ~done_:_ ~chunk ->
       {
@@ -509,8 +736,7 @@ let send t ~fd ~buf ~pos ~len =
       })
     ~stage:(stage_out t buf) ~unstage:no_unstage ~pos ~len
 
-let recv t ~fd ~buf ~pos ~len =
-  let* () = admit t in
+let recv_copy t ~fd ~buf ~pos ~len =
   (* A recv returns as soon as any bytes are available: do not chunk. *)
   let chunk = min len t.bounce_size in
   match
@@ -527,6 +753,262 @@ let recv t ~fd ~buf ~pos ~len =
       unstage_in t buf ~pos ~n;
       Ok n
 
+(* {2 Zero-copy send (SEND_ZC)} *)
+
+(* Submit one SEND_ZC and wait for its {e completion} CQE only.  The
+   frame at [zoff] is already Registered; this pairs it with a
+   notif-pending entry keyed by the assigned user_data.  No retry loop:
+   a transient failure surfaces to the caller, which falls back to the
+   copy path (re-registering a frame across retries would race the
+   kernel's view of the first attempt). *)
+let zc_submit_wait t z sqe ~expected_max ~zoff =
+  match submit t sqe ~expected_max with
+  | Error e ->
+      (* Never entered the ring, so no notif will ever name this frame:
+         the one case where the FM itself may unwind Registered. *)
+      ignore (Umem.release z.pool ~offset:zoff);
+      Error e
+  | Ok p ->
+      Hashtbl.replace z.notif_pending p.user_data
+        { zoff; completed = false };
+      let engine = Sgx.Enclave.engine t.enclave in
+      let start = Sim.Engine.now engine in
+      Sgx.Enclave.charge t.enclave Sgx.Params.iouring_sync_wait_cycles;
+      let r = await ~deadline:(Int64.add start t.sync_op_timeout) t p in
+      Obs.Metrics.observe t.sync_wait_cycles
+        (Int64.to_int (Int64.sub (Sim.Engine.now engine) start));
+      (match t.trace with
+      | None -> ()
+      | Some tr ->
+          Obs.Trace.span tr ~cat:"syncproxy" ~arg:sqe.Abi.Uring_abi.fd
+            (op_name sqe.Abi.Uring_abi.opcode) ~start);
+      (* On failure or abandonment nothing is unwound: the SQE may
+         still execute in the kernel, so the frame must stay Registered,
+         recoverable only through a late notif ([zc_mark_completed]
+         keeps that path alive).  Freeing it here would be exactly the
+         use-after-reuse-before-notif violation. *)
+      r
+
+let zc_send t z ~fd ~buf ~pos ~len =
+  let rec go done_ =
+    if done_ >= len then Ok done_
+    else
+      match Umem.alloc z.pool with
+      | None ->
+          (* Pool drained mid-transfer (withheld notifs): surface the
+             prefix; the next call degrades to the copy path. *)
+          if done_ > 0 then Ok done_
+          else begin
+            Obs.Metrics.incr z.zc_fallbacks;
+            send_copy t ~fd ~buf ~pos ~len
+          end
+      | Some zoff -> (
+          let chunk = min z.zframe (len - done_) in
+          Sgx.Enclave.charge_copy t.enclave ~crossing:true chunk;
+          Mem.Region.blit_from_bytes buf (pos + done_) z.arena.Mem.Ptr.region
+            (z.arena.Mem.Ptr.off + zoff)
+            chunk;
+          Umem.register z.pool zoff;
+          Obs.Metrics.incr z.zc_sends;
+          let sqe =
+            {
+              (base_sqe Abi.Uring_abi.Send_zc ~fd) with
+              addr = z.arena.Mem.Ptr.off + zoff;
+              len = chunk;
+              fixed = true;
+              buf_index = zoff / z.zframe;
+            }
+          in
+          match zc_submit_wait t z sqe ~expected_max:chunk ~zoff with
+          | Ok 0 -> Ok done_
+          | Ok n -> go (done_ + n)
+          | Error _ when done_ > 0 -> Ok done_
+          | Error e when Abi.Errno.is_transient e ->
+              (* First chunk bounced: let the copy path (with its retry
+                 budget) carry the whole transfer. *)
+              Obs.Metrics.incr z.zc_fallbacks;
+              send_copy t ~fd ~buf ~pos ~len
+          | Error e -> Error e)
+  in
+  go 0
+
+(* {2 Fixed-buffer file IO} *)
+
+(* Stage through a pool frame named by its registration index: the
+   kernel reads/writes the pinned frame directly, skipping its bounce
+   copy ([Sgx.Params.iouring_copy_cycles_per_byte]).  Single-CQE ops —
+   the frame stays in Allocated limbo for the op's duration and returns
+   to the pool on completion, no Registered state involved. *)
+let zc_file t z ~opcode ~fd ~off ~buf ~pos ~len ~read_back =
+  let rec go done_ =
+    if done_ >= len then Ok done_
+    else
+      match Umem.alloc z.pool with
+      | None -> if done_ > 0 then Ok done_ else Error Abi.Errno.EAGAIN
+      | Some zoff -> (
+          let chunk = min z.zframe (len - done_) in
+          if not read_back then begin
+            Sgx.Enclave.charge_copy t.enclave ~crossing:true chunk;
+            Mem.Region.blit_from_bytes buf (pos + done_)
+              z.arena.Mem.Ptr.region
+              (z.arena.Mem.Ptr.off + zoff)
+              chunk
+          end;
+          let sqe =
+            {
+              (base_sqe opcode ~fd) with
+              file_off = Int64.of_int (off + done_);
+              addr = z.arena.Mem.Ptr.off + zoff;
+              len = chunk;
+              fixed = true;
+              buf_index = zoff / z.zframe;
+            }
+          in
+          match submit_wait t sqe ~expected_max:chunk with
+          | Ok n ->
+              if read_back && n > 0 then begin
+                Sgx.Enclave.charge_copy t.enclave ~crossing:true n;
+                Mem.Region.blit_to_bytes z.arena.Mem.Ptr.region
+                  (z.arena.Mem.Ptr.off + zoff)
+                  buf (pos + done_) n
+              end;
+              Umem.cancel z.pool zoff;
+              if n = 0 then Ok done_ else go (done_ + n)
+          | Error e ->
+              Umem.cancel z.pool zoff;
+              if done_ > 0 then Ok done_ else Error e)
+  in
+  go 0
+
+(* {2 Multishot receive} *)
+
+(* Buffers provided per armed fd.  Each provided buffer is a pool frame
+   committed to the Rx routine — the same ownership transfer as an XSK
+   fill-ring promise, validated back in by [zc_cqe]'s reclaim. *)
+let ms_buffers = 4
+
+let ms_arm t z ~fd =
+  let provided = ref 0 in
+  (* Keep at least half the pool for sends and fixed IO. *)
+  let budget = min ms_buffers (Umem.free_frames z.pool / 2) in
+  while !provided < budget do
+    match Umem.alloc z.pool with
+    | None -> provided := budget
+    | Some off ->
+        Umem.commit z.pool off Rx;
+        z.provide (off / z.zframe);
+        incr provided
+  done;
+  if !provided = 0 then false
+  else
+    match
+      submit t
+        { (base_sqe Abi.Uring_abi.Recv_multi ~fd) with len = z.zframe }
+        ~expected_max:z.zframe
+    with
+    | Error _ ->
+        (* Could not arm; the provided frames stay in the shared ring
+           and serve a later arming on any fd. *)
+        false
+    | Ok p ->
+        let ms =
+          { ms_p = p; outcomes = Queue.create (); terminal = None;
+            leftover = None }
+        in
+        Hashtbl.replace z.ms_by_fd fd ms;
+        Hashtbl.replace z.ms_by_ud p.user_data ms;
+        true
+
+let rec ms_recv t z ~fd ~buf ~pos ~len =
+  match Hashtbl.find_opt z.ms_by_fd fd with
+  | None ->
+      if ms_arm t z ~fd then ms_recv t z ~fd ~buf ~pos ~len
+      else begin
+        Obs.Metrics.incr z.zc_fallbacks;
+        recv_copy t ~fd ~buf ~pos ~len
+      end
+  | Some ms -> (
+      match ms.leftover with
+      | Some (data, start) ->
+          let avail = Bytes.length data - start in
+          let n = min avail len in
+          Bytes.blit data start buf pos n;
+          ms.leftover <- (if n < avail then Some (data, start + n) else None);
+          Ok n
+      | None ->
+          if not (Queue.is_empty ms.outcomes) then begin
+            let data = Queue.pop ms.outcomes in
+            let n = min (Bytes.length data) len in
+            Bytes.blit data 0 buf pos n;
+            if n < Bytes.length data then ms.leftover <- Some (data, n);
+            Ok n
+          end
+          else (
+            match ms.terminal with
+            | Some res -> (
+                Hashtbl.remove z.ms_by_fd fd;
+                if res = 0 then Ok 0
+                else
+                  match Abi.Errno.of_int (-res) with
+                  | Some Abi.Errno.ENOBUFS ->
+                      (* Provided ring ran dry: re-arm (frames may have
+                         come back) or degrade to the copy path. *)
+                      ms_recv t z ~fd ~buf ~pos ~len
+                  | Some e -> Error e
+                  | None ->
+                      Obs.Metrics.incr t.cqe_rejects;
+                      Error Abi.Errno.EPERM)
+            | None ->
+                let reaped, _ = reap_burst t in
+                if
+                  Queue.is_empty ms.outcomes
+                  && ms.terminal = None && reaped = 0
+                then wait_or_renudge t;
+                ms_recv t z ~fd ~buf ~pos ~len))
+
+(* {2 Dispatch: copy path vs zero-copy path} *)
+
+let read t ~fd ~off ~buf ~pos ~len =
+  let* () = admit t in
+  match t.zc with
+  | Some z when len > 0 && Umem.free_frames z.pool > 0 ->
+      zc_file t z ~opcode:Abi.Uring_abi.Read ~fd ~off ~buf ~pos ~len
+        ~read_back:true
+  | Some z when len > 0 ->
+      Obs.Metrics.incr z.zc_fallbacks;
+      read_copy t ~fd ~off ~buf ~pos ~len
+  | _ -> read_copy t ~fd ~off ~buf ~pos ~len
+
+let write t ~fd ~off ~buf ~pos ~len =
+  let* () = admit t in
+  match t.zc with
+  | Some z when len > 0 && Umem.free_frames z.pool > 0 ->
+      zc_file t z ~opcode:Abi.Uring_abi.Write ~fd ~off ~buf ~pos ~len
+        ~read_back:false
+  | Some z when len > 0 ->
+      Obs.Metrics.incr z.zc_fallbacks;
+      write_copy t ~fd ~off ~buf ~pos ~len
+  | _ -> write_copy t ~fd ~off ~buf ~pos ~len
+
+let send t ~fd ~buf ~pos ~len =
+  let* () = admit t in
+  match t.zc with
+  | Some z when len > 0 && Umem.free_frames z.pool > 0 ->
+      zc_send t z ~fd ~buf ~pos ~len
+  | Some z when len > 0 ->
+      (* Registered frames all awaiting notifs (a withholding host):
+         capacity is lost, correctness is not — degrade to the copy
+         path. *)
+      Obs.Metrics.incr z.zc_fallbacks;
+      send_copy t ~fd ~buf ~pos ~len
+  | _ -> send_copy t ~fd ~buf ~pos ~len
+
+let recv t ~fd ~buf ~pos ~len =
+  let* () = admit t in
+  match t.zc with
+  | Some z when len > 0 -> ms_recv t z ~fd ~buf ~pos ~len
+  | _ -> recv_copy t ~fd ~buf ~pos ~len
+
 let poll t ~fd ~events =
   let* () = admit t in
   submit_wait t
@@ -538,6 +1020,20 @@ let nop t =
   submit_wait t (base_sqe Abi.Uring_abi.Nop ~fd:(-1)) ~expected_max:0
 
 let forget_fd t ~fd =
+  (match t.zc with
+  | None -> ()
+  | Some z -> (
+      match Hashtbl.find_opt z.ms_by_fd fd with
+      | None -> ()
+      | Some ms ->
+          (* Closing an fd with a live multishot: retire its in-flight
+             record.  Frames already promised through the provided ring
+             stay [With_kernel Rx] — the shared ring still names them
+             and any later stream on any fd may legitimately fill
+             them. *)
+          Hashtbl.remove z.ms_by_fd fd;
+          Hashtbl.remove z.ms_by_ud ms.ms_p.user_data;
+          retire t ms.ms_p.user_data));
   match Hashtbl.find_opt t.probes fd with
   | None -> ()
   | Some p ->

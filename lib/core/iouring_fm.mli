@@ -10,7 +10,35 @@
     Completion validation (Table 2): a CQE whose [user_data] does not
     match the single in-flight request, or whose result is outside the
     expected range for the operation (e.g. more bytes than requested),
-    is refused and surfaces to the caller as [EPERM]. *)
+    is refused and surfaces to the caller as [EPERM].
+
+    {1 Zero-copy datapath}
+
+    With [config.zerocopy] the FM additionally owns a pool of frames in
+    untrusted memory, registered with the kernel once at setup
+    ([IORING_REGISTER_BUFFERS]) — docs/zerocopy.md is the full contract.
+    Three mechanisms ride on it:
+
+    - {b SEND_ZC}: {!send} stages into a pool frame and lends it to the
+      kernel ([Umem.Registered]).  The op completes on the first CQE
+      ([F_MORE]); the frame returns to the pool only when the second —
+      the notif ([F_NOTIF]) — is validated.  A notif arriving before
+      its completion, twice, or for a frame never lent is refused
+      (counted under [zc_notif_early]/[zc_notif_stray]); a withheld
+      notif costs pool capacity, never memory safety.
+    - {b Multishot recv}: {!recv} arms one [Recv_multi] SQE per fd and
+      promises pool frames through the shared provided-buffer ring
+      ([With_kernel Rx], the XSK fill-ring discipline).  Data CQEs are
+      validated by the pool's ownership map, staged in, and the frame
+      is immediately re-provided; the stream ends on a CQE without
+      [F_MORE] ([ENOBUFS] triggers re-arming).
+    - {b Fixed-buffer file IO}: {!read}/{!write} stage through a pool
+      frame named by its registration index, skipping the kernel-side
+      bounce copy that classic SQEs pay.
+
+    Every path degrades to the copy path when the pool runs dry
+    ([zc_fallbacks]) — a hostile host can tax throughput, not
+    correctness. *)
 
 type init_error =
   | Bad_fd of int
@@ -28,10 +56,18 @@ val create :
   fd:int ->
   uring:Hostos.Io_uring.t ->
   bounce:Mem.Ptr.t ->
+  ?zc_arena:Mem.Ptr.t ->
   unit ->
   (t, init_error) result
 (** [bounce] is the FM's staging buffer of [config.max_io_size] bytes in
     untrusted memory (allocated by the runtime, validated here).
+
+    [zc_arena], when given, is the zero-copy pool arena of
+    [config.zc_frames * config.zc_frame_size] bytes in untrusted memory
+    whose frames the runtime has already registered with the kernel
+    (entry [i] = frame [i]); it is validated (untrusted, in-bounds,
+    disjoint from rings and bounce) and wrapped in a {!Umem.t} ownership
+    map named ["<name>.zc"].  Omitted = copy path only.
 
     [obs] (with [name], default ["uring"] — the runtime passes
     ["uring0"], ["uring1"], ... per thread) registers SQE/CQE counters
@@ -133,9 +169,40 @@ val sheds : t -> int
 
 val accounting_holds : t -> bool
 (** In-flight accounting is internally consistent: the op-by-op [live]
-    shadow counter matches the pending table, and every unsettled
-    readiness probe still has its pending record.  Rolled into
-    {!Runtime.invariant_holds}. *)
+    shadow counter matches the pending table, every unsettled readiness
+    probe still has its pending record, and — zero-copy — the pool's
+    frame conservation holds with exactly one notif-pending entry per
+    [Registered] frame.  Rolled into {!Runtime.invariant_holds}. *)
+
+(** {1 Zero-copy introspection} *)
+
+val zc_enabled : t -> bool
+
+val zc_pool : t -> Umem.t option
+(** The zero-copy frame pool's ownership map ([None] on the copy
+    path). *)
+
+val zc_sends : t -> int
+(** Frames lent out on SEND_ZC submissions (["<name>.zc_sends"]). *)
+
+val zc_fallbacks : t -> int
+(** Operations that degraded to the copy path because the pool was dry
+    or a zero-copy submission bounced (["<name>.zc_fallbacks"]). *)
+
+val zc_notifs : t -> int
+(** Notifs validated — frames returned from [Registered] to the pool
+    (["<name>.zc_notifs"]). *)
+
+val zc_notif_rejects : t -> int
+(** Refused notifs: forged-early (["<name>.zc_notif_early"]) plus
+    duplicated/fabricated (["<name>.zc_notif_stray"]).  Each also
+    counts under {!cqe_rejects}. *)
+
+val zc_leaks : t -> int
+(** Completed sends whose notif never arrived.  At quiescence each is a
+    frame the host holds hostage by withholding its notif — the
+    dropped-notif availability attack's footprint, and a campaign
+    failure condition. *)
 
 val pp_init_error : Format.formatter -> init_error -> unit
 (** Human-readable rendering of a {!init_error}. *)

@@ -326,6 +326,10 @@ let shared_arena_size config =
   in
   (config.Config.num_queues * config.Config.num_xsks * per_xsk)
   + (32 * 1024 * 1024)
+  + (if config.Config.zerocopy then
+       (* headroom for up to 32 threads' zero-copy pool arenas *)
+       32 * config.Config.zc_frames * config.Config.zc_frame_size
+     else 0)
 
 let boot kernel ~sgx ?(config = Config.default) () =
   match Config.validate config with
@@ -729,12 +733,41 @@ let new_thread t =
      this tag. *)
   let shard = t.shards.(id mod Array.length t.shards) in
   Hostos.Io_uring.set_shard uring shard.sq;
+  (* Zero-copy pool: carve the frame arena out of the shared region and
+     pin it with the kernel once ([IORING_REGISTER_BUFFERS], entry i =
+     frame i) — fixed SQEs then name table indices with no per-op
+     syscall.  Registration is setup work, outside the enclave. *)
+  let zc_arena =
+    if not t.config.Config.zerocopy then Ok None
+    else begin
+      let zframe = t.config.Config.zc_frame_size in
+      let arena =
+        Mem.Alloc.alloc_ptr t.shared_alloc ~align:8
+          (t.config.Config.zc_frames * zframe)
+      in
+      let entries =
+        List.init t.config.Config.zc_frames (fun i ->
+            (arena.Mem.Ptr.off + (i * zframe), zframe))
+      in
+      Sgx.Enclave.ocall t.enclave;
+      match Hostos.Kernel.uring_register_buffers t.kernel uring entries with
+      | Ok () -> Ok (Some arena)
+      | Error e ->
+          Error
+            (Format.asprintf "zero-copy buffer registration: %a"
+               Mem.Regtable.pp_error e)
+    end
+  in
   match
-    Iouring_fm.create ~obs:t.obs
-      ~name:("uring" ^ string_of_int id)
-      ~enclave:t.enclave ~config:t.config ~fd ~uring ~bounce ()
+    Result.bind zc_arena (fun zc_arena ->
+        Result.map_error
+          (Format.asprintf "io_uring fm: %a" Iouring_fm.pp_init_error)
+          (Iouring_fm.create ~obs:t.obs
+             ~name:("uring" ^ string_of_int id)
+             ~enclave:t.enclave ~config:t.config ~fd ~uring ~bounce ?zc_arena
+             ()))
   with
-  | Error e -> Error (Format.asprintf "io_uring fm: %a" Iouring_fm.pp_init_error e)
+  | Error e -> Error e
   | Ok fm ->
       (if t.config.Config.use_sqpoll then
          (* SQPOLL: the kernel's own poller notices new SQEs within its
@@ -781,6 +814,19 @@ let total_desc_rejects t =
   + List.fold_left
       (fun acc th -> acc + Iouring_fm.cqe_rejects (Syncproxy.fm th.proxy))
       0 t.threads
+
+let sum_uring t f =
+  List.fold_left (fun acc th -> acc + f (Syncproxy.fm th.proxy)) 0 t.threads
+
+let total_zc_sends t = sum_uring t Iouring_fm.zc_sends
+
+let total_zc_fallbacks t = sum_uring t Iouring_fm.zc_fallbacks
+
+let total_zc_notifs t = sum_uring t Iouring_fm.zc_notifs
+
+let total_zc_notif_rejects t = sum_uring t Iouring_fm.zc_notif_rejects
+
+let total_zc_leaks t = sum_uring t Iouring_fm.zc_leaks
 
 let shard_invariant_holds sh =
   Array.for_all Xsk_fm.invariant_holds sh.sh_fms

@@ -235,6 +235,27 @@ val total_desc_rejects : t -> int
 (** Descriptor-level rejections: out-of-UMem XSK descriptors plus
     forged/stray io_uring CQEs. *)
 
+val total_zc_sends : t -> int
+(** SEND_ZC frames lent to the kernel, summed over every io_uring FM
+    (zero when [config.zerocopy] is off). *)
+
+val total_zc_fallbacks : t -> int
+(** Zero-copy operations that degraded to the copy path (dry pool or
+    bounced submission), summed over every io_uring FM. *)
+
+val total_zc_notifs : t -> int
+(** Validated notifs — frames returned from [Registered] — summed over
+    every io_uring FM. *)
+
+val total_zc_notif_rejects : t -> int
+(** Refused notifs (forged-early + stray/duplicate), summed over every
+    io_uring FM. *)
+
+val total_zc_leaks : t -> int
+(** Frames still awaiting a notif the host has withheld, summed over
+    every io_uring FM.  Non-zero at quiescence is the dropped-notif
+    attack's footprint and a campaign failure. *)
+
 val invariant_holds : t -> bool
 (** Conjunction of every certified ring's local invariant, every UMem's
     frame-conservation invariant (no frame leaked or double-owned), and

@@ -5,8 +5,9 @@ type reject =
   | Misaligned of int
   | Wrong_owner of { offset : int; expected : routine }
   | Oversize of { offset : int; len : int }
+  | Not_registered of int
 
-type state = Owned | Allocated | With_kernel of routine
+type state = Owned | Allocated | With_kernel of routine | Registered
 
 type t = {
   size : int;
@@ -17,6 +18,7 @@ type t = {
   mutable out_rx : int; (* frames currently With_kernel Rx *)
   mutable out_tx : int; (* frames currently With_kernel Tx *)
   mutable allocated : int; (* frames in Allocated limbo *)
+  mutable registered_n : int; (* frames lent to the kernel until notif *)
   rejects : Obs.Metrics.counter;
   force_reclaims : Obs.Metrics.counter;
   trace : Obs.Trace.t option;
@@ -44,6 +46,7 @@ let create ?obs ?(name = "umem") ~size ~frame_size () =
     out_rx = 0;
     out_tx = 0;
     allocated = 0;
+    registered_n = 0;
     rejects = Obs.Metrics.counter m (name ^ ".rejects");
     force_reclaims = Obs.Metrics.counter m (name ^ ".force_reclaims");
     trace = Option.map Obs.trace obs;
@@ -90,7 +93,7 @@ let commit t offset routine =
       (match routine with
       | Rx -> t.out_rx <- t.out_rx + 1
       | Tx -> t.out_tx <- t.out_tx + 1)
-  | Owned | With_kernel _ ->
+  | Owned | With_kernel _ | Registered ->
       invalid_arg "Umem.commit: frame was not allocated"
 
 let cancel t offset =
@@ -100,11 +103,45 @@ let cancel t offset =
       t.state.(idx) <- Owned;
       t.allocated <- t.allocated - 1;
       Queue.add idx t.free
-  | Owned | With_kernel _ -> invalid_arg "Umem.cancel: frame was not allocated"
+  | Owned | With_kernel _ | Registered ->
+      invalid_arg "Umem.cancel: frame was not allocated"
+
+(* Zero-copy lending: the frame leaves on a SEND_ZC and the kernel may
+   read it until the notif CQE — Allocated -> Registered is an
+   FM-internal transition (caller bug = exception, like commit). *)
+let register t offset =
+  let idx = frame_of_exn t offset "register" in
+  match t.state.(idx) with
+  | Allocated ->
+      t.state.(idx) <- Registered;
+      t.allocated <- t.allocated - 1;
+      t.registered_n <- t.registered_n + 1
+  | Owned | With_kernel _ | Registered ->
+      invalid_arg "Umem.register: frame was not allocated"
 
 let reject t r =
   Obs.Metrics.incr t.rejects;
   Error r
+
+(* Registered -> free is the only exit from Registered, and it is
+   host-prompted (a notif CQE names the frame), so it is validated like
+   {!reclaim}: a notif for a frame we never lent — or lent and already
+   took back — is a Table-2-style violation, refused with nothing
+   changed. *)
+let release t ~offset =
+  if offset < 0 || offset >= t.size then reject t (Out_of_range offset)
+  else if offset mod t.frame_size <> 0 then reject t (Misaligned offset)
+  else begin
+    let idx = offset / t.frame_size in
+    match t.state.(idx) with
+    | Registered ->
+        t.state.(idx) <- Owned;
+        t.registered_n <- t.registered_n - 1;
+        Queue.add idx t.free;
+        trace_frame t t.free_label offset;
+        Ok ()
+    | Owned | Allocated | With_kernel _ -> reject t (Not_registered offset)
+  end
 
 let reclaim t routine ~offset ?(len = 0) () =
   if offset < 0 || offset + max len 1 > t.size then reject t (Out_of_range offset)
@@ -121,14 +158,17 @@ let reclaim t routine ~offset ?(len = 0) () =
         Queue.add idx t.free;
         trace_frame t t.free_label offset;
         Ok ()
-    | Owned | Allocated | With_kernel _ ->
+    | Owned | Allocated | With_kernel _ | Registered ->
         reject t (Wrong_owner { offset; expected = routine })
   end
 
 let limbo t = t.allocated
 
+let registered t = t.registered_n
+
 let conservation_holds t =
-  Queue.length t.free + t.out_rx + t.out_tx + t.allocated = t.nframes
+  Queue.length t.free + t.out_rx + t.out_tx + t.allocated + t.registered_n
+  = t.nframes
 
 (* Quarantine-and-reinit support: after ring re-certification nothing
    the kernel still "holds" will ever legitimately come back, so pull
@@ -145,7 +185,11 @@ let reclaim_outstanding ?only t =
           Queue.add idx t.free;
           trace_frame t t.free_label (idx * t.frame_size);
           incr count
-      | With_kernel _ | Owned | Allocated -> ())
+      | With_kernel _ | Owned | Allocated | Registered ->
+          (* Registered frames are NOT swept: ring re-certification says
+             nothing about whether the NIC has drained a zero-copy
+             frag — only its notif may free it (docs/zerocopy.md). *)
+          ())
     t.state;
   if want Rx then t.out_rx <- 0;
   if want Tx then t.out_tx <- 0;
@@ -164,3 +208,5 @@ let pp_reject ppf = function
         (match expected with Rx -> "receive" | Tx -> "send")
   | Oversize { offset; len } ->
       Format.fprintf ppf "descriptor (%d, +%d) exceeds frame" offset len
+  | Not_registered off ->
+      Format.fprintf ppf "notif for frame %d that is not lent out" off

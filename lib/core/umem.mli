@@ -8,6 +8,13 @@
     FM pool up invalid, overlapping or double-owned frames — the exact
     attack the paper's "UMem frames allocator" paragraph describes.
 
+    Zero-copy sends add a fifth ownership partition: a frame lent on a
+    [SEND_ZC] is {e Registered} — the kernel (NIC DMA) may read it until
+    the notif CQE arrives, and only {!release}, prompted by that notif,
+    returns it to the free pool.  Reusing a Registered frame before its
+    notif is the use-after-reuse violation docs/zerocopy.md defines; the
+    ownership map here is what makes it impossible to express.
+
     All offsets are UMem-relative bytes. *)
 
 type routine = Rx | Tx
@@ -19,6 +26,10 @@ type reject =
       (** the frame is not currently out on that routine *)
   | Oversize of { offset : int; len : int }
       (** descriptor length exceeds the frame *)
+  | Not_registered of int
+      (** a notif names a frame that is not currently lent out
+          zero-copy: forged (never lent / reuse attempt) or duplicated
+          (already released) *)
 
 type t
 
@@ -52,12 +63,27 @@ val commit : t -> int -> routine -> unit
 val cancel : t -> int -> unit
 (** Return an allocated-but-never-produced frame to the pool. *)
 
+val register : t -> int -> unit
+(** Record that the frame at [offset] (from {!alloc}) has been lent to
+    the kernel on a zero-copy send: Allocated -> Registered.  The
+    kernel may read the frame until its notif; the FM must not touch it
+    and can only get it back through {!release}.  Raises
+    [Invalid_argument] on a protocol violation by the caller. *)
+
 val reclaim : t -> routine -> offset:int -> ?len:int -> unit -> (unit, reject) result
 (** Validate a descriptor consumed from xRX ([Rx], with [len]) or
     xCompl ([Tx]): in range, frame-aligned, length within the frame, and
     owned by that routine.  On success the frame returns to the FM
     pool; on failure nothing changes and the caller must refuse the
     descriptor and advance the ring consumer (Table 2 fail action). *)
+
+val release : t -> offset:int -> (unit, reject) result
+(** Validate a zero-copy notif naming [offset]: in range, frame-aligned
+    and currently Registered.  On success the frame returns to the free
+    pool (the {e only} exit from Registered — SNIPPETS.md Snippet 1's
+    "buffer node hangs off the notif" rule made structural).  On
+    failure ([Not_registered]: a forged-early or duplicated notif)
+    nothing changes and the caller must refuse the CQE. *)
 
 val rejects : t -> int
 
@@ -67,10 +93,15 @@ val limbo : t -> int
 (** Frames allocated but not yet committed or cancelled — owned by an
     operation in progress.  Zero whenever no FM is mid-transmit. *)
 
+val registered : t -> int
+(** Frames currently lent to the kernel zero-copy, awaiting notif.
+    O(1). *)
+
 val conservation_holds : t -> bool
 (** Every frame is accounted for:
-    [free + outstanding Rx + outstanding Tx + limbo = frame_count].
-    Holds at every quiescent point; e2e tests assert it at exit. *)
+    [free + outstanding Rx + outstanding Tx + limbo + registered
+    = frame_count].  Holds at every quiescent point; e2e tests assert
+    it at exit. *)
 
 val reclaim_outstanding : ?only:routine -> t -> int
 (** Forcibly return every [With_kernel] frame to the pool — the UMem
@@ -82,8 +113,11 @@ val reclaim_outstanding : ?only:routine -> t -> int
     honored by the kernel — reclaiming them would turn every
     post-failback arrival landing in a not-yet-consumed fill entry
     into a [Wrong_owner] drop.  Frames in {!limbo} are left to their
-    owner.  Returns the number reclaimed (also accumulated under
-    [<name>.force_reclaims]). *)
+    owner.  Registered frames are never swept: re-certifying a ring
+    says nothing about whether the NIC has drained a zero-copy frag,
+    so only their notif may free them — a host that withholds notifs
+    costs pool capacity, never memory safety.  Returns the number
+    reclaimed (also accumulated under [<name>.force_reclaims]). *)
 
 val force_reclaims : t -> int
 

@@ -1,4 +1,8 @@
-type exec_result = Done of int | Blocking of (unit -> int)
+type exec_result =
+  | Done of int
+  | Blocking of (unit -> int)
+  | Done_zc of { res : int; notif_delay : int64 }
+  | Multishot of (unit -> int * int)
 
 type t = {
   id : int;
@@ -20,6 +24,16 @@ type t = {
   (* Datapath shard of the thread this ring belongs to, for shard-pinned
      fault/malice armings.  None until the runtime tags it. *)
   mutable shard : int option;
+  (* IORING_REGISTER_BUFFERS / IORING_REGISTER_FILES state: validated at
+     registration time, consulted per fixed SQE. *)
+  mutable reg_bufs : Mem.Regtable.t option;
+  mutable reg_files : int array;
+  (* Provided-buffer ring for multishot recv: ids the submitter has
+     handed the kernel to fill.  Stands for the shared buf_ring pages —
+     the FM re-provides without a syscall. *)
+  buf_ring : int Queue.t;
+  mutable notifs_posted : int;
+  mutable notifs_withheld : int;
 }
 
 let next_id = ref 0
@@ -39,6 +53,40 @@ let submitted t = t.submitted
 let completed t = t.completed
 
 let dropped t = t.dropped
+
+let register_buffers t entries =
+  match Mem.Regtable.create t.region entries with
+  | Ok tbl ->
+      t.reg_bufs <- Some tbl;
+      Ok ()
+  | Error e -> Error e
+
+let reg_bufs t = t.reg_bufs
+
+let register_files t fds = t.reg_files <- Array.of_list fds
+
+let provide_buffer t id = Queue.push id t.buf_ring
+
+let take_buffer t = Queue.take_opt t.buf_ring
+
+let registered_file t idx =
+  if idx >= 0 && idx < Array.length t.reg_files then Some t.reg_files.(idx)
+  else None
+
+let notifs_posted t = t.notifs_posted
+
+let notifs_withheld t = t.notifs_withheld
+
+(* A fixed SQE must name a registered buffer that covers its whole
+   [addr..addr+len) range; anything else is the unregistered-pointer
+   case the real kernel refuses with EFAULT at submission time. *)
+let fixed_ok t (sqe : Abi.Uring_abi.sqe) =
+  if not sqe.fixed then true
+  else
+    match t.reg_bufs with
+    | None -> false
+    | Some tbl ->
+        Mem.Regtable.covers tbl sqe.buf_index ~addr:sqe.addr ~len:sqe.len
 
 (* CQE tampering covers both the Table 2 "return code" checks and the
    identity checks the FM performs against its pending table: a forged
@@ -154,6 +202,85 @@ let faulty_sqe t (sqe : Abi.Uring_abi.sqe) =
       { sqe with len = 1 + Sim.Rng.int (Faults.rng f) (sqe.len - 1) }
   | _ -> sqe
 
+(* Two-phase SEND_ZC completion (SNIPPETS.md Snippet 1): the completion
+   CQE (F_MORE) reports the byte count as soon as the kernel has queued
+   the pinned frags; the notif CQE (F_NOTIF) follows once the NIC has
+   drained them — only the notif returns buffer ownership.  A malicious
+   host owns the ordering: it may forge a notif before the completion,
+   withhold it forever, or post it twice.  The honest delay models
+   softirq + ubuf_info release after wire serialization. *)
+let zero_copy t (sqe : Abi.Uring_abi.sqe) ~res ~notif_delay =
+  let completion =
+    {
+      Abi.Uring_abi.user_data = sqe.user_data;
+      res;
+      flags = Abi.Uring_abi.cqe_f_more;
+    }
+  in
+  let notif =
+    {
+      Abi.Uring_abi.user_data = sqe.user_data;
+      res = 0;
+      flags = Abi.Uring_abi.cqe_f_notif;
+    }
+  in
+  (match !(t.malice) with
+  | Some m when Malice.roll ?shard:t.shard !(t.malice) Malice.Forged_early_notif ->
+      (* Notif forged *before* the completion: the frame is still on the
+         NIC, so an FM that trusts it reuses live memory.  The honest
+         pair still follows, so a correct FM loses nothing. *)
+      Malice.record m Malice.Forged_early_notif;
+      post_cqe t notif
+  | _ -> ());
+  post_cqe t completion;
+  match !(t.malice) with
+  | Some m when Malice.roll ?shard:t.shard !(t.malice) Malice.Dropped_notif ->
+      (* Withheld notif: the frame never comes back.  Costs the FM pool
+         capacity (it degrades to the copy path), never correctness. *)
+      Malice.record m Malice.Dropped_notif;
+      t.notifs_withheld <- t.notifs_withheld + 1
+  | malice ->
+      let dup =
+        match malice with
+        | Some m when Malice.roll ?shard:t.shard !(t.malice) Malice.Double_notif ->
+            Malice.record m Malice.Double_notif;
+            true
+        | _ -> false
+      in
+      Sim.Engine.spawn t.engine
+        ~name:(Printf.sprintf "uring%d-notif" t.id)
+        (fun () ->
+          Sim.Engine.delay notif_delay;
+          t.notifs_posted <- t.notifs_posted + 1;
+          post_cqe t notif;
+          if dup then post_cqe t notif)
+
+(* Multishot: one SQE, a stream of CQEs.  Every hit carries F_MORE (plus
+   the provided-buffer id); the terminating CQE — EOF, error, or no free
+   provided buffer — drops F_MORE, telling the FM the SQE is dead and
+   must be re-armed. *)
+let multishot t (sqe : Abi.Uring_abi.sqe) f =
+  Sim.Engine.spawn t.engine
+    ~name:(Printf.sprintf "uring%d-multishot" t.id)
+    (fun () ->
+      let rec loop () =
+        let res, buf_id = f () in
+        if res > 0 then begin
+          post_cqe t
+            {
+              Abi.Uring_abi.user_data = sqe.user_data;
+              res;
+              flags =
+                Abi.Uring_abi.cqe_f_more lor Abi.Uring_abi.cqe_f_buffer
+                lor (buf_id lsl Abi.Uring_abi.cqe_buffer_shift);
+            };
+          loop ()
+        end
+        else
+          post_cqe t { Abi.Uring_abi.user_data = sqe.user_data; res; flags = 0 }
+      in
+      loop ())
+
 let worker t () =
   let rec drain () =
     let sqe =
@@ -171,6 +298,7 @@ let worker t () =
           {
             Abi.Uring_abi.user_data = 0L;
             res = Abi.Uring_abi.res_of_errno Abi.Errno.EINVAL;
+            flags = 0;
           };
         next ()
     | Some (Ok sqe) ->
@@ -184,13 +312,25 @@ let worker t () =
               {
                 Abi.Uring_abi.user_data = sqe.user_data;
                 res = Abi.Uring_abi.res_of_errno (Faults.pick_errno f);
+                flags = 0;
+              }
+        | _ when not (fixed_ok t sqe) ->
+            (* Fixed SQE outside its registered buffer (or no table):
+               refused at submission like an unregistered pointer. *)
+            post_cqe t
+              {
+                Abi.Uring_abi.user_data = sqe.user_data;
+                res = Abi.Uring_abi.res_of_errno Abi.Errno.EFAULT;
+                flags = 0;
               }
         | _ -> (
             let sqe = faulty_sqe t sqe in
             match t.exec sqe with
             | Done res ->
                 maybe_corrupt_buffer t sqe res;
-                post_cqe t { Abi.Uring_abi.user_data = sqe.user_data; res }
+                post_cqe t { Abi.Uring_abi.user_data = sqe.user_data; res; flags = 0 }
+            | Done_zc { res; notif_delay } -> zero_copy t sqe ~res ~notif_delay
+            | Multishot f -> multishot t sqe f
             | Blocking f ->
                 (* Ops that may wait (recv, poll) run in their own kernel
                    context so the ring worker keeps draining — matching
@@ -200,7 +340,8 @@ let worker t () =
                   (fun () ->
                     let res = f () in
                     maybe_corrupt_buffer t sqe res;
-                    post_cqe t { Abi.Uring_abi.user_data = sqe.user_data; res })));
+                    post_cqe t
+                      { Abi.Uring_abi.user_data = sqe.user_data; res; flags = 0 })));
         next ()
   (* Partial_cqe: the worker deschedules mid-batch, leaving the iSub tail
      queued until the next io_uring_enter.  Liveness is the enclave's
@@ -252,6 +393,11 @@ let create engine ~alloc ~entries ~exec ~malice ~faults =
       dropped = 0;
       last_user_data = 0L;
       shard = None;
+      reg_bufs = None;
+      reg_files = [||];
+      buf_ring = Queue.create ();
+      notifs_posted = 0;
+      notifs_withheld = 0;
     }
   in
   Sim.Engine.spawn engine ~name:(Printf.sprintf "uring%d-worker" t.id) (worker t);

@@ -8,13 +8,27 @@
 
     Opcode semantics are delegated to an [exec] closure supplied by
     {!Kernel}, which owns the fd table; this module owns the ring
-    protocol, the per-op cost and the malice hooks on CQEs. *)
+    protocol, the per-op cost, the registered-buffer/file tables, the
+    two-phase zero-copy completion machinery and the malice hooks on
+    CQEs (including the three notif attacks of docs/zerocopy.md). *)
 
 type exec_result =
   | Done of int  (** completed inline by the worker *)
   | Blocking of (unit -> int)
       (** may wait: run in a dedicated kernel context so the ring worker
           keeps draining (io_uring's async poll/recv machinery) *)
+  | Done_zc of { res : int; notif_delay : int64 }
+      (** zero-copy send already queued on the NIC: the worker posts the
+          completion CQE ([cqe_f_more]) now and the notif CQE
+          ([cqe_f_notif]) after [notif_delay] — unless malice reorders,
+          duplicates or withholds it.  The submitter's buffer stays
+          kernel-owned until the notif. *)
+  | Multishot of (unit -> int * int)
+      (** multishot op: the closure blocks for the next event and
+          returns [(res, buf_id)].  Each [res > 0] posts a
+          [cqe_f_more]-flagged CQE naming the provided buffer; the first
+          [res <= 0] posts the terminating CQE (no [cqe_f_more]) and
+          ends the stream. *)
 
 type t
 
@@ -50,6 +64,44 @@ val completed : t -> int
 
 val dropped : t -> int
 (** Completions lost to a full iCompl. *)
+
+(** {1 Registration (IORING_REGISTER_BUFFERS / IORING_REGISTER_FILES)}
+
+    Registration is the trust-boundary moment of the zero-copy design:
+    the buffer set is validated {e once} (in-region, non-empty, pairwise
+    disjoint — {!Mem.Regtable}), then every fixed SQE merely names a
+    table index and is bounds-checked against it ([EFAULT] on a miss).
+    After registration the kernel may DMA from/into any registered frame
+    it has been handed via a fixed SQE, until it yields it back — at
+    completion for fixed read/write, at {e notif} for [Send_zc]. *)
+
+val register_buffers : t -> (int * int) list -> (unit, Mem.Regtable.error) result
+(** Pin [(region_offset, len)] buffer ranges; index is positional.
+    Replaces any previous table. *)
+
+val reg_bufs : t -> Mem.Regtable.t option
+
+val register_files : t -> int list -> unit
+(** Pin an fd table; fixed SQEs may then name files by index (the
+    kernel resolves via {!registered_file}). *)
+
+val registered_file : t -> int -> int option
+
+val provide_buffer : t -> int -> unit
+(** Hand registered buffer [id] to the kernel for multishot recv to
+    fill.  Models a write to the shared provided-buffer ring: no
+    syscall, callable from enclave context. *)
+
+val take_buffer : t -> int option
+(** Kernel side: claim the next provided buffer ([None] = ring empty,
+    the multishot stream must terminate with [ENOBUFS]). *)
+
+val notifs_posted : t -> int
+(** Honest zero-copy notif CQEs posted so far. *)
+
+val notifs_withheld : t -> int
+(** Notifs suppressed by a [Dropped_notif] malice roll — each one is a
+    registered frame the enclave will never get back. *)
 
 val cq_notify : t -> Sim.Condition.t
 (** Broadcast on every CQE post; simulation stand-in for the SyncProxy's

@@ -366,9 +366,21 @@ let xsk_rx_wakeup t xsk =
   syscall t;
   faulty_wakeup ?shard:(Xdp.shard xsk) t (fun () -> Xdp.rx_wakeup t.xdp xsk)
 
+(* Kernel-side bounce between the shared IO buffer and kernel memory on
+   the classic io_uring data ops.  Fixed-buffer SQEs skip it — the whole
+   point of registration is that the kernel DMAs straight from/into the
+   pinned frame (docs/zerocopy.md). *)
+let charge_uring_copy (sqe : Abi.Uring_abi.sqe) n =
+  if (not sqe.fixed) && n > 0 then
+    Sim.Engine.delay
+      (Int64.of_float
+         (float_of_int n *. Sgx.Params.iouring_copy_cycles_per_byte))
+
 (* Execute one SQE on behalf of the io_uring worker.  [region] is the
-   shared region SQE buffer offsets refer to. *)
-let exec_sqe t region (sqe : Abi.Uring_abi.sqe) =
+   shared region SQE buffer offsets refer to; [uring] (filled in right
+   after {!Io_uring.create} returns) carries the registered-buffer
+   table for the provided-buffer opcodes. *)
+let exec_sqe t region ~uring (sqe : Abi.Uring_abi.sqe) =
   let open Io_uring in
   let err e = Done (Abi.Uring_abi.res_of_errno e) in
   let buffer_ok () = Mem.Region.in_bounds region ~off:sqe.addr ~len:sqe.len in
@@ -384,6 +396,7 @@ let exec_sqe t region (sqe : Abi.Uring_abi.sqe) =
               Vfs.read t.vfs st.inode ~off:(Int64.to_int sqe.file_off) tmp 0
                 sqe.len
             in
+            charge_uring_copy sqe n;
             Mem.Region.blit_from_bytes tmp 0 region sqe.addr n;
             Done n
           end
@@ -396,6 +409,7 @@ let exec_sqe t region (sqe : Abi.Uring_abi.sqe) =
           else begin
             let tmp = Bytes.create sqe.len in
             Mem.Region.blit_to_bytes region sqe.addr tmp 0 sqe.len;
+            charge_uring_copy sqe sqe.len;
             Done
               (Vfs.write t.vfs st.inode ~off:(Int64.to_int sqe.file_off) tmp 0
                  sqe.len)
@@ -409,8 +423,35 @@ let exec_sqe t region (sqe : Abi.Uring_abi.sqe) =
           else begin
             let tmp = Bytes.create sqe.len in
             Mem.Region.blit_to_bytes region sqe.addr tmp 0 sqe.len;
+            charge_uring_copy sqe sqe.len;
             match Tcp_core.send t.tcp ep tmp 0 sqe.len with
             | Ok n -> Done n
+            | Error e -> err e
+          end
+      | Some _ -> err EBADF
+      | None -> err EBADF)
+  | Send_zc | Sendmsg_zc -> (
+      (* Zero-copy send: the payload leaves straight from the pinned
+         shared frame — no kernel-side bounce, and the frame stays
+         kernel-owned until the notif CQE.  An error completes in one
+         CQE (nothing was pinned, real SEND_ZC behaves the same). *)
+      match find t sqe.fd with
+      | Some (Tcp_sock ep) ->
+          if not (buffer_ok ()) then err EFAULT
+          else begin
+            let tmp = Bytes.create sqe.len in
+            Mem.Region.blit_to_bytes region sqe.addr tmp 0 sqe.len;
+            match Tcp_core.send t.tcp ep tmp 0 sqe.len with
+            | Ok n ->
+                Done_zc
+                  {
+                    res = n;
+                    notif_delay =
+                      Int64.add Sgx.Params.zc_notif_base_cycles
+                        (Int64.of_float
+                           (float_of_int n
+                           *. !Sgx.Params.live_wire_cycles_per_byte));
+                  }
             | Error e -> err e
           end
       | Some _ -> err EBADF
@@ -425,11 +466,45 @@ let exec_sqe t region (sqe : Abi.Uring_abi.sqe) =
                 let tmp = Bytes.create sqe.len in
                 match Tcp_core.recv t.tcp ep tmp 0 sqe.len with
                 | Ok n ->
+                    charge_uring_copy sqe n;
                     Mem.Region.blit_from_bytes tmp 0 region sqe.addr n;
                     n
                 | Error e -> Abi.Uring_abi.res_of_errno e)
       | Some _ -> err EBADF
       | None -> err EBADF)
+  | Recv_multi -> (
+      (* Multishot receive into provided (registered) buffers: one SQE,
+         a stream of CQEs, each naming the buffer the kernel filled.
+         The FM re-provides consumed buffers through the shared buffer
+         ring (no syscall); an empty ring terminates the stream with
+         ENOBUFS, exactly like the real kernel. *)
+      match (find t sqe.fd, !uring) with
+      | Some (Tcp_sock ep), Some u -> (
+          match Io_uring.reg_bufs u with
+          | None -> err ENOBUFS
+          | Some tbl ->
+              Multishot
+                (fun () ->
+                  match Io_uring.take_buffer u with
+                  | None -> (Abi.Uring_abi.res_of_errno Abi.Errno.ENOBUFS, 0)
+                  | Some id -> (
+                      match Mem.Regtable.find tbl id with
+                      | None ->
+                          (Abi.Uring_abi.res_of_errno Abi.Errno.EFAULT, 0)
+                      | Some (off, blen) -> (
+                          let tmp = Bytes.create blen in
+                          match Tcp_core.recv t.tcp ep tmp 0 blen with
+                          | Ok n when n > 0 ->
+                              Mem.Region.blit_from_bytes tmp 0 region off n;
+                              (n, id)
+                          | Ok n ->
+                              Io_uring.provide_buffer u id;
+                              (n, id)
+                          | Error e ->
+                              Io_uring.provide_buffer u id;
+                              (Abi.Uring_abi.res_of_errno e, 0)))))
+      | Some _, _ -> err EBADF
+      | None, _ -> err EBADF)
   | Poll_add -> (
       match find t sqe.fd with
       | None -> err EBADF
@@ -469,12 +544,27 @@ let uring_create t ~alloc ~entries =
     syscall t
   done;
   let region = Mem.Alloc.region alloc in
+  (* The exec closure needs the ring it serves (registered-buffer table
+     for the provided-buffer opcodes); it is never called before the
+     worker first runs, so filling the ref right after create is safe. *)
+  let uring_ref = ref None in
   let uring =
     Io_uring.create t.engine ~alloc ~entries
-      ~exec:(fun sqe -> exec_sqe t region sqe)
+      ~exec:(fun sqe -> exec_sqe t region ~uring:uring_ref sqe)
       ~malice:t.malice_ref ~faults:t.faults_ref
   in
+  uring_ref := Some uring;
   (alloc_fd t (Uring_fd uring), uring)
+
+(* io_uring_register: one syscall to pin a buffer or file set; per-op
+   use is then syscall-free (fixed SQEs name table indices). *)
+let uring_register_buffers t uring entries =
+  syscall t;
+  Io_uring.register_buffers uring entries
+
+let uring_register_files t uring fds =
+  syscall t;
+  Io_uring.register_files uring fds
 
 let uring_enter t uring =
   syscall t;

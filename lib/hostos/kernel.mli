@@ -127,3 +127,12 @@ val xsk_rx_wakeup : t -> Xdp.xsk -> unit
 val uring_create : t -> alloc:Mem.Alloc.t -> entries:int -> fd * Io_uring.t
 
 val uring_enter : t -> Io_uring.t -> unit
+
+val uring_register_buffers :
+  t -> Io_uring.t -> (int * int) list -> (unit, Mem.Regtable.error) result
+(** [io_uring_register(IORING_REGISTER_BUFFERS)]: one syscall to pin the
+    [(region_offset, len)] buffer set; fixed SQEs then name table
+    indices with no further per-op syscall or kernel-side copy. *)
+
+val uring_register_files : t -> Io_uring.t -> int list -> unit
+(** [IORING_REGISTER_FILES]: pin an fd table for fixed-file SQEs. *)

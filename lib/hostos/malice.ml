@@ -10,6 +10,9 @@ type attack =
   | Cqe_wrong_user_data
   | Cqe_bogus_res
   | Corrupt_packet
+  | Forged_early_notif
+  | Dropped_notif
+  | Double_notif
 
 type trigger =
   | Probability of float
@@ -32,6 +35,9 @@ let all_attacks =
     Cqe_wrong_user_data;
     Cqe_bogus_res;
     Corrupt_packet;
+    Forged_early_notif;
+    Dropped_notif;
+    Double_notif;
   ]
 
 let attack_name = function
@@ -46,6 +52,9 @@ let attack_name = function
   | Cqe_wrong_user_data -> "cqe-wrong-user-data"
   | Cqe_bogus_res -> "cqe-bogus-res"
   | Corrupt_packet -> "corrupt-packet"
+  | Forged_early_notif -> "forged-early-notif"
+  | Dropped_notif -> "dropped-notif"
+  | Double_notif -> "double-notif"
 
 let attack_index = function
   | Prod_overshoot -> 0
@@ -59,6 +68,9 @@ let attack_index = function
   | Cqe_wrong_user_data -> 8
   | Cqe_bogus_res -> 9
   | Corrupt_packet -> 10
+  | Forged_early_notif -> 11
+  | Dropped_notif -> 12
+  | Double_notif -> 13
 
 type t = {
   rng : Sim.Rng.t;

@@ -20,7 +20,16 @@
       "return code is expected for the requested operation" check;
     - [Corrupt_packet] mangles user data values, which Table 2
       deliberately does {e not} check (left to TLS) — RAKIS must stay
-      robust (not crash) but need not detect it.
+      robust (not crash) but need not detect it;
+    - zero-copy notif attacks ([Forged_early_notif], [Dropped_notif],
+      [Double_notif]) abuse the two-phase SEND_ZC completion protocol
+      (docs/zerocopy.md): a notif CQE posted before the completion tries
+      to trick the FM into reusing a frame the NIC still reads (a
+      use-after-reuse — the CQE-class "return code is expected" check
+      must refuse it); a withheld notif starves the registered-frame
+      pool (availability, like a withheld wakeup — degrades to the copy
+      path, never corrupts); a duplicated notif tries to double-free a
+      frame (refused as a stray CQE).
 
     Beyond always-on/probabilistic arming, the Testing Module's campaign
     engine installs {e schedules}: fire exactly once, fire at a given
@@ -41,6 +50,9 @@ type attack =
   | Cqe_wrong_user_data
   | Cqe_bogus_res
   | Corrupt_packet
+  | Forged_early_notif
+  | Dropped_notif
+  | Double_notif
 
 type t
 

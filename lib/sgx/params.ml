@@ -24,6 +24,10 @@ let iouring_kernel_per_op = 600L
 
 let iouring_sync_wait_cycles = 1200L
 
+let iouring_copy_cycles_per_byte = 0.06
+
+let zc_notif_base_cycles = 800L
+
 let switchless_rpc_cycles = 1500L
 
 let vfs_per_op = 1000L

@@ -69,6 +69,19 @@ val iouring_sync_wait_cycles : int64
     kernel worker to pick up its SQE (paper §6.2: "waiting for another
     thread to execute the task"): ~1,200 cycles. *)
 
+val iouring_copy_cycles_per_byte : float
+(** Kernel-side copy between the shared IO buffer and kernel/page-cache
+    memory on the classic (non-registered) io_uring data ops: plain
+    memcpy throughput, ~0.06 cycles/B.  Fixed-buffer ops and
+    [SEND_ZC]/[SENDMSG_ZC] skip it — the kernel DMAs straight from the
+    pinned registered frame, which is exactly the zero-copy payoff
+    (docs/zerocopy.md). *)
+
+val zc_notif_base_cycles : int64
+(** Fixed latency between a zero-copy completion CQE and its notif CQE —
+    softirq + ubuf_info release once the NIC has drained the skb frags:
+    ~800 cycles, on top of the wire serialization time of the payload. *)
+
 val switchless_rpc_cycles : int64
 (** Hand-off latency of a switchless (exitless) syscall to an untrusted
     RPC worker thread, HotCalls/Eleos-style (paper §8): ~1,500 cycles —

@@ -64,6 +64,11 @@ type outcome = {
   breaker_closes : int;
   shard_opens : int list;  (* per-shard XSK breaker trips, shard order *)
   slow_calls : int;  (* ops completed via the exit-based slow path *)
+  zerocopy : bool;  (* machine booted with the zero-copy datapath *)
+  zc_sends : int;  (* SEND_ZC frames lent to the kernel *)
+  zc_fallbacks : int;  (* zc ops degraded to the copy path *)
+  zc_notif_rejects : int;  (* forged-early + stray/duplicate notifs refused *)
+  zc_leaks : int;  (* frames the host held hostage by withholding notifs *)
   violations : violation list;
   trace_tail : string list;
       (* rendered tail of the runtime's trace ring, captured only on
@@ -72,15 +77,36 @@ type outcome = {
 
 let datapath_name = function Xsk -> "xsk" | Iouring -> "io_uring"
 
-let applicable = function
+(* Attacks that can actually fire on a datapath.  The three notif
+   forgeries live inside the SEND_ZC two-phase protocol, so they need
+   the io_uring datapath *and* the zero-copy config.  [Dropped_notif]
+   is excluded even then: withholding a notif deterministically leaks
+   the lent frame, which {!failed} flags by design ([zc_leaks]) — its
+   home is the golden dropped-notif failure test, not the
+   no-violation singles. *)
+let applicable ?(zerocopy = false) = function
   | Xsk ->
       List.filter
         (fun a ->
           not
             (List.mem a
-               Hostos.Malice.[ Cqe_wrong_user_data; Cqe_bogus_res ]))
+               Hostos.Malice.
+                 [
+                   Cqe_wrong_user_data;
+                   Cqe_bogus_res;
+                   Forged_early_notif;
+                   Dropped_notif;
+                   Double_notif;
+                 ]))
         Hostos.Malice.all_attacks
-  | Iouring -> Hostos.Malice.all_attacks
+  | Iouring ->
+      let excluded =
+        if zerocopy then Hostos.Malice.[ Dropped_notif ]
+        else Hostos.Malice.[ Forged_early_notif; Dropped_notif; Double_notif ]
+      in
+      List.filter
+        (fun a -> not (List.mem a excluded))
+        Hostos.Malice.all_attacks
 
 let install_schedule m schedule =
   List.iter
@@ -227,7 +253,7 @@ let mk_tcp_msg step =
 
 let tcp_port = 9212
 
-let run_iouring_workload (h : Apps.Harness.t) st =
+let run_iouring_workload ?(zerocopy = false) (h : Apps.Harness.t) st =
   (* Native peer: TCP echo server with an accept loop (the enclave
      reconnects after any refused stream operation). *)
   Sim.Engine.spawn h.engine (fun () ->
@@ -361,15 +387,25 @@ let run_iouring_workload (h : Apps.Harness.t) st =
         if step land 1 = 0 then file_step step else tcp_step step;
         st.steps_run <- st.steps_run + 1
       done;
+      if zerocopy then begin
+        (* The last SEND_ZC's notif trails its completion by the softirq
+           delay and is only reaped during a later op's await: give it
+           time to post, then run one throwaway read so the FM reaps it.
+           Without this the final lent frame would read as a leak even
+           under an honest host. *)
+        Sim.Engine.delay (Sim.Cycles.of_ms 1.);
+        ignore (api.Libos.Api.read fd (Bytes.create 1) 0 1)
+      end;
       (match !tcp with Some s -> ignore (api.Libos.Api.close s) | None -> ());
       Apps.Harness.stop h)
 
 (* {1 Running} *)
 
-let run ~datapath ~seed ?(budget = 64) ?(queues = 1) ?(faults = []) schedule =
+let run ~datapath ~seed ?(budget = 64) ?(queues = 1) ?(faults = [])
+    ?(zerocopy = false) schedule =
   match
     Apps.Harness.make Libos.Env.Rakis_sgx
-      ~rakis_config:{ campaign_config with num_queues = queues }
+      ~rakis_config:{ campaign_config with num_queues = queues; zerocopy }
       ()
   with
   | Error e -> failwith ("campaign: harness boot failed: " ^ e)
@@ -413,7 +449,7 @@ let run ~datapath ~seed ?(budget = 64) ?(queues = 1) ?(faults = []) schedule =
       in
       (match datapath with
       | Xsk -> run_xsk_workload h st
-      | Iouring -> run_iouring_workload h st);
+      | Iouring -> run_iouring_workload ~zerocopy h st);
       let horizon =
         Int64.add (Sim.Cycles.of_ms 50.)
           (Int64.mul (Int64.of_int budget) (Sim.Cycles.of_ms 2.))
@@ -465,8 +501,17 @@ let run ~datapath ~seed ?(budget = 64) ?(queues = 1) ?(faults = []) schedule =
                 (Obs.metrics (Rakis.Runtime.obs rt))
                 "health.slow_calls" )
       in
+      let zc_sends, zc_fallbacks, zc_notif_rejects, zc_leaks =
+        match Libos.Env.runtime h.env with
+        | Some rt ->
+            ( Rakis.Runtime.total_zc_sends rt,
+              Rakis.Runtime.total_zc_fallbacks rt,
+              Rakis.Runtime.total_zc_notif_rejects rt,
+              Rakis.Runtime.total_zc_leaks rt )
+        | None -> (0, 0, 0, 0)
+      in
       let trace_tail =
-        if st.violations = [] && invariant_ok then []
+        if st.violations = [] && invariant_ok && zc_leaks = 0 then []
         else
           match Libos.Env.runtime h.env with
           | None -> []
@@ -503,17 +548,27 @@ let run ~datapath ~seed ?(budget = 64) ?(queues = 1) ?(faults = []) schedule =
         breaker_closes = b_closes;
         shard_opens;
         slow_calls;
+        zerocopy;
+        zc_sends;
+        zc_fallbacks;
+        zc_notif_rejects;
+        zc_leaks;
         violations = List.rev st.violations;
         trace_tail;
       }
 
-let failed (o : outcome) = o.violations <> [] || not o.invariant_ok
+(* [zc_leaks > 0] at teardown is the dropped-notif availability attack
+   landing: the host holds lent frames hostage forever.  The FM already
+   degraded safely (copy-path fallback), but a campaign exists to make
+   that loss visible, so it fails the run. *)
+let failed (o : outcome) =
+  o.violations <> [] || not o.invariant_ok || o.zc_leaks > 0
 
 (* {1 Schedule generation} *)
 
-let soup ~datapath ~seed ?(entries = 16) ~budget () =
+let soup ~datapath ?(zerocopy = false) ~seed ?(entries = 16) ~budget () =
   let rng = Sim.Rng.create ~seed in
-  let attacks = Array.of_list (applicable datapath) in
+  let attacks = Array.of_list (applicable ~zerocopy datapath) in
   List.init entries (fun _ ->
       let attack = Sim.Rng.pick rng attacks in
       if Sim.Rng.int rng 4 = 0 then
@@ -600,13 +655,18 @@ let repro (o : outcome) =
   (* Fault-free single-queue tokens keep the historical 4-segment
      shape; a fifth segment carries the fault plan so replay is
      bit-for-bit, and multi-queue runs append a sixth ["q<n>"] segment
-     (with an empty fifth when fault-free) for the shard count. *)
-  if o.queues > 1 then
-    Printf.sprintf "%s:%s:q%d" base
-      (Hostos.Faults.plan_to_string o.fault_plan)
-      o.queues
-  else if o.fault_plan = [] then base
-  else base ^ ":" ^ Hostos.Faults.plan_to_string o.fault_plan
+     (with an empty fifth when fault-free) for the shard count.
+     Zero-copy runs append one final ["zc"] segment after whatever
+     shape precedes it. *)
+  let token =
+    if o.queues > 1 then
+      Printf.sprintf "%s:%s:q%d" base
+        (Hostos.Faults.plan_to_string o.fault_plan)
+        o.queues
+    else if o.fault_plan = [] then base
+    else base ^ ":" ^ Hostos.Faults.plan_to_string o.fault_plan
+  in
+  if o.zerocopy then token ^ ":zc" else token
 
 let parse_entry s =
   match String.index_opt s '=' with
@@ -632,7 +692,7 @@ let parse_entry s =
               | None -> Error (Printf.sprintf "bad burst %S" where))))
 
 let parse_repro s =
-  let parse dp seed budget entries fault_part queues =
+  let parse dp seed budget entries fault_part queues zerocopy =
     let datapath =
       match dp with
       | "xsk" -> Some Xsk
@@ -653,29 +713,42 @@ let parse_repro s =
         in
         match (collect [] parts, Hostos.Faults.plan_of_string fault_part) with
         | Ok schedule, Ok faults ->
-            Ok (datapath, seed, budget, schedule, faults, queues)
+            Ok (datapath, seed, budget, schedule, faults, queues, zerocopy)
         | (Error _ as e), _ -> e
         | _, Error e -> Error e)
     | _ -> Error (Printf.sprintf "bad repro header in %S" s)
   in
   match String.split_on_char ':' s with
-  | [ dp; seed; budget; entries ] -> parse dp seed budget entries "" 1
-  | [ dp; seed; budget; entries; fault_part ] ->
-      parse dp seed budget entries fault_part 1
-  | [ dp; seed; budget; entries; fault_part; qpart ] -> (
-      match
+  | dp :: seed :: budget :: entries :: rest -> (
+      (* Trailing optional segments strip from the end — a literal
+         ["zc"], then ["q<n>"] — leaving at most one fault segment.
+         Anything else in those positions (e.g. ["zc2"]) falls through
+         to the fault-plan parser and errors there. *)
+      let rest, zerocopy =
+        match List.rev rest with
+        | "zc" :: r -> (List.rev r, true)
+        | _ -> (rest, false)
+      in
+      let qparse qpart =
         if String.length qpart > 1 && qpart.[0] = 'q' then
           int_of_string_opt (String.sub qpart 1 (String.length qpart - 1))
         else None
-      with
-      | Some q when q >= 1 -> parse dp seed budget entries fault_part q
-      | _ -> Error (Printf.sprintf "bad queue segment %S" qpart))
+      in
+      match rest with
+      | [] -> parse dp seed budget entries "" 1 zerocopy
+      | [ fault_part ] -> parse dp seed budget entries fault_part 1 zerocopy
+      | [ fault_part; qpart ] -> (
+          match qparse qpart with
+          | Some q when q >= 1 ->
+              parse dp seed budget entries fault_part q zerocopy
+          | _ -> Error (Printf.sprintf "bad queue segment %S" qpart))
+      | _ -> Error (Printf.sprintf "bad repro string %S" s))
   | _ -> Error (Printf.sprintf "bad repro string %S" s)
 
 let run_repro s =
   Result.map
-    (fun (datapath, seed, budget, schedule, faults, queues) ->
-      run ~datapath ~seed ~budget ~queues ~faults schedule)
+    (fun (datapath, seed, budget, schedule, faults, queues, zerocopy) ->
+      run ~datapath ~seed ~budget ~queues ~faults ~zerocopy schedule)
     (parse_repro s)
 
 (* {1 Shrinking a failing campaign} *)
@@ -695,7 +768,7 @@ let shrink_failure (o : outcome) =
   let fails schedule plan =
     failed
       (run ~datapath:o.datapath ~seed:o.seed ~budget:o.budget ~queues:o.queues
-         ~faults:plan schedule)
+         ~faults:plan ~zerocopy:o.zerocopy schedule)
   in
   let r = Shrink.minimize2 ~fails o.schedule o.fault_plan in
   let unpin (e : Hostos.Faults.plan_entry) =
@@ -769,6 +842,10 @@ let pp_outcome ppf (o : outcome) =
   if o.queues > 1 then
     Format.fprintf ppf "@,queues=%d shard xsk opens: [%s]" o.queues
       (String.concat "; " (List.map string_of_int o.shard_opens));
+  if o.zerocopy then
+    Format.fprintf ppf
+      "@,zerocopy: sends=%d fallbacks=%d notif_rejects=%d leaks=%d"
+      o.zc_sends o.zc_fallbacks o.zc_notif_rejects o.zc_leaks;
   if o.trace_tail <> [] then begin
     Format.fprintf ppf "@,last %d trace events before the failure:"
       (List.length o.trace_tail);

@@ -63,6 +63,19 @@ type outcome = {
           the containment witness — a fault pinned to shard [k] must
           leave every other entry 0 *)
   slow_calls : int;  (** host syscalls the slow path actually performed *)
+  zerocopy : bool;
+      (** machine booted with {!Rakis.Config.zerocopy}: SEND_ZC,
+          fixed-buffer file IO and multishot recv on the io_uring
+          datapath (docs/zerocopy.md) *)
+  zc_sends : int;  (** SEND_ZC frames lent to the kernel *)
+  zc_fallbacks : int;
+      (** zero-copy ops that degraded to the copy path (dry pool or
+          bounced submission) *)
+  zc_notif_rejects : int;
+      (** forged-early plus stray/duplicate notifs refused *)
+  zc_leaks : int;
+      (** lent frames whose notif the host withheld — non-zero fails
+          the campaign (see {!failed}) *)
   violations : violation list;
   trace_tail : string list;
       (** rendered tail (up to 24 events, oldest first) of the
@@ -77,6 +90,7 @@ val run :
   ?budget:int ->
   ?queues:int ->
   ?faults:Hostos.Faults.plan ->
+  ?zerocopy:bool ->
   schedule ->
   outcome
 (** Boot a fresh RAKIS-SGX machine, install the schedule, drive
@@ -89,19 +103,35 @@ val run :
     from [seed], so replays are bit-for-bit) and the enclave watchdog
     ({!Rakis.Runtime.start_watchdog}): attacks and host faults compose
     in one run, and the oracle's verdicts are unchanged — faults may
-    only cost availability ([lost]/[refused]), never integrity. *)
+    only cost availability ([lost]/[refused]), never integrity.
+    [zerocopy] (default false) boots the machine with
+    {!Rakis.Config.zerocopy}, routing the io_uring workload through
+    SEND_ZC / fixed-buffer / multishot paths and exposing the notif
+    attacks. *)
 
 val failed : outcome -> bool
+(** Violations, a broken system invariant, or [zc_leaks > 0] (the
+    dropped-notif attack's footprint at quiescence). *)
 
-val applicable : datapath -> Hostos.Malice.attack list
-(** The attacks whose kernel tampering hooks lie on this datapath (the
-    two CQE forgeries have no XSK-side hook; everything else applies to
-    both). *)
+val applicable : ?zerocopy:bool -> datapath -> Hostos.Malice.attack list
+(** The attacks whose kernel tampering hooks lie on this datapath: the
+    two CQE forgeries have no XSK-side hook, and the notif forgeries
+    need the io_uring datapath with [zerocopy] (default false).
+    [Dropped_notif] is never included — it deterministically fails the
+    campaign by leaking a frame, which is the golden dropped-notif
+    test's job to witness, not the no-violation singles'. *)
 
 val soup :
-  datapath:datapath -> seed:int64 -> ?entries:int -> budget:int -> unit -> schedule
+  datapath:datapath ->
+  ?zerocopy:bool ->
+  seed:int64 ->
+  ?entries:int ->
+  budget:int ->
+  unit ->
+  schedule
 (** Seeded random schedule mixing pinned steps and burst windows over
-    the datapath's applicable attacks. *)
+    the datapath's applicable attacks (under [zerocopy], the notif
+    forgeries join the pool). *)
 
 val pairs : 'a list -> ('a * 'a) list
 (** All unordered pairs, for pairwise campaigns. *)
@@ -129,15 +159,20 @@ val repro : outcome -> string
     appended iff the run had one — so fault runs replay bit-for-bit and
     fault-free single-queue tokens keep the historical 4-segment shape.
     Multi-queue runs always carry a sixth [":q<n>"] segment (after a
-    possibly-empty fault segment) recording the shard count.  Feed it to
-    {!run_repro} or [tm_verify --replay]. *)
+    possibly-empty fault segment) recording the shard count, and
+    zero-copy runs one final [":zc"] segment after whatever shape
+    precedes it.  Feed it to {!run_repro} or [tm_verify --replay]. *)
 
 val parse_repro :
   string ->
-  (datapath * int64 * int * schedule * Hostos.Faults.plan * int, string) result
+  ( datapath * int64 * int * schedule * Hostos.Faults.plan * int * bool,
+    string )
+  result
 (** Accepts 4-segment (fault-free, plan [[]]), 5-segment (faults) and
-    6-segment (faults + [q<n>] shard count) tokens; the last tuple
-    component is the queue count (1 for the shorter shapes). *)
+    6-segment (faults + [q<n>] shard count) tokens, each optionally
+    followed by a literal ["zc"] segment; the last two tuple components
+    are the queue count (1 for the shorter shapes) and the zero-copy
+    flag. *)
 
 val run_repro : string -> (outcome, string) result
 

@@ -4,12 +4,12 @@
    {!Model_check} explores hostile index schedules against a single
    certified ring.  This module explores the {e product} of everything
    the FM composes per shard: certified ring indices x the UMem
-   ownership partition (free / out-Rx / out-Tx / limbo) x the circuit
-   breaker (Closed / Open / Half_open, probe in flight, cooldown) x a
-   fault trigger x the shard id — under an interleaved adversary that
-   may, at every step, deliver frames honestly, deliver garbage
-   descriptors, smash the shared producer index, arm a persistent
-   fault, or stall.
+   ownership partition (free / out-Rx / out-Tx / limbo / registered) x
+   the circuit breaker (Closed / Open / Half_open, probe in flight,
+   cooldown) x a fault trigger x the shard id — under an interleaved
+   adversary that may, at every step, deliver frames honestly, deliver
+   garbage descriptors, smash the shared producer index, forge or
+   withhold zero-copy notifs, arm a persistent fault, or stall.
 
    The search is a breadth-first enumeration of transition sequences
    over a deliberately tiny configuration (2 shards, 2-entry rings,
@@ -25,7 +25,8 @@
    replaying its transition path on a fresh machine; determinism makes
    the replay exact.  After every transition the explorer asserts:
 
-   - V1  UMem conservation: free + outRx + outTx + limbo = frames;
+   - V1  UMem conservation: free + outRx + outTx + limbo + registered
+         = frames;
    - V2  certified ring invariant (paper eq. 1): 0 <= Pt - Ct <= St;
    - V3  ring conformance with the pure {!Stm_model.Ring};
    - V4  UMem conformance with {!Stm_model.Umem} (partition + rejects);
@@ -33,31 +34,41 @@
          (breaker monotonicity) and exact opens/closes/on_open counts;
    - V6  descriptor accept/reject verdicts match the model's;
    - V7  shard containment: a transition on shard [k] leaves every
-         other shard's observation untouched.
+         other shard's observation untouched;
+   - V8  notif-anchored zero-copy ownership: exactly one pending notif
+         per Registered frame, honest notifs accepted, forged or
+         duplicated notifs refused, and release verdicts match the
+         model's.
 
-   The [mutant] parameter re-introduces three historical bug shapes
+   The [mutant] parameter re-introduces four historical bug shapes
    (probe double-counting, probe slot leak, skipped reclaim
-   validation) in the {e driver}'s use of the real modules; the test
-   suite proves each one is caught, which is the evidence that the
-   explorer's net actually catches the fish it claims to. *)
+   validation, completion-anchored zero-copy release) in the
+   {e driver}'s use of the real modules; the test suite proves each one
+   is caught, which is the evidence that the explorer's net actually
+   catches the fish it claims to. *)
 
 type mutant =
   | Probe_off_by_one  (** a probe success is counted twice *)
   | Probe_slot_leak  (** a declined probe never releases its slot *)
   | Skip_reclaim  (** consumed descriptors bypass UMem validation *)
+  | Zc_release_early
+      (** a zero-copy frame is freed on completion instead of notif *)
 
 let mutant_name = function
   | Probe_off_by_one -> "probe-off-by-one"
   | Probe_slot_leak -> "probe-slot-leak"
   | Skip_reclaim -> "skip-reclaim"
+  | Zc_release_early -> "zc-release-early"
 
 let mutant_of_string = function
   | "probe-off-by-one" -> Some Probe_off_by_one
   | "probe-slot-leak" -> Some Probe_slot_leak
   | "skip-reclaim" -> Some Skip_reclaim
+  | "zc-release-early" -> Some Zc_release_early
   | _ -> None
 
-let all_mutants = [ Probe_off_by_one; Probe_slot_leak; Skip_reclaim ]
+let all_mutants =
+  [ Probe_off_by_one; Probe_slot_leak; Skip_reclaim; Zc_release_early ]
 
 type config = {
   shards : int;
@@ -83,6 +94,7 @@ type shard = {
   mutable limbo : int option;  (* allocated, not yet committed *)
   mutable host_pending : int list;  (* committed Rx frames the host holds *)
   mutable tx_out : int list;  (* committed Tx frames awaiting completion *)
+  mutable zc_out : int list;  (* Registered frames awaiting their notif *)
   mutable shadow_prod : int;  (* the honest host's true producer index *)
   (* pure mirrors, advanced in lockstep *)
   mutable m_ring : Stm_model.Ring.t;
@@ -124,6 +136,7 @@ let make_shard cfg k =
     limbo = None;
     host_pending = [];
     tx_out = [];
+    zc_out = [];
     shadow_prod = 0;
     m_ring = Stm_model.Ring.create ~size:cfg.ring_size;
     m_umem = Stm_model.Umem.create ~frames:cfg.frames ~frame_size:cfg.frame_size;
@@ -149,6 +162,9 @@ type step =
   | Fm_poll  (** FM receive poll, routed through the breaker *)
   | Reap_tx  (** honest host completes a Tx frame *)
   | Reap_tx_bad  (** hostile completion for a frame not out on Tx *)
+  | Register  (** FM lends the limbo frame zero-copy (SEND_ZC) *)
+  | Notif  (** honest host: notif for the oldest lent frame *)
+  | Notif_bad  (** hostile notif for a frame not Registered *)
   | Tick  (** the breaker cooldown elapses *)
   | Fault_toggle  (** arm / clear the persistent fault *)
 
@@ -170,6 +186,9 @@ let step_name = function
   | Fm_poll -> "poll"
   | Reap_tx -> "reap-tx"
   | Reap_tx_bad -> "reap-tx-bad"
+  | Register -> "register"
+  | Notif -> "notif"
+  | Notif_bad -> "notif-bad"
   | Tick -> "tick"
   | Fault_toggle -> "fault-toggle"
 
@@ -215,6 +234,18 @@ let foreign_frame_for sh routine =
   in
   find 0
 
+(* A frame currently NOT Registered, as a forged-notif target; [None]
+   when every frame is lent out zero-copy. *)
+let unregistered_frame sh =
+  let frames = sh.m_umem.Stm_model.Umem.frames in
+  let rec find i =
+    if i >= Array.length frames then None
+    else if frames.(i) <> Stm_model.Umem.Registered then
+      Some (i * sh.m_umem.Stm_model.Umem.frame_size)
+    else find (i + 1)
+  in
+  find 0
+
 let enabled_on cfg m k =
   let sh = m.shards.(k) in
   let obs = Rakis.Health.observe sh.breaker in
@@ -235,6 +266,9 @@ let enabled_on cfg m k =
   add true Fm_poll;
   add (sh.tx_out <> []) Reap_tx;
   add (foreign_frame_for sh Rakis.Umem.Tx <> None) Reap_tx_bad;
+  add (sh.limbo <> None) Register;
+  add (sh.zc_out <> []) Notif;
+  add (unregistered_frame sh <> None) Notif_bad;
   add
     (obs.Rakis.Health.obs_state = Rakis.Health.Open
     && not obs.Rakis.Health.cooldown_elapsed)
@@ -395,6 +429,38 @@ let apply note m { shard; step } =
       if accepted then note "V6: wrong-owner Tx completion accepted";
       if accepted <> m_accepted then
         note "V6: Tx completion verdict diverges from model"
+  | Register ->
+      let off = Option.get sh.limbo in
+      Rakis.Umem.register sh.umem off;
+      sh.m_umem <- Stm_model.Umem.register sh.m_umem off;
+      sh.zc_out <- sh.zc_out @ [ off ];
+      sh.limbo <- None;
+      (* The mutant frees on the completion CQE instead of waiting for
+         the notif — the use-after-reuse-before-notif bug shape.  The
+         frame goes free while its notif is still pending, so V4 (the
+         model still says Registered) and V8 (registered <> pending
+         notifs) flag it on the very next check. *)
+      if cfg.mutant = Some Zc_release_early then
+        ignore (Rakis.Umem.release sh.umem ~offset:off)
+  | Notif -> (
+      let off = List.hd sh.zc_out in
+      sh.zc_out <- List.tl sh.zc_out;
+      let accepted = Result.is_ok (Rakis.Umem.release sh.umem ~offset:off) in
+      let mu, m_accepted = Stm_model.Umem.release sh.m_umem ~offset:off in
+      sh.m_umem <- mu;
+      if accepted <> m_accepted then
+        note "V8: notif verdict diverges from model";
+      match (accepted, m_accepted) with
+      | false, false -> note "V8: honest notif refused"
+      | _ -> ())
+  | Notif_bad ->
+      let off = Option.get (unregistered_frame sh) in
+      let accepted = Result.is_ok (Rakis.Umem.release sh.umem ~offset:off) in
+      let mu, m_accepted = Stm_model.Umem.release sh.m_umem ~offset:off in
+      sh.m_umem <- mu;
+      if accepted then note "V8: forged/duplicate notif accepted";
+      if accepted <> m_accepted then
+        note "V8: notif verdict diverges from model"
   | Tick -> sh.clock := Int64.add !(sh.clock) cfg.cooldown
   | Fault_toggle -> sh.fault_armed <- not sh.fault_armed
 
@@ -426,7 +492,12 @@ let check_shard note sh ~prev_state =
   if Rakis.Health.closes sh.breaker <> sh.m_breaker.Stm_model.Breaker.closes
   then note "V5: closes count diverges from model";
   if !(sh.on_open_fires) <> Rakis.Health.opens sh.breaker then
-    note "V5: on_open firings do not match opens"
+    note "V5: on_open firings do not match opens";
+  (* Notif-anchored ownership: every Registered frame has exactly one
+     notif pending (the driver's zc_out list), mirroring the io_uring
+     FM's accounting_holds. *)
+  if Rakis.Umem.registered sh.umem <> List.length sh.zc_out then
+    note "V8: registered frames do not match pending notifs"
 
 (* {1 State abstraction (dedup key)} *)
 
@@ -449,6 +520,7 @@ type shard_obs = {
   o_limbo : int option;
   o_pending : int list;
   o_txq : int list;
+  o_zcq : int list;  (* Registered frames in notif order *)
   o_breaker : Rakis.Health.state;
   o_bf : int;
   o_bs : int;
@@ -500,6 +572,7 @@ let observe_shard cfg sh =
     o_limbo = Option.map (fun off -> off / cfg.frame_size) sh.limbo;
     o_pending = List.map (fun off -> off / cfg.frame_size) sh.host_pending;
     o_txq = List.map (fun off -> off / cfg.frame_size) sh.tx_out;
+    o_zcq = List.map (fun off -> off / cfg.frame_size) sh.zc_out;
     o_breaker = obs.Rakis.Health.obs_state;
     o_bf = obs.Rakis.Health.failure_streak;
     o_bs = obs.Rakis.Health.probe_successes;

@@ -4,12 +4,16 @@
     Where {!Model_check} enumerates hostile index schedules against a
     single certified ring, this explorer walks the product of
     everything the FM composes per shard — certified ring indices, the
-    UMem ownership partition, the circuit breaker, a fault trigger and
-    the shard id — under an interleaved adversary, over a deliberately
-    tiny bounded configuration.  States are deduplicated by a
-    structural abstraction; after every transition seven invariant
-    families (V1–V7) are asserted, most of them conformance checks
-    against the pure {!Stm_model} reference machines. *)
+    UMem ownership partition (including zero-copy [Registered] frames),
+    the circuit breaker, a fault trigger and the shard id — under an
+    interleaved adversary, over a deliberately tiny bounded
+    configuration.  States are deduplicated by a structural
+    abstraction; after every transition eight invariant families
+    (V1–V8) are asserted, most of them conformance checks against the
+    pure {!Stm_model} reference machines.  V8 is the notif-anchored
+    zero-copy ownership contract of docs/zerocopy.md: one pending notif
+    per Registered frame, honest notifs accepted, forged or duplicated
+    ones refused. *)
 
 (** Deliberately re-introduced bug shapes, used to demonstrate that
     the explorer actually catches the defect classes it patrols
@@ -19,6 +23,10 @@ type mutant =
   | Probe_off_by_one  (** a probe success is counted twice *)
   | Probe_slot_leak  (** a declined probe never releases its slot *)
   | Skip_reclaim  (** consumed descriptors bypass UMem validation *)
+  | Zc_release_early
+      (** a zero-copy frame is freed on its completion CQE instead of
+          its notif — the use-after-reuse-before-notif bug shape of
+          docs/zerocopy.md, caught by V4/V8 *)
 
 val mutant_name : mutant -> string
 
@@ -75,7 +83,7 @@ val drive :
   ?config:config -> choices:int list -> unit -> violation list * string list
 (** One checked random walk instead of a search: each choice indexes
     into the enabled-transition list (modulo its length) and the full
-    V1–V7 battery runs after every step.  Deterministic in [choices],
+    V1–V8 battery runs after every step.  Deterministic in [choices],
     so a QCheck-generated choice list shrinks naturally.  Returns the
     violations hit and the trail of transition names walked — the
     state-machine-test entry point for sequences far deeper than the

@@ -215,7 +215,7 @@ end
 (* {1 UMem ownership partition (Rakis.Umem)} *)
 
 module Umem = struct
-  type frame = Free | Limbo | Out_rx | Out_tx
+  type frame = Free | Limbo | Out_rx | Out_tx | Registered
 
   type t = {
     frame_size : int;
@@ -266,6 +266,26 @@ module Umem = struct
     assert (t.frames.(idx) = Limbo);
     { (set t idx Free) with queue = t.queue @ [ idx ] }
 
+  let register t offset =
+    let idx = offset / t.frame_size in
+    assert (t.frames.(idx) = Limbo);
+    set t idx Registered
+
+  let registered t = count t Registered
+
+  (* Mirror of Umem.release: the only exit from Registered, validated
+     like reclaim because the prompting notif is host-controlled. *)
+  let release t ~offset =
+    if offset < 0 || offset >= size t then
+      ({ t with rejects = t.rejects + 1 }, false)
+    else if offset mod t.frame_size <> 0 then
+      ({ t with rejects = t.rejects + 1 }, false)
+    else
+      let idx = offset / t.frame_size in
+      if t.frames.(idx) = Registered then
+        ({ (set t idx Free) with queue = t.queue @ [ idx ] }, true)
+      else ({ t with rejects = t.rejects + 1 }, false)
+
   (* Mirror of Umem.reclaim's validation order and effect. *)
   let reclaim t routine ~offset ~len =
     if offset < 0 || offset + max len 1 > size t then
@@ -284,6 +304,7 @@ module Umem = struct
 
   let conservation_holds t =
     free t + out t Rakis.Umem.Rx + out t Rakis.Umem.Tx + limbo t
+    + registered t
     = Array.length t.frames
 
   let agrees t (umem : Rakis.Umem.t) =
@@ -291,9 +312,12 @@ module Umem = struct
     && Rakis.Umem.outstanding umem Rakis.Umem.Rx = out t Rakis.Umem.Rx
     && Rakis.Umem.outstanding umem Rakis.Umem.Tx = out t Rakis.Umem.Tx
     && Rakis.Umem.limbo umem = limbo t
+    && Rakis.Umem.registered umem = registered t
     && Rakis.Umem.rejects umem = t.rejects
 
   let pp ppf t =
-    Format.fprintf ppf "free=%d rx=%d tx=%d limbo=%d rejects=%d" (free t)
-      (out t Rakis.Umem.Rx) (out t Rakis.Umem.Tx) (limbo t) t.rejects
+    Format.fprintf ppf "free=%d rx=%d tx=%d limbo=%d reg=%d rejects=%d"
+      (free t)
+      (out t Rakis.Umem.Rx) (out t Rakis.Umem.Tx) (limbo t) (registered t)
+      t.rejects
 end

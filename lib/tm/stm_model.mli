@@ -97,10 +97,11 @@ module Ring : sig
   val pp : Format.formatter -> t -> unit
 end
 
-(** Mirror of {!Rakis.Umem}: the free / out-Rx / out-Tx / limbo frame
-    partition, FIFO allocation order and descriptor validation. *)
+(** Mirror of {!Rakis.Umem}: the free / out-Rx / out-Tx / limbo /
+    registered frame partition, FIFO allocation order and descriptor
+    validation. *)
 module Umem : sig
-  type frame = Free | Limbo | Out_rx | Out_tx
+  type frame = Free | Limbo | Out_rx | Out_tx | Registered
 
   type t = {
     frame_size : int;
@@ -121,9 +122,20 @@ module Umem : sig
   (** [(model', accepted)] with the same validation order as the real
       {!Rakis.Umem.reclaim}. *)
 
+  val register : t -> int -> t
+  (** [Limbo -> Registered]: the frame is lent to the kernel on a
+      zero-copy send, awaiting its notif. *)
+
+  val release : t -> offset:int -> t * bool
+  (** [(model', accepted)]: mirror of {!Rakis.Umem.release} — the only
+      exit from [Registered], validated like {!reclaim} because the
+      prompting notif CQE is host-controlled. *)
+
   val free : t -> int
 
   val limbo : t -> int
+
+  val registered : t -> int
 
   val out : t -> Rakis.Umem.routine -> int
 

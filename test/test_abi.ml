@@ -63,6 +63,8 @@ let sample_sqe =
     len = 512;
     poll_events = 0;
     user_data = 0xCAFEL;
+    buf_index = 0;
+    fixed = false;
   }
 
 let test_sqe_roundtrip () =
@@ -87,7 +89,7 @@ let test_sqe_bad_opcode () =
 
 let test_cqe_roundtrip_positive () =
   let r = region () in
-  Abi.Uring_abi.write_cqe r 0 { Abi.Uring_abi.user_data = 5L; res = 4096 };
+  Abi.Uring_abi.write_cqe r 0 { Abi.Uring_abi.user_data = 5L; res = 4096; flags = 0 };
   let cqe = Abi.Uring_abi.read_cqe r 0 in
   check "res" 4096 cqe.res;
   Alcotest.(check int64) "user_data" 5L cqe.user_data
@@ -97,7 +99,7 @@ let test_cqe_roundtrip_negative () =
      encoding. *)
   let r = region () in
   Abi.Uring_abi.write_cqe r 16
-    { Abi.Uring_abi.user_data = 9L; res = Abi.Uring_abi.res_of_errno EAGAIN };
+    { Abi.Uring_abi.user_data = 9L; res = Abi.Uring_abi.res_of_errno EAGAIN; flags = 0 };
   check "negative errno" (-11) (Abi.Uring_abi.read_cqe r 16).res
 
 let test_opcode_codes () =
@@ -114,7 +116,7 @@ let prop_cqe_res_roundtrip =
        (QCheck.make QCheck.Gen.(-0x80000000 -- 0x7FFFFFFF))
        (fun res ->
          let r = region () in
-         Abi.Uring_abi.write_cqe r 0 { Abi.Uring_abi.user_data = 0L; res };
+         Abi.Uring_abi.write_cqe r 0 { Abi.Uring_abi.user_data = 0L; res; flags = 0 };
          (Abi.Uring_abi.read_cqe r 0).res = res))
 
 let suite =

@@ -143,11 +143,72 @@ let test_xsk_blind_spots () =
     M.[ Cqe_wrong_user_data; Cqe_bogus_res ]
 
 let test_applicable_covers_all_attacks () =
-  check "io_uring covers all 11" (List.length M.all_attacks)
+  check "io_uring covers all but the 3 notif forgeries"
+    (List.length M.all_attacks - 3)
     (List.length (C.applicable C.Iouring));
-  check "xsk covers all but the 2 CQE forgeries"
-    (List.length M.all_attacks - 2)
-    (List.length (C.applicable C.Xsk))
+  check "io_uring + zerocopy adds the two refusable notif forgeries"
+    (List.length M.all_attacks - 1)
+    (List.length (C.applicable ~zerocopy:true C.Iouring));
+  check "xsk covers all but the CQE and notif forgeries"
+    (List.length M.all_attacks - 5)
+    (List.length (C.applicable C.Xsk));
+  (* Dropped_notif deterministically fails a zero-copy campaign
+     (zc_leaks > 0), so it never joins the no-violation singles pool —
+     the golden dropped-notif test owns it. *)
+  check_bool "dropped-notif never in the pool" false
+    (List.mem M.Dropped_notif (C.applicable ~zerocopy:true C.Iouring))
+
+(* {1 Zero-copy campaigns: SEND_ZC notif forgeries and leaks} *)
+
+(* The machine boots with config.zerocopy: sends go out as SEND_ZC from
+   registered frames, so the notif forgeries have a hook.  The FM must
+   refuse them (no frame freed early), leak nothing, and stay clean. *)
+let test_singles_iouring_zerocopy () =
+  List.iter
+    (fun attack ->
+      let seed = Flake.seed 23L in
+      Flake.guard ~name:("zc " ^ label C.Iouring attack) ~seed @@ fun () ->
+      let o =
+        C.run ~datapath:C.Iouring ~seed ~budget:32 ~zerocopy:true
+          [ C.At { step = 8; attack } ]
+      in
+      check_bool (label C.Iouring attack ^ ": no violation") false (C.failed o);
+      check_bool
+        (label C.Iouring attack ^ ": fired")
+        true
+        (fired_of o attack >= 1);
+      check_bool (label C.Iouring attack ^ ": verified ops") true (o.C.ok > 0);
+      check_bool (label C.Iouring attack ^ ": sends were zero-copy") true
+        (o.C.zc_sends > 0);
+      check_bool
+        (label C.Iouring attack ^ ": forged notif refused")
+        true
+        (o.C.zc_notif_rejects > 0);
+      check (label C.Iouring attack ^ ": no leaks") 0 o.C.zc_leaks)
+    M.[ Forged_early_notif; Double_notif ]
+
+let test_zerocopy_honest_run () =
+  let seed = Flake.seed 29L in
+  Flake.guard ~name:"zc honest" ~seed @@ fun () ->
+  let o = C.run ~datapath:C.Iouring ~seed ~budget:32 ~zerocopy:true [] in
+  check_bool "clean" false (C.failed o);
+  check_bool "verified ops" true (o.C.ok > 0);
+  check_bool "sends were zero-copy" true (o.C.zc_sends > 0);
+  check "honest host forges nothing" 0 o.C.zc_notif_rejects;
+  check "honest host returns every frame" 0 o.C.zc_leaks
+
+let test_dropped_notif_fails_campaign () =
+  let o =
+    C.run ~datapath:C.Iouring ~seed:21L ~budget:32 ~zerocopy:true
+      [ C.At { step = 8; attack = M.Dropped_notif } ]
+  in
+  check_bool "dropped-notif fired" true (fired_of o M.Dropped_notif >= 1);
+  check_bool "leak recorded" true (o.C.zc_leaks > 0);
+  check_bool "campaign failed" true (C.failed o);
+  (* Refusing to free the frame is the *correct* response: the loss is
+     availability (pool capacity), never integrity. *)
+  check_bool "no integrity violation" true (o.C.violations = []);
+  check_bool "invariant still holds" true o.C.invariant_ok
 
 (* {1 Determinism and replay} *)
 
@@ -174,7 +235,7 @@ let test_repro_roundtrip () =
       let token = C.repro o in
       match C.parse_repro token with
       | Error e -> Alcotest.failf "parse_repro %S: %s" token e
-      | Ok (dp', seed', budget', schedule', faults', _) ->
+      | Ok (dp', seed', budget', schedule', faults', _, _) ->
           check_bool "datapath" true (dp = dp');
           Alcotest.(check int64) "seed" 77L seed';
           check "budget" 28 budget';
@@ -184,6 +245,29 @@ let test_repro_roundtrip () =
           | Error e -> Alcotest.failf "run_repro %S: %s" token e
           | Ok o' -> check_bool "replayed outcome" true (o = o')))
     [ C.Xsk; C.Iouring ]
+
+let test_repro_roundtrip_zerocopy () =
+  let o =
+    C.run ~datapath:C.Iouring ~seed:77L ~budget:28 ~zerocopy:true
+      mixed_schedule
+  in
+  let token = C.repro o in
+  check_bool "token carries the zc segment" true
+    (String.length token > 3
+    && String.sub token (String.length token - 3) 3 = ":zc");
+  match C.parse_repro token with
+  | Error e -> Alcotest.failf "parse_repro %S: %s" token e
+  | Ok (dp', seed', budget', schedule', faults', queues', zc') ->
+      check_bool "datapath" true (dp' = C.Iouring);
+      Alcotest.(check int64) "seed" 77L seed';
+      check "budget" 28 budget';
+      check_bool "schedule" true (schedule' = mixed_schedule);
+      check_bool "fault-free plan" true (faults' = []);
+      check "queues" 1 queues';
+      check_bool "zerocopy flag" true zc';
+      (match C.run_repro token with
+      | Error e -> Alcotest.failf "run_repro %S: %s" token e
+      | Ok o' -> check_bool "replayed outcome" true (o = o'))
 
 (* {1 Pairwise and soup schedules} *)
 
@@ -377,6 +461,14 @@ let suite =
       test_singles_iouring;
     Alcotest.test_case "campaign: cqe attacks are xsk no-ops" `Slow
       test_xsk_blind_spots;
+    Alcotest.test_case "campaign: notif forgeries refused under zerocopy"
+      `Slow test_singles_iouring_zerocopy;
+    Alcotest.test_case "campaign: honest zerocopy run is clean" `Slow
+      test_zerocopy_honest_run;
+    Alcotest.test_case "campaign: dropped notif fails the campaign" `Slow
+      test_dropped_notif_fails_campaign;
+    Alcotest.test_case "campaign: zerocopy repro token round-trips" `Slow
+      test_repro_roundtrip_zerocopy;
     Alcotest.test_case "campaign: same seed+schedule replays identically"
       `Slow test_replay_determinism;
     Alcotest.test_case "campaign: repro token round-trips" `Slow

@@ -99,6 +99,8 @@ let suite =
       (check_mutant_caught Tm.Explore.Probe_slot_leak "V5");
     Alcotest.test_case "mutant: probe-off-by-one caught" `Quick
       (check_mutant_caught Tm.Explore.Probe_off_by_one "V5");
+    Alcotest.test_case "mutant: zc-release-early caught" `Quick
+      (check_mutant_caught Tm.Explore.Zc_release_early "V8");
     Alcotest.test_case "counterexample paths are printable" `Quick
       test_mutant_paths_replayable;
   ]

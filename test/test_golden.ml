@@ -222,6 +222,30 @@ let test_repro_tokens () =
             [ { F.fault = F.Nic_stall; when_ = F.Once 0.75; shard = None } ];
           queues = 1;
         } );
+      ( "zero-copy, fault-free single queue (4 segments + zc)",
+        {
+          template with
+          C.datapath = C.Iouring;
+          seed = 23L;
+          budget = 48;
+          schedule =
+            [ C.At { step = 8; attack = Hostos.Malice.Forged_early_notif } ];
+          fault_plan = [];
+          queues = 1;
+          zerocopy = true;
+        } );
+      ( "zero-copy, multi-queue with fault plan (all 7 segments)",
+        {
+          template with
+          C.datapath = C.Iouring;
+          seed = 31L;
+          budget = 32;
+          schedule = [];
+          fault_plan =
+            [ { F.fault = F.Short_io; when_ = F.Probability 0.25; shard = None } ];
+          queues = 2;
+          zerocopy = true;
+        } );
     ]
   in
   let buf = Buffer.create 512 in
@@ -231,7 +255,7 @@ let test_repro_tokens () =
       (* idempotence is part of the contract the golden pins down *)
       (match C.parse_repro token with
       | Error e -> Alcotest.failf "token %S failed to parse back: %s" token e
-      | Ok (dp, seed, budget, schedule, plan, queues) ->
+      | Ok (dp, seed, budget, schedule, plan, queues, zc) ->
           let again =
             C.repro
               {
@@ -242,6 +266,7 @@ let test_repro_tokens () =
                 schedule;
                 fault_plan = plan;
                 queues;
+                zerocopy = zc;
               }
           in
           if again <> token then
@@ -249,6 +274,50 @@ let test_repro_tokens () =
       Buffer.add_string buf (Printf.sprintf "%s\n  %s\n" label token))
     cases;
   check_golden "repro_tokens" (Buffer.contents buf)
+
+(* {1 Zero-copy dropped-notif failure}
+
+   The one attack the campaign never draws from the soup because it
+   fails deterministically: a withheld notif strands its frame in
+   [Registered] forever, so the run ends with [zc_leaks > 0] and
+   {!C.failed} trips even though no integrity violation fired
+   (docs/zerocopy.md, "dropped notif").  The golden pins the whole
+   failure artifact — outcome, shrunk minimal schedule, and the
+   ":zc"-suffixed repro token. *)
+
+let test_zc_dropped_notif_failure () =
+  let schedule =
+    [
+      (* redundant decoy the shrinker must discard *)
+      C.At { step = 2; attack = Hostos.Malice.Prod_overshoot };
+      C.At { step = 7; attack = Hostos.Malice.Dropped_notif };
+    ]
+  in
+  let o =
+    C.run ~datapath:C.Iouring ~seed:13L ~budget:32 ~zerocopy:true schedule
+  in
+  Alcotest.(check bool) "dropped notif fails the campaign" true (C.failed o);
+  Alcotest.(check bool) "leak footprint, not integrity" true (o.C.zc_leaks > 0);
+  let s = C.shrink_failure o in
+  let minimal =
+    C.run ~datapath:C.Iouring ~seed:13L ~budget:32 ~zerocopy:true
+      ~faults:s.C.shrunk_plan s.C.shrunk_schedule
+  in
+  let token = C.repro minimal in
+  Alcotest.(check bool)
+    (Printf.sprintf "token %S carries the zc segment" token)
+    true
+    (Filename.check_suffix token ":zc");
+  check_golden "zc_dropped_notif"
+    (Format.asprintf
+       "@[<v>== zero-copy io_uring campaign, dropped notif ==@,\
+        %a@,\
+        == shrunk: %d -> %d schedule entries in %d replays ==@,\
+        %a@,\
+        repro: %s@]@."
+       C.pp_outcome o s.C.schedule_original
+       (List.length s.C.shrunk_schedule)
+       s.C.shrink_tests C.pp_outcome minimal token)
 
 (* {1 Explorer report} *)
 
@@ -267,5 +336,7 @@ let suite =
       test_campaign_outcomes;
     Alcotest.test_case "golden: breaker timeline" `Quick test_breaker_timeline;
     Alcotest.test_case "golden: repro tokens" `Quick test_repro_tokens;
+    Alcotest.test_case "golden: zero-copy dropped-notif failure" `Quick
+      test_zc_dropped_notif_failure;
     Alcotest.test_case "golden: explorer report" `Quick test_explore_report;
   ]

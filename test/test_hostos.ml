@@ -436,6 +436,8 @@ let base_sqe op fd =
     len = 0;
     poll_events = 0;
     user_data = 77L;
+    buf_index = 0;
+    fixed = false;
   }
 
 let test_uring_nop () =

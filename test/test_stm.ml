@@ -12,9 +12,10 @@
    runs the explorer's V1-V7 battery down random walks far deeper than
    the breadth-first bound.
 
-   Plus: repro-token fuzz — round-trips over all six token segments
-   (seed, schedule, faults, queues, budget, shard pins) and a
-   never-raises property for malformed tokens. *)
+   Plus: repro-token fuzz — round-trips over all token segments (seed,
+   schedule, faults, queues, budget, shard pins, and the trailing
+   zero-copy "zc" flag) and a never-raises property for malformed
+   tokens. *)
 
 module C = Tm.Campaign
 module F = Hostos.Faults
@@ -96,6 +97,9 @@ type ucmd =
   | U_cancel
   | U_reclaim_rx  (** an offset legitimately out on Rx *)
   | U_reclaim_tx
+  | U_register  (** lend a limbo frame on SEND_ZC, awaiting its notif *)
+  | U_release  (** the honest notif for the oldest registered frame *)
+  | U_release_junk of int  (** a hostile notif: one of the canned offsets *)
   | U_junk of int  (** one of the canned hostile descriptors *)
 
 let ucmd_name = function
@@ -105,6 +109,9 @@ let ucmd_name = function
   | U_cancel -> "cancel"
   | U_reclaim_rx -> "reclaim-rx"
   | U_reclaim_tx -> "reclaim-tx"
+  | U_register -> "register"
+  | U_release -> "release"
+  | U_release_junk i -> Printf.sprintf "release-junk%d" i
   | U_junk i -> Printf.sprintf "junk%d" i
 
 let ucmds_arb =
@@ -118,9 +125,10 @@ let ucmds_arb =
              oneofl
                [
                  U_alloc; U_commit_rx; U_commit_tx; U_cancel; U_reclaim_rx;
-                 U_reclaim_tx;
+                 U_reclaim_tx; U_register; U_release;
                ];
              map (fun i -> U_junk i) (int_bound 3);
+             map (fun i -> U_release_junk i) (int_bound 3);
            ]))
 
 let frame_size = 64
@@ -141,6 +149,7 @@ let umem_conforms cmds =
   let model = ref (U.create ~frames ~frame_size) in
   (* harness bookkeeping so commit/cancel/reclaim hit live offsets *)
   let limbo = ref [] and out_rx = ref [] and out_tx = ref [] in
+  let registered = ref [] in
   let step c =
     match c with
     | U_alloc -> (
@@ -207,6 +216,39 @@ let umem_conforms cmds =
             model := m;
             out_tx := rest;
             ok && mok)
+    | U_register -> (
+        match !limbo with
+        | [] -> true
+        | off :: rest ->
+            Rakis.Umem.register real off;
+            model := U.register !model off;
+            limbo := rest;
+            registered := !registered @ [ off ];
+            true)
+    | U_release -> (
+        match !registered with
+        | [] -> true
+        | off :: rest ->
+            (* the honest notif: both sides must accept it, and only
+               once — the frame leaves the harness's registered list *)
+            let ok = Result.is_ok (Rakis.Umem.release real ~offset:off) in
+            let m, mok = U.release !model ~offset:off in
+            model := m;
+            registered := rest;
+            ok && mok)
+    | U_release_junk i ->
+        (* a hostile notif: misaligned, out of range, or naming frame 0
+           whatever its state (forged, duplicated, or — when frame 0
+           really is registered — accidentally legitimate) *)
+        (* a release only validates its offset, so junk 2 (oversize
+           length, offset 0) degenerates to the frame-0 case too *)
+        let offset, _ = junk i in
+        let ok = Result.is_ok (Rakis.Umem.release real ~offset) in
+        let m, mok = U.release !model ~offset in
+        model := m;
+        if i >= 2 && ok then
+          registered := List.filter (fun o -> o <> offset) !registered;
+        ok = mok && ((i >= 2) || not ok)
     | U_junk i ->
         let offset, len = junk i in
         let ok =
@@ -387,21 +429,24 @@ let token_case_gen =
     let* schedule = list_size (int_bound 4) entry_gen in
     let* plan = list_size (int_bound 4) plan_entry_gen in
     let* queues = int_range 1 4 in
-    return (datapath, seed, budget, schedule, plan, queues))
+    let* zerocopy = bool in
+    return (datapath, seed, budget, schedule, plan, queues, zerocopy))
 
-let print_token_case (dp, seed, budget, schedule, plan, queues) =
-  Printf.sprintf "%s:%Ld:%d:[%d entries]:%s:q%d"
+let print_token_case (dp, seed, budget, schedule, plan, queues, zerocopy) =
+  Printf.sprintf "%s:%Ld:%d:[%d entries]:%s:q%d%s"
     (match dp with C.Xsk -> "xsk" | C.Iouring -> "io_uring")
     seed budget (List.length schedule)
     (F.plan_to_string plan)
     queues
+    (if zerocopy then ":zc" else "")
 
 (* One cheap template outcome; [repro] only reads the six identity
    fields, so the fuzz rewrites those and never re-runs campaigns. *)
 let template =
   lazy (C.run ~datapath:C.Xsk ~seed:1L ~budget:4 [])
 
-let token_roundtrip (datapath, seed, budget, schedule, plan, queues) =
+let token_roundtrip (datapath, seed, budget, schedule, plan, queues, zerocopy)
+    =
   let o =
     {
       (Lazy.force template) with
@@ -411,14 +456,16 @@ let token_roundtrip (datapath, seed, budget, schedule, plan, queues) =
       schedule;
       fault_plan = plan;
       queues;
+      zerocopy;
     }
   in
   let token = C.repro o in
   match C.parse_repro token with
   | Error e -> QCheck.Test.fail_reportf "parse failed on %S: %s" token e
-  | Ok (dp', seed', budget', schedule', plan', queues') ->
+  | Ok (dp', seed', budget', schedule', plan', queues', zc') ->
       dp' = datapath && seed' = seed && budget' = budget
       && schedule' = schedule && plan' = plan && queues' = queues
+      && zc' = zerocopy
 
 let token_arb = QCheck.make ~print:print_token_case token_case_gen
 
@@ -450,6 +497,9 @@ let garbage_arb =
                  ":5:10::persist=drop-wakeup:qq";
                  ":5:10::persist=drop-wakeup:q-1";
                  ":5:10:99999999999999999999=prod-overshoot";
+                 ":5:10::persist=drop-wakeup:zc2";
+                 ":5:10::persist=drop-wakeup:q2:zc:zc";
+                 ":5:10:::q1:zc2";
                ]
            in
            return (Printf.sprintf "xsk:%d%s" seed tail));
@@ -492,6 +542,11 @@ let test_malformed_messages () =
       ("xsk:5:10::persist=no-such-fault", "unknown fault");
       ("xsk:5:10::persist=drop-wakeup:q0", "queue segment");
       ("xsk:5:10::persist=drop-wakeup:qx", "queue segment");
+      (* "zc2" is not the literal "zc": it lands in the queue-segment
+         position and must be named there, never silently accepted *)
+      ("xsk:5:10::persist=drop-wakeup:zc2", "queue segment");
+      (* a second "zc" survives the single strip and overflows *)
+      ("xsk:5:10::persist=drop-wakeup:q2:zc:zc", "repro string");
     ]
 
 let q name arb prop =

@@ -6,7 +6,7 @@
 let usage () =
   prerr_endline
     "usage: main.exe [--metrics] [--json] \
-     [fig2|table1|table2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|claims|ablation|sensitivity|micro|sweep|zerocopy|all]";
+     [fig2|table1|table2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|claims|ablation|sensitivity|micro|sweep|zerocopy|kv|all]";
   exit 2
 
 (* {1 Machine-readable results}
@@ -170,6 +170,99 @@ let run_zc_json () =
     exit 1
   end
 
+(* {1 KV overload payoff}
+
+   Part of [--json]: the loadgen-driven memcached-style KV workload
+   (DESIGN.md §15) three ways on the 2-shard datapath — a client-paced
+   closed-loop baseline, a concurrency overload (40x the baseline's
+   connection count, each keeping one op in flight, so the in-flight
+   population alone dwarfs the saturation watermark) with admission
+   control off, and the same crowd with [Config.overload] on —
+   recording p50/p99/p999 round-trip cycles and the accounting ledger
+   of each run into [BENCH_kv.json].  The overloaded runs raise the
+   client timeout to 5 ms so the deep no-control queue is measured
+   rather than truncated by client gives-up.  Gate: under overload,
+   shedding must improve the p99 of admitted requests — without
+   admission control every admitted op rides the full-crowd queue;
+   with it the controller sheds at the edge (visible as [server_shed])
+   and the admitted tail stays short.  Admission control that does not
+   buy tail latency would be dead weight. *)
+
+let kv_server_threads = 4
+
+let kv_harness ~overload =
+  match
+    Apps.Harness.make Libos.Env.Rakis_sgx
+      ~rakis_config:
+        {
+          Rakis.Config.default with
+          num_queues = 2;
+          num_xsks = kv_server_threads;
+          overload;
+        }
+      ~nic_queues:4 ()
+  with
+  | Ok h -> h
+  | Error e -> failwith ("rakis-sgx: " ^ e)
+
+let kv_crowd_connections = 640
+
+let run_kv_json () =
+  let run ~overload ~crowd =
+    let h = kv_harness ~overload in
+    let config =
+      if crowd then
+        {
+          Apps.Loadgen.default with
+          connections = kv_crowd_connections;
+          ops = 12_000;
+          timeout = 12_000_000L;
+        }
+      else { Apps.Loadgen.default with connections = 16; ops = 6000 }
+    in
+    let s = Apps.Loadgen.run ~config h ~server_threads:kv_server_threads in
+    let server_shed =
+      match Libos.Env.runtime h.Apps.Harness.env with
+      | None -> 0
+      | Some rt -> Rakis.Runtime.total_overload_shed rt
+    in
+    (s, server_shed)
+  in
+  let base, _ = run ~overload:false ~crowd:false in
+  let hot, _ = run ~overload:false ~crowd:true in
+  let ctl, ctl_shed = run ~overload:true ~crowd:true in
+  let fields tag ((s : Apps.Loadgen.stats), server_shed) =
+    [
+      (tag ^ "_offered", I s.Apps.Loadgen.offered);
+      (tag ^ "_completed", I s.Apps.Loadgen.completed);
+      (tag ^ "_lost", I s.Apps.Loadgen.lost);
+      (tag ^ "_server_shed", I server_shed);
+      (tag ^ "_p50_cycles", I s.Apps.Loadgen.latency.Obs.Metrics.s_p50);
+      (tag ^ "_p99_cycles", I s.Apps.Loadgen.latency.Obs.Metrics.s_p99);
+      (tag ^ "_p999_cycles", I s.Apps.Loadgen.latency.Obs.Metrics.s_p999);
+      (tag ^ "_goodput_kops", F s.Apps.Loadgen.goodput_kops);
+    ]
+  in
+  write_json "BENCH_kv.json"
+    ([
+       ("workload", S "kv_loadgen");
+       ("env", S "rakis-sgx");
+       ("queues", I 2);
+       ("server_threads", I kv_server_threads);
+     ]
+    @ fields "baseline" (base, 0)
+    @ fields "overload_nocontrol" (hot, 0)
+    @ fields "overload_shedding" (ctl, ctl_shed));
+  let p99 (s : Apps.Loadgen.stats) = s.Apps.Loadgen.latency.Obs.Metrics.s_p99 in
+  Format.printf
+    "kv p99 cycles: baseline %d, overloaded %d, overloaded+shedding %d \
+     (server sheds %d; gate: shedding < no control)@."
+    (p99 base) (p99 hot) (p99 ctl) ctl_shed;
+  if p99 ctl >= p99 hot then begin
+    Format.printf "FAIL: shedding did not improve the overloaded p99@.";
+    exit 1
+  end
+
 (* {1 Queue-scaling sweep}
 
    The DESIGN.md §10 headline: boot the datapath with 1, 2, 4 and 8
@@ -295,7 +388,8 @@ let () =
   in
   if json then begin
     run_json ();
-    run_zc_json ()
+    run_zc_json ();
+    run_kv_json ()
   end
   else
   (match args with
@@ -315,5 +409,6 @@ let () =
   | [ "micro" ] -> Micro.run ()
   | [ "sweep" ] -> run_sweep ()
   | [ "zerocopy" ] -> run_zc_json ()
+  | [ "kv" ] -> run_kv_json ()
   | _ -> usage ());
   if metrics then Figures.dump_metrics ()

@@ -122,10 +122,43 @@ let queues_arg =
            Monitor per shard, NIC queues spread across them by RSS.  \
            Default 1 (the single-queue datapath).  RAKIS environments only.")
 
+let overload_arg =
+  Arg.(
+    value & flag
+    & info [ "overload" ]
+        ~doc:
+          "Enable shard-aware overload control (DESIGN.md §15): CoDel \
+           sojourn tracking + hysteretic watermarks on every shard queue, \
+           token-bucket admission with priority classes (breaker probes \
+           are never shed), and backpressure that throttles xFill refills \
+           so a flood dies at the host NIC.  Every refusal is counted \
+           under overload.* in $(b,--metrics).  RAKIS environments only.")
+
+let slo_p99_arg =
+  Arg.(
+    value
+    & opt (some int64) None
+    & info [ "slo-p99" ] ~docv:"CYCLES"
+        ~doc:
+          "p99 latency objective in cycles for admitted requests (informs \
+           the controller's deadline shedding; default 2.4M = 1 ms).")
+
 let health_config_term =
-  let apply degraded threshold cooldown probes queues zerocopy =
+  let apply degraded threshold cooldown probes queues zerocopy overload slo_p99
+      =
     let cfg =
-      { Rakis.Config.default with degraded; num_queues = queues; zerocopy }
+      {
+        Rakis.Config.default with
+        degraded;
+        num_queues = queues;
+        zerocopy;
+        overload;
+      }
+    in
+    let cfg =
+      match slo_p99 with
+      | Some v -> { cfg with Rakis.Config.slo_p99 = v }
+      | None -> cfg
     in
     let cfg =
       match threshold with
@@ -143,7 +176,8 @@ let health_config_term =
   in
   Cmdliner.Term.(
     const apply $ degraded_arg $ breaker_threshold_arg $ breaker_cooldown_arg
-    $ breaker_probes_arg $ queues_arg $ zerocopy_arg)
+    $ breaker_probes_arg $ queues_arg $ zerocopy_arg $ overload_arg
+    $ slo_p99_arg)
 
 (* The NIC must expose at least as many hardware queues as the config
    asks shards for. *)
@@ -282,7 +316,16 @@ let report ?(metrics = false) ?trace_file h =
           (Rakis.Runtime.total_zc_fallbacks rt)
           (Rakis.Runtime.total_zc_notifs rt)
           (Rakis.Runtime.total_zc_notif_rejects rt)
-          (Rakis.Runtime.total_zc_leaks rt));
+          (Rakis.Runtime.total_zc_leaks rt);
+      if (Rakis.Runtime.config rt).Rakis.Config.overload then
+        Format.printf
+          "overload: admitted %d, shed %d (control %d), edge drops %d, fill \
+           throttles %d@."
+          (Rakis.Runtime.total_overload_admitted rt)
+          (Rakis.Runtime.total_overload_shed rt)
+          (Rakis.Runtime.total_control_shed rt)
+          (Rakis.Runtime.total_edge_drops rt)
+          (Rakis.Runtime.total_fill_throttles rt));
   dump_obs ~metrics ~trace_file h
 
 let hello_cmd =
@@ -347,18 +390,20 @@ let memcached_cmd =
     Arg.(value & opt int 4 & info [ "threads" ] ~doc:"Server threads.")
   in
   let ops = Arg.(value & opt int 10000 & info [ "ops" ] ~doc:"Operations.") in
-  let run env threads ops metrics trace_file =
+  let run env cfg threads ops faults fault_seed metrics trace_file =
     let h =
-      harness
-        ~rakis_config:{ Rakis.Config.default with num_xsks = threads }
-        ~nic_queues:4 env
+      sharded_harness { cfg with Rakis.Config.num_xsks = threads } env
     in
+    let injector = install_faults h ~spec:faults ~seed:fault_seed in
     let r = Apps.Memcached.run h ~server_threads:threads ~ops in
     Format.printf "%a@." Apps.Memcached.pp_result r;
+    report_faults h injector;
     report ~metrics ?trace_file h
   in
   Cmd.v (Cmd.info "memcached" ~doc:"memcached over UDP (Figure 4c)")
-    Term.(const run $ env_arg $ threads $ ops $ metrics_arg $ trace_arg)
+    Term.(
+      const run $ env_arg $ health_config_term $ threads $ ops $ faults_arg
+      $ fault_seed_arg $ metrics_arg $ trace_arg)
 
 let curl_cmd =
   let size =
@@ -386,14 +431,18 @@ let redis_cmd =
   let conns =
     Arg.(value & opt int 50 & info [ "connections" ] ~doc:"Client connections.")
   in
-  let run env command ops conns metrics trace_file =
-    let h = harness env in
+  let run env cfg command ops conns faults fault_seed metrics trace_file =
+    let h = sharded_harness cfg env in
+    let injector = install_faults h ~spec:faults ~seed:fault_seed in
     let r = Apps.Redis.run ~connections:conns h ~command ~ops in
     Format.printf "%a@." Apps.Redis.pp_result r;
+    report_faults h injector;
     report ~metrics ?trace_file h
   in
   Cmd.v (Cmd.info "redis" ~doc:"redis over TCP via io_uring (Figure 5b)")
-    Term.(const run $ env_arg $ command $ ops $ conns $ metrics_arg $ trace_arg)
+    Term.(
+      const run $ env_arg $ health_config_term $ command $ ops $ conns
+      $ faults_arg $ fault_seed_arg $ metrics_arg $ trace_arg)
 
 let fstime_cmd =
   let block =
@@ -456,21 +505,159 @@ let udp_echo_cmd =
     report_faults h injector;
     report ~metrics ?trace_file h;
     (* Under injected faults the echo loop must still complete: faults
-       cost latency, never datagrams.  A shortfall is a recovery bug. *)
-    if injector <> None && r.Apps.Udp_echo.echoed < datagrams then begin
-      Format.eprintf "FAIL: %d/%d datagrams echoed under faults@."
-        r.Apps.Udp_echo.echoed datagrams;
-      exit 1
-    end
+       cost latency, never datagrams.  With overload control enabled a
+       shed round trip is a legitimate, {e accounted} refusal — only a
+       shortfall beyond the server's shed counters (silent loss) fails.
+       Without it every missing datagram is a recovery bug. *)
+    let missing = datagrams - r.Apps.Udp_echo.echoed in
+    if injector <> None || cfg.Rakis.Config.overload then
+      if cfg.Rakis.Config.overload then begin
+        if missing > r.Apps.Udp_echo.shed then begin
+          Format.eprintf
+            "FAIL: %d datagrams missing, only %d accounted as shed — %d \
+             silently lost@."
+            missing r.Apps.Udp_echo.shed
+            (missing - r.Apps.Udp_echo.shed);
+          exit 1
+        end
+      end
+      else if missing > 0 then begin
+        Format.eprintf "FAIL: %d/%d datagrams echoed under faults@."
+          r.Apps.Udp_echo.echoed datagrams;
+        exit 1
+      end
   in
   Cmd.v
     (Cmd.info "udp_echo"
        ~doc:
          "Closed-loop UDP echo (paper §1 scenario); the canonical workload \
           for $(b,--metrics)/$(b,--trace), and with $(b,--faults) the \
-          recovery smoke test: exits 1 unless every datagram is echoed")
+          recovery smoke test: exits 1 on silent datagram loss — every \
+          missing echo must be covered by the accounted shed counters \
+          (with $(b,--overload)) or not happen at all")
     Term.(
       const run $ env_arg $ health_config_term $ datagrams $ size $ flows
+      $ faults_arg $ fault_seed_arg $ metrics_arg $ trace_arg)
+
+let loadgen_cmd =
+  let conns =
+    Arg.(value & opt int 32 & info [ "connections" ] ~doc:"Client connections.")
+  in
+  let ops =
+    Arg.(value & opt int 20000 & info [ "ops" ] ~doc:"Base operations offered.")
+  in
+  let open_loop =
+    Arg.(
+      value
+      & opt (some int64) None
+      & info [ "open" ] ~docv:"CYCLES"
+          ~doc:
+            "Open-loop arrival with $(docv) cycles between ops per \
+             connection (default: closed-loop).")
+  in
+  let zipf =
+    Arg.(
+      value & opt float 0.99
+      & info [ "zipf" ] ~doc:"Key-popularity skew (0 = uniform).")
+  in
+  let flash_at =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "flash-at" ] ~docv:"OP"
+          ~doc:"Trigger a flash crowd once $(docv) base ops were offered.")
+  in
+  let flash_conns =
+    Arg.(
+      value & opt int 64
+      & info [ "flash-connections" ] ~doc:"Extra crowd connections.")
+  in
+  let flash_ops =
+    Arg.(
+      value & opt int 20000
+      & info [ "flash-ops" ] ~doc:"Ops the crowd offers before leaving.")
+  in
+  let churn =
+    Arg.(
+      value & opt int 0
+      & info [ "churn-every" ]
+          ~doc:"Close/reopen each connection every N ops (0 = never).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Workload RNG seed.")
+  in
+  let threads =
+    Arg.(value & opt int 4 & info [ "threads" ] ~doc:"Server threads.")
+  in
+  let run env cfg conns ops open_loop zipf flash_at flash_conns flash_ops churn
+      seed threads faults fault_seed metrics trace_file =
+    let h =
+      sharded_harness { cfg with Rakis.Config.num_xsks = threads } env
+    in
+    let injector = install_faults h ~spec:faults ~seed:fault_seed in
+    let lg_config =
+      {
+        Apps.Loadgen.default with
+        Apps.Loadgen.mode =
+          (match open_loop with
+          | Some interarrival -> Apps.Loadgen.Open { interarrival }
+          | None -> Apps.Loadgen.default.Apps.Loadgen.mode);
+        connections = conns;
+        ops;
+        zipf;
+        churn_every = churn;
+        seed = Int64.of_int seed;
+        flash =
+          (match flash_at with
+          | None -> None
+          | Some at_op ->
+              Some
+                {
+                  Apps.Loadgen.at_op;
+                  extra_connections = flash_conns;
+                  crowd_ops = flash_ops;
+                });
+      }
+    in
+    let s = Apps.Loadgen.run ~config:lg_config h ~server_threads:threads in
+    Format.printf "%a@." Apps.Loadgen.pp_stats s;
+    report_faults h injector;
+    report ~metrics ?trace_file h;
+    (* The loadgen's accounting obligation, CLI edition: every offered
+       op must terminate as completed, shed or lost — and losses beyond
+       the accounted server-side sheds are silent loss, a bug in any
+       configuration.  Two client-kernel counters join the server-side
+       books: a timed-out op recycles its socket (see
+       {!Apps.Loadgen.one_op}), so its reply — if one was coming — dies
+       in the host kernel as [udp.no_socket_drops]; a reply burst
+       overrunning the client's socket buffer dies as
+       [udp.buffer_drops].  Both are accounted deaths, not silence. *)
+    let silent =
+      match Libos.Env.runtime h.Apps.Harness.env with
+      | None -> 0
+      | Some rt ->
+          let kstats = Sim.Engine.stats h.Apps.Harness.engine in
+          s.Apps.Loadgen.lost - s.Apps.Loadgen.late
+          - Rakis.Runtime.total_accounted_drops rt
+          - Rakis.Runtime.total_overload_shed rt
+          - Sim.Stats.get kstats "udp.no_socket_drops"
+          - Sim.Stats.get kstats "udp.buffer_drops"
+    in
+    if silent > 0 then begin
+      Format.eprintf "FAIL: %d ops silently lost (unaccounted)@." silent;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "KV load generator over the XSK datapath (DESIGN.md §15): Zipf \
+          key popularity, open- or closed-loop arrival, flash crowds and \
+          connection churn; exits 1 on silent (unaccounted) op loss.  \
+          Pair with $(b,--overload) to exercise admission control")
+    Term.(
+      const run $ env_arg $ health_config_term $ conns $ ops $ open_loop
+      $ zipf $ flash_at $ flash_conns $ flash_ops $ churn $ seed $ threads
       $ faults_arg $ fault_seed_arg $ metrics_arg $ trace_arg)
 
 let verify_cmd =
@@ -510,6 +697,7 @@ let () =
             memcached_cmd;
             curl_cmd;
             redis_cmd;
+            loadgen_cmd;
             fstime_cmd;
             mcrypt_cmd;
             verify_cmd;

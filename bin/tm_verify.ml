@@ -15,7 +15,13 @@
    - --faults '<plan>' (with --campaign): additionally run each
      datapath under that host-fault plan alone and composed with an
      attack soup — the Faults.plan syntax of docs/cli.md
-     (e.g. '@0.05=transient-errno;200=monitor-crash'). *)
+     (e.g. '@0.05=transient-errno;200=monitor-crash');
+   - --soak: the overload-control chaos soak (DESIGN.md §15) — flash
+     crowd x rolling shard faults x malice soup on a multi-queue
+     machine with Config.overload, gated on zero unaccounted
+     datagrams, zero control sheds, the p99 SLO and goodput recovery.
+     --soak-steps / --queues / --seed / --slo-p99 parameterize it
+     (CI smoke uses --soak-steps 12000). *)
 
 let total_fired o =
   List.fold_left (fun acc (_, n) -> acc + n) 0 o.Tm.Campaign.fired
@@ -229,6 +235,18 @@ let campaign ~budget ~faults_plan ~queues =
   end
   else Format.printf "@.campaign passed@."
 
+let soak ~steps ~queues ~seed ~slo_p99 =
+  Format.printf
+    "RAKIS Testing Module: overload chaos soak (steps %d, queues %d)@.@."
+    steps queues;
+  let o = Tm.Campaign.soak ~steps ~queues ~seed ?slo_p99 () in
+  Format.printf "%a@." Tm.Campaign.pp_soak_outcome o;
+  if Tm.Campaign.soak_failed o then begin
+    Format.printf "@.soak FAILED@.";
+    exit 1
+  end
+  else Format.printf "@.soak passed@."
+
 let replay token =
   match Tm.Campaign.run_repro token with
   | Error e ->
@@ -301,7 +319,10 @@ let () =
   and min_states = ref 10_000
   and max_states = ref 250_000
   and mutant = ref ""
-  and token = ref "" in
+  and token = ref ""
+  and soak_steps = ref 100_000
+  and seed = ref 0x50AD5EEDL
+  and slo_p99 = ref (-1) in
   let spec =
     [
       ("-depth", Arg.Set_int depth, "schedule depth (default 3)");
@@ -341,6 +362,22 @@ let () =
       ( "--max-states",
         Arg.Set_int max_states,
         "state budget for --exhaustive (default 250000)" );
+      ( "--soak",
+        Arg.Unit (fun () -> mode := `Soak),
+        "run the overload-control chaos soak (flash crowd x rolling \
+         shard faults x malice soup with Config.overload); gates: zero \
+         unaccounted datagrams, zero control sheds, p99 SLO, goodput \
+         recovery" );
+      ( "--soak-steps",
+        Arg.Set_int soak_steps,
+        "datagram steps for --soak (default 100000)" );
+      ( "--seed",
+        Arg.String (fun s -> seed := Int64.of_string s),
+        "seed for --soak (default 0x50AD5EED)" );
+      ( "--slo-p99",
+        Arg.Set_int slo_p99,
+        "p99 SLO for --soak in cycles (default Config.default.slo_p99, \
+         1 ms at 2.4 GHz)" );
       ( "--mutant",
         Arg.Set_string mutant,
         "run --exhaustive against a known-bad driver mutation and require \
@@ -361,6 +398,10 @@ let () =
           exit 2
       | Ok faults_plan -> campaign ~budget:!budget ~faults_plan ~queues:!queues)
   | `Replay -> replay !token
+  | `Soak ->
+      let queues = if !queues < 2 then 2 else !queues in
+      soak ~steps:!soak_steps ~queues ~seed:!seed
+        ~slo_p99:(if !slo_p99 < 0 then None else Some (Int64.of_int !slo_p99))
   | `Exhaustive ->
       let depth = if !depth < 0 then 5 else !depth in
       exhaustive ~depth ~queues:!queues ~min_states:!min_states

@@ -29,6 +29,10 @@ let shard_of key = Hashtbl.hash key mod shards
 
 (* Wire format: 'G' ^ key  |  'S' ^ key ^ '\x00' ^ value.
    Replies: 'V' ^ value | 'N' (miss) | 'O' (stored). *)
+let get_request key = Bytes.of_string ("G" ^ key)
+
+let set_request key value = Bytes.of_string ("S" ^ key ^ "\x00" ^ value)
+
 let parse_request payload =
   if Bytes.length payload < 2 then None
   else
@@ -103,8 +107,7 @@ let connection api ~value_size ~rng ~completed ~timeouts ~ops ~on_done () =
   let value = String.make value_size 'v' in
   let request () =
     let key = Printf.sprintf "key-%06d" (Sim.Rng.int rng key_space) in
-    if Sim.Rng.int rng 10 = 0 then Bytes.of_string ("S" ^ key ^ "\x00" ^ value)
-    else Bytes.of_string ("G" ^ key)
+    if Sim.Rng.int rng 10 = 0 then set_request key value else get_request key
   in
   let timeout = Sim.Cycles.of_us 300. in
   let rec one_op retries =

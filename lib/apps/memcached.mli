@@ -20,6 +20,21 @@ type result = {
 
 val port : int
 
+val key_space : int
+(** Keys are ["key-%06d"] over [0, key_space). *)
+
+val get_request : string -> Bytes.t
+
+val set_request : string -> string -> Bytes.t
+(** Wire format builders (['G' ^ key] and ['S' ^ key ^ '\x00' ^ value]),
+    shared with {!Loadgen} so both generators speak the same protocol. *)
+
+val server : Libos.Api.t -> server_threads:int -> unit -> unit
+(** The server half alone: binds UDP [port] on 10.0.0.1, spawns
+    [server_threads - 1] workers and serves on the calling fiber
+    forever.  Exposed so {!Loadgen} (and [rakis_run memcached]) can
+    drive it with their own load shapes. *)
+
 val run :
   ?client_threads:int ->
   ?connections:int ->

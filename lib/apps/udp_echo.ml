@@ -2,6 +2,7 @@ type result = {
   env : string;
   datagrams : int;
   echoed : int;
+  shed : int;
   flows : int;
   payload_size : int;
   duration : Sim.Engine.time;
@@ -12,6 +13,14 @@ type result = {
 }
 
 let port = 7
+
+(* A flow that never hears its echo must not wedge until the harness
+   horizon: the client waits this long per round trip, then moves on
+   and lets the accounting decide whether the datagram was shed
+   (server-side counters cover it) or silently lost (a bug).  Generous
+   enough that breaker failovers and fault stalls — latency, not loss —
+   never get misread as drops. *)
+let reply_timeout = Sim.Cycles.of_ms 2.
 
 let server api () =
   let fd = api.Libos.Api.udp_socket () in
@@ -27,11 +36,22 @@ let server api () =
   in
   loop ()
 
-(* Closed-loop native client: each datagram waits for its echo, so the
-   count measures round trips, not offered load.  [src] pins the source
-   port (multi-flow runs need distinct, deterministic 4-tuples so RSS
-   spreads the flows over the shards); the single-flow default keeps the
-   historical ephemeral-port behaviour. *)
+(* Round trips are sequence-tagged (first 8 payload bytes) so a bounded
+   wait stays sound: an echo arriving after its round trip was given up
+   on is drained as stale instead of being credited to the next one. *)
+let tag_payload payload seq =
+  Bytes.blit_string (Printf.sprintf "%08d" (seq mod 100_000_000)) 0 payload 0 8
+
+let tag_of payload =
+  if Bytes.length payload >= 8 then
+    int_of_string_opt (Bytes.sub_string payload 0 8)
+  else None
+
+(* Closed-loop native client: each datagram waits (bounded) for its
+   echo, so the count measures round trips, not offered load.  [src]
+   pins the source port (multi-flow runs need distinct, deterministic
+   4-tuples so RSS spreads the flows over the shards); the single-flow
+   default keeps the historical ephemeral-port behaviour. *)
 let client api ~datagrams ~payload_size ~src ~echoed ~first ~last ~rtts ~fin ()
     =
   (* Let the server finish socket+bind before offering load. *)
@@ -45,19 +65,41 @@ let client api ~datagrams ~payload_size ~src ~echoed ~first ~last ~rtts ~fin ()
       | Error e ->
           failwith (Format.asprintf "echo client bind: %a" Abi.Errno.pp e)));
   let dst = (Packet.Addr.Ip.of_repr "10.0.0.1", port) in
-  let payload = Bytes.make payload_size 'e' in
+  let payload = Bytes.make (max 8 payload_size) 'e' in
   if !first = 0L then first := Libos.Api.now api;
-  for _ = 1 to datagrams do
+  for seq = 0 to datagrams - 1 do
+    tag_payload payload seq;
     let sent_at = Libos.Api.now api in
+    let deadline = Int64.add sent_at reply_timeout in
     ignore (api.Libos.Api.sendto fd payload dst);
-    match api.Libos.Api.recvfrom fd 65536 with
-    | Ok _ ->
-        incr echoed;
-        last := Int64.max !last (Libos.Api.now api);
-        Obs.Metrics.observe rtts (Int64.to_int (Int64.sub !last sent_at))
-    | Error _ -> ()
+    let rec await () =
+      let left = Int64.sub deadline (Libos.Api.now api) in
+      if Int64.compare left 0L > 0 then
+        match api.Libos.Api.poll [ (fd, [ `In ]) ] ~timeout:(Some left) with
+        | Ok ((_, _) :: _) -> (
+            match api.Libos.Api.recvfrom fd 65536 with
+            | Ok (reply, _) when tag_of reply = Some seq ->
+                incr echoed;
+                last := Int64.max !last (Libos.Api.now api);
+                Obs.Metrics.observe rtts
+                  (Int64.to_int (Int64.sub !last sent_at))
+            | Ok _ -> await () (* stale echo of a given-up round trip *)
+            | Error _ -> await ())
+        | Ok [] | Error _ -> ()
+    in
+    await ()
   done;
   fin ()
+
+(* Server-side accounted refusals: overload sheds (rx-gate and reply
+   EAGAIN) plus every counted drop stream.  What the client failed to
+   hear back minus this is silent loss. *)
+let accounted_sheds (h : Harness.t) =
+  match Libos.Env.runtime h.env with
+  | None -> 0
+  | Some rt ->
+      Rakis.Runtime.total_overload_shed rt
+      + Rakis.Runtime.total_accounted_drops rt
 
 let run ?(flows = 1) (h : Harness.t) ~datagrams ~payload_size =
   let echoed = ref 0 and first = ref 0L and last = ref 0L in
@@ -96,6 +138,7 @@ let run ?(flows = 1) (h : Harness.t) ~datagrams ~payload_size =
     env = (Harness.api h).Libos.Api.name;
     datagrams;
     echoed = !echoed;
+    shed = accounted_sheds h;
     flows;
     payload_size;
     duration;
@@ -113,6 +156,7 @@ let pp_result ppf r =
      p50<=%d p99<=%d cycles)"
     r.env r.payload_size r.echoed r.datagrams Sim.Cycles.pp_duration r.duration
     r.round_trips_per_sec r.rtt_p50 r.rtt_p99;
+  if r.shed > 0 then Format.fprintf ppf " [%d accounted sheds]" r.shed;
   match r.shards with
   | Some s when s.Shards.queues > 1 -> Format.fprintf ppf "@,%a" Shards.pp s
   | _ -> ()

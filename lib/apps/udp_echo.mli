@@ -13,6 +13,10 @@ type result = {
   env : string;
   datagrams : int;  (** round trips attempted *)
   echoed : int;  (** round trips completed *)
+  shed : int;
+      (** server-side {e accounted} refusals (overload sheds + counted
+          drop streams); [datagrams - echoed - shed > 0] means silent
+          loss.  [0] for non-RAKIS baselines. *)
   flows : int;  (** concurrent closed-loop client flows *)
   payload_size : int;
   duration : Sim.Engine.time;  (** first send to last echo *)
@@ -30,6 +34,12 @@ val run :
     [datagrams] budget.  Multi-flow clients bind deterministic source
     ports picked by {!Shards.spread_ports} so RSS spreads them uniformly
     over the datapath shards; the single-flow default keeps the
-    historical ephemeral-port behaviour. *)
+    historical ephemeral-port behaviour.
+
+    Round trips are sequence-tagged and each waits a bounded 2 ms: a
+    shed echo costs one timeout, not the flow (stale echoes of
+    given-up round trips are drained, never credited).  Compare
+    [echoed + shed] against [datagrams] to separate accounted
+    shedding from silent loss. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -24,6 +24,8 @@ type t = {
   zerocopy : bool;
   zc_frames : int;
   zc_frame_size : int;
+  overload : bool;
+  slo_p99 : int64;
 }
 
 let default =
@@ -53,6 +55,8 @@ let default =
     zerocopy = false;
     zc_frames = 32;
     zc_frame_size = 16 * 1024;
+    overload = false;
+    slo_p99 = 2_400_000L;
   }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
@@ -83,4 +87,5 @@ let validate t =
   else if t.sync_op_timeout <= 0L then Error "sync_op_timeout must be positive"
   else if t.zc_frames <= 0 then Error "zc_frames must be positive"
   else if t.zc_frame_size <= 0 then Error "zc_frame_size must be positive"
+  else if t.slo_p99 <= 0L then Error "slo_p99 must be positive"
   else Ok ()

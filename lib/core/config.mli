@@ -76,6 +76,19 @@ type t = {
   zc_frame_size : int;
       (** bytes per registered frame; default 16 KiB — large frames
           amortize per-op costs on streaming sends *)
+  overload : bool;
+      (** enable the overload-control subsystem (DESIGN.md §15): one
+          {!Overload} controller per datapath shard guarding the
+          netstack rx queues (CoDel sojourn + hysteretic watermarks,
+          with fill-ring edge throttling and [EAGAIN] send pushback)
+          plus one runtime-wide controller on the io_uring pending
+          tables.  Default false — PR 8 behaviour, no admission beyond
+          [max_pending]. *)
+  slo_p99 : int64;
+      (** p99 latency objective, in cycles, for {e admitted} requests —
+          the acceptance currency of the soak harness and the KV bench
+          gates.  Not consulted by the hot path.  Default 2,400,000
+          (1 ms at the simulated 2.4 GHz clock). *)
 }
 
 val default : t

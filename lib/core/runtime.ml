@@ -22,6 +22,7 @@ type shard = {
   sh_xsks : Hostos.Xdp.xsk array;
   sh_monitor : Monitor.t;
   sh_breaker : Health.t;
+  sh_overload : Overload.t option; (* Some iff [config.overload] *)
   mutable last_tx_ok : bool; (* feedback from [stack_transmit] *)
   mutable probing : bool; (* half-open probe in flight: skip the reroute *)
   mutable tx_counter : int;
@@ -42,6 +43,10 @@ type t = {
      ("health.xsk.<k>.*" once sharded) — the per-queue failover unit. *)
   uring_breaker : Health.t;
   mm_breaker : Health.t;
+  (* One overload controller for every thread's SyncProxy pending table
+     (io_uring FMs are per-thread, not per-queue — same scoping as the
+     uring breaker). *)
+  uring_overload : Overload.t option;
   mutable slow_ops : Syncproxy.slow_ops option;
   mutable slow_udp : slow_udp option;
   mutable udp_socks : udp_sock list;
@@ -118,6 +123,8 @@ let monitor_observations t =
 let shard_monitor t k = t.shards.(k).sh_monitor
 
 let shard_fms t k = t.shards.(k).sh_fms
+
+let shard_xsks t k = t.shards.(k).sh_xsks
 
 let shard_rx_delivered t k = Netstack.Stack.rx_delivered t.shards.(k).sh_stack
 
@@ -418,6 +425,27 @@ let boot kernel ~sgx ?(config = Config.default) () =
       | Ok parts ->
           let clock () = Sim.Engine.now engine in
           let breaker name = Health.of_config ~obs ~name ~clock config in
+          let overload name =
+            if config.Config.overload then
+              (* Watermarks fit the narrowest guarded queue: on a
+                 machine whose rings hold fewer frames than the default
+                 watermark, depth can never reach it and saturation —
+                 with the edge throttling it drives — would be
+                 unreachable.  Saturate at 3/4 of a ring, clear at 1/4,
+                 capped by the defaults on full-size machines. *)
+              let high =
+                min Overload.default_high_watermark
+                  (max 8 (3 * config.Config.ring_size / 4))
+              in
+              let low =
+                min Overload.default_low_watermark
+                  (max 2 (config.Config.ring_size / 4))
+              in
+              Some
+                (Overload.create ~obs ~name ~high_watermark:high
+                   ~low_watermark:low ~clock ())
+            else None
+          in
           let shards =
             Array.of_list
               (List.mapi
@@ -431,6 +459,10 @@ let boot kernel ~sgx ?(config = Config.default) () =
                      sh_breaker =
                        breaker
                          (if sharded then Printf.sprintf "xsk.%d" k else "xsk");
+                     sh_overload =
+                       overload
+                         (if sharded then Printf.sprintf "overload.%d" k
+                          else "overload");
                      last_tx_ok = true;
                      probing = false;
                      tx_counter = 0;
@@ -449,6 +481,7 @@ let boot kernel ~sgx ?(config = Config.default) () =
               owned_ports = Hashtbl.create 16;
               uring_breaker = breaker "uring";
               mm_breaker = breaker "mm";
+              uring_overload = overload "overload.uring";
               slow_ops = None;
               slow_udp = None;
               udp_socks = [];
@@ -459,7 +492,38 @@ let boot kernel ~sgx ?(config = Config.default) () =
           Array.iter
             (fun shard ->
               Netstack.Stack.set_transmit shard.sh_stack
-                (stack_transmit t shard))
+                (stack_transmit t shard);
+              (* Overload wiring (DESIGN.md §15): the shard's controller
+                 gates rx enqueues (CoDel shedding state), tracks queue
+                 sojourns, and — while the high watermark holds — makes
+                 every FM of the shard starve its fill ring so the host
+                 NIC drops the flood at the edge. *)
+              match shard.sh_overload with
+              | None -> ()
+              | Some ov ->
+                  Netstack.Stack.set_overload_hooks shard.sh_stack
+                    ~rx_gate:(fun ~depth ->
+                      Overload.note_depth ov depth;
+                      Overload.admit ov Overload.Data)
+                    ~on_dequeue:(fun ~sojourn ~depth ->
+                      Overload.note_depth ov depth;
+                      Overload.observe_sojourn ov sojourn);
+                  Array.iteri
+                    (fun i fm ->
+                      Xsk_fm.set_throttle fm (fun () ->
+                          Overload.edge_throttle ov);
+                      (* Bound the NIC-side buffer at the saturation
+                         watermark and feed each ring's backlog into the
+                         controller as its own depth source: a flooded
+                         ring saturates the shard even while the socket
+                         queue behind it stays shallow, and the bloat
+                         ahead of the admission gate is capped. *)
+                      Xsk_fm.set_fill_cap fm (Overload.high_watermark ov);
+                      Xsk_fm.set_note_backlog fm
+                        (Overload.note_depth ~src:(1 + i) ov);
+                      Xsk_fm.set_pressure fm (fun () ->
+                          Overload.under_pressure ov))
+                    shard.sh_fms)
             t.shards;
           (* NIC queue q -> shard (q mod S); within the shard, queue q ->
              XSK ((q / S) mod num_xsks).  With S = 1 this is the
@@ -583,21 +647,57 @@ let udp_sendto t sock payload ~dst =
       let src_port = Netstack.Udp_socket.port socks.(0) in
       let shard = pick_shard t ~src_port ~dst in
       let s = socks.(shard.sq) in
-      if not (xsk_failover_ready t) then (
-        (* PR 4 semantics: the datagram may be silently dropped by a
-           saturated TX path, as UDP permits. *)
-        match fast_sendto t shard s payload ~dst with
-        | Error Abi.Errno.EAGAIN -> Ok (Bytes.length payload)
-        | r -> r)
+      (* Overload admission (DESIGN.md §15).  Data traffic is refused
+         with an {e accounted} [EAGAIN] while the shard is under
+         pressure — the datagram was never accepted, so nothing is
+         silently lost.  Breaker probes classify as [Control] and are
+         never shed: the probe's round trip is the signal that ends the
+         failover, and starving it would make the overload metastable. *)
+      let admit cls =
+        match shard.sh_overload with
+        | None -> true
+        | Some ov -> Overload.admit ov cls
+      in
+      let record_tx_shed () =
+        match shard.sh_overload with
+        | Some ov -> Overload.record_shed ov
+        | None -> ()
+      in
+      if not (xsk_failover_ready t) then
+        if not (admit Overload.Data) then Error Abi.Errno.EAGAIN
+        else (
+          match fast_sendto t shard s payload ~dst with
+          | Error Abi.Errno.EAGAIN when shard.sh_overload <> None ->
+              (* Overload mode surfaces TX-path saturation as pushback
+                 instead of PR 4's silent drop — and accounts it, so the
+                 caller's refusal shows up in [shed.data] like any other
+                 backpressure verdict. *)
+              record_tx_shed ();
+              Error Abi.Errno.EAGAIN
+          | Error Abi.Errno.EAGAIN ->
+              (* PR 4 semantics: the datagram may be silently dropped by
+                 a saturated TX path, as UDP permits. *)
+              Ok (Bytes.length payload)
+          | r -> r)
       else (
         match Health.allow shard.sh_breaker with
         | Health.Slow -> (
-            match slow_sendto t sock payload ~dst with
-            | Some r -> r
-            | None ->
-                Health.record_shed shard.sh_breaker;
-                Error Abi.Errno.EAGAIN)
+            if not (admit Overload.Data) then Error Abi.Errno.EAGAIN
+            else
+              match slow_sendto t sock payload ~dst with
+              | Some r -> r
+              | None ->
+                  Health.record_shed shard.sh_breaker;
+                  record_tx_shed ();
+                  Error Abi.Errno.EAGAIN)
         | Health.Fast | Health.Probe as verdict -> (
+            if
+              not
+                (admit
+                   (if verdict = Health.Probe then Overload.Control
+                    else Overload.Data))
+            then Error Abi.Errno.EAGAIN
+            else begin
             if verdict = Health.Probe then shard.probing <- true;
             let sent =
               Fun.protect
@@ -615,8 +715,10 @@ let udp_sendto t sock payload ~dst =
                     r
                 | None ->
                     Health.record_shed shard.sh_breaker;
+                    record_tx_shed ();
                     Error Abi.Errno.EAGAIN)
-            | r -> r))
+            | r -> r
+            end))
 
 (* Degraded receive: once failover is configured, datagrams may sit in
    either the enclave netstack (XDP Redirect epochs) or the host
@@ -783,6 +885,9 @@ let new_thread t =
        end);
       let proxy = Syncproxy.create ?slow:t.slow_ops fm in
       if t.config.Config.degraded then Syncproxy.set_breaker proxy t.uring_breaker;
+      (match t.uring_overload with
+      | Some ov -> Syncproxy.set_overload proxy ov
+      | None -> ());
       let thread = { runtime = t; proxy } in
       t.threads <- thread :: t.threads;
       Ok thread
@@ -827,6 +932,61 @@ let total_zc_notifs t = sum_uring t Iouring_fm.zc_notifs
 let total_zc_notif_rejects t = sum_uring t Iouring_fm.zc_notif_rejects
 
 let total_zc_leaks t = sum_uring t Iouring_fm.zc_leaks
+
+(* {1 Overload introspection (DESIGN.md §15)} *)
+
+let shard_overload t k = t.shards.(k).sh_overload
+
+let uring_overload t = t.uring_overload
+
+let overload_controllers t =
+  List.filter_map Fun.id
+    (Array.to_list (Array.map (fun sh -> sh.sh_overload) t.shards))
+  @ (match t.uring_overload with Some ov -> [ ov ] | None -> [])
+
+let total_overload_shed t =
+  List.fold_left (fun acc ov -> acc + Overload.data_shed ov) 0
+    (overload_controllers t)
+
+let total_overload_admitted t =
+  List.fold_left (fun acc ov -> acc + Overload.admitted ov) 0
+    (overload_controllers t)
+
+let total_control_shed t =
+  List.fold_left (fun acc ov -> acc + Overload.control_shed ov) 0
+    (overload_controllers t)
+
+(* Frames the host NIC dropped at the edge (fill starvation — including
+   throttle-driven starvation — or oversized frames): the accounted
+   destination of the flood an edge-throttled shard refuses to buffer. *)
+let total_edge_drops t =
+  Array.fold_left
+    (fun acc sh ->
+      acc
+      + Array.fold_left
+          (fun acc xsk -> acc + Hostos.Xdp.rx_dropped xsk)
+          0 sh.sh_xsks)
+    0 t.shards
+
+let total_fill_throttles t =
+  Array.fold_left
+    (fun acc sh ->
+      acc
+      + Array.fold_left (fun acc fm -> acc + Xsk_fm.fill_throttles fm) 0 sh.sh_fms)
+    0 t.shards
+
+(* Datagrams that died with an accounting trail, runtime-wide: netstack
+   drop counters (bad packets, queue-full, overload sheds), NIC edge
+   drops, and descriptor/ring rejects.  The soak harness checks every
+   client-side loss against this total — silent loss means a datagram
+   vanished with {e no} counter anywhere, which is a soak failure. *)
+let total_accounted_drops t =
+  Array.fold_left
+    (fun acc sh -> acc + Netstack.Stack.rx_dropped sh.sh_stack)
+    0 t.shards
+  + total_edge_drops t + total_desc_rejects t + total_ring_check_failures t
+
+let shard_stack t k = t.shards.(k).sh_stack
 
 let shard_invariant_holds sh =
   Array.for_all Xsk_fm.invariant_holds sh.sh_fms

@@ -123,12 +123,55 @@ val shard_monitor : t -> int -> Monitor.t
 val shard_fms : t -> int -> Xsk_fm.t array
 (** Shard [k]'s XSK FastPath Modules. *)
 
+val shard_xsks : t -> int -> Hostos.Xdp.xsk array
+(** Shard [k]'s host-side XSK handles, for edge-drop forensics
+    ({!Hostos.Xdp.rx_drop_reasons}) — which layer refused, and why. *)
+
 val shard_rx_delivered : t -> int -> int
 (** Datagrams shard [k]'s stack delivered to sockets — the per-shard RX
     activity counter apps use to detect a silently idle shard. *)
 
 val shard_tx_frames : t -> int -> int
 (** Frames submitted through shard [k]'s transmit hook. *)
+
+val shard_stack : t -> int -> Netstack.Stack.t
+(** Shard [k]'s in-enclave UDP/IP stack instance. *)
+
+(** {1 Overload control (DESIGN.md §15)} *)
+
+val shard_overload : t -> int -> Overload.t option
+(** Shard [k]'s overload controller (["overload.<k>.*"] when sharded,
+    ["overload.*"] for the single shard); [None] unless
+    [config.overload]. *)
+
+val uring_overload : t -> Overload.t option
+(** The runtime-wide controller guarding every thread's SyncProxy
+    pending table (["overload.uring.*"]); [None] unless
+    [config.overload]. *)
+
+val total_overload_shed : t -> int
+(** Data admissions refused by any controller — each one surfaced to
+    the application as an accounted [EAGAIN], never a silent drop. *)
+
+val total_overload_admitted : t -> int
+
+val total_control_shed : t -> int
+(** Control-class (breaker probe / Monitor) refusals; [0] by
+    construction, exposed so soak assertions read a counter. *)
+
+val total_edge_drops : t -> int
+(** Frames the host NIC dropped at the edge across every shard's XSKs
+    — where the fill-ring throttle pushes the flood while a shard is
+    saturated. *)
+
+val total_fill_throttles : t -> int
+(** Refill iterations clamped by the overload edge throttle. *)
+
+val total_accounted_drops : t -> int
+(** Every datagram death that left an accounting trail: netstack drop
+    counters (including overload sheds), NIC edge drops, and
+    descriptor/ring rejects.  The soak harness requires every
+    client-observed loss to be covered by this total. *)
 
 (** {1 Degraded mode (DESIGN.md §9)} *)
 

@@ -22,9 +22,10 @@ type t = {
   fm : Iouring_fm.t;
   mutable slow : slow_ops option;
   mutable breaker : Health.t option;
+  mutable overload : Overload.t option;
 }
 
-let create ?slow ?breaker fm = { fm; slow; breaker }
+let create ?slow ?breaker fm = { fm; slow; breaker; overload = None }
 
 let fm t = t.fm
 
@@ -33,6 +34,8 @@ let set_slow t s = t.slow <- Some s
 let set_breaker t b =
   t.breaker <- Some b;
   Iouring_fm.set_breaker t.fm b
+
+let set_overload t ov = t.overload <- Some ov
 
 let degraded t =
   match t.breaker with None -> false | Some b -> Health.degraded b
@@ -49,16 +52,48 @@ let probe_attempt t fast =
    "every attempt bounced, the op never ran" verdict (DESIGN.md §8), so
    completing it via the slow path is safe and keeps the failure
    invisible to the app. *)
+(* Overload admission on the pending table (DESIGN.md §15).  Data-class
+   ops are refused with an accounted [EAGAIN] while the runtime-wide
+   io_uring controller is under pressure; breaker probes classify as
+   [Control] and always pass — shedding the probe would starve the
+   failback signal.  Each admitted fast op feeds its wall time back as
+   the controller's sojourn sample (the CoDel signal for this queue)
+   and the FM's in-flight count as the depth sample. *)
+let admit t cls =
+  match t.overload with None -> true | Some ov -> Overload.admit ov cls
+
+let timed t fast () =
+  match t.overload with
+  | None -> fast ()
+  | Some ov ->
+      Overload.note_depth ov (Iouring_fm.inflight t.fm);
+      let started = Overload.now ov in
+      let r = fast () in
+      Overload.observe_sojourn ov (Int64.sub (Overload.now ov) started);
+      Overload.note_depth ov (Iouring_fm.inflight t.fm);
+      r
+
 let route t ~probe_ok ~fast ~slow_fn =
+  let fast = timed t fast in
   match (t.breaker, t.slow) with
-  | None, _ | _, None -> fast ()
+  | None, _ | _, None ->
+      if admit t Overload.Data then fast () else Error Abi.Errno.EAGAIN
   | Some b, Some slow -> (
       match Health.allow b with
-      | Health.Slow -> slow_fn slow
+      | Health.Slow ->
+          if admit t Overload.Data then slow_fn slow
+          else Error Abi.Errno.EAGAIN
       | Health.Probe when not probe_ok ->
+          ignore (admit t Overload.Control);
           Health.cancel_probe b;
           Health.record_failover b;
           slow_fn slow
+      | Health.Probe when not (admit t Overload.Control) ->
+          (* Unreachable — [Control] is never shed — but if the
+             controller ever misbehaved, release the probe slot rather
+             than leak it. *)
+          Health.cancel_probe b;
+          Error Abi.Errno.EAGAIN
       | Health.Probe -> (
           match probe_attempt t fast with
           | Ok _ as r ->
@@ -77,6 +112,8 @@ let route t ~probe_ok ~fast ~slow_fn =
               (* The FIOKP answered; the op failed semantically. *)
               Health.record_success b;
               r)
+      | Health.Fast when not (admit t Overload.Data) ->
+          Error Abi.Errno.EAGAIN
       | Health.Fast -> (
           match fast () with
           | Ok _ as r ->

@@ -55,6 +55,14 @@ val set_breaker : t -> Health.t -> unit
 (** Attach the shared io_uring breaker; also installs it on the FM for
     the overload feeds ({!Iouring_fm.set_breaker}). *)
 
+val set_overload : t -> Overload.t -> unit
+(** Attach the runtime-wide io_uring overload controller (DESIGN.md
+    §15).  Data-class ops then pass {!Overload.admit} before running —
+    refusals surface as accounted [EAGAIN] — while breaker probes
+    classify as [Control] and are never shed.  Admitted fast ops feed
+    their wall time and the FM's in-flight count back as the
+    controller's sojourn/depth samples. *)
+
 val degraded : t -> bool
 (** The attached breaker (if any) is not [Closed]. *)
 

@@ -34,18 +34,61 @@ type t = {
      still recognize the deadline as passed. *)
   mutable rekick_armed : bool;
   mutable rekick_deadline : int64;
+  (* Stranded-RX reclaim (the RX analogue of the rekick): frames the
+     kernel consumed off xFill that never surfaced on xRX are invisible
+     to certification — every ring view stays self-consistent while the
+     UMem tracker still counts them outstanding, the fill clamp starves
+     refill, and no batch op ever runs to accumulate failures.  Track
+     the last instant the shard had no such frames; past
+     {!Sgx.Params.xsk_rx_reclaim_period} they are declared lost and
+     swept home by a full reinit. *)
+  mutable rx_stuck_since : int64;
+  mutable starve_armed : bool;
+  mutable starve_deadline : int64;
+  (* Wedge evidence feeding the deadman: [refill_blocked] — the last
+     refill pass wanted frames promised but the outstanding-RX clamp
+     pinned it at zero; [rx_progress] — at least one RX frame came
+     home since the deadman last looked. *)
+  mutable refill_blocked : bool;
+  mutable rx_progress : bool;
   (* Frames committed to xTX and not yet reclaimed, by UMem offset.
      This is what failover can still save: when the breaker opens these
      are copied out and resent via the slow path before [reinit] pulls
      the frames home (zero lost accepted datagrams, DESIGN.md §9). *)
   tx_inflight : (int, int) Hashtbl.t; (* offset -> frame length *)
   mutable breaker : Health.t option;
+  (* Overload backpressure (DESIGN.md §15): while the hook returns true
+     the refill loop keeps only [fill_floor] frames promised to the
+     kernel, so a traffic flood is dropped by the host NIC at the edge
+     ([Hostos.Xdp.rx_dropped]) instead of buffered into the enclave. *)
+  mutable throttle : unit -> bool;
+  fill_floor : int;
+  (* NIC-side buffer bound (overload mode): with a cap installed, at
+     most [cap] RX frames are ever promised to the kernel, so a flood
+     can bloat the xRX backlog — and the queueing delay of admitted
+     datagrams — by at most [cap] frames before the excess dies at the
+     NIC.  [None] (the default) keeps the historical top-up-to-free
+     behavior. *)
+  mutable fill_cap : int option;
+  (* Overload depth feed: when installed, each rx_loop iteration
+     reports the xRX backlog (frames the kernel has produced that the
+     enclave has not yet consumed) to the shard's controller. *)
+  mutable note_backlog : (int -> unit) option;
+  (* Shard-pressure query for the transmit path: while it returns true,
+     UMem exhaustion fails fast (one retry) instead of burning the full
+     exponential-backoff budget — under overload the frames are pinned
+     by the flood, and a caller blocked for the whole budget serializes
+     the very drain loop that would free them.  The refusal is
+     accounted by the caller as an overload shed. *)
+  mutable pressure : unit -> bool;
+  fill_throttled : Obs.Metrics.counter;
   rx_packets : Obs.Metrics.counter;
   tx_packets : Obs.Metrics.counter;
   tx_frame_drops : Obs.Metrics.counter;
   tx_rekicks : Obs.Metrics.counter;
   reinits : Obs.Metrics.counter;
   reinit_reclaimed : Obs.Metrics.counter;
+  rx_starvation_reclaims : Obs.Metrics.counter;
   rx_burst_hist : Obs.Metrics.histogram; (* slots moved per rx burst *)
 }
 
@@ -150,14 +193,27 @@ let create ?obs ?(name = "xsk") ~enclave ~config ~stack ~fd ~xsk () =
         failure_base = 0;
         rekick_armed = false;
         rekick_deadline = 0L;
+        rx_stuck_since = 0L;
+        starve_armed = false;
+        starve_deadline = 0L;
+        refill_blocked = false;
+        rx_progress = false;
         tx_inflight = Hashtbl.create 16;
         breaker = None;
+        throttle = (fun () -> false);
+        fill_floor = max 1 (config.Config.ring_size / 16);
+        fill_cap = None;
+        note_backlog = None;
+        pressure = (fun () -> false);
+        fill_throttled = Obs.Metrics.counter m (name ^ ".fill_throttled");
         rx_packets = Obs.Metrics.counter m (name ^ ".rx_packets");
         tx_packets = Obs.Metrics.counter m (name ^ ".tx_packets");
         tx_frame_drops = Obs.Metrics.counter m (name ^ ".tx_frame_drops");
         tx_rekicks = Obs.Metrics.counter m (name ^ ".tx_rekicks");
         reinits = Obs.Metrics.counter m (name ^ ".reinits");
         reinit_reclaimed = Obs.Metrics.counter m (name ^ ".reinit_reclaimed");
+        rx_starvation_reclaims =
+          Obs.Metrics.counter m (name ^ ".rx_starvation_reclaims");
         rx_burst_hist = Obs.Metrics.histogram m (name ^ ".rx_burst_slots");
       }
 
@@ -168,6 +224,16 @@ let set_renudge t f = t.renudge <- f
 let set_republish t f = t.republish <- f
 
 let set_breaker t b = t.breaker <- Some b
+
+let set_throttle t f = t.throttle <- f
+
+let set_fill_cap t cap = t.fill_cap <- Some (max t.fill_floor cap)
+
+let set_note_backlog t f = t.note_backlog <- Some f
+
+let set_pressure t f = t.pressure <- f
+
+let fill_throttles t = Obs.Metrics.value t.fill_throttled
 
 let breaker_failure t =
   match t.breaker with None -> () | Some b -> Health.record_failure b
@@ -199,6 +265,8 @@ let reinits t = Obs.Metrics.value t.reinits
 
 let reinit_reclaimed t = Obs.Metrics.value t.reinit_reclaimed
 
+let rx_starvation_reclaims t = Obs.Metrics.value t.rx_starvation_reclaims
+
 let ring_check_failures t =
   Rings.Certified.failures t.fill
   + Rings.Certified.failures t.rx
@@ -224,6 +292,24 @@ let invariant_holds t =
    however many frames are stocked. *)
 let refill t =
   let count = Umem.free_frames t.umem in
+  (* Edge backpressure: while the shard's overload controller reports
+     saturation, keep at most [fill_floor] frames promised to the
+     kernel — a trickle, not zero, so arrivals keep waking this loop
+     and the throttle can be re-evaluated once the rx queues drain
+     (a full stop would park [rx_loop] in [idle_wait] with no RX
+     frames left to wake it).  The flood beyond the trickle dies at
+     the NIC ([Hostos.Xdp.rx_dropped]), outside the trust boundary. *)
+  let count =
+    if t.throttle () then begin
+      Obs.Metrics.incr t.fill_throttled;
+      min count (max 0 (t.fill_floor - Umem.outstanding t.umem Umem.Rx))
+    end
+    else
+      match t.fill_cap with
+      | Some cap -> min count (max 0 (cap - Umem.outstanding t.umem Umem.Rx))
+      | None -> count
+  in
+  t.refill_blocked <- count = 0 && Umem.outstanding t.umem Umem.Rx > 0;
   if count > 0 then begin
     let produced =
       Rings.Certified.produce_batch t.fill ~count ~write:(fun ~slot_off _ ->
@@ -239,6 +325,16 @@ let refill t =
     in
     if produced > 0 then t.kick ()
   end
+  else if Umem.outstanding t.umem Umem.Rx > 0 then
+    (* Fully stocked, nothing to produce — certify the peer index
+       anyway.  This clamp is exactly where a diverged kernel cursor
+       hides: if a smashed producer word let the kernel's consumer run
+       past the honest producer, the promised frames never come back,
+       this branch is taken forever, and no batch operation would ever
+       run the Table-2 checks that make [maybe_reinit] notice.  The
+       probe costs one shared-word read; on divergence it records the
+       ring-check failure that walks the loop toward reinit-and-rebase. *)
+    ignore (Rings.Certified.free_slots t.fill)
 
 (* Reclaim completed transmissions so their frames can be reused: drain
    everything xCompl holds in one burst. *)
@@ -278,6 +374,7 @@ let rx_burst t =
         match Umem.reclaim t.umem Umem.Rx ~offset ~len () with
         | Error _ -> () (* refused; the burst advances past the slot *)
         | Ok () ->
+            t.rx_progress <- true;
             Sgx.Enclave.charge_copy t.enclave ~crossing:true len;
             Mem.Region.blit_to_bytes t.umem_ptr.Mem.Ptr.region
               (t.umem_ptr.Mem.Ptr.off + offset)
@@ -301,13 +398,28 @@ let reinit ?(keep_rx = false) t =
   t.republish ();
   let unhealed = ref false in
   List.iter
-    (fun ring ->
-      (* [`Bad_window] leaves the ring quarantined; the failure counter
-         keeps climbing and the next threshold crossing retries. *)
+    (fun (ring, swept) ->
       match Rings.Certified.resync ring with
       | Ok () -> ()
-      | Error (`Bad_window _) -> unhealed := true)
-    [ t.fill; t.rx; t.tx; t.compl_ ];
+      | Error (`Bad_window _) when swept ->
+          (* Unhealable divergence (kernel cursor ran past the honest
+             one, window negative forever) on a ring whose frames the
+             sweep below brings home: rebase — adopt the kernel's
+             republished position, restart the ring empty.  Retrying
+             resync could never succeed. *)
+          Rings.Certified.rebase ring
+      | Error (`Bad_window _) ->
+          (* A ring whose frames stay promised (keep_rx) cannot be
+             rebased — its slots still name live frames.  Leave it
+             quarantined; the failure counter keeps climbing and the
+             next threshold crossing retries. *)
+          unhealed := true)
+    [
+      (t.fill, not keep_rx);
+      (t.rx, not keep_rx);
+      (t.tx, true);
+      (t.compl_, true);
+    ];
   (* A reinit that leaves a ring quarantined is a terminal recovery
      failure — exactly what should push the breaker toward Open. *)
   if !unhealed then breaker_failure t;
@@ -340,6 +452,71 @@ let maybe_reinit t =
   end;
   t.failure_mark <- f
 
+(* RX frames the enclave still counts as promised to the kernel, minus
+   every place a live frame could legitimately be: still-unconsumed
+   xFill entries and the xRX backlog.  A positive result means frames
+   the kernel took and never returned — their descriptors were refused
+   ([Wrong_owner]/garbage under attack), or the consumed-count itself
+   was a lie.  Both certified reads refresh the peer index, so a
+   diverged cursor discovered here is also counted as a ring-check
+   failure. *)
+let stranded_rx t =
+  let pending =
+    Rings.Certified.size t.fill - Rings.Certified.free_slots t.fill
+  in
+  let backlog = Rings.Certified.available t.rx in
+  Umem.outstanding t.umem Umem.Rx - pending - backlog
+
+(* The RX analogue of [check_rekick].  Stranded frames are invisible to
+   every other recovery path: the UMem tracker counts them outstanding
+   so the fill clamp pins refill at zero, yet all four ring views stay
+   self-consistent, so no batch op ever records the failures that drive
+   [maybe_reinit] — the shard is wedged with the breaker closed (the
+   metastable state the 100k soak found).  Only time distinguishes a
+   stranded frame from one the kernel is about to return: past
+   {!Sgx.Params.xsk_rx_reclaim_period} of uninterrupted strandedness,
+   declare the ring epoch dead and sweep every promised frame home.
+
+   A full reinit is disruptive (the kernel's pending xFill entries from
+   the dead epoch turn into [Wrong_owner] rejects), so it takes the
+   whole wedge signature, held for the whole window, to fire:
+   - [refill_blocked]: refill wanted frames promised but the
+     outstanding-RX clamp pinned it at zero.  A lone stranded frame on
+     a healthy shard (one forged descriptor's bounded leak) never
+     blocks refill and must not trigger epoch teardown.
+   - no [rx_progress]: not a single frame came home.  A shard whose
+     other frames still circulate is degraded, not wedged.
+   - [stranded_rx t > 0]: the promises are provably nowhere — not in
+     xFill, not in the xRX backlog.
+   Skipped while the breaker is [Open]: the failover reinit keeps xFill
+   promises alive on purpose, and failback re-evaluates from scratch. *)
+let check_rx_starvation t engine =
+  let now = Sim.Engine.now engine in
+  if t.starve_armed && Int64.compare now t.starve_deadline >= 0 then
+    t.starve_armed <- false;
+  let breaker_open =
+    match t.breaker with
+    | Some b -> Health.state b = Health.Open
+    | None -> false
+  in
+  if
+    breaker_open || t.rx_progress
+    || (not t.refill_blocked)
+    || stranded_rx t <= 0
+  then begin
+    t.rx_progress <- false;
+    t.rx_stuck_since <- now
+  end
+  else if
+    Int64.compare (Int64.sub now t.rx_stuck_since)
+      Sgx.Params.xsk_rx_reclaim_period
+    >= 0
+  then begin
+    t.rx_stuck_since <- now;
+    Obs.Metrics.incr t.rx_starvation_reclaims;
+    reinit t
+  end
+
 (* Idle wait, with the dropped-TX-wakeup recovery: while TX frames are
    outstanding, arm a rekick timer — if neither a packet nor a
    completion arrives within {!Sgx.Params.xsk_rekick_period}, the xTX
@@ -369,8 +546,24 @@ let check_rekick t engine =
     end
   end
 
+(* Honest-republish before parking (DESIGN.md §8): Malice can smash the
+   shared words this enclave itself owns — the xFill producer and xRX
+   consumer.  Certification never inspects owned words, so the smash is
+   invisible here; the kernel just clamps the garbage distance to zero
+   and starts edge-dropping every arrival for "no fill frames" / "xRX
+   full".  Those drops are exactly what would have woken this loop, so
+   without repair the shard is silenced forever (the metastable failure
+   the 100k soak found).  Rewriting the owned words from the trusted
+   copies on the idle edge makes every such smash transient: the next
+   starvation-drop wakeup (see [Hostos.Xdp.rx_deliver]) lands after the
+   words are honest again. *)
+let republish_owned t =
+  Rings.Certified.republish t.fill;
+  Rings.Certified.republish t.rx
+
 let idle_wait t =
   let engine = Sgx.Enclave.engine t.enclave in
+  republish_owned t;
   check_rekick t engine;
   if Umem.outstanding t.umem Umem.Tx > 0 && not t.rekick_armed then begin
     t.rekick_armed <- true;
@@ -379,12 +572,30 @@ let idle_wait t =
     Sim.Engine.at engine t.rekick_deadline (fun () ->
         Sim.Condition.broadcast t.rx_notify)
   end;
+  (* Starvation deadman: a fully-wedged shard receives no rx/compl
+     broadcasts at all (arrivals die at the NIC edge), so the
+     starvation check below the wait would never run.  While any RX
+     frame is promised, keep one timer outstanding that forces a
+     wake-up at the reclaim horizon. *)
+  if Umem.outstanding t.umem Umem.Rx > 0 && not t.starve_armed then begin
+    t.starve_armed <- true;
+    t.starve_deadline <-
+      Int64.add (Sim.Engine.now engine) Sgx.Params.xsk_rx_reclaim_period;
+    Sim.Engine.at engine t.starve_deadline (fun () ->
+        Sim.Condition.broadcast t.rx_notify)
+  end;
   Sim.Condition.wait_any [ t.rx_notify; t.compl_notify ];
   check_rekick t engine
 
 let rx_loop t () =
   refill t;
   let rec loop () =
+    (* Depth feed before consuming: a full backlog sample is what sets
+       the shard's saturation; the post-consume drain clears it on a
+       later iteration once the flood subsides. *)
+    (match t.note_backlog with
+    | Some f -> f (Rings.Certified.available t.rx)
+    | None -> ());
     let moved = rx_burst t in
     (* Reaping completions here (not only on the transmit path) drains
        outstanding TX even when the application goes quiet after its
@@ -393,6 +604,7 @@ let rx_loop t () =
     reap_completions t;
     refill t;
     maybe_reinit t;
+    check_rx_starvation t (Sgx.Enclave.engine t.enclave);
     if moved = 0 then idle_wait t;
     loop ()
   in
@@ -423,12 +635,18 @@ let transmit t frame =
           reap_completions t;
           acquire (tries - 1)
     in
-    match acquire (2 * t.config.Config.retry_limit) with
+    let under_pressure = t.pressure () in
+    let tries = if under_pressure then 1 else 2 * t.config.Config.retry_limit in
+    match acquire tries with
     | None ->
         Obs.Metrics.incr t.tx_frame_drops;
         (* UMem exhaustion that outlasted the whole backoff budget is an
-           overload signal, not noise. *)
-        breaker_failure t;
+           overload signal, not noise — but when the shard's controller
+           already reports pressure, the exhaustion is the legitimate
+           flood pinning frames: fail fast, let the caller account the
+           shed, and leave the breaker alone (the host did nothing
+           wrong, and a failover would slow the drain further). *)
+        if not under_pressure then breaker_failure t;
         false
     | Some offset -> (
         Sgx.Enclave.charge_copy t.enclave ~crossing:true len;

@@ -54,6 +54,45 @@ val set_republish : t -> (unit -> unit) -> unit
     all four shared index words from its private cursors, after which
     the FM re-adopts them ({!Rings.Certified.resync}). *)
 
+val set_throttle : t -> (unit -> bool) -> unit
+(** Install the overload edge-throttle query (DESIGN.md §15; the
+    runtime points it at {!Overload.edge_throttle} of the owning
+    shard's controller).  While it returns [true] the refill loop keeps
+    only a trickle of xFill frames outstanding, so the host NIC drops
+    the flood at the edge instead of the enclave buffering it; each
+    throttled refill increments ["<name>.fill_throttled"]. *)
+
+val fill_throttles : t -> int
+(** Refill iterations clamped by the overload throttle. *)
+
+val set_fill_cap : t -> int -> unit
+(** Bound the NIC-side buffer (DESIGN.md §15): with a cap installed, at
+    most [cap] RX frames are ever promised to the kernel (clamped up to
+    the fill floor), so a flood can add at most [cap] frames of rx-ring
+    queueing delay before the excess dies at the NIC.  Without a cap
+    (the default) refill tops up to every free frame, which under
+    sustained overload buffers a whole ring of bloat ahead of the
+    admission gate. *)
+
+val set_pressure : t -> (unit -> bool) -> unit
+(** Install the shard-pressure query for the transmit path (the runtime
+    points it at {!Overload.under_pressure}).  While it returns [true],
+    UMem exhaustion in {!transmit} fails fast — one retry instead of
+    the full exponential-backoff budget — and does {e not} count as a
+    breaker failure: under a legitimate flood the frames are pinned by
+    the very traffic being shed, blocking the caller for the whole
+    budget serializes the drain loop that would free them, and a
+    failover would only slow that drain further.  The caller accounts
+    the refusal as an overload shed. *)
+
+val set_note_backlog : t -> (int -> unit) -> unit
+(** Install the overload depth feed: each receive-loop iteration
+    reports the xRX backlog — frames the kernel has produced that the
+    enclave has not yet consumed — to the shard's controller (the
+    runtime points it at {!Overload.note_depth} with this XSK's source
+    index).  A flooded ring then saturates the shard even while the
+    socket queue behind it stays shallow. *)
+
 val set_breaker : t -> Health.t -> unit
 (** Attach the XSK circuit breaker.  The FM feeds it terminal signals:
     forced TX re-kicks (a rekick period with outstanding TX and no
@@ -136,6 +175,15 @@ val reinit_reclaimed : t -> int
 (** UMem frames pulled home by those reinits
     (["<name>.reinit_reclaimed"]) — frames the kernel would otherwise
     have leaked forever. *)
+
+val rx_starvation_reclaims : t -> int
+(** Reinits forced by the stranded-RX deadman
+    (["<name>.rx_starvation_reclaims"]): RX frames stayed promised to
+    the kernel — consumed off xFill, never surfacing on xRX — for a
+    full {!Sgx.Params.xsk_rx_reclaim_period} with every ring view
+    self-consistent.  Descriptor refusals under attack strand frames
+    this way; without the deadman the fill clamp then starves refill
+    forever with the breaker closed (metastable wedge). *)
 
 val invariant_holds : t -> bool
 (** Paper eq. 1 on all four rings — the Testing Module's property. *)

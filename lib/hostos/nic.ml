@@ -26,6 +26,10 @@ let rx_packets t = Sim.Stats.get (stats t) (t.key ^ ".rx")
 
 let tx_packets t = Sim.Stats.get (stats t) (t.key ^ ".tx")
 
+let rx_pending t = Array.map Sim.Mailbox.length t.rx_queues
+
+let tx_pending t = Sim.Mailbox.length t.tx_queue
+
 let drops t = Sim.Stats.get (stats t) (t.key ^ ".drops")
 
 (* Hardware RSS: the symmetric Toeplitz flow hash pins each UDP flow to

@@ -24,6 +24,12 @@ type xsk = {
   mutable transmit : Bytes.t -> unit;
   mutable rx_delivered : int;
   mutable rx_dropped : int;
+  (* Edge-drop causes, for diagnosing WHY an XSK stopped accepting:
+     oversize frame, xRX full, xFill empty, garbage fill entry. *)
+  mutable rx_drop_oversize : int;
+  mutable rx_drop_krx_full : int;
+  mutable rx_drop_fill_empty : int;
+  mutable rx_drop_bad_fill : int;
   mutable tx_sent : int;
   (* Which datapath shard this XSK serves — the context shard-pinned
      Malice armings match against.  None until the runtime attaches. *)
@@ -63,6 +69,10 @@ let create_xsk t ~alloc ~umem_size ~frame_size ~ring_size =
     transmit = (fun _ -> ());
     rx_delivered = 0;
     rx_dropped = 0;
+    rx_drop_oversize = 0;
+    rx_drop_krx_full = 0;
+    rx_drop_fill_empty = 0;
+    rx_drop_bad_fill = 0;
     tx_sent = 0;
     shard = None;
   }
@@ -90,6 +100,14 @@ let frame_size x = x.frame_size
 let rx_delivered x = x.rx_delivered
 
 let rx_dropped x = x.rx_dropped
+
+let rx_drop_reasons x =
+  [
+    ("oversize", x.rx_drop_oversize);
+    ("krx_full", x.rx_drop_krx_full);
+    ("fill_empty", x.rx_drop_fill_empty);
+    ("bad_fill", x.rx_drop_bad_fill);
+  ]
 
 let tx_sent x = x.tx_sent
 
@@ -171,8 +189,22 @@ let rx_deliver t x frame =
   charge_per_packet ();
   let frame = maybe_corrupt t x frame in
   let len = Bytes.length frame in
-  if len > x.frame_size then x.rx_dropped <- x.rx_dropped + 1
-  else if Kring.free x.krx <= 0 then x.rx_dropped <- x.rx_dropped + 1
+  (* Starvation drops wake the XSK owner even though no descriptor moved
+     — AF_XDP's need-wakeup contract.  An empty xFill (or a full xRX)
+     means the enclave-side FM is parked or starved: dropping silently
+     would withhold the only event that could ever prompt it to restock
+     (or to republish an owned index word Malice smashed — see
+     [Rings.Certified.republish]), turning a transient condition into a
+     permanently dead shard that edge-drops every arrival. *)
+  if len > x.frame_size then begin
+    x.rx_dropped <- x.rx_dropped + 1;
+    x.rx_drop_oversize <- x.rx_drop_oversize + 1
+  end
+  else if Kring.free x.krx <= 0 then begin
+    x.rx_dropped <- x.rx_dropped + 1;
+    x.rx_drop_krx_full <- x.rx_drop_krx_full + 1;
+    Sim.Condition.broadcast x.rx_notify
+  end
   else begin
     let offset =
       Kring.consume x.kfill ~read:(fun ~slot_off ->
@@ -180,10 +212,15 @@ let rx_deliver t x frame =
             (Mem.Region.get_u64 x.fill.Rings.Layout.region slot_off))
     in
     match offset with
-    | None -> x.rx_dropped <- x.rx_dropped + 1
+    | None ->
+        x.rx_dropped <- x.rx_dropped + 1;
+        x.rx_drop_fill_empty <- x.rx_drop_fill_empty + 1;
+        Sim.Condition.broadcast x.rx_notify
     | Some offset when not (umem_offset_ok x offset) ->
         (* Kernel refuses garbage fill entries. *)
-        x.rx_dropped <- x.rx_dropped + 1
+        x.rx_dropped <- x.rx_dropped + 1;
+        x.rx_drop_bad_fill <- x.rx_drop_bad_fill + 1;
+        Sim.Condition.broadcast x.rx_notify
     | Some offset ->
         charge_copy len;
         Mem.Region.blit_from_bytes frame 0 x.umem.Mem.Ptr.region
@@ -194,7 +231,10 @@ let rx_deliver t x frame =
               Mem.Region.set_u64 x.rx.Rings.Layout.region slot_off desc)
         in
         if ok then x.rx_delivered <- x.rx_delivered + 1
-        else x.rx_dropped <- x.rx_dropped + 1;
+        else begin
+          x.rx_dropped <- x.rx_dropped + 1;
+          x.rx_drop_krx_full <- x.rx_drop_krx_full + 1
+        end;
         tamper_after_rx t x;
         Sim.Condition.broadcast x.rx_notify
   end

@@ -12,6 +12,13 @@ type t = {
   sockets : (int, Udp_socket.t) Hashtbl.t;
   arp : Arp_cache.t;
   mutable transmit : (Bytes.t -> unit) option;
+  (* Overload hooks (DESIGN.md §15), installed by the runtime when
+     [Config.overload]: [rx_gate] is consulted with the destination
+     socket's queue depth before every enqueue — [false] sheds the
+     datagram (accounted as [<name>.drop.overload-shed]); [on_dequeue]
+     observes each datagram's queue sojourn on the recvfrom path. *)
+  mutable rx_gate : (depth:int -> bool) option;
+  mutable on_dequeue : (sojourn:int64 -> depth:int -> unit) option;
   metrics : Obs.Metrics.t;
   rx_delivered : Obs.Metrics.counter;
   drops : (string, Obs.Metrics.counter) Hashtbl.t;
@@ -35,6 +42,8 @@ let create ?obs ?name ?arp engine ~mac ~ip ?(locking = `Fine) () =
     arp =
       (match arp with Some a -> a | None -> Arp_cache.create engine ());
     transmit = None;
+    rx_gate = None;
+    on_dequeue = None;
     metrics;
     rx_delivered = Obs.Metrics.counter metrics (name ^ ".rx_delivered");
     drops = Hashtbl.create 8;
@@ -49,6 +58,14 @@ let ip t = t.ip
 let arp t = t.arp
 
 let set_transmit t f = t.transmit <- Some f
+
+let set_overload_hooks t ~rx_gate ~on_dequeue =
+  t.rx_gate <- Some rx_gate;
+  t.on_dequeue <- Some on_dequeue;
+  (* Sockets bound before the hooks were installed get the observer
+     retrofitted (the gate reads [t.rx_gate] live, so it needs none). *)
+  Hashtbl.iter (fun _ sock -> Udp_socket.set_on_dequeue sock on_dequeue)
+    t.sockets
 
 (* Registry counters named [stack.drop.<reason>], created on the first
    drop of each reason: the steady state is one Hashtbl probe and a
@@ -103,7 +120,12 @@ let bind t ~port =
       in
       if Hashtbl.mem t.sockets port then Error `Port_in_use
       else begin
-        let sock = Udp_socket.create ~port () in
+        let sock =
+          Udp_socket.create ~clock:(fun () -> Sim.Engine.now t.engine) ~port ()
+        in
+        (match t.on_dequeue with
+        | Some f -> Udp_socket.set_on_dequeue sock f
+        | None -> ());
         Hashtbl.add t.sockets port sock;
         Ok sock
       end)
@@ -183,7 +205,13 @@ let handle_udp t (ip_pkt : Packet.Ipv4.t) =
       match sock with
       | None -> drop t "no-socket"
       | Some sock ->
-          if
+          let admitted =
+            match t.rx_gate with
+            | None -> true
+            | Some gate -> gate ~depth:(Udp_socket.pending sock)
+          in
+          if not admitted then drop t "overload-shed"
+          else if
             Udp_socket.enqueue sock udp.payload
               ~src:(ip_pkt.src, udp.src_port)
           then Obs.Metrics.incr t.rx_delivered

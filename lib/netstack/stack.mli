@@ -50,6 +50,19 @@ val ip : t -> Packet.Addr.Ip.t
 val set_transmit : t -> (Bytes.t -> unit) -> unit
 (** Install the FM's frame-transmit hook. *)
 
+val set_overload_hooks :
+  t ->
+  rx_gate:(depth:int -> bool) ->
+  on_dequeue:(sojourn:int64 -> depth:int -> unit) ->
+  unit
+(** Install the overload controller's hooks (DESIGN.md §15).
+    [rx_gate] is consulted with the destination socket's queue depth
+    before every UDP enqueue — returning [false] sheds the datagram,
+    accounted as the ["<name>.drop.overload-shed"] counter (a shed is a
+    {e counted} refusal, distinct from the silent ["queue-full"] drop).
+    [on_dequeue] observes every recvfrom's queue sojourn (cycles) and
+    post-dequeue depth; it is retrofitted onto already-bound sockets. *)
+
 (** {1 User-thread side} *)
 
 val bind : t -> port:int -> (Udp_socket.t, [ `Port_in_use ]) result

@@ -1,24 +1,31 @@
 type t = {
   port : int;
-  queue : (Bytes.t * (Packet.Addr.Ip.t * int)) Sim.Mailbox.t;
+  queue : (Bytes.t * (Packet.Addr.Ip.t * int) * int64) Sim.Mailbox.t;
   activity : Sim.Condition.t;
+  clock : unit -> int64;
+  mutable on_dequeue : (sojourn:int64 -> depth:int -> unit) option;
   mutable drops : int;
 }
 
 let default_capacity = 4096
 
-let create ?(queue_capacity = default_capacity) ~port () =
+let create ?(queue_capacity = default_capacity) ?(clock = fun () -> 0L) ~port
+    () =
   {
     port;
     queue = Sim.Mailbox.create ~capacity:queue_capacity ();
     activity = Sim.Condition.create ();
+    clock;
+    on_dequeue = None;
     drops = 0;
   }
 
 let port t = t.port
 
+let set_on_dequeue t f = t.on_dequeue <- Some f
+
 let enqueue t payload ~src =
-  if Sim.Mailbox.try_put t.queue (payload, src) then begin
+  if Sim.Mailbox.try_put t.queue (payload, src, t.clock ()) then begin
     Sim.Condition.broadcast t.activity;
     true
   end
@@ -28,7 +35,13 @@ let enqueue t payload ~src =
   end
 
 let recvfrom t ~max =
-  let payload, src = Sim.Mailbox.get t.queue in
+  let payload, src, enqueued_at = Sim.Mailbox.get t.queue in
+  (match t.on_dequeue with
+  | None -> ()
+  | Some f ->
+      f
+        ~sojourn:(Int64.sub (t.clock ()) enqueued_at)
+        ~depth:(Sim.Mailbox.length t.queue));
   let payload =
     if Bytes.length payload > max then Bytes.sub payload 0 max else payload
   in

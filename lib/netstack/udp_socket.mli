@@ -3,7 +3,11 @@
 
 type t
 
-val create : ?queue_capacity:int -> port:int -> unit -> t
+val create :
+  ?queue_capacity:int -> ?clock:(unit -> int64) -> port:int -> unit -> t
+(** [clock] (default [fun () -> 0L]) stamps each datagram at enqueue so
+    the dequeue path can report its queue sojourn — the overload
+    controller's CoDel signal (DESIGN.md §15). *)
 
 val port : t -> int
 
@@ -13,6 +17,11 @@ val enqueue : t -> Bytes.t -> src:Packet.Addr.Ip.t * int -> bool
 
 val recvfrom : t -> max:int -> Bytes.t * (Packet.Addr.Ip.t * int)
 (** User side: blocks until a datagram arrives; truncates to [max]. *)
+
+val set_on_dequeue : t -> (sojourn:int64 -> depth:int -> unit) -> unit
+(** Install the dequeue observer: called once per {!recvfrom} with the
+    datagram's queue sojourn (cycles) and the post-dequeue depth.  The
+    runtime points this at the owning shard's overload controller. *)
 
 val readable : t -> bool
 

@@ -120,6 +120,33 @@ let percentile h p =
     walk 0 0
   end
 
+type summary = {
+  s_count : int;
+  s_mean : float;
+  s_p50 : int;
+  s_p99 : int;
+  s_p999 : int;
+}
+
+(* One-call latency digest for reports (campaign soak, bench --json).
+   Each percentile is {!percentile}'s bucket upper bound: for a true
+   value v >= 1 the reported figure lies in [v, 2v), i.e. conservative
+   by at most 2x.  Comparisons between two summaries from the same
+   workload shape are still meaningful because both sides carry the
+   same bucketing bias. *)
+let summary h =
+  {
+    s_count = h.h_count;
+    s_mean = mean h;
+    s_p50 = percentile h 50.;
+    s_p99 = percentile h 99.;
+    s_p999 = percentile h 99.9;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "count=%d mean=%.0f p50=%d p99=%d p999=%d" s.s_count
+    s.s_mean s.s_p50 s.s_p99 s.s_p999
+
 (* {1 Registry-wide queries} *)
 
 let find t name = Option.map (fun c -> c.c_value) (Hashtbl.find_opt t.cs name)

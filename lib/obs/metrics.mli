@@ -98,6 +98,26 @@ val bucket_of : int -> int
 (** The bucket index {!observe} files a value under (exposed for the
     property tests). *)
 
+type summary = {
+  s_count : int;
+  s_mean : float;
+  s_p50 : int;  (** 50th percentile (median), bucket upper bound. *)
+  s_p99 : int;  (** 99th percentile, bucket upper bound. *)
+  s_p999 : int;  (** 99.9th percentile, bucket upper bound. *)
+}
+(** Latency digest extracted from a log2 histogram.  Error bound: each
+    percentile is the holding bucket's upper bound, so for a true value
+    [v >= 1] the reported figure is in [[v, 2v)] — an overestimate of
+    strictly less than 2x, never an underestimate.  SLO checks against
+    a summary are therefore conservative (a passing p99 really is
+    within the SLO; a failing one may be a near miss). *)
+
+val summary : histogram -> summary
+(** Digest [h] in one pass per percentile.  All-zero when empty. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** ["count=N mean=M p50=A p99=B p999=C"]. *)
+
 (** {1 Registry-wide queries} *)
 
 val find : t -> string -> int option

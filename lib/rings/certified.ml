@@ -222,6 +222,43 @@ let resync t =
   end
   else Error (`Bad_window (prod, cons))
 
+(* Last-resort recovery for a ring [resync] cannot heal: adopt the
+   peer-owned index for BOTH cursors, declaring the ring empty at the
+   peer's position, and republish the owned word to match.  A smashed
+   owned-index word that transiently described a legal window lets the
+   peer's private cursor run past the honest one; once it has, every
+   later window is negative and [resync] fails [`Bad_window] forever —
+   the shard is dead.  The peer word was just honestly republished by
+   the kernel (reinit's OCALL), so it names where the kernel really
+   stands; restarting empty from there loses only availability.  Callers
+   must first reclaim every frame the ring's slots referenced — after a
+   rebase none of them will ever come back through the ring. *)
+let rebase t =
+  let peer =
+    U32.of_int
+      (match t.role with
+      | Producer -> Layout.read_cons t.layout
+      | Consumer -> Layout.read_prod t.layout)
+  in
+  t.tprod <- peer;
+  t.tcons <- peer;
+  match t.role with
+  | Producer -> Layout.write_prod t.layout t.tprod
+  | Consumer -> Layout.write_cons t.layout t.tcons
+
+(* Rewrite the shared copy of the enclave-owned index from the trusted
+   copy, without moving it.  Malice can smash any shared word — including
+   the ones the enclave itself owns — and peer-index certification never
+   inspects those: the kernel just clamps the garbage distance to zero
+   and stops seeing the enclave's slots.  Normal operation repairs the
+   word on the next produce/consume, but an idle ring may never get one
+   (the kernel drops arrivals *because* the word is smashed), so the
+   owner must be able to republish explicitly.  Idempotent. *)
+let republish t =
+  match t.role with
+  | Producer -> Layout.write_prod t.layout t.tprod
+  | Consumer -> Layout.write_cons t.layout t.tcons
+
 let pp_failure ppf = function
   | Out_of_window { observed; trusted_prod; trusted_cons } ->
       Format.fprintf ppf

@@ -156,6 +156,28 @@ val resync : t -> (unit, [ `Bad_window of int * int ]) result
     window ([0 <= P - C <= St]); on [`Bad_window (prod, cons)] the
     trusted copies are unchanged and the caller retries later. *)
 
+val rebase : t -> unit
+(** Adopt the {e peer}-owned index for both cursors — declaring the ring
+    empty at the peer's position — and republish the owned word to
+    match.  The escape hatch for the divergence {!resync} cannot heal: a
+    smashed owned word that transiently looked legal lets the peer's
+    private cursor run past the honest one, after which every window is
+    negative and resync returns [`Bad_window] forever.  Call only after
+    the kernel has republished its indices (so the adopted word is
+    honest) and after reclaiming every frame this ring's slots named —
+    none of them will ever come back through the ring.  Availability
+    cost only; never creates a double-owned frame. *)
+
+val republish : t -> unit
+(** Rewrite the shared copy of the {e owned} index (producer word for a
+    [Producer] ring, consumer word for a [Consumer] ring) from the
+    trusted copy, without moving it.  Certification only ever inspects
+    the peer-owned word, so a Malice smash of an owned word is invisible
+    to the owner — the kernel simply clamps the garbage to zero and
+    stops consuming — and on an otherwise-idle ring no produce/consume
+    ever comes along to rewrite it.  An explicit republish is the honest
+    repair (DESIGN.md §8); idempotent and always safe. *)
+
 val pp_failure : Format.formatter -> failure -> unit
 
 val region : t -> Mem.Region.t

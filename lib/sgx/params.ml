@@ -52,6 +52,11 @@ let xsk_rekick_period = 20_000L
 (* Idle timeout while TX frames are outstanding before the FM forces a
    sendto wakeup — recovers from a dropped/withheld xTX wakeup. *)
 
+let xsk_rx_reclaim_period = 150_000L
+(* How long RX frames may stay stranded — consumed off xFill by the
+   kernel yet never surfacing on xRX — before the FM declares them lost
+   to a dead ring epoch and sweeps them home via reinit. *)
+
 let fault_wakeup_delay = 5_000L
 (* Extra latency a Delay_wakeup fault adds to one wakeup syscall. *)
 

@@ -118,6 +118,16 @@ val xsk_rekick_period : int64
     forces a sendto wakeup: 20,000 cycles — recovers from a dropped or
     withheld xTX wakeup. *)
 
+val xsk_rx_reclaim_period : int64
+(** How long RX frames may stay {e stranded} — consumed off xFill by
+    the kernel yet never surfacing on xRX (their descriptors were
+    refused, or the kernel lied about consuming them) — before the FM
+    declares them lost to a dead ring epoch and sweeps them home:
+    150,000 cycles.  Bounds the metastable wedge where refused
+    descriptors pin every promised frame, the fill clamp then starves
+    refill forever, and no batch operation ever runs to accumulate the
+    ring-check failures that would trigger quarantine-and-reinit. *)
+
 val fault_wakeup_delay : int64
 (** Extra latency a [Delay_wakeup] fault adds to one wakeup syscall:
     5,000 cycles. *)

@@ -69,6 +69,11 @@ type outcome = {
   zc_fallbacks : int;  (* zc ops degraded to the copy path *)
   zc_notif_rejects : int;  (* forged-early + stray/duplicate notifs refused *)
   zc_leaks : int;  (* frames the host held hostage by withholding notifs *)
+  overload : bool;  (* machine booted with overload control (§15) *)
+  ov_admitted : int;  (* admissions across every overload controller *)
+  ov_shed : int;  (* accounted data-class sheds *)
+  ov_control_shed : int;  (* must stay 0: Control is never shed *)
+  ov_edge_drops : int;  (* NIC-edge drops while fill was throttled *)
   violations : violation list;
   trace_tail : string list;
       (* rendered tail of the runtime's trace ring, captured only on
@@ -402,10 +407,11 @@ let run_iouring_workload ?(zerocopy = false) (h : Apps.Harness.t) st =
 (* {1 Running} *)
 
 let run ~datapath ~seed ?(budget = 64) ?(queues = 1) ?(faults = [])
-    ?(zerocopy = false) schedule =
+    ?(zerocopy = false) ?(overload = false) schedule =
   match
     Apps.Harness.make Libos.Env.Rakis_sgx
-      ~rakis_config:{ campaign_config with num_queues = queues; zerocopy }
+      ~rakis_config:
+        { campaign_config with num_queues = queues; zerocopy; overload }
       ()
   with
   | Error e -> failwith ("campaign: harness boot failed: " ^ e)
@@ -510,6 +516,15 @@ let run ~datapath ~seed ?(budget = 64) ?(queues = 1) ?(faults = [])
               Rakis.Runtime.total_zc_leaks rt )
         | None -> (0, 0, 0, 0)
       in
+      let ov_admitted, ov_shed, ov_control_shed, ov_edge_drops =
+        match Libos.Env.runtime h.env with
+        | Some rt when overload ->
+            ( Rakis.Runtime.total_overload_admitted rt,
+              Rakis.Runtime.total_overload_shed rt,
+              Rakis.Runtime.total_control_shed rt,
+              Rakis.Runtime.total_edge_drops rt )
+        | _ -> (0, 0, 0, 0)
+      in
       let trace_tail =
         if st.violations = [] && invariant_ok && zc_leaks = 0 then []
         else
@@ -553,6 +568,11 @@ let run ~datapath ~seed ?(budget = 64) ?(queues = 1) ?(faults = [])
         zc_fallbacks;
         zc_notif_rejects;
         zc_leaks;
+        overload;
+        ov_admitted;
+        ov_shed;
+        ov_control_shed;
+        ov_edge_drops;
         violations = List.rev st.violations;
         trace_tail;
       }
@@ -561,8 +581,13 @@ let run ~datapath ~seed ?(budget = 64) ?(queues = 1) ?(faults = [])
    landing: the host holds lent frames hostage forever.  The FM already
    degraded safely (copy-path fallback), but a campaign exists to make
    that loss visible, so it fails the run. *)
+(* [ov_control_shed > 0] joins the failure conditions: shedding
+   control-class traffic (breaker probes, Monitor housekeeping) would
+   wedge the recovery machinery, so the controller guarantees it never
+   happens — a non-zero count is a broken guarantee, not load. *)
 let failed (o : outcome) =
   o.violations <> [] || not o.invariant_ok || o.zc_leaks > 0
+  || o.ov_control_shed > 0
 
 (* {1 Schedule generation} *)
 
@@ -656,8 +681,9 @@ let repro (o : outcome) =
      shape; a fifth segment carries the fault plan so replay is
      bit-for-bit, and multi-queue runs append a sixth ["q<n>"] segment
      (with an empty fifth when fault-free) for the shard count.
-     Zero-copy runs append one final ["zc"] segment after whatever
-     shape precedes it. *)
+     Zero-copy runs append a ["zc"] segment after whatever shape
+     precedes it, and overload-control runs one final ["ov"] segment
+     after that. *)
   let token =
     if o.queues > 1 then
       Printf.sprintf "%s:%s:q%d" base
@@ -666,7 +692,8 @@ let repro (o : outcome) =
     else if o.fault_plan = [] then base
     else base ^ ":" ^ Hostos.Faults.plan_to_string o.fault_plan
   in
-  if o.zerocopy then token ^ ":zc" else token
+  let token = if o.zerocopy then token ^ ":zc" else token in
+  if o.overload then token ^ ":ov" else token
 
 let parse_entry s =
   match String.index_opt s '=' with
@@ -692,7 +719,7 @@ let parse_entry s =
               | None -> Error (Printf.sprintf "bad burst %S" where))))
 
 let parse_repro s =
-  let parse dp seed budget entries fault_part queues zerocopy =
+  let parse dp seed budget entries fault_part queues zerocopy overload =
     let datapath =
       match dp with
       | "xsk" -> Some Xsk
@@ -713,7 +740,15 @@ let parse_repro s =
         in
         match (collect [] parts, Hostos.Faults.plan_of_string fault_part) with
         | Ok schedule, Ok faults ->
-            Ok (datapath, seed, budget, schedule, faults, queues, zerocopy)
+            Ok
+              ( datapath,
+                seed,
+                budget,
+                schedule,
+                faults,
+                queues,
+                zerocopy,
+                overload )
         | (Error _ as e), _ -> e
         | _, Error e -> Error e)
     | _ -> Error (Printf.sprintf "bad repro header in %S" s)
@@ -721,9 +756,14 @@ let parse_repro s =
   match String.split_on_char ':' s with
   | dp :: seed :: budget :: entries :: rest -> (
       (* Trailing optional segments strip from the end — a literal
-         ["zc"], then ["q<n>"] — leaving at most one fault segment.
-         Anything else in those positions (e.g. ["zc2"]) falls through
-         to the fault-plan parser and errors there. *)
+         ["ov"], then ["zc"], then ["q<n>"] — leaving at most one fault
+         segment.  Anything else in those positions (e.g. ["zc2"])
+         falls through to the fault-plan parser and errors there. *)
+      let rest, overload =
+        match List.rev rest with
+        | "ov" :: r -> (List.rev r, true)
+        | _ -> (rest, false)
+      in
       let rest, zerocopy =
         match List.rev rest with
         | "zc" :: r -> (List.rev r, true)
@@ -735,20 +775,21 @@ let parse_repro s =
         else None
       in
       match rest with
-      | [] -> parse dp seed budget entries "" 1 zerocopy
-      | [ fault_part ] -> parse dp seed budget entries fault_part 1 zerocopy
+      | [] -> parse dp seed budget entries "" 1 zerocopy overload
+      | [ fault_part ] ->
+          parse dp seed budget entries fault_part 1 zerocopy overload
       | [ fault_part; qpart ] -> (
           match qparse qpart with
           | Some q when q >= 1 ->
-              parse dp seed budget entries fault_part q zerocopy
+              parse dp seed budget entries fault_part q zerocopy overload
           | _ -> Error (Printf.sprintf "bad queue segment %S" qpart))
       | _ -> Error (Printf.sprintf "bad repro string %S" s))
   | _ -> Error (Printf.sprintf "bad repro string %S" s)
 
 let run_repro s =
   Result.map
-    (fun (datapath, seed, budget, schedule, faults, queues, zerocopy) ->
-      run ~datapath ~seed ~budget ~queues ~faults ~zerocopy schedule)
+    (fun (datapath, seed, budget, schedule, faults, queues, zerocopy, overload)
+       -> run ~datapath ~seed ~budget ~queues ~faults ~zerocopy ~overload schedule)
     (parse_repro s)
 
 (* {1 Shrinking a failing campaign} *)
@@ -768,7 +809,7 @@ let shrink_failure (o : outcome) =
   let fails schedule plan =
     failed
       (run ~datapath:o.datapath ~seed:o.seed ~budget:o.budget ~queues:o.queues
-         ~faults:plan ~zerocopy:o.zerocopy schedule)
+         ~faults:plan ~zerocopy:o.zerocopy ~overload:o.overload schedule)
   in
   let r = Shrink.minimize2 ~fails o.schedule o.fault_plan in
   let unpin (e : Hostos.Faults.plan_entry) =
@@ -846,9 +887,546 @@ let pp_outcome ppf (o : outcome) =
     Format.fprintf ppf
       "@,zerocopy: sends=%d fallbacks=%d notif_rejects=%d leaks=%d"
       o.zc_sends o.zc_fallbacks o.zc_notif_rejects o.zc_leaks;
+  if o.overload then
+    Format.fprintf ppf
+      "@,overload: admitted=%d shed=%d control_shed=%d edge_drops=%d"
+      o.ov_admitted o.ov_shed o.ov_control_shed o.ov_edge_drops;
   if o.trace_tail <> [] then begin
     Format.fprintf ppf "@,last %d trace events before the failure:"
       (List.length o.trace_tail);
     List.iter (fun line -> Format.fprintf ppf "@,  %s" line) o.trace_tail
   end;
   Format.fprintf ppf "@]"
+
+(* {1 Chaos soak (DESIGN.md §15)}
+
+   A long overload-control campaign: the XSK UDP echo workload under a
+   flash crowd (an open-loop blast in the middle fifth of the run)
+   composed with a rolling shard-pinned fault plan and a malice soup,
+   on a multi-queue machine booted with [Config.overload].
+
+   The oracle is accounting, not payload integrity (the regular
+   campaigns own Table 2): every offered datagram must end as a
+   completion, a client-visible shed, or a server-side {e accounted}
+   drop — [sk_unaccounted] is the residue and must be 0.  On top of
+   that: control traffic is never shed, the p99 round trip of completed
+   ops stays inside the SLO, and post-crowd goodput recovers to >= 95%
+   of the pre-crowd baseline in some 100 µs window (metastability
+   detector: a system that sheds forever after the crowd leaves never
+   produces such a window). *)
+
+type soak_outcome = {
+  sk_seed : int64;
+  sk_steps : int;
+  sk_queues : int;
+  sk_offered : int;
+  sk_completed : int;
+  sk_lost : int;  (* steps with no reply by the end of the run *)
+  sk_late : int;  (* replies that arrived unmatchable (drained, not lost) *)
+  sk_shed : int;  (* overload data-class sheds, every controller *)
+  sk_control_shed : int;  (* must be 0 *)
+  sk_edge_drops : int;  (* NIC-edge drops while fill was throttled *)
+  sk_accounted : int;  (* total server-side accounted drops *)
+  sk_unaccounted : int;  (* max 0 (lost - late - accounted): must be 0 *)
+  sk_latency : Obs.Metrics.summary;
+  sk_slo_p99 : int64;
+  sk_slo_ok : bool;
+  sk_baseline_kops : float;
+  sk_crowd_kops : float;
+  sk_recovery_kops : float;
+  sk_recovered : bool;
+  sk_recovery_window : int option;
+  sk_breaker_opens : int;
+  sk_watchdog_restarts : int;
+  sk_stalled : bool;
+  sk_repro : string;
+}
+
+(* Rolling maintenance weather: one Drop_wakeup burst per shard, pinned
+   to that shard, staggered across the middle half of the run — every
+   shard sees its own bad patch, never all at once.  The patches are
+   brief (budget/16 steps at p=0.1): each one costs a few breaker
+   trips and failovers, which is the composition the soak wants to
+   survive — a plan that keeps a quarter of wakeups dropped for half
+   the run does not model maintenance weather, it models a dead host,
+   and the stranded in-flight datagrams it creates put multi-ms
+   latencies on far more than 1% of completions (no admission policy
+   can shed work it has already admitted). *)
+let rolling_faults ~queues ~budget =
+  let span = max 1 (budget / 16) in
+  let stride = max 1 (budget / (2 * max 1 queues)) in
+  List.init queues (fun k ->
+      let first = (budget / 4) + (k * stride) in
+      {
+        Hostos.Faults.fault = Hostos.Faults.Drop_wakeup;
+        when_ =
+          Hostos.Faults.Burst
+            { first_step = first; last_step = first + span - 1; probability = 0.25 };
+        shard = Some k;
+      })
+
+let soak_flows = 8
+
+(* The flash crowd is the main fiber's open-loop blast {e plus}
+   [soak_crowd_fibers] concurrent blast fibers, each pacing one
+   datagram per [soak_crowd_pace] — together they offer several times
+   the service rate, which is what forces the rx gate to actually
+   shed (a crowd the server can absorb exercises nothing). *)
+let soak_crowd_fibers = 4
+
+let soak_crowd_pace = Sim.Cycles.of_us 2.
+
+(* 100 µs goodput windows for the recovery-phase metastability check. *)
+let soak_window = Sim.Cycles.of_us 100.
+
+let soak ?(steps = 100_000) ?(queues = 2) ?(seed = 0x50AD5EEDL)
+    ?(slo_p99 = Rakis.Config.default.Rakis.Config.slo_p99) () =
+  (* A soak-sized machine: the regular campaign's 32-entry rings and
+     64-frame UMem are chosen to make ring-protocol attacks bite in few
+     steps, but under a flood that tiny UMem is exhausted by design and
+     every latency is backoff noise.  128-entry rings and a 1024-frame
+     UMem make queueing — the thing overload control manages — the
+     dominant effect, while staying small enough that saturation is
+     reachable. *)
+  let config =
+    {
+      campaign_config with
+      ring_size = 128;
+      umem_size = 2048 * 2048;
+      num_queues = queues;
+      overload = true;
+      slo_p99;
+    }
+  in
+  match Apps.Harness.make Libos.Env.Rakis_sgx ~rakis_config:config () with
+  | Error e -> failwith ("soak: harness boot failed: " ^ e)
+  | Ok h ->
+      let obs = Option.map Rakis.Runtime.obs (Libos.Env.runtime h.env) in
+      let malice = Hostos.Malice.create ?obs ~seed () in
+      let schedule =
+        soup ~datapath:Xsk ~seed ~entries:(max 8 (steps / 4000)) ~budget:steps ()
+      in
+      install_schedule malice schedule;
+      Hostos.Kernel.set_malice h.kernel (Some malice);
+      let injector =
+        Hostos.Faults.create ?obs ~seed:(Int64.logxor seed 0x5EEDL) ()
+      in
+      Hostos.Faults.install_plan injector (rolling_faults ~queues ~budget:steps);
+      Hostos.Kernel.set_faults h.kernel (Some injector);
+      (match Libos.Env.runtime h.env with
+      | Some rt -> Rakis.Runtime.start_watchdog rt
+      | None -> ());
+      (* Phase boundaries by step index: baseline 40%, crowd 20%,
+         recovery 40%. *)
+      let crowd_from = steps * 2 / 5 and crowd_until = steps * 3 / 5 in
+      let hist =
+        Obs.Metrics.histogram (Obs.Metrics.create ()) "soak.latency_cycles"
+      in
+      let offered = ref 0
+      and completed = ref 0
+      and late = ref 0
+      and steps_run = ref 0 in
+      let baseline_done = ref 0 and crowd_done = ref 0 in
+      let recovery_windows : (int, int ref) Hashtbl.t = Hashtbl.create 256 in
+      let t_start = ref 0L
+      and t_crowd_start = ref 0L
+      and t_crowd_end = ref 0L in
+      let outstanding : (int, int64) Hashtbl.t = Hashtbl.create 1024 in
+      (* RAKIS_SOAK_DEBUG=1 turns on forensic instrumentation: a
+         per-layer occupancy sampler, per-shard controller dumps, and a
+         straggler log of completions slower than 8M cycles.  This is
+         how a multi-ms tail gets localized to a layer — queues the
+         admission gate governs versus queues it cannot see (the peer's
+         own sockets, the NIC mailboxes ahead of XDP). *)
+      let debug = Sys.getenv_opt "RAKIS_SOAK_DEBUG" <> None in
+      let worst : (int * int64 * int64) list ref = ref [] in
+      (if debug then
+         match Libos.Env.runtime h.env with
+         | None -> ()
+         | Some rt ->
+             Sim.Engine.spawn h.engine ~name:"soak-sampler" (fun () ->
+                 let pp_arr ppf a =
+                   Array.iter (fun n -> Format.fprintf ppf " %d" n) a
+                 in
+                 let rec loop () =
+                   Sim.Engine.delay 2_000_000L;
+                   let nic0 = Hostos.Kernel.nic h.kernel 0
+                   and nic1 = Hostos.Kernel.nic h.kernel 1 in
+                   Format.eprintf
+                     "SAMPLE t=%Ld out=%d done=%d nic0 rx[%a] tx=%d nic1 \
+                      rx[%a] tx=%d"
+                     (Sim.Engine.now h.engine)
+                     (Hashtbl.length outstanding)
+                     !completed pp_arr
+                     (Hostos.Nic.rx_pending nic0)
+                     (Hostos.Nic.tx_pending nic0)
+                     pp_arr
+                     (Hostos.Nic.rx_pending nic1)
+                     (Hostos.Nic.tx_pending nic1);
+                   for k = 0 to Rakis.Runtime.shard_count rt - 1 do
+                     let depth =
+                       match Rakis.Runtime.shard_overload rt k with
+                       | Some ov -> (Rakis.Overload.observe ov).ob_depth
+                       | None -> -1
+                     in
+                     let krx =
+                       Array.fold_left
+                         (fun acc fm ->
+                           acc
+                           + Rings.Certified.available (Rakis.Xsk_fm.rx_ring fm))
+                         0
+                         (Rakis.Runtime.shard_fms rt k)
+                     in
+                     let fm = (Rakis.Runtime.shard_fms rt k).(0) in
+                     let fill = Rakis.Xsk_fm.fill_ring fm in
+                     let um = Rakis.Xsk_fm.umem fm in
+                     let drops =
+                       String.concat ","
+                         (List.filter_map
+                            (fun (name, n) ->
+                              if n = 0 then None
+                              else Some (Printf.sprintf "%s=%d" name n))
+                            (Hostos.Xdp.rx_drop_reasons
+                               (Rakis.Runtime.shard_xsks rt k).(0)))
+                     in
+                     Format.eprintf
+                       " | s%d depth=%d krx=%d fill=%#x/%#x out=%d/%d free=%d \
+                        fails=%d reinit=%d brk=%s drops[%s]"
+                       k depth krx
+                       (Rings.Certified.trusted_prod fill)
+                       (Rings.Certified.trusted_cons fill)
+                       (Rakis.Umem.outstanding um Rakis.Umem.Rx)
+                       (Rakis.Umem.outstanding um Rakis.Umem.Tx)
+                       (Rakis.Umem.free_frames um)
+                       (Rakis.Xsk_fm.ring_check_failures fm)
+                       (Rakis.Xsk_fm.reinits fm)
+                       (Rakis.Health.state_name
+                          (Rakis.Health.state (Rakis.Runtime.shard_breaker rt k)))
+                       drops
+                   done;
+                   Format.eprintf "@.";
+                   loop ()
+                 in
+                 loop ()));
+      (* Enclave echo server, one worker per shard's worth of service
+         capacity.  Unlike the regular campaign's server it survives
+         transient recv/send refusals: the soak runs long enough to meet
+         them, and a shed reply is already accounted by the runtime. *)
+      Sim.Engine.spawn h.engine (fun () ->
+          let api = Apps.Harness.api h in
+          let fd = api.Libos.Api.udp_socket () in
+          ignore
+            (api.Libos.Api.bind fd (campaign_config.Rakis.Config.ip, xsk_port));
+          let rec loop () =
+            (match api.Libos.Api.recvfrom fd 4096 with
+            | Ok (payload, src) -> ignore (api.Libos.Api.sendto fd payload src)
+            | Error _ -> Sim.Engine.delay (Sim.Cycles.of_us 1.));
+            loop ()
+          in
+          loop ());
+      (* Native peer: [soak_flows] sockets.  Consecutive ephemeral
+         source ports are NOT spread by the Toeplitz steering — with
+         the standard Microsoft key the hash's low bit is insensitive
+         to the port's low bits, so ports 40000..40007 all steer to
+         the same queue of two and one shard would soak the whole
+         flood while the rest idle.  Probe candidate ports with the
+         very {!Packet.Rss.queue} the NIC uses and bind flow [k] to
+         the first one steered to queue [k mod queues]: the offered
+         load covers every shard by construction. *)
+      Sim.Engine.spawn h.engine (fun () ->
+          Sim.Engine.delay (Sim.Cycles.of_us 50.);
+          let peer = h.peer in
+          let dst = (campaign_config.Rakis.Config.ip, xsk_port) in
+          let src_ip =
+            Packet.Addr.Ip.to_int (Hostos.Kernel.client_ip h.kernel)
+          in
+          let dst_ip = Packet.Addr.Ip.to_int campaign_config.Rakis.Config.ip in
+          let next_port = ref 41000 in
+          let port_for_queue want =
+            let rec scan () =
+              let p = !next_port in
+              incr next_port;
+              if
+                Packet.Rss.queue ~queues ~src_ip ~dst_ip ~src_port:p
+                  ~dst_port:xsk_port
+                = want
+              then p
+              else scan ()
+            in
+            scan ()
+          in
+          let fds =
+            Array.init soak_flows (fun k ->
+                let fd = peer.Libos.Api.udp_socket () in
+                ignore
+                  (peer.Libos.Api.bind fd
+                     ( Hostos.Kernel.client_ip h.kernel,
+                       port_for_queue (k mod queues) ));
+                fd)
+          in
+          t_start := Sim.Engine.now h.engine;
+          let handle_reply reply =
+            let now = Sim.Engine.now h.engine in
+            match tag_of reply with
+            | Some tag when Hashtbl.mem outstanding tag ->
+                let t0 = Hashtbl.find outstanding tag in
+                Hashtbl.remove outstanding tag;
+                incr completed;
+                let lat = Int64.sub now t0 in
+                if debug && Int64.compare lat 8_000_000L > 0 then
+                  worst := (tag, t0, lat) :: !worst;
+                Obs.Metrics.observe hist (Int64.to_int lat);
+                if tag >= steps then incr crowd_done
+                  (* blast-fiber datagram: tag space [steps, ...) *)
+                else if tag < crowd_from then incr baseline_done
+                else if tag < crowd_until then incr crowd_done
+                else if Int64.compare !t_crowd_end 0L > 0 then begin
+                  let idx =
+                    Int64.to_int
+                      (Int64.div (Int64.sub now !t_crowd_end) soak_window)
+                  in
+                  match Hashtbl.find_opt recovery_windows idx with
+                  | Some r -> Stdlib.incr r
+                  | None -> Hashtbl.add recovery_windows idx (ref 1)
+                end
+            | _ -> incr late
+          in
+          let timeout = Sim.Cycles.of_us 300. in
+          (* One dedicated drain fiber per flow socket: replies are
+             timestamped at arrival, however busy the send loops are —
+             the measured RTT is the datapath's, not the harness's
+             drain cadence.  (Draining from the send loops makes a
+             closed-loop op stuck in a fault-window timeout starve the
+             other flows' drains; and a {e single} drain fiber paying
+             one recvfrom syscall per reply caps the harness at well
+             under the blast rate, so echoes pile up for milliseconds
+             in the client's own socket queues — either way the
+             harness manufactures multi-ms "latencies" no admission
+             policy could bound.  [recvfrom] blocks when the queue is
+             empty, so the fibers cost nothing when idle.) *)
+          Array.iter
+            (fun fd ->
+              Sim.Engine.spawn h.engine ~name:"soak-drain" (fun () ->
+                  let rec loop () =
+                    (match peer.Libos.Api.recvfrom fd 4096 with
+                    | Ok (reply, _) -> handle_reply reply
+                    | Error _ -> Sim.Engine.delay (Sim.Cycles.of_us 2.));
+                    loop ()
+                  in
+                  loop ()))
+            fds;
+          (* One blast fiber of the flash crowd: its own tag range
+             (disjoint from the step tags), sharing the flow sockets so
+             the drain fiber collects its echoes.  Unanswered blast
+             datagrams are rx-gate sheds — they end the run in
+             [outstanding] (lost) and must be covered by the
+             server-side accounted-drop counters. *)
+          let crowd_len = crowd_until - crowd_from in
+          let blast j =
+            for i = 0 to crowd_len - 1 do
+              let tag = steps + (j * crowd_len) + i in
+              let fd = fds.((i + j) mod soak_flows) in
+              (match peer.Libos.Api.sendto fd (mk_datagram tag) dst with
+              | Ok _ ->
+                  incr offered;
+                  Hashtbl.replace outstanding tag (Sim.Engine.now h.engine)
+              | Error _ -> ());
+              Sim.Engine.delay soak_crowd_pace
+            done
+          in
+          for step = 0 to steps - 1 do
+            Hostos.Malice.set_step malice step;
+            Hostos.Faults.set_step injector step;
+            if step = crowd_from then begin
+              t_crowd_start := Sim.Engine.now h.engine;
+              for j = 0 to soak_crowd_fibers - 1 do
+                Sim.Engine.spawn h.engine
+                  ~name:(Printf.sprintf "soak-blast-%d" j)
+                  (fun () -> blast j)
+              done
+            end;
+            if step = crowd_until then t_crowd_end := Sim.Engine.now h.engine;
+            let fd = fds.(step mod soak_flows) in
+            let payload = mk_datagram step in
+            (match peer.Libos.Api.sendto fd payload dst with
+            | Ok _ ->
+                incr offered;
+                Hashtbl.replace outstanding step (Sim.Engine.now h.engine)
+            | Error _ -> ());
+            if step >= crowd_from && step < crowd_until then
+              (* Flash crowd: open loop — the blast fibers add their
+                 load, the drain fiber collects whatever comes back. *)
+              ()
+            else begin
+              (* Closed loop: wait (bounded) for this step's echo —
+                 the drain fiber removes it from [outstanding]. *)
+              let deadline = Int64.add (Sim.Engine.now h.engine) timeout in
+              let rec await () =
+                if
+                  Hashtbl.mem outstanding step
+                  && Int64.compare (Sim.Engine.now h.engine) deadline < 0
+                then begin
+                  Sim.Engine.delay (Sim.Cycles.of_us 2.);
+                  await ()
+                end
+              in
+              await ()
+            end;
+            Stdlib.incr steps_run
+          done;
+          (* Grace: let in-flight echoes land (the drain fiber keeps
+             collecting) until three full timeouts pass without
+             progress. *)
+          Sim.Engine.delay (Sim.Cycles.of_ms 2.);
+          let rec settle quiet =
+            if quiet < 3 then begin
+              let before = Hashtbl.length outstanding in
+              Sim.Engine.delay timeout;
+              if Hashtbl.length outstanding = before then settle (quiet + 1)
+              else settle 0
+            end
+          in
+          settle 0;
+          Apps.Harness.stop h);
+      let horizon =
+        Int64.add (Sim.Cycles.of_ms 100.)
+          (Int64.mul (Int64.of_int steps) (Sim.Cycles.of_us 400.))
+      in
+      Apps.Harness.run h ~until:horizon;
+      let finish = Sim.Engine.now h.engine in
+      let rt =
+        match Libos.Env.runtime h.env with
+        | Some rt -> rt
+        | None -> failwith "soak: no runtime"
+      in
+      (* Server-side accounted drops.  [total_accounted_drops] already
+         contains the rx-gate sheds (they land in the stack's
+         [drop.overload-shed] counter), so only the TX-side remainder of
+         the overload shed total is added on top — no double count. *)
+      let rx_gate_sheds =
+        List.fold_left
+          (fun acc k ->
+            acc
+            + Option.value ~default:0
+                (List.assoc_opt "overload-shed"
+                   (Netstack.Stack.drop_reasons (Rakis.Runtime.shard_stack rt k))))
+          0
+          (List.init (Rakis.Runtime.shard_count rt) Fun.id)
+      in
+      (if debug then
+         List.iter
+           (fun k ->
+             let st = Rakis.Runtime.shard_stack rt k in
+             Format.eprintf "DEBUG shard %d drops: %s@." k
+               (String.concat ", "
+                  (List.map
+                     (fun (r, n) -> Printf.sprintf "%s=%d" r n)
+                     (Netstack.Stack.drop_reasons st)));
+             match Rakis.Runtime.shard_overload rt k with
+             | None -> ()
+             | Some ov ->
+                 Format.eprintf "DEBUG shard %d ov (wm %d/%d): %a@.  sojourn %a@."
+                   k
+                   (Rakis.Overload.high_watermark ov)
+                   (Rakis.Overload.low_watermark ov)
+                   Rakis.Overload.pp_observation (Rakis.Overload.observe ov)
+                   Obs.Metrics.pp_summary
+                   (Obs.Metrics.summary (Rakis.Overload.sojourn_histogram ov)))
+           (List.init (Rakis.Runtime.shard_count rt) Fun.id));
+      (if debug then
+         let w =
+           List.sort (fun (_, _, a) (_, _, b) -> Int64.compare b a) !worst
+         in
+         Format.eprintf "DEBUG stragglers (>8M cycles): %d total@."
+           (List.length w);
+         List.iteri
+           (fun i (tag, t0, lat) ->
+             if i < 12 then
+               Format.eprintf "  tag=%d sent@%Ld lat=%Ld@." tag t0 lat)
+           w);
+      let ov_shed = Rakis.Runtime.total_overload_shed rt in
+      let accounted =
+        Rakis.Runtime.total_accounted_drops rt + (ov_shed - rx_gate_sheds)
+      in
+      let lost = Hashtbl.length outstanding in
+      let unaccounted = max 0 (lost - !late - accounted) in
+      let latency = Obs.Metrics.summary hist in
+      let rate n cycles =
+        if Int64.compare cycles 0L <= 0 then 0.
+        else float_of_int n /. Sim.Cycles.to_sec cycles /. 1e3
+      in
+      let baseline_kops =
+        rate !baseline_done (Int64.sub !t_crowd_start !t_start)
+      in
+      let crowd_kops =
+        rate !crowd_done (Int64.sub !t_crowd_end !t_crowd_start)
+      in
+      let recovery_kops =
+        rate
+          (Hashtbl.fold (fun _ r acc -> acc + !r) recovery_windows 0)
+          (Int64.sub finish !t_crowd_end)
+      in
+      let recovery_window =
+        Hashtbl.fold
+          (fun idx n best ->
+            if rate !n soak_window >= 0.95 *. baseline_kops then
+              match best with Some b when b <= idx -> best | _ -> Some idx
+            else best)
+          recovery_windows None
+      in
+      {
+        sk_seed = seed;
+        sk_steps = steps;
+        sk_queues = queues;
+        sk_offered = !offered;
+        sk_completed = !completed;
+        sk_lost = lost;
+        sk_late = !late;
+        sk_shed = ov_shed;
+        sk_control_shed = Rakis.Runtime.total_control_shed rt;
+        sk_edge_drops = Rakis.Runtime.total_edge_drops rt;
+        sk_accounted = accounted;
+        sk_unaccounted = unaccounted;
+        sk_latency = latency;
+        sk_slo_p99 = slo_p99;
+        sk_slo_ok = Int64.compare (Int64.of_int latency.Obs.Metrics.s_p99) slo_p99 <= 0;
+        sk_baseline_kops = baseline_kops;
+        sk_crowd_kops = crowd_kops;
+        sk_recovery_kops = recovery_kops;
+        sk_recovered = recovery_window <> None;
+        sk_recovery_window = recovery_window;
+        sk_breaker_opens =
+          List.fold_left
+            (fun acc k -> acc + Rakis.Health.opens (Rakis.Runtime.shard_breaker rt k))
+            0
+            (List.init (Rakis.Runtime.shard_count rt) Fun.id);
+        sk_watchdog_restarts = Rakis.Runtime.watchdog_restarts rt;
+        sk_stalled = !steps_run < steps;
+        sk_repro = Printf.sprintf "soak:%Ld:%d:q%d" seed steps queues;
+      }
+
+(* The soak's SLO gates, in one verdict (mirrored by [tm_verify --soak]
+   and the CI smoke). *)
+let soak_failed (o : soak_outcome) =
+  o.sk_stalled || o.sk_unaccounted > 0 || o.sk_control_shed > 0
+  || (not o.sk_slo_ok) || not o.sk_recovered
+
+let pp_soak_outcome ppf (o : soak_outcome) =
+  Format.fprintf ppf
+    "@[<v>soak %s steps=%d queues=%d%s@,\
+     offered=%d completed=%d lost=%d late=%d shed=%d control_shed=%d@,\
+     accounted=%d unaccounted=%d edge_drops=%d@,\
+     latency: %a (slo_p99=%Ld %s)@,\
+     goodput kops/s: baseline=%.1f crowd=%.1f recovery=%.1f recovered=%b%s@,\
+     breaker_opens=%d watchdog_restarts=%d@]"
+    o.sk_repro o.sk_steps o.sk_queues
+    (if o.sk_stalled then " STALLED" else "")
+    o.sk_offered o.sk_completed o.sk_lost o.sk_late o.sk_shed o.sk_control_shed
+    o.sk_accounted o.sk_unaccounted o.sk_edge_drops Obs.Metrics.pp_summary
+    o.sk_latency o.sk_slo_p99
+    (if o.sk_slo_ok then "ok" else "VIOLATED")
+    o.sk_baseline_kops o.sk_crowd_kops o.sk_recovery_kops o.sk_recovered
+    (match o.sk_recovery_window with
+    | Some w -> Printf.sprintf " (window %d)" w
+    | None -> "")
+    o.sk_breaker_opens o.sk_watchdog_restarts

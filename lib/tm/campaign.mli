@@ -76,6 +76,18 @@ type outcome = {
   zc_leaks : int;
       (** lent frames whose notif the host withheld — non-zero fails
           the campaign (see {!failed}) *)
+  overload : bool;
+      (** machine booted with {!Rakis.Config.overload}: CoDel/watermark
+          admission control on every shard plus the io_uring pending
+          table (DESIGN.md §15) *)
+  ov_admitted : int;  (** admissions summed over every controller *)
+  ov_shed : int;  (** accounted data-class sheds *)
+  ov_control_shed : int;
+      (** control-class (breaker probe) sheds — the controller
+          guarantees 0; non-zero fails the campaign (see {!failed}) *)
+  ov_edge_drops : int;
+      (** host-NIC drops while the fill ring was throttled: the flood
+          dying at the edge instead of inside the enclave *)
   violations : violation list;
   trace_tail : string list;
       (** rendered tail (up to 24 events, oldest first) of the
@@ -91,6 +103,7 @@ val run :
   ?queues:int ->
   ?faults:Hostos.Faults.plan ->
   ?zerocopy:bool ->
+  ?overload:bool ->
   schedule ->
   outcome
 (** Boot a fresh RAKIS-SGX machine, install the schedule, drive
@@ -107,11 +120,15 @@ val run :
     [zerocopy] (default false) boots the machine with
     {!Rakis.Config.zerocopy}, routing the io_uring workload through
     SEND_ZC / fixed-buffer / multishot paths and exposing the notif
-    attacks. *)
+    attacks.  [overload] (default false) boots it with
+    {!Rakis.Config.overload}: admission control on every shard and the
+    io_uring pending table — refusals surface as accounted [EAGAIN]
+    sheds, never silent drops (DESIGN.md §15). *)
 
 val failed : outcome -> bool
-(** Violations, a broken system invariant, or [zc_leaks > 0] (the
-    dropped-notif attack's footprint at quiescence). *)
+(** Violations, a broken system invariant, [zc_leaks > 0] (the
+    dropped-notif attack's footprint at quiescence), or
+    [ov_control_shed > 0] (the never-shed-control guarantee broke). *)
 
 val applicable : ?zerocopy:bool -> datapath -> Hostos.Malice.attack list
 (** The attacks whose kernel tampering hooks lie on this datapath: the
@@ -159,20 +176,21 @@ val repro : outcome -> string
     appended iff the run had one — so fault runs replay bit-for-bit and
     fault-free single-queue tokens keep the historical 4-segment shape.
     Multi-queue runs always carry a sixth [":q<n>"] segment (after a
-    possibly-empty fault segment) recording the shard count, and
-    zero-copy runs one final [":zc"] segment after whatever shape
-    precedes it.  Feed it to {!run_repro} or [tm_verify --replay]. *)
+    possibly-empty fault segment) recording the shard count, zero-copy
+    runs a [":zc"] segment after whatever shape precedes it, and
+    overload-control runs one final [":ov"] segment after that.  Feed
+    it to {!run_repro} or [tm_verify --replay]. *)
 
 val parse_repro :
   string ->
-  ( datapath * int64 * int * schedule * Hostos.Faults.plan * int * bool,
+  ( datapath * int64 * int * schedule * Hostos.Faults.plan * int * bool * bool,
     string )
   result
 (** Accepts 4-segment (fault-free, plan [[]]), 5-segment (faults) and
     6-segment (faults + [q<n>] shard count) tokens, each optionally
-    followed by a literal ["zc"] segment; the last two tuple components
-    are the queue count (1 for the shorter shapes) and the zero-copy
-    flag. *)
+    followed by a literal ["zc"] segment and then a literal ["ov"]
+    segment; the last three tuple components are the queue count (1 for
+    the shorter shapes), the zero-copy flag and the overload flag. *)
 
 val run_repro : string -> (outcome, string) result
 
@@ -198,3 +216,66 @@ val shrunk_repro : outcome -> shrunk -> string
 val pp_schedule : Format.formatter -> schedule -> unit
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+(** {1 Chaos soak (DESIGN.md §15)} *)
+
+type soak_outcome = {
+  sk_seed : int64;
+  sk_steps : int;
+  sk_queues : int;
+  sk_offered : int;  (** datagrams the client actually put on the wire *)
+  sk_completed : int;  (** tag-matched echoes (any time before run end) *)
+  sk_lost : int;  (** offered datagrams never echoed *)
+  sk_late : int;
+      (** replies that arrived unmatchable (corrupt tag, duplicate) —
+          they reached the client, so they offset [sk_lost] in the
+          accounting identity *)
+  sk_shed : int;  (** overload data-class sheds, summed over controllers *)
+  sk_control_shed : int;  (** must be 0: control is never shed *)
+  sk_edge_drops : int;  (** NIC-edge drops while fill was throttled *)
+  sk_accounted : int;
+      (** all server-side accounted drops: stack drop counters
+          (including rx-gate sheds), NIC edge drops, ring/descriptor
+          rejects, plus TX-side overload sheds *)
+  sk_unaccounted : int;
+      (** [max 0 (lost - late - accounted)] — a non-zero value is a
+          silently lost datagram, which fails the soak *)
+  sk_latency : Obs.Metrics.summary;  (** completed-op round trips, cycles *)
+  sk_slo_p99 : int64;
+  sk_slo_ok : bool;  (** [p99 <= slo_p99] (conservative: p99 is a log2
+                         bucket upper bound) *)
+  sk_baseline_kops : float;  (** goodput before the flash crowd *)
+  sk_crowd_kops : float;
+  sk_recovery_kops : float;
+  sk_recovered : bool;
+      (** some post-crowd 100 µs window reached >= 95% of baseline *)
+  sk_recovery_window : int option;
+  sk_breaker_opens : int;
+  sk_watchdog_restarts : int;
+  sk_stalled : bool;  (** the driver did not finish inside the horizon *)
+  sk_repro : string;  (** ["soak:<seed>:<steps>:q<n>"] — feed the three
+                          parameters back to {!soak} to replay *)
+}
+
+val soak :
+  ?steps:int ->
+  ?queues:int ->
+  ?seed:int64 ->
+  ?slo_p99:int64 ->
+  unit ->
+  soak_outcome
+(** Run the chaos soak: the XSK UDP echo workload on a multi-queue
+    machine booted with {!Rakis.Config.overload}, [steps] (default
+    100_000) datagrams across {!soak_flows} flows — closed-loop for the
+    first 40%, an open-loop flash-crowd blast for the middle 20%,
+    closed-loop recovery for the rest — composed with a rolling
+    shard-pinned {!Hostos.Faults.Drop_wakeup} plan and a seeded malice
+    soup.  Deterministic in [(seed, steps, queues)]. *)
+
+val soak_failed : soak_outcome -> bool
+(** The soak's gates: a stall, an unaccounted datagram, a shed control
+    op, a p99 SLO breach, or goodput that never recovered. *)
+
+val soak_flows : int
+
+val pp_soak_outcome : Format.formatter -> soak_outcome -> unit

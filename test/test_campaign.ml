@@ -235,7 +235,7 @@ let test_repro_roundtrip () =
       let token = C.repro o in
       match C.parse_repro token with
       | Error e -> Alcotest.failf "parse_repro %S: %s" token e
-      | Ok (dp', seed', budget', schedule', faults', _, _) ->
+      | Ok (dp', seed', budget', schedule', faults', _, _, _) ->
           check_bool "datapath" true (dp = dp');
           Alcotest.(check int64) "seed" 77L seed';
           check "budget" 28 budget';
@@ -257,7 +257,7 @@ let test_repro_roundtrip_zerocopy () =
     && String.sub token (String.length token - 3) 3 = ":zc");
   match C.parse_repro token with
   | Error e -> Alcotest.failf "parse_repro %S: %s" token e
-  | Ok (dp', seed', budget', schedule', faults', queues', zc') ->
+  | Ok (dp', seed', budget', schedule', faults', queues', zc', _ov') ->
       check_bool "datapath" true (dp' = C.Iouring);
       Alcotest.(check int64) "seed" 77L seed';
       check "budget" 28 budget';
@@ -268,6 +268,47 @@ let test_repro_roundtrip_zerocopy () =
       (match C.run_repro token with
       | Error e -> Alcotest.failf "run_repro %S: %s" token e
       | Ok o' -> check_bool "replayed outcome" true (o = o'))
+
+let test_repro_roundtrip_overload () =
+  let o =
+    C.run ~datapath:C.Xsk ~seed:77L ~budget:28 ~queues:2 ~overload:true
+      mixed_schedule
+  in
+  let token = C.repro o in
+  check_bool "token carries the ov segment" true
+    (String.length token > 3
+    && String.sub token (String.length token - 3) 3 = ":ov");
+  match C.parse_repro token with
+  | Error e -> Alcotest.failf "parse_repro %S: %s" token e
+  | Ok (dp', seed', budget', schedule', faults', queues', zc', ov') ->
+      check_bool "datapath" true (dp' = C.Xsk);
+      Alcotest.(check int64) "seed" 77L seed';
+      check "budget" 28 budget';
+      check_bool "schedule" true (schedule' = mixed_schedule);
+      check_bool "fault-free plan" true (faults' = []);
+      check "queues" 2 queues';
+      check_bool "zerocopy flag off" false zc';
+      check_bool "overload flag" true ov';
+      (match C.run_repro token with
+      | Error e -> Alcotest.failf "run_repro %S: %s" token e
+      | Ok o' -> check_bool "replayed outcome" true (o = o'))
+
+(* The optional trailing segments strip in one fixed order ([:ov], then
+   [:zc], then [:q<n>]); these pins keep near-miss tokens failing
+   loudly instead of silently dropping a flag. *)
+let test_repro_malformed () =
+  List.iter
+    (fun token ->
+      match C.parse_repro token with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "malformed token %S parsed" token)
+    [
+      "xsk:77:28::ov2" (* not a literal "ov": must not half-match *);
+      "xsk:77:28::ov:zc" (* flags in the wrong order *);
+      "xsk:77:28::zc:q2" (* q<n> must precede zc *);
+      "xsk:77:28::q0" (* zero queues *);
+      "ov" (* no header at all *);
+    ]
 
 (* {1 Pairwise and soup schedules} *)
 
@@ -469,6 +510,10 @@ let suite =
       test_dropped_notif_fails_campaign;
     Alcotest.test_case "campaign: zerocopy repro token round-trips" `Slow
       test_repro_roundtrip_zerocopy;
+    Alcotest.test_case "campaign: overload repro token round-trips" `Slow
+      test_repro_roundtrip_overload;
+    Alcotest.test_case "campaign: malformed repro tokens rejected" `Quick
+      test_repro_malformed;
     Alcotest.test_case "campaign: same seed+schedule replays identically"
       `Slow test_replay_determinism;
     Alcotest.test_case "campaign: repro token round-trips" `Slow

@@ -246,6 +246,30 @@ let test_repro_tokens () =
           queues = 2;
           zerocopy = true;
         } );
+      ( "overload control, fault-free single queue (4 segments + ov)",
+        {
+          template with
+          C.datapath = C.Xsk;
+          seed = 13L;
+          budget = 24;
+          schedule = [ C.At { step = 5; attack = Hostos.Malice.Prod_overshoot } ];
+          fault_plan = [];
+          queues = 1;
+          overload = true;
+        } );
+      ( "overload + zero-copy, multi-queue with fault plan (all 8 segments)",
+        {
+          template with
+          C.datapath = C.Iouring;
+          seed = 17L;
+          budget = 32;
+          schedule = [];
+          fault_plan =
+            [ { F.fault = F.Drop_wakeup; when_ = F.Persistent; shard = Some 0 } ];
+          queues = 2;
+          zerocopy = true;
+          overload = true;
+        } );
     ]
   in
   let buf = Buffer.create 512 in
@@ -255,7 +279,7 @@ let test_repro_tokens () =
       (* idempotence is part of the contract the golden pins down *)
       (match C.parse_repro token with
       | Error e -> Alcotest.failf "token %S failed to parse back: %s" token e
-      | Ok (dp, seed, budget, schedule, plan, queues, zc) ->
+      | Ok (dp, seed, budget, schedule, plan, queues, zc, ov) ->
           let again =
             C.repro
               {
@@ -267,6 +291,7 @@ let test_repro_tokens () =
                 fault_plan = plan;
                 queues;
                 zerocopy = zc;
+                overload = ov;
               }
           in
           if again <> token then
@@ -319,6 +344,21 @@ let test_zc_dropped_notif_failure () =
        (List.length s.C.shrunk_schedule)
        s.C.shrink_tests C.pp_outcome minimal token)
 
+(* {1 Soak outcome}
+
+   A small overload chaos soak (flash crowd × rolling fault plan ×
+   malice soup, DESIGN.md §15) is deterministic in (seed, steps,
+   queues); the golden pins the entire rendered outcome — the
+   accounting identity, the latency summary, the goodput windows and
+   the ["soak:<seed>:<steps>:q<n>"] repro line — so any drift in the
+   soak driver, the overload controller or the renderer shows up as a
+   byte diff. *)
+
+let test_soak_outcome () =
+  let o = C.soak ~steps:2000 ~queues:2 ~seed:42L () in
+  Alcotest.(check bool) "small soak passes its gates" false (C.soak_failed o);
+  check_golden "soak_outcome" (Format.asprintf "%a@." C.pp_soak_outcome o)
+
 (* {1 Explorer report} *)
 
 let test_explore_report () =
@@ -338,5 +378,6 @@ let suite =
     Alcotest.test_case "golden: repro tokens" `Quick test_repro_tokens;
     Alcotest.test_case "golden: zero-copy dropped-notif failure" `Quick
       test_zc_dropped_notif_failure;
+    Alcotest.test_case "golden: soak outcome" `Quick test_soak_outcome;
     Alcotest.test_case "golden: explorer report" `Quick test_explore_report;
   ]

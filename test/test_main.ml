@@ -25,4 +25,5 @@ let () =
       ("misc", Test_misc.suite);
       ("obs", Test_obs.suite);
       ("shard", Test_shard.suite);
+      ("overload", Test_overload.suite);
     ]

@@ -6,7 +6,7 @@
 let usage () =
   prerr_endline
     "usage: main.exe [--metrics] [--json] \
-     [fig2|table1|table2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|claims|ablation|sensitivity|micro|sweep|zerocopy|kv|all]";
+     [fig2|table1|table2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|claims|ablation|sensitivity|micro|sweep|zerocopy|kv|lossy|all]";
   exit 2
 
 (* {1 Machine-readable results}
@@ -263,6 +263,117 @@ let run_kv_json () =
     exit 1
   end
 
+(* {1 Lossy-wire payoff}
+
+   Part of [--json]: the KV loadgen under the canonical hostile-wire
+   weather ({!Tm.Campaign.wire_plan} — 5% drop, 5% reorder, 5%
+   duplicate, 1% truncation), plain UDP vs the reliable-datagram layer
+   ({!Netstack.Rdp}, DESIGN.md §16).  Plain UDP pays for every lost
+   request with a client timeout; RDP's retransmit clock recovers them
+   inside the (raised) op deadline, its dedup window absorbs the
+   duplicates, and whatever it abandons is a counted give-up.
+   Recorded into [BENCH_lossy.json]: the accounting ledger and latency
+   tail of both legs, the RDP retransmit/give-up counts and the
+   injector's fault totals.  Gates: zero silent loss on both legs, and
+   the RDP leg completes >= 99% of offered ops — loss the wire
+   inflicts, the datagram layer must win back. *)
+
+let lossy_ops = 4000
+
+let lossy_wire_seed = 0x3417EL
+
+let run_lossy_json () =
+  let leg ~rdp =
+    let h = kv_harness ~overload:false in
+    let rt =
+      match Libos.Env.runtime h.Apps.Harness.env with
+      | Some rt -> rt
+      | None -> failwith "lossy: no RAKIS runtime"
+    in
+    let injector =
+      Hostos.Faults.create ~obs:(Rakis.Runtime.obs rt) ~seed:lossy_wire_seed ()
+    in
+    Hostos.Faults.install_plan injector Tm.Campaign.wire_plan;
+    Hostos.Kernel.set_faults h.Apps.Harness.kernel (Some injector);
+    let config =
+      {
+        Apps.Loadgen.default with
+        connections = 16;
+        ops = lossy_ops;
+        rdp;
+        (* several RTOs must fit inside the op deadline for
+           retransmission to win the race against the client timeout *)
+        timeout =
+          (if rdp then Sim.Cycles.of_ms 2.
+           else Apps.Loadgen.default.Apps.Loadgen.timeout);
+      }
+    in
+    let s = Apps.Loadgen.run ~config h ~server_threads:kv_server_threads in
+    let kstats = Sim.Engine.stats h.Apps.Harness.engine in
+    (* the loadgen CLI's silent-loss residue (bin/rakis_run.ml): what
+       neither the client books nor the server-side accounted drops nor
+       the client-kernel socket drops explain *)
+    let silent =
+      s.Apps.Loadgen.lost - s.Apps.Loadgen.late - s.Apps.Loadgen.rdp_gave_up
+      - Rakis.Runtime.total_accounted_drops rt
+      - Rakis.Runtime.total_overload_shed rt
+      - Sim.Stats.get kstats "udp.no_socket_drops"
+      - Sim.Stats.get kstats "udp.buffer_drops"
+    in
+    (s, Rakis.Runtime.total_wire_losses rt, max 0 silent)
+  in
+  let plain, plain_wire, plain_silent = leg ~rdp:false in
+  let over, over_wire, over_silent = leg ~rdp:true in
+  let completion (s : Apps.Loadgen.stats) =
+    if s.Apps.Loadgen.offered = 0 then 0.
+    else
+      float_of_int s.Apps.Loadgen.completed
+      /. float_of_int s.Apps.Loadgen.offered
+  in
+  let fields tag ((s : Apps.Loadgen.stats), wire_losses, silent) =
+    [
+      (tag ^ "_offered", I s.Apps.Loadgen.offered);
+      (tag ^ "_completed", I s.Apps.Loadgen.completed);
+      (tag ^ "_completion", F (completion s));
+      (tag ^ "_lost", I s.Apps.Loadgen.lost);
+      (tag ^ "_late", I s.Apps.Loadgen.late);
+      (tag ^ "_rdp_retransmits", I s.Apps.Loadgen.rdp_retransmits);
+      (tag ^ "_rdp_gave_up", I s.Apps.Loadgen.rdp_gave_up);
+      (tag ^ "_wire_losses", I wire_losses);
+      (tag ^ "_silent", I silent);
+      (tag ^ "_p50_cycles", I s.Apps.Loadgen.latency.Obs.Metrics.s_p50);
+      (tag ^ "_p99_cycles", I s.Apps.Loadgen.latency.Obs.Metrics.s_p99);
+      (tag ^ "_goodput_kops", F s.Apps.Loadgen.goodput_kops);
+    ]
+  in
+  write_json "BENCH_lossy.json"
+    ([
+       ("workload", S "kv_lossy_wire");
+       ("env", S "rakis-sgx");
+       ("queues", I 2);
+       ("server_threads", I kv_server_threads);
+       ("ops", I lossy_ops);
+       ("wire_plan", S (Hostos.Faults.plan_to_string Tm.Campaign.wire_plan));
+     ]
+    @ fields "udp" (plain, plain_wire, plain_silent)
+    @ fields "rdp" (over, over_wire, over_silent));
+  Format.printf
+    "lossy wire: udp completes %.1f%% (%d wire losses), rdp completes %.1f%% \
+     (%d retransmits, %d give-ups; gate: >= 99%% and zero silent loss)@."
+    (100. *. completion plain)
+    plain_wire
+    (100. *. completion over)
+    over.Apps.Loadgen.rdp_retransmits over.Apps.Loadgen.rdp_gave_up;
+  if plain_silent > 0 || over_silent > 0 then begin
+    Format.printf "FAIL: silent loss under the wire plan (udp %d, rdp %d)@."
+      plain_silent over_silent;
+    exit 1
+  end;
+  if completion over < 0.99 then begin
+    Format.printf "FAIL: rdp completion below the 99%% gate@.";
+    exit 1
+  end
+
 (* {1 Queue-scaling sweep}
 
    The DESIGN.md §10 headline: boot the datapath with 1, 2, 4 and 8
@@ -389,7 +500,8 @@ let () =
   if json then begin
     run_json ();
     run_zc_json ();
-    run_kv_json ()
+    run_kv_json ();
+    run_lossy_json ()
   end
   else
   (match args with
@@ -410,5 +522,6 @@ let () =
   | [ "sweep" ] -> run_sweep ()
   | [ "zerocopy" ] -> run_zc_json ()
   | [ "kv" ] -> run_kv_json ()
+  | [ "lossy" ] -> run_lossy_json ()
   | _ -> usage ());
   if metrics then Figures.dump_metrics ()

@@ -497,35 +497,42 @@ let udp_echo_cmd =
              budget; flows > 1 bind deterministic source ports so RSS \
              spreads them across $(b,--queues) shards.")
   in
-  let run env cfg datagrams size flows faults fault_seed metrics trace_file =
+  let rdp =
+    Arg.(
+      value & flag
+      & info [ "rdp" ]
+          ~doc:
+            "Run both ends over RDP reliable datagrams: retransmission \
+             recovers wire-fault losses, and whatever RDP abandons is a \
+             counted give-up, never silent.")
+  in
+  let run env cfg datagrams size flows rdp faults fault_seed metrics trace_file
+      =
     let h = sharded_harness cfg env in
     let injector = install_faults h ~spec:faults ~seed:fault_seed in
-    let r = Apps.Udp_echo.run ~flows h ~datagrams ~payload_size:size in
+    let r = Apps.Udp_echo.run ~flows ~rdp h ~datagrams ~payload_size:size in
     Format.printf "%a@." Apps.Udp_echo.pp_result r;
     report_faults h injector;
     report ~metrics ?trace_file h;
-    (* Under injected faults the echo loop must still complete: faults
-       cost latency, never datagrams.  With overload control enabled a
-       shed round trip is a legitimate, {e accounted} refusal — only a
-       shortfall beyond the server's shed counters (silent loss) fails.
-       Without it every missing datagram is a recovery bug. *)
+    (* Tri-state loss accounting: a missing echo is either an explicit
+       overload shed, an accounted wire-fault drop, or silent loss —
+       and only silent loss fails.  Faults other than the wire plan
+       cost latency, never datagrams, so without wire faults both
+       accounted legs sit at zero and the gate degenerates to the
+       strict historical "all echoed" check. *)
     let missing = datagrams - r.Apps.Udp_echo.echoed in
-    if injector <> None || cfg.Rakis.Config.overload then
-      if cfg.Rakis.Config.overload then begin
-        if missing > r.Apps.Udp_echo.shed then begin
-          Format.eprintf
-            "FAIL: %d datagrams missing, only %d accounted as shed — %d \
-             silently lost@."
-            missing r.Apps.Udp_echo.shed
-            (missing - r.Apps.Udp_echo.shed);
-          exit 1
-        end
-      end
-      else if missing > 0 then begin
-        Format.eprintf "FAIL: %d/%d datagrams echoed under faults@."
-          r.Apps.Udp_echo.echoed datagrams;
+    if injector <> None || cfg.Rakis.Config.overload then begin
+      let silent =
+        missing - r.Apps.Udp_echo.shed - r.Apps.Udp_echo.wire_dropped
+      in
+      if silent > 0 then begin
+        Format.eprintf
+          "FAIL: %d datagrams missing (%d accounted shed, %d accounted wire \
+           drops) — %d silently lost@."
+          missing r.Apps.Udp_echo.shed r.Apps.Udp_echo.wire_dropped silent;
         exit 1
       end
+    end
   in
   Cmd.v
     (Cmd.info "udp_echo"
@@ -533,11 +540,11 @@ let udp_echo_cmd =
          "Closed-loop UDP echo (paper §1 scenario); the canonical workload \
           for $(b,--metrics)/$(b,--trace), and with $(b,--faults) the \
           recovery smoke test: exits 1 on silent datagram loss — every \
-          missing echo must be covered by the accounted shed counters \
-          (with $(b,--overload)) or not happen at all")
+          missing echo must be covered by the accounted shed counters or \
+          the accounted wire-loss counters, or not happen at all")
     Term.(
       const run $ env_arg $ health_config_term $ datagrams $ size $ flows
-      $ faults_arg $ fault_seed_arg $ metrics_arg $ trace_arg)
+      $ rdp $ faults_arg $ fault_seed_arg $ metrics_arg $ trace_arg)
 
 let loadgen_cmd =
   let conns =
@@ -589,8 +596,18 @@ let loadgen_cmd =
   let threads =
     Arg.(value & opt int 4 & info [ "threads" ] ~doc:"Server threads.")
   in
+  let rdp =
+    Arg.(
+      value & flag
+      & info [ "rdp" ]
+          ~doc:
+            "Run client and server over RDP reliable datagrams: \
+             retransmission recovers wire-fault losses, request dedup \
+             keeps retried SETs idempotent, and RDP give-ups are \
+             accounted, never silent.")
+  in
   let run env cfg conns ops open_loop zipf flash_at flash_conns flash_ops churn
-      seed threads faults fault_seed metrics trace_file =
+      seed threads rdp faults fault_seed metrics trace_file =
     let h =
       sharded_harness { cfg with Rakis.Config.num_xsks = threads } env
     in
@@ -606,6 +623,12 @@ let loadgen_cmd =
         ops;
         zipf;
         churn_every = churn;
+        rdp;
+        (* RDP absorbs wire faults by retransmitting inside the op's
+           reply window: give it one that fits a few RTOs. *)
+        timeout =
+          (if rdp then Sim.Cycles.of_ms 2.
+           else Apps.Loadgen.default.Apps.Loadgen.timeout);
         seed = Int64.of_int seed;
         flash =
           (match flash_at with
@@ -631,13 +654,17 @@ let loadgen_cmd =
        {!Apps.Loadgen.one_op}), so its reply — if one was coming — dies
        in the host kernel as [udp.no_socket_drops]; a reply burst
        overrunning the client's socket buffer dies as
-       [udp.buffer_drops].  Both are accounted deaths, not silence. *)
+       [udp.buffer_drops].  Both are accounted deaths, not silence.
+       With --rdp the client links' retry-exhaustion give-ups join the
+       accounted side too ([total_accounted_drops] already includes
+       the wire-loss counters). *)
     let silent =
       match Libos.Env.runtime h.Apps.Harness.env with
       | None -> 0
       | Some rt ->
           let kstats = Sim.Engine.stats h.Apps.Harness.engine in
           s.Apps.Loadgen.lost - s.Apps.Loadgen.late
+          - s.Apps.Loadgen.rdp_gave_up
           - Rakis.Runtime.total_accounted_drops rt
           - Rakis.Runtime.total_overload_shed rt
           - Sim.Stats.get kstats "udp.no_socket_drops"
@@ -658,7 +685,7 @@ let loadgen_cmd =
     Term.(
       const run $ env_arg $ health_config_term $ conns $ ops $ open_loop
       $ zipf $ flash_at $ flash_conns $ flash_ops $ churn $ seed $ threads
-      $ faults_arg $ fault_seed_arg $ metrics_arg $ trace_arg)
+      $ rdp $ faults_arg $ fault_seed_arg $ metrics_arg $ trace_arg)
 
 let verify_cmd =
   let depth = Arg.(value & opt int 3 & info [ "depth" ] ~doc:"Schedule depth.") in

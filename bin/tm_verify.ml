@@ -21,7 +21,11 @@
      machine with Config.overload, gated on zero unaccounted
      datagrams, zero control sheds, the p99 SLO and goodput recovery.
      --soak-steps / --queues / --seed / --slo-p99 parameterize it
-     (CI smoke uses --soak-steps 12000). *)
+     (CI smoke uses --soak-steps 12000);
+   - --wire (with --campaign or --soak): compose the canonical
+     lossy-wire plan (5% drop/reorder/dup, 1% truncation — DESIGN.md
+     §16) onto the run; campaign repro tokens and the soak token gain
+     a trailing ":wire" segment. *)
 
 let total_fired o =
   List.fold_left (fun acc (_, n) -> acc + n) 0 o.Tm.Campaign.fired
@@ -31,7 +35,7 @@ let total_injected o =
 
 let dp_name = function Tm.Campaign.Xsk -> "xsk" | Tm.Campaign.Iouring -> "io_uring"
 
-let campaign ~budget ~faults_plan ~queues =
+let campaign ~budget ~faults_plan ~queues ~wire =
   Format.printf
     "RAKIS Testing Module: adversarial campaign (budget %d, queues %d)@.@."
     budget queues;
@@ -60,7 +64,9 @@ let campaign ~budget ~faults_plan ~queues =
         (Tm.Campaign.applicable ~zerocopy:true Tm.Campaign.Iouring)
   in
   let runs =
-    List.length singles + 11 + (if faults_plan = [] then 0 else 4)
+    List.length singles + 11
+    + (if faults_plan = [] then 0 else 4)
+    + if wire then 2 else 0
   in
   let per_run = max 16 (budget / runs) in
   let summarize o =
@@ -181,6 +187,40 @@ let campaign ~budget ~faults_plan ~queues =
           (if Tm.Campaign.failed o then "FAIL" else "ok");
         summarize o)
       datapaths;
+  (* Hostile-wire weather (DESIGN.md §16): the canonical lossy plan —
+     5% drop/reorder/dup, 1% truncation — on the XSK datapath (the
+     wire faults live on the NIC link, which only XSK traffic rides),
+     alone and composed with an attack soup.  Loss is availability
+     weather: the run must stay violation-free, the injector must have
+     actually fired, and the repro token must carry the ":wire"
+     segment so the weather replays. *)
+  if wire then begin
+    let check_wire label o =
+      Format.printf "%s %-9s ok=%d refused=%d lost=%d injected=%d %s@." label
+        "xsk" o.Tm.Campaign.ok o.Tm.Campaign.refused o.Tm.Campaign.lost
+        (total_injected o)
+        (if Tm.Campaign.failed o then "FAIL" else "ok");
+      if total_injected o = 0 then begin
+        incr failures;
+        Format.printf "%s: the lossy-wire plan never injected a fault@." label
+      end;
+      if not (Filename.check_suffix (Tm.Campaign.repro o) ":wire") then begin
+        incr failures;
+        Format.printf "%s: repro token %S lacks the :wire segment@." label
+          (Tm.Campaign.repro o)
+      end;
+      summarize o
+    in
+    check_wire "wire  "
+      (Tm.Campaign.run ~datapath:Tm.Campaign.Xsk ~seed:101L ~budget:per_run
+         ~queues ~wire:true []);
+    let schedule =
+      Tm.Campaign.soup ~datapath:Tm.Campaign.Xsk ~seed:103L ~budget:per_run ()
+    in
+    check_wire "wire+soup"
+      (Tm.Campaign.run ~datapath:Tm.Campaign.Xsk ~seed:103L ~budget:per_run
+         ~queues ~wire:true schedule)
+  end;
   (* Shard containment (DESIGN.md §10): a persistent wakeup-drop pinned
      to shard 1 may only ever open shard 1's breaker — breaker activity
      on any other shard means the blast radius leaked across shards. *)
@@ -235,11 +275,12 @@ let campaign ~budget ~faults_plan ~queues =
   end
   else Format.printf "@.campaign passed@."
 
-let soak ~steps ~queues ~seed ~slo_p99 =
+let soak ~steps ~queues ~seed ~slo_p99 ~wire =
   Format.printf
-    "RAKIS Testing Module: overload chaos soak (steps %d, queues %d)@.@."
-    steps queues;
-  let o = Tm.Campaign.soak ~steps ~queues ~seed ?slo_p99 () in
+    "RAKIS Testing Module: overload chaos soak (steps %d, queues %d%s)@.@."
+    steps queues
+    (if wire then ", lossy wire" else "");
+  let o = Tm.Campaign.soak ~steps ~queues ~seed ?slo_p99 ~wire () in
   Format.printf "%a@." Tm.Campaign.pp_soak_outcome o;
   if Tm.Campaign.soak_failed o then begin
     Format.printf "@.soak FAILED@.";
@@ -322,7 +363,8 @@ let () =
   and token = ref ""
   and soak_steps = ref 100_000
   and seed = ref 0x50AD5EEDL
-  and slo_p99 = ref (-1) in
+  and slo_p99 = ref (-1)
+  and wire = ref false in
   let spec =
     [
       ("-depth", Arg.Set_int depth, "schedule depth (default 3)");
@@ -378,6 +420,11 @@ let () =
         Arg.Set_int slo_p99,
         "p99 SLO for --soak in cycles (default Config.default.slo_p99, \
          1 ms at 2.4 GHz)" );
+      ( "--wire",
+        Arg.Set wire,
+        "compose the canonical lossy-wire plan (5% drop/reorder/dup, 1% \
+         trunc) onto --campaign (extra XSK wire-weather runs) or --soak \
+         (the whole soak rides the hostile wire; token gains ':wire')" );
       ( "--mutant",
         Arg.Set_string mutant,
         "run --exhaustive against a known-bad driver mutation and require \
@@ -388,7 +435,7 @@ let () =
   Arg.parse spec
     (fun _ -> ())
     "tm_verify [-depth N] [-ring-size N] [--campaign] [--budget N] [--queues \
-     N] [--faults PLAN] [--replay TOKEN] [--exhaustive [--depth N] \
+     N] [--faults PLAN] [--wire] [--replay TOKEN] [--exhaustive [--depth N] \
      [--min-states N] [--mutant M]]";
   match !mode with
   | `Campaign -> (
@@ -396,12 +443,14 @@ let () =
       | Error e ->
           Format.eprintf "bad --faults plan: %s@." e;
           exit 2
-      | Ok faults_plan -> campaign ~budget:!budget ~faults_plan ~queues:!queues)
+      | Ok faults_plan ->
+          campaign ~budget:!budget ~faults_plan ~queues:!queues ~wire:!wire)
   | `Replay -> replay !token
   | `Soak ->
       let queues = if !queues < 2 then 2 else !queues in
       soak ~steps:!soak_steps ~queues ~seed:!seed
         ~slo_p99:(if !slo_p99 < 0 then None else Some (Int64.of_int !slo_p99))
+        ~wire:!wire
   | `Exhaustive ->
       let depth = if !depth < 0 then 5 else !depth in
       exhaustive ~depth ~queues:!queues ~min_states:!min_states

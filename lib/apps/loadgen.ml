@@ -48,6 +48,7 @@ type config = {
   retries : int;
   flash : flash option;
   churn_every : int;
+  rdp : bool;
   seed : int64;
 }
 
@@ -64,6 +65,7 @@ let default =
     retries = 0;
     flash = None;
     churn_every = 0;
+    rdp = false;
     seed = 0x10adL;
   }
 
@@ -112,6 +114,8 @@ type state = {
   mutable lost : int;
   mutable late : int;
   mutable retried : int;
+  mutable rdp_retransmits : int;
+  mutable rdp_gave_up : int;
   mutable start : int64;
   mutable crowd_launched : bool;
   mutable crowd_start : int64;
@@ -136,6 +140,8 @@ let make_state cfg ~on_done =
     lost = 0;
     late = 0;
     retried = 0;
+    rdp_retransmits = 0;
+    rdp_gave_up = 0;
     start = 0L;
     crowd_launched = false;
     crowd_start = 0L;
@@ -190,61 +196,119 @@ let build_request st rng cdf value =
    closed port dies in the peer kernel's [udp.no_socket_drops]
    counter, which the CLI's silent-loss check reads — accounted loss,
    not silence. *)
-let recycle api fdr =
-  ignore (api.Libos.Api.close !fdr);
-  fdr := api.Libos.Api.udp_socket ()
+(* The client channel: a raw UDP socket, or — with [cfg.rdp] — an RDP
+   reliable-datagram link whose retransmit clock absorbs wire faults
+   before they cost the op its timeout. *)
+type chan = Fd of Libos.Api.fd ref | Link of Rdp_link.t ref
 
-let one_op api st ~rng ~cdf ~fdr ~value =
+let open_chan api st =
+  if st.cfg.rdp then Link (ref (Rdp_link.create ~name:"rdp.client" api))
+  else Fd (ref (api.Libos.Api.udp_socket ()))
+
+(* Fold a finished link's ARQ counters into the run stats; closing it
+   first turns any unacked sends into counted give-ups. *)
+let retire_link st link =
+  Rdp_link.close link;
+  let r = Rdp_link.rdp link in
+  st.rdp_retransmits <- st.rdp_retransmits + Netstack.Rdp.retransmits r;
+  st.rdp_gave_up <- st.rdp_gave_up + Netstack.Rdp.gave_up r
+
+let recycle api st chan =
+  match chan with
+  | Fd fdr ->
+      ignore (api.Libos.Api.close !fdr);
+      fdr := api.Libos.Api.udp_socket ()
+  | Link lr ->
+      retire_link st !lr;
+      lr := Rdp_link.create ~name:"rdp.client" api
+
+(* End-of-client barrier.  The raw-socket path leaves its fd open (a
+   straggler reply dies unread, exactly as before); the RDP path must
+   pump until every DATA is acked or becomes a counted give-up, then
+   fold the link's counters into the stats. *)
+let finish_chan _api st chan =
+  match chan with
+  | Fd _ -> ()
+  | Link lr ->
+      Rdp_link.flush ~timeout:st.cfg.timeout !lr;
+      retire_link st !lr
+
+let one_op api st ~rng ~cdf ~chan ~value =
   let cfg = st.cfg in
   let req = build_request st rng cdf value in
-  let rec attempt n =
-    let t0 = Libos.Api.now api in
-    match api.Libos.Api.sendto !fdr req dst with
-    | Error Abi.Errno.EAGAIN ->
-        if n < cfg.retries then begin
-          st.retried <- st.retried + 1;
-          Libos.Api.delay api cfg.timeout;
-          attempt (n + 1)
-        end
-        else st.shed <- st.shed + 1
-    | Error _ -> st.lost <- st.lost + 1
-    | Ok _ -> (
-        match
-          api.Libos.Api.poll [ (!fdr, [ `In ]) ] ~timeout:(Some cfg.timeout)
-        with
-        | Ok (_ :: _) -> (
-            match api.Libos.Api.recvfrom !fdr 65536 with
-            | Ok _ ->
-                let now = Libos.Api.now api in
-                record_completion st now (Int64.sub now t0)
-            | Error _ ->
-                recycle api fdr;
-                st.lost <- st.lost + 1)
-        | Ok [] | Error _ ->
-            recycle api fdr;
+  match chan with
+  | Fd fdr ->
+      let rec attempt n =
+        let t0 = Libos.Api.now api in
+        match api.Libos.Api.sendto !fdr req dst with
+        | Error Abi.Errno.EAGAIN ->
+            if n < cfg.retries then begin
+              st.retried <- st.retried + 1;
+              Libos.Api.delay api cfg.timeout;
+              attempt (n + 1)
+            end
+            else st.shed <- st.shed + 1
+        | Error _ -> st.lost <- st.lost + 1
+        | Ok _ -> (
+            match
+              api.Libos.Api.poll [ (!fdr, [ `In ]) ] ~timeout:(Some cfg.timeout)
+            with
+            | Ok (_ :: _) -> (
+                match api.Libos.Api.recvfrom !fdr 65536 with
+                | Ok _ ->
+                    let now = Libos.Api.now api in
+                    record_completion st now (Int64.sub now t0)
+                | Error _ ->
+                    recycle api st chan;
+                    st.lost <- st.lost + 1)
+            | Ok [] | Error _ ->
+                recycle api st chan;
+                if n < cfg.retries then begin
+                  st.retried <- st.retried + 1;
+                  attempt (n + 1)
+                end
+                else st.lost <- st.lost + 1)
+      in
+      attempt 0
+  | Link lr ->
+      (* The link hides EAGAIN behind its retransmit clock, so the only
+         client-visible outcomes are a (deduplicated) reply or a
+         timeout.  A timeout still recycles: the fresh link restarts
+         sequence state clean and the old one's unacked DATA become
+         counted give-ups. *)
+      let rec attempt n =
+        let t0 = Libos.Api.now api in
+        Rdp_link.send !lr req dst;
+        match Rdp_link.recv ~timeout:cfg.timeout !lr with
+        | Some _ ->
+            let now = Libos.Api.now api in
+            record_completion st now (Int64.sub now t0)
+        | None ->
+            recycle api st chan;
             if n < cfg.retries then begin
               st.retried <- st.retried + 1;
               attempt (n + 1)
             end
-            else st.lost <- st.lost + 1)
-  in
-  attempt 0
+            else st.lost <- st.lost + 1
+      in
+      attempt 0
 
-let churn api st ~fdr ~count =
+let churn api st ~chan ~count =
   if st.cfg.churn_every > 0 && !count >= st.cfg.churn_every then begin
     count := 0;
     (* Replies in flight toward the closed port can never be drained
        here; they surface in the host kernel's drop accounting. *)
-    recycle api fdr
+    recycle api st chan
   end
 
 let crowd_client api st ~rng ~cdf ~budget () =
-  let fdr = ref (api.Libos.Api.udp_socket ()) in
+  let chan = open_chan api st in
   let value = String.make st.cfg.value_size 'v' in
   for _ = 1 to budget do
     st.crowd_offered <- st.crowd_offered + 1;
-    one_op api st ~rng ~cdf ~fdr ~value
+    one_op api st ~rng ~cdf ~chan ~value
   done;
+  finish_chan api st chan;
   st.crowd_live <- st.crowd_live - 1;
   if st.crowd_live = 0 then st.crowd_end <- Libos.Api.now api;
   maybe_finished st
@@ -269,20 +333,21 @@ let maybe_flash api st ~cdf =
   | _ -> ()
 
 let closed_client api st ~rng ~cdf ~think () =
-  let fdr = ref (api.Libos.Api.udp_socket ()) in
+  let chan = open_chan api st in
   let value = String.make st.cfg.value_size 'v' in
   let since_churn = ref 0 in
   let rec loop () =
     if st.base_offered < st.cfg.ops then begin
       maybe_flash api st ~cdf;
-      churn api st ~fdr ~count:since_churn;
+      churn api st ~chan ~count:since_churn;
       st.base_offered <- st.base_offered + 1;
       incr since_churn;
-      one_op api st ~rng ~cdf ~fdr ~value;
+      one_op api st ~rng ~cdf ~chan ~value;
       if Int64.compare think 0L > 0 then Libos.Api.delay api think;
       loop ()
     end
     else begin
+      finish_chan api st chan;
       st.live <- st.live - 1;
       maybe_finished st
     end
@@ -295,7 +360,7 @@ let closed_client api st ~rng ~cdf ~think () =
    fiber matching replies FIFO against a queue of send timestamps. *)
 
 let open_client api st ~rng ~cdf ~interarrival ~budget () =
-  let fdr = ref (api.Libos.Api.udp_socket ()) in
+  let chan = open_chan api st in
   let value = String.make st.cfg.value_size 'v' in
   let pending = Queue.create () in
   let sender_done = ref false in
@@ -313,39 +378,63 @@ let open_client api st ~rng ~cdf ~interarrival ~budget () =
         in
         go ()
       in
+      let credit () =
+        let now = Libos.Api.now api in
+        match Queue.take_opt pending with
+        | Some t0 -> record_completion st now (Int64.sub now t0)
+        | None -> st.late <- st.late + 1
+      in
+      let finished () =
+        if !sender_done && Queue.is_empty pending then begin
+          finish_chan api st chan;
+          st.live <- st.live - 1;
+          maybe_finished st;
+          true
+        end
+        else false
+      in
       let rec rx () =
-        match
-          api.Libos.Api.poll [ (!fdr, [ `In ]) ] ~timeout:(Some cfg.timeout)
-        with
-        | Ok (_ :: _) ->
-            (match api.Libos.Api.recvfrom !fdr 65536 with
-            | Ok _ -> (
-                let now = Libos.Api.now api in
-                match Queue.take_opt pending with
-                | Some t0 -> record_completion st now (Int64.sub now t0)
-                | None -> st.late <- st.late + 1)
-            | Error _ -> ());
-            rx ()
-        | Ok [] | Error _ ->
-            prune ();
-            if !sender_done && Queue.is_empty pending then begin
-              st.live <- st.live - 1;
-              maybe_finished st
-            end
-            else rx ()
+        match chan with
+        | Fd fdr -> (
+            match
+              api.Libos.Api.poll [ (!fdr, [ `In ]) ] ~timeout:(Some cfg.timeout)
+            with
+            | Ok (_ :: _) ->
+                (match api.Libos.Api.recvfrom !fdr 65536 with
+                | Ok _ -> credit ()
+                | Error _ -> ());
+                rx ()
+            | Ok [] | Error _ ->
+                prune ();
+                if not (finished ()) then rx ())
+        | Link lr -> (
+            match Rdp_link.recv ~timeout:cfg.timeout !lr with
+            | Some _ ->
+                credit ();
+                rx ()
+            | None ->
+                prune ();
+                if not (finished ()) then rx ())
       in
       rx ());
   let since_churn = ref 0 in
   for _ = 1 to budget do
     maybe_flash api st ~cdf;
-    (* No churn mid-open-loop: the receiver holds the fd. *)
+    (* No churn mid-open-loop: the receiver holds the channel. *)
     ignore since_churn;
     st.base_offered <- st.base_offered + 1;
     let req = build_request st rng cdf value in
-    (match api.Libos.Api.sendto !fdr req dst with
-    | Ok _ -> Queue.add (Libos.Api.now api) pending
-    | Error Abi.Errno.EAGAIN -> st.shed <- st.shed + 1
-    | Error _ -> st.lost <- st.lost + 1);
+    (match chan with
+    | Fd fdr -> (
+        match api.Libos.Api.sendto !fdr req dst with
+        | Ok _ -> Queue.add (Libos.Api.now api) pending
+        | Error Abi.Errno.EAGAIN -> st.shed <- st.shed + 1
+        | Error _ -> st.lost <- st.lost + 1)
+    | Link lr ->
+        (* EAGAIN is absorbed by the link's retransmit clock, so every
+           offered op enters the pending queue. *)
+        Rdp_link.send !lr req dst;
+        Queue.add (Libos.Api.now api) pending);
     Libos.Api.delay api interarrival
   done;
   sender_done := true
@@ -359,6 +448,8 @@ type stats = {
   lost : int;
   late : int;
   retried : int;
+  rdp_retransmits : int;
+  rdp_gave_up : int;
   latency : Obs.Metrics.summary;
   duration : Sim.Engine.time;
   goodput_kops : float;
@@ -376,7 +467,7 @@ let kops done_ cycles =
 let run ?(config = default) (h : Harness.t) ~server_threads =
   let st = make_state config ~on_done:(fun () -> Harness.stop h) in
   Sim.Engine.spawn h.engine ~name:"loadgen-server"
-    (Memcached.server (Harness.api h) ~server_threads);
+    (Memcached.server ~rdp:config.rdp (Harness.api h) ~server_threads);
   Sim.Engine.spawn h.engine ~name:"loadgen" (fun () ->
       (* Let the server bind before offering load. *)
       Sim.Engine.delay (Sim.Cycles.of_us 50.);
@@ -427,6 +518,8 @@ let run ?(config = default) (h : Harness.t) ~server_threads =
     lost = st.lost;
     late = st.late;
     retried = st.retried;
+    rdp_retransmits = st.rdp_retransmits;
+    rdp_gave_up = st.rdp_gave_up;
     latency = Obs.Metrics.summary st.hist;
     duration;
     goodput_kops = kops st.completed duration;
@@ -446,4 +539,7 @@ let pp_stats ppf s =
     s.recovered
     (match s.recovery_window with
     | Some w -> Printf.sprintf " (window %d)" w
-    | None -> "")
+    | None -> "");
+  if s.rdp_retransmits > 0 || s.rdp_gave_up > 0 then
+    Format.fprintf ppf "@ rdp: retransmits=%d give-ups=%d" s.rdp_retransmits
+      s.rdp_gave_up

@@ -44,6 +44,13 @@ type config = {
   retries : int;  (** timed-out op resends; keep [0] for soak accounting *)
   flash : flash option;
   churn_every : int;  (** close/reopen the socket every N ops; [0] = never *)
+  rdp : bool;
+      (** run client and server over {!Netstack.Rdp} reliable
+          datagrams: the link's retransmit clock absorbs wire faults
+          (drop / duplicate / reorder / truncation) before they cost
+          an op its [timeout], request dedup keeps a retried SET from
+          executing twice, and abandoned datagrams surface as
+          [rdp_gave_up] — counted, never silent *)
   seed : int64;
 }
 
@@ -58,6 +65,10 @@ type stats = {
   lost : int;
   late : int;
   retried : int;
+  rdp_retransmits : int;  (** client-link RDP retransmissions ([rdp] only) *)
+  rdp_gave_up : int;
+      (** datagrams the client links abandoned after retry exhaustion —
+          accounted loss, subtracted by the silent-loss checks *)
   latency : Obs.Metrics.summary;  (** per-op round trip, cycles *)
   duration : Sim.Engine.time;
   goodput_kops : float;

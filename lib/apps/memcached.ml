@@ -49,6 +49,26 @@ let parse_request payload =
         | None -> None)
     | _ -> None
 
+(* The per-request work shared by both datapaths: hashing delay, then
+   the sharded-store lookup/update under its lock. *)
+let handle api ~store req =
+  Libos.Api.delay api request_work_cycles;
+  match req with
+  | `Get key ->
+      let s = shard_of key in
+      let v =
+        Sim.Lock.with_lock store.locks.(s) (fun () ->
+            Hashtbl.find_opt store.tables.(s) key)
+      in
+      (match v with
+      | Some v -> "V" ^ v
+      | None -> "N")
+  | `Set (key, value) ->
+      let s = shard_of key in
+      Sim.Lock.with_lock store.locks.(s) (fun () ->
+          Hashtbl.replace store.tables.(s) key value);
+      "O"
+
 let worker api ~store fd () =
   let rec loop () =
     (* memcached is libevent-driven: each request costs an event-loop
@@ -62,42 +82,58 @@ let worker api ~store fd () =
         (match parse_request payload with
         | None -> ()
         | Some req ->
-            Libos.Api.delay api request_work_cycles;
-            let reply =
-              match req with
-              | `Get key ->
-                  let s = shard_of key in
-                  let v =
-                    Sim.Lock.with_lock store.locks.(s) (fun () ->
-                        Hashtbl.find_opt store.tables.(s) key)
-                  in
-                  (match v with
-                  | Some v -> "V" ^ v
-                  | None -> "N")
-              | `Set (key, value) ->
-                  let s = shard_of key in
-                  Sim.Lock.with_lock store.locks.(s) (fun () ->
-                      Hashtbl.replace store.tables.(s) key value);
-                  "O"
-            in
+            let reply = handle api ~store req in
             ignore (api.Libos.Api.sendto fd (Bytes.of_string reply) src));
         loop ()
   in
   loop ()
 
-let server api ~server_threads () =
+(* RDP worker: all threads share one reliable-datagram endpoint, whose
+   engine deduplicates retransmitted requests (an op retried by the
+   link must not run its SET twice) and retransmits replies the wire
+   eats. *)
+let rdp_worker api ~store link () =
+  let rec loop () =
+    match Rdp_link.recv link with
+    | None -> ()
+    | Some (payload, src) ->
+        (match parse_request payload with
+        | None -> ()
+        | Some req ->
+            let reply = handle api ~store req in
+            Rdp_link.send link (Bytes.of_string reply) src);
+        loop ()
+  in
+  loop ()
+
+let server ?(rdp = false) api ~server_threads () =
   let store = make_store () in
-  let fd = api.Libos.Api.udp_socket () in
-  (match api.Libos.Api.bind fd (Packet.Addr.Ip.of_repr "10.0.0.1", port) with
-  | Ok () -> ()
-  | Error e ->
-      failwith (Format.asprintf "memcached bind: %a" Abi.Errno.pp e));
-  for i = 1 to server_threads - 1 do
-    api.Libos.Api.spawn
-      ~name:(Printf.sprintf "memcached-worker%d" i)
-      (fun api -> worker api ~store fd ())
-  done;
-  worker api ~store fd ()
+  if rdp then begin
+    let link = Rdp_link.create ~name:"rdp.server" api in
+    (match Rdp_link.bind link (Packet.Addr.Ip.of_repr "10.0.0.1", port) with
+    | Ok () -> ()
+    | Error e ->
+        failwith (Format.asprintf "memcached bind: %a" Abi.Errno.pp e));
+    for i = 1 to server_threads - 1 do
+      api.Libos.Api.spawn
+        ~name:(Printf.sprintf "memcached-worker%d" i)
+        (fun api -> rdp_worker api ~store link ())
+    done;
+    rdp_worker api ~store link ()
+  end
+  else begin
+    let fd = api.Libos.Api.udp_socket () in
+    (match api.Libos.Api.bind fd (Packet.Addr.Ip.of_repr "10.0.0.1", port) with
+    | Ok () -> ()
+    | Error e ->
+        failwith (Format.asprintf "memcached bind: %a" Abi.Errno.pp e));
+    for i = 1 to server_threads - 1 do
+      api.Libos.Api.spawn
+        ~name:(Printf.sprintf "memcached-worker%d" i)
+        (fun api -> worker api ~store fd ())
+    done;
+    worker api ~store fd ()
+  end
 
 (* One memaslap connection: closed loop with timeout-based retry (UDP
    may drop under overload). *)

@@ -29,11 +29,18 @@ val set_request : string -> string -> Bytes.t
 (** Wire format builders (['G' ^ key] and ['S' ^ key ^ '\x00' ^ value]),
     shared with {!Loadgen} so both generators speak the same protocol. *)
 
-val server : Libos.Api.t -> server_threads:int -> unit -> unit
+val server : ?rdp:bool -> Libos.Api.t -> server_threads:int -> unit -> unit
 (** The server half alone: binds UDP [port] on 10.0.0.1, spawns
     [server_threads - 1] workers and serves on the calling fiber
     forever.  Exposed so {!Loadgen} (and [rakis_run memcached]) can
-    drive it with their own load shapes. *)
+    drive it with their own load shapes.
+
+    [rdp] (default [false]) serves over {!Netstack.Rdp} reliable
+    datagrams instead of raw UDP: all threads share one
+    {!Rdp_link}, whose engine deduplicates retransmitted requests (a
+    SET retried by the client's link must not execute twice) and
+    retransmits replies the wire eats.  Pair with
+    {!Loadgen.config.rdp}. *)
 
 val run :
   ?client_threads:int ->

@@ -14,22 +14,37 @@ type result = {
   datagrams : int;  (** round trips attempted *)
   echoed : int;  (** round trips completed *)
   shed : int;
-      (** server-side {e accounted} refusals (overload sheds + counted
-          drop streams); [datagrams - echoed - shed > 0] means silent
+      (** server-side {e accounted} refusals excluding wire faults
+          (overload sheds + non-wire counted drop streams);
+          [datagrams - echoed - shed - wire_dropped > 0] means silent
           loss.  [0] for non-RAKIS baselines. *)
+  wire_dropped : int;
+      (** accounted wire-fault losses (drop / truncate / runt / giant
+          under a {!Hostos.Nic} link-fault plan) — the middle leg of
+          the tri-state loss split: explicit shed, accounted wire
+          drop, silent loss.  Only the last one is a bug. *)
   flows : int;  (** concurrent closed-loop client flows *)
   payload_size : int;
   duration : Sim.Engine.time;  (** first send to last echo *)
   round_trips_per_sec : float;
   rtt_p50 : int;  (** median round-trip cycles (log2-bucket resolution) *)
   rtt_p99 : int;  (** 99th-percentile round-trip cycles *)
+  rdp : bool;  (** round trips rode {!Netstack.Rdp} *)
+  rdp_retransmits : int;  (** RDP retransmissions across all endpoints *)
+  rdp_gave_up : int;
+      (** datagrams RDP abandoned after retry exhaustion (accounted) *)
   shards : Shards.report option;
       (** per-shard exit accounting ([None] for non-RAKIS baselines);
           {!run} fails on a silently idle shard (see {!Shards}) *)
 }
 
 val run :
-  ?flows:int -> Harness.t -> datagrams:int -> payload_size:int -> result
+  ?flows:int ->
+  ?rdp:bool ->
+  Harness.t ->
+  datagrams:int ->
+  payload_size:int ->
+  result
 (** [flows] (default 1) concurrent closed-loop clients split the
     [datagrams] budget.  Multi-flow clients bind deterministic source
     ports picked by {!Shards.spread_ports} so RSS spreads them uniformly
@@ -39,7 +54,12 @@ val run :
     Round trips are sequence-tagged and each waits a bounded 2 ms: a
     shed echo costs one timeout, not the flow (stale echoes of
     given-up round trips are drained, never credited).  Compare
-    [echoed + shed] against [datagrams] to separate accounted
-    shedding from silent loss. *)
+    [echoed + shed + wire_dropped] against [datagrams] to separate
+    accounted shedding and wire-fault loss from silent loss.
+
+    [rdp] (default [false]) runs both ends over {!Netstack.Rdp}
+    reliable datagrams: under a lossy wire plan, retransmission
+    recovers most round trips and whatever it abandons shows up as
+    [rdp_gave_up] — counted, never silent. *)
 
 val pp_result : Format.formatter -> result -> unit

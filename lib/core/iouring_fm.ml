@@ -79,7 +79,7 @@ type t = {
   cqe_strays : Obs.Metrics.counter;
   sync_wait_cycles : Obs.Metrics.histogram; (* submit->complete, cycles *)
   retry_limit : int;
-  backoff : Backoff.t;
+  backoff : Sim.Backoff.t;
   retries : Obs.Metrics.counter;
   retry_success : Obs.Metrics.counter;
   retry_exhausted : Obs.Metrics.counter;
@@ -195,7 +195,7 @@ let create ?obs ?(name = "uring") ~enclave ~config ~fd ~uring ~bounce
           (* Seeded by the FM's name, not a global counter: replayed
              campaign runs create FMs in the same order with the same
              names, so retry timing is reproducible bit-for-bit. *)
-          Backoff.create
+          Sim.Backoff.create
             ~seed:(Int64.of_int (Hashtbl.hash name))
             ~base:config.Config.backoff_base ~cap:config.Config.backoff_cap ();
         retries = Obs.Metrics.counter m (name ^ ".retries");
@@ -623,13 +623,13 @@ let submit_wait t sqe ~expected_max =
     | Error e when Abi.Errno.is_transient e ->
         if n >= limit then begin
           Obs.Metrics.incr t.retry_exhausted;
-          Backoff.reset t.backoff;
+          Sim.Backoff.reset t.backoff;
           Error Abi.Errno.ETIMEDOUT
         end
         else begin
           Obs.Metrics.incr t.retries;
           t.kick ();
-          Sim.Engine.delay (Backoff.next t.backoff);
+          Sim.Engine.delay (Sim.Backoff.next t.backoff);
           attempt (n + 1)
         end
     | r ->
@@ -637,7 +637,7 @@ let submit_wait t sqe ~expected_max =
           (match r with
           | Ok _ -> Obs.Metrics.incr t.retry_success
           | Error _ -> ());
-          Backoff.reset t.backoff
+          Sim.Backoff.reset t.backoff
         end;
         r
   in

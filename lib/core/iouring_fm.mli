@@ -141,7 +141,7 @@ val cqe_rejects : t -> int
 val retries : t -> int
 (** Transient-failure retries taken (["<name>.retries"]).  Every
     synchronous operation retries [config.retry_limit] times with
-    {!Backoff} before reporting [ETIMEDOUT] (DESIGN.md §8). *)
+    {!Sim.Backoff} before reporting [ETIMEDOUT] (DESIGN.md §8). *)
 
 val retry_successes : t -> int
 (** Operations that succeeded only after at least one retry. *)

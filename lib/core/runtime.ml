@@ -371,7 +371,8 @@ let boot kernel ~sgx ?(config = Config.default) () =
          RSS pins them to queue 0, so only shard 0 ever hears replies —
          a private per-shard cache would deadlock resolution. *)
       let shared_arp =
-        if sharded then Some (Netstack.Arp_cache.create engine ()) else None
+        if sharded then Some (Netstack.Arp_cache.create ~obs engine ())
+        else None
       in
       (* Build each shard's stack, Monitor and FMs.  With one queue the
          instance names collapse to the historical ones ("stack", "mm",
@@ -527,7 +528,11 @@ let boot kernel ~sgx ?(config = Config.default) () =
             t.shards;
           (* NIC queue q -> shard (q mod S); within the shard, queue q ->
              XSK ((q / S) mod num_xsks).  With S = 1 this is the
-             historical q mod num_xsks mapping. *)
+             historical q mod num_xsks mapping.  Both NICs learn the
+             layout so shard-pinned wire faults fold receive queues onto
+             datapath shards the same way. *)
+          Hostos.Nic.set_shards nic num_queues;
+          Hostos.Nic.set_shards (Hostos.Kernel.nic kernel 1) num_queues;
           for q = 0 to nic_queues - 1 do
             let shard = t.shards.(q mod num_queues) in
             let num_xsks = Array.length shard.sh_xsks in
@@ -975,16 +980,27 @@ let total_fill_throttles t =
       + Array.fold_left (fun acc fm -> acc + Xsk_fm.fill_throttles fm) 0 sh.sh_fms)
     0 t.shards
 
+(* Frames the injected wire faults destroyed in flight, either link
+   direction.  A truncated frame is double-booked (once here, once as
+   the parse-reject it becomes downstream); the accounting gates are
+   one-sided inequalities, so over-counting is safe where an uncounted
+   loss would not be. *)
+let total_wire_losses t =
+  Hostos.Nic.wire_losses (Hostos.Kernel.nic t.kernel 0)
+  + Hostos.Nic.wire_losses (Hostos.Kernel.nic t.kernel 1)
+
 (* Datagrams that died with an accounting trail, runtime-wide: netstack
    drop counters (bad packets, queue-full, overload sheds), NIC edge
-   drops, and descriptor/ring rejects.  The soak harness checks every
-   client-side loss against this total — silent loss means a datagram
-   vanished with {e no} counter anywhere, which is a soak failure. *)
+   drops, wire-fault losses, and descriptor/ring rejects.  The soak
+   harness checks every client-side loss against this total — silent
+   loss means a datagram vanished with {e no} counter anywhere, which is
+   a soak failure. *)
 let total_accounted_drops t =
   Array.fold_left
     (fun acc sh -> acc + Netstack.Stack.rx_dropped sh.sh_stack)
     0 t.shards
   + total_edge_drops t + total_desc_rejects t + total_ring_check_failures t
+  + total_wire_losses t
 
 let shard_stack t k = t.shards.(k).sh_stack
 

@@ -167,11 +167,15 @@ val total_edge_drops : t -> int
 val total_fill_throttles : t -> int
 (** Refill iterations clamped by the overload edge throttle. *)
 
+val total_wire_losses : t -> int
+(** Frames the injected wire faults destroyed in flight on either link
+    direction (drop + trunc + runt + giant), summed over both NICs. *)
+
 val total_accounted_drops : t -> int
 (** Every datagram death that left an accounting trail: netstack drop
-    counters (including overload sheds), NIC edge drops, and
-    descriptor/ring rejects.  The soak harness requires every
-    client-observed loss to be covered by this total. *)
+    counters (including overload sheds), NIC edge drops, wire-fault
+    losses, and descriptor/ring rejects.  The soak harness requires
+    every client-observed loss to be covered by this total. *)
 
 (** {1 Degraded mode (DESIGN.md §9)} *)
 

@@ -21,7 +21,7 @@ type t = {
   mutable kick : unit -> unit;
   mutable renudge : unit -> unit; (* forced TX wakeup via the MM *)
   mutable republish : unit -> unit; (* OCALL: kernel re-enter + republish *)
-  backoff : Backoff.t;
+  backoff : Sim.Backoff.t;
   (* Persistence detection for quarantine-and-reinit: [failure_mark] is
      the ring-failure count last iteration; [failure_base] rebases on
      every clean iteration so only uninterrupted runs of failures reach
@@ -186,7 +186,7 @@ let create ?obs ?(name = "xsk") ~enclave ~config ~stack ~fd ~xsk () =
         renudge = (fun () -> ());
         republish = (fun () -> ());
         backoff =
-          Backoff.create
+          Sim.Backoff.create
             ~seed:(Int64.of_int (Hashtbl.hash name))
             ~base:config.Config.backoff_base ~cap:config.Config.backoff_cap ();
         failure_mark = 0;
@@ -621,7 +621,7 @@ let transmit t frame =
   end
   else begin
     reap_completions t;
-    Backoff.reset t.backoff;
+    Sim.Backoff.reset t.backoff;
     let rec acquire tries =
       match Umem.alloc t.umem with
       | Some offset -> Some offset
@@ -631,7 +631,7 @@ let transmit t frame =
              in-flight sends complete (a stalled NIC holds frames for
              whole stall windows — fixed short sleeps just burn the
              window polling). *)
-          Sim.Engine.delay (Backoff.next t.backoff);
+          Sim.Engine.delay (Sim.Backoff.next t.backoff);
           reap_completions t;
           acquire (tries - 1)
     in

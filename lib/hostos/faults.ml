@@ -7,6 +7,13 @@ type fault =
   | Nic_stall
   | Monitor_crash
   | Monitor_hang
+  | Wire_drop
+  | Wire_dup
+  | Wire_reorder
+  | Wire_delay
+  | Wire_trunc
+  | Wire_runt
+  | Wire_giant
 
 type trigger =
   | Probability of float
@@ -31,6 +38,13 @@ let all_faults =
     Nic_stall;
     Monitor_crash;
     Monitor_hang;
+    Wire_drop;
+    Wire_dup;
+    Wire_reorder;
+    Wire_delay;
+    Wire_trunc;
+    Wire_runt;
+    Wire_giant;
   ]
 
 let fault_name = function
@@ -42,6 +56,13 @@ let fault_name = function
   | Nic_stall -> "nic-stall"
   | Monitor_crash -> "monitor-crash"
   | Monitor_hang -> "monitor-hang"
+  | Wire_drop -> "wire-drop"
+  | Wire_dup -> "wire-dup"
+  | Wire_reorder -> "wire-reorder"
+  | Wire_delay -> "wire-delay"
+  | Wire_trunc -> "wire-trunc"
+  | Wire_runt -> "wire-runt"
+  | Wire_giant -> "wire-giant"
 
 let fault_index = function
   | Transient_errno -> 0
@@ -52,6 +73,13 @@ let fault_index = function
   | Nic_stall -> 5
   | Monitor_crash -> 6
   | Monitor_hang -> 7
+  | Wire_drop -> 8
+  | Wire_dup -> 9
+  | Wire_reorder -> 10
+  | Wire_delay -> 11
+  | Wire_trunc -> 12
+  | Wire_runt -> 13
+  | Wire_giant -> 14
 
 type t = {
   rng : Sim.Rng.t;

@@ -36,6 +36,25 @@ type fault =
   | Monitor_hang
       (** the Monitor thread freezes for
           {!Sgx.Params.fault_monitor_hang} cycles *)
+  | Wire_drop  (** the link loses the frame in flight (counted: the NIC
+          books it under [nic.<id>.wire.drop], which rolls up into
+          {!Nic.wire_losses} and the runtime's accounted-drop total) *)
+  | Wire_dup  (** the link delivers the frame twice *)
+  | Wire_reorder
+      (** bounded reorder: the frame is held back and delivered after
+          the next frame on the link (or after
+          {!Sgx.Params.fault_wire_reorder_flush} cycles if the link
+          goes idle — a held frame is never silently lost) *)
+  | Wire_delay
+      (** the frame arrives {!Sgx.Params.fault_wire_delay} cycles late,
+          without blocking frames behind it *)
+  | Wire_trunc
+      (** the frame is cut to a random shorter length (>= 1 byte): a
+          CRC-style mid-frame loss the parsers must reject *)
+  | Wire_runt  (** the frame is cut below the 14-byte Ethernet header *)
+  | Wire_giant
+      (** the frame grows a garbage tail past the UMem frame size, so
+          the receive edge must refuse it as oversize *)
 
 (** When an armed fault fires (same semantics as {!Malice}'s triggers). *)
 type trigger =

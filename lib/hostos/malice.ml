@@ -13,6 +13,9 @@ type attack =
   | Forged_early_notif
   | Dropped_notif
   | Double_notif
+  | Replay
+  | Reorder_burst
+  | Fragment_storm
 
 type trigger =
   | Probability of float
@@ -38,6 +41,9 @@ let all_attacks =
     Forged_early_notif;
     Dropped_notif;
     Double_notif;
+    Replay;
+    Reorder_burst;
+    Fragment_storm;
   ]
 
 let attack_name = function
@@ -55,6 +61,9 @@ let attack_name = function
   | Forged_early_notif -> "forged-early-notif"
   | Dropped_notif -> "dropped-notif"
   | Double_notif -> "double-notif"
+  | Replay -> "replay"
+  | Reorder_burst -> "reorder-burst"
+  | Fragment_storm -> "fragment-storm"
 
 let attack_index = function
   | Prod_overshoot -> 0
@@ -71,6 +80,9 @@ let attack_index = function
   | Forged_early_notif -> 11
   | Dropped_notif -> 12
   | Double_notif -> 13
+  | Replay -> 14
+  | Reorder_burst -> 15
+  | Fragment_storm -> 16
 
 type t = {
   rng : Sim.Rng.t;

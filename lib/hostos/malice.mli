@@ -29,7 +29,17 @@
       must refuse it); a withheld notif starves the registered-frame
       pool (availability, like a withheld wakeup — degrades to the copy
       path, never corrupts); a duplicated notif tries to double-free a
-      frame (refused as a stray CQE).
+      frame (refused as a stray CQE);
+    - wire attacks ([Replay], [Reorder_burst], [Fragment_storm]) are the
+      host re-presenting traffic it legitimately saw: a retained frame
+      re-injected later (tests idempotence and the RDP dedup window), a
+      window of frames released in reverse order (a burstier cousin of
+      the link's bounded [Wire_reorder] fault), and a valid datagram
+      exploded into an IPv4 fragment volley with adversarial overlap —
+      aimed squarely at the enclave's reassembly quotas (DESIGN.md §16).
+      Like [Corrupt_packet], these tamper with user data the Table 2
+      checks deliberately leave to the application layer: the enclave
+      must stay safe and accounted, not detect them.
 
     Beyond always-on/probabilistic arming, the Testing Module's campaign
     engine installs {e schedules}: fire exactly once, fire at a given
@@ -53,6 +63,9 @@ type attack =
   | Forged_early_notif
   | Dropped_notif
   | Double_notif
+  | Replay
+  | Reorder_burst
+  | Fragment_storm
 
 type t
 

@@ -10,6 +10,15 @@ type t = {
   mutable peer : t option;
   faults : Faults.t option ref;
   key : string; (* stats key prefix *)
+  (* Datapath shards the receive queues fold onto (queue q -> shard
+     q mod shards): the context shard-pinned wire-fault armings match
+     against.  Defaults to the queue count (identity) until the runtime
+     announces its shard layout. *)
+  mutable shards : int;
+  (* Bounded-reorder holdback: at most one in-flight frame waiting to be
+     overtaken by its successor (or flushed by timer). *)
+  mutable held : Bytes.t option;
+  mutable held_gen : int;
 }
 
 let stats t = Sim.Engine.stats t.engine
@@ -54,6 +63,112 @@ let deliver t frame =
 
 let udp_rx_per_queue t = Array.copy t.udp_rx
 
+let set_shards t shards =
+  if shards <= 0 then invalid_arg "Nic.set_shards: need at least one shard";
+  t.shards <- shards
+
+(* {2 Link faults}
+
+   The wire itself turning hostile: loss, duplication, bounded reorder,
+   delay and length corruption, rolled per frame on the transmit side
+   with the shard context of the {e receiving} queue.  RSS is a
+   symmetric Toeplitz hash, so a flow and its reverse steer to the same
+   queue and a shard-pinned wire fault stays contained to that shard's
+   traffic in both directions.  Every lossy outcome is counted under
+   [nic.<id>.wire.<fault>] — the wire never makes a frame disappear
+   without an accounting trail. *)
+
+let wire_count t fault = Sim.Stats.incr (stats t) (t.key ^ ".wire." ^ fault)
+
+(* Frames the wire destroyed outright or corrupted beyond parsing: the
+   accounted-loss contribution of this NIC's transmit side. *)
+let wire_losses t =
+  let get f = Sim.Stats.get (stats t) (t.key ^ ".wire." ^ f) in
+  get "drop" + get "trunc" + get "runt" + get "giant"
+
+let wire_shard t peer frame = Some (steer peer frame mod t.shards)
+
+let roll_wire t ?shard fault =
+  match !(t.faults) with
+  | Some f when Faults.roll ?shard !(t.faults) fault ->
+      Faults.record f fault;
+      true
+  | _ -> false
+
+(* Deliver a frame that reached the far end of the link, releasing any
+   reorder-held predecessor behind it (the overtake). *)
+let rec arrive t peer frame =
+  deliver peer frame;
+  flush_held t
+
+and flush_held t =
+  match (t.held, t.peer) with
+  | Some f, Some peer ->
+      t.held <- None;
+      t.held_gen <- t.held_gen + 1;
+      arrive t peer f
+  | Some _, None -> t.held <- None
+  | None, _ -> ()
+
+(* Length corruption: truncate mid-payload, cut below the Ethernet
+   header, or grow a garbage tail past the receiver's frame budget. *)
+let corrupt_length t ?shard frame =
+  let rng f = Sim.Rng.int (Faults.rng f) in
+  match !(t.faults) with
+  | Some f when Bytes.length frame > 1 && roll_wire t ?shard Faults.Wire_trunc
+    ->
+      wire_count t "trunc";
+      Bytes.sub frame 0 (1 + rng f (Bytes.length frame - 1))
+  | Some f when roll_wire t ?shard Faults.Wire_runt ->
+      wire_count t "runt";
+      Bytes.sub frame 0 (min (Bytes.length frame) (rng f Packet.Eth.header_size))
+  | Some f when roll_wire t ?shard Faults.Wire_giant ->
+      wire_count t "giant";
+      let tail = Sgx.Params.umem_frame_size + 64 + rng f 256 in
+      let g = Bytes.make tail '\000' in
+      Sim.Rng.fill_bytes (Faults.rng f) g;
+      Bytes.cat frame g
+  | _ -> frame
+
+let wire_transmit t peer frame =
+  let shard = wire_shard t peer frame in
+  if roll_wire t ?shard Faults.Wire_drop then begin
+    wire_count t "drop";
+    (* The dropped frame cannot overtake the held one anymore; let the
+       flush timer release it. *)
+    ()
+  end
+  else begin
+    let frame = corrupt_length t ?shard frame in
+    let copies =
+      if roll_wire t ?shard Faults.Wire_dup then begin
+        wire_count t "dup";
+        2
+      end
+      else 1
+    in
+    for _ = 1 to copies do
+      if roll_wire t ?shard Faults.Wire_delay then begin
+        wire_count t "delay";
+        Sim.Engine.at t.engine
+          (Int64.add (Sim.Engine.now t.engine) Sgx.Params.fault_wire_delay)
+          (fun () -> arrive t peer frame)
+      end
+      else if t.held = None && roll_wire t ?shard Faults.Wire_reorder then begin
+        wire_count t "reorder";
+        t.held <- Some frame;
+        let gen = t.held_gen in
+        (* Bounded in time as well as distance: if no successor overtakes
+           the held frame, the link delivers it anyway. *)
+        Sim.Engine.at t.engine
+          (Int64.add (Sim.Engine.now t.engine)
+             Sgx.Params.fault_wire_reorder_flush)
+          (fun () -> if t.held_gen = gen then flush_held t)
+      end
+      else arrive t peer frame
+    done
+  end
+
 (* The transmit process: serialize frames at the link rate and deliver
    them to the wired peer. *)
 let tx_process t () =
@@ -73,7 +188,9 @@ let tx_process t () =
     in
     Sim.Engine.delay wire_cycles;
     Sim.Stats.incr (stats t) (t.key ^ ".tx");
-    (match t.peer with Some peer -> deliver peer frame | None -> ());
+    (match t.peer with
+    | Some peer -> wire_transmit t peer frame
+    | None -> ());
     loop ()
   in
   loop ()
@@ -105,6 +222,9 @@ let create ?(faults = ref None) engine ~id ~mac ~ip ~queues =
       peer = None;
       faults;
       key = Printf.sprintf "nic.%d" id;
+      shards = queues;
+      held = None;
+      held_gen = 0;
     }
   in
   Sim.Engine.spawn engine ~name:(Printf.sprintf "nic%d-tx" id) (tx_process t);

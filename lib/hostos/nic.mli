@@ -10,7 +10,19 @@
 
     Each receive queue runs its own handler process ("softirq"): the
     handler installed by the kernel may block and charge cycles without
-    stalling the wire. *)
+    stalling the wire.
+
+    The link between the two interfaces can turn hostile: the shared
+    {!Faults} injector drives seeded wire faults per transmitted frame —
+    loss ([Wire_drop]), duplication ([Wire_dup]), bounded reorder
+    ([Wire_reorder], overtaken by at most one successor or flushed by
+    timer), added latency ([Wire_delay]) and length corruption
+    ([Wire_trunc]/[Wire_runt]/[Wire_giant]).  Each injection is counted
+    under ["nic.<id>.wire.<fault>"], and the destructive ones roll up
+    into {!wire_losses} so no frame the wire destroys can ever read as
+    silent loss.  Shard-pinned armings ("#k") match the datapath shard
+    of the {e receiving} queue; RSS hashing is symmetric, so a pinned
+    fault tracks one shard's flows in both directions. *)
 
 type t
 
@@ -68,3 +80,13 @@ val tx_pending : t -> int
 (** Frames awaiting wire serialization in the transmit queue. *)
 
 val drops : t -> int
+
+val set_shards : t -> int -> unit
+(** Announce the datapath shard count: receive queue [q] belongs to
+    shard [q mod shards], the context shard-pinned wire-fault armings
+    match against.  Defaults to the queue count (identity mapping). *)
+
+val wire_losses : t -> int
+(** Frames this interface's transmit side lost or corrupted to injected
+    wire faults (drop + trunc + runt + giant) — the wire's contribution
+    to the runtime's accounted-drop total. *)

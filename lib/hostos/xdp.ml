@@ -34,6 +34,11 @@ type xsk = {
   (* Which datapath shard this XSK serves — the context shard-pinned
      Malice armings match against.  None until the runtime attaches. *)
   mutable shard : int option;
+  (* Wire-attack state: the last frame legitimately seen (Replay
+     re-presents it) and the window a Reorder_burst is holding back. *)
+  mutable replay_stash : Bytes.t option;
+  mutable burst_hold : Bytes.t list;
+  mutable burst_gen : int;
 }
 
 type t = {
@@ -75,6 +80,9 @@ let create_xsk t ~alloc ~umem_size ~frame_size ~ring_size =
     rx_drop_bad_fill = 0;
     tx_sent = 0;
     shard = None;
+    replay_stash = None;
+    burst_hold = [];
+    burst_gen = 0;
   }
 
 let xsk_id x = x.id
@@ -286,16 +294,105 @@ let tx_worker t x () =
   in
   loop ()
 
+(* --- Hostile wire: Malice re-presenting traffic it legitimately saw
+   (the [Replay]/[Reorder_burst]/[Fragment_storm] attacks).  The host
+   owns the NIC rx path, so before the XDP program even sees a frame it
+   can replay an old one, hold a window back and release it reversed, or
+   explode a datagram into an adversarial IPv4 fragment volley. *)
+
+(* Build the fragment-storm volley from a valid IPv4 frame: ident churn,
+   overlapping 8-aligned offsets, random slice lengths — aimed at the
+   enclave reassembler's quotas and overlap (teardrop) rejection.
+   Non-IPv4 or unparseable frames yield no volley. *)
+let storm_fragments rng frame =
+  match Packet.Eth.parse frame with
+  | Error _ -> []
+  | Ok eth -> (
+      match eth.Packet.Eth.ethertype with
+      | Packet.Eth.Arp | Packet.Eth.Unknown _ -> []
+      | Packet.Eth.Ipv4 -> (
+          match Packet.Ipv4.parse_fragment eth.Packet.Eth.payload with
+          | Error _ -> []
+          | Ok { Packet.Ipv4.packet; _ } ->
+              let n = 4 + Sim.Rng.int rng 5 in
+              List.init n (fun _ ->
+                  let ident =
+                    (* Mostly the victim datagram's ident (to poison its
+                       reassembly), sometimes fresh (to fill quotas). *)
+                    if Sim.Rng.int rng 4 = 0 then Sim.Rng.int rng 0x10000
+                    else packet.Packet.Ipv4.ident
+                  in
+                  let frag_offset = 8 * Sim.Rng.int rng 64 in
+                  let len = 8 * (1 + Sim.Rng.int rng 8) in
+                  let payload = Bytes.init len (fun _ -> Sim.Rng.byte rng) in
+                  let more = Sim.Rng.int rng 2 = 0 in
+                  Packet.Eth.build
+                    {
+                      eth with
+                      Packet.Eth.payload =
+                        Packet.Ipv4.build_fragment
+                          { packet with Packet.Ipv4.ident; payload }
+                          ~frag_offset ~more;
+                    })))
+
+let burst_window = 4
+
+(* [burst_hold] is newest-first, so delivering the list as-is IS the
+   reversed release. *)
+let flush_burst x ~deliver =
+  let held = x.burst_hold in
+  x.burst_hold <- [];
+  x.burst_gen <- x.burst_gen + 1;
+  List.iter deliver held
+
+let hostile_rx t x frame ~deliver =
+  match !(t.malice) with
+  | None -> deliver frame
+  | Some m ->
+      if Malice.roll ?shard:x.shard !(t.malice) Fragment_storm then begin
+        (* The volley arrives in addition to the original frame, keeping
+           the attack availability-only for flows that never fragment. *)
+        let volley = storm_fragments (Malice.rng m) frame in
+        if volley <> [] then begin
+          Malice.record m Fragment_storm;
+          List.iter deliver volley
+        end
+      end;
+      (match x.replay_stash with
+      | Some old when Malice.roll ?shard:x.shard !(t.malice) Replay ->
+          Malice.record m Replay;
+          deliver old
+      | _ -> ());
+      x.replay_stash <- Some frame;
+      if Malice.roll ?shard:x.shard !(t.malice) Reorder_burst then begin
+        Malice.record m Reorder_burst;
+        x.burst_hold <- frame :: x.burst_hold;
+        if List.length x.burst_hold >= burst_window then
+          flush_burst x ~deliver
+        else begin
+          (* A held frame with no successors must still arrive — the
+             attack may reorder, never silently lose.  The timer is
+             generation-guarded against a window that already flushed. *)
+          let gen = x.burst_gen in
+          Sim.Engine.at x.engine
+            (Int64.add (Sim.Engine.now x.engine)
+               Sgx.Params.fault_wire_reorder_flush)
+            (fun () -> if x.burst_gen = gen then flush_burst x ~deliver)
+        end
+      end
+      else deliver frame
+
 let attach t ~nic ~queue ~prog ~xsk ~stack_fallback =
   xsk.transmit <- (fun frame -> Nic.transmit nic frame);
   Sim.Engine.spawn t.engine
     ~name:(Printf.sprintf "xsk%d-tx-worker" xsk.id)
     (tx_worker t xsk);
   Nic.set_rx_handler nic ~queue (fun frame ->
-      match prog frame with
-      | Pass -> stack_fallback frame
-      | Drop -> ()
-      | Redirect -> rx_deliver t xsk frame)
+      hostile_rx t xsk frame ~deliver:(fun frame ->
+          match prog frame with
+          | Pass -> stack_fallback frame
+          | Drop -> ()
+          | Redirect -> rx_deliver t xsk frame))
 
 (* Wakeup syscalls re-enter the kernel, which rewrites the shared ring
    words from its private cursors as a side effect — in a real kernel

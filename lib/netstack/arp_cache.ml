@@ -1,16 +1,90 @@
+(* Bounded LRU neighbour cache.  Entries are learned from untrusted
+   wire traffic, so the table is a fixed-size working set (a hostile
+   peer sweeping source IPs evicts cold entries, it does not grow the
+   enclave heap), and a re-learn that contradicts a live entry keeps
+   the entry and bumps the [arp.conflict] counter — first-learned wins,
+   so one spoofed reply cannot repoint an in-use neighbour.  The single
+   exception is the failover path's broadcast-MAC placeholder
+   (lib/core/runtime.ml): it exists only to unblock resolution waiters
+   while the XSK is dead, so genuine sender information overwrites it
+   and a placeholder never downgrades a real entry. *)
+
+type entry = { mac : Packet.Addr.Mac.t; mutable tick : int }
+
 type t = {
   engine : Sim.Engine.t;
-  table : (int, Packet.Addr.Mac.t) Hashtbl.t;
+  capacity : int;
+  table : (int, entry) Hashtbl.t;
+  mutable clock : int;  (* LRU clock: bumped on every hit and learn *)
+  conflicts : Obs.Metrics.counter;
+  evictions : Obs.Metrics.counter;
   updated : Sim.Condition.t;
 }
 
-let create engine () =
-  { engine; table = Hashtbl.create 8; updated = Sim.Condition.create () }
+let create ?obs ?(capacity = Sgx.Params.arp_cache_capacity) engine () =
+  let metrics =
+    match obs with Some o -> Obs.metrics o | None -> Obs.Metrics.create ()
+  in
+  {
+    engine;
+    capacity = max 1 capacity;
+    table = Hashtbl.create 8;
+    clock = 0;
+    conflicts = Obs.Metrics.counter metrics "arp.conflict";
+    evictions = Obs.Metrics.counter metrics "arp.evicted";
+    updated = Sim.Condition.create ();
+  }
 
-let lookup t ip = Hashtbl.find_opt t.table (Packet.Addr.Ip.to_int ip)
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.tick <- t.clock
+
+let lookup t ip =
+  match Hashtbl.find_opt t.table (Packet.Addr.Ip.to_int ip) with
+  | None -> None
+  | Some e ->
+      touch t e;
+      Some e.mac
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, best) when best.tick <= e.tick -> acc
+        | _ -> Some (k, e))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (k, _) ->
+      Hashtbl.remove t.table k;
+      Obs.Metrics.incr t.evictions
+
+let insert t key mac =
+  if Hashtbl.length t.table >= t.capacity then evict_lru t;
+  t.clock <- t.clock + 1;
+  Hashtbl.add t.table key { mac; tick = t.clock }
+
+let is_placeholder mac = mac = Packet.Addr.Mac.broadcast
 
 let learn t ip mac =
-  Hashtbl.replace t.table (Packet.Addr.Ip.to_int ip) mac;
+  let key = Packet.Addr.Ip.to_int ip in
+  (match Hashtbl.find_opt t.table key with
+  | None -> insert t key mac
+  | Some e when e.mac = mac -> touch t e
+  | Some e when is_placeholder e.mac ->
+      (* real sender information replaces the failover placeholder *)
+      Hashtbl.replace t.table key { mac; tick = e.tick };
+      touch t (Hashtbl.find t.table key)
+  | Some e when is_placeholder mac ->
+      (* a placeholder never downgrades a resolved entry *)
+      touch t e
+  | Some e ->
+      (* contradiction between two live claims: keep the first, count
+         the attempt — silent overwrite is how caches get poisoned *)
+      touch t e;
+      Obs.Metrics.incr t.conflicts);
   Sim.Condition.broadcast t.updated
 
 let resolve t ip ~request =
@@ -39,3 +113,9 @@ let resolve t ip ~request =
   attempt 5
 
 let entries t = Hashtbl.length t.table
+
+let capacity t = t.capacity
+
+let conflicts t = Obs.Metrics.value t.conflicts
+
+let evictions t = Obs.Metrics.value t.evictions

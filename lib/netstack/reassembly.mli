@@ -1,0 +1,46 @@
+(** Bounded IPv4 fragment reassembly (DESIGN.md §16).
+
+    The reassembler sits on the untrusted rx path, so it assumes a
+    hostile wire: fragments may be duplicated (the link's benign
+    [Wire_dup]), reordered, overlapping (teardrop / fragment-storm),
+    oversized, or simply abandoned.  The defense is uniform — small
+    fixed quotas ({!Sgx.Params.reassembly_max_datagrams} open
+    reassemblies, {!Sgx.Params.reassembly_max_per_source} per source
+    IP, {!Sgx.Params.reassembly_max_fragments} slices each), a short
+    timeout ({!Sgx.Params.reassembly_timeout}, enforced lazily on the
+    insert path — no background fiber, so the structure is safe under
+    the fuzzer with a dummy clock), and reject-don't-repair on any
+    inconsistency.  Memory is bounded by construction: the full-size
+    datagram buffer is allocated exactly once, at completion.
+
+    Exact duplicate fragments are absorbed silently; any partial
+    overlap or conflicting final-fragment geometry poisons the whole
+    reassembly (a teardrop must never yield a datagram stitched from
+    attacker-chosen overlaps). *)
+
+type t
+
+type verdict =
+  | Complete of Packet.Ipv4.t
+      (** All bytes present: the reassembled datagram, header fields
+          from the first-seen fragment, payload allocated fresh. *)
+  | Pending  (** Accepted, still missing bytes (or an absorbed dup). *)
+  | Rejected of string
+      (** Refused, with a drop-reason suffix for the owning stack's
+          [drop.<reason>] counter: ["frag-bounds"], ["frag-table-full"],
+          ["frag-src-quota"], ["frag-too-many"], ["frag-overlap"]. *)
+
+val create : ?clock:(unit -> int64) -> unit -> t
+(** [clock] feeds the timeout sweep (pass the engine's [now]; defaults
+    to a frozen clock, i.e. no expiry — what the fuzzer wants). *)
+
+val insert : t -> Packet.Ipv4.fragment -> verdict
+(** Fold one validated fragment in.  Never raises on any fragment
+    {!Packet.Ipv4.parse_fragment} can produce. *)
+
+val active : t -> int
+(** Open (incomplete) reassemblies right now. *)
+
+val expired : t -> int
+(** Reassemblies abandoned by the timeout sweep so far — the owning
+    stack folds this into its accounted-drop totals. *)

@@ -11,6 +11,10 @@ type t = {
   table_lock : Sim.Lock.t;
   sockets : (int, Udp_socket.t) Hashtbl.t;
   arp : Arp_cache.t;
+  reasm : Reassembly.t;
+  (* Reassembly.expired value already folded into our drop counters —
+     the reassembler evicts lazily, so we account the delta per input. *)
+  mutable reasm_expired_seen : int;
   mutable transmit : (Bytes.t -> unit) option;
   (* Overload hooks (DESIGN.md §15), installed by the runtime when
      [Config.overload]: [rx_gate] is consulted with the destination
@@ -40,7 +44,9 @@ let create ?obs ?name ?arp engine ~mac ~ip ?(locking = `Fine) () =
     table_lock = Sim.Lock.create ();
     sockets = Hashtbl.create 16;
     arp =
-      (match arp with Some a -> a | None -> Arp_cache.create engine ());
+      (match arp with Some a -> a | None -> Arp_cache.create ?obs engine ());
+    reasm = Reassembly.create ~clock:(fun () -> Sim.Engine.now engine) ();
+    reasm_expired_seen = 0;
     transmit = None;
     rx_gate = None;
     on_dequeue = None;
@@ -107,28 +113,51 @@ let with_table t f =
 
 let charge_packet () = Sim.Engine.delay !Sgx.Params.enclave_udp_stack_per_packet
 
+let ephemeral_first = 50_000
+
+let ephemeral_last = 65_535
+
 let bind t ~port =
   with_table t (fun () ->
       let port =
         if port = 0 then begin
-          while Hashtbl.mem t.sockets t.next_ephemeral do
-            t.next_ephemeral <- t.next_ephemeral + 1
-          done;
-          t.next_ephemeral
+          (* Ephemeral range [ephemeral_first..ephemeral_last], wrapping
+             at the top; one full lap with no free port is exhaustion,
+             not a march past 65535 into invalid port space.  The cursor
+             stays on the allocated port (it only moves past ports that
+             are still bound), so a bind/unbind cycle re-uses its port —
+             and keeps its RSS steering — like the original allocator. *)
+          let rec scan p tries =
+            if tries = 0 then None
+            else if Hashtbl.mem t.sockets p then
+              scan
+                (if p >= ephemeral_last then ephemeral_first else p + 1)
+                (tries - 1)
+            else begin
+              t.next_ephemeral <- p;
+              Some p
+            end
+          in
+          scan t.next_ephemeral (ephemeral_last - ephemeral_first + 1)
         end
-        else port
+        else Some port
       in
-      if Hashtbl.mem t.sockets port then Error `Port_in_use
-      else begin
-        let sock =
-          Udp_socket.create ~clock:(fun () -> Sim.Engine.now t.engine) ~port ()
-        in
-        (match t.on_dequeue with
-        | Some f -> Udp_socket.set_on_dequeue sock f
-        | None -> ());
-        Hashtbl.add t.sockets port sock;
-        Ok sock
-      end)
+      match port with
+      | None -> Error `Port_in_use
+      | Some port ->
+          if Hashtbl.mem t.sockets port then Error `Port_in_use
+          else begin
+            let sock =
+              Udp_socket.create
+                ~clock:(fun () -> Sim.Engine.now t.engine)
+                ~port ()
+            in
+            (match t.on_dequeue with
+            | Some f -> Udp_socket.set_on_dequeue sock f
+            | None -> ());
+            Hashtbl.add t.sockets port sock;
+            Ok sock
+          end)
 
 let unbind t sock =
   with_table t (fun () -> Hashtbl.remove t.sockets (Udp_socket.port sock))
@@ -236,14 +265,34 @@ let input_borrowed t frame ~len =
                 | Error _ -> drop t "bad-arp"
                 | Ok arp -> handle_arp t arp)
             | Ipv4 -> (
-                match Packet.Ipv4.parse eth.payload with
+                match Packet.Ipv4.parse_fragment eth.payload with
                 | Error _ -> drop t "bad-ip"
-                | Ok ip_pkt ->
+                | Ok frag ->
+                    let ip_pkt = frag.Packet.Ipv4.packet in
                     if not (Packet.Addr.Ip.equal ip_pkt.dst t.ip) then
                       drop t "not-ours"
                     else
-                      (match ip_pkt.proto with
-                      | Udp -> handle_udp t ip_pkt
-                      | Tcp | Icmp | Other _ -> drop t "not-udp"))))
+                      let deliver ip_pkt =
+                        match ip_pkt.Packet.Ipv4.proto with
+                        | Packet.Ipv4.Udp -> handle_udp t ip_pkt
+                        | Tcp | Icmp | Other _ -> drop t "not-udp"
+                      in
+                      if
+                        frag.Packet.Ipv4.more
+                        || frag.Packet.Ipv4.frag_offset <> 0
+                      then begin
+                        (match Reassembly.insert t.reasm frag with
+                        | Reassembly.Complete ip_pkt -> deliver ip_pkt
+                        | Reassembly.Pending -> ()
+                        | Reassembly.Rejected reason -> drop t reason);
+                        (* Reassemblies the lazy sweep abandoned since we
+                           last looked become accounted drops now. *)
+                        let ex = Reassembly.expired t.reasm in
+                        for _ = t.reasm_expired_seen + 1 to ex do
+                          drop t "frag-expired"
+                        done;
+                        t.reasm_expired_seen <- ex
+                      end
+                      else deliver ip_pkt)))
 
 let input t frame = input_borrowed t frame ~len:(Bytes.length frame)

@@ -66,7 +66,9 @@ val set_overload_hooks :
 (** {1 User-thread side} *)
 
 val bind : t -> port:int -> (Udp_socket.t, [ `Port_in_use ]) result
-(** [port] 0 picks an ephemeral port. *)
+(** [port] 0 picks an ephemeral port from [50000..65535], wrapping at
+    the top of the range; [`Port_in_use] is also returned when one full
+    lap finds every ephemeral port taken (exhaustion). *)
 
 val unbind : t -> Udp_socket.t -> unit
 
@@ -84,7 +86,9 @@ val sendto :
 val input : t -> Bytes.t -> unit
 (** Process one layer-2 frame (trusted copy).  Invalid frames at any
     layer are counted and dropped; ARP is answered; UDP lands in the
-    matching socket queue. *)
+    matching socket queue.  IPv4 fragments go through the bounded
+    {!Reassembly} buffer — completed datagrams deliver like any other,
+    refusals and timeouts land in the drop counters (DESIGN.md §16). *)
 
 val input_borrowed : t -> Bytes.t -> len:int -> unit
 (** Like {!input} but the frame occupies the first [len] bytes of a
@@ -104,7 +108,9 @@ val rx_dropped : t -> int
 
 val drop_reasons : t -> (string * int) list
 (** Per-cause drop counters (bad-eth, bad-ip, bad-udp, not-ours,
-    no-socket, queue-full). *)
+    no-socket, queue-full, plus the {!Reassembly} refusals
+    frag-bounds / frag-table-full / frag-src-quota / frag-too-many /
+    frag-overlap / frag-expired). *)
 
 val arp : t -> Arp_cache.t
 

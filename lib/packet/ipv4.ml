@@ -38,14 +38,16 @@ let set_ip b off ip =
 let get_ip b off =
   Addr.Ip.of_int (Int32.to_int (Bytes.get_int32_be b off) land 0xFFFFFFFF)
 
-let build t =
+type fragment = { packet : t; frag_offset : int; more : bool }
+
+let build_with_frag t ~flags_frag =
   let total = header_size + Bytes.length t.payload in
   let b = Bytes.create total in
   Bytes.set_uint8 b 0 0x45 (* version 4, ihl 5 *);
   Bytes.set_uint8 b 1 0 (* dscp/ecn *);
   Bytes.set_uint16_be b 2 total;
   Bytes.set_uint16_be b 4 (t.ident land 0xffff);
-  Bytes.set_uint16_be b 6 0 (* flags/frag: DF not set, offset 0 *);
+  Bytes.set_uint16_be b 6 flags_frag;
   Bytes.set_uint8 b 8 (t.ttl land 0xff);
   Bytes.set_uint8 b 9 (proto_to_int t.proto);
   Bytes.set_uint16_be b 10 0 (* checksum placeholder *);
@@ -55,7 +57,18 @@ let build t =
   Bytes.blit t.payload 0 b header_size (Bytes.length t.payload);
   b
 
-let parse b =
+let build t = build_with_frag t ~flags_frag:0
+
+let build_fragment t ~frag_offset ~more =
+  if frag_offset < 0 || frag_offset mod 8 <> 0 || frag_offset lsr 3 > 0x1fff
+  then invalid_arg "Ipv4.build_fragment: offset must be a multiple of 8";
+  build_with_frag t
+    ~flags_frag:((if more then 0x2000 else 0) lor (frag_offset lsr 3))
+
+(* Shared validation prefix of {!parse} and {!parse_fragment}: everything
+   up to — but not including — the fragmentation and TTL decisions, so
+   both entry points reject malformed headers identically. *)
+let parse_any b =
   let len = Bytes.length b in
   if len < header_size then Error (Truncated len)
   else
@@ -69,27 +82,39 @@ let parse b =
         Error (Bad_total_length (total, len))
       else
         let flags_frag = Bytes.get_uint16_be b 6 in
-        let more_fragments = flags_frag land 0x2000 <> 0 in
-        let frag_offset = flags_frag land 0x1fff in
         let stored = Bytes.get_uint16_be b 10 in
         if not (Checksum.valid b 0 header_size) then
           let b' = Bytes.sub b 0 header_size in
           Bytes.set_uint16_be b' 10 0;
           Error (Bad_checksum (Checksum.compute b' 0 header_size, stored))
-        else if more_fragments || frag_offset <> 0 then Error Fragmented
         else
-          let ttl = Bytes.get_uint8 b 8 in
-          if ttl = 0 then Error Ttl_expired
-          else
-            Ok
-              {
-                src = get_ip b 12;
-                dst = get_ip b 16;
-                proto = proto_of_int (Bytes.get_uint8 b 9);
-                ttl;
-                ident = Bytes.get_uint16_be b 4;
-                payload = Bytes.sub b header_size (total - header_size);
-              }
+          Ok
+            {
+              packet =
+                {
+                  src = get_ip b 12;
+                  dst = get_ip b 16;
+                  proto = proto_of_int (Bytes.get_uint8 b 9);
+                  ttl = Bytes.get_uint8 b 8;
+                  ident = Bytes.get_uint16_be b 4;
+                  payload = Bytes.sub b header_size (total - header_size);
+                };
+              frag_offset = (flags_frag land 0x1fff) * 8;
+              more = flags_frag land 0x2000 <> 0;
+            }
+
+let parse b =
+  match parse_any b with
+  | Error e -> Error e
+  | Ok frag ->
+      if frag.more || frag.frag_offset <> 0 then Error Fragmented
+      else if frag.packet.ttl = 0 then Error Ttl_expired
+      else Ok frag.packet
+
+let parse_fragment b =
+  match parse_any b with
+  | Error e -> Error e
+  | Ok frag -> if frag.packet.ttl = 0 then Error Ttl_expired else Ok frag
 
 let pp_error ppf = function
   | Truncated n -> Format.fprintf ppf "truncated ipv4 packet (%d bytes)" n

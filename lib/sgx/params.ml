@@ -63,6 +63,38 @@ let fault_wakeup_delay = 5_000L
 let fault_nic_stall = 50_000L
 (* Length of one injected NIC transmit stall window. *)
 
+let fault_wire_delay = 20_000L
+(* Extra in-flight latency a Wire_delay fault adds to one frame. *)
+
+let fault_wire_reorder_flush = 30_000L
+(* How long a Wire_reorder fault may hold a frame waiting for a
+   successor to overtake it before the link flushes it anyway — the
+   bound that makes reordering a latency event, never a loss. *)
+
+(* Bounded IPv4 reassembly (DESIGN.md §16).  Every cap is small: the
+   reassembler sits on the untrusted rx path, so a hostile host gets a
+   short, fixed-size window — never a parking lot it can fill. *)
+
+let reassembly_timeout = 2_000_000L
+(* How long an incomplete reassembly may wait for its missing fragments
+   (~0.8 ms at 2.4 GHz): generous against the link's bounded delay and
+   reorder faults, tiny against RFC 791's 15 s. *)
+
+let reassembly_max_datagrams = 64
+(* Concurrent reassemblies across all sources. *)
+
+let reassembly_max_per_source = 8
+(* Concurrent reassemblies any single source IP may hold open. *)
+
+let reassembly_max_fragments = 64
+(* Fragments accepted into one reassembly before it is abandoned. *)
+
+let arp_cache_capacity = 256
+(* Resolved-neighbour entries the in-enclave ARP cache holds before
+   evicting least-recently-used ones: the cache learns from untrusted
+   wire traffic, so it must be a bounded working set, not a host-fed
+   parking lot. *)
+
 let fault_monitor_hang = 400_000L
 (* How long a Monitor_hang fault freezes the MM loop: comfortably past
    watchdog_timeout, so a hang is indistinguishable from a crash. *)

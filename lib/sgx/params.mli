@@ -135,6 +135,42 @@ val fault_wakeup_delay : int64
 val fault_nic_stall : int64
 (** Length of one injected NIC transmit stall window: 50,000 cycles. *)
 
+val fault_wire_delay : int64
+(** Extra in-flight latency a [Wire_delay] fault adds to one frame:
+    20,000 cycles (~8 µs). *)
+
+val fault_wire_reorder_flush : int64
+(** Upper bound on how long a [Wire_reorder] fault may hold a frame
+    waiting to be overtaken before the link delivers it anyway: 30,000
+    cycles.  Reordering is bounded in time as well as distance, so a
+    held frame can never turn into silent loss. *)
+
+(** {1 Bounded IPv4 reassembly (DESIGN.md §16)}
+
+    Every cap is deliberately small: the reassembler sits on the
+    untrusted rx path, so a hostile host gets a short, fixed-size
+    window — never a parking lot it can fill. *)
+
+val reassembly_timeout : int64
+(** How long an incomplete reassembly may wait for its missing
+    fragments: 2,000,000 cycles (~0.8 ms) — generous against the link's
+    bounded delay/reorder faults, tiny against RFC 791's 15 s. *)
+
+val reassembly_max_datagrams : int
+(** Concurrent reassemblies across all sources: 64. *)
+
+val reassembly_max_per_source : int
+(** Concurrent reassemblies any single source IP may hold open: 8. *)
+
+val reassembly_max_fragments : int
+(** Fragments accepted into one reassembly before it is abandoned: 64. *)
+
+val arp_cache_capacity : int
+(** Resolved-neighbour entries the in-enclave ARP cache holds before
+    evicting least-recently-used ones: 256.  The cache learns from
+    untrusted wire traffic, so it is a bounded working set, never a
+    host-fed parking lot. *)
+
 val fault_monitor_hang : int64
 (** How long a [Monitor_hang] fault freezes the MM loop: 400,000 cycles,
     comfortably past {!watchdog_timeout} so a hang is indistinguishable

@@ -1,5 +1,5 @@
 type t = {
-  rng : Sim.Rng.t;
+  rng : Rng.t;
   base : int64;
   cap : int64;
   mutable attempt : int;
@@ -8,7 +8,7 @@ type t = {
 let create ?(seed = 1L) ~base ~cap () =
   if base <= 0L then invalid_arg "Backoff.create: base must be positive";
   if cap < base then invalid_arg "Backoff.create: cap must be >= base";
-  { rng = Sim.Rng.create ~seed; base; cap; attempt = 0 }
+  { rng = Rng.create ~seed; base; cap; attempt = 0 }
 
 let reset t = t.attempt <- 0
 
@@ -29,4 +29,4 @@ let next t =
     if n >= 62 || base > max_int asr n then cap else min cap (base lsl n)
   in
   if expo >= cap then t.cap
-  else Int64.of_int (min cap (expo + Sim.Rng.int t.rng expo))
+  else Int64.of_int (min cap (expo + Rng.int t.rng expo))

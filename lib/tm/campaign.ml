@@ -74,6 +74,9 @@ type outcome = {
   ov_shed : int;  (* accounted data-class sheds *)
   ov_control_shed : int;  (* must stay 0: Control is never shed *)
   ov_edge_drops : int;  (* NIC-edge drops while fill was throttled *)
+  wire : bool;
+      (* the canonical lossy-wire plan ({!wire_plan}) was composed on
+         top of [fault_plan]; token segment [":wire"] *)
   violations : violation list;
   trace_tail : string list;
       (* rendered tail of the runtime's trace ring, captured only on
@@ -88,7 +91,11 @@ let datapath_name = function Xsk -> "xsk" | Iouring -> "io_uring"
    is excluded even then: withholding a notif deterministically leaks
    the lent frame, which {!failed} flags by design ([zc_leaks]) — its
    home is the golden dropped-notif failure test, not the
-   no-violation singles. *)
+   no-violation singles.  The wire attacks (replay, reorder-burst,
+   fragment-storm) fire in the XDP rx hook, so only the XSK datapath
+   carries them. *)
+let wire_attacks = Hostos.Malice.[ Replay; Reorder_burst; Fragment_storm ]
+
 let applicable ?(zerocopy = false) = function
   | Xsk ->
       List.filter
@@ -106,8 +113,9 @@ let applicable ?(zerocopy = false) = function
         Hostos.Malice.all_attacks
   | Iouring ->
       let excluded =
-        if zerocopy then Hostos.Malice.[ Dropped_notif ]
-        else Hostos.Malice.[ Forged_early_notif; Dropped_notif; Double_notif ]
+        (if zerocopy then Hostos.Malice.[ Dropped_notif ]
+         else Hostos.Malice.[ Forged_early_notif; Dropped_notif; Double_notif ])
+        @ wire_attacks
       in
       List.filter
         (fun a -> not (List.mem a excluded))
@@ -406,8 +414,29 @@ let run_iouring_workload ?(zerocopy = false) (h : Apps.Harness.t) st =
 
 (* {1 Running} *)
 
+(* Canonical lossy-wire weather (DESIGN.md §16): the link loses 5% of
+   frames, reorders 5%, duplicates 5% and truncates 1% of them — the
+   hostile wire the reliable-datagram layer ({!Netstack.Rdp}) and the
+   parsers' never-raise contract are built to survive.  Probability
+   triggers so the weather covers the whole run; entries are unpinned
+   so every shard's link is equally bad. *)
+let wire_plan =
+  let p fault probability =
+    {
+      Hostos.Faults.fault;
+      when_ = Hostos.Faults.Probability probability;
+      shard = None;
+    }
+  in
+  [
+    p Hostos.Faults.Wire_drop 0.05;
+    p Hostos.Faults.Wire_reorder 0.05;
+    p Hostos.Faults.Wire_dup 0.05;
+    p Hostos.Faults.Wire_trunc 0.01;
+  ]
+
 let run ~datapath ~seed ?(budget = 64) ?(queues = 1) ?(faults = [])
-    ?(zerocopy = false) ?(overload = false) schedule =
+    ?(zerocopy = false) ?(overload = false) ?(wire = false) schedule =
   match
     Apps.Harness.make Libos.Env.Rakis_sgx
       ~rakis_config:
@@ -425,13 +454,14 @@ let run ~datapath ~seed ?(budget = 64) ?(queues = 1) ?(faults = [])
       (* The fault injector rides the same seed (xored so its RNG stream
          never mirrors the attacker's) and, because a plan may kill the
          Monitor, arms the enclave watchdog alongside it. *)
+      let effective_faults = if wire then faults @ wire_plan else faults in
       let injector =
-        if faults = [] then None
+        if effective_faults = [] then None
         else begin
           let f =
             Hostos.Faults.create ?obs ~seed:(Int64.logxor seed 0x5EEDL) ()
           in
-          Hostos.Faults.install_plan f faults;
+          Hostos.Faults.install_plan f effective_faults;
           Hostos.Kernel.set_faults h.kernel (Some f);
           (match Libos.Env.runtime h.env with
           | Some rt -> Rakis.Runtime.start_watchdog rt
@@ -573,6 +603,7 @@ let run ~datapath ~seed ?(budget = 64) ?(queues = 1) ?(faults = [])
         ov_shed;
         ov_control_shed;
         ov_edge_drops;
+        wire;
         violations = List.rev st.violations;
         trace_tail;
       }
@@ -693,7 +724,8 @@ let repro (o : outcome) =
     else base ^ ":" ^ Hostos.Faults.plan_to_string o.fault_plan
   in
   let token = if o.zerocopy then token ^ ":zc" else token in
-  if o.overload then token ^ ":ov" else token
+  let token = if o.overload then token ^ ":ov" else token in
+  if o.wire then token ^ ":wire" else token
 
 let parse_entry s =
   match String.index_opt s '=' with
@@ -719,7 +751,7 @@ let parse_entry s =
               | None -> Error (Printf.sprintf "bad burst %S" where))))
 
 let parse_repro s =
-  let parse dp seed budget entries fault_part queues zerocopy overload =
+  let parse dp seed budget entries fault_part queues zerocopy overload wire =
     let datapath =
       match dp with
       | "xsk" -> Some Xsk
@@ -748,7 +780,8 @@ let parse_repro s =
                 faults,
                 queues,
                 zerocopy,
-                overload )
+                overload,
+                wire )
         | (Error _ as e), _ -> e
         | _, Error e -> Error e)
     | _ -> Error (Printf.sprintf "bad repro header in %S" s)
@@ -756,9 +789,15 @@ let parse_repro s =
   match String.split_on_char ':' s with
   | dp :: seed :: budget :: entries :: rest -> (
       (* Trailing optional segments strip from the end — a literal
-         ["ov"], then ["zc"], then ["q<n>"] — leaving at most one fault
-         segment.  Anything else in those positions (e.g. ["zc2"])
-         falls through to the fault-plan parser and errors there. *)
+         ["wire"], then ["ov"], then ["zc"], then ["q<n>"] — leaving at
+         most one fault segment.  Anything else in those positions
+         (e.g. ["zc2"]) falls through to the fault-plan parser and
+         errors there. *)
+      let rest, wire =
+        match List.rev rest with
+        | "wire" :: r -> (List.rev r, true)
+        | _ -> (rest, false)
+      in
       let rest, overload =
         match List.rev rest with
         | "ov" :: r -> (List.rev r, true)
@@ -775,21 +814,31 @@ let parse_repro s =
         else None
       in
       match rest with
-      | [] -> parse dp seed budget entries "" 1 zerocopy overload
+      | [] -> parse dp seed budget entries "" 1 zerocopy overload wire
       | [ fault_part ] ->
-          parse dp seed budget entries fault_part 1 zerocopy overload
+          parse dp seed budget entries fault_part 1 zerocopy overload wire
       | [ fault_part; qpart ] -> (
           match qparse qpart with
           | Some q when q >= 1 ->
-              parse dp seed budget entries fault_part q zerocopy overload
+              parse dp seed budget entries fault_part q zerocopy overload wire
           | _ -> Error (Printf.sprintf "bad queue segment %S" qpart))
       | _ -> Error (Printf.sprintf "bad repro string %S" s))
   | _ -> Error (Printf.sprintf "bad repro string %S" s)
 
 let run_repro s =
   Result.map
-    (fun (datapath, seed, budget, schedule, faults, queues, zerocopy, overload)
-       -> run ~datapath ~seed ~budget ~queues ~faults ~zerocopy ~overload schedule)
+    (fun ( datapath,
+           seed,
+           budget,
+           schedule,
+           faults,
+           queues,
+           zerocopy,
+           overload,
+           wire )
+       ->
+      run ~datapath ~seed ~budget ~queues ~faults ~zerocopy ~overload ~wire
+        schedule)
     (parse_repro s)
 
 (* {1 Shrinking a failing campaign} *)
@@ -809,7 +858,8 @@ let shrink_failure (o : outcome) =
   let fails schedule plan =
     failed
       (run ~datapath:o.datapath ~seed:o.seed ~budget:o.budget ~queues:o.queues
-         ~faults:plan ~zerocopy:o.zerocopy ~overload:o.overload schedule)
+         ~faults:plan ~zerocopy:o.zerocopy ~overload:o.overload ~wire:o.wire
+         schedule)
   in
   let r = Shrink.minimize2 ~fails o.schedule o.fault_plan in
   let unpin (e : Hostos.Faults.plan_entry) =
@@ -891,6 +941,9 @@ let pp_outcome ppf (o : outcome) =
     Format.fprintf ppf
       "@,overload: admitted=%d shed=%d control_shed=%d edge_drops=%d"
       o.ov_admitted o.ov_shed o.ov_control_shed o.ov_edge_drops;
+  if o.wire then
+    Format.fprintf ppf
+      "@,wire: canonical lossy plan (5%% drop/reorder/dup, 1%% trunc)";
   if o.trace_tail <> [] then begin
     Format.fprintf ppf "@,last %d trace events before the failure:"
       (List.length o.trace_tail);
@@ -939,6 +992,7 @@ type soak_outcome = {
   sk_breaker_opens : int;
   sk_watchdog_restarts : int;
   sk_stalled : bool;
+  sk_wire : bool;  (* canonical lossy-wire plan composed on the rolling faults *)
   sk_repro : string;
 }
 
@@ -980,7 +1034,7 @@ let soak_crowd_pace = Sim.Cycles.of_us 2.
 let soak_window = Sim.Cycles.of_us 100.
 
 let soak ?(steps = 100_000) ?(queues = 2) ?(seed = 0x50AD5EEDL)
-    ?(slo_p99 = Rakis.Config.default.Rakis.Config.slo_p99) () =
+    ?(slo_p99 = Rakis.Config.default.Rakis.Config.slo_p99) ?(wire = false) () =
   (* A soak-sized machine: the regular campaign's 32-entry rings and
      64-frame UMem are chosen to make ring-protocol attacks bite in few
      steps, but under a flood that tiny UMem is exhausted by design and
@@ -1011,7 +1065,9 @@ let soak ?(steps = 100_000) ?(queues = 2) ?(seed = 0x50AD5EEDL)
       let injector =
         Hostos.Faults.create ?obs ~seed:(Int64.logxor seed 0x5EEDL) ()
       in
-      Hostos.Faults.install_plan injector (rolling_faults ~queues ~budget:steps);
+      Hostos.Faults.install_plan injector
+        (rolling_faults ~queues ~budget:steps
+        @ if wire then wire_plan else []);
       Hostos.Kernel.set_faults h.kernel (Some injector);
       (match Libos.Env.runtime h.env with
       | Some rt -> Rakis.Runtime.start_watchdog rt
@@ -1402,7 +1458,10 @@ let soak ?(steps = 100_000) ?(queues = 2) ?(seed = 0x50AD5EEDL)
             (List.init (Rakis.Runtime.shard_count rt) Fun.id);
         sk_watchdog_restarts = Rakis.Runtime.watchdog_restarts rt;
         sk_stalled = !steps_run < steps;
-        sk_repro = Printf.sprintf "soak:%Ld:%d:q%d" seed steps queues;
+        sk_wire = wire;
+        sk_repro =
+          Printf.sprintf "soak:%Ld:%d:q%d%s" seed steps queues
+            (if wire then ":wire" else "");
       }
 
 (* The soak's SLO gates, in one verdict (mirrored by [tm_verify --soak]

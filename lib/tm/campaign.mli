@@ -88,6 +88,10 @@ type outcome = {
   ov_edge_drops : int;
       (** host-NIC drops while the fill ring was throttled: the flood
           dying at the edge instead of inside the enclave *)
+  wire : bool;
+      (** the canonical lossy-wire plan ({!wire_plan}) was composed on
+          top of [fault_plan]; rendered as a final [":wire"] token
+          segment *)
   violations : violation list;
   trace_tail : string list;
       (** rendered tail (up to 24 events, oldest first) of the
@@ -104,6 +108,7 @@ val run :
   ?faults:Hostos.Faults.plan ->
   ?zerocopy:bool ->
   ?overload:bool ->
+  ?wire:bool ->
   schedule ->
   outcome
 (** Boot a fresh RAKIS-SGX machine, install the schedule, drive
@@ -123,7 +128,19 @@ val run :
     attacks.  [overload] (default false) boots it with
     {!Rakis.Config.overload}: admission control on every shard and the
     io_uring pending table — refusals surface as accounted [EAGAIN]
-    sheds, never silent drops (DESIGN.md §15). *)
+    sheds, never silent drops (DESIGN.md §15).  [wire] (default false)
+    composes the canonical lossy-wire weather ({!wire_plan}) on top of
+    whatever [faults] plan was given — the injector is armed even when
+    [faults] is empty — and stamps a final [":wire"] segment on the
+    repro token. *)
+
+val wire_plan : Hostos.Faults.plan
+(** The canonical hostile-wire weather (DESIGN.md §16): 5%
+    {!Hostos.Faults.Wire_drop}, 5% {!Hostos.Faults.Wire_reorder}, 5%
+    {!Hostos.Faults.Wire_dup} and 1% {!Hostos.Faults.Wire_trunc},
+    probability-triggered over the whole run and unpinned (every
+    shard's link is equally bad).  What [run ~wire:true],
+    [soak ~wire:true] and the [--wire] CLI flags install. *)
 
 val failed : outcome -> bool
 (** Violations, a broken system invariant, [zc_leaks > 0] (the
@@ -132,8 +149,10 @@ val failed : outcome -> bool
 
 val applicable : ?zerocopy:bool -> datapath -> Hostos.Malice.attack list
 (** The attacks whose kernel tampering hooks lie on this datapath: the
-    two CQE forgeries have no XSK-side hook, and the notif forgeries
-    need the io_uring datapath with [zerocopy] (default false).
+    two CQE forgeries have no XSK-side hook, the notif forgeries
+    need the io_uring datapath with [zerocopy] (default false), and the
+    wire attacks (replay / reorder-burst / fragment-storm) live in the
+    XDP rx hook so only the XSK datapath carries them.
     [Dropped_notif] is never included — it deterministically fails the
     campaign by leaking a frame, which is the golden dropped-notif
     test's job to witness, not the no-violation singles'. *)
@@ -177,20 +196,30 @@ val repro : outcome -> string
     fault-free single-queue tokens keep the historical 4-segment shape.
     Multi-queue runs always carry a sixth [":q<n>"] segment (after a
     possibly-empty fault segment) recording the shard count, zero-copy
-    runs a [":zc"] segment after whatever shape precedes it, and
-    overload-control runs one final [":ov"] segment after that.  Feed
-    it to {!run_repro} or [tm_verify --replay]. *)
+    runs a [":zc"] segment after whatever shape precedes it,
+    overload-control runs an [":ov"] segment after that, and
+    lossy-wire runs one final [":wire"] segment.  Feed it to
+    {!run_repro} or [tm_verify --replay]. *)
 
 val parse_repro :
   string ->
-  ( datapath * int64 * int * schedule * Hostos.Faults.plan * int * bool * bool,
+  ( datapath
+    * int64
+    * int
+    * schedule
+    * Hostos.Faults.plan
+    * int
+    * bool
+    * bool
+    * bool,
     string )
   result
 (** Accepts 4-segment (fault-free, plan [[]]), 5-segment (faults) and
     6-segment (faults + [q<n>] shard count) tokens, each optionally
-    followed by a literal ["zc"] segment and then a literal ["ov"]
-    segment; the last three tuple components are the queue count (1 for
-    the shorter shapes), the zero-copy flag and the overload flag. *)
+    followed by a literal ["zc"] segment, then a literal ["ov"]
+    segment, then a literal ["wire"] segment; the last four tuple
+    components are the queue count (1 for the shorter shapes), the
+    zero-copy flag, the overload flag and the wire flag. *)
 
 val run_repro : string -> (outcome, string) result
 
@@ -253,8 +282,13 @@ type soak_outcome = {
   sk_breaker_opens : int;
   sk_watchdog_restarts : int;
   sk_stalled : bool;  (** the driver did not finish inside the horizon *)
-  sk_repro : string;  (** ["soak:<seed>:<steps>:q<n>"] — feed the three
-                          parameters back to {!soak} to replay *)
+  sk_wire : bool;
+      (** the canonical lossy-wire plan ({!wire_plan}) was composed on
+          top of the rolling shard faults *)
+  sk_repro : string;
+      (** ["soak:<seed>:<steps>:q<n>[:wire]"] — feed the parameters
+          back to {!soak} (the trailing segment is [~wire:true]) to
+          replay *)
 }
 
 val soak :
@@ -262,6 +296,7 @@ val soak :
   ?queues:int ->
   ?seed:int64 ->
   ?slo_p99:int64 ->
+  ?wire:bool ->
   unit ->
   soak_outcome
 (** Run the chaos soak: the XSK UDP echo workload on a multi-queue
@@ -270,7 +305,9 @@ val soak :
     first 40%, an open-loop flash-crowd blast for the middle 20%,
     closed-loop recovery for the rest — composed with a rolling
     shard-pinned {!Hostos.Faults.Drop_wakeup} plan and a seeded malice
-    soup.  Deterministic in [(seed, steps, queues)]. *)
+    soup.  [wire] (default false) additionally installs the canonical
+    lossy-wire weather ({!wire_plan}) for the whole run.
+    Deterministic in [(seed, steps, queues, wire)]. *)
 
 val soak_failed : soak_outcome -> bool
 (** The soak's gates: a stall, an unaccounted datagram, a shed control

@@ -5,24 +5,39 @@
     (binding sockets, draining queues, echoing).  This reproduction is a
     self-contained mutational fuzzer with the same harness shape:
 
-    - seed corpus of valid ARP, UDP and boundary frames;
-    - byte/bit/length/splice mutators plus fully random inputs;
+    - seed corpus of valid ARP, UDP, IPv4-fragment, RDP and boundary
+      frames;
+    - byte/bit/length/splice mutators, fully random inputs, and
+      {e structure-aware} field mutators that smash one protocol field
+      at its real wire offset (ethertypes, version/IHL nibbles, IP
+      total length, fragment flags/offset, TTL, proto, UDP
+      length/ports), biased toward boundary values;
     - the stack's host-facing entry point ({!Netstack.Stack.input}) as
-      the single input source, per the paper's scope;
+      one input sink, {e and} every [lib/packet] codec plus
+      {!Netstack.Reassembly.insert} and {!Netstack.Rdp.input} driven
+      directly, each under a never-raise / bounded-output contract (an
+      [Ok] parse must not claim more payload than the buffer holds);
     - emulated user: sockets bound on several ports, periodic queue
       drains and echoes through the transmit hook;
     - an input joins the corpus when it exercises a not-yet-seen
       outcome (delivery, or a new drop reason) — a poor man's coverage
-      signal.
+      signal;
+    - crashing inputs are greedily shrunk (halves, edge bytes, byte
+      zeroing) against a fresh-state predicate before reporting, and a
+      pinned-crasher list is replayed ahead of every run so fixed bugs
+      stay fixed.
 
-    Pass criterion: no exception ever escapes the stack, and the stack's
-    accounting stays consistent (every input is either delivered,
+    Pass criterion: no exception ever escapes the stack or any codec,
+    no codec violates its output bound, and the stack's accounting
+    stays consistent (every input is either delivered,
     dropped-with-reason, or ARP-consumed). *)
 
 type report = {
   executions : int;
-  crashes : int;
-  crash_samples : string list;  (** hex of up to 5 crashing inputs *)
+  crashes : int;  (** stack escapes + codec raises + contract violations *)
+  crash_samples : string list;
+      (** up to 5 crashers as ["<codec>:<shrunk hex> (<exception>)"] *)
+  codec_checks : int;  (** individual codec invocations across the run *)
   delivered : int;
   dropped : int;
   arp_handled : int;

@@ -143,11 +143,11 @@ let test_xsk_blind_spots () =
     M.[ Cqe_wrong_user_data; Cqe_bogus_res ]
 
 let test_applicable_covers_all_attacks () =
-  check "io_uring covers all but the 3 notif forgeries"
-    (List.length M.all_attacks - 3)
+  check "io_uring covers all but the notif forgeries and wire attacks"
+    (List.length M.all_attacks - 6)
     (List.length (C.applicable C.Iouring));
   check "io_uring + zerocopy adds the two refusable notif forgeries"
-    (List.length M.all_attacks - 1)
+    (List.length M.all_attacks - 4)
     (List.length (C.applicable ~zerocopy:true C.Iouring));
   check "xsk covers all but the CQE and notif forgeries"
     (List.length M.all_attacks - 5)
@@ -235,7 +235,7 @@ let test_repro_roundtrip () =
       let token = C.repro o in
       match C.parse_repro token with
       | Error e -> Alcotest.failf "parse_repro %S: %s" token e
-      | Ok (dp', seed', budget', schedule', faults', _, _, _) ->
+      | Ok (dp', seed', budget', schedule', faults', _, _, _, _) ->
           check_bool "datapath" true (dp = dp');
           Alcotest.(check int64) "seed" 77L seed';
           check "budget" 28 budget';
@@ -257,7 +257,7 @@ let test_repro_roundtrip_zerocopy () =
     && String.sub token (String.length token - 3) 3 = ":zc");
   match C.parse_repro token with
   | Error e -> Alcotest.failf "parse_repro %S: %s" token e
-  | Ok (dp', seed', budget', schedule', faults', queues', zc', _ov') ->
+  | Ok (dp', seed', budget', schedule', faults', queues', zc', _ov', _wire') ->
       check_bool "datapath" true (dp' = C.Iouring);
       Alcotest.(check int64) "seed" 77L seed';
       check "budget" 28 budget';
@@ -280,7 +280,7 @@ let test_repro_roundtrip_overload () =
     && String.sub token (String.length token - 3) 3 = ":ov");
   match C.parse_repro token with
   | Error e -> Alcotest.failf "parse_repro %S: %s" token e
-  | Ok (dp', seed', budget', schedule', faults', queues', zc', ov') ->
+  | Ok (dp', seed', budget', schedule', faults', queues', zc', ov', _wire') ->
       check_bool "datapath" true (dp' = C.Xsk);
       Alcotest.(check int64) "seed" 77L seed';
       check "budget" 28 budget';
@@ -293,9 +293,41 @@ let test_repro_roundtrip_overload () =
       | Error e -> Alcotest.failf "run_repro %S: %s" token e
       | Ok o' -> check_bool "replayed outcome" true (o = o'))
 
-(* The optional trailing segments strip in one fixed order ([:ov], then
-   [:zc], then [:q<n>]); these pins keep near-miss tokens failing
-   loudly instead of silently dropping a flag. *)
+let test_repro_roundtrip_wire () =
+  let o =
+    C.run ~datapath:C.Xsk ~seed:77L ~budget:28 ~wire:true mixed_schedule
+  in
+  check_bool "wire weather actually injected" true
+    (List.exists
+       (fun (f, n) ->
+         n > 0
+         && List.mem f
+              Hostos.Faults.[ Wire_drop; Wire_reorder; Wire_dup; Wire_trunc ])
+       o.C.injected);
+  check_bool "user-visible plan stays empty" true (o.C.fault_plan = []);
+  let token = C.repro o in
+  check_bool "token carries the wire segment" true
+    (String.length token > 5
+    && String.sub token (String.length token - 5) 5 = ":wire");
+  match C.parse_repro token with
+  | Error e -> Alcotest.failf "parse_repro %S: %s" token e
+  | Ok (dp', seed', budget', schedule', faults', queues', zc', ov', wire') ->
+      check_bool "datapath" true (dp' = C.Xsk);
+      Alcotest.(check int64) "seed" 77L seed';
+      check "budget" 28 budget';
+      check_bool "schedule" true (schedule' = mixed_schedule);
+      check_bool "fault-free plan" true (faults' = []);
+      check "queues" 1 queues';
+      check_bool "zerocopy flag off" false zc';
+      check_bool "overload flag off" false ov';
+      check_bool "wire flag" true wire';
+      (match C.run_repro token with
+      | Error e -> Alcotest.failf "run_repro %S: %s" token e
+      | Ok o' -> check_bool "replayed outcome" true (o = o'))
+
+(* The optional trailing segments strip in one fixed order ([:wire],
+   then [:ov], then [:zc], then [:q<n>]); these pins keep near-miss
+   tokens failing loudly instead of silently dropping a flag. *)
 let test_repro_malformed () =
   List.iter
     (fun token ->
@@ -305,6 +337,9 @@ let test_repro_malformed () =
     [
       "xsk:77:28::ov2" (* not a literal "ov": must not half-match *);
       "xsk:77:28::ov:zc" (* flags in the wrong order *);
+      "xsk:77:28::wire2" (* not a literal "wire" *);
+      "xsk:77:28::wire:ov" (* wire must come last *);
+      "xsk:77:28::wire:wire" (* a second "wire" overflows *);
       "xsk:77:28::zc:q2" (* q<n> must precede zc *);
       "xsk:77:28::q0" (* zero queues *);
       "ov" (* no header at all *);
@@ -510,6 +545,8 @@ let suite =
       test_dropped_notif_fails_campaign;
     Alcotest.test_case "campaign: zerocopy repro token round-trips" `Slow
       test_repro_roundtrip_zerocopy;
+    Alcotest.test_case "campaign: wire repro token round-trips" `Slow
+      test_repro_roundtrip_wire;
     Alcotest.test_case "campaign: overload repro token round-trips" `Slow
       test_repro_roundtrip_overload;
     Alcotest.test_case "campaign: malformed repro tokens rejected" `Quick

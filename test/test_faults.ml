@@ -5,7 +5,7 @@
    UDP echo workload under injected faults. *)
 
 module F = Hostos.Faults
-module B = Rakis.Backoff
+module B = Sim.Backoff
 
 let check = Alcotest.(check int)
 
@@ -286,7 +286,7 @@ let test_campaign_fault_repro_roundtrip () =
     (List.length (String.split_on_char ':' token) = 5);
   (match Tm.Campaign.parse_repro token with
   | Error e -> Alcotest.failf "parse_repro %S: %s" token e
-  | Ok (_, _, _, schedule', faults', _, _, _) ->
+  | Ok (_, _, _, schedule', faults', _, _, _, _) ->
       check_bool "schedule survives" true (schedule' = schedule);
       check_bool "fault plan survives" true (faults' = fault_mix));
   match Tm.Campaign.run_repro token with

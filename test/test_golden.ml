@@ -270,6 +270,31 @@ let test_repro_tokens () =
           zerocopy = true;
           overload = true;
         } );
+      ( "lossy wire, fault-free single queue (4 segments + wire)",
+        {
+          template with
+          C.datapath = C.Xsk;
+          seed = 101L;
+          budget = 28;
+          schedule = [ C.At { step = 4; attack = Hostos.Malice.Replay } ];
+          fault_plan = [];
+          queues = 1;
+          wire = true;
+        } );
+      ( "overload + zero-copy + lossy wire, multi-queue (all 9 segments)",
+        {
+          template with
+          C.datapath = C.Iouring;
+          seed = 19L;
+          budget = 32;
+          schedule = [];
+          fault_plan =
+            [ { F.fault = F.Short_io; when_ = F.Probability 0.25; shard = None } ];
+          queues = 2;
+          zerocopy = true;
+          overload = true;
+          wire = true;
+        } );
     ]
   in
   let buf = Buffer.create 512 in
@@ -279,7 +304,7 @@ let test_repro_tokens () =
       (* idempotence is part of the contract the golden pins down *)
       (match C.parse_repro token with
       | Error e -> Alcotest.failf "token %S failed to parse back: %s" token e
-      | Ok (dp, seed, budget, schedule, plan, queues, zc, ov) ->
+      | Ok (dp, seed, budget, schedule, plan, queues, zc, ov, wire) ->
           let again =
             C.repro
               {
@@ -292,6 +317,7 @@ let test_repro_tokens () =
                 queues;
                 zerocopy = zc;
                 overload = ov;
+                wire;
               }
           in
           if again <> token then

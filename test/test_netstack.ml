@@ -174,6 +174,231 @@ let test_arp_reply_learned () =
   | Some m -> check_bool "learned" true (Packet.Addr.Mac.equal m other_mac)
   | None -> Alcotest.fail "not learned"
 
+(* {1 ARP cache bounds (DESIGN.md §16)} *)
+
+let cache_ip n = Packet.Addr.Ip.of_repr (Printf.sprintf "10.0.1.%d" n)
+
+let cache_mac n = Packet.Addr.Mac.of_repr (Printf.sprintf "02:00:00:00:01:%02x" n)
+
+let test_arp_cache_lru_eviction () =
+  let engine = Sim.Engine.create () in
+  let cache = Arp_cache.create ~capacity:3 engine () in
+  for n = 1 to 3 do
+    Arp_cache.learn cache (cache_ip n) (cache_mac n)
+  done;
+  check "full" 3 (Arp_cache.entries cache);
+  Arp_cache.learn cache (cache_ip 4) (cache_mac 4);
+  check "still bounded" 3 (Arp_cache.entries cache);
+  check "one eviction" 1 (Arp_cache.evictions cache);
+  check_bool "oldest entry gone" true (Arp_cache.lookup cache (cache_ip 1) = None);
+  check_bool "newest entry present" true
+    (Arp_cache.lookup cache (cache_ip 4) = Some (cache_mac 4))
+
+let test_arp_cache_lookup_refreshes_lru () =
+  let engine = Sim.Engine.create () in
+  let cache = Arp_cache.create ~capacity:3 engine () in
+  for n = 1 to 3 do
+    Arp_cache.learn cache (cache_ip n) (cache_mac n)
+  done;
+  (* Touch the oldest entry: the next eviction must pick entry 2. *)
+  ignore (Arp_cache.lookup cache (cache_ip 1));
+  Arp_cache.learn cache (cache_ip 4) (cache_mac 4);
+  check_bool "refreshed entry survives" true
+    (Arp_cache.lookup cache (cache_ip 1) = Some (cache_mac 1));
+  check_bool "unrefreshed entry evicted" true
+    (Arp_cache.lookup cache (cache_ip 2) = None)
+
+let test_arp_cache_conflict_keeps_first () =
+  let engine = Sim.Engine.create () in
+  let cache = Arp_cache.create engine () in
+  Arp_cache.learn cache (cache_ip 1) (cache_mac 1);
+  (* A spoofed re-learn must not repoint the live binding. *)
+  Arp_cache.learn cache (cache_ip 1) (cache_mac 99);
+  check_bool "first binding kept" true
+    (Arp_cache.lookup cache (cache_ip 1) = Some (cache_mac 1));
+  check "conflict counted" 1 (Arp_cache.conflicts cache);
+  (* Re-learning the same binding is a refresh, not a conflict. *)
+  Arp_cache.learn cache (cache_ip 1) (cache_mac 1);
+  check "refresh not counted" 1 (Arp_cache.conflicts cache)
+
+let test_arp_cache_placeholder_semantics () =
+  let engine = Sim.Engine.create () in
+  let cache = Arp_cache.create engine () in
+  (* The failover path parks a broadcast placeholder; real sender
+     information must overwrite it without counting a conflict. *)
+  Arp_cache.learn cache (cache_ip 1) Packet.Addr.Mac.broadcast;
+  Arp_cache.learn cache (cache_ip 1) (cache_mac 1);
+  check_bool "placeholder upgraded" true
+    (Arp_cache.lookup cache (cache_ip 1) = Some (cache_mac 1));
+  (* ...and a placeholder never downgrades a resolved entry. *)
+  Arp_cache.learn cache (cache_ip 1) Packet.Addr.Mac.broadcast;
+  check_bool "real entry kept" true
+    (Arp_cache.lookup cache (cache_ip 1) = Some (cache_mac 1));
+  check "no conflicts counted" 0 (Arp_cache.conflicts cache)
+
+(* {1 Fragment reassembly (DESIGN.md §16)} *)
+
+let frag ?(src = peer_ip) ?(ident = 7) ~off ~more payload =
+  {
+    Packet.Ipv4.packet =
+      {
+        Packet.Ipv4.src;
+        dst = ip;
+        proto = Packet.Ipv4.Udp;
+        ttl = 64;
+        ident;
+        payload = Bytes.of_string payload;
+      };
+    frag_offset = off;
+    more;
+  }
+
+let check_verdict name expected got =
+  let pp = function
+    | Reassembly.Complete p -> "complete:" ^ Bytes.to_string p.Packet.Ipv4.payload
+    | Reassembly.Pending -> "pending"
+    | Reassembly.Rejected r -> "rejected:" ^ r
+  in
+  Alcotest.(check string) name (pp expected) (pp got)
+
+let test_reassembly_in_order () =
+  let r = Reassembly.create () in
+  check_verdict "first half pending" Reassembly.Pending
+    (Reassembly.insert r (frag ~off:0 ~more:true "01234567"));
+  check_verdict "second half completes"
+    (Reassembly.Complete
+       ((frag ~off:0 ~more:false "0123456789abcdef").Packet.Ipv4.packet))
+    (Reassembly.insert r (frag ~off:8 ~more:false "89abcdef"));
+  check "nothing left open" 0 (Reassembly.active r)
+
+let test_reassembly_out_of_order_and_dup () =
+  let r = Reassembly.create () in
+  let tail = frag ~off:8 ~more:false "89abcdef" in
+  check_verdict "tail first pending" Reassembly.Pending (Reassembly.insert r tail);
+  check_verdict "exact duplicate absorbed" Reassembly.Pending
+    (Reassembly.insert r tail);
+  check_verdict "head completes"
+    (Reassembly.Complete
+       ((frag ~off:0 ~more:false "0123456789abcdef").Packet.Ipv4.packet))
+    (Reassembly.insert r (frag ~off:0 ~more:true "01234567"))
+
+let test_reassembly_overlap_poisons () =
+  let r = Reassembly.create () in
+  ignore (Reassembly.insert r (frag ~off:0 ~more:true "0123456789abcdef"));
+  check_verdict "partial overlap rejected" (Reassembly.Rejected "frag-overlap")
+    (Reassembly.insert r (frag ~off:8 ~more:false "XXXXXXXX"));
+  (* The poisoned reassembly is discarded whole — nothing stitched from
+     attacker-chosen overlaps survives; a later fragment starts fresh. *)
+  check "poisoned reassembly discarded" 0 (Reassembly.active r);
+  check_verdict "later fragment starts fresh" Reassembly.Pending
+    (Reassembly.insert r (frag ~off:16 ~more:true "fresh-88"))
+
+let test_reassembly_quotas () =
+  let r = Reassembly.create () in
+  (* Per-source quota first: one source may hold open at most
+     [reassembly_max_per_source] reassemblies. *)
+  for ident = 1 to Sgx.Params.reassembly_max_per_source do
+    check_verdict "opens under quota" Reassembly.Pending
+      (Reassembly.insert r (frag ~ident ~off:0 ~more:true "01234567"))
+  done;
+  check_verdict "per-source quota enforced"
+    (Reassembly.Rejected "frag-src-quota")
+    (Reassembly.insert r (frag ~ident:999 ~off:0 ~more:true "01234567"));
+  (* Fill the global table from distinct sources... *)
+  let src n = Packet.Addr.Ip.of_repr (Printf.sprintf "10.0.2.%d" n) in
+  let opened = ref (Reassembly.active r) in
+  let n = ref 1 in
+  while !opened < Sgx.Params.reassembly_max_datagrams do
+    for ident = 1 to Sgx.Params.reassembly_max_per_source do
+      if !opened < Sgx.Params.reassembly_max_datagrams then begin
+        check_verdict "opens under table cap" Reassembly.Pending
+          (Reassembly.insert r (frag ~src:(src !n) ~ident ~off:0 ~more:true "01234567"));
+        incr opened
+      end
+    done;
+    incr n
+  done;
+  (* ...then a fresh source is refused outright. *)
+  check_verdict "table quota enforced" (Reassembly.Rejected "frag-table-full")
+    (Reassembly.insert r
+       (frag ~src:(Packet.Addr.Ip.of_repr "10.0.3.1") ~off:0 ~more:true
+          "01234567"))
+
+let test_reassembly_timeout_sweep () =
+  let now = ref 0L in
+  let r = Reassembly.create ~clock:(fun () -> !now) () in
+  ignore (Reassembly.insert r (frag ~ident:1 ~off:0 ~more:true "01234567"));
+  check "open" 1 (Reassembly.active r);
+  now := Int64.add Sgx.Params.reassembly_timeout 1L;
+  (* The sweep is lazy: any insert after the deadline collects it. *)
+  ignore (Reassembly.insert r (frag ~ident:2 ~off:0 ~more:true "01234567"));
+  check "stale reassembly expired" 1 (Reassembly.expired r);
+  check "only the fresh one open" 1 (Reassembly.active r)
+
+(* {1 Reliable datagrams (DESIGN.md §16)} *)
+
+let rdp_addr = (peer_ip, 4242)
+
+let test_rdp_roundtrip () =
+  let tx = Rdp.create () and rx = Rdp.create () in
+  let wire = Rdp.send tx ~now:0L ~dst:rdp_addr (Bytes.of_string "ping") in
+  check "pending until acked" 1 (Rdp.pending tx);
+  (match Rdp.input rx ~now:1L ~src:(ip, 4242) wire with
+  | Rdp.Deliver (payload, ack) ->
+      Alcotest.(check string) "payload" "ping" (Bytes.to_string payload);
+      (match Rdp.input tx ~now:2L ~src:rdp_addr ack with
+      | Rdp.Acked -> ()
+      | _ -> Alcotest.fail "ack not recognised")
+  | _ -> Alcotest.fail "data not delivered");
+  check "nothing pending" 0 (Rdp.pending tx);
+  check "acked counted" 1 (Rdp.acked tx)
+
+let test_rdp_duplicate_suppressed () =
+  let tx = Rdp.create () and rx = Rdp.create () in
+  let wire = Rdp.send tx ~now:0L ~dst:rdp_addr (Bytes.of_string "once") in
+  (match Rdp.input rx ~now:1L ~src:(ip, 4242) wire with
+  | Rdp.Deliver _ -> ()
+  | _ -> Alcotest.fail "first copy must deliver");
+  (match Rdp.input rx ~now:2L ~src:(ip, 4242) wire with
+  | Rdp.Duplicate _ -> ()
+  | _ -> Alcotest.fail "replayed copy must be suppressed");
+  check "dup counted" 1 (Rdp.dups rx)
+
+let test_rdp_retransmit_then_give_up () =
+  let tx = Rdp.create ~max_attempts:3 () in
+  ignore (Rdp.send tx ~now:0L ~dst:rdp_addr (Bytes.of_string "void"));
+  (* Never ack it: each pass of [due] past the deadline retransmits,
+     until the attempt budget is spent and the datagram is abandoned. *)
+  let now = ref 0L in
+  let guard = ref 0 in
+  while Rdp.pending tx > 0 && !guard < 100 do
+    now := Int64.add !now (Sim.Cycles.of_ms 10.);
+    ignore (Rdp.due tx ~now:!now);
+    incr guard
+  done;
+  check "gave up" 1 (Rdp.gave_up tx);
+  check "nothing pending" 0 (Rdp.pending tx);
+  check "retransmits = attempts - 1" 2 (Rdp.retransmits tx)
+
+let test_rdp_junk_tolerated () =
+  let rx = Rdp.create () in
+  List.iter
+    (fun s ->
+      match Rdp.input rx ~now:0L ~src:rdp_addr (Bytes.of_string s) with
+      | Rdp.Junk -> ()
+      | _ -> Alcotest.fail "junk must be classified as junk")
+    [ ""; "R"; "RD"; "RX123"; "QD\x00\x00\x00\x01"; "RD\x00\x00" ];
+  check "junk counted" 6 (Rdp.junk rx)
+
+let test_rdp_abandon_accounts () =
+  let tx = Rdp.create () in
+  for i = 1 to 3 do
+    ignore (Rdp.send tx ~now:(Int64.of_int i) ~dst:rdp_addr (Bytes.of_string "x"))
+  done;
+  Rdp.abandon tx;
+  check "all pending abandoned" 0 (Rdp.pending tx);
+  check "every give-up accounted" 3 (Rdp.gave_up tx)
+
 (* {1 Send path} *)
 
 let test_sendto_builds_valid_frame () =
@@ -335,6 +560,24 @@ let suite =
     ("arp: foreign request ignored", `Quick,
      test_arp_request_for_other_ip_ignored);
     ("arp: reply learned", `Quick, test_arp_reply_learned);
+    ("arp-cache: LRU eviction at capacity", `Quick, test_arp_cache_lru_eviction);
+    ("arp-cache: lookup refreshes recency", `Quick,
+     test_arp_cache_lookup_refreshes_lru);
+    ("arp-cache: conflicting re-learn refused", `Quick,
+     test_arp_cache_conflict_keeps_first);
+    ("arp-cache: failover placeholder semantics", `Quick,
+     test_arp_cache_placeholder_semantics);
+    ("reassembly: in-order completion", `Quick, test_reassembly_in_order);
+    ("reassembly: out-of-order and duplicate", `Quick,
+     test_reassembly_out_of_order_and_dup);
+    ("reassembly: overlap poisons", `Quick, test_reassembly_overlap_poisons);
+    ("reassembly: quotas enforced", `Quick, test_reassembly_quotas);
+    ("reassembly: timeout sweep", `Quick, test_reassembly_timeout_sweep);
+    ("rdp: send/deliver/ack roundtrip", `Quick, test_rdp_roundtrip);
+    ("rdp: duplicate suppressed", `Quick, test_rdp_duplicate_suppressed);
+    ("rdp: retransmit then give up", `Quick, test_rdp_retransmit_then_give_up);
+    ("rdp: junk tolerated", `Quick, test_rdp_junk_tolerated);
+    ("rdp: abandon accounts pending", `Quick, test_rdp_abandon_accounts);
     ("send: builds valid frames", `Quick, test_sendto_builds_valid_frame);
     ("send: oversize rejected", `Quick, test_sendto_too_big);
     ("send: no transmit hook", `Quick, test_sendto_without_transmit_hook);

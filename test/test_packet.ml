@@ -331,14 +331,86 @@ let prop_frame_roundtrip =
       | Ok (_, p) -> Bytes.equal p payload
       | Error _ -> false)
 
+let mac_gen =
+  QCheck.Gen.(
+    map
+      (fun n -> Addr.Mac.of_repr (Printf.sprintf "02:00:00:00:%02x:%02x"
+                                    (n lsr 8) (n land 0xff)))
+      (0 -- 0xffff))
+
+let ip_gen =
+  QCheck.Gen.(
+    map
+      (fun n -> Addr.Ip.of_repr (Printf.sprintf "10.0.%d.%d" (n lsr 8) (n land 0xff)))
+      (0 -- 0xffff))
+
+let prop_eth_roundtrip =
+  QCheck.Test.make ~name:"eth: build/parse roundtrip for any header" ~count:500
+    (QCheck.make
+       QCheck.Gen.(
+         pair (pair mac_gen mac_gen) (pair (0 -- 0xffff) bytes_gen)))
+    (fun ((dst, src), (ety, payload)) ->
+      let ethertype = Eth.ethertype_of_int ety in
+      match Eth.parse (Eth.build { Eth.dst; src; ethertype; payload }) with
+      | Ok e ->
+          Addr.Mac.equal e.dst dst && Addr.Mac.equal e.src src
+          && e.ethertype = ethertype
+          && Bytes.equal e.payload payload
+      | Error _ -> false)
+
+let prop_arp_roundtrip =
+  QCheck.Test.make ~name:"arp: build/parse roundtrip for any addresses"
+    ~count:500
+    (QCheck.make
+       QCheck.Gen.(
+         pair (pair mac_gen mac_gen) (pair (pair ip_gen ip_gen) bool)))
+    (fun ((sender_mac, target_mac), ((sender_ip, target_ip), is_req)) ->
+      let pkt =
+        { Arp.op = (if is_req then Arp.Request else Arp.Reply);
+          sender_mac; sender_ip; target_mac; target_ip }
+      in
+      match Arp.parse (Arp.build pkt) with
+      | Ok p ->
+          p.op = pkt.op
+          && Addr.Mac.equal p.sender_mac sender_mac
+          && Addr.Mac.equal p.target_mac target_mac
+          && Addr.Ip.equal p.sender_ip sender_ip
+          && Addr.Ip.equal p.target_ip target_ip
+      | Error _ -> false)
+
+let prop_ipv4_fragment_roundtrip =
+  QCheck.Test.make
+    ~name:"ipv4: build_fragment/parse_fragment roundtrip for any geometry"
+    ~count:500
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (pair (0 -- 1000) bool)
+           (pair (pair (1 -- 255) (0 -- 0xffff)) bytes_gen)))
+    (fun ((off8, more), ((ttl, ident), payload)) ->
+      let frag_offset = off8 * 8 in
+      let pkt = { Ipv4.src = ip; dst = ip2; proto = Ipv4.Udp; ttl; ident; payload } in
+      match Ipv4.parse_fragment (Ipv4.build_fragment pkt ~frag_offset ~more) with
+      | Ok f ->
+          f.frag_offset = frag_offset && f.more = more
+          && Addr.Ip.equal f.packet.src ip
+          && Addr.Ip.equal f.packet.dst ip2
+          && f.packet.proto = Ipv4.Udp && f.packet.ttl = ttl
+          && f.packet.ident = ident
+          && Bytes.equal f.packet.payload payload
+      | Error _ -> false)
+
 let prop_parsers_total =
   QCheck.Test.make ~name:"parsers: total on arbitrary bytes" ~count:2000
     (QCheck.make bytes_gen)
     (fun b ->
       (match Eth.parse b with Ok _ | Error _ -> ());
+      (match Eth.parse_sub b ~len:(Bytes.length b) with Ok _ | Error _ -> ());
       (match Arp.parse b with Ok _ | Error _ -> ());
       (match Ipv4.parse b with Ok _ | Error _ -> ());
+      (match Ipv4.parse_fragment b with Ok _ | Error _ -> ());
       (match Udp.parse ~src:ip ~dst:ip2 b with Ok _ | Error _ -> ());
+      (match Frame.dissect_udp b with Ok _ | Error _ -> ());
       ignore (Frame.peek_udp_ports b);
       true)
 
@@ -434,6 +506,9 @@ let props =
     [
       prop_udp_roundtrip;
       prop_frame_roundtrip;
+      prop_eth_roundtrip;
+      prop_arp_roundtrip;
+      prop_ipv4_fragment_roundtrip;
       prop_parsers_total;
       prop_checksum_word_equals_scalar;
       prop_checksum_detects_single_flip;

@@ -274,7 +274,7 @@ let test_campaign_repro_roundtrip_with_queues () =
   check "six-segment token" 6
     (List.length (String.split_on_char ':' token));
   (match Tm.Campaign.parse_repro token with
-  | Ok (dp, seed, budget, _, faults, queues, _zc, _ov) ->
+  | Ok (dp, seed, budget, _, faults, queues, _zc, _ov, _wire) ->
       check_bool "datapath" true (dp = Tm.Campaign.Xsk);
       Alcotest.(check int64) "seed" 33L seed;
       check "budget" 48 budget;

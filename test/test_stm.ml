@@ -462,7 +462,7 @@ let token_roundtrip (datapath, seed, budget, schedule, plan, queues, zerocopy)
   let token = C.repro o in
   match C.parse_repro token with
   | Error e -> QCheck.Test.fail_reportf "parse failed on %S: %s" token e
-  | Ok (dp', seed', budget', schedule', plan', queues', zc', _ov') ->
+  | Ok (dp', seed', budget', schedule', plan', queues', zc', _ov', _wire') ->
       dp' = datapath && seed' = seed && budget' = budget
       && schedule' = schedule && plan' = plan && queues' = queues
       && zc' = zerocopy
